@@ -1,0 +1,196 @@
+//! Criterion micro-benchmarks of the hot functional paths: GF(256)
+//! Reed–Solomon encoding (the work the client offloads), nvme-fs SQE
+//! encode/decode and full queue round trips vs virtio-fs chain walks,
+//! hybrid-cache data-plane ops, and KVFS/KV-store operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::sync::Arc;
+
+use dpc_cache::{CacheConfig, FlushPipeline, HybridCache, PipelineConfig, PAGE_SIZE};
+use dpc_codec::{compress, crc32c};
+use dpc_ec::ReedSolomon;
+use dpc_kvfs::Kvfs;
+use dpc_kvstore::KvStore;
+use dpc_nvmefs::{DispatchType, QueuePair, QueuePairConfig, Sqe};
+use dpc_pcie::DmaEngine;
+use dpc_virtiofs::{create_device, VirtioFsConfig};
+
+fn bench_ec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ec");
+    let rs = ReedSolomon::new(4, 2);
+    let mut shards = vec![vec![0xA5u8; 8192 / 4]; 6];
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("rs_4p2_encode_8k", |b| {
+        b.iter(|| rs.encode(&mut shards).unwrap())
+    });
+    let encoded: Vec<Vec<u8>> = {
+        let mut s = vec![vec![0xA5u8; 8192 / 4]; 6];
+        rs.encode(&mut s).unwrap();
+        s
+    };
+    g.bench_function("rs_4p2_reconstruct_two_8k", |b| {
+        b.iter_batched(
+            || {
+                let mut d: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+                d[0] = None;
+                d[4] = None;
+                d
+            },
+            |mut d| rs.reconstruct(&mut d).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.bench_function("sqe_encode_decode", |b| {
+        b.iter(|| {
+            let mut s = Sqe::new();
+            s.set_cid(7)
+                .set_prp_write(0x1000, 0)
+                .set_prp_read(0x2000, 0)
+                .set_write_len(8192)
+                .set_read_len(0)
+                .set_wh_len(24)
+                .set_rh_len(64);
+            Sqe::from_bytes(&s.to_bytes())
+        })
+    });
+
+    let dma = DmaEngine::new();
+    let (mut ini, mut tgt) = QueuePair::new(
+        0,
+        QueuePairConfig {
+            depth: 16,
+            max_io_bytes: 16 * 1024,
+        },
+    )
+    .split(dma.clone());
+    let payload = vec![0x42u8; 8192];
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("nvmefs_8k_write_roundtrip", |b| {
+        b.iter(|| {
+            ini.submit(DispatchType::Standalone, b"", &payload, 0)
+                .unwrap();
+            let inc = tgt.poll().unwrap();
+            tgt.complete(inc.slot, dpc_nvmefs::CqeStatus::Success, b"", b"");
+            ini.wait()
+        })
+    });
+
+    let dma2 = DmaEngine::new();
+    let (mut front, mut hal) = create_device(VirtioFsConfig::default(), &dma2);
+    g.bench_function("virtiofs_8k_write_roundtrip", |b| {
+        b.iter(|| {
+            front.submit_write(1, 0, &payload).unwrap();
+            let inc = hal.poll().unwrap();
+            hal.complete(&inc, 0, &[]);
+            front.poll().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_cache");
+    let cache = Arc::new(HybridCache::new(CacheConfig {
+        pages: 4096,
+        bucket_entries: 8,
+        mode: 1,
+    }));
+    let page = vec![0x5Au8; PAGE_SIZE];
+    g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    g.bench_function("front_end_write_4k", |b| {
+        let mut lpn = 0u64;
+        b.iter(|| {
+            let mut guard = cache.begin_write(1, lpn % 2048).unwrap();
+            guard.write(0, &page);
+            guard.commit_dirty();
+            lpn += 1;
+        })
+    });
+    // Prime for hits.
+    for lpn in 0..1024u64 {
+        let mut gd = cache.begin_write(2, lpn).unwrap();
+        gd.write(0, &page);
+        gd.commit_dirty();
+    }
+    let mut out = vec![0u8; PAGE_SIZE];
+    g.bench_function("lookup_read_hit_4k", |b| {
+        let mut lpn = 0u64;
+        b.iter(|| {
+            assert!(cache.lookup_read(2, lpn % 1024, &mut out));
+            lpn += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvfs");
+    let kv = Arc::new(KvStore::new());
+    let value = vec![1u8; 8192];
+    g.bench_function("kvstore_put_get_8k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = i.to_be_bytes();
+            kv.put(&key, &value);
+            let got = kv.get(&key).unwrap();
+            i = i.wrapping_add(1);
+            got
+        })
+    });
+
+    let fs = Kvfs::new(Arc::new(KvStore::new()));
+    let ino = fs.create("/bench.bin", 0o644).unwrap();
+    fs.write(ino, 0, &vec![0u8; 1 << 20]).unwrap();
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("kvfs_big_file_8k_inplace_write", |b| {
+        let mut block = 0u64;
+        b.iter(|| {
+            fs.write(ino, (block % 128) * 8192, &value).unwrap();
+            block += 1;
+        })
+    });
+    let mut buf = vec![0u8; 8192];
+    g.bench_function("kvfs_big_file_8k_read", |b| {
+        let mut block = 0u64;
+        b.iter(|| {
+            fs.read(ino, (block % 128) * 8192, &mut buf).unwrap();
+            block += 1;
+        })
+    });
+    fs.mkdir("/a", 0o755).unwrap();
+    fs.mkdir("/a/b", 0o755).unwrap();
+    fs.create("/a/b/leaf", 0o644).unwrap();
+    g.bench_function("kvfs_path_resolution_cached", |b| {
+        b.iter(|| fs.resolve("/a/b/leaf").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let page: Vec<u8> = (0..PAGE_SIZE).map(|i| ((i / 16) % 251) as u8).collect();
+    g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    g.bench_function("crc32c_4k", |b| b.iter(|| crc32c(&page)));
+    g.bench_function("lz_compress_4k_structured", |b| b.iter(|| compress(&page)));
+    let mut pipeline = FlushPipeline::new(PipelineConfig::default());
+    g.bench_function("pipeline_seal_4k", |b| {
+        b.iter(|| pipeline.seal(1, 1, &page))
+    });
+    let env = FlushPipeline::new(PipelineConfig::default()).seal(1, 1, &page);
+    g.bench_function("pipeline_unseal_verify_4k", |b| {
+        b.iter(|| pipeline.unseal(1, 1, &env).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ec, bench_protocol, bench_cache, bench_kv, bench_codec
+}
+criterion_main!(micro);

@@ -1,0 +1,141 @@
+//! **Figure 1** — the motivation experiment: optimizing the fs-client
+//! (EC calculation, I/O forwarding, file delegations, DIO moved into the
+//! client) improves IOPS by ~4× over a standard NFS client, but costs
+//! 4–6× more CPU cores.
+//!
+//! Workloads: 4 KiB random read, random write, and the 70/30 mix, at a
+//! fixed saturating concurrency (32 threads). Same client model as Fig 9;
+//! the mix interleaves read and write ops deterministically at 70:30.
+
+use dpc_core::Testbed;
+use dpc_sim::{Nanos, Plan, Simulation};
+
+use crate::fig9::{Client, Work};
+use crate::table::{fmt_cores, fmt_iops, Table};
+
+/// The three motivation workloads.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MixWork {
+    RandRead,
+    RandWrite,
+    /// 70% random read / 30% random write.
+    Mix,
+}
+
+#[derive(Copy, Clone, Debug)]
+pub struct Fig1Point {
+    pub client: Client,
+    pub work: MixWork,
+    pub iops: f64,
+    pub host_cores: f64,
+}
+
+pub fn run_point(tb: &Testbed, client: Client, work: MixWork, threads: usize) -> Fig1Point {
+    // Rebuild the Fig 9 station set through its public runner by mapping
+    // the mix onto alternating BigRead/BigWrite plans.
+    let cfg = dpc_dfs::DfsConfig::default();
+    let mut sim = Simulation::new();
+    let st = crate::fig9::build_stations(&mut sim, tb, &cfg);
+    let tb2 = *tb;
+    let mut flow = move |_c: usize, cycle: u64, _now: Nanos, plan: &mut Plan| {
+        let w = match work {
+            MixWork::RandRead => Work::BigRead,
+            MixWork::RandWrite => Work::BigWrite,
+            MixWork::Mix => {
+                if cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100 < 70 {
+                    Work::BigRead
+                } else {
+                    Work::BigWrite
+                }
+            }
+        };
+        crate::fig9::plan_op_public(&tb2, &st, client, w, cycle, plan);
+    };
+    let report = sim.run(
+        &mut flow,
+        threads,
+        Nanos::from_millis(5.0),
+        Nanos::from_millis(40.0),
+    );
+    Fig1Point {
+        client,
+        work,
+        iops: report.total_throughput(),
+        host_cores: report.busy_cores("host-cpu"),
+    }
+}
+
+pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<Fig1Point>) {
+    const THREADS: usize = 32;
+    let mut t = Table::new(
+        "Fig 1: standard vs optimized NFS client (4K-class random, 32 threads)",
+        &[
+            "workload",
+            "std IOPS",
+            "opt IOPS",
+            "IOPS gain",
+            "std cores",
+            "opt cores",
+            "CPU cost",
+        ],
+    );
+    let mut points = Vec::new();
+    for (work, label) in [
+        (MixWork::RandRead, "rand read"),
+        (MixWork::RandWrite, "rand write"),
+        (MixWork::Mix, "mix 70r/30w"),
+    ] {
+        let s = run_point(tb, Client::Standard, work, THREADS);
+        let o = run_point(tb, Client::Optimized, work, THREADS);
+        t.row(vec![
+            label.into(),
+            fmt_iops(s.iops),
+            fmt_iops(o.iops),
+            format!("{:.1}x", o.iops / s.iops),
+            fmt_cores(s.host_cores),
+            fmt_cores(o.host_cores),
+            format!("{:.1}x", o.host_cores / s.host_cores),
+        ]);
+        points.push(s);
+        points.push(o);
+    }
+    t.note("paper: optimization improves IOPS ~4x but costs ~4-6x more CPU cores (Fig 9 text: 6-15x)");
+    (vec![t], points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_gains_iops_but_burns_cores() {
+        let tb = Testbed::default();
+        for work in [MixWork::RandRead, MixWork::RandWrite, MixWork::Mix] {
+            let s = run_point(&tb, Client::Standard, work, 32);
+            let o = run_point(&tb, Client::Optimized, work, 32);
+            let iops_gain = o.iops / s.iops;
+            let cpu_cost = o.host_cores / s.host_cores;
+            assert!(
+                (2.5..6.5).contains(&iops_gain),
+                "{work:?}: IOPS gain {iops_gain} vs paper ~4x"
+            );
+            // Fig 1's caption says 4-6x more cores; Fig 9's text says
+            // 6-15x for the same client pair. One model can't be both at
+            // once — ours lands between, nearer the Fig 9 figure.
+            assert!(
+                (3.0..15.5).contains(&cpu_cost),
+                "{work:?}: CPU cost {cpu_cost} vs paper 4-6x (Fig1) / 6-15x (Fig9)"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_sits_between_pure_read_and_pure_write() {
+        let tb = Testbed::default();
+        let r = run_point(&tb, Client::Optimized, MixWork::RandRead, 32).iops;
+        let w = run_point(&tb, Client::Optimized, MixWork::RandWrite, 32).iops;
+        let m = run_point(&tb, Client::Optimized, MixWork::Mix, 32).iops;
+        let (lo, hi) = (r.min(w), r.max(w));
+        assert!((lo * 0.95..hi * 1.05).contains(&m), "mix {m} in [{lo},{hi}]");
+    }
+}

@@ -1,0 +1,128 @@
+//! Table formatting for experiment output, with paper-expected columns so
+//! every printed row is a paper-vs-measured comparison.
+
+use dpc_sim::Nanos;
+
+/// A printable experiment table.
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (what the paper reported,
+    /// which shape property to check).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n### {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+pub fn fmt_iops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+pub fn fmt_us(n: Nanos) -> String {
+    format!("{:.1}us", n.as_micros())
+}
+
+pub fn fmt_gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2}GB/s", bytes_per_sec / 1e9)
+}
+
+pub fn fmt_cores(c: f64) -> String {
+    format!("{c:.1}")
+}
+
+pub fn fmt_pct(p: f64) -> String {
+    format!("{:.0}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_iops(1_230_000.0), "1.23M");
+        assert_eq!(fmt_iops(45_600.0), "45.6K");
+        assert_eq!(fmt_iops(120.0), "120");
+        assert_eq!(fmt_us(Nanos::from_micros(20.6)), "20.6us");
+        assert_eq!(fmt_gbps(15.1e9), "15.10GB/s");
+        assert_eq!(fmt_pct(0.861), "86%");
+    }
+}

@@ -1,0 +1,459 @@
+//! The DPU-resident cache control plane.
+//!
+//! Offloading exactly this logic is the hybrid cache's contribution: the
+//! host never spends cycles on replacement, flushing or prefetching — the
+//! DPU does, reaching the host-resident meta/data areas with PCIe atomics
+//! and DMA transfers (all accounted through the [`DmaEngine`]).
+//!
+//! - **Flush** (paper's back-end write path): periodically scan the meta
+//!   hash table, read-lock dirty pages, pull them to DPU DRAM by DMA,
+//!   perform back-end processing (EC, compression — supplied by the
+//!   [`FlushBackend`]), write them to disaggregated storage, then release
+//!   the locks and mark entries clean.
+//! - **Replacement**: when the host fails to allocate in a bucket it
+//!   notifies the DPU, which evicts the least-recently-touched clean entry.
+//! - **Prefetch**: the control plane watches the miss stream; on a
+//!   sequential pattern it pulls ahead pages from the backend into the
+//!   host cache (this is what produces the paper's 100× single-thread
+//!   sequential-read speed-up in Figure 8).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dpc_pcie::DmaEngine;
+
+use crate::host::HybridCache;
+use crate::layout::{EntryStatus, PAGE_SIZE};
+
+/// Back-end sink for flushed dirty pages (the disaggregated store).
+pub trait FlushBackend {
+    fn flush(&mut self, ino: u64, lpn: u64, page: &[u8]);
+}
+
+impl<F: FnMut(u64, u64, &[u8])> FlushBackend for F {
+    fn flush(&mut self, ino: u64, lpn: u64, page: &[u8]) {
+        self(ino, lpn, page)
+    }
+}
+
+/// Back-end source for prefetched pages.
+pub trait ReadBackend {
+    /// Fill `out` with the page and return how many bytes are *valid*
+    /// (a file's tail page is valid only up to its logical end; the rest
+    /// of `out` must be zeroed padding). `None` when the page does not
+    /// exist at all (past EOF) — it is then not inserted.
+    fn read_page(&mut self, ino: u64, lpn: u64, out: &mut [u8]) -> Option<usize>;
+}
+
+impl<F: FnMut(u64, u64, &mut [u8]) -> Option<usize>> ReadBackend for F {
+    fn read_page(&mut self, ino: u64, lpn: u64, out: &mut [u8]) -> Option<usize> {
+        self(ino, lpn, out)
+    }
+}
+
+/// Sequential-stream detector driving prefetch decisions.
+///
+/// Tracks the last miss LPN per inode; after `trigger` consecutive
+/// sequential misses it recommends prefetching a `window` of pages.
+pub struct SeqPrefetcher {
+    streams: HashMap<u64, (u64, u32)>,
+    pub trigger: u32,
+    pub window: u64,
+}
+
+impl Default for SeqPrefetcher {
+    fn default() -> Self {
+        SeqPrefetcher {
+            streams: HashMap::new(),
+            trigger: 2,
+            window: 32,
+        }
+    }
+}
+
+impl SeqPrefetcher {
+    /// Record a miss; returns the LPN range worth prefetching, if any.
+    pub fn on_miss(&mut self, ino: u64, lpn: u64) -> Option<std::ops::Range<u64>> {
+        let entry = self.streams.entry(ino).or_insert((lpn, 0));
+        if lpn == entry.0 + 1 || (lpn == entry.0 && entry.1 == 0) {
+            entry.1 = entry.1.saturating_add(1);
+        } else if lpn != entry.0 {
+            entry.1 = 1;
+        }
+        entry.0 = lpn;
+        if entry.1 >= self.trigger {
+            Some(lpn + 1..lpn + 1 + self.window)
+        } else {
+            None
+        }
+    }
+
+    pub fn forget(&mut self, ino: u64) {
+        self.streams.remove(&ino);
+    }
+}
+
+/// The DPU control plane attached to one hybrid cache.
+pub struct ControlPlane {
+    cache: Arc<HybridCache>,
+    dma: DmaEngine,
+    pub prefetcher: SeqPrefetcher,
+}
+
+impl ControlPlane {
+    pub fn new(cache: Arc<HybridCache>, dma: DmaEngine) -> ControlPlane {
+        ControlPlane {
+            cache,
+            dma,
+            prefetcher: SeqPrefetcher::default(),
+        }
+    }
+
+    pub fn cache(&self) -> &Arc<HybridCache> {
+        &self.cache
+    }
+
+    /// One flush pass over the meta area: safely flush every dirty page
+    /// the pass can read-lock. Returns the number of pages flushed.
+    pub fn flush_pass(&mut self, backend: &mut dyn FlushBackend) -> usize {
+        let mut flushed = 0;
+        let mut page = [0u8; PAGE_SIZE];
+        for idx in 0..self.cache.cfg.pages {
+            let e = &self.cache.entries[idx];
+            if e.status() != EntryStatus::Dirty {
+                continue;
+            }
+            // PCIe atomic: add the read lock.
+            self.dma.record_atomic();
+            if !e.try_read_lock() {
+                continue; // host writer active; catch it next pass
+            }
+            if e.status() == EntryStatus::Dirty {
+                let (ino, lpn) = (e.ino(), e.lpn());
+                // Pull the page to DPU DRAM by DMA; only the valid prefix
+                // is meaningful (tail pages must not flush padding past
+                // the file's logical end).
+                let valid = (e.valid() as usize).min(PAGE_SIZE);
+                // SAFETY: read lock held on entry `idx`.
+                unsafe { self.cache.pages.read(idx, 0, &mut page) };
+                self.dma.record_external_dma(valid as u64);
+                backend.flush(ino, lpn, &page[..valid]);
+                // Mark clean while still holding the read lock — the write
+                // lock is excluded, so no writer can interleave.
+                e.set_status(EntryStatus::Clean);
+                self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                flushed += 1;
+            }
+            // PCIe atomic: release the read lock.
+            self.dma.record_atomic();
+            e.read_unlock();
+        }
+        flushed
+    }
+
+    /// Cache replacement in one bucket: evict the least-recently-touched
+    /// clean entry. Returns whether a slot was freed.
+    ///
+    /// Dirty entries are never evicted directly — the caller should run a
+    /// [`flush_pass`](Self::flush_pass) first if this returns `false`.
+    pub fn evict_one(&self, bucket: usize) -> bool {
+        let _claim = self.cache.bucket_claim[bucket].lock();
+        // Choose the clean entry with the oldest touch stamp.
+        let mut victim: Option<(usize, u64)> = None;
+        for idx in self.cache.chain(bucket) {
+            let e = &self.cache.entries[idx];
+            if e.status() == EntryStatus::Clean {
+                let t = self.cache.touch[idx].load(Ordering::Relaxed);
+                if victim.is_none_or(|(_, vt)| t < vt) {
+                    victim = Some((idx, t));
+                }
+            }
+        }
+        let Some((idx, _)) = victim else {
+            return false;
+        };
+        let e = &self.cache.entries[idx];
+        self.dma.record_atomic();
+        if !e.try_write_lock() {
+            return false;
+        }
+        let ok = e.status() == EntryStatus::Clean;
+        if ok {
+            e.set_status(EntryStatus::Free);
+            e.ino.store(0, Ordering::Release);
+            e.lpn.store(0, Ordering::Release);
+            self.cache.header.free.fetch_add(1, Ordering::Relaxed);
+            self.cache.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.dma.record_atomic();
+        e.write_unlock();
+        ok
+    }
+
+    /// Insert a page fetched from the backend as *clean* (prefetch /
+    /// read-miss fill). DMA-writes the page into the host data area.
+    /// Returns `false` when the bucket has no free slot and eviction
+    /// could not make one. The whole of `data` is stored; all of it is
+    /// marked valid — use [`insert_clean_valid`](Self::insert_clean_valid)
+    /// for tail pages whose padding must not count.
+    pub fn insert_clean(&self, ino: u64, lpn: u64, data: &[u8]) -> bool {
+        self.insert_clean_valid(ino, lpn, data, data.len())
+    }
+
+    /// Insert a zero-padded page as clean, marking only the first `valid`
+    /// bytes as meaningful (a later host write that dirties this page will
+    /// flush exactly the meaningful prefix, never the padding).
+    pub fn insert_clean_valid(&self, ino: u64, lpn: u64, data: &[u8], valid: usize) -> bool {
+        assert!(data.len() <= PAGE_SIZE);
+        assert!(valid <= data.len());
+        let mut guard = match self.cache.begin_write(ino, lpn) {
+            Ok(g) => g,
+            Err(crate::host::WriteError::NeedEviction { bucket }) => {
+                if !self.evict_one(bucket) {
+                    return false;
+                }
+                match self.cache.begin_write(ino, lpn) {
+                    Ok(g) => g,
+                    Err(_) => return false,
+                }
+            }
+        };
+        guard.write(0, data);
+        guard.set_valid(valid);
+        self.dma.record_external_dma(data.len() as u64);
+        guard.commit_clean();
+        self.cache
+            .stats
+            .prefetch_inserts
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Handle a read miss the host forwarded to the DPU: feed the
+    /// sequential detector and, when it fires, prefetch the window from
+    /// the backend into the host cache. Returns pages inserted.
+    pub fn on_read_miss(&mut self, ino: u64, lpn: u64, backend: &mut dyn ReadBackend) -> usize {
+        let Some(range) = self.prefetcher.on_miss(ino, lpn) else {
+            return 0;
+        };
+        let mut page = vec![0u8; PAGE_SIZE];
+        let mut inserted = 0;
+        for p in range {
+            let Some(valid) = backend.read_page(ino, p, &mut page) else {
+                break;
+            };
+            if self.insert_clean_valid(ino, p, &page, valid) {
+                inserted += 1;
+            } else {
+                break;
+            }
+        }
+        inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::CacheConfig;
+
+    fn setup(pages: usize, bucket_entries: usize) -> (Arc<HybridCache>, ControlPlane, DmaEngine) {
+        let cache = Arc::new(HybridCache::new(CacheConfig {
+            pages,
+            bucket_entries,
+            mode: 1,
+        }));
+        let dma = DmaEngine::new();
+        let cp = ControlPlane::new(cache.clone(), dma.clone());
+        (cache, cp, dma)
+    }
+
+    #[test]
+    fn flush_pass_writes_dirty_pages_to_backend() {
+        let (cache, mut cp, dma) = setup(64, 8);
+        for lpn in 0..5u64 {
+            let mut g = cache.begin_write(1, lpn).unwrap();
+            g.write(0, &[lpn as u8 + 1; PAGE_SIZE]);
+            g.commit_dirty();
+        }
+        let mut sink: Vec<(u64, u64, u8)> = Vec::new();
+        let flushed = cp.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+            sink.push((ino, lpn, page[0]));
+        });
+        assert_eq!(flushed, 5);
+        sink.sort();
+        assert_eq!(
+            sink,
+            (0..5u64).map(|l| (1, l, l as u8 + 1)).collect::<Vec<_>>()
+        );
+        assert_eq!(cache.dirty_pages(), 0);
+        // Flush cost PCIe atomics (lock+unlock per page) and page DMAs.
+        let s = dma.snapshot();
+        assert_eq!(s.atomics, 10);
+        assert_eq!(s.dma_ops, 5);
+        assert_eq!(s.dma_bytes, 5 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn second_flush_pass_is_empty() {
+        let (cache, mut cp, _) = setup(64, 8);
+        let mut g = cache.begin_write(1, 1).unwrap();
+        g.write(0, &[1; 8]);
+        g.commit_dirty();
+        assert_eq!(cp.flush_pass(&mut |_: u64, _: u64, _: &[u8]| {}), 1);
+        assert_eq!(cp.flush_pass(&mut |_: u64, _: u64, _: &[u8]| {}), 0);
+    }
+
+    #[test]
+    fn eviction_reclaims_clean_lru() {
+        let (cache, mut cp, _) = setup(8, 8); // single bucket
+        for lpn in 0..8u64 {
+            let mut g = cache.begin_write(1, lpn).unwrap();
+            g.write(0, &[9; 8]);
+            g.commit_dirty();
+        }
+        // All dirty: eviction must refuse.
+        assert!(!cp.evict_one(0));
+        cp.flush_pass(&mut |_: u64, _: u64, _: &[u8]| {});
+        // Touch pages 1..8 so page lpn=0 is the LRU victim.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for lpn in 1..8u64 {
+            assert!(cache.lookup_read(1, lpn, &mut buf));
+        }
+        assert!(cp.evict_one(0));
+        assert!(!cache.lookup_read(1, 0, &mut buf), "LRU page evicted");
+        assert!(cache.lookup_read(1, 7, &mut buf), "MRU page kept");
+        assert_eq!(cache.header().free(), 1);
+    }
+
+    #[test]
+    fn full_bucket_write_flush_evict_retry() {
+        // The paper's protocol: allocation fails -> host notifies DPU ->
+        // DPU flushes + evicts -> host retries.
+        let (cache, mut cp, _) = setup(8, 8);
+        for lpn in 0..8u64 {
+            let mut g = cache.begin_write(1, lpn).unwrap();
+            g.write(0, &[1; 8]);
+            g.commit_dirty();
+        }
+        let bucket = match cache.begin_write(1, 99) {
+            Err(crate::host::WriteError::NeedEviction { bucket }) => bucket,
+            other => panic!("{other:?}"),
+        };
+        cp.flush_pass(&mut |_: u64, _: u64, _: &[u8]| {});
+        assert!(cp.evict_one(bucket));
+        let mut g = cache.begin_write(1, 99).unwrap();
+        g.write(0, &[7; 8]);
+        g.commit_dirty();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(cache.lookup_read(1, 99, &mut buf));
+    }
+
+    #[test]
+    fn prefetcher_detects_sequential_streams() {
+        let mut p = SeqPrefetcher {
+            streams: HashMap::new(),
+            trigger: 2,
+            window: 4,
+        };
+        assert_eq!(p.on_miss(1, 10), None);
+        assert_eq!(p.on_miss(1, 11), Some(12..16));
+        // Random jump resets the streak.
+        assert_eq!(p.on_miss(1, 50), None);
+        assert_eq!(p.on_miss(1, 51), Some(52..56));
+        // Other inodes tracked independently.
+        assert_eq!(p.on_miss(2, 0), None);
+        assert_eq!(p.on_miss(2, 1), Some(2..6));
+    }
+
+    #[test]
+    fn read_miss_prefetch_fills_cache() {
+        let (cache, mut cp, _) = setup(256, 8);
+        cp.prefetcher.window = 8;
+        let mut backend = |ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
+            out.fill((ino * 100 + lpn) as u8);
+            Some(out.len())
+        };
+        assert_eq!(cp.on_read_miss(3, 0, &mut backend), 0);
+        let inserted = cp.on_read_miss(3, 1, &mut backend);
+        assert_eq!(inserted, 8);
+        // Pages 2..10 are now cache hits for the host.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for lpn in 2..10u64 {
+            assert!(cache.lookup_read(3, lpn, &mut buf), "lpn={lpn}");
+            assert_eq!(buf[0], (300 + lpn) as u8);
+        }
+        assert_eq!(cache.stats().prefetch_inserts, 8);
+    }
+
+    #[test]
+    fn prefetch_stops_at_backend_eof() {
+        let (_cache, mut cp, _) = setup(256, 8);
+        cp.prefetcher.window = 8;
+        let mut backend = |_ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
+            out.fill(1);
+            (lpn < 4).then_some(out.len())
+        };
+        cp.on_read_miss(
+            1,
+            0,
+            &mut (|_: u64, _: u64, out: &mut [u8]| Some(out.len())) as _,
+        );
+        let inserted = cp.on_read_miss(1, 1, &mut backend);
+        assert_eq!(inserted, 2); // lpns 2,3 exist; 4 is EOF
+    }
+
+    #[test]
+    fn concurrent_flusher_and_writers() {
+        // Host threads keep writing; a DPU flusher thread keeps flushing.
+        // Every flushed page must be internally consistent (untorn).
+        let (cache, mut cp, _) = setup(512, 8);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for round in 0..60u64 {
+                        for lpn in 0..8u64 {
+                            let v = (t * 1000 + round) as u8;
+                            loop {
+                                match cache.begin_write(t, lpn) {
+                                    Ok(mut g) => {
+                                        g.write(0, &[v; PAGE_SIZE]);
+                                        g.commit_dirty();
+                                        break;
+                                    }
+                                    Err(_) => std::thread::yield_now(),
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let stop_ref = &stop;
+            let flusher = s.spawn(move || {
+                let mut total = 0;
+                while !stop_ref.load(std::sync::atomic::Ordering::Acquire) {
+                    total += cp.flush_pass(&mut |_ino: u64, _lpn: u64, page: &[u8]| {
+                        let first = page[0];
+                        assert!(page.iter().all(|&b| b == first), "torn flush");
+                    });
+                }
+                // Final pass to drain.
+                total += cp.flush_pass(&mut |_: u64, _: u64, _: &[u8]| {});
+                total
+            });
+            // Writers are the first 4 spawned threads; wait via scope end:
+            // signal the flusher once writers are done by joining them via
+            // a separate scope is awkward — instead sleep-poll dirty count.
+            while cache.stats().writes < 4 * 60 * 8 {
+                std::thread::yield_now();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            let flushed = flusher.join().unwrap();
+            assert!(flushed > 0);
+        });
+        assert_eq!(cache.dirty_pages(), 0, "final drain leaves nothing dirty");
+    }
+}

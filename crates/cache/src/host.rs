@@ -1,0 +1,638 @@
+//! The host-resident cache data plane.
+//!
+//! The paper's design (§3.3): the cache pages and the meta hash table live
+//! in host memory; the host reads and writes pages directly (no PCIe
+//! crossing on a hit), while every access is concurrency-controlled by the
+//! per-entry read/write locks that the DPU also manipulates (with PCIe
+//! atomics). The front-end write protocol implemented here is the paper's,
+//! verbatim:
+//!
+//! 1. hash `<inode, lpn>` to a bucket, find or allocate a cache entry,
+//! 2. lock the entry atomically (failing that, ask the DPU to run cache
+//!    replacement — surfaced as [`WriteError::NeedEviction`]),
+//! 3. write the data into the page located by the entry's position,
+//! 4. release the write lock and set the dirty status.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::layout::{bucket_of, CacheConfig, CacheEntry, CacheHeader, EntryStatus, PAGE_SIZE};
+
+/// The page pool backing the data area. Page *i* belongs to entry *i*.
+///
+/// # Safety contract
+///
+/// A page may be read only while holding entry *i*'s read or write lock,
+/// and mutated only while holding its write lock. All access goes through
+/// the guard types below or the control plane's lock-then-copy paths;
+/// with the lock protocol observed, no two threads ever form a data race
+/// on the same page, which is what justifies the `Sync` impl.
+pub(crate) struct PagePool {
+    pages: Box<[UnsafeCell<[u8; PAGE_SIZE]>]>,
+}
+
+// SAFETY: see the struct-level contract — every access path holds the
+// owning entry's lock (write lock for `&mut`-like access, read lock for
+// shared reads), so cross-thread access to one page is always ordered by
+// the entry's atomic lock word.
+unsafe impl Sync for PagePool {}
+unsafe impl Send for PagePool {}
+
+impl PagePool {
+    fn new(pages: usize) -> PagePool {
+        PagePool {
+            pages: (0..pages)
+                .map(|_| UnsafeCell::new([0u8; PAGE_SIZE]))
+                .collect(),
+        }
+    }
+
+    /// # Safety
+    /// Caller must hold entry `i`'s write lock.
+    pub(crate) unsafe fn write(&self, i: usize, offset: usize, src: &[u8]) {
+        debug_assert!(offset + src.len() <= PAGE_SIZE);
+        let dst = self.pages[i].get();
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), (*dst).as_mut_ptr().add(offset), src.len())
+        };
+    }
+
+    /// # Safety
+    /// Caller must hold entry `i`'s read or write lock.
+    pub(crate) unsafe fn read(&self, i: usize, offset: usize, dst: &mut [u8]) {
+        debug_assert!(offset + dst.len() <= PAGE_SIZE);
+        let src = self.pages[i].get();
+        unsafe {
+            std::ptr::copy_nonoverlapping((*src).as_ptr().add(offset), dst.as_mut_ptr(), dst.len())
+        };
+    }
+}
+
+/// Data-plane statistics.
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub writes: u64,
+    pub evictions: u64,
+    pub flushes: u64,
+    pub prefetch_inserts: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct StatsCells {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) flushes: AtomicU64,
+    pub(crate) prefetch_inserts: AtomicU64,
+}
+
+/// Failure modes of the front-end write path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WriteError {
+    /// No free entry and none lockable in this bucket — the host must
+    /// notify the DPU to perform cache replacement, then retry.
+    NeedEviction { bucket: usize },
+}
+
+/// The hybrid cache: header + meta area + data area, shared by the host
+/// data plane and the DPU control plane.
+pub struct HybridCache {
+    pub(crate) cfg: CacheConfig,
+    pub(crate) header: CacheHeader,
+    pub(crate) entries: Box<[CacheEntry]>,
+    pub(crate) pages: PagePool,
+    /// Per-bucket claim locks serialising allocation/eviction within a
+    /// bucket (lookups and overwrites stay lock-free on this level).
+    pub(crate) bucket_claim: Box<[Mutex<()>]>,
+    /// Logical access clock for the control plane's LRU-ish replacement.
+    pub(crate) clock: AtomicU64,
+    /// Per-entry last-access stamps (meta the control plane reads).
+    pub(crate) touch: Box<[AtomicU64]>,
+    pub(crate) stats: StatsCells,
+}
+
+impl HybridCache {
+    pub fn new(cfg: CacheConfig) -> HybridCache {
+        let buckets = cfg.buckets();
+        let entries: Box<[CacheEntry]> = (0..cfg.pages)
+            .map(|i| {
+                // Chain within the bucket: ... -> i+1, last -> MAX.
+                let last_in_bucket = (i + 1) % cfg.bucket_entries == 0;
+                CacheEntry::new(if last_in_bucket { u32::MAX } else { i as u32 + 1 })
+            })
+            .collect();
+        HybridCache {
+            header: CacheHeader {
+                pagesize: PAGE_SIZE as u32,
+                mode: cfg.mode,
+                total: cfg.pages as u32,
+                free: AtomicU64::new(cfg.pages as u64),
+            },
+            entries,
+            pages: PagePool::new(cfg.pages),
+            bucket_claim: (0..buckets).map(|_| Mutex::new(())).collect(),
+            clock: AtomicU64::new(0),
+            touch: (0..cfg.pages).map(|_| AtomicU64::new(0)).collect(),
+            stats: StatsCells::default(),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    pub fn header(&self) -> &CacheHeader {
+        &self.header
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            prefetch_inserts: self.stats.prefetch_inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Iterate the entry indices of one bucket's chain.
+    pub(crate) fn chain(&self, bucket: usize) -> impl Iterator<Item = usize> + '_ {
+        let first = bucket * self.cfg.bucket_entries;
+        let mut cur = Some(first);
+        std::iter::from_fn(move || {
+            let i = cur?;
+            let next = self.entries[i].next;
+            cur = if next == u32::MAX { None } else { Some(next as usize) };
+            Some(i)
+        })
+    }
+
+    pub(crate) fn bucket_of(&self, ino: u64, lpn: u64) -> usize {
+        bucket_of(ino, lpn, self.cfg.buckets())
+    }
+
+    fn stamp(&self, idx: usize) {
+        let t = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.touch[idx].store(t, Ordering::Relaxed);
+    }
+
+    /// Front-end read: on a hit, copy the page into `dst` under a read
+    /// lock. `dst` must be exactly one page.
+    pub fn lookup_read(&self, ino: u64, lpn: u64, dst: &mut [u8]) -> bool {
+        assert_eq!(dst.len(), PAGE_SIZE, "reads are page-granular");
+        let bucket = self.bucket_of(ino, lpn);
+        for idx in self.chain(bucket) {
+            let e = &self.entries[idx];
+            if e.ino() != ino || e.lpn() != lpn {
+                continue;
+            }
+            let st = e.status();
+            if st != EntryStatus::Clean && st != EntryStatus::Dirty {
+                continue;
+            }
+            if !e.try_read_lock() {
+                // Writer active; treat as a miss rather than blocking the
+                // application thread.
+                continue;
+            }
+            // Re-validate under the lock (the entry may have been evicted
+            // and reused between the scan and the lock).
+            let valid = e.ino() == ino
+                && e.lpn() == lpn
+                && matches!(e.status(), EntryStatus::Clean | EntryStatus::Dirty);
+            if valid {
+                // SAFETY: read lock held on entry `idx`.
+                unsafe { self.pages.read(idx, 0, dst) };
+                self.stamp(idx);
+            }
+            e.read_unlock();
+            if valid {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Front-end write, steps 1–2 of the paper's protocol: find or claim a
+    /// locked entry for `<ino, lpn>`. Write through the returned guard and
+    /// finish with [`WriteGuard::commit_dirty`].
+    pub fn begin_write(&self, ino: u64, lpn: u64) -> Result<WriteGuard<'_>, WriteError> {
+        let bucket = self.bucket_of(ino, lpn);
+        let _claim = self.bucket_claim[bucket].lock();
+
+        // Existing entry for this page? Overwrite in place.
+        for idx in self.chain(bucket) {
+            let e = &self.entries[idx];
+            if e.ino() == ino && e.lpn() == lpn && e.status() != EntryStatus::Free {
+                // Spin for the write lock; holders (readers, the flusher)
+                // release quickly and never take the bucket claim lock.
+                while !e.try_write_lock() {
+                    std::hint::spin_loop();
+                }
+                // The claim lock guarantees nobody evicted it meanwhile.
+                debug_assert_eq!(e.ino(), ino);
+                debug_assert_eq!(e.lpn(), lpn);
+                return Ok(WriteGuard {
+                    cache: self,
+                    idx,
+                    claimed_free: false,
+                    committed: false,
+                });
+            }
+        }
+
+        // Claim a free entry.
+        for idx in self.chain(bucket) {
+            let e = &self.entries[idx];
+            if e.status() == EntryStatus::Free && e.try_write_lock() {
+                if e.status() != EntryStatus::Free {
+                    e.write_unlock();
+                    continue;
+                }
+                e.ino.store(ino, Ordering::Release);
+                e.lpn.store(lpn, Ordering::Release);
+                e.valid.store(0, Ordering::Release);
+                self.header.free.fetch_sub(1, Ordering::Relaxed);
+                return Ok(WriteGuard {
+                    cache: self,
+                    idx,
+                    claimed_free: true,
+                    committed: false,
+                });
+            }
+        }
+
+        Err(WriteError::NeedEviction { bucket })
+    }
+
+    /// Host-side read-miss fill: insert a page fetched from the DPU as
+    /// *clean* (the front-end read protocol's final step). Returns `false`
+    /// when the bucket is full — the caller may ask the DPU to evict, or
+    /// simply skip caching.
+    pub fn insert_clean(&self, ino: u64, lpn: u64, data: &[u8]) -> bool {
+        assert!(data.len() <= PAGE_SIZE);
+        match self.begin_write(ino, lpn) {
+            Ok(mut g) => {
+                g.write(0, data);
+                g.commit_clean();
+                true
+            }
+            Err(WriteError::NeedEviction { .. }) => false,
+        }
+    }
+
+    /// Drop a page from the cache (truncate/unlink): write-lock the entry
+    /// and mark it free. Returns whether the page was present.
+    pub fn invalidate(&self, ino: u64, lpn: u64) -> bool {
+        let bucket = self.bucket_of(ino, lpn);
+        let _claim = self.bucket_claim[bucket].lock();
+        for idx in self.chain(bucket) {
+            let e = &self.entries[idx];
+            if e.ino() == ino && e.lpn() == lpn && e.status() != EntryStatus::Free {
+                while !e.try_write_lock() {
+                    std::hint::spin_loop();
+                }
+                e.set_status(EntryStatus::Free);
+                e.ino.store(0, Ordering::Release);
+                e.lpn.store(0, Ordering::Release);
+                self.header.free.fetch_add(1, Ordering::Relaxed);
+                e.write_unlock();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop every cached page of one inode (unlink). Returns the number of
+    /// pages invalidated.
+    pub fn invalidate_ino(&self, ino: u64) -> usize {
+        let mut dropped = 0;
+        for idx in 0..self.cfg.pages {
+            let e = &self.entries[idx];
+            if e.ino() != ino || e.status() == EntryStatus::Free {
+                continue;
+            }
+            let bucket = idx / self.cfg.bucket_entries;
+            let _claim = self.bucket_claim[bucket].lock();
+            if e.ino() != ino || e.status() == EntryStatus::Free {
+                continue;
+            }
+            while !e.try_write_lock() {
+                std::hint::spin_loop();
+            }
+            if e.ino() == ino && e.status() != EntryStatus::Free {
+                e.set_status(EntryStatus::Free);
+                e.ino.store(0, Ordering::Release);
+                e.lpn.store(0, Ordering::Release);
+                self.header.free.fetch_add(1, Ordering::Relaxed);
+                dropped += 1;
+            }
+            e.write_unlock();
+        }
+        dropped
+    }
+
+    /// Count of entries currently dirty (scan; diagnostic).
+    pub fn dirty_pages(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.status() == EntryStatus::Dirty)
+            .count()
+    }
+}
+
+/// Exclusive access to one cache page (entry write lock held).
+///
+/// Completing with [`commit_dirty`](WriteGuard::commit_dirty) performs the
+/// paper's step 4 (release the lock *and* set the dirty status); dropping
+/// the guard without committing rolls a fresh claim back to free.
+pub struct WriteGuard<'a> {
+    cache: &'a HybridCache,
+    idx: usize,
+    claimed_free: bool,
+    committed: bool,
+}
+
+impl core::fmt::Debug for WriteGuard<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WriteGuard")
+            .field("page", &self.idx)
+            .field("claimed_free", &self.claimed_free)
+            .finish()
+    }
+}
+
+impl WriteGuard<'_> {
+    /// The entry/page index (the paper's "position of the cache entry
+    /// locates the cache page").
+    pub fn page_index(&self) -> usize {
+        self.idx
+    }
+
+    /// True when this guard claimed a fresh (free) entry — the page
+    /// content is undefined and the writer must fill it (or fetch the old
+    /// page for a partial overwrite). False when overwriting an entry
+    /// that already held this `<ino, lpn>`.
+    pub fn claimed_free(&self) -> bool {
+        self.claimed_free
+    }
+
+    /// Write into the page at `offset`; the entry's valid length grows to
+    /// cover the written range.
+    pub fn write(&mut self, offset: usize, src: &[u8]) {
+        assert!(offset + src.len() <= PAGE_SIZE, "write exceeds the page");
+        // SAFETY: the guard holds the entry's write lock.
+        unsafe { self.cache.pages.write(self.idx, offset, src) };
+        self.extend_valid(offset + src.len());
+    }
+
+    /// Grow the entry's valid length (meaningful page bytes) to at least
+    /// `end`. `write` does this automatically; callers use it to mark
+    /// ranges that are logically valid without rewriting them.
+    pub fn extend_valid(&mut self, end: usize) {
+        assert!(end <= PAGE_SIZE);
+        let e = &self.cache.entries[self.idx];
+        if e.valid.load(std::sync::atomic::Ordering::Relaxed) < end as u32 {
+            e.valid.store(end as u32, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    /// Shrink the valid length to exactly `end` (truncation support).
+    pub fn set_valid(&mut self, end: usize) {
+        assert!(end <= PAGE_SIZE);
+        self.cache.entries[self.idx]
+            .valid
+            .store(end as u32, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Read back from the page (read-modify-write support).
+    pub fn read(&self, offset: usize, dst: &mut [u8]) {
+        assert!(offset + dst.len() <= PAGE_SIZE, "read exceeds the page");
+        // SAFETY: the guard holds the entry's write lock.
+        unsafe { self.cache.pages.read(self.idx, offset, dst) };
+    }
+
+    /// Step 4: release the write lock and set the dirty status.
+    pub fn commit_dirty(mut self) {
+        let e = &self.cache.entries[self.idx];
+        e.set_status(EntryStatus::Dirty);
+        self.cache.stamp(self.idx);
+        self.cache.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.committed = true;
+        e.write_unlock();
+    }
+
+    /// Commit as clean (prefetch inserts and host-side read fills).
+    pub fn commit_clean(mut self) {
+        let e = &self.cache.entries[self.idx];
+        e.set_status(EntryStatus::Clean);
+        self.cache.stamp(self.idx);
+        self.committed = true;
+        e.write_unlock();
+    }
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        let e = &self.cache.entries[self.idx];
+        if self.claimed_free {
+            // Roll the claim back.
+            e.ino.store(0, Ordering::Release);
+            e.lpn.store(0, Ordering::Release);
+            e.set_status(EntryStatus::Free);
+            self.cache.header.free.fetch_add(1, Ordering::Relaxed);
+        }
+        e.write_unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> HybridCache {
+        HybridCache::new(CacheConfig {
+            pages: 64,
+            bucket_entries: 8,
+            mode: 1,
+        })
+    }
+
+    #[test]
+    fn write_then_read_hit() {
+        let c = small_cache();
+        let mut g = c.begin_write(7, 3).unwrap();
+        g.write(0, &[0xAB; PAGE_SIZE]);
+        g.commit_dirty();
+
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(c.lookup_read(7, 3, &mut buf));
+        assert_eq!(buf, vec![0xAB; PAGE_SIZE]);
+        let s = c.stats();
+        assert_eq!((s.writes, s.hits, s.misses), (1, 1, 0));
+        assert_eq!(c.header().free(), 63);
+        assert_eq!(c.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn miss_on_absent_page() {
+        let c = small_cache();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(!c.lookup_read(1, 1, &mut buf));
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn overwrite_reuses_entry() {
+        let c = small_cache();
+        let mut g = c.begin_write(7, 3).unwrap();
+        g.write(0, &[1; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut g = c.begin_write(7, 3).unwrap();
+        g.write(0, &[2; PAGE_SIZE]);
+        g.commit_dirty();
+        assert_eq!(c.header().free(), 63, "no second page consumed");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(c.lookup_read(7, 3, &mut buf));
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn partial_write_preserves_rest_of_page() {
+        let c = small_cache();
+        let mut g = c.begin_write(1, 1).unwrap();
+        g.write(0, &[9; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut g = c.begin_write(1, 1).unwrap();
+        g.write(100, &[7; 8]);
+        g.commit_dirty();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        c.lookup_read(1, 1, &mut buf);
+        assert_eq!(buf[99], 9);
+        assert_eq!(buf[100..108], [7; 8]);
+        assert_eq!(buf[108], 9);
+    }
+
+    #[test]
+    fn abandoned_claim_rolls_back() {
+        let c = small_cache();
+        {
+            let mut g = c.begin_write(5, 5).unwrap();
+            g.write(0, &[1; 16]);
+            // dropped without commit
+        }
+        assert_eq!(c.header().free(), 64);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(!c.lookup_read(5, 5, &mut buf));
+    }
+
+    #[test]
+    fn bucket_exhaustion_requests_eviction() {
+        let c = HybridCache::new(CacheConfig {
+            pages: 8,
+            bucket_entries: 8, // one bucket
+            mode: 1,
+        });
+        for lpn in 0..8 {
+            let mut g = c.begin_write(1, lpn).unwrap();
+            g.write(0, &[lpn as u8; 8]);
+            g.commit_dirty();
+        }
+        match c.begin_write(1, 100) {
+            Err(WriteError::NeedEviction { bucket: 0 }) => {}
+            other => panic!("expected NeedEviction, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn invalidate_frees_entry() {
+        let c = small_cache();
+        let mut g = c.begin_write(2, 9).unwrap();
+        g.write(0, &[3; 32]);
+        g.commit_dirty();
+        assert!(c.invalidate(2, 9));
+        assert!(!c.invalidate(2, 9));
+        assert_eq!(c.header().free(), 64);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(!c.lookup_read(2, 9, &mut buf));
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_pages() {
+        let c = std::sync::Arc::new(HybridCache::new(CacheConfig {
+            pages: 1024,
+            bucket_entries: 8,
+            mode: 1,
+        }));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for lpn in 0..64u64 {
+                        let mut g = c.begin_write(t, lpn).unwrap();
+                        g.write(0, &[(t * 64 + lpn) as u8; PAGE_SIZE]);
+                        g.commit_dirty();
+                    }
+                });
+            }
+        });
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for t in 0..8u64 {
+            for lpn in 0..64u64 {
+                assert!(c.lookup_read(t, lpn, &mut buf), "t={t} lpn={lpn}");
+                assert_eq!(buf[0], (t * 64 + lpn) as u8);
+            }
+        }
+        assert_eq!(c.header().free(), 1024 - 512);
+    }
+
+    #[test]
+    fn concurrent_same_page_write_and_read_never_tears() {
+        // Readers must see either the old or the new pattern, never a mix.
+        let c = std::sync::Arc::new(small_cache());
+        let mut g = c.begin_write(1, 1).unwrap();
+        g.write(0, &[0u8; PAGE_SIZE]);
+        g.commit_dirty();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let stop = &stop;
+        std::thread::scope(|s| {
+            let cw = c.clone();
+            s.spawn(move || {
+                for i in 1..200u64 {
+                    let mut g = cw.begin_write(1, 1).unwrap();
+                    g.write(0, &[i as u8; PAGE_SIZE]);
+                    g.commit_dirty();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            let cr = c.clone();
+            s.spawn(move || {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    if cr.lookup_read(1, 1, &mut buf) {
+                        let first = buf[0];
+                        assert!(
+                            buf.iter().all(|&b| b == first),
+                            "torn page read: {} vs {}",
+                            first,
+                            buf.iter().find(|&&b| b != first).unwrap()
+                        );
+                    }
+                }
+            });
+        });
+    }
+}

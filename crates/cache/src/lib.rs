@@ -1,0 +1,48 @@
+//! # dpc-cache — the hybrid file data cache
+//!
+//! §3.3 of the paper: fully offloading the cache to the DPU wastes PCIe
+//! bandwidth on every hit, double-caches against the host page cache, and
+//! is capped by the DPU's small DRAM. DPC instead splits the cache:
+//!
+//! - the **data plane** (cache pages + the meta hash table) stays in host
+//!   memory — hits never cross PCIe ([`HybridCache::lookup_read`],
+//!   [`HybridCache::begin_write`]);
+//! - the **control plane** (replacement, flushing, prefetching, back-end
+//!   processing) runs on the DPU ([`ControlPlane`]), reaching the shared
+//!   meta area with PCIe atomics and pulling dirty pages by DMA.
+//!
+//! Consistency follows the paper's protocol exactly: per-entry read/write
+//! locks encapsulated in the meta area; a page is only touched while its
+//! entry is locked; the host's front-end write ends by atomically
+//! releasing the write lock and setting the dirty status; the DPU flushes
+//! under read locks so concurrent host writers are excluded.
+//!
+//! ```
+//! use dpc_cache::{CacheConfig, ControlPlane, HybridCache};
+//! use dpc_pcie::DmaEngine;
+//! use std::sync::Arc;
+//!
+//! let cache = Arc::new(HybridCache::new(CacheConfig::default()));
+//! // Host side: write a page (hash → claim entry → lock → write → dirty).
+//! let mut g = cache.begin_write(/*ino*/ 7, /*lpn*/ 0).unwrap();
+//! g.write(0, b"hello page");
+//! g.commit_dirty();
+//!
+//! // DPU side: flush dirty pages to the disaggregated store.
+//! let mut cp = ControlPlane::new(cache.clone(), DmaEngine::new());
+//! let mut sink = Vec::new();
+//! cp.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+//!     sink.push((ino, lpn, page[..10].to_vec()));
+//! });
+//! assert_eq!(sink, vec![(7, 0, b"hello page".to_vec())]);
+//! ```
+
+mod control;
+mod host;
+mod layout;
+mod pipeline;
+
+pub use control::{ControlPlane, FlushBackend, ReadBackend, SeqPrefetcher};
+pub use host::{CacheStats, HybridCache, WriteError, WriteGuard};
+pub use layout::{CacheConfig, CacheEntry, CacheHeader, EntryStatus, LockState, PAGE_SIZE};
+pub use pipeline::{FlushPipeline, PipelineConfig, PipelineStats, UnsealError};

@@ -1,0 +1,22 @@
+//! # dpc-codec — flush-path data processing
+//!
+//! §3.3 of the paper: when the DPU control plane flushes dirty pages it
+//! "performs relevant computing operations (e.g., compression, DIF, EC,
+//! etc.) as needed (this step can be accelerated by hardware)". EC lives
+//! in `dpc-ec`; this crate supplies the other two, from scratch:
+//!
+//! - [`crc32c`] / [`DifTag`] — CRC32C guard + application tags in the
+//!   style of NVMe end-to-end data protection, catching both corruption
+//!   and misdirected writes;
+//! - [`compress`] / [`decompress`] — an LZ77-family page compressor with
+//!   a 4 KiB window, returning `None` for incompressible blocks (stored
+//!   raw, as storage stacks do).
+//!
+//! `dpc-cache`'s [`FlushPipeline`](../dpc_cache) wires both into the
+//! hybrid cache's flush pass.
+
+mod crc;
+mod lz;
+
+pub use crc::{crc32c, update as crc32c_update, DifError, DifTag};
+pub use lz::{compress, decompress, CorruptStream};

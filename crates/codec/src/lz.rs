@@ -1,0 +1,256 @@
+//! A small LZ77-family compressor for flush-path page compression.
+//!
+//! Format (byte-oriented, self-terminating given the declared output
+//! length):
+//!
+//! - control byte: 8 flags, LSB first; `0` = literal byte follows,
+//!   `1` = match token follows;
+//! - match token: 2 bytes `dddd_dddd dddd_llll` — 12-bit distance
+//!   (1-based, up to 4096 back: exactly one page) and 4-bit length
+//!   (stored as `len - MIN_MATCH`, so 4..=19 bytes).
+//!
+//! Matching uses a 3-byte-hash chain table. Compression is best-effort:
+//! [`compress`] returns `None` when the output would not be smaller than
+//! the input, mirroring how storage stacks store incompressible blocks
+//! raw (the flush pipeline records which happened).
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 15;
+const WINDOW: usize = 4096;
+const HASH_BITS: u32 = 12;
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`; `None` when incompressible (output ≥ input).
+pub fn compress(input: &[u8]) -> Option<Vec<u8>> {
+    if input.len() < MIN_MATCH {
+        return None;
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(input.len());
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut i = 0usize;
+    let mut ctrl_pos = usize::MAX;
+    let mut ctrl_bits = 8u8; // force a fresh control byte at the start
+
+    let push_flag = |out: &mut Vec<u8>, ctrl_pos: &mut usize, ctrl_bits: &mut u8, flag: bool| {
+        if *ctrl_bits == 8 {
+            *ctrl_pos = out.len();
+            out.push(0);
+            *ctrl_bits = 0;
+        }
+        if flag {
+            out[*ctrl_pos] |= 1 << *ctrl_bits;
+        }
+        *ctrl_bits += 1;
+    };
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash3(input, i);
+            let mut cand = head[h];
+            let mut probes = 0;
+            while cand != usize::MAX && probes < 16 {
+                let dist = i - cand;
+                if dist > WINDOW {
+                    break;
+                }
+                let max = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < max && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == max {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                probes += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            push_flag(&mut out, &mut ctrl_pos, &mut ctrl_bits, true);
+            let d = (best_dist - 1) as u16; // 0..4095
+            let l = (best_len - MIN_MATCH) as u16; // 0..15
+            let token = (d << 4) | l;
+            out.extend_from_slice(&token.to_le_bytes());
+            // Index every position we skip over.
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= input.len() {
+                let h = hash3(input, i);
+                prev[i] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+        } else {
+            push_flag(&mut out, &mut ctrl_pos, &mut ctrl_bits, false);
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash3(input, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        if out.len() >= input.len() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Decompression failure: corrupt stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CorruptStream(pub &'static str);
+
+impl core::fmt::Display for CorruptStream {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "corrupt LZ stream: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptStream {}
+
+/// Decompress into exactly `out_len` bytes.
+pub fn decompress(input: &[u8], out_len: usize) -> Result<Vec<u8>, CorruptStream> {
+    let mut out = Vec::with_capacity(out_len);
+    let mut i = 0usize;
+    while out.len() < out_len {
+        if i >= input.len() {
+            return Err(CorruptStream("truncated control byte"));
+        }
+        let ctrl = input[i];
+        i += 1;
+        for bit in 0..8 {
+            if out.len() == out_len {
+                break;
+            }
+            if ctrl & (1 << bit) == 0 {
+                let &b = input.get(i).ok_or(CorruptStream("truncated literal"))?;
+                out.push(b);
+                i += 1;
+            } else {
+                if i + 2 > input.len() {
+                    return Err(CorruptStream("truncated match token"));
+                }
+                let token = u16::from_le_bytes([input[i], input[i + 1]]);
+                i += 2;
+                let dist = (token >> 4) as usize + 1;
+                let len = (token & 0xF) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(CorruptStream("match distance before stream start"));
+                }
+                if out.len() + len > out_len {
+                    return Err(CorruptStream("match overruns declared length"));
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        // An incompressible result is a valid outcome; a compressed one
+        // must shrink and round-trip.
+        if let Some(c) = compress(data) {
+            assert!(c.len() < data.len(), "claimed compression must shrink");
+            assert_eq!(decompress(&c, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn zero_page_compresses_hard() {
+        let page = vec![0u8; 4096];
+        let c = compress(&page).expect("zeros compress");
+        // Max match length is 19 bytes, so a zero page needs ~216 match
+        // tokens (~485 bytes with control bytes): ~8.5x compression.
+        assert!(c.len() < 600, "zero page -> {} bytes", c.len());
+        assert_eq!(decompress(&c, 4096).unwrap(), page);
+    }
+
+    #[test]
+    fn text_compresses() {
+        let text = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog."
+            .repeat(8);
+        let c = compress(&text).expect("repetitive text compresses");
+        assert!(c.len() < text.len() / 3);
+        assert_eq!(decompress(&c, text.len()).unwrap(), text);
+    }
+
+    #[test]
+    fn random_data_reports_incompressible() {
+        // A linear-congruential byte stream has no 4-byte repeats to speak of.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        assert!(compress(&data).is_none());
+    }
+
+    #[test]
+    fn short_inputs() {
+        assert!(compress(b"").is_none());
+        assert!(compress(b"abc").is_none());
+        round_trip(b"aaaaaaaaaaaaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn structured_pages_round_trip() {
+        // Page with embedded runs and copies, like real file data.
+        let mut page = Vec::new();
+        for block in 0..16 {
+            page.extend_from_slice(&[block as u8; 64]);
+            page.extend_from_slice(b"header-v1:");
+            page.extend_from_slice(&(block as u32).to_le_bytes());
+            page.resize((block + 1) * 256, 0xEE);
+        }
+        round_trip(&page);
+        let c = compress(&page).unwrap();
+        assert!(c.len() < page.len() / 2);
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let c = compress(&vec![7u8; 1024]).unwrap();
+        assert!(decompress(&c[..c.len() - 1], 1024).is_err());
+        assert!(decompress(&[], 10).is_err());
+        // A match token pointing before the start.
+        let bad = [0b0000_0001u8, 0xFF, 0xFF];
+        assert!(decompress(&bad, 20).is_err());
+    }
+
+    #[test]
+    fn max_distance_and_length_tokens() {
+        // A run long enough to exercise maximum-length matches and a
+        // repeat exactly WINDOW bytes back.
+        let mut data = vec![0xABu8; 64];
+        data.extend(std::iter::repeat_n(0x11, WINDOW - 64));
+        data.extend_from_slice(&[0xABu8; 64]); // matches 4096 back
+        round_trip(&data);
+    }
+}

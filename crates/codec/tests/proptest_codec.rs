@@ -1,0 +1,66 @@
+//! Property tests: compression round-trips arbitrary inputs exactly, and
+//! the DIF tags detect every single-byte corruption.
+
+use dpc_codec::{compress, crc32c, decompress, DifTag};
+use proptest::prelude::*;
+
+fn arb_page() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        // Runs of a few symbols (compressible).
+        proptest::collection::vec(0u8..4, 0..4096),
+        // Repeated small patterns.
+        (proptest::collection::vec(any::<u8>(), 1..32), 1usize..256)
+            .prop_map(|(pat, n)| pat.iter().copied().cycle().take(pat.len() * n).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn compress_round_trips(data in arb_page()) {
+        if let Some(c) = compress(&data) {
+            prop_assert!(c.len() < data.len());
+            prop_assert_eq!(decompress(&c, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn crc_detects_any_single_byte_change(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        pos_seed in any::<usize>(),
+        delta in 1u8..=255,
+    ) {
+        let pos = pos_seed % data.len();
+        let before = crc32c(&data);
+        let mut corrupted = data.clone();
+        corrupted[pos] ^= delta;
+        prop_assert_ne!(before, crc32c(&corrupted));
+    }
+
+    #[test]
+    fn dif_tag_verifies_and_detects(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        ino in any::<u64>(),
+        lpn in any::<u64>(),
+        pos_seed in any::<usize>(),
+        delta in 1u8..=255,
+    ) {
+        let tag = DifTag::compute(ino, lpn, &data);
+        prop_assert!(tag.verify(ino, lpn, &data).is_ok());
+        let pos = pos_seed % data.len();
+        let mut corrupted = data.clone();
+        corrupted[pos] ^= delta;
+        prop_assert!(tag.verify(ino, lpn, &corrupted).is_err());
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+        out_len in 0usize..8192,
+    ) {
+        let _ = decompress(&garbage, out_len); // must return, never panic
+    }
+}

@@ -1,0 +1,813 @@
+//! The host-side *fs-adapter* (Figure 3).
+//!
+//! The fs-adapter replaces FUSE under the VFS: it serves reads and
+//! absorbs writes from the hybrid cache's host-resident data plane, and
+//! converts everything else into nvme-fs messages. [`DpcFs`] is that
+//! adapter plus a small fd table — the file API applications use.
+//!
+//! Semantics notes (documented divergences, both standard kernel
+//! behaviour): the adapter tracks each open file's logical size locally
+//! (like the kernel's `i_size`) because the flusher writes whole 4 KiB
+//! pages; `fsync` reconciles by truncating to the logical size after the
+//! flush.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dpc_cache::{HybridCache, WriteError, PAGE_SIZE};
+use dpc_nvmefs::{
+    decode_dirents, DispatchType, FileChannel, FileRequest, FileResponse, WireAttr, WireDirent,
+};
+use parking_lot::Mutex;
+
+/// Errors surfaced by the adapter (errno-carrying).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DpcError(pub i32);
+
+impl DpcError {
+    pub fn errno(&self) -> i32 {
+        self.0
+    }
+
+    pub const NOT_FOUND: DpcError = DpcError(2);
+    pub const EXISTS: DpcError = DpcError(17);
+    pub const INVALID: DpcError = DpcError(22);
+    pub const IO: DpcError = DpcError(5);
+}
+
+impl core::fmt::Display for DpcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "dpc error (errno {})", self.0)
+    }
+}
+
+impl std::error::Error for DpcError {}
+
+/// An open-file descriptor returned by [`DpcFs::open`] / [`DpcFs::create`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fd(pub u64);
+
+struct FdState {
+    ino: u64,
+    size: u64,
+}
+
+struct Inner {
+    chan: FileChannel,
+    fds: HashMap<u64, FdState>,
+    next_fd: u64,
+}
+
+/// I/O mode for the data path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum IoMode {
+    /// Through the hybrid cache (the default).
+    Buffered,
+    /// Straight to the DPU (the `DIRECT_IO` flag).
+    Direct,
+}
+
+/// The host-side file interface: one nvme-fs channel + the hybrid cache
+/// data plane. Clone-free; share behind `Arc` if needed.
+pub struct DpcFs {
+    cache: Arc<HybridCache>,
+    inner: Mutex<Inner>,
+    pub mode: IoMode,
+}
+
+impl DpcFs {
+    pub(crate) fn new(cache: Arc<HybridCache>, chan: FileChannel, mode: IoMode) -> DpcFs {
+        DpcFs {
+            cache,
+            inner: Mutex::new(Inner {
+                chan,
+                fds: HashMap::new(),
+                next_fd: 3,
+            }),
+            mode,
+        }
+    }
+
+    pub fn cache(&self) -> &Arc<HybridCache> {
+        &self.cache
+    }
+
+    fn call(
+        &self,
+        inner: &mut Inner,
+        req: &FileRequest,
+        payload: &[u8],
+        read_len: u32,
+    ) -> Result<(FileResponse, Vec<u8>), DpcError> {
+        let done = inner
+            .chan
+            .call(DispatchType::Standalone, req, payload, read_len)
+            .map_err(|_| DpcError::IO)?;
+        match done.response {
+            FileResponse::Err(e) => Err(DpcError(e)),
+            resp => Ok((resp, done.payload)),
+        }
+    }
+
+    /// Resolve a path to an inode with per-component lookups, following
+    /// symbolic links (depth-capped, ELOOP beyond 8).
+    fn resolve(&self, inner: &mut Inner, path: &str) -> Result<u64, DpcError> {
+        self.resolve_depth(inner, path, 0)
+    }
+
+    fn resolve_depth(&self, inner: &mut Inner, path: &str, depth: u32) -> Result<u64, DpcError> {
+        if depth > 8 {
+            return Err(DpcError(40 /* ELOOP */));
+        }
+        let mut ino = 0u64; // root
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let (resp, _) = self.call(
+                inner,
+                &FileRequest::Lookup {
+                    parent: ino,
+                    name: comp.to_string(),
+                },
+                b"",
+                0,
+            )?;
+            match resp {
+                FileResponse::Ino(i) => ino = i,
+                _ => return Err(DpcError::IO),
+            }
+            // Follow symlinks wherever they appear on the path.
+            loop {
+                let (resp, _) = self.call(inner, &FileRequest::GetAttr { ino }, b"", 0)?;
+                let FileResponse::Attr(attr) = resp else {
+                    return Err(DpcError::IO);
+                };
+                if attr.kind != 2 {
+                    break;
+                }
+                let (resp, payload) =
+                    self.call(inner, &FileRequest::Readlink { ino }, b"", 4096)?;
+                let FileResponse::Bytes(n) = resp else {
+                    return Err(DpcError::IO);
+                };
+                let target = String::from_utf8(payload[..n as usize].to_vec())
+                    .map_err(|_| DpcError::IO)?;
+                ino = self.resolve_depth(inner, &target, depth + 1)?;
+            }
+        }
+        Ok(ino)
+    }
+
+    fn split_parent(path: &str) -> Result<(&str, &str), DpcError> {
+        let trimmed = path.trim_end_matches('/');
+        let (dir, name) = match trimmed.rfind('/') {
+            Some(i) => (&trimmed[..i], &trimmed[i + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() {
+            return Err(DpcError::INVALID);
+        }
+        Ok((dir, name))
+    }
+
+    // ---- namespace API -------------------------------------------------
+
+    pub fn create(&self, path: &str) -> Result<Fd, DpcError> {
+        self.create_mode(path, 0o644)
+    }
+
+    pub fn create_mode(&self, path: &str, mode: u32) -> Result<Fd, DpcError> {
+        let (dir, name) = Self::split_parent(path)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, dir)?;
+        let (resp, _) = self.call(
+            &mut inner,
+            &FileRequest::Create {
+                parent,
+                name: name.to_string(),
+                mode,
+            },
+            b"",
+            0,
+        )?;
+        let FileResponse::Ino(ino) = resp else {
+            return Err(DpcError::IO);
+        };
+        let fd = inner.next_fd;
+        inner.next_fd += 1;
+        inner.fds.insert(fd, FdState { ino, size: 0 });
+        Ok(Fd(fd))
+    }
+
+    pub fn open(&self, path: &str) -> Result<Fd, DpcError> {
+        let mut inner = self.inner.lock();
+        let ino = self.resolve(&mut inner, path)?;
+        let (resp, _) = self.call(&mut inner, &FileRequest::GetAttr { ino }, b"", 0)?;
+        let FileResponse::Attr(attr) = resp else {
+            return Err(DpcError::IO);
+        };
+        let fd = inner.next_fd;
+        inner.next_fd += 1;
+        inner.fds.insert(
+            fd,
+            FdState {
+                ino,
+                size: attr.size,
+            },
+        );
+        Ok(Fd(fd))
+    }
+
+    pub fn close(&self, fd: Fd) -> Result<(), DpcError> {
+        // Make buffered data durable before dropping the descriptor.
+        self.fsync(fd)?;
+        self.inner.lock().fds.remove(&fd.0);
+        Ok(())
+    }
+
+    pub fn mkdir(&self, path: &str) -> Result<(), DpcError> {
+        let (dir, name) = Self::split_parent(path)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, dir)?;
+        self.call(
+            &mut inner,
+            &FileRequest::Mkdir {
+                parent,
+                name: name.to_string(),
+                mode: 0o755,
+            },
+            b"",
+            0,
+        )?;
+        Ok(())
+    }
+
+    pub fn readdir(&self, path: &str) -> Result<Vec<WireDirent>, DpcError> {
+        let mut inner = self.inner.lock();
+        let ino = self.resolve(&mut inner, path)?;
+        let (resp, payload) = self.call(
+            &mut inner,
+            &FileRequest::Readdir { ino },
+            b"",
+            // Listing capacity: half a megabyte of dirents (the slot
+            // reserves READ_HEADER_CAP on top, so stay under max_io).
+            512 * 1024,
+        )?;
+        let FileResponse::Entries(n) = resp else {
+            return Err(DpcError::IO);
+        };
+        decode_dirents(&payload, n as usize).map_err(|_| DpcError::IO)
+    }
+
+    pub fn stat(&self, path: &str) -> Result<WireAttr, DpcError> {
+        let mut inner = self.inner.lock();
+        let ino = self.resolve(&mut inner, path)?;
+        let (resp, _) = self.call(&mut inner, &FileRequest::GetAttr { ino }, b"", 0)?;
+        match resp {
+            FileResponse::Attr(a) => Ok(a),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    pub fn unlink(&self, path: &str) -> Result<(), DpcError> {
+        let (dir, name) = Self::split_parent(path)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, dir)?;
+        // Find the ino first so cached pages can be invalidated.
+        let ino = {
+            let (resp, _) = self.call(
+                &mut inner,
+                &FileRequest::Lookup {
+                    parent,
+                    name: name.to_string(),
+                },
+                b"",
+                0,
+            )?;
+            match resp {
+                FileResponse::Ino(i) => i,
+                _ => return Err(DpcError::IO),
+            }
+        };
+        self.call(
+            &mut inner,
+            &FileRequest::Unlink {
+                parent,
+                name: name.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        drop(inner);
+        // Drop stale cache pages.
+        self.cache.invalidate_ino(ino);
+        Ok(())
+    }
+
+    /// Rename; an existing regular-file destination is replaced.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), DpcError> {
+        let (fdir, fname) = Self::split_parent(from)?;
+        let (tdir, tname) = Self::split_parent(to)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, fdir)?;
+        let new_parent = self.resolve(&mut inner, tdir)?;
+        self.call(
+            &mut inner,
+            &FileRequest::Rename {
+                parent,
+                name: fname.to_string(),
+                new_parent,
+                new_name: tname.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        Ok(())
+    }
+
+    pub fn rmdir(&self, path: &str) -> Result<(), DpcError> {
+        let (dir, name) = Self::split_parent(path)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, dir)?;
+        self.call(
+            &mut inner,
+            &FileRequest::Rmdir {
+                parent,
+                name: name.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Hard link: `new_path` becomes another name for the file at
+    /// `existing`.
+    pub fn link(&self, existing: &str, new_path: &str) -> Result<(), DpcError> {
+        let (dir, name) = Self::split_parent(new_path)?;
+        let mut inner = self.inner.lock();
+        let ino = self.resolve(&mut inner, existing)?;
+        let new_parent = self.resolve(&mut inner, dir)?;
+        self.call(
+            &mut inner,
+            &FileRequest::Link {
+                ino,
+                new_parent,
+                new_name: name.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Create a symbolic link at `path` pointing to `target`.
+    pub fn symlink(&self, path: &str, target: &str) -> Result<(), DpcError> {
+        let (dir, name) = Self::split_parent(path)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, dir)?;
+        self.call(
+            &mut inner,
+            &FileRequest::Symlink {
+                parent,
+                name: name.to_string(),
+                target: target.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Read a symlink's target. `path` must name the link itself (the
+    /// final component is not followed).
+    pub fn readlink(&self, path: &str) -> Result<String, DpcError> {
+        let (dir, name) = Self::split_parent(path)?;
+        let mut inner = self.inner.lock();
+        let parent = self.resolve(&mut inner, dir)?;
+        let (resp, _) = self.call(
+            &mut inner,
+            &FileRequest::Lookup {
+                parent,
+                name: name.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        let FileResponse::Ino(ino) = resp else {
+            return Err(DpcError::IO);
+        };
+        let (resp, payload) = self.call(
+            &mut inner,
+            &FileRequest::Readlink { ino },
+            b"",
+            4096,
+        )?;
+        let FileResponse::Bytes(n) = resp else {
+            return Err(DpcError::IO);
+        };
+        String::from_utf8(payload[..n as usize].to_vec()).map_err(|_| DpcError::IO)
+    }
+
+    // ---- data API --------------------------------------------------------
+
+    fn fd_state(&self, inner: &Inner, fd: Fd) -> Result<(u64, u64), DpcError> {
+        inner
+            .fds
+            .get(&fd.0)
+            .map(|s| (s.ino, s.size))
+            .ok_or(DpcError(9 /* EBADF */))
+    }
+
+    /// Write at `offset`. Buffered mode absorbs the write in the hybrid
+    /// cache (the paper's front-end write); direct mode sends it straight
+    /// to the DPU.
+    pub fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize, DpcError> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock();
+        let (ino, _) = self.fd_state(&inner, fd)?;
+
+        match self.mode {
+            IoMode::Direct => {
+                let (resp, _) = self.call(
+                    &mut inner,
+                    &FileRequest::Write {
+                        ino,
+                        offset,
+                        len: data.len() as u32,
+                    },
+                    data,
+                    0,
+                )?;
+                let FileResponse::Bytes(n) = resp else {
+                    return Err(DpcError::IO);
+                };
+                let st = inner.fds.get_mut(&fd.0).unwrap();
+                st.size = st.size.max(offset + n as u64);
+                Ok(n as usize)
+            }
+            IoMode::Buffered => {
+                let mut pos = 0usize;
+                let mut off = offset;
+                while pos < data.len() {
+                    let lpn = off / PAGE_SIZE as u64;
+                    let in_page = (off % PAGE_SIZE as u64) as usize;
+                    let n = (PAGE_SIZE - in_page).min(data.len() - pos);
+                    self.buffered_write_page(&mut inner, ino, lpn, in_page, &data[pos..pos + n])?;
+                    pos += n;
+                    off += n as u64;
+                }
+                let st = inner.fds.get_mut(&fd.0).unwrap();
+                st.size = st.size.max(offset + data.len() as u64);
+                Ok(data.len())
+            }
+        }
+    }
+
+    /// One page of the paper's front-end write protocol, with the
+    /// evict-and-retry path when the bucket is full.
+    fn buffered_write_page(
+        &self,
+        inner: &mut Inner,
+        ino: u64,
+        lpn: u64,
+        in_page: usize,
+        chunk: &[u8],
+    ) -> Result<(), DpcError> {
+        for attempt in 0..3 {
+            match self.cache.begin_write(ino, lpn) {
+                Ok(mut guard) => {
+                    if guard.claimed_free() && chunk.len() < PAGE_SIZE {
+                        // Partial write into a fresh page: fetch the old
+                        // content from the DPU first (read-modify-write).
+                        let (resp, payload) = self.call(
+                            inner,
+                            &FileRequest::Read {
+                                ino,
+                                offset: lpn * PAGE_SIZE as u64,
+                                len: PAGE_SIZE as u32,
+                            },
+                            b"",
+                            PAGE_SIZE as u32,
+                        )?;
+                        if let FileResponse::Bytes(_) = resp {
+                            // Scrub recycled pool bytes, then lay down the
+                            // old content. Only the fetched bytes are
+                            // *valid* — the zero padding past them must
+                            // never be flushed (it would inflate the
+                            // file's logical size).
+                            guard.write(0, &vec![0u8; PAGE_SIZE]);
+                            guard.set_valid(0);
+                            if !payload.is_empty() {
+                                guard.write(0, &payload);
+                            }
+                        }
+                    }
+                    guard.write(in_page, chunk);
+                    guard.commit_dirty();
+                    return Ok(());
+                }
+                Err(WriteError::NeedEviction { bucket }) => {
+                    // Notify the DPU to run cache replacement, then retry.
+                    self.call(
+                        inner,
+                        &FileRequest::CacheEvict {
+                            bucket: bucket as u64,
+                        },
+                        b"",
+                        0,
+                    )?;
+                    if attempt == 2 {
+                        // Fall back to write-through.
+                        let (resp, _) = self.call(
+                            inner,
+                            &FileRequest::Write {
+                                ino,
+                                offset: lpn * PAGE_SIZE as u64 + in_page as u64,
+                                len: chunk.len() as u32,
+                            },
+                            chunk,
+                            0,
+                        )?;
+                        let FileResponse::Bytes(_) = resp else {
+                            return Err(DpcError::IO);
+                        };
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        unreachable!("loop always returns")
+    }
+
+    /// Read at `offset`. Buffered mode checks the hybrid cache page by
+    /// page before asking the DPU (the fs-adapter's read path).
+    pub fn read(&self, fd: Fd, offset: u64, dst: &mut [u8]) -> Result<usize, DpcError> {
+        let mut inner = self.inner.lock();
+        let (ino, size) = self.fd_state(&inner, fd)?;
+        if offset >= size || dst.is_empty() {
+            return Ok(0);
+        }
+        let n = ((size - offset) as usize).min(dst.len());
+
+        match self.mode {
+            IoMode::Direct => {
+                let (resp, payload) = self.call(
+                    &mut inner,
+                    &FileRequest::Read {
+                        ino,
+                        offset,
+                        len: n as u32,
+                    },
+                    b"",
+                    n as u32,
+                )?;
+                let FileResponse::Bytes(got) = resp else {
+                    return Err(DpcError::IO);
+                };
+                let got = got as usize;
+                dst[..got].copy_from_slice(&payload[..got]);
+                Ok(got)
+            }
+            IoMode::Buffered => {
+                let mut page = vec![0u8; PAGE_SIZE];
+                let mut pos = 0usize;
+                let mut off = offset;
+                while pos < n {
+                    let lpn = off / PAGE_SIZE as u64;
+                    let in_page = (off % PAGE_SIZE as u64) as usize;
+                    let take = (PAGE_SIZE - in_page).min(n - pos);
+                    if !self.cache.lookup_read(ino, lpn, &mut page) {
+                        // Miss: fetch the page from the DPU and fill the
+                        // cache clean (front-end read protocol).
+                        let (resp, payload) = self.call(
+                            &mut inner,
+                            &FileRequest::Read {
+                                ino,
+                                offset: lpn * PAGE_SIZE as u64,
+                                len: PAGE_SIZE as u32,
+                            },
+                            b"",
+                            PAGE_SIZE as u32,
+                        )?;
+                        let FileResponse::Bytes(got) = resp else {
+                            return Err(DpcError::IO);
+                        };
+                        page.fill(0);
+                        page[..got as usize].copy_from_slice(&payload[..got as usize]);
+                        // Fill the cache clean, marking only the fetched
+                        // prefix valid — the zero padding of a tail page
+                        // must never be flushed (size inflation).
+                        if let Ok(mut g) = self.cache.begin_write(ino, lpn) {
+                            g.write(0, &page);
+                            g.set_valid(got as usize);
+                            g.commit_clean();
+                        }
+                    }
+                    dst[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
+                    pos += take;
+                    off += take as u64;
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    /// Vectored write (writev): the segments cross nvme-fs as an SGL —
+    /// one DMA per segment, no host-side coalescing copy. Always a direct
+    /// write (gathering through the page cache would defeat the point).
+    pub fn writev(&self, fd: Fd, offset: u64, segments: &[&[u8]]) -> Result<usize, DpcError> {
+        let total: usize = segments.iter().map(|s| s.len()).sum();
+        if total == 0 {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock();
+        let (ino, _) = self.fd_state(&inner, fd)?;
+        // O_DIRECT coherence: dirty cached pages must reach the backend
+        // before the direct write lands (flush, never discard).
+        if self.cache.dirty_pages() > 0 {
+            self.call(&mut inner, &FileRequest::Fsync { ino }, b"", 0)?;
+        }
+        let done = inner
+            .chan
+            .call_sgl(
+                DispatchType::Standalone,
+                &FileRequest::Write {
+                    ino,
+                    offset,
+                    len: total as u32,
+                },
+                segments,
+                0,
+            )
+            .map_err(|_| DpcError::IO)?;
+        match done.response {
+            FileResponse::Bytes(n) => {
+                let st = inner.fds.get_mut(&fd.0).unwrap();
+                st.size = st.size.max(offset + n as u64);
+                // Keep any cached pages coherent with the direct write.
+                drop(inner);
+                let first = offset / PAGE_SIZE as u64;
+                let last = (offset + n as u64).div_ceil(PAGE_SIZE as u64);
+                for lpn in first..=last {
+                    self.cache.invalidate(ino, lpn);
+                }
+                Ok(n as usize)
+            }
+            FileResponse::Err(e) => Err(DpcError(e)),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    /// Flush buffered data and reconcile the logical size.
+    pub fn fsync(&self, fd: Fd) -> Result<(), DpcError> {
+        let mut inner = self.inner.lock();
+        let (ino, size) = self.fd_state(&inner, fd)?;
+        self.call(&mut inner, &FileRequest::Fsync { ino }, b"", 0)?;
+        // The flusher writes whole pages; trim any padding past the
+        // logical size (kernel i_size reconciliation).
+        self.call(&mut inner, &FileRequest::Truncate { ino, size }, b"", 0)?;
+        Ok(())
+    }
+
+    pub fn truncate(&self, fd: Fd, size: u64) -> Result<(), DpcError> {
+        let mut inner = self.inner.lock();
+        let (ino, old) = self.fd_state(&inner, fd)?;
+        self.call(&mut inner, &FileRequest::Truncate { ino, size }, b"", 0)?;
+        inner.fds.get_mut(&fd.0).unwrap().size = size;
+        drop(inner);
+        // Invalidate cached pages past the new end, and clip the valid
+        // length of the boundary page so a later flush cannot re-extend
+        // the file.
+        if size < old {
+            let first = size.div_ceil(PAGE_SIZE as u64);
+            let last = old.div_ceil(PAGE_SIZE as u64);
+            for lpn in first..=last {
+                self.cache.invalidate(ino, lpn);
+            }
+            let tail = (size % PAGE_SIZE as u64) as usize;
+            if tail != 0 {
+                if let Ok(mut g) = self.cache.begin_write(ino, size / PAGE_SIZE as u64) {
+                    if g.claimed_free() {
+                        // Wasn't cached; roll the claim back.
+                        drop(g);
+                    } else {
+                        g.set_valid(tail);
+                        g.commit_dirty();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// File size as tracked by the adapter.
+    pub fn size(&self, fd: Fd) -> Result<u64, DpcError> {
+        let inner = self.inner.lock();
+        self.fd_state(&inner, fd).map(|(_, s)| s)
+    }
+
+    // ---- distributed (DFS) dispatch -------------------------------------
+    //
+    // These send commands with the SQE dispatch bit set to Distributed, so
+    // the DPU's IO-dispatch routes them to the offloaded DFS client
+    // (requires `DpcConfig::dfs`). The DFS data path is 8 KiB-block
+    // granular, mirroring the backend's EC stripe unit.
+
+    fn dfs_call(
+        &self,
+        req: &FileRequest,
+        payload: &[u8],
+        read_len: u32,
+    ) -> Result<(FileResponse, Vec<u8>), DpcError> {
+        let mut inner = self.inner.lock();
+        let done = inner
+            .chan
+            .call(DispatchType::Distributed, req, payload, read_len)
+            .map_err(|_| DpcError::IO)?;
+        match done.response {
+            FileResponse::Err(e) => Err(DpcError(e)),
+            resp => Ok((resp, done.payload)),
+        }
+    }
+
+    /// Create a DFS file; returns its inode.
+    pub fn dfs_create(&self, parent: u64, name: &str) -> Result<u64, DpcError> {
+        let (resp, _) = self.dfs_call(
+            &FileRequest::Create {
+                parent,
+                name: name.to_string(),
+                mode: 0o644,
+            },
+            b"",
+            0,
+        )?;
+        match resp {
+            FileResponse::Ino(i) => Ok(i),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    pub fn dfs_lookup(&self, parent: u64, name: &str) -> Result<u64, DpcError> {
+        let (resp, _) = self.dfs_call(
+            &FileRequest::Lookup {
+                parent,
+                name: name.to_string(),
+            },
+            b"",
+            0,
+        )?;
+        match resp {
+            FileResponse::Ino(i) => Ok(i),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    pub fn dfs_getattr(&self, ino: u64) -> Result<WireAttr, DpcError> {
+        let (resp, _) = self.dfs_call(&FileRequest::GetAttr { ino }, b"", 0)?;
+        match resp {
+            FileResponse::Attr(a) => Ok(a),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    /// Write one 8 KiB-aligned block through the offloaded DFS client.
+    pub fn dfs_write_block(&self, ino: u64, block: u64, data: &[u8]) -> Result<usize, DpcError> {
+        let (resp, _) = self.dfs_call(
+            &FileRequest::Write {
+                ino,
+                offset: block * 8192,
+                len: data.len() as u32,
+            },
+            data,
+            0,
+        )?;
+        match resp {
+            FileResponse::Bytes(n) => Ok(n as usize),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    /// Read one 8 KiB block through the offloaded DFS client.
+    pub fn dfs_read_block(&self, ino: u64, block: u64) -> Result<Vec<u8>, DpcError> {
+        let (resp, payload) = self.dfs_call(
+            &FileRequest::Read {
+                ino,
+                offset: block * 8192,
+                len: 8192,
+            },
+            b"",
+            8192,
+        )?;
+        match resp {
+            FileResponse::Bytes(_) => Ok(payload),
+            _ => Err(DpcError::IO),
+        }
+    }
+
+    /// Flush the offloaded client's lazily batched metadata.
+    pub fn dfs_sync(&self) -> Result<(), DpcError> {
+        self.dfs_call(&FileRequest::Fsync { ino: 0 }, b"", 0)?;
+        Ok(())
+    }
+}

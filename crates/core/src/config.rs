@@ -1,0 +1,187 @@
+//! The testbed configuration — every calibrated constant in one place.
+//!
+//! Hardware constants come straight from Table 1 of the paper; software
+//! cost constants are *model inputs* calibrated once so the 1-thread
+//! latencies of Figure 6 land near the reported values (nvme-fs
+//! 20.6/26.6 µs R/W, virtio-fs 36.5/34 µs). EXPERIMENTS.md keeps the
+//! inputs-vs-measured distinction explicit.
+
+use dpc_kvstore::KvTimingModel;
+use dpc_net::NetworkModel;
+use dpc_pcie::PcieModel;
+use dpc_sim::Nanos;
+use dpc_ssd::SsdModel;
+
+/// Host CPU: Intel Xeon Gold 6230R (Table 1).
+#[derive(Copy, Clone, Debug)]
+pub struct HostCpu {
+    pub physical_cores: usize,
+    pub threads: usize,
+}
+
+/// DPU: Huawei QingTian, 24 TaiShan cores @ 2.0 GHz, 32 GB DRAM (Table 1).
+#[derive(Copy, Clone, Debug)]
+pub struct DpuSpec {
+    pub cores: usize,
+    pub ghz: f64,
+    pub dram_gb: u64,
+    /// Service-time inflation once concurrency exceeds the cores — the
+    /// paper attributes the post-32-thread decline to scheduling overhead.
+    pub oversub_penalty: f64,
+}
+
+/// Software path costs (virtual-time model inputs).
+#[derive(Copy, Clone, Debug)]
+pub struct SoftwareCosts {
+    /// Syscall + VFS entry on the host.
+    pub host_syscall: Nanos,
+    /// fs-adapter work per request (queueing, SQE build) on the host.
+    pub fs_adapter: Nanos,
+    /// Host completion-path work (CQ reap, copyout, wakeup).
+    pub host_complete: Nanos,
+    /// DPU per-request processing (dispatch, request decode, bookkeeping).
+    pub dpu_request: Nanos,
+    /// Additional DPU processing on the write path (buffer placement,
+    /// completion ordering) — calibrates Fig 6's read/write asymmetry
+    /// (20.6 µs read vs 26.6 µs write at one thread).
+    pub dpu_write_extra: Nanos,
+    /// Extra FUSE-layer cost on the virtio-fs path (queue framing; the
+    /// paper calls the FUSE queue "overburdened").
+    pub fuse_overhead: Nanos,
+    /// DPFS-HAL per-request processing on the DPU (single thread!).
+    pub hal_request: Nanos,
+    /// Hybrid-cache host-side op (hash, probe, lock, copy) per page.
+    pub cache_host_op: Nanos,
+    /// KVFS per-request CPU on the DPU (KV op assembly, attr handling).
+    pub kvfs_request: Nanos,
+    /// Local FS (Ext4 baseline) per-4K-page CPU on the host.
+    pub ext4_page_cpu: Nanos,
+    /// Ext4 per-request fixed CPU (syscall, journal bookkeeping).
+    pub ext4_request_cpu: Nanos,
+    /// EC encode cost per 8 KiB block (measured class: GF(256) table
+    /// multiply-accumulate) — host and DPU rates differ slightly.
+    pub ec_8k_host: Nanos,
+    pub ec_8k_dpu: Nanos,
+    /// Client RPC issue/reap cost per message.
+    pub rpc_cpu: Nanos,
+    /// MDS service time per metadata request.
+    pub mds_service: Nanos,
+    /// MDS extra service for proxied data (per 8 KiB, incl. server EC).
+    pub mds_data_service: Nanos,
+    /// Data-server service per shard request.
+    pub ds_service: Nanos,
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> Self {
+        SoftwareCosts {
+            host_syscall: Nanos::from_micros(1.2),
+            fs_adapter: Nanos::from_micros(1.5),
+            host_complete: Nanos::from_micros(3.0),
+            dpu_request: Nanos::from_micros(8.0),
+            dpu_write_extra: Nanos::from_micros(6.0),
+            fuse_overhead: Nanos::from_micros(6.0),
+            hal_request: Nanos::from_micros(1.8),
+            cache_host_op: Nanos::from_micros(0.7),
+            kvfs_request: Nanos::from_micros(26.0),
+            ext4_page_cpu: Nanos::from_micros(1.1),
+            ext4_request_cpu: Nanos::from_micros(2.2),
+            ec_8k_host: Nanos::from_micros(6.0),
+            ec_8k_dpu: Nanos::from_micros(9.0), // TaiShan @2GHz vs Xeon
+            rpc_cpu: Nanos::from_micros(2.0),
+            mds_service: Nanos::from_micros(12.0),
+            mds_data_service: Nanos::from_micros(18.0),
+            ds_service: Nanos::from_micros(8.0),
+        }
+    }
+}
+
+/// The complete testbed (Table 1 + calibrated software costs).
+#[derive(Copy, Clone, Debug)]
+pub struct Testbed {
+    pub host: HostCpu,
+    pub dpu: DpuSpec,
+    pub pcie: PcieModel,
+    pub ssd: SsdModel,
+    pub net: NetworkModel,
+    pub kv: KvTimingModel,
+    pub costs: SoftwareCosts,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed {
+            host: HostCpu {
+                physical_cores: 26,
+                threads: 52,
+            },
+            dpu: DpuSpec {
+                cores: 24,
+                ghz: 2.0,
+                dram_gb: 32,
+                oversub_penalty: 0.75,
+            },
+            pcie: PcieModel::default(),
+            ssd: SsdModel::default(),
+            net: NetworkModel::default(),
+            kv: KvTimingModel::default(),
+            costs: SoftwareCosts::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let t = Testbed::default();
+        assert_eq!(t.host.physical_cores, 26);
+        assert_eq!(t.host.threads, 52);
+        assert_eq!(t.dpu.cores, 24);
+        assert_eq!(t.dpu.ghz, 2.0);
+        assert_eq!(t.dpu.dram_gb, 32);
+        assert_eq!(t.ssd.read_service, Nanos::from_micros(88.0));
+        assert_eq!(t.ssd.write_service, Nanos::from_micros(14.0));
+        let pcie_gbps = t.pcie.bandwidth_bytes_per_sec() / 1e9;
+        assert!((15.0..16.5).contains(&pcie_gbps));
+    }
+
+    #[test]
+    fn one_thread_nvmefs_write_latency_lands_near_paper() {
+        // Host submit + 3 DMA setups + 8K wire + DPU processing + complete
+        // should approximate the paper's 26.6us best write latency.
+        let t = Testbed::default();
+        let c = &t.costs;
+        let total = c.host_syscall
+            + c.fs_adapter
+            + t.pcie.doorbell
+            + t.pcie.dma_time(64)          // SQE fetch
+            + t.pcie.dma_time(8192)        // data (pipelined pages)
+            + c.dpu_request
+            + c.dpu_write_extra
+            + t.pcie.dma_time(16)          // CQE
+            + c.host_complete;
+        let us = total.as_micros();
+        assert!((24.0..30.0).contains(&us), "modelled {us}us vs paper 26.6us");
+        // And the read path (no write extra) near 20.6us.
+        let read = total - c.dpu_write_extra;
+        assert!((18.0..24.0).contains(&read.as_micros()), "{read}");
+    }
+
+    #[test]
+    fn one_thread_virtiofs_write_latency_lands_near_paper() {
+        // 11 control/data DMA setups + FUSE + HAL processing ≈ 34-36.5us.
+        let t = Testbed::default();
+        let c = &t.costs;
+        let mut total = c.host_syscall + c.fuse_overhead + c.hal_request + c.host_complete;
+        // 9 small control DMAs + 2 data-page DMAs.
+        for _ in 0..9 {
+            total += t.pcie.dma_time(16);
+        }
+        total += t.pcie.dma_time(4096) + t.pcie.dma_time(4096);
+        let us = total.as_micros();
+        assert!((28.0..42.0).contains(&us), "modelled {us}us vs paper 34us");
+    }
+}

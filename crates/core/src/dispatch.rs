@@ -1,0 +1,290 @@
+//! The DPU's IO-dispatch module (Figure 3).
+//!
+//! nvme-fs delivers each command with a dispatch bit (Dword0 bit 10):
+//! standalone file requests go to KVFS, distributed file requests go to
+//! the offloaded DFS client. The dispatcher also owns this service
+//! thread's slice of the hybrid-cache control plane, so read misses feed
+//! the sequential prefetcher and flush/evict requests are served here.
+
+use std::sync::Arc;
+
+use dpc_cache::ControlPlane;
+use dpc_dfs::{ClientCore, DfsError, DFS_BLOCK};
+use dpc_kvfs::{FileKind, FsError, Kvfs};
+use dpc_nvmefs::{
+    encode_dirents, DispatchType, FileIncoming, FileRequest, FileResponse, WireAttr, WireDirent,
+};
+
+/// Map a KVFS attribute to the wire form.
+fn wire_attr(a: &dpc_kvfs::FileAttr) -> WireAttr {
+    WireAttr {
+        ino: a.ino,
+        size: a.size,
+        mode: a.mode,
+        nlink: a.nlink,
+        uid: a.uid,
+        gid: a.gid,
+        atime_ns: a.atime,
+        mtime_ns: a.mtime,
+        ctime_ns: a.ctime,
+        kind: match a.kind {
+            FileKind::File => 0,
+            FileKind::Dir => 1,
+            FileKind::Symlink => 2,
+        },
+    }
+}
+
+fn fs_err(e: FsError) -> FileResponse {
+    FileResponse::Err(e.errno())
+}
+
+fn dfs_err(e: DfsError) -> FileResponse {
+    FileResponse::Err(match e {
+        DfsError::NotFound => 2,
+        DfsError::AlreadyExists => 17,
+        DfsError::Unrecoverable => 5, // EIO
+        DfsError::Delegated => 11,    // EAGAIN
+    })
+}
+
+/// One service thread's dispatcher.
+pub struct Dispatcher {
+    kvfs: Arc<Kvfs>,
+    control: ControlPlane,
+    /// The offloaded DFS client (None when DPC runs standalone-only).
+    dfs: Option<ClientCore>,
+    /// Enable the control plane's sequential prefetcher.
+    pub prefetch: bool,
+}
+
+impl Dispatcher {
+    pub fn new(kvfs: Arc<Kvfs>, control: ControlPlane, dfs: Option<ClientCore>) -> Dispatcher {
+        Dispatcher {
+            kvfs,
+            control,
+            dfs,
+            prefetch: true,
+        }
+    }
+
+    /// Serve one request; returns the response header and read payload.
+    pub fn handle(&mut self, inc: &FileIncoming) -> (FileResponse, Vec<u8>) {
+        match inc.dispatch {
+            DispatchType::Standalone => self.handle_kvfs(inc),
+            DispatchType::Distributed => self.handle_dfs(inc),
+        }
+    }
+
+    fn handle_kvfs(&mut self, inc: &FileIncoming) -> (FileResponse, Vec<u8>) {
+        let kvfs = &self.kvfs;
+        match &inc.request {
+            FileRequest::Lookup { parent, name } => match kvfs.lookup(*parent, name) {
+                Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Create { parent, name, mode } => {
+                match kvfs.create_in(*parent, name, *mode) {
+                    Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
+                    Err(e) => (fs_err(e), Vec::new()),
+                }
+            }
+            FileRequest::Mkdir { parent, name, mode } => {
+                match kvfs.mkdir_in(*parent, name, *mode) {
+                    Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
+                    Err(e) => (fs_err(e), Vec::new()),
+                }
+            }
+            FileRequest::Read { ino, offset, len } => {
+                let mut buf = vec![0u8; *len as usize];
+                match kvfs.read(*ino, *offset, &mut buf) {
+                    Ok(n) => {
+                        buf.truncate(n);
+                        if self.prefetch {
+                            // Feed the sequential detector; on a stream it
+                            // pulls ahead pages into the host cache.
+                            let lpn = offset / dpc_cache::PAGE_SIZE as u64;
+                            let kvfs = self.kvfs.clone();
+                            let mut backend =
+                                move |ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
+                                    match kvfs.read(ino, lpn * dpc_cache::PAGE_SIZE as u64, out) {
+                                        Ok(n) if n > 0 => {
+                                            out[n..].fill(0);
+                                            Some(n)
+                                        }
+                                        _ => None,
+                                    }
+                                };
+                            self.control.on_read_miss(*ino, lpn, &mut backend);
+                        }
+                        (FileResponse::Bytes(buf.len() as u32), buf)
+                    }
+                    Err(e) => (fs_err(e), Vec::new()),
+                }
+            }
+            FileRequest::Write { ino, offset, .. } => {
+                match kvfs.write(*ino, *offset, &inc.payload) {
+                    Ok(n) => (FileResponse::Bytes(n as u32), Vec::new()),
+                    Err(e) => (fs_err(e), Vec::new()),
+                }
+            }
+            FileRequest::Truncate { ino, size } => match kvfs.truncate(*ino, *size) {
+                Ok(()) => (FileResponse::Ok, Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Unlink { parent, name } => match kvfs.unlink_in(*parent, name) {
+                Ok(()) => {
+                    // Drop any cached pages of the removed file lazily: the
+                    // host invalidates by ino on its side; nothing to do
+                    // here beyond the namespace.
+                    (FileResponse::Ok, Vec::new())
+                }
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Rmdir { parent, name } => match kvfs.rmdir_in(*parent, name) {
+                Ok(()) => (FileResponse::Ok, Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Readdir { ino } => match kvfs.readdir(*ino) {
+                Ok(entries) => {
+                    let wire: Vec<WireDirent> = entries
+                        .into_iter()
+                        .map(|e| WireDirent {
+                            ino: e.ino,
+                            kind: match e.kind {
+                                FileKind::File => 0,
+                                FileKind::Dir => 1,
+                                FileKind::Symlink => 2,
+                            },
+                            name: e.name,
+                        })
+                        .collect();
+                    let mut payload = Vec::new();
+                    encode_dirents(&wire, &mut payload);
+                    if payload.len() > inc.read_len as usize {
+                        // The host's buffer cannot hold the listing.
+                        return (FileResponse::Err(34 /* ERANGE */), Vec::new());
+                    }
+                    (FileResponse::Entries(wire.len() as u32), payload)
+                }
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::GetAttr { ino } => match kvfs.get_attr(*ino) {
+                Ok(a) => (FileResponse::Attr(wire_attr(&a)), Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Rename {
+                parent,
+                name,
+                new_parent,
+                new_name,
+            } => match kvfs.rename_in(*parent, name, *new_parent, new_name) {
+                Ok(()) => (FileResponse::Ok, Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Fsync { ino } => {
+                // Flush every dirty page of the hybrid cache into KVFS,
+                // then the (always-durable) store needs no further barrier.
+                let kvfs = self.kvfs.clone();
+                self.control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+                    let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
+                });
+                let _ = self.kvfs.fsync(*ino);
+                (FileResponse::Ok, Vec::new())
+            }
+            FileRequest::Link {
+                ino,
+                new_parent,
+                new_name,
+            } => match kvfs.link_in(*ino, *new_parent, new_name) {
+                Ok(()) => (FileResponse::Ok, Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Symlink {
+                parent,
+                name,
+                target,
+            } => match kvfs.symlink_in(*parent, name, target) {
+                Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::Readlink { ino } => match kvfs.readlink(*ino) {
+                Ok(target) => {
+                    let bytes = target.into_bytes();
+                    (FileResponse::Bytes(bytes.len() as u32), bytes)
+                }
+                Err(e) => (fs_err(e), Vec::new()),
+            },
+            FileRequest::CacheEvict { bucket } => {
+                let bucket = *bucket as usize;
+                if !self.control.evict_one(bucket) {
+                    // Nothing clean: flush first, then retry.
+                    let kvfs = self.kvfs.clone();
+                    self.control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+                        let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
+                    });
+                    self.control.evict_one(bucket);
+                }
+                (FileResponse::Ok, Vec::new())
+            }
+        }
+    }
+
+    fn handle_dfs(&mut self, inc: &FileIncoming) -> (FileResponse, Vec<u8>) {
+        let Some(dfs) = self.dfs.as_mut() else {
+            return (FileResponse::Err(95 /* EOPNOTSUPP */), Vec::new());
+        };
+        match &inc.request {
+            FileRequest::Create { parent, name, .. } => match dfs.create(*parent, name) {
+                Ok((attr, _)) => (FileResponse::Ino(attr.ino), Vec::new()),
+                Err(e) => (dfs_err(e), Vec::new()),
+            },
+            FileRequest::Lookup { parent, name } => match dfs.lookup(*parent, name) {
+                Ok((ino, _)) => (FileResponse::Ino(ino), Vec::new()),
+                Err(e) => (dfs_err(e), Vec::new()),
+            },
+            FileRequest::GetAttr { ino } => match dfs.getattr(*ino) {
+                Ok((a, _)) => (
+                    FileResponse::Attr(WireAttr {
+                        ino: a.ino,
+                        size: a.size,
+                        mtime_ns: a.mtime,
+                        nlink: 1,
+                        mode: 0o644,
+                        ..Default::default()
+                    }),
+                    Vec::new(),
+                ),
+                Err(e) => (dfs_err(e), Vec::new()),
+            },
+            FileRequest::Write { ino, offset, .. } => {
+                assert_eq!(
+                    *offset % DFS_BLOCK as u64,
+                    0,
+                    "DFS data path is block-granular"
+                );
+                let block = offset / DFS_BLOCK as u64;
+                match dfs.write_block(*ino, block, &inc.payload) {
+                    Ok(_) => (FileResponse::Bytes(inc.payload.len() as u32), Vec::new()),
+                    Err(e) => (dfs_err(e), Vec::new()),
+                }
+            }
+            FileRequest::Read { ino, offset, len } => {
+                assert_eq!(*offset % DFS_BLOCK as u64, 0);
+                let block = offset / DFS_BLOCK as u64;
+                match dfs.read_block(*ino, block) {
+                    Ok((mut data, _)) => {
+                        data.truncate(*len as usize);
+                        (FileResponse::Bytes(data.len() as u32), data)
+                    }
+                    Err(e) => (dfs_err(e), Vec::new()),
+                }
+            }
+            FileRequest::Fsync { .. } => match dfs.sync_meta() {
+                Ok(_) => (FileResponse::Ok, Vec::new()),
+                Err(e) => (dfs_err(e), Vec::new()),
+            },
+            _ => (FileResponse::Err(95 /* EOPNOTSUPP */), Vec::new()),
+        }
+    }
+}

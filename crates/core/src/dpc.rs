@@ -1,0 +1,224 @@
+//! The DPC instance: wiring of Figure 3.
+//!
+//! `Dpc::new` brings up the whole offloaded stack with real threads:
+//! a DMA engine, an nvme-fs fabric (multi-queue), the hybrid cache (host
+//! data plane + DPU control plane), KVFS over the disaggregated KV store,
+//! optionally a DFS backend with the offloaded client, and the DPU
+//! runtime serving it all. `Dpc::fs()` hands out host-side [`DpcFs`]
+//! adapters — one per nvme-fs queue pair, as in the paper's per-thread
+//! queue deployment.
+
+use std::sync::Arc;
+
+use dpc_cache::{CacheConfig, ControlPlane, HybridCache};
+use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
+use dpc_kvfs::Kvfs;
+use dpc_kvstore::KvStore;
+use dpc_nvmefs::{create_fabric, FileChannel, QueuePairConfig};
+use dpc_pcie::{DmaEngine, PcieSnapshot};
+use parking_lot::Mutex;
+
+use crate::adapter::{DpcFs, IoMode};
+use crate::dispatch::Dispatcher;
+use crate::runtime::DpuRuntime;
+
+/// DPC deployment configuration.
+#[derive(Clone, Debug)]
+pub struct DpcConfig {
+    /// nvme-fs queue pairs (== host adapters that can be handed out).
+    pub queues: usize,
+    pub queue_depth: u16,
+    /// Per-direction slot capacity (max single I/O size over nvme-fs).
+    pub max_io_bytes: usize,
+    /// Hybrid-cache pages (4 KiB each).
+    pub cache_pages: usize,
+    pub cache_bucket_entries: usize,
+    /// Default I/O mode of handed-out adapters.
+    pub io_mode: IoMode,
+    /// Enable the DPU-side sequential prefetcher.
+    pub prefetch: bool,
+    /// Run a background flusher thread (periodic write-back). Off by
+    /// default: dirty pages then persist on fsync/close/eviction, which
+    /// keeps size reconciliation deterministic.
+    pub background_flush: bool,
+    /// Also stand up a DFS backend and offload its client (Distributed
+    /// dispatch). None = standalone-only DPC.
+    pub dfs: Option<DfsConfig>,
+}
+
+impl Default for DpcConfig {
+    fn default() -> Self {
+        DpcConfig {
+            queues: 2,
+            queue_depth: 64,
+            max_io_bytes: 1 << 20,
+            cache_pages: 4096,
+            cache_bucket_entries: 8,
+            io_mode: IoMode::Buffered,
+            prefetch: true,
+            background_flush: false,
+            dfs: None,
+        }
+    }
+}
+
+/// Globally unique DFS client identity: delegations are per-client at
+/// the MDS, so two DPC instances (or two queues) must never share an id.
+fn next_dfs_client_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A running DPC instance (DPU runtime + shared state).
+pub struct Dpc {
+    cfg: DpcConfig,
+    dma: DmaEngine,
+    cache: Arc<HybridCache>,
+    kvfs: Arc<Kvfs>,
+    dfs_backend: Option<Arc<DfsBackend>>,
+    channels: Mutex<Vec<FileChannel>>,
+    runtime: DpuRuntime,
+}
+
+impl Dpc {
+    pub fn new(cfg: DpcConfig) -> Dpc {
+        Self::build(cfg, None, None)
+    }
+
+    /// Bring up a DPC instance against *shared* disaggregated storage: an
+    /// existing KV store (another server's KVFS namespace — or a previous
+    /// incarnation of this server, i.e. a diskless reboot) and/or an
+    /// existing DFS backend cluster. `kv_store = None` creates a fresh
+    /// store; a supplied store must already hold a KVFS root (use a prior
+    /// `Dpc` or `Kvfs::new` to format it).
+    pub fn with_shared_storage(
+        cfg: DpcConfig,
+        kv_store: Option<Arc<KvStore>>,
+        dfs_backend: Option<Arc<DfsBackend>>,
+    ) -> Dpc {
+        Self::build(cfg, kv_store, dfs_backend)
+    }
+
+    fn build(
+        cfg: DpcConfig,
+        kv_store: Option<Arc<KvStore>>,
+        shared_dfs: Option<Arc<DfsBackend>>,
+    ) -> Dpc {
+        let dma = DmaEngine::new();
+        let cache = Arc::new(HybridCache::new(CacheConfig {
+            pages: cfg.cache_pages,
+            bucket_entries: cfg.cache_bucket_entries,
+            mode: 1,
+        }));
+        let kvfs = Arc::new(match kv_store {
+            Some(store) => Kvfs::open(store).expect("shared store holds no KVFS root"),
+            None => Kvfs::new(Arc::new(KvStore::new())),
+        });
+        let dfs_backend = shared_dfs.or_else(|| cfg.dfs.map(DfsBackend::new));
+
+        let (channels, targets) = create_fabric(
+            cfg.queues,
+            QueuePairConfig {
+                depth: cfg.queue_depth,
+                max_io_bytes: cfg.max_io_bytes.max(dpc_nvmefs::READ_HEADER_CAP + 4096),
+            },
+            &dma,
+        );
+
+        let targets_with_dispatch: Vec<_> = targets
+            .into_iter()
+            .map(|t| {
+                let mut dispatcher = Dispatcher::new(
+                    kvfs.clone(),
+                    ControlPlane::new(cache.clone(), dma.clone()),
+                    dfs_backend
+                        .as_ref()
+                        .map(|b| ClientCore::new(b.clone(), next_dfs_client_id())),
+                );
+                dispatcher.prefetch = cfg.prefetch;
+                (t, dispatcher)
+            })
+            .collect();
+
+        let flusher = if cfg.background_flush {
+            Some((
+                ControlPlane::new(cache.clone(), dma.clone()),
+                kvfs.clone(),
+            ))
+        } else {
+            None
+        };
+
+        let runtime = DpuRuntime::spawn(targets_with_dispatch, flusher);
+
+        Dpc {
+            cfg,
+            dma,
+            cache,
+            kvfs,
+            dfs_backend,
+            channels: Mutex::new(channels),
+            runtime,
+        }
+    }
+
+    /// Take the next host-side adapter (one per nvme-fs queue pair).
+    /// Panics when all `cfg.queues` adapters are taken.
+    pub fn fs(&self) -> DpcFs {
+        let chan = self
+            .channels
+            .lock()
+            .pop()
+            .expect("all nvme-fs queue pairs are already handed out");
+        DpcFs::new(self.cache.clone(), chan, self.cfg.io_mode)
+    }
+
+    /// Convenience alias emphasising the standalone (KVFS) service.
+    pub fn kvfs(&self) -> DpcFs {
+        self.fs()
+    }
+
+    /// Remaining adapters that [`Dpc::fs`] can still hand out.
+    pub fn available_queues(&self) -> usize {
+        self.channels.lock().len()
+    }
+
+    /// Direct access to the DPU-side KVFS (diagnostics/tests).
+    pub fn kvfs_inner(&self) -> &Arc<Kvfs> {
+        &self.kvfs
+    }
+
+    pub fn cache(&self) -> &Arc<HybridCache> {
+        &self.cache
+    }
+
+    pub fn dfs_backend(&self) -> Option<&Arc<DfsBackend>> {
+        self.dfs_backend.as_ref()
+    }
+
+    pub fn config(&self) -> &DpcConfig {
+        &self.cfg
+    }
+
+    /// Requests the DPU runtime has served.
+    pub fn requests_served(&self) -> u64 {
+        self.runtime.requests_served()
+    }
+
+    /// PCIe traffic counters (DMA ops/bytes, doorbells, atomics).
+    pub fn pcie_snapshot(&self) -> PcieSnapshot {
+        self.dma.snapshot()
+    }
+
+    /// One snapshot of every layer's counters.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        crate::metrics::MetricsSnapshot {
+            pcie: self.dma.snapshot(),
+            cache: self.cache.stats(),
+            kvfs_lookups: self.kvfs.lookup_stats(),
+            kv: self.kvfs.store().stats(),
+            requests_served: self.runtime.requests_served(),
+            pages_flushed: self.runtime.pages_flushed(),
+        }
+    }
+}

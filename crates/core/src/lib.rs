@@ -1,0 +1,37 @@
+//! # dpc-core — the DPC system (Figure 3 of the paper)
+//!
+//! This crate assembles the paper's contribution from the substrate
+//! crates: the host-side **fs-adapter** ([`DpcFs`]) that serves reads and
+//! absorbs writes from the hybrid cache and converts the rest into
+//! nvme-fs messages; the DPU-side **IO-dispatch** ([`Dispatcher`]) that
+//! routes standalone requests to KVFS and distributed requests to the
+//! offloaded DFS client; the **DPU runtime** ([`DpuRuntime`]) of service
+//! and flusher threads; and the calibrated **testbed configuration**
+//! ([`Testbed`], Table 1) shared by every benchmark.
+//!
+//! ```
+//! use dpc_core::{Dpc, DpcConfig};
+//!
+//! let dpc = Dpc::new(DpcConfig::default());
+//! let fs = dpc.kvfs();
+//! fs.mkdir("/etc").unwrap();
+//! let fd = fs.create("/etc/app.conf").unwrap();
+//! fs.write(fd, 0, b"threads=8\n").unwrap();
+//! let mut buf = vec![0u8; 10];
+//! assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), 10);
+//! assert_eq!(&buf, b"threads=8\n");
+//! ```
+
+mod adapter;
+mod config;
+mod dispatch;
+mod dpc;
+mod metrics;
+mod runtime;
+
+pub use adapter::{DpcError, DpcFs, Fd, IoMode};
+pub use config::{DpuSpec, HostCpu, SoftwareCosts, Testbed};
+pub use dispatch::Dispatcher;
+pub use dpc::{Dpc, DpcConfig};
+pub use metrics::MetricsSnapshot;
+pub use runtime::{DpuRuntime, RuntimeShared};

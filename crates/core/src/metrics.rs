@@ -1,0 +1,133 @@
+//! Aggregated observability for a running DPC instance.
+//!
+//! One snapshot gathers every layer's counters — PCIe traffic, hybrid
+//! cache behaviour, KVFS lookup caches, backing KV operations, DPU
+//! runtime activity — so operators (and the examples) can see where
+//! requests went without poking each subsystem.
+
+use dpc_cache::CacheStats;
+use dpc_kvfs::LookupStats;
+use dpc_kvstore::KvStats;
+use dpc_pcie::PcieSnapshot;
+
+/// Point-in-time view of a whole DPC instance.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub pcie: PcieSnapshot,
+    pub cache: CacheStats,
+    pub kvfs_lookups: LookupStats,
+    pub kv: KvStats,
+    /// Requests served by the DPU runtime's service threads.
+    pub requests_served: u64,
+    /// Pages persisted by the background flusher (0 when disabled).
+    pub pages_flushed: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over read lookups, in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+
+    /// Dentry-cache hit rate on the DPU-side KVFS, in [0, 1].
+    pub fn dentry_hit_rate(&self) -> f64 {
+        let total = self.kvfs_lookups.dentry_hits + self.kvfs_lookups.dentry_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.kvfs_lookups.dentry_hits as f64 / total as f64
+        }
+    }
+
+    /// Average PCIe DMA bytes per served request.
+    pub fn pcie_bytes_per_request(&self) -> f64 {
+        if self.requests_served == 0 {
+            0.0
+        } else {
+            self.pcie.dma_bytes as f64 / self.requests_served as f64
+        }
+    }
+}
+
+impl core::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "pcie: {} DMA ops / {} bytes, {} doorbells, {} atomics",
+            self.pcie.dma_ops, self.pcie.dma_bytes, self.pcie.doorbells, self.pcie.atomics
+        )?;
+        writeln!(
+            f,
+            "hybrid cache: {} writes, {} hits / {} misses ({:.0}% hit), {} flushes, {} evictions, {} prefetched",
+            self.cache.writes,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache_hit_rate() * 100.0,
+            self.cache.flushes,
+            self.cache.evictions,
+            self.cache.prefetch_inserts
+        )?;
+        writeln!(
+            f,
+            "kvfs: dentry {:.0}% hit, inode {} hits / {} misses",
+            self.dentry_hit_rate() * 100.0,
+            self.kvfs_lookups.inode_hits,
+            self.kvfs_lookups.inode_misses
+        )?;
+        writeln!(
+            f,
+            "kv store: {} gets, {} puts, {} deletes, {} scans, {} sub-writes",
+            self.kv.gets, self.kv.puts, self.kv.deletes, self.kv.scans, self.kv.sub_writes
+        )?;
+        write!(
+            f,
+            "dpu runtime: {} requests served, {} pages flushed",
+            self.requests_served, self.pages_flushed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_division() {
+        let m = MetricsSnapshot::default();
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.dentry_hit_rate(), 0.0);
+        assert_eq!(m.pcie_bytes_per_request(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let m = MetricsSnapshot {
+            cache: CacheStats {
+                hits: 75,
+                misses: 25,
+                ..Default::default()
+            },
+            pcie: PcieSnapshot {
+                dma_bytes: 1000,
+                ..Default::default()
+            },
+            requests_served: 10,
+            ..Default::default()
+        };
+        assert_eq!(m.cache_hit_rate(), 0.75);
+        assert_eq!(m.pcie_bytes_per_request(), 100.0);
+    }
+
+    #[test]
+    fn display_is_multiline_and_complete() {
+        let s = MetricsSnapshot::default().to_string();
+        for key in ["pcie:", "hybrid cache:", "kvfs:", "kv store:", "dpu runtime:"] {
+            assert!(s.contains(key), "missing {key} in:\n{s}");
+        }
+    }
+}

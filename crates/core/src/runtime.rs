@@ -1,0 +1,134 @@
+//! The DPU runtime: service threads polling nvme-fs targets, plus the
+//! background cache flusher.
+//!
+//! In the real system these are processes on the DPU's 24 TaiShan cores;
+//! here they are OS threads serving the same roles — each nvme-fs queue
+//! pair gets a service loop running the [`Dispatcher`], and one flusher
+//! thread periodically scans the hybrid cache's meta area and persists
+//! dirty pages into KVFS (the paper's back-end write path).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dpc_cache::ControlPlane;
+use dpc_kvfs::Kvfs;
+use dpc_nvmefs::FileTarget;
+
+use crate::dispatch::Dispatcher;
+
+/// Shared runtime state.
+pub struct RuntimeShared {
+    pub shutdown: AtomicBool,
+    /// Requests served across all service threads.
+    pub requests_served: AtomicU64,
+    /// Pages persisted by the flusher.
+    pub pages_flushed: AtomicU64,
+}
+
+/// Handle owning the DPU threads; joins them on drop.
+pub struct DpuRuntime {
+    pub shared: Arc<RuntimeShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DpuRuntime {
+    /// Spawn one service thread per target (each with its own
+    /// [`Dispatcher`]) and one flusher thread.
+    pub fn spawn(
+        targets: Vec<(FileTarget, Dispatcher)>,
+        flusher: Option<(ControlPlane, Arc<Kvfs>)>,
+    ) -> DpuRuntime {
+        let shared = Arc::new(RuntimeShared {
+            shutdown: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+            pages_flushed: AtomicU64::new(0),
+        });
+        let mut threads = Vec::new();
+
+        for (qid, (mut target, mut dispatcher)) in targets.into_iter().enumerate() {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dpu-svc-{qid}"))
+                    .spawn(move || {
+                        let mut idle_spins = 0u32;
+                        while !shared.shutdown.load(Ordering::Acquire) {
+                            match target.poll() {
+                                Some(inc) => {
+                                    idle_spins = 0;
+                                    let (resp, payload) = dispatcher.handle(&inc);
+                                    target.reply(inc.slot, &resp, &payload);
+                                    shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => {
+                                    idle_spins += 1;
+                                    if idle_spins > 256 {
+                                        std::thread::yield_now();
+                                    } else {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn service thread"),
+            );
+        }
+
+        if let Some((mut control, kvfs)) = flusher {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dpu-flusher".into())
+                    .spawn(move || {
+                        while !shared.shutdown.load(Ordering::Acquire) {
+                            let kvfs2 = kvfs.clone();
+                            let flushed =
+                                control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+                                    let _ = kvfs2.write(
+                                        ino,
+                                        lpn * dpc_cache::PAGE_SIZE as u64,
+                                        page,
+                                    );
+                                });
+                            shared
+                                .pages_flushed
+                                .fetch_add(flushed as u64, Ordering::Relaxed);
+                            if flushed == 0 {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                        }
+                        // Final drain so nothing dirty is lost at shutdown.
+                        let kvfs2 = kvfs.clone();
+                        let flushed = control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+                            let _ = kvfs2.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
+                        });
+                        shared
+                            .pages_flushed
+                            .fetch_add(flushed as u64, Ordering::Relaxed);
+                    })
+                    .expect("spawn flusher thread"),
+            );
+        }
+
+        DpuRuntime { shared, threads }
+    }
+
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests_served.load(Ordering::Relaxed)
+    }
+
+    pub fn pages_flushed(&self) -> u64 {
+        self.shared.pages_flushed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for DpuRuntime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! The distributed-file-system backend: metadata servers and data servers.
+//!
+//! The paper's client-side optimizations only make sense against a real
+//! backend shape (§2.1): metadata is hash-partitioned across MDSes, so a
+//! request sent to the wrong ("entry") MDS is *forwarded* to its home MDS
+//! — the hop the optimized client's metadata view avoids. File data is
+//! striped in 8 KiB blocks, each erasure-coded `k+m` and spread across
+//! data servers; EC runs on the MDS for standard clients and on the
+//! client (host or DPU) for optimized/DPC clients.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpc_ec::ReedSolomon;
+use parking_lot::RwLock;
+
+/// Data is striped and erasure-coded at this granularity.
+pub const DFS_BLOCK: usize = 8192;
+
+/// Minimal file attributes tracked by the MDS.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DfsAttr {
+    pub ino: u64,
+    pub size: u64,
+    pub mtime: u64,
+}
+
+/// DFS-level errors.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DfsError {
+    NotFound,
+    AlreadyExists,
+    /// Too many shards unavailable to reconstruct a block.
+    Unrecoverable,
+    /// Delegation conflict: another client holds it.
+    Delegated,
+}
+
+impl core::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DfsError::NotFound => "no such file",
+            DfsError::AlreadyExists => "file exists",
+            DfsError::Unrecoverable => "too many shards lost",
+            DfsError::Delegated => "delegation held by another client",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+fn hash64(x: u64, y: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in x.to_le_bytes().into_iter().chain(y.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn hash_name(p_ino: u64, name: &str) -> u64 {
+    let mut h: u64 = hash64(p_ino, 0x9E37_79B9);
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One metadata server: a hash partition of dentries, inodes, layouts and
+/// delegations.
+pub struct MetadataServer {
+    pub id: usize,
+    dentries: RwLock<HashMap<(u64, String), u64>>,
+    inodes: RwLock<HashMap<u64, DfsAttr>>,
+    /// ino → client id currently holding the delegation.
+    delegations: RwLock<HashMap<u64, u64>>,
+    /// Delegations revoked by a recall, pending acknowledgement by their
+    /// former holder: (ino, old holder).
+    revoked: RwLock<std::collections::HashSet<(u64, u64)>>,
+    /// RPCs served (including forwarded ones landing here).
+    pub rpcs: AtomicU64,
+    /// Requests this MDS had to forward to the home MDS.
+    pub forwarded: AtomicU64,
+    /// Delegation recalls performed.
+    pub recalls: AtomicU64,
+}
+
+impl MetadataServer {
+    fn new(id: usize) -> MetadataServer {
+        MetadataServer {
+            id,
+            dentries: RwLock::new(HashMap::new()),
+            inodes: RwLock::new(HashMap::new()),
+            delegations: RwLock::new(HashMap::new()),
+            revoked: RwLock::new(std::collections::HashSet::new()),
+            rpcs: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            recalls: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One data server: shard storage keyed by `(ino, block, shard)`.
+pub struct DataServer {
+    pub id: usize,
+    shards: RwLock<HashMap<(u64, u64, usize), Vec<u8>>>,
+    /// Failure injection: a failed server refuses reads.
+    failed: std::sync::atomic::AtomicBool,
+    pub rpcs: AtomicU64,
+}
+
+impl DataServer {
+    fn new(id: usize) -> DataServer {
+        DataServer {
+            id,
+            shards: RwLock::new(HashMap::new()),
+            failed: std::sync::atomic::AtomicBool::new(false),
+            rpcs: AtomicU64::new(0),
+        }
+    }
+
+    pub fn put_shard(&self, ino: u64, block: u64, shard: usize, data: Vec<u8>) {
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.shards.write().insert((ino, block, shard), data);
+    }
+
+    pub fn get_shard(&self, ino: u64, block: u64, shard: usize) -> Option<Vec<u8>> {
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        if self.failed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.shards.read().get(&(ino, block, shard)).cloned()
+    }
+
+    /// Inject / clear a failure.
+    pub fn set_failed(&self, failed: bool) {
+        self.failed.store(failed, Ordering::Relaxed);
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+}
+
+/// Backend configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct DfsConfig {
+    pub mds_count: usize,
+    pub data_server_count: usize,
+    /// EC data shards per block.
+    pub ec_k: usize,
+    /// EC parity shards per block.
+    pub ec_m: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            mds_count: 4,
+            data_server_count: 6,
+            ec_k: 4,
+            ec_m: 2,
+        }
+    }
+}
+
+/// The whole backend cluster.
+pub struct DfsBackend {
+    pub cfg: DfsConfig,
+    mdses: Vec<MetadataServer>,
+    data_servers: Vec<DataServer>,
+    ec: ReedSolomon,
+    next_ino: AtomicU64,
+    clock: AtomicU64,
+}
+
+impl DfsBackend {
+    pub fn new(cfg: DfsConfig) -> Arc<DfsBackend> {
+        assert!(cfg.ec_k + cfg.ec_m <= cfg.data_server_count,
+            "need at least k+m data servers");
+        Arc::new(DfsBackend {
+            mdses: (0..cfg.mds_count).map(MetadataServer::new).collect(),
+            data_servers: (0..cfg.data_server_count).map(DataServer::new).collect(),
+            ec: ReedSolomon::new(cfg.ec_k, cfg.ec_m),
+            next_ino: AtomicU64::new(1),
+            clock: AtomicU64::new(1),
+            cfg,
+        })
+    }
+
+    pub fn ec(&self) -> &ReedSolomon {
+        &self.ec
+    }
+
+    pub fn mds(&self, id: usize) -> &MetadataServer {
+        &self.mdses[id]
+    }
+
+    pub fn data_server(&self, id: usize) -> &DataServer {
+        &self.data_servers[id]
+    }
+
+    pub fn mds_count(&self) -> usize {
+        self.mdses.len()
+    }
+
+    pub fn data_server_count(&self) -> usize {
+        self.data_servers.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Home MDS of a dentry.
+    pub fn home_mds_of_name(&self, p_ino: u64, name: &str) -> usize {
+        (hash_name(p_ino, name) % self.mdses.len() as u64) as usize
+    }
+
+    /// Home MDS of an inode.
+    pub fn home_mds_of_ino(&self, ino: u64) -> usize {
+        (hash64(ino, 0) % self.mdses.len() as u64) as usize
+    }
+
+    /// The data servers hosting block `block` of `ino`, one per EC shard
+    /// (rotated by block number for balance).
+    pub fn placement(&self, ino: u64, block: u64) -> Vec<usize> {
+        let n = self.data_servers.len();
+        let base = (hash64(ino, block) % n as u64) as usize;
+        (0..self.cfg.ec_k + self.cfg.ec_m)
+            .map(|s| (base + s) % n)
+            .collect()
+    }
+
+    // ---- MDS-side operations (each counts an RPC at the serving MDS) ----
+
+    /// Create a file. `via` is the MDS the client contacted; forwarding to
+    /// the home MDS is counted there.
+    pub fn mds_create(&self, via: usize, p_ino: u64, name: &str) -> Result<DfsAttr, DfsError> {
+        let home = self.home_mds_of_name(p_ino, name);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mds = &self.mdses[home];
+        let mut dentries = mds.dentries.write();
+        if dentries.contains_key(&(p_ino, name.to_string())) {
+            return Err(DfsError::AlreadyExists);
+        }
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        dentries.insert((p_ino, name.to_string()), ino);
+        drop(dentries);
+        let attr = DfsAttr {
+            ino,
+            size: 0,
+            mtime: self.now(),
+        };
+        // The inode may live on a different home; store it there.
+        let ihome = self.home_mds_of_ino(ino);
+        self.mdses[ihome].inodes.write().insert(ino, attr);
+        Ok(attr)
+    }
+
+    /// Lookup a dentry.
+    pub fn mds_lookup(&self, via: usize, p_ino: u64, name: &str) -> Result<u64, DfsError> {
+        let home = self.home_mds_of_name(p_ino, name);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.mdses[home]
+            .dentries
+            .read()
+            .get(&(p_ino, name.to_string()))
+            .copied()
+            .ok_or(DfsError::NotFound)
+    }
+
+    /// Fetch attributes.
+    pub fn mds_getattr(&self, via: usize, ino: u64) -> Result<DfsAttr, DfsError> {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.mdses[home]
+            .inodes
+            .read()
+            .get(&ino)
+            .copied()
+            .ok_or(DfsError::NotFound)
+    }
+
+    /// Update size/mtime after a write (direct to the home MDS: this path
+    /// is used by lazily-batched metadata updates too).
+    pub fn mds_update_size(&self, via: usize, ino: u64, end: u64) -> Result<(), DfsError> {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        let now = self.now();
+        let mut inodes = self.mdses[home].inodes.write();
+        let attr = inodes.get_mut(&ino).ok_or(DfsError::NotFound)?;
+        if end > attr.size {
+            attr.size = end;
+        }
+        attr.mtime = now;
+        Ok(())
+    }
+
+    /// Acquire (or confirm) a delegation of `ino` for `client`.
+    pub fn mds_delegate(&self, via: usize, ino: u64, client: u64) -> Result<(), DfsError> {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut del = self.mdses[home].delegations.write();
+        match del.get(&ino).copied() {
+            Some(holder) if holder != client => {
+                // Recall: revoke the current holder's delegation (it will
+                // observe the revocation on its next lease check and drop
+                // its cached state), then grant to the requester.
+                self.mdses[home].revoked.write().insert((ino, holder));
+                self.mdses[home].recalls.fetch_add(1, Ordering::Relaxed);
+                del.insert(ino, client);
+                Ok(())
+            }
+            _ => {
+                del.insert(ino, client);
+                Ok(())
+            }
+        }
+    }
+
+    /// Lease check: has `client`'s delegation of `ino` been recalled?
+    /// Consuming the flag acknowledges the recall (the client must drop
+    /// its cached attributes and flush pending metadata first).
+    pub fn delegation_revoked(&self, ino: u64, client: u64) -> bool {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[home].revoked.read().contains(&(ino, client))
+    }
+
+    /// Acknowledge a recall after the client has dropped its state.
+    pub fn ack_recall(&self, ino: u64, client: u64) {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[home].revoked.write().remove(&(ino, client));
+    }
+
+    /// Total delegation recalls across all MDSes.
+    pub fn total_recalls(&self) -> u64 {
+        self.mdses
+            .iter()
+            .map(|m| m.recalls.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn mds_release_delegation(&self, ino: u64, client: u64) {
+        let home = self.home_mds_of_ino(ino);
+        let mut del = self.mdses[home].delegations.write();
+        if del.get(&ino) == Some(&client) {
+            del.remove(&ino);
+        }
+    }
+
+    // ---- server-side data path (standard client: MDS proxies + EC) -----
+
+    /// Standard-client write: the MDS receives the whole block, computes
+    /// EC server-side and distributes shards to the data servers.
+    pub fn mds_write_block(
+        &self,
+        via: usize,
+        ino: u64,
+        block: u64,
+        data: &[u8],
+    ) -> Result<(), DfsError> {
+        assert!(data.len() <= DFS_BLOCK);
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        let shards = self
+            .ec
+            .encode_buffer(data)
+            .map_err(|_| DfsError::Unrecoverable)?;
+        for (s, server) in self.placement(ino, block).into_iter().enumerate() {
+            self.data_servers[server].put_shard(ino, block, s, shards[s].clone());
+        }
+        let end = block * DFS_BLOCK as u64 + data.len() as u64;
+        let now = self.now();
+        let mut inodes = self.mdses[home].inodes.write();
+        if let Some(attr) = inodes.get_mut(&ino) {
+            if end > attr.size {
+                attr.size = end;
+            }
+            attr.mtime = now;
+        }
+        Ok(())
+    }
+
+    /// Small-I/O packing (§2.1 "Direct I/O"): the client packs several
+    /// sub-block writes into a single message; the MDS consolidates them
+    /// into whole-block updates (read-modify-write per touched block) and
+    /// writes each block's stripe once. Returns the number of consolidated
+    /// block writes — the client paid *one* RPC for all of it.
+    pub fn mds_write_packed(
+        &self,
+        via: usize,
+        ino: u64,
+        ios: &[(u64, Vec<u8>)], // (byte offset, data), each < DFS_BLOCK
+    ) -> Result<usize, DfsError> {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        // Group the small I/Os by the block they touch.
+        let mut blocks: std::collections::BTreeMap<u64, Vec<(usize, &[u8])>> =
+            std::collections::BTreeMap::new();
+        let mut max_end = 0u64;
+        for (offset, data) in ios {
+            assert!(
+                (*offset % DFS_BLOCK as u64) as usize + data.len() <= DFS_BLOCK,
+                "small I/O may not span blocks"
+            );
+            let block = offset / DFS_BLOCK as u64;
+            let in_block = (offset % DFS_BLOCK as u64) as usize;
+            blocks.entry(block).or_default().push((in_block, data));
+            max_end = max_end.max(offset + data.len() as u64);
+        }
+        // Consolidate: one read-modify-write per touched block.
+        let consolidated = blocks.len();
+        for (block, writes) in blocks {
+            let mut buf = self
+                .gather_block(ino, block)
+                .unwrap_or_else(|_| vec![0u8; DFS_BLOCK]);
+            buf.resize(DFS_BLOCK, 0);
+            for (in_block, data) in writes {
+                buf[in_block..in_block + data.len()].copy_from_slice(data);
+            }
+            let shards = self
+                .ec
+                .encode_buffer(&buf)
+                .map_err(|_| DfsError::Unrecoverable)?;
+            for (sh, server) in self.placement(ino, block).into_iter().enumerate() {
+                self.data_servers[server].put_shard(ino, block, sh, shards[sh].clone());
+            }
+        }
+        let now = self.now();
+        let mut inodes = self.mdses[home].inodes.write();
+        if let Some(attr) = inodes.get_mut(&ino) {
+            if max_end > attr.size {
+                attr.size = max_end;
+            }
+            attr.mtime = now;
+        }
+        Ok(consolidated)
+    }
+
+    /// Standard-client read: the MDS gathers shards, reassembles the block
+    /// (reconstructing if shards are missing) and returns it.
+    pub fn mds_read_block(&self, via: usize, ino: u64, block: u64) -> Result<Vec<u8>, DfsError> {
+        let home = self.home_mds_of_ino(ino);
+        self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
+        if home != via {
+            self.mdses[via].forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mdses[home].rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.gather_block(ino, block)
+    }
+
+    /// Fetch k+m shards and reassemble/reconstruct one block. Shared by
+    /// the MDS proxy path and the client-direct path.
+    pub fn gather_block(&self, ino: u64, block: u64) -> Result<Vec<u8>, DfsError> {
+        let placement = self.placement(ino, block);
+        let k = self.cfg.ec_k;
+        let mut shards: Vec<Option<Vec<u8>>> = placement
+            .iter()
+            .enumerate()
+            .map(|(s, &server)| self.data_servers[server].get_shard(ino, block, s))
+            .collect();
+        if shards.iter().all(|s| s.is_none()) {
+            return Err(DfsError::NotFound);
+        }
+        if shards[..k].iter().any(|s| s.is_none()) {
+            // Degraded read: reconstruct from parity.
+            self.ec
+                .reconstruct(&mut shards)
+                .map_err(|_| DfsError::Unrecoverable)?;
+        }
+        let mut out = Vec::with_capacity(DFS_BLOCK);
+        for s in shards.into_iter().take(k) {
+            out.extend_from_slice(&s.unwrap());
+        }
+        out.truncate(DFS_BLOCK);
+        Ok(out)
+    }
+
+    /// Total RPCs served across all MDSes.
+    pub fn total_mds_rpcs(&self) -> u64 {
+        self.mdses.iter().map(|m| m.rpcs.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total forwarding hops across all MDSes.
+    pub fn total_forwards(&self) -> u64 {
+        self.mdses
+            .iter()
+            .map(|m| m.forwarded.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_getattr() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "file").unwrap();
+        assert_eq!(b.mds_lookup(0, 0, "file").unwrap(), attr.ino);
+        assert_eq!(b.mds_getattr(0, attr.ino).unwrap().size, 0);
+        assert_eq!(b.mds_create(0, 0, "file"), Err(DfsError::AlreadyExists));
+        assert_eq!(b.mds_lookup(0, 0, "nope"), Err(DfsError::NotFound));
+    }
+
+    #[test]
+    fn forwarding_counted_when_entry_is_not_home() {
+        let b = DfsBackend::new(DfsConfig::default());
+        // Find a name whose home is not MDS 0, then contact via MDS 0.
+        let name = (0..100)
+            .map(|i| format!("f{i}"))
+            .find(|n| b.home_mds_of_name(0, n) != 0)
+            .unwrap();
+        b.mds_create(0, 0, &name).unwrap();
+        assert_eq!(b.total_forwards(), 1);
+        // Contacting the home directly forwards nothing.
+        let home = b.home_mds_of_name(0, "direct");
+        let before = b.total_forwards();
+        b.mds_create(home, 0, "direct").unwrap();
+        assert_eq!(b.total_forwards(), before);
+    }
+
+    #[test]
+    fn server_side_write_then_read() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "data").unwrap();
+        let block: Vec<u8> = (0..DFS_BLOCK).map(|i| (i % 251) as u8).collect();
+        b.mds_write_block(1, attr.ino, 0, &block).unwrap();
+        let back = b.mds_read_block(2, attr.ino, 0).unwrap();
+        assert_eq!(back, block);
+        assert_eq!(b.mds_getattr(0, attr.ino).unwrap().size, DFS_BLOCK as u64);
+    }
+
+    #[test]
+    fn shards_spread_across_servers() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "spread").unwrap();
+        for block in 0..12u64 {
+            b.mds_write_block(0, attr.ino, block, &vec![1u8; DFS_BLOCK])
+                .unwrap();
+        }
+        // Every data server should hold some shards (12 blocks × 6 shards
+        // over 6 servers).
+        for ds in 0..b.data_server_count() {
+            assert!(b.data_server(ds).shard_count() > 0, "server {ds} empty");
+        }
+        let total: usize = (0..b.data_server_count())
+            .map(|i| b.data_server(i).shard_count())
+            .sum();
+        assert_eq!(total, 12 * 6);
+    }
+
+    #[test]
+    fn degraded_read_survives_m_failures() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "resilient").unwrap();
+        let block: Vec<u8> = (0..DFS_BLOCK).map(|i| (i * 7 % 253) as u8).collect();
+        b.mds_write_block(0, attr.ino, 0, &block).unwrap();
+        // Fail two (m = 2) data servers.
+        b.data_server(0).set_failed(true);
+        b.data_server(1).set_failed(true);
+        assert_eq!(b.mds_read_block(0, attr.ino, 0).unwrap(), block);
+        // A third failure makes the block unrecoverable.
+        b.data_server(2).set_failed(true);
+        assert!(matches!(
+            b.mds_read_block(0, attr.ino, 0),
+            Err(DfsError::Unrecoverable) | Err(DfsError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn delegation_recall_semantics() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "locked").unwrap();
+        b.mds_delegate(0, attr.ino, 1).unwrap();
+        b.mds_delegate(0, attr.ino, 1).unwrap(); // re-confirm is fine
+        assert_eq!(b.total_recalls(), 0);
+        assert!(!b.delegation_revoked(attr.ino, 1));
+        // A competing client triggers a recall and takes the delegation.
+        b.mds_delegate(0, attr.ino, 2).unwrap();
+        assert_eq!(b.total_recalls(), 1);
+        assert!(b.delegation_revoked(attr.ino, 1), "old holder sees the recall");
+        assert!(!b.delegation_revoked(attr.ino, 2), "new holder is clean");
+        b.ack_recall(attr.ino, 1);
+        assert!(!b.delegation_revoked(attr.ino, 1));
+        // Voluntary release by the new holder.
+        b.mds_release_delegation(attr.ino, 2);
+        b.mds_delegate(0, attr.ino, 1).unwrap();
+        assert_eq!(b.total_recalls(), 1, "no recall on a free delegation");
+    }
+
+    #[test]
+    fn partial_tail_block_round_trips() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "tail").unwrap();
+        let data = vec![0xEE; 5000];
+        b.mds_write_block(0, attr.ino, 0, &data).unwrap();
+        let back = b.mds_read_block(0, attr.ino, 0).unwrap();
+        assert_eq!(&back[..5000], &data[..]);
+    }
+}

@@ -1,0 +1,741 @@
+//! The three fs-client flavours the evaluation compares (Fig 1, Fig 9):
+//!
+//! - [`StandardClient`] — NFS-like: every operation is one RPC to the
+//!   client's *entry* MDS (forwarded server-side when the metadata lives
+//!   elsewhere); data is proxied through the MDS, which computes EC
+//!   server-side. Minimal host CPU, minimal performance.
+//! - [`OptimizedClient`] — the host-side optimized client: a metadata
+//!   view routes requests straight to home MDSes, EC is computed on the
+//!   client, direct I/O sends shards straight to data servers, metadata
+//!   updates batch lazily, and delegations let attributes be cached
+//!   locally. 4–5× the IOPS — and the "datacenter tax" in host CPU.
+//! - [`DpcClient`] — identical logic, executed on the DPU ([`ClientCore`]
+//!   shared with the optimized client). The functional behaviour is the
+//!   same; *where* the cycles land differs, which the benchmarks express
+//!   by charging DPU stations instead of host stations.
+//!
+//! Every operation returns an [`OpTrace`] describing exactly what crossed
+//! the network and what was computed locally, so the benchmarks can
+//! convert structure into time without re-guessing the protocol.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::backend::{DfsAttr, DfsBackend, DfsError, DFS_BLOCK};
+
+/// What one client operation did (structure, not time).
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct OpTrace {
+    /// RPCs the client issued to metadata servers.
+    pub mds_rpcs: u32,
+    /// RPCs the client issued directly to data servers.
+    pub ds_rpcs: u32,
+    /// Bytes erasure-coded *on the client* (0 for the standard client).
+    pub ec_bytes: u64,
+    /// Payload bytes sent / received by the client.
+    pub bytes_out: u64,
+    pub bytes_in: u64,
+    /// Whether client-side metadata caching short-circuited the op.
+    pub meta_cache_hit: bool,
+}
+
+impl OpTrace {
+    fn add(&mut self, other: OpTrace) {
+        self.mds_rpcs += other.mds_rpcs;
+        self.ds_rpcs += other.ds_rpcs;
+        self.ec_bytes += other.ec_bytes;
+        self.bytes_out += other.bytes_out;
+        self.bytes_in += other.bytes_in;
+    }
+}
+
+/// The uniform client interface (block-granular data path, as the
+/// evaluation drives 8 KiB I/O).
+pub trait FsClient {
+    fn client_name(&self) -> &'static str;
+    fn create(&mut self, parent: u64, name: &str) -> Result<(DfsAttr, OpTrace), DfsError>;
+    fn lookup(&mut self, parent: u64, name: &str) -> Result<(u64, OpTrace), DfsError>;
+    fn getattr(&mut self, ino: u64) -> Result<(DfsAttr, OpTrace), DfsError>;
+    fn write_block(&mut self, ino: u64, block: u64, data: &[u8]) -> Result<OpTrace, DfsError>;
+    fn read_block(&mut self, ino: u64, block: u64) -> Result<(Vec<u8>, OpTrace), DfsError>;
+    /// Flush any lazily batched metadata updates.
+    fn sync_meta(&mut self) -> Result<OpTrace, DfsError>;
+}
+
+// ---------------------------------------------------------------------
+// Standard (NFS-like) client
+// ---------------------------------------------------------------------
+
+pub struct StandardClient {
+    backend: Arc<DfsBackend>,
+    entry_mds: usize,
+}
+
+impl StandardClient {
+    pub fn new(backend: Arc<DfsBackend>, entry_mds: usize) -> StandardClient {
+        StandardClient { backend, entry_mds }
+    }
+
+    /// Small-I/O packing: send several sub-block writes to the entry MDS
+    /// in one message; the MDS consolidates them into whole-block stripe
+    /// updates (§2.1's "MDS consolidates multiple small I/Os into a single
+    /// large I/O"). One client RPC regardless of the I/O count.
+    pub fn write_small_packed(
+        &mut self,
+        ino: u64,
+        ios: &[(u64, Vec<u8>)],
+    ) -> Result<(usize, OpTrace), DfsError> {
+        let consolidated = self.backend.mds_write_packed(self.entry_mds, ino, ios)?;
+        let bytes: u64 = ios.iter().map(|(_, d)| d.len() as u64 + 16).sum();
+        Ok((
+            consolidated,
+            OpTrace {
+                mds_rpcs: 1,
+                bytes_out: bytes,
+                ..Default::default()
+            },
+        ))
+    }
+}
+
+impl FsClient for StandardClient {
+    fn client_name(&self) -> &'static str {
+        "standard-nfs"
+    }
+
+    fn create(&mut self, parent: u64, name: &str) -> Result<(DfsAttr, OpTrace), DfsError> {
+        let attr = self.backend.mds_create(self.entry_mds, parent, name)?;
+        Ok((
+            attr,
+            OpTrace {
+                mds_rpcs: 1,
+                bytes_out: name.len() as u64 + 16,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn lookup(&mut self, parent: u64, name: &str) -> Result<(u64, OpTrace), DfsError> {
+        let ino = self.backend.mds_lookup(self.entry_mds, parent, name)?;
+        Ok((
+            ino,
+            OpTrace {
+                mds_rpcs: 1,
+                bytes_out: name.len() as u64 + 16,
+                bytes_in: 8,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn getattr(&mut self, ino: u64) -> Result<(DfsAttr, OpTrace), DfsError> {
+        let attr = self.backend.mds_getattr(self.entry_mds, ino)?;
+        Ok((
+            attr,
+            OpTrace {
+                mds_rpcs: 1,
+                bytes_in: 64,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn write_block(&mut self, ino: u64, block: u64, data: &[u8]) -> Result<OpTrace, DfsError> {
+        // Whole block to the MDS; EC happens server-side.
+        self.backend
+            .mds_write_block(self.entry_mds, ino, block, data)?;
+        Ok(OpTrace {
+            mds_rpcs: 1,
+            bytes_out: data.len() as u64,
+            ..Default::default()
+        })
+    }
+
+    fn read_block(&mut self, ino: u64, block: u64) -> Result<(Vec<u8>, OpTrace), DfsError> {
+        let data = self.backend.mds_read_block(self.entry_mds, ino, block)?;
+        let n = data.len() as u64;
+        Ok((
+            data,
+            OpTrace {
+                mds_rpcs: 1,
+                bytes_in: n,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn sync_meta(&mut self) -> Result<OpTrace, DfsError> {
+        Ok(OpTrace::default()) // nothing batched
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimized client core (shared by host-optimized and DPC clients)
+// ---------------------------------------------------------------------
+
+/// The optimized fs-client logic: metadata view, client-side EC + direct
+/// I/O, delegation-backed attribute caching, lazy metadata batching.
+pub struct ClientCore {
+    backend: Arc<DfsBackend>,
+    client_id: u64,
+    /// Cached attributes for delegated inodes.
+    attr_cache: HashMap<u64, DfsAttr>,
+    /// Pending lazy size updates: ino → max end offset.
+    pending_meta: HashMap<u64, u64>,
+    /// Flush pending metadata after this many batched writes.
+    pub meta_batch: usize,
+    batched: usize,
+}
+
+impl ClientCore {
+    pub fn new(backend: Arc<DfsBackend>, client_id: u64) -> ClientCore {
+        ClientCore {
+            backend,
+            client_id,
+            attr_cache: HashMap::new(),
+            pending_meta: HashMap::new(),
+            meta_batch: 16,
+            batched: 0,
+        }
+    }
+
+    pub fn backend(&self) -> &Arc<DfsBackend> {
+        &self.backend
+    }
+
+    pub fn create(&mut self, parent: u64, name: &str) -> Result<(DfsAttr, OpTrace), DfsError> {
+        // Metadata view: go straight to the home MDS — no forwarding hop.
+        let home = self.backend.home_mds_of_name(parent, name);
+        let attr = self.backend.mds_create(home, parent, name)?;
+        // Take the delegation immediately (create-and-write pattern).
+        let ihome = self.backend.home_mds_of_ino(attr.ino);
+        self.backend.mds_delegate(ihome, attr.ino, self.client_id)?;
+        self.attr_cache.insert(attr.ino, attr);
+        Ok((
+            attr,
+            OpTrace {
+                mds_rpcs: 2,
+                bytes_out: name.len() as u64 + 16,
+                ..Default::default()
+            },
+        ))
+    }
+
+    pub fn lookup(&mut self, parent: u64, name: &str) -> Result<(u64, OpTrace), DfsError> {
+        let home = self.backend.home_mds_of_name(parent, name);
+        let ino = self.backend.mds_lookup(home, parent, name)?;
+        Ok((
+            ino,
+            OpTrace {
+                mds_rpcs: 1,
+                bytes_out: name.len() as u64 + 16,
+                bytes_in: 8,
+                ..Default::default()
+            },
+        ))
+    }
+
+    /// Lease check: if the MDS recalled our delegation of `ino`, drop the
+    /// cached attributes, flush any pending lazy metadata for that inode,
+    /// and acknowledge the recall. Returns true when a recall was served.
+    pub fn check_lease(&mut self, ino: u64) -> Result<bool, DfsError> {
+        if !self.backend.delegation_revoked(ino, self.client_id) {
+            return Ok(false);
+        }
+        self.attr_cache.remove(&ino);
+        if let Some(end) = self.pending_meta.remove(&ino) {
+            let home = self.backend.home_mds_of_ino(ino);
+            self.backend.mds_update_size(home, ino, end)?;
+        }
+        self.backend.ack_recall(ino, self.client_id);
+        Ok(true)
+    }
+
+    pub fn getattr(&mut self, ino: u64) -> Result<(DfsAttr, OpTrace), DfsError> {
+        self.check_lease(ino)?;
+        if let Some(attr) = self.attr_cache.get(&ino) {
+            // Delegation held: answer locally, but reflect pending writes.
+            let mut attr = *attr;
+            if let Some(&end) = self.pending_meta.get(&ino) {
+                attr.size = attr.size.max(end);
+            }
+            return Ok((
+                attr,
+                OpTrace {
+                    meta_cache_hit: true,
+                    ..Default::default()
+                },
+            ));
+        }
+        let home = self.backend.home_mds_of_ino(ino);
+        let attr = self.backend.mds_getattr(home, ino)?;
+        // Acquire a delegation so subsequent getattrs are local.
+        let mut trace = OpTrace {
+            mds_rpcs: 1,
+            bytes_in: 64,
+            ..Default::default()
+        };
+        if self.backend.mds_delegate(home, ino, self.client_id).is_ok() {
+            self.attr_cache.insert(ino, attr);
+            trace.mds_rpcs += 1;
+        }
+        Ok((attr, trace))
+    }
+
+    pub fn write_block(&mut self, ino: u64, block: u64, data: &[u8]) -> Result<OpTrace, DfsError> {
+        assert!(data.len() <= DFS_BLOCK);
+        // Client-side EC: the real Reed–Solomon encode runs here.
+        let shards = self
+            .backend
+            .ec()
+            .encode_buffer(data)
+            .map_err(|_| DfsError::Unrecoverable)?;
+        let shard_bytes: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        // Direct I/O: shards straight to the data servers.
+        for (s, server) in self.backend.placement(ino, block).into_iter().enumerate() {
+            self.backend
+                .data_server(server)
+                .put_shard(ino, block, s, shards[s].clone());
+        }
+        // Lazy metadata: batch the size update.
+        let end = block * DFS_BLOCK as u64 + data.len() as u64;
+        let e = self.pending_meta.entry(ino).or_insert(0);
+        *e = (*e).max(end);
+        if let Some(attr) = self.attr_cache.get_mut(&ino) {
+            attr.size = attr.size.max(end);
+        }
+        self.batched += 1;
+        let mut trace = OpTrace {
+            ds_rpcs: shards.len() as u32,
+            ec_bytes: data.len() as u64,
+            bytes_out: shard_bytes,
+            ..Default::default()
+        };
+        if self.batched >= self.meta_batch {
+            trace.add(self.sync_meta()?);
+        }
+        Ok(trace)
+    }
+
+    pub fn read_block(&mut self, ino: u64, block: u64) -> Result<(Vec<u8>, OpTrace), DfsError> {
+        let placement = self.backend.placement(ino, block);
+        let k = self.backend.cfg.ec_k;
+        // Fetch the k data shards directly.
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; placement.len()];
+        let mut ds_rpcs = 0u32;
+        for s in 0..k {
+            shards[s] = self
+                .backend
+                .data_server(placement[s])
+                .get_shard(ino, block, s);
+            ds_rpcs += 1;
+        }
+        if shards[..k].iter().any(|s| s.is_none()) {
+            if shards[..k].iter().all(|s| s.is_none()) {
+                return Err(DfsError::NotFound);
+            }
+            // Degraded read: pull parity shards and reconstruct locally.
+            for s in k..placement.len() {
+                shards[s] = self
+                    .backend
+                    .data_server(placement[s])
+                    .get_shard(ino, block, s);
+                ds_rpcs += 1;
+            }
+            self.backend
+                .ec()
+                .reconstruct(&mut shards)
+                .map_err(|_| DfsError::Unrecoverable)?;
+        }
+        let mut out = Vec::with_capacity(DFS_BLOCK);
+        for s in shards.into_iter().take(k) {
+            out.extend_from_slice(&s.unwrap());
+        }
+        out.truncate(DFS_BLOCK);
+        let n = out.len() as u64;
+        Ok((
+            out,
+            OpTrace {
+                ds_rpcs,
+                bytes_in: n,
+                ..Default::default()
+            },
+        ))
+    }
+
+    pub fn sync_meta(&mut self) -> Result<OpTrace, DfsError> {
+        let mut trace = OpTrace::default();
+        for (ino, end) in std::mem::take(&mut self.pending_meta) {
+            let home = self.backend.home_mds_of_ino(ino);
+            self.backend.mds_update_size(home, ino, end)?;
+            trace.mds_rpcs += 1;
+        }
+        self.batched = 0;
+        Ok(trace)
+    }
+}
+
+/// The host-side optimized client.
+pub struct OptimizedClient(pub ClientCore);
+
+impl OptimizedClient {
+    pub fn new(backend: Arc<DfsBackend>, client_id: u64) -> OptimizedClient {
+        OptimizedClient(ClientCore::new(backend, client_id))
+    }
+}
+
+impl FsClient for OptimizedClient {
+    fn client_name(&self) -> &'static str {
+        "optimized-host"
+    }
+    fn create(&mut self, parent: u64, name: &str) -> Result<(DfsAttr, OpTrace), DfsError> {
+        self.0.create(parent, name)
+    }
+    fn lookup(&mut self, parent: u64, name: &str) -> Result<(u64, OpTrace), DfsError> {
+        self.0.lookup(parent, name)
+    }
+    fn getattr(&mut self, ino: u64) -> Result<(DfsAttr, OpTrace), DfsError> {
+        self.0.getattr(ino)
+    }
+    fn write_block(&mut self, ino: u64, block: u64, data: &[u8]) -> Result<OpTrace, DfsError> {
+        self.0.write_block(ino, block, data)
+    }
+    fn read_block(&mut self, ino: u64, block: u64) -> Result<(Vec<u8>, OpTrace), DfsError> {
+        self.0.read_block(ino, block)
+    }
+    fn sync_meta(&mut self) -> Result<OpTrace, DfsError> {
+        self.0.sync_meta()
+    }
+}
+
+/// The DPC client: the optimized client's logic running on the DPU.
+///
+/// Functionally identical to [`OptimizedClient`]; the benchmarks charge
+/// its CPU work to the DPU's cores and route requests through nvme-fs,
+/// which is the whole point of the paper (§4.3: optimized-client
+/// performance at standard-client host CPU cost).
+pub struct DpcClient(pub ClientCore);
+
+impl DpcClient {
+    pub fn new(backend: Arc<DfsBackend>, client_id: u64) -> DpcClient {
+        DpcClient(ClientCore::new(backend, client_id))
+    }
+}
+
+impl FsClient for DpcClient {
+    fn client_name(&self) -> &'static str {
+        "dpc"
+    }
+    fn create(&mut self, parent: u64, name: &str) -> Result<(DfsAttr, OpTrace), DfsError> {
+        self.0.create(parent, name)
+    }
+    fn lookup(&mut self, parent: u64, name: &str) -> Result<(u64, OpTrace), DfsError> {
+        self.0.lookup(parent, name)
+    }
+    fn getattr(&mut self, ino: u64) -> Result<(DfsAttr, OpTrace), DfsError> {
+        self.0.getattr(ino)
+    }
+    fn write_block(&mut self, ino: u64, block: u64, data: &[u8]) -> Result<OpTrace, DfsError> {
+        self.0.write_block(ino, block, data)
+    }
+    fn read_block(&mut self, ino: u64, block: u64) -> Result<(Vec<u8>, OpTrace), DfsError> {
+        self.0.read_block(ino, block)
+    }
+    fn sync_meta(&mut self) -> Result<OpTrace, DfsError> {
+        self.0.sync_meta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DfsConfig;
+
+    fn backend() -> Arc<DfsBackend> {
+        DfsBackend::new(DfsConfig::default())
+    }
+
+    #[test]
+    fn all_clients_round_trip_data() {
+        let b = backend();
+        let block: Vec<u8> = (0..DFS_BLOCK).map(|i| (i % 241) as u8).collect();
+        let mut clients: Vec<Box<dyn FsClient>> = vec![
+            Box::new(StandardClient::new(b.clone(), 0)),
+            Box::new(OptimizedClient::new(b.clone(), 1)),
+            Box::new(DpcClient::new(b.clone(), 2)),
+        ];
+        for (i, c) in clients.iter_mut().enumerate() {
+            let (attr, _) = c.create(0, &format!("f{i}")).unwrap();
+            c.write_block(attr.ino, 0, &block).unwrap();
+            let (back, _) = c.read_block(attr.ino, 0).unwrap();
+            assert_eq!(back, block, "client {}", c.client_name());
+            // Cross-client visibility: the standard client can read what
+            // the optimized client wrote.
+        }
+        let mut std_client = StandardClient::new(b.clone(), 0);
+        let (ino, _) = std_client.lookup(0, "f1").unwrap();
+        let (back, _) = std_client.read_block(ino, 0).unwrap();
+        assert_eq!(back, block);
+    }
+
+    #[test]
+    fn standard_client_generates_forwards_optimized_does_not() {
+        let b = backend();
+        let mut std_c = StandardClient::new(b.clone(), 0);
+        for i in 0..40 {
+            std_c.create(0, &format!("std{i}")).unwrap();
+        }
+        let fwd_std = b.total_forwards();
+        assert!(fwd_std > 0, "entry-MDS routing must forward sometimes");
+
+        let mut opt = OptimizedClient::new(b.clone(), 1);
+        for i in 0..40 {
+            opt.create(0, &format!("opt{i}")).unwrap();
+        }
+        assert_eq!(b.total_forwards(), fwd_std, "metadata view avoids forwards");
+    }
+
+    #[test]
+    fn optimized_write_is_direct_io_with_client_ec() {
+        let b = backend();
+        let mut opt = OptimizedClient::new(b.clone(), 1);
+        let (attr, _) = opt.create(0, "f").unwrap();
+        let t = opt.write_block(attr.ino, 0, &vec![1u8; DFS_BLOCK]).unwrap();
+        assert_eq!(t.ds_rpcs, 6, "k+m shards written directly");
+        assert_eq!(t.ec_bytes, DFS_BLOCK as u64, "EC computed on client");
+        assert_eq!(t.mds_rpcs, 0, "metadata batched lazily");
+    }
+
+    #[test]
+    fn standard_write_proxies_via_mds() {
+        let b = backend();
+        let mut std_c = StandardClient::new(b.clone(), 0);
+        let (attr, _) = std_c.create(0, "f").unwrap();
+        let t = std_c.write_block(attr.ino, 0, &vec![1u8; DFS_BLOCK]).unwrap();
+        assert_eq!(t.mds_rpcs, 1);
+        assert_eq!(t.ds_rpcs, 0, "client never touches data servers");
+        assert_eq!(t.ec_bytes, 0, "EC is server-side");
+    }
+
+    #[test]
+    fn delegation_makes_getattr_local() {
+        let b = backend();
+        let mut opt = OptimizedClient::new(b.clone(), 1);
+        let (attr, _) = opt.create(0, "f").unwrap();
+        let (_, t1) = opt.getattr(attr.ino).unwrap();
+        assert!(t1.meta_cache_hit, "create already took the delegation");
+        assert_eq!(t1.mds_rpcs, 0);
+        // The standard client always pays an RPC.
+        let mut std_c = StandardClient::new(b.clone(), 0);
+        let (_, t2) = std_c.getattr(attr.ino).unwrap();
+        assert!(!t2.meta_cache_hit);
+        assert_eq!(t2.mds_rpcs, 1);
+    }
+
+    #[test]
+    fn lazy_metadata_flush_updates_size() {
+        let b = backend();
+        let mut opt = OptimizedClient::new(b.clone(), 1);
+        opt.0.meta_batch = 4;
+        let (attr, _) = opt.create(0, "f").unwrap();
+        for blk in 0..3u64 {
+            opt.write_block(attr.ino, blk, &vec![1u8; DFS_BLOCK]).unwrap();
+        }
+        // Not flushed yet: the MDS still sees size 0, but the client's own
+        // cached view reflects the writes.
+        let home = b.home_mds_of_ino(attr.ino);
+        assert_eq!(b.mds_getattr(home, attr.ino).unwrap().size, 0);
+        let (local, _) = opt.getattr(attr.ino).unwrap();
+        assert_eq!(local.size, 3 * DFS_BLOCK as u64);
+        // Fourth write triggers the batch flush.
+        opt.write_block(attr.ino, 3, &vec![1u8; DFS_BLOCK]).unwrap();
+        assert_eq!(
+            b.mds_getattr(home, attr.ino).unwrap().size,
+            4 * DFS_BLOCK as u64
+        );
+    }
+
+    #[test]
+    fn optimized_degraded_read_reconstructs_client_side() {
+        let b = backend();
+        let mut opt = OptimizedClient::new(b.clone(), 1);
+        let (attr, _) = opt.create(0, "f").unwrap();
+        let block: Vec<u8> = (0..DFS_BLOCK).map(|i| (i % 199) as u8).collect();
+        opt.write_block(attr.ino, 0, &block).unwrap();
+        // Fail the server holding data shard 0.
+        let placement = b.placement(attr.ino, 0);
+        b.data_server(placement[0]).set_failed(true);
+        let (back, t) = opt.read_block(attr.ino, 0).unwrap();
+        assert_eq!(back, block);
+        assert_eq!(t.ds_rpcs, 6, "degraded read touched parity shards");
+    }
+
+    #[test]
+    fn dpc_client_matches_optimized_structure() {
+        // The DPC client is the optimized client offloaded: identical
+        // OpTraces for identical operations.
+        let b1 = backend();
+        let b2 = backend();
+        let mut opt = OptimizedClient::new(b1, 1);
+        let mut dpc = DpcClient::new(b2, 1);
+        let (a1, t1c) = opt.create(0, "f").unwrap();
+        let (a2, t2c) = dpc.create(0, "f").unwrap();
+        assert_eq!(t1c, t2c);
+        let t1 = opt.write_block(a1.ino, 0, &vec![1u8; DFS_BLOCK]).unwrap();
+        let t2 = dpc.write_block(a2.ino, 0, &vec![1u8; DFS_BLOCK]).unwrap();
+        assert_eq!(t1, t2);
+        let (_, r1) = opt.read_block(a1.ino, 0).unwrap();
+        let (_, r2) = dpc.read_block(a2.ino, 0).unwrap();
+        assert_eq!(r1, r2);
+    }
+}
+
+#[cfg(test)]
+mod recall_tests {
+    use super::*;
+    use crate::backend::{DfsConfig, DFS_BLOCK as BLK};
+
+    #[test]
+    fn recall_transfers_delegation_and_flushes_lazy_metadata() {
+        let b = crate::backend::DfsBackend::new(DfsConfig::default());
+        let mut a = OptimizedClient::new(b.clone(), 1);
+        let mut c = OptimizedClient::new(b.clone(), 2);
+
+        // A creates the file (taking the delegation) and batches writes.
+        let (attr, _) = a.create(0, "shared").unwrap();
+        a.0.meta_batch = 100; // keep the size update lazy
+        for blk in 0..3u64 {
+            a.write_block(attr.ino, blk, &vec![1u8; BLK]).unwrap();
+        }
+        let home = b.home_mds_of_ino(attr.ino);
+        assert_eq!(b.mds_getattr(home, attr.ino).unwrap().size, 0, "lazy");
+
+        // B getattrs: the MDS recalls A's delegation and grants B's.
+        let (seen_by_b, _) = c.getattr(attr.ino).unwrap();
+        assert_eq!(b.total_recalls(), 1);
+        // B took the delegation before A flushed, so B may see the stale
+        // size — that's the recall race the lease check closes:
+        let _ = seen_by_b;
+
+        // A's next op detects the recall, flushes pending size and drops
+        // its cache.
+        assert!(a.0.check_lease(attr.ino).unwrap());
+        assert_eq!(
+            b.mds_getattr(home, attr.ino).unwrap().size,
+            3 * BLK as u64,
+            "recall forced the lazy metadata out"
+        );
+        // B now holds the delegation: local hits.
+        let (_, t) = c.getattr(attr.ino).unwrap();
+        assert!(t.meta_cache_hit);
+        // A no longer answers getattr locally — and its re-fetch recalls
+        // the delegation right back (the ping-pong a real MDS rate-limits).
+        let (_, t) = a.getattr(attr.ino).unwrap();
+        assert!(!t.meta_cache_hit, "A lost the delegation");
+        assert_eq!(b.total_recalls(), 2);
+    }
+
+    #[test]
+    fn no_recall_without_contention() {
+        let b = crate::backend::DfsBackend::new(DfsConfig::default());
+        let mut a = OptimizedClient::new(b.clone(), 1);
+        let (attr, _) = a.create(0, "solo").unwrap();
+        for _ in 0..5 {
+            a.getattr(attr.ino).unwrap();
+        }
+        assert_eq!(b.total_recalls(), 0);
+        assert!(!a.0.check_lease(attr.ino).unwrap());
+    }
+
+    #[test]
+    fn recall_ping_pong_stays_consistent() {
+        let b = crate::backend::DfsBackend::new(DfsConfig::default());
+        let mut a = OptimizedClient::new(b.clone(), 1);
+        let mut c = OptimizedClient::new(b.clone(), 2);
+        let (attr, _) = a.create(0, "pingpong").unwrap();
+        for round in 1..=4u64 {
+            // Alternate writers; each write-then-stat pair must observe
+            // the other side's flushed size after the recall dance.
+            let (w, r): (&mut OptimizedClient, &mut OptimizedClient) = if round % 2 == 1 {
+                (&mut a, &mut c)
+            } else {
+                (&mut c, &mut a)
+            };
+            w.0.check_lease(attr.ino).unwrap();
+            w.write_block(attr.ino, round - 1, &vec![round as u8; BLK]).unwrap();
+            w.sync_meta().unwrap();
+            r.0.check_lease(attr.ino).unwrap();
+            let (seen, _) = r.getattr(attr.ino).unwrap();
+            assert!(seen.size >= round * BLK as u64, "round {round}: {}", seen.size);
+        }
+    }
+}
+
+#[cfg(test)]
+mod packing_tests {
+    use super::*;
+    use crate::backend::{DfsConfig, DFS_BLOCK as BLK};
+
+    #[test]
+    fn packed_small_writes_consolidate_at_the_mds() {
+        let b = crate::backend::DfsBackend::new(DfsConfig::default());
+        let mut c = StandardClient::new(b.clone(), 0);
+        let (attr, _) = c.create(0, "packed").unwrap();
+
+        // 16 x 512B writes, all landing in two 8K blocks.
+        let ios: Vec<(u64, Vec<u8>)> = (0..16u64)
+            .map(|i| (i * 1024, vec![i as u8 + 1; 512]))
+            .collect();
+        let ds_rpcs_before: u64 = (0..b.data_server_count())
+            .map(|i| b.data_server(i).rpcs.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        let (consolidated, trace) = c.write_small_packed(attr.ino, &ios).unwrap();
+        assert_eq!(consolidated, 2, "16 small I/Os became 2 block writes");
+        assert_eq!(trace.mds_rpcs, 1, "one packed message from the client");
+        let ds_rpcs_after: u64 = (0..b.data_server_count())
+            .map(|i| b.data_server(i).rpcs.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        // 2 blocks x 6 shards written, plus the RMW gathers; without
+        // packing, 16 separate writes would have cost 16 x (6 + gather).
+        assert!(
+            ds_rpcs_after - ds_rpcs_before <= 2 * 6 + 2 * 6,
+            "consolidation bounds stripe traffic: {}",
+            ds_rpcs_after - ds_rpcs_before
+        );
+
+        // Content round-trips.
+        let (block0, _) = c.read_block(attr.ino, 0).unwrap();
+        for i in 0..8u64 {
+            let start = (i * 1024) as usize;
+            assert!(block0[start..start + 512].iter().all(|&x| x == i as u8 + 1));
+        }
+        // Size advanced to the max end.
+        assert_eq!(
+            b.mds_getattr(0, attr.ino).unwrap().size,
+            15 * 1024 + 512
+        );
+    }
+
+    #[test]
+    fn packed_writes_respect_existing_data() {
+        let b = crate::backend::DfsBackend::new(DfsConfig::default());
+        let mut c = StandardClient::new(b.clone(), 0);
+        let (attr, _) = c.create(0, "rmw").unwrap();
+        c.write_block(attr.ino, 0, &vec![0xEE; BLK]).unwrap();
+        // A small packed write must not clobber the rest of the block.
+        c.write_small_packed(attr.ino, &[(100, vec![0x11; 8])]).unwrap();
+        let (back, _) = c.read_block(attr.ino, 0).unwrap();
+        assert_eq!(back[99], 0xEE);
+        assert_eq!(back[100..108], [0x11; 8]);
+        assert_eq!(back[108], 0xEE);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not span blocks")]
+    fn spanning_small_io_rejected() {
+        let b = crate::backend::DfsBackend::new(DfsConfig::default());
+        let mut c = StandardClient::new(b.clone(), 0);
+        let (attr, _) = c.create(0, "bad").unwrap();
+        let _ = c.write_small_packed(attr.ino, &[(BLK as u64 - 4, vec![0; 16])]);
+    }
+}

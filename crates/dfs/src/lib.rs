@@ -1,0 +1,26 @@
+//! # dpc-dfs — the distributed file system substrate and its clients
+//!
+//! The paper's motivation (Fig 1) and headline DFS result (Fig 9) compare
+//! three fs-client flavours against the same backend. This crate builds
+//! all of it from scratch:
+//!
+//! - a **backend** of hash-partitioned metadata servers (with entry→home
+//!   request forwarding, delegations, and a server-side EC write path)
+//!   and data servers storing Reed–Solomon shards of 8 KiB blocks;
+//! - a **standard client** (NFS-like, everything proxied via the entry
+//!   MDS), an **optimized client** (metadata view, client-side EC, direct
+//!   I/O, lazy metadata batching, delegation-backed attribute caching),
+//!   and the **DPC client** — the optimized logic offloaded to the DPU.
+//!
+//! Every operation returns an [`OpTrace`] so the benchmarks can turn the
+//! protocol structure into virtual time, and so tests can assert facts
+//! like "the optimized client's 8 KiB write issues `k+m` direct shard
+//! RPCs and zero MDS RPCs".
+
+mod backend;
+mod client;
+
+pub use backend::{
+    DataServer, DfsAttr, DfsBackend, DfsConfig, DfsError, MetadataServer, DFS_BLOCK,
+};
+pub use client::{ClientCore, DpcClient, FsClient, OpTrace, OptimizedClient, StandardClient};

@@ -1,0 +1,235 @@
+//! GF(2^8) arithmetic over the AES-friendly polynomial x^8+x^4+x^3+x^2+1
+//! (0x11D), the field used by practically every storage erasure code.
+//!
+//! Multiplication uses compile-time exp/log tables; bulk operations
+//! (`mul_slice`, `mul_acc_slice`) are the encode/decode hot loops.
+
+/// The irreducible polynomial (without the x^8 term bit kept implicit).
+const POLY: u16 = 0x11D;
+
+/// exp table over two periods so `exp[log_a + log_b]` needs no modulo.
+const EXP: [u8; 512] = build_exp();
+/// log table; `LOG[0]` is unused (log of zero is undefined).
+const LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Positions 510/511 are never indexed (max log sum is 254+254=508)
+    // but keep them consistent.
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    exp
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+/// Addition in GF(2^8) is XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication via log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Division `a / b`. Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize + 255 - LOG[b as usize] as usize) % 255]
+    }
+}
+
+/// `a^n` by square-and-multiply on the log representation.
+#[inline]
+pub fn pow(a: u8, n: usize) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = LOG[a as usize] as usize * (n % 255);
+    EXP[l % 255]
+}
+
+/// `dst[i] = c * src[i]` for whole slices.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len());
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = if s == 0 {
+            0
+        } else {
+            EXP[lc + LOG[s as usize] as usize]
+        };
+    }
+}
+
+/// `dst[i] ^= c * src[i]` — the inner loop of RS encoding.
+pub fn mul_acc_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= EXP[lc + LOG[s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(add(0b1010, 0b0110), 0b1100);
+        assert_eq!(add(77, 77), 0);
+    }
+
+    #[test]
+    fn mul_basics() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+        }
+        // 2 * 0x80 wraps through the polynomial: 0x100 ^ 0x11D = 0x1D.
+        assert_eq!(mul(2, 0x80), 0x1D);
+    }
+
+    #[test]
+    fn mul_commutative_and_associative() {
+        let samples = [0u8, 1, 2, 3, 5, 7, 11, 0x53, 0xCA, 0xFF];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &samples {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                    // distributivity
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let ia = inv(a);
+            assert_eq!(mul(a, ia), 1, "a={a} inv={ia}");
+            assert_eq!(div(1, a), ia);
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for &a in &[1u8, 2, 3, 0x1D, 0xFE] {
+            let mut acc = 1u8;
+            for n in 0..520 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group: 2^i distinct for i in 0..255.
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+            x = mul(x, 2);
+        }
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn slice_ops_match_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        for &c in &[0u8, 1, 2, 0x8E, 0xFF] {
+            let mut dst = vec![0u8; 256];
+            mul_slice(c, &src, &mut dst);
+            for (i, &d) in dst.iter().enumerate() {
+                assert_eq!(d, mul(c, src[i]));
+            }
+            let mut acc = src.clone();
+            mul_acc_slice(c, &src, &mut acc);
+            for (i, &d) in acc.iter().enumerate() {
+                assert_eq!(d, add(src[i], mul(c, src[i])));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        div(3, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the Reed–Solomon code: for random (k, m),
+//! random shard contents and random erasure patterns of at most m shards,
+//! reconstruction always restores the originals bit-for-bit.
+
+use dpc_ec::{EcError, ReedSolomon};
+use proptest::prelude::*;
+
+fn arb_code() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=10, 1usize..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reconstruct_inverts_any_valid_erasure(
+        (k, m) in arb_code(),
+        len in 1usize..512,
+        seed in any::<u64>(),
+        erase_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng, seq::SliceRandom};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, m);
+
+        let mut shards: Vec<Vec<u8>> = (0..k + m)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect();
+        rs.encode(&mut shards).unwrap();
+        prop_assert!(rs.verify(&shards).unwrap());
+
+        // Random erasure pattern of size <= m.
+        let mut erng = rand::rngs::SmallRng::seed_from_u64(erase_seed);
+        let n_erase = erng.gen_range(0..=m);
+        let mut idx: Vec<usize> = (0..k + m).collect();
+        idx.shuffle(&mut erng);
+        let erased = &idx[..n_erase];
+
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        for &e in erased {
+            damaged[e] = None;
+        }
+        rs.reconstruct(&mut damaged).unwrap();
+        for (i, s) in damaged.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &shards[i]);
+        }
+    }
+
+    #[test]
+    fn over_erasure_always_detected(
+        (k, m) in arb_code(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{SeedableRng, seq::SliceRandom};
+        let rs = ReedSolomon::new(k, m);
+        let mut shards: Vec<Vec<u8>> = vec![vec![1u8; 16]; k + m];
+        rs.encode(&mut shards).unwrap();
+
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..k + m).collect();
+        idx.shuffle(&mut rng);
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for &e in &idx[..m + 1] {
+            damaged[e] = None;
+        }
+        prop_assert_eq!(
+            rs.reconstruct(&mut damaged),
+            Err(EcError::TooFewShards { want: k, got: k - 1 })
+        );
+    }
+
+    #[test]
+    fn single_bit_corruption_fails_verify(
+        (k, m) in arb_code(),
+        len in 1usize..128,
+        pos_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(pos_seed);
+        let rs = ReedSolomon::new(k, m);
+        let mut shards: Vec<Vec<u8>> = (0..k + m)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect();
+        rs.encode(&mut shards).unwrap();
+        let shard = rng.gen_range(0..k + m);
+        let byte = rng.gen_range(0..len);
+        let bit = rng.gen_range(0..8);
+        shards[shard][byte] ^= 1 << bit;
+        prop_assert!(!rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn encode_buffer_reassembles(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        (k, m) in arb_code(),
+    ) {
+        let rs = ReedSolomon::new(k, m);
+        let shards = rs.encode_buffer(&data).unwrap();
+        prop_assert_eq!(shards.len(), k + m);
+        let mut rebuilt: Vec<u8> = shards[..k].concat();
+        rebuilt.truncate(data.len());
+        prop_assert_eq!(rebuilt, data);
+    }
+}

@@ -1,0 +1,112 @@
+//! Block allocator for the local file system: a watermark plus a free
+//! list, equivalent in behaviour to a bitmap allocator for our purposes.
+
+use parking_lot::Mutex;
+
+/// Allocation failure: the device is full.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct NoSpace;
+
+impl core::fmt::Display for NoSpace {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no space left on device")
+    }
+}
+
+impl std::error::Error for NoSpace {}
+
+pub struct BlockAllocator {
+    inner: Mutex<Inner>,
+    total: u64,
+}
+
+struct Inner {
+    watermark: u64,
+    free_list: Vec<u64>,
+}
+
+impl BlockAllocator {
+    pub fn new(total_blocks: u64) -> BlockAllocator {
+        BlockAllocator {
+            inner: Mutex::new(Inner {
+                watermark: 0,
+                free_list: Vec::new(),
+            }),
+            total: total_blocks,
+        }
+    }
+
+    pub fn alloc(&self) -> Result<u64, NoSpace> {
+        let mut g = self.inner.lock();
+        if let Some(b) = g.free_list.pop() {
+            return Ok(b);
+        }
+        if g.watermark < self.total {
+            let b = g.watermark;
+            g.watermark += 1;
+            Ok(b)
+        } else {
+            Err(NoSpace)
+        }
+    }
+
+    pub fn free(&self, block: u64) {
+        debug_assert!(block < self.total);
+        self.inner.lock().free_list.push(block);
+    }
+
+    pub fn allocated(&self) -> u64 {
+        let g = self.inner.lock();
+        g.watermark - g.free_list.len() as u64
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_blocks() {
+        let a = BlockAllocator::new(10);
+        let mut got: Vec<u64> = (0..10).map(|_| a.alloc().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(a.alloc(), Err(NoSpace));
+    }
+
+    #[test]
+    fn freed_blocks_are_reused() {
+        let a = BlockAllocator::new(2);
+        let b0 = a.alloc().unwrap();
+        let _b1 = a.alloc().unwrap();
+        assert_eq!(a.allocated(), 2);
+        a.free(b0);
+        assert_eq!(a.allocated(), 1);
+        assert_eq!(a.alloc().unwrap(), b0);
+        assert_eq!(a.alloc(), Err(NoSpace));
+    }
+
+    #[test]
+    fn concurrent_allocation_is_unique() {
+        let a = std::sync::Arc::new(BlockAllocator::new(800));
+        let mut all = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let a = a.clone();
+                    s.spawn(move || (0..100).map(|_| a.alloc().unwrap()).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800);
+    }
+}

@@ -1,0 +1,629 @@
+//! A local, extent-mapped file system on the simulated NVMe SSD — the
+//! paper's "local Ext4" baseline (Figure 7, 8, Table 2).
+//!
+//! Functionally complete for the evaluation's needs: a namespace, per-file
+//! block mapping, a write-back page cache (buffered path) and a direct-I/O
+//! path that goes straight to the device. Everything here runs on the
+//! *host* — file-stack CPU time and cache management are exactly the
+//! cycles the paper's KVFS removes from the host.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpc_ssd::{BlockDevice, BLOCK_SIZE};
+use parking_lot::RwLock;
+
+use crate::alloc::BlockAllocator;
+use crate::pagecache::{PageCache, PageCacheStats};
+
+/// File-system errors (mirrors the KVFS error set for easy comparison).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ExtError {
+    NotFound,
+    AlreadyExists,
+    NotADirectory,
+    IsADirectory,
+    DirectoryNotEmpty,
+    NoSpace,
+    InvalidName,
+}
+
+impl core::fmt::Display for ExtError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ExtError::NotFound => "no such file or directory",
+            ExtError::AlreadyExists => "file exists",
+            ExtError::NotADirectory => "not a directory",
+            ExtError::IsADirectory => "is a directory",
+            ExtError::DirectoryNotEmpty => "directory not empty",
+            ExtError::NoSpace => "no space left on device",
+            ExtError::InvalidName => "invalid file name",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ExtError {}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ExtKind {
+    File,
+    Dir,
+}
+
+/// Attributes returned by `stat`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExtAttr {
+    pub ino: u64,
+    pub size: u64,
+    pub mode: u32,
+    pub nlink: u32,
+    pub mtime: u64,
+    pub kind: ExtKind,
+}
+
+struct Inode {
+    attr: ExtAttr,
+    /// Logical block → physical block mapping (the extent tree).
+    blocks: BTreeMap<u64, u64>,
+    /// Directory children (None for regular files).
+    children: Option<BTreeMap<String, u64>>,
+}
+
+/// Root inode number.
+pub const ROOT_INO: u64 = 0;
+
+/// The local file system instance.
+pub struct Ext4Sim {
+    dev: Arc<BlockDevice>,
+    alloc: BlockAllocator,
+    inodes: RwLock<HashMap<u64, Inode>>,
+    cache: PageCache,
+    next_ino: AtomicU64,
+    clock: AtomicU64,
+}
+
+impl Ext4Sim {
+    /// Create a file system on `dev` with a page cache of
+    /// `cache_pages` × 4 KiB.
+    pub fn new(dev: Arc<BlockDevice>, cache_pages: usize) -> Ext4Sim {
+        let fs = Ext4Sim {
+            alloc: BlockAllocator::new(dev.capacity_blocks()),
+            dev,
+            inodes: RwLock::new(HashMap::new()),
+            cache: PageCache::new(cache_pages),
+            next_ino: AtomicU64::new(1),
+            clock: AtomicU64::new(1),
+        };
+        fs.inodes.write().insert(
+            ROOT_INO,
+            Inode {
+                attr: ExtAttr {
+                    ino: ROOT_INO,
+                    size: 0,
+                    mode: 0o755,
+                    nlink: 2,
+                    mtime: 0,
+                    kind: ExtKind::Dir,
+                },
+                blocks: BTreeMap::new(),
+                children: Some(BTreeMap::new()),
+            },
+        );
+        fs
+    }
+
+    pub fn device(&self) -> &Arc<BlockDevice> {
+        &self.dev
+    }
+
+    pub fn cache_stats(&self) -> PageCacheStats {
+        self.cache.stats()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ---- namespace ------------------------------------------------------
+
+    fn validate(name: &str) -> Result<(), ExtError> {
+        if name.is_empty() || name == "." || name == ".." || name.contains('/') {
+            return Err(ExtError::InvalidName);
+        }
+        Ok(())
+    }
+
+    /// Resolve an absolute path to an inode.
+    pub fn resolve(&self, path: &str) -> Result<u64, ExtError> {
+        let inodes = self.inodes.read();
+        let mut ino = ROOT_INO;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let node = inodes.get(&ino).ok_or(ExtError::NotFound)?;
+            let children = node.children.as_ref().ok_or(ExtError::NotADirectory)?;
+            ino = *children.get(comp).ok_or(ExtError::NotFound)?;
+        }
+        Ok(ino)
+    }
+
+    fn parent_of<'p>(&self, path: &'p str) -> Result<(u64, &'p str), ExtError> {
+        let trimmed = path.trim_end_matches('/');
+        let (dir, name) = match trimmed.rfind('/') {
+            Some(i) => (&trimmed[..i], &trimmed[i + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() {
+            return Err(ExtError::InvalidName);
+        }
+        Ok((self.resolve(dir)?, name))
+    }
+
+    fn insert_node(&self, parent: u64, name: &str, kind: ExtKind, mode: u32) -> Result<u64, ExtError> {
+        Self::validate(name)?;
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut inodes = self.inodes.write();
+        // Check the parent and reserve the name first.
+        {
+            let pnode = inodes.get_mut(&parent).ok_or(ExtError::NotFound)?;
+            let children = pnode.children.as_mut().ok_or(ExtError::NotADirectory)?;
+            if children.contains_key(name) {
+                return Err(ExtError::AlreadyExists);
+            }
+            children.insert(name.to_string(), ino);
+            if kind == ExtKind::Dir {
+                pnode.attr.nlink += 1;
+            }
+        }
+        inodes.insert(
+            ino,
+            Inode {
+                attr: ExtAttr {
+                    ino,
+                    size: 0,
+                    mode,
+                    nlink: if kind == ExtKind::Dir { 2 } else { 1 },
+                    mtime: now,
+                    kind,
+                },
+                blocks: BTreeMap::new(),
+                children: if kind == ExtKind::Dir {
+                    Some(BTreeMap::new())
+                } else {
+                    None
+                },
+            },
+        );
+        Ok(ino)
+    }
+
+    pub fn create(&self, path: &str, mode: u32) -> Result<u64, ExtError> {
+        let (parent, name) = self.parent_of(path)?;
+        self.insert_node(parent, name, ExtKind::File, mode)
+    }
+
+    pub fn mkdir(&self, path: &str, mode: u32) -> Result<u64, ExtError> {
+        let (parent, name) = self.parent_of(path)?;
+        self.insert_node(parent, name, ExtKind::Dir, mode)
+    }
+
+    pub fn stat(&self, path: &str) -> Result<ExtAttr, ExtError> {
+        let ino = self.resolve(path)?;
+        self.attr(ino)
+    }
+
+    pub fn attr(&self, ino: u64) -> Result<ExtAttr, ExtError> {
+        self.inodes
+            .read()
+            .get(&ino)
+            .map(|n| n.attr)
+            .ok_or(ExtError::NotFound)
+    }
+
+    pub fn readdir(&self, path: &str) -> Result<Vec<(String, u64)>, ExtError> {
+        let ino = self.resolve(path)?;
+        let inodes = self.inodes.read();
+        let node = inodes.get(&ino).ok_or(ExtError::NotFound)?;
+        let children = node.children.as_ref().ok_or(ExtError::NotADirectory)?;
+        Ok(children.iter().map(|(n, &i)| (n.clone(), i)).collect())
+    }
+
+    pub fn unlink(&self, path: &str) -> Result<(), ExtError> {
+        let (parent, name) = self.parent_of(path)?;
+        let mut inodes = self.inodes.write();
+        let pnode = inodes.get_mut(&parent).ok_or(ExtError::NotFound)?;
+        let children = pnode.children.as_mut().ok_or(ExtError::NotADirectory)?;
+        let &ino = children.get(name).ok_or(ExtError::NotFound)?;
+        if inodes[&ino].children.is_some() {
+            return Err(ExtError::IsADirectory);
+        }
+        inodes
+            .get_mut(&parent)
+            .unwrap()
+            .children
+            .as_mut()
+            .unwrap()
+            .remove(name);
+        let node = inodes.remove(&ino).unwrap();
+        for (_, pbn) in node.blocks {
+            // Discard before reuse: recycled blocks must read as zeros.
+            self.dev.trim_block(pbn);
+            self.alloc.free(pbn);
+        }
+        drop(inodes);
+        self.cache.invalidate_ino(ino);
+        Ok(())
+    }
+
+    pub fn rmdir(&self, path: &str) -> Result<(), ExtError> {
+        let (parent, name) = self.parent_of(path)?;
+        let mut inodes = self.inodes.write();
+        let &ino = inodes
+            .get(&parent)
+            .ok_or(ExtError::NotFound)?
+            .children
+            .as_ref()
+            .ok_or(ExtError::NotADirectory)?
+            .get(name)
+            .ok_or(ExtError::NotFound)?;
+        let node = inodes.get(&ino).ok_or(ExtError::NotFound)?;
+        let children = node.children.as_ref().ok_or(ExtError::NotADirectory)?;
+        if !children.is_empty() {
+            return Err(ExtError::DirectoryNotEmpty);
+        }
+        inodes.remove(&ino);
+        let pnode = inodes.get_mut(&parent).unwrap();
+        pnode.children.as_mut().unwrap().remove(name);
+        pnode.attr.nlink = pnode.attr.nlink.saturating_sub(1);
+        Ok(())
+    }
+
+    // ---- data path ------------------------------------------------------
+
+    /// Map (allocating if `alloc`) the physical block of `lbn`.
+    fn map_block(&self, ino: u64, lbn: u64, alloc: bool) -> Result<Option<u64>, ExtError> {
+        {
+            let inodes = self.inodes.read();
+            let node = inodes.get(&ino).ok_or(ExtError::NotFound)?;
+            if let Some(&pbn) = node.blocks.get(&lbn) {
+                return Ok(Some(pbn));
+            }
+            if !alloc {
+                return Ok(None);
+            }
+        }
+        let mut inodes = self.inodes.write();
+        let node = inodes.get_mut(&ino).ok_or(ExtError::NotFound)?;
+        if let Some(&pbn) = node.blocks.get(&lbn) {
+            return Ok(Some(pbn));
+        }
+        let pbn = self.alloc.alloc().map_err(|_| ExtError::NoSpace)?;
+        node.blocks.insert(lbn, pbn);
+        Ok(Some(pbn))
+    }
+
+    fn read_block_raw(&self, ino: u64, lbn: u64, dst: &mut [u8; BLOCK_SIZE]) -> Result<(), ExtError> {
+        match self.map_block(ino, lbn, false)? {
+            Some(pbn) => self.dev.read_block(pbn, dst),
+            None => dst.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_victim(&self, victim: Option<(u64, u64, Box<[u8; BLOCK_SIZE]>)>) -> Result<(), ExtError> {
+        if let Some((vino, vlpn, data)) = victim {
+            if let Some(pbn) = self.map_block(vino, vlpn, true)? {
+                self.dev.write_block(pbn, &data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read up to `dst.len()` bytes at `offset`. `direct` bypasses the
+    /// page cache (O_DIRECT).
+    pub fn read(&self, ino: u64, offset: u64, dst: &mut [u8], direct: bool) -> Result<usize, ExtError> {
+        let attr = self.attr(ino)?;
+        if attr.kind == ExtKind::Dir {
+            return Err(ExtError::IsADirectory);
+        }
+        if offset >= attr.size || dst.is_empty() {
+            return Ok(0);
+        }
+        let n = ((attr.size - offset) as usize).min(dst.len());
+        let mut pos = 0usize;
+        let mut off = offset;
+        let mut block = [0u8; BLOCK_SIZE];
+        while pos < n {
+            let lbn = off / BLOCK_SIZE as u64;
+            let in_block = (off % BLOCK_SIZE as u64) as usize;
+            let take = (BLOCK_SIZE - in_block).min(n - pos);
+            if direct {
+                // O_DIRECT coherence: write back any dirty cached copy of
+                // this page before reading the device (the kernel's
+                // filemap_write_and_wait_range).
+                if let Some(dirty) = self.cache.flush_page(ino, lbn) {
+                    if let Some(pbn) = self.map_block(ino, lbn, true)? {
+                        self.dev.write_block(pbn, &dirty);
+                    }
+                }
+                self.read_block_raw(ino, lbn, &mut block)?;
+            } else if !self.cache.get(ino, lbn, &mut block) {
+                self.read_block_raw(ino, lbn, &mut block)?;
+                self.write_victim(self.cache.put(ino, lbn, &block, false))?;
+            }
+            dst[pos..pos + take].copy_from_slice(&block[in_block..in_block + take]);
+            pos += take;
+            off += take as u64;
+        }
+        Ok(n)
+    }
+
+    /// Write `src` at `offset`. `direct` bypasses the page cache.
+    pub fn write(&self, ino: u64, offset: u64, src: &[u8], direct: bool) -> Result<usize, ExtError> {
+        {
+            let inodes = self.inodes.read();
+            let node = inodes.get(&ino).ok_or(ExtError::NotFound)?;
+            if node.children.is_some() {
+                return Err(ExtError::IsADirectory);
+            }
+        }
+        let mut pos = 0usize;
+        let mut off = offset;
+        let mut block = [0u8; BLOCK_SIZE];
+        while pos < src.len() {
+            let lbn = off / BLOCK_SIZE as u64;
+            let in_block = (off % BLOCK_SIZE as u64) as usize;
+            let take = (BLOCK_SIZE - in_block).min(src.len() - pos);
+            let chunk = &src[pos..pos + take];
+            if direct {
+                let pbn = self.map_block(ino, lbn, true)?.unwrap();
+                if take == BLOCK_SIZE {
+                    block.copy_from_slice(chunk);
+                } else {
+                    self.dev.read_block(pbn, &mut block);
+                    block[in_block..in_block + take].copy_from_slice(chunk);
+                }
+                self.dev.write_block(pbn, &block);
+                // Keep any cached copy coherent.
+                self.cache.update_in_place(ino, lbn, in_block, chunk);
+            } else if take == BLOCK_SIZE {
+                block.copy_from_slice(chunk);
+                self.write_victim(self.cache.put(ino, lbn, &block, true))?;
+            } else if !self.cache.update_in_place(ino, lbn, in_block, chunk) {
+                // RMW through the cache.
+                self.read_block_raw(ino, lbn, &mut block)?;
+                block[in_block..in_block + take].copy_from_slice(chunk);
+                self.write_victim(self.cache.put(ino, lbn, &block, true))?;
+            }
+            pos += take;
+            off += take as u64;
+        }
+        // Update size/mtime.
+        let now = self.now();
+        let mut inodes = self.inodes.write();
+        let node = inodes.get_mut(&ino).ok_or(ExtError::NotFound)?;
+        let end = offset + src.len() as u64;
+        if end > node.attr.size {
+            node.attr.size = end;
+        }
+        node.attr.mtime = now;
+        Ok(src.len())
+    }
+
+    /// Write back every dirty page (fsync / periodic write-back).
+    pub fn flush(&self) -> Result<usize, ExtError> {
+        let dirty = self.cache.take_dirty();
+        let count = dirty.len();
+        for (ino, lbn, data) in dirty {
+            if let Some(pbn) = self.map_block(ino, lbn, true)? {
+                self.dev.write_block(pbn, &data);
+            }
+        }
+        Ok(count)
+    }
+
+    pub fn truncate(&self, ino: u64, size: u64) -> Result<(), ExtError> {
+        let now = self.now();
+        let mut inodes = self.inodes.write();
+        let node = inodes.get_mut(&ino).ok_or(ExtError::NotFound)?;
+        if node.children.is_some() {
+            return Err(ExtError::IsADirectory);
+        }
+        let keep = size.div_ceil(BLOCK_SIZE as u64);
+        let drop_blocks: Vec<(u64, u64)> = node
+            .blocks
+            .range(keep..)
+            .map(|(&l, &p)| (l, p))
+            .collect();
+        for (l, p) in drop_blocks {
+            node.blocks.remove(&l);
+            self.dev.trim_block(p);
+            self.alloc.free(p);
+        }
+        // Cached pages past the new end are stale (including dirty ones —
+        // they describe truncated data).
+        self.cache.invalidate_from(ino, keep);
+        // Zero the tail of the boundary block if shrinking into it.
+        if size < node.attr.size {
+            let tail = (size % BLOCK_SIZE as u64) as usize;
+            if tail != 0 {
+                if let Some(&pbn) = node.blocks.get(&(size / BLOCK_SIZE as u64)) {
+                    let mut block = [0u8; BLOCK_SIZE];
+                    self.dev.read_block(pbn, &mut block);
+                    block[tail..].fill(0);
+                    self.dev.write_block(pbn, &block);
+                }
+                let lbn = size / BLOCK_SIZE as u64;
+                drop(inodes);
+                // Fix the cached copy too.
+                let zeros = vec![0u8; BLOCK_SIZE - tail];
+                self.cache.update_in_place(ino, lbn, tail, &zeros);
+                let mut inodes = self.inodes.write();
+                let node = inodes.get_mut(&ino).ok_or(ExtError::NotFound)?;
+                node.attr.size = size;
+                node.attr.mtime = now;
+                return Ok(());
+            }
+        }
+        node.attr.size = size;
+        node.attr.mtime = now;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Ext4Sim {
+        Ext4Sim::new(Arc::new(BlockDevice::new(64 << 20)), 256)
+    }
+
+    #[test]
+    fn create_write_read_buffered() {
+        let fs = fs();
+        let ino = fs.create("/a.txt", 0o644).unwrap();
+        fs.write(ino, 0, b"hello ext4", false).unwrap();
+        let mut buf = [0u8; 32];
+        assert_eq!(fs.read(ino, 0, &mut buf, false).unwrap(), 10);
+        assert_eq!(&buf[..10], b"hello ext4");
+        // Buffered write stays in cache until flushed.
+        assert_eq!(fs.device().stats().writes, 0);
+        assert_eq!(fs.flush().unwrap(), 1);
+        assert_eq!(fs.device().stats().writes, 1);
+    }
+
+    #[test]
+    fn direct_io_hits_the_device() {
+        let fs = fs();
+        let ino = fs.create("/d", 0o644).unwrap();
+        let data = vec![7u8; 8192];
+        fs.write(ino, 0, &data, true).unwrap();
+        assert_eq!(fs.device().stats().writes, 2, "two 4K blocks");
+        let mut back = vec![0u8; 8192];
+        assert_eq!(fs.read(ino, 0, &mut back, true).unwrap(), 8192);
+        assert_eq!(back, data);
+        assert!(fs.device().stats().reads >= 2);
+    }
+
+    #[test]
+    fn buffered_read_after_direct_write_is_coherent() {
+        let fs = fs();
+        let ino = fs.create("/c", 0o644).unwrap();
+        fs.write(ino, 0, &[1u8; 4096], false).unwrap(); // cached dirty
+        fs.flush().unwrap();
+        fs.write(ino, 100, &[2u8; 50], true).unwrap(); // direct partial
+        let mut buf = [0u8; 4096];
+        fs.read(ino, 0, &mut buf, false).unwrap();
+        assert_eq!(buf[99], 1);
+        assert_eq!(buf[100..150], [2u8; 50]);
+        assert_eq!(buf[150], 1);
+    }
+
+    #[test]
+    fn namespace_operations() {
+        let fs = fs();
+        fs.mkdir("/dir", 0o755).unwrap();
+        fs.create("/dir/f1", 0o644).unwrap();
+        fs.create("/dir/f2", 0o644).unwrap();
+        assert_eq!(fs.mkdir("/dir", 0o755), Err(ExtError::AlreadyExists));
+        let mut names: Vec<String> = fs.readdir("/dir").unwrap().into_iter().map(|e| e.0).collect();
+        names.sort();
+        assert_eq!(names, vec!["f1", "f2"]);
+        assert_eq!(fs.rmdir("/dir"), Err(ExtError::DirectoryNotEmpty));
+        fs.unlink("/dir/f1").unwrap();
+        fs.unlink("/dir/f2").unwrap();
+        fs.rmdir("/dir").unwrap();
+        assert_eq!(fs.resolve("/dir"), Err(ExtError::NotFound));
+    }
+
+    #[test]
+    fn unlink_frees_blocks_and_cache() {
+        let fs = fs();
+        let ino = fs.create("/big", 0o644).unwrap();
+        fs.write(ino, 0, &vec![1u8; 40960], false).unwrap();
+        fs.flush().unwrap();
+        let allocated = fs.alloc.allocated();
+        assert_eq!(allocated, 10);
+        fs.unlink("/big").unwrap();
+        assert_eq!(fs.alloc.allocated(), 0);
+    }
+
+    #[test]
+    fn truncate_frees_tail_and_zeroes_boundary() {
+        let fs = fs();
+        let ino = fs.create("/t", 0o644).unwrap();
+        fs.write(ino, 0, &vec![9u8; 12288], true).unwrap();
+        fs.truncate(ino, 5000).unwrap();
+        assert_eq!(fs.attr(ino).unwrap().size, 5000);
+        let mut buf = vec![0u8; 12288];
+        assert_eq!(fs.read(ino, 0, &mut buf, true).unwrap(), 5000);
+        assert!(buf[..5000].iter().all(|&b| b == 9));
+        // Grow again: the tail beyond 5000 must read as zeros, not stale 9s.
+        fs.truncate(ino, 8192).unwrap();
+        let n = fs.read(ino, 0, &mut buf, true).unwrap();
+        assert_eq!(n, 8192);
+        assert!(buf[5000..8192].iter().all(|&b| b == 0), "stale tail data");
+    }
+
+    #[test]
+    fn eviction_written_back_transparently() {
+        // Cache of 4 pages, write 16 pages buffered: evictions must reach
+        // the device and reads must still return correct data.
+        let dev = Arc::new(BlockDevice::new(64 << 20));
+        let fs = Ext4Sim::new(dev, 4);
+        let ino = fs.create("/e", 0o644).unwrap();
+        for lbn in 0..16u64 {
+            fs.write(ino, lbn * 4096, &[lbn as u8 + 1; 4096], false).unwrap();
+        }
+        assert!(fs.device().stats().writes >= 12, "evictions wrote back");
+        let mut buf = [0u8; 4096];
+        for lbn in 0..16u64 {
+            fs.read(ino, lbn * 4096, &mut buf, false).unwrap();
+            assert!(buf.iter().all(|&b| b == lbn as u8 + 1), "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn cache_hit_avoids_device_read() {
+        let fs = fs();
+        let ino = fs.create("/h", 0o644).unwrap();
+        fs.write(ino, 0, &[5u8; 4096], true).unwrap();
+        let mut buf = [0u8; 4096];
+        fs.read(ino, 0, &mut buf, false).unwrap(); // miss, fills cache
+        let reads_after_first = fs.device().stats().reads;
+        for _ in 0..10 {
+            fs.read(ino, 0, &mut buf, false).unwrap();
+        }
+        assert_eq!(fs.device().stats().reads, reads_after_first, "all hits");
+        assert_eq!(fs.cache_stats().hits, 10);
+    }
+
+    #[test]
+    fn concurrent_files_do_not_interfere() {
+        let fs = Arc::new(fs());
+        let inos: Vec<u64> = (0..8)
+            .map(|i| fs.create(&format!("/f{i}"), 0o644).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for (t, &ino) in inos.iter().enumerate() {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    for lbn in 0..8u64 {
+                        fs.write(ino, lbn * 4096, &[t as u8 + 1; 4096], t % 2 == 0)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        fs.flush().unwrap();
+        let mut buf = [0u8; 4096];
+        for (t, &ino) in inos.iter().enumerate() {
+            for lbn in 0..8u64 {
+                fs.read(ino, lbn * 4096, &mut buf, true).unwrap();
+                assert!(buf.iter().all(|&b| b == t as u8 + 1));
+            }
+        }
+    }
+}

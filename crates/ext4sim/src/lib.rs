@@ -1,0 +1,23 @@
+//! # dpc-ext4sim — the "local Ext4" baseline
+//!
+//! The paper's standalone-file-service evaluation (Fig 7, Fig 8, Table 2)
+//! compares KVFS against a local Ext4 on one NVMe SSD. This crate stands
+//! in for that baseline: a functional local file system with
+//!
+//! - a namespace and per-file logical→physical block mapping,
+//! - a host-managed write-back [`PageCache`] (the buffered path whose CPU
+//!   cost is exactly what DPC offloads),
+//! - a direct-I/O path (`O_DIRECT`) used by the Fig 7 experiments,
+//!
+//! all on the counted, latency-modelled [`dpc_ssd::BlockDevice`]. The
+//! baseline's characteristic shape — IOPS pinned to the single SSD's
+//! ceiling past 32 threads, >90% host CPU at 256 threads — emerges from
+//! this substrate plus the `dpc-ssd` timing model in the benchmarks.
+
+mod alloc;
+mod fs;
+mod pagecache;
+
+pub use alloc::{BlockAllocator, NoSpace};
+pub use fs::{Ext4Sim, ExtAttr, ExtError, ExtKind, ROOT_INO};
+pub use pagecache::{PageCache, PageCacheStats, PAGE_SIZE};

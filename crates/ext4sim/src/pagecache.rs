@@ -1,0 +1,315 @@
+//! The kernel-style page cache the local file system burns host CPU on.
+//!
+//! This is the baseline against which the hybrid cache is compared: a
+//! host-managed LRU of 4 KiB pages with dirty tracking and write-back.
+//! Management work (lookup, LRU maintenance, write-back scheduling) all
+//! happens on the host CPU — exactly the cycles DPC offloads to the DPU.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+pub const PAGE_SIZE: usize = 4096;
+
+type Key = (u64, u64); // (ino, lpn)
+
+struct Slot {
+    key: Key,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// LRU stamp; larger = more recent.
+    stamp: u64,
+}
+
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct PageCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+}
+
+struct Inner {
+    map: HashMap<Key, usize>,
+    slots: Vec<Slot>,
+    clock: u64,
+    stats: PageCacheStats,
+}
+
+/// A fixed-capacity write-back LRU page cache.
+pub struct PageCache {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PageCache {
+    pub fn new(capacity_pages: usize) -> PageCache {
+        assert!(capacity_pages > 0);
+        PageCache {
+            cap: capacity_pages,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                slots: Vec::new(),
+                clock: 0,
+                stats: PageCacheStats::default(),
+            }),
+        }
+    }
+
+    pub fn stats(&self) -> PageCacheStats {
+        self.inner.lock().stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy a cached page into `dst`; bumps recency.
+    pub fn get(&self, ino: u64, lpn: u64, dst: &mut [u8; PAGE_SIZE]) -> bool {
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let clock = g.clock;
+        match g.map.get(&(ino, lpn)).copied() {
+            Some(i) => {
+                let slot = &mut g.slots[i];
+                slot.stamp = clock;
+                dst.copy_from_slice(&slot.data[..]);
+                g.stats.hits += 1;
+                true
+            }
+            None => {
+                g.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert or update a page. When the cache is full, the LRU victim is
+    /// evicted; if it was dirty it is returned so the caller can write it
+    /// back to the device.
+    pub fn put(
+        &self,
+        ino: u64,
+        lpn: u64,
+        data: &[u8; PAGE_SIZE],
+        dirty: bool,
+    ) -> Option<(u64, u64, Box<[u8; PAGE_SIZE]>)> {
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let clock = g.clock;
+        if let Some(i) = g.map.get(&(ino, lpn)).copied() {
+            let slot = &mut g.slots[i];
+            slot.data.copy_from_slice(&data[..]);
+            slot.dirty |= dirty;
+            slot.stamp = clock;
+            return None;
+        }
+        if g.slots.len() < self.cap {
+            let i = g.slots.len();
+            g.slots.push(Slot {
+                key: (ino, lpn),
+                data: Box::new(*data),
+                dirty,
+                stamp: clock,
+            });
+            g.map.insert((ino, lpn), i);
+            return None;
+        }
+        // Evict the LRU slot.
+        let (victim_idx, _) = g
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.stamp)
+            .expect("cap > 0");
+        g.stats.evictions += 1;
+        let old_key = g.slots[victim_idx].key;
+        g.map.remove(&old_key);
+        g.map.insert((ino, lpn), victim_idx);
+        let slot = &mut g.slots[victim_idx];
+        let was_dirty = slot.dirty;
+        let old = std::mem::replace(&mut slot.data, Box::new(*data));
+        slot.key = (ino, lpn);
+        slot.dirty = dirty;
+        slot.stamp = clock;
+        if was_dirty {
+            g.stats.writebacks += 1;
+            Some((old_key.0, old_key.1, old))
+        } else {
+            None
+        }
+    }
+
+    /// Update a sub-range of a cached page in place; returns false when
+    /// the page is absent (caller must read-modify-write through `put`).
+    pub fn update_in_place(&self, ino: u64, lpn: u64, offset: usize, src: &[u8]) -> bool {
+        assert!(offset + src.len() <= PAGE_SIZE);
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let clock = g.clock;
+        match g.map.get(&(ino, lpn)).copied() {
+            Some(i) => {
+                let slot = &mut g.slots[i];
+                slot.data[offset..offset + src.len()].copy_from_slice(src);
+                slot.dirty = true;
+                slot.stamp = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write back one page if it is cached dirty: clears the dirty bit and
+    /// returns the data for the caller to persist. Used by the direct-read
+    /// path for O_DIRECT coherence (the kernel's
+    /// `filemap_write_and_wait_range`).
+    pub fn flush_page(&self, ino: u64, lpn: u64) -> Option<Box<[u8; PAGE_SIZE]>> {
+        let mut g = self.inner.lock();
+        let i = g.map.get(&(ino, lpn)).copied()?;
+        let slot = &mut g.slots[i];
+        if !slot.dirty {
+            return None;
+        }
+        slot.dirty = false;
+        let data = slot.data.clone();
+        g.stats.writebacks += 1;
+        Some(data)
+    }
+
+    /// Drain every dirty page (write-back / fsync path).
+    pub fn take_dirty(&self) -> Vec<(u64, u64, Box<[u8; PAGE_SIZE]>)> {
+        let mut g = self.inner.lock();
+        let mut out = Vec::new();
+        for slot in g.slots.iter_mut() {
+            if slot.dirty {
+                slot.dirty = false;
+                out.push((slot.key.0, slot.key.1, slot.data.clone()));
+            }
+        }
+        g.stats.writebacks += out.len() as u64;
+        out
+    }
+
+    /// Drop every page of one inode at or beyond `first_lpn`
+    /// (truncate). Dirty pages are discarded — they describe data past
+    /// the new end of file.
+    pub fn invalidate_from(&self, ino: u64, first_lpn: u64) {
+        let mut g = self.inner.lock();
+        let keys: Vec<Key> = g
+            .map
+            .keys()
+            .filter(|k| k.0 == ino && k.1 >= first_lpn)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(i) = g.map.remove(&k) {
+                let last = g.slots.len() - 1;
+                g.slots.swap(i, last);
+                g.slots.pop();
+                if i < g.slots.len() {
+                    let moved_key = g.slots[i].key;
+                    g.map.insert(moved_key, i);
+                }
+            }
+        }
+    }
+
+    /// Drop every page of one inode (truncate/unlink). Dirty pages are
+    /// discarded — the caller has already handled persistence.
+    pub fn invalidate_ino(&self, ino: u64) {
+        let mut g = self.inner.lock();
+        let keys: Vec<Key> = g.map.keys().filter(|k| k.0 == ino).copied().collect();
+        for k in keys {
+            if let Some(i) = g.map.remove(&k) {
+                // Swap-remove, fixing the moved slot's index.
+                let last = g.slots.len() - 1;
+                g.slots.swap(i, last);
+                g.slots.pop();
+                if i < g.slots.len() {
+                    let moved_key = g.slots[i].key;
+                    g.map.insert(moved_key, i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> Box<[u8; PAGE_SIZE]> {
+        Box::new([fill; PAGE_SIZE])
+    }
+
+    #[test]
+    fn get_after_put() {
+        let pc = PageCache::new(4);
+        pc.put(1, 0, &page(7), false);
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(pc.get(1, 0, &mut buf));
+        assert_eq!(buf[0], 7);
+        assert!(!pc.get(1, 1, &mut buf));
+        let s = pc.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_returns_dirty_victim() {
+        let pc = PageCache::new(2);
+        pc.put(1, 0, &page(1), true);
+        pc.put(1, 1, &page(2), false);
+        // Touch page 0 so page 1 is LRU.
+        let mut buf = [0u8; PAGE_SIZE];
+        pc.get(1, 0, &mut buf);
+        // Insert a third page: page 1 (clean) evicted silently.
+        assert!(pc.put(1, 2, &page(3), false).is_none());
+        // Insert a fourth: page 0 (dirty) must be handed back.
+        let evicted = pc.put(1, 3, &page(4), false);
+        let (ino, lpn, data) = evicted.expect("dirty victim returned");
+        assert_eq!((ino, lpn), (1, 0));
+        assert_eq!(data[0], 1);
+    }
+
+    #[test]
+    fn update_in_place_marks_dirty() {
+        let pc = PageCache::new(2);
+        pc.put(1, 0, &page(0), false);
+        assert!(pc.update_in_place(1, 0, 10, b"xyz"));
+        let dirty = pc.take_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(&dirty[0].2[10..13], b"xyz");
+        assert!(pc.take_dirty().is_empty(), "drained");
+        assert!(!pc.update_in_place(9, 9, 0, b"a"));
+    }
+
+    #[test]
+    fn invalidate_ino_removes_only_that_inode() {
+        let pc = PageCache::new(8);
+        pc.put(1, 0, &page(1), true);
+        pc.put(1, 1, &page(1), false);
+        pc.put(2, 0, &page(2), false);
+        pc.invalidate_ino(1);
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(!pc.get(1, 0, &mut buf));
+        assert!(!pc.get(1, 1, &mut buf));
+        assert!(pc.get(2, 0, &mut buf));
+        assert_eq!(pc.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_same_key_does_not_grow() {
+        let pc = PageCache::new(2);
+        for i in 0..10u8 {
+            pc.put(5, 5, &page(i), true);
+        }
+        assert_eq!(pc.len(), 1);
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(pc.get(5, 5, &mut buf));
+        assert_eq!(buf[0], 9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Model-based property test: the local file system (buffered and direct
+//! paths interleaved, with flushes) behaves like a flat byte-array model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dpc_ext4sim::Ext4Sim;
+use dpc_ssd::BlockDevice;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { file: u8, offset: u32, len: u16, fill: u8, direct: bool },
+    Read { file: u8, offset: u32, len: u16, direct: bool },
+    Truncate { file: u8, size: u32 },
+    Flush,
+    Unlink { file: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0u32..40_000, 1u16..10_000, any::<u8>(), any::<bool>())
+            .prop_map(|(file, offset, len, fill, direct)| Op::Write {
+                file, offset, len, fill, direct
+            }),
+        3 => (0u8..4, 0u32..60_000, 1u16..10_000, any::<bool>())
+            .prop_map(|(file, offset, len, direct)| Op::Read { file, offset, len, direct }),
+        1 => (0u8..4, 0u32..50_000).prop_map(|(file, size)| Op::Truncate { file, size }),
+        1 => Just(Op::Flush),
+        1 => (0u8..4).prop_map(|file| Op::Unlink { file }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ext4sim_matches_flat_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        // Small cache (8 pages) so evictions and write-back are exercised.
+        let fs = Ext4Sim::new(Arc::new(BlockDevice::new(64 << 20)), 8);
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut inos: HashMap<u8, u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { file, offset, len, fill, direct } => {
+                    let ino = *inos.entry(file).or_insert_with(|| {
+                        model.insert(file, Vec::new());
+                        fs.create(&format!("/f{file}"), 0o644).unwrap()
+                    });
+                    let data = vec![fill; len as usize];
+                    fs.write(ino, offset as u64, &data, direct).unwrap();
+                    let m = model.get_mut(&file).unwrap();
+                    let end = offset as usize + len as usize;
+                    if m.len() < end {
+                        m.resize(end, 0);
+                    }
+                    m[offset as usize..end].copy_from_slice(&data);
+                }
+                Op::Read { file, offset, len, direct } => {
+                    let Some(&ino) = inos.get(&file) else { continue };
+                    let mut buf = vec![0xAA; len as usize];
+                    let n = fs.read(ino, offset as u64, &mut buf, direct).unwrap();
+                    let m = &model[&file];
+                    let expect = m.len().saturating_sub(offset as usize).min(len as usize);
+                    prop_assert_eq!(n, expect);
+                    if n > 0 {
+                        prop_assert_eq!(&buf[..n], &m[offset as usize..offset as usize + n]);
+                    }
+                }
+                Op::Truncate { file, size } => {
+                    let Some(&ino) = inos.get(&file) else { continue };
+                    fs.truncate(ino, size as u64).unwrap();
+                    model.get_mut(&file).unwrap().resize(size as usize, 0);
+                }
+                Op::Flush => {
+                    fs.flush().unwrap();
+                }
+                Op::Unlink { file } => {
+                    if inos.remove(&file).is_some() {
+                        fs.unlink(&format!("/f{file}")).unwrap();
+                        model.remove(&file);
+                    }
+                }
+            }
+        }
+
+        // Final check through both paths after a full flush.
+        fs.flush().unwrap();
+        for (file, m) in &model {
+            let ino = inos[file];
+            for direct in [false, true] {
+                let mut buf = vec![0u8; m.len() + 8];
+                let n = fs.read(ino, 0, &mut buf, direct).unwrap();
+                prop_assert_eq!(n, m.len());
+                prop_assert_eq!(&buf[..n], &m[..], "direct={}", direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,1073 @@
+//! KVFS: the POSIX-style standalone file service over the disaggregated
+//! KV store (§3.4).
+//!
+//! Every file operation becomes KV operations: path resolution recursively
+//! fetches inode KVs from the root (ino 0) using `p_ino + name` keys;
+//! `readdir` is a prefix scan; data lives in small-file KVs (< 8 KiB,
+//! whole-value rewrite) or big-file KVs (8 KiB in-place block updates via
+//! the file object). Dentry and inode caches — the ones the VFS layer
+//! would provide — are built in and instrumented.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpc_kvstore::KvStore;
+use parking_lot::{Mutex, RwLock};
+
+use crate::fileobj::FileObject;
+use crate::keys::{
+    attr_key, big_key, inode_key, inode_prefix, name_from_inode_key, small_key, validate_name,
+};
+use crate::types::{
+    DataFormat, Dirent, FileAttr, FileKind, FsError, MAX_NAME_LEN, ROOT_INO, SMALL_FILE_MAX,
+};
+#[cfg(test)]
+use crate::types::BIG_BLOCK;
+
+/// Cache hit/miss counters for the dentry and inode caches.
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct LookupStats {
+    pub dentry_hits: u64,
+    pub dentry_misses: u64,
+    pub inode_hits: u64,
+    pub inode_misses: u64,
+}
+
+const INO_LOCKS: usize = 64;
+
+/// The KV-backed file system.
+pub struct Kvfs {
+    store: Arc<KvStore>,
+    next_ino: AtomicU64,
+    /// `(p_ino, name) → ino`, the dentry cache.
+    dentry_cache: RwLock<HashMap<(u64, String), u64>>,
+    /// `ino → attr`, the inode cache.
+    inode_cache: RwLock<HashMap<u64, FileAttr>>,
+    /// Per-inode write serialisation (sharded by ino).
+    ino_locks: Box<[Mutex<()>]>,
+    /// Logical clock for timestamps (deterministic under simulation).
+    clock: AtomicU64,
+    dentry_hits: AtomicU64,
+    dentry_misses: AtomicU64,
+    inode_hits: AtomicU64,
+    inode_misses: AtomicU64,
+}
+
+impl Kvfs {
+    /// Create a fresh KVFS on `store`, initialising the root directory
+    /// (ino 0).
+    pub fn new(store: Arc<KvStore>) -> Kvfs {
+        let fs = Self::construct(store, 1);
+        let root = FileAttr::new_dir(ROOT_INO, 0o755, 0);
+        fs.store.put(&attr_key(ROOT_INO), &root.encode());
+        fs
+    }
+
+    /// Remount an existing KVFS from its disaggregated store — the
+    /// diskless-server reboot: the application server restarts with no
+    /// local state and recovers the namespace entirely from the KV store.
+    /// The inode allocator resumes past the highest inode found in the
+    /// attribute-KV keyspace.
+    pub fn open(store: Arc<KvStore>) -> Result<Kvfs, FsError> {
+        // The root attribute must exist, or this store holds no KVFS.
+        let raw = store.get(&attr_key(ROOT_INO)).ok_or(FsError::NotFound)?;
+        FileAttr::decode(&raw).ok_or(FsError::NotFound)?;
+        // Recover the allocator: attribute keys are `0x02 ‖ ino(BE)`, so a
+        // prefix scan over the tag enumerates every live inode.
+        let max_ino = store
+            .scan_prefix(&[0x02])
+            .into_iter()
+            .map(|(k, _)| u64::from_be_bytes(k[1..9].try_into().unwrap_or_default()))
+            .max()
+            .unwrap_or(ROOT_INO);
+        Ok(Self::construct(store, max_ino + 1))
+    }
+
+    fn construct(store: Arc<KvStore>, next_ino: u64) -> Kvfs {
+        Kvfs {
+            store,
+            next_ino: AtomicU64::new(next_ino),
+            dentry_cache: RwLock::new(HashMap::new()),
+            inode_cache: RwLock::new(HashMap::new()),
+            ino_locks: (0..INO_LOCKS).map(|_| Mutex::new(())).collect(),
+            clock: AtomicU64::new(1),
+            dentry_hits: AtomicU64::new(0),
+            dentry_misses: AtomicU64::new(0),
+            inode_hits: AtomicU64::new(0),
+            inode_misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    pub fn lookup_stats(&self) -> LookupStats {
+        LookupStats {
+            dentry_hits: self.dentry_hits.load(Ordering::Relaxed),
+            dentry_misses: self.dentry_misses.load(Ordering::Relaxed),
+            inode_hits: self.inode_hits.load(Ordering::Relaxed),
+            inode_misses: self.inode_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn ino_lock(&self, ino: u64) -> &Mutex<()> {
+        &self.ino_locks[(ino as usize) % INO_LOCKS]
+    }
+
+    fn alloc_ino(&self) -> u64 {
+        self.next_ino.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ---- attribute plumbing -------------------------------------------
+
+    /// Fetch an attribute (through the inode cache).
+    pub fn get_attr(&self, ino: u64) -> Result<FileAttr, FsError> {
+        if let Some(a) = self.inode_cache.read().get(&ino) {
+            self.inode_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*a);
+        }
+        self.inode_misses.fetch_add(1, Ordering::Relaxed);
+        let raw = self.store.get(&attr_key(ino)).ok_or(FsError::NotFound)?;
+        let attr = FileAttr::decode(&raw).ok_or(FsError::NotFound)?;
+        self.inode_cache.write().insert(ino, attr);
+        Ok(attr)
+    }
+
+    fn put_attr(&self, attr: &FileAttr) {
+        self.store.put(&attr_key(attr.ino), &attr.encode());
+        self.inode_cache.write().insert(attr.ino, *attr);
+    }
+
+    fn drop_attr(&self, ino: u64) {
+        self.store.delete(&attr_key(ino));
+        self.inode_cache.write().remove(&ino);
+    }
+
+    // ---- lookup / resolution ------------------------------------------
+
+    /// One-step lookup: `name` under directory `parent`.
+    pub fn lookup(&self, parent: u64, name: &str) -> Result<u64, FsError> {
+        validate_name(name)?;
+        let key = (parent, name.to_string());
+        if let Some(&ino) = self.dentry_cache.read().get(&key) {
+            self.dentry_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(ino);
+        }
+        self.dentry_misses.fetch_add(1, Ordering::Relaxed);
+        let raw = self
+            .store
+            .get(&inode_key(parent, name))
+            .ok_or(FsError::NotFound)?;
+        let ino = u64::from_le_bytes(raw.try_into().map_err(|_| FsError::NotFound)?);
+        self.dentry_cache.write().insert(key, ino);
+        Ok(ino)
+    }
+
+    /// Resolve an absolute path to an inode by recursively fetching inode
+    /// KVs from the root (the paper's path-resolution procedure).
+    /// Symbolic links are followed, with a depth limit of 8.
+    pub fn resolve(&self, path: &str) -> Result<u64, FsError> {
+        self.resolve_depth(path, 0)
+    }
+
+    /// Resolve without following a final symlink (lstat-style).
+    pub fn resolve_nofollow(&self, path: &str) -> Result<u64, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        self.lookup(parent, name)
+    }
+
+    const MAX_SYMLINK_DEPTH: u32 = 8;
+
+    fn resolve_depth(&self, path: &str, depth: u32) -> Result<u64, FsError> {
+        if depth > Self::MAX_SYMLINK_DEPTH {
+            return Err(FsError::TooManyLinks);
+        }
+        let mut ino = ROOT_INO;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let attr = self.get_attr(ino)?;
+            if !attr.is_dir() {
+                return Err(FsError::NotADirectory);
+            }
+            ino = self.lookup(ino, comp)?;
+            // Follow symlinks encountered anywhere on the path.
+            let mut hops = 0u32;
+            loop {
+                let attr = self.get_attr(ino)?;
+                if attr.kind != FileKind::Symlink {
+                    break;
+                }
+                hops += 1;
+                if depth + hops > Self::MAX_SYMLINK_DEPTH {
+                    return Err(FsError::TooManyLinks);
+                }
+                let target = self.readlink(ino)?;
+                // Targets are absolute paths in KVFS (documented choice).
+                ino = self.resolve_depth(&target, depth + hops)?;
+            }
+        }
+        Ok(ino)
+    }
+
+    /// Create a symbolic link at `path` pointing to the absolute `target`.
+    pub fn symlink(&self, path: &str, target: &str) -> Result<u64, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        self.symlink_in(parent, name, target)
+    }
+
+    /// Create a symbolic link under a known parent inode.
+    pub fn symlink_in(&self, parent: u64, name: &str, target: &str) -> Result<u64, FsError> {
+        validate_name(name)?;
+        if target.len() > MAX_NAME_LEN {
+            return Err(FsError::NameTooLong);
+        }
+        let ino = self.alloc_ino();
+        if !self
+            .store
+            .put_if_absent(&inode_key(parent, name), &ino.to_le_bytes())
+        {
+            return Err(FsError::AlreadyExists);
+        }
+        let mut attr = FileAttr::new_file(ino, 0o777, self.now());
+        attr.kind = FileKind::Symlink;
+        attr.size = target.len() as u64;
+        self.put_attr(&attr);
+        // The target string lives in the small-file KV.
+        self.store.put(&small_key(ino), target.as_bytes());
+        self.dentry_cache
+            .write()
+            .insert((parent, name.to_string()), ino);
+        Ok(ino)
+    }
+
+    /// Read a symlink's target.
+    pub fn readlink(&self, ino: u64) -> Result<String, FsError> {
+        let attr = self.get_attr(ino)?;
+        if attr.kind != FileKind::Symlink {
+            return Err(FsError::InvalidOperation);
+        }
+        let raw = self.store.get(&small_key(ino)).ok_or(FsError::NotFound)?;
+        String::from_utf8(raw).map_err(|_| FsError::InvalidOperation)
+    }
+
+    /// Create a hard link: `new_path` becomes another name for the regular
+    /// file at `existing`. Directories cannot be hard-linked.
+    pub fn link(&self, existing: &str, new_path: &str) -> Result<(), FsError> {
+        let ino = self.resolve(existing)?;
+        let (parent, name) = self.resolve_parent(new_path)?;
+        self.link_in(ino, parent, name)
+    }
+
+    /// Hard-link the file at `ino` under a known parent inode.
+    pub fn link_in(&self, ino: u64, parent: u64, name: &str) -> Result<(), FsError> {
+        let _guard = self.ino_lock(ino).lock();
+        let mut attr = self.get_attr(ino)?;
+        if attr.kind != FileKind::File {
+            return Err(FsError::InvalidOperation);
+        }
+        validate_name(name)?;
+        if !self
+            .store
+            .put_if_absent(&inode_key(parent, name), &ino.to_le_bytes())
+        {
+            return Err(FsError::AlreadyExists);
+        }
+        attr.nlink += 1;
+        attr.ctime = self.now();
+        self.put_attr(&attr);
+        self.dentry_cache
+            .write()
+            .insert((parent, name.to_string()), ino);
+        Ok(())
+    }
+
+    /// Split a path into (parent inode, final component).
+    fn resolve_parent<'p>(&self, path: &'p str) -> Result<(u64, &'p str), FsError> {
+        let trimmed = path.trim_end_matches('/');
+        let (dir, name) = match trimmed.rfind('/') {
+            Some(i) => (&trimmed[..i], &trimmed[i + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() {
+            return Err(FsError::InvalidName);
+        }
+        let parent = self.resolve(dir)?;
+        let pattr = self.get_attr(parent)?;
+        if !pattr.is_dir() {
+            return Err(FsError::NotADirectory);
+        }
+        Ok((parent, name))
+    }
+
+    // ---- namespace operations -----------------------------------------
+
+    /// Create a regular file; returns its inode.
+    pub fn create(&self, path: &str, mode: u32) -> Result<u64, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        self.create_in(parent, name, mode)
+    }
+
+    /// Create a regular file under a known parent inode.
+    pub fn create_in(&self, parent: u64, name: &str, mode: u32) -> Result<u64, FsError> {
+        validate_name(name)?;
+        let ino = self.alloc_ino();
+        if !self
+            .store
+            .put_if_absent(&inode_key(parent, name), &ino.to_le_bytes())
+        {
+            return Err(FsError::AlreadyExists);
+        }
+        let attr = FileAttr::new_file(ino, mode, self.now());
+        self.put_attr(&attr);
+        // Small-file KV starts empty.
+        self.store.put(&small_key(ino), b"");
+        self.dentry_cache
+            .write()
+            .insert((parent, name.to_string()), ino);
+        Ok(ino)
+    }
+
+    /// Create a directory; returns its inode.
+    pub fn mkdir(&self, path: &str, mode: u32) -> Result<u64, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        self.mkdir_in(parent, name, mode)
+    }
+
+    /// Create a directory under a known parent inode.
+    pub fn mkdir_in(&self, parent: u64, name: &str, mode: u32) -> Result<u64, FsError> {
+        validate_name(name)?;
+        let _guard = self.ino_lock(parent).lock();
+        let ino = self.alloc_ino();
+        if !self
+            .store
+            .put_if_absent(&inode_key(parent, name), &ino.to_le_bytes())
+        {
+            return Err(FsError::AlreadyExists);
+        }
+        let attr = FileAttr::new_dir(ino, mode, self.now());
+        self.put_attr(&attr);
+        // Parent gains a link ("..").
+        if let Ok(mut pattr) = self.get_attr(parent) {
+            pattr.nlink += 1;
+            self.put_attr(&pattr);
+        }
+        self.dentry_cache
+            .write()
+            .insert((parent, name.to_string()), ino);
+        Ok(ino)
+    }
+
+    /// List a directory: a prefix scan over `p_ino`-keyed inode KVs.
+    pub fn readdir(&self, dir: u64) -> Result<Vec<Dirent>, FsError> {
+        let attr = self.get_attr(dir)?;
+        if !attr.is_dir() {
+            return Err(FsError::NotADirectory);
+        }
+        let mut out = Vec::new();
+        for (key, val) in self.store.scan_prefix(&inode_prefix(dir)) {
+            let Some(name) = name_from_inode_key(&key) else {
+                continue;
+            };
+            let ino = u64::from_le_bytes(val.try_into().unwrap_or_default());
+            let kind = self
+                .get_attr(ino)
+                .map(|a| a.kind)
+                .unwrap_or(FileKind::File);
+            out.push(Dirent {
+                ino,
+                name: name.to_string(),
+                kind,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Remove a regular file.
+    pub fn unlink(&self, path: &str) -> Result<(), FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        self.unlink_in(parent, name)
+    }
+
+    /// Remove a name. Data is reclaimed only when the last hard link to
+    /// the inode goes away.
+    pub fn unlink_in(&self, parent: u64, name: &str) -> Result<(), FsError> {
+        let ino = self.lookup(parent, name)?;
+        let mut attr = self.get_attr(ino)?;
+        if attr.is_dir() {
+            return Err(FsError::IsADirectory);
+        }
+        let _guard = self.ino_lock(ino).lock();
+        self.store.delete(&inode_key(parent, name));
+        self.dentry_cache.write().remove(&(parent, name.to_string()));
+        if attr.nlink > 1 {
+            attr.nlink -= 1;
+            attr.ctime = self.now();
+            self.put_attr(&attr);
+            return Ok(());
+        }
+        match attr.format {
+            DataFormat::Small => {
+                self.store.delete(&small_key(ino));
+            }
+            DataFormat::Big => FileObject::new(&self.store, ino).delete_all(),
+        }
+        self.drop_attr(ino);
+        Ok(())
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<(), FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        self.rmdir_in(parent, name)
+    }
+
+    /// Remove an empty directory under a known parent inode.
+    pub fn rmdir_in(&self, parent: u64, name: &str) -> Result<(), FsError> {
+        let ino = self.lookup(parent, name)?;
+        let attr = self.get_attr(ino)?;
+        if !attr.is_dir() {
+            return Err(FsError::NotADirectory);
+        }
+        if self.store.count_prefix(&inode_prefix(ino)) != 0 {
+            return Err(FsError::DirectoryNotEmpty);
+        }
+        let _guard = self.ino_lock(parent).lock();
+        self.store.delete(&inode_key(parent, name));
+        self.dentry_cache.write().remove(&(parent, name.to_string()));
+        self.drop_attr(ino);
+        if let Ok(mut pattr) = self.get_attr(parent) {
+            pattr.nlink = pattr.nlink.saturating_sub(1);
+            self.put_attr(&pattr);
+        }
+        Ok(())
+    }
+
+    /// Rename; fails if the destination exists.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        let (fp, fname) = self.resolve_parent(from)?;
+        let (tp, tname) = self.resolve_parent(to)?;
+        self.rename_in(fp, fname, tp, tname)
+    }
+
+    /// Rename under known parent inodes. POSIX semantics: an existing
+    /// regular-file destination is atomically replaced (its data reclaimed
+    /// when this was its last link); a directory destination is rejected.
+    pub fn rename_in(&self, fp: u64, fname: &str, tp: u64, tname: &str) -> Result<(), FsError> {
+        validate_name(tname)?;
+        let ino = self.lookup(fp, fname)?;
+        if fp == tp && fname == tname {
+            return Ok(()); // rename to self is a no-op
+        }
+        if !self
+            .store
+            .put_if_absent(&inode_key(tp, tname), &ino.to_le_bytes())
+        {
+            // Destination exists: replace a file, refuse a directory.
+            let existing = self.lookup(tp, tname)?;
+            let eattr = self.get_attr(existing)?;
+            if eattr.is_dir() {
+                return Err(FsError::IsADirectory);
+            }
+            self.unlink_in(tp, tname)?;
+            if !self
+                .store
+                .put_if_absent(&inode_key(tp, tname), &ino.to_le_bytes())
+            {
+                return Err(FsError::AlreadyExists); // lost a race
+            }
+        }
+        self.store.delete(&inode_key(fp, fname));
+        let mut dc = self.dentry_cache.write();
+        dc.remove(&(fp, fname.to_string()));
+        dc.insert((tp, tname.to_string()), ino);
+        Ok(())
+    }
+
+    /// `stat` by path.
+    pub fn stat(&self, path: &str) -> Result<FileAttr, FsError> {
+        let ino = self.resolve(path)?;
+        self.get_attr(ino)
+    }
+
+    pub fn set_mode(&self, ino: u64, mode: u32) -> Result<(), FsError> {
+        let _guard = self.ino_lock(ino).lock();
+        let mut attr = self.get_attr(ino)?;
+        attr.mode = mode;
+        attr.ctime = self.now();
+        self.put_attr(&attr);
+        Ok(())
+    }
+
+    // ---- data operations ----------------------------------------------
+
+    /// Write `data` at `offset`; extends the file. Returns bytes written.
+    ///
+    /// Implements the small→big promotion: files under 8 KiB rewrite
+    /// their whole small-file KV; when the size reaches 8 KiB the small KV
+    /// is deleted and a big-file KV (block space) is created.
+    pub fn write(&self, ino: u64, offset: u64, data: &[u8]) -> Result<usize, FsError> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let _guard = self.ino_lock(ino).lock();
+        let mut attr = self.get_attr(ino)?;
+        if attr.is_dir() {
+            return Err(FsError::IsADirectory);
+        }
+        let end = offset + data.len() as u64;
+
+        match attr.format {
+            DataFormat::Small if end < SMALL_FILE_MAX => {
+                // Rewrite the entire small KV (the paper's update rule).
+                let mut v = self.store.get(&small_key(ino)).unwrap_or_default();
+                if (v.len() as u64) < end {
+                    v.resize(end as usize, 0);
+                }
+                v[offset as usize..end as usize].copy_from_slice(data);
+                self.store.put(&small_key(ino), &v);
+            }
+            DataFormat::Small => {
+                // Promotion: move existing bytes into the block space.
+                let old = self.store.get(&small_key(ino)).unwrap_or_default();
+                let fo = FileObject::new(&self.store, ino);
+                if !old.is_empty() {
+                    fo.write_at(0, &old);
+                }
+                self.store.delete(&small_key(ino));
+                fo.write_at(offset, data);
+                attr.format = DataFormat::Big;
+            }
+            DataFormat::Big => {
+                FileObject::new(&self.store, ino).write_at(offset, data);
+            }
+        }
+
+        if end > attr.size {
+            attr.size = end;
+        }
+        attr.mtime = self.now();
+        self.put_attr(&attr);
+        Ok(data.len())
+    }
+
+    /// Read up to `dst.len()` bytes at `offset`; returns bytes read
+    /// (0 at or past EOF).
+    pub fn read(&self, ino: u64, offset: u64, dst: &mut [u8]) -> Result<usize, FsError> {
+        let attr = self.get_attr(ino)?;
+        if attr.is_dir() {
+            return Err(FsError::IsADirectory);
+        }
+        if offset >= attr.size || dst.is_empty() {
+            return Ok(0);
+        }
+        let n = ((attr.size - offset) as usize).min(dst.len());
+        match attr.format {
+            DataFormat::Small => {
+                let v = self.store.get(&small_key(ino)).unwrap_or_default();
+                for (i, d) in dst[..n].iter_mut().enumerate() {
+                    *d = v.get(offset as usize + i).copied().unwrap_or(0);
+                }
+            }
+            DataFormat::Big => {
+                FileObject::new(&self.store, ino).read_at(offset, &mut dst[..n]);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Truncate (grow or shrink) to `size`.
+    pub fn truncate(&self, ino: u64, size: u64) -> Result<(), FsError> {
+        let _guard = self.ino_lock(ino).lock();
+        let mut attr = self.get_attr(ino)?;
+        if attr.is_dir() {
+            return Err(FsError::IsADirectory);
+        }
+        match attr.format {
+            DataFormat::Small => {
+                if size < SMALL_FILE_MAX {
+                    self.store.truncate_value(&small_key(ino), size as usize);
+                } else {
+                    // Growing past the boundary promotes.
+                    let old = self.store.get(&small_key(ino)).unwrap_or_default();
+                    let fo = FileObject::new(&self.store, ino);
+                    if !old.is_empty() {
+                        fo.write_at(0, &old);
+                    }
+                    self.store.delete(&small_key(ino));
+                    attr.format = DataFormat::Big;
+                }
+            }
+            DataFormat::Big => {
+                FileObject::new(&self.store, ino).truncate(size);
+            }
+        }
+        attr.size = size;
+        attr.mtime = self.now();
+        self.put_attr(&attr);
+        Ok(())
+    }
+
+    /// Persistence barrier. The backing KV store is always durable in this
+    /// model, so this is a consistency point only.
+    pub fn fsync(&self, _ino: u64) -> Result<(), FsError> {
+        Ok(())
+    }
+
+    /// Number of KV pairs currently backing the file system (diagnostic).
+    pub fn kv_pairs(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The number of 8 KiB blocks a big file holds (diagnostic).
+    pub fn big_file_blocks(&self, ino: u64) -> usize {
+        self.store.count_prefix(&big_key(ino, 0)[..9])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Kvfs {
+        Kvfs::new(Arc::new(KvStore::new()))
+    }
+
+    #[test]
+    fn root_exists_with_ino_zero() {
+        let fs = fs();
+        assert_eq!(fs.resolve("/").unwrap(), ROOT_INO);
+        let attr = fs.get_attr(ROOT_INO).unwrap();
+        assert!(attr.is_dir());
+        assert_eq!(attr.nlink, 2);
+    }
+
+    #[test]
+    fn create_write_read() {
+        let fs = fs();
+        let ino = fs.create("/hello.txt", 0o644).unwrap();
+        assert_eq!(fs.write(ino, 0, b"hello world").unwrap(), 11);
+        let mut buf = [0u8; 64];
+        assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 11);
+        assert_eq!(&buf[..11], b"hello world");
+        assert_eq!(fs.stat("/hello.txt").unwrap().size, 11);
+        // Read at EOF.
+        assert_eq!(fs.read(ino, 11, &mut buf).unwrap(), 0);
+        // Partial read.
+        assert_eq!(fs.read(ino, 6, &mut buf[..3]).unwrap(), 3);
+        assert_eq!(&buf[..3], b"wor");
+    }
+
+    #[test]
+    fn nested_directories_resolve() {
+        let fs = fs();
+        fs.mkdir("/a", 0o755).unwrap();
+        fs.mkdir("/a/b", 0o755).unwrap();
+        let ino = fs.create("/a/b/c.txt", 0o644).unwrap();
+        assert_eq!(fs.resolve("/a/b/c.txt").unwrap(), ino);
+        assert_eq!(fs.resolve("a/b/c.txt").unwrap(), ino, "leading slash optional");
+        assert_eq!(fs.resolve("/a/b/missing"), Err(FsError::NotFound));
+        assert_eq!(fs.resolve("/a/b/c.txt/x"), Err(FsError::NotADirectory));
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let fs = fs();
+        fs.create("/f", 0o644).unwrap();
+        assert_eq!(fs.create("/f", 0o644), Err(FsError::AlreadyExists));
+        fs.mkdir("/d", 0o755).unwrap();
+        assert_eq!(fs.mkdir("/d", 0o755), Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn readdir_lists_sorted_entries() {
+        let fs = fs();
+        fs.create("/zeta", 0o644).unwrap();
+        fs.mkdir("/alpha", 0o755).unwrap();
+        fs.create("/mid", 0o644).unwrap();
+        let entries = fs.readdir(ROOT_INO).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"], "prefix scan is ordered");
+        assert_eq!(entries[0].kind, FileKind::Dir);
+        assert_eq!(entries[2].kind, FileKind::File);
+    }
+
+    #[test]
+    fn small_file_stays_small() {
+        let fs = fs();
+        let ino = fs.create("/s", 0o644).unwrap();
+        fs.write(ino, 0, &[7u8; 4000]).unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().format, DataFormat::Small);
+        fs.write(ino, 4000, &[8u8; 191]).unwrap(); // total 4191 < 8192
+        assert_eq!(fs.get_attr(ino).unwrap().format, DataFormat::Small);
+    }
+
+    #[test]
+    fn small_to_big_promotion_preserves_data() {
+        let fs = fs();
+        let ino = fs.create("/grow", 0o644).unwrap();
+        let first: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        fs.write(ino, 0, &first).unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().format, DataFormat::Small);
+        // This write crosses 8 KiB — promotion must occur.
+        let second = vec![0xCC; 6000];
+        fs.write(ino, 5000, &second).unwrap();
+        let attr = fs.get_attr(ino).unwrap();
+        assert_eq!(attr.format, DataFormat::Big);
+        assert_eq!(attr.size, 11_000);
+        let mut back = vec![0u8; 11_000];
+        assert_eq!(fs.read(ino, 0, &mut back).unwrap(), 11_000);
+        assert_eq!(&back[..5000], &first[..]);
+        assert_eq!(&back[5000..], &second[..]);
+    }
+
+    #[test]
+    fn big_file_random_8k_updates() {
+        let fs = fs();
+        let ino = fs.create("/big", 0o644).unwrap();
+        fs.write(ino, 0, &vec![0u8; 8 * BIG_BLOCK]).unwrap();
+        fs.write(ino, 3 * BIG_BLOCK as u64, &vec![3u8; BIG_BLOCK]).unwrap();
+        fs.write(ino, 6 * BIG_BLOCK as u64, &vec![6u8; BIG_BLOCK]).unwrap();
+        let mut buf = vec![0u8; BIG_BLOCK];
+        fs.read(ino, 3 * BIG_BLOCK as u64, &mut buf).unwrap();
+        assert_eq!(buf, vec![3u8; BIG_BLOCK]);
+        fs.read(ino, 4 * BIG_BLOCK as u64, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; BIG_BLOCK]);
+    }
+
+    #[test]
+    fn unlink_removes_all_kvs() {
+        let fs = fs();
+        let baseline = fs.kv_pairs();
+        let ino = fs.create("/gone", 0o644).unwrap();
+        fs.write(ino, 0, &vec![1u8; 100_000]).unwrap(); // big format
+        assert!(fs.kv_pairs() > baseline);
+        fs.unlink("/gone").unwrap();
+        assert_eq!(fs.kv_pairs(), baseline, "no leaked KVs");
+        assert_eq!(fs.stat("/gone"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_directory_rejected() {
+        let fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        assert_eq!(fs.unlink("/d"), Err(FsError::IsADirectory));
+    }
+
+    #[test]
+    fn rmdir_semantics() {
+        let fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.create("/d/f", 0o644).unwrap();
+        assert_eq!(fs.rmdir("/d"), Err(FsError::DirectoryNotEmpty));
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.resolve("/d"), Err(FsError::NotFound));
+        // Parent nlink went 2 -> 3 -> 2.
+        assert_eq!(fs.get_attr(ROOT_INO).unwrap().nlink, 2);
+    }
+
+    #[test]
+    fn rename_moves_entry() {
+        let fs = fs();
+        fs.mkdir("/src", 0o755).unwrap();
+        fs.mkdir("/dst", 0o755).unwrap();
+        let ino = fs.create("/src/f", 0o644).unwrap();
+        fs.write(ino, 0, b"payload").unwrap();
+        fs.rename("/src/f", "/dst/g").unwrap();
+        assert_eq!(fs.resolve("/src/f"), Err(FsError::NotFound));
+        let moved = fs.resolve("/dst/g").unwrap();
+        assert_eq!(moved, ino);
+        let mut buf = [0u8; 7];
+        fs.read(moved, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn rename_replaces_existing_file_posix_style() {
+        let fs = fs();
+        let a = fs.create("/a", 0o644).unwrap();
+        fs.write(a, 0, b"from a").unwrap();
+        let b = fs.create("/b", 0o644).unwrap();
+        fs.write(b, 0, b"old b content").unwrap();
+        let kvs_before = fs.kv_pairs();
+        fs.rename("/a", "/b").unwrap();
+        // /a is gone; /b now names a's inode with a's content.
+        assert_eq!(fs.resolve("/a"), Err(FsError::NotFound));
+        assert_eq!(fs.resolve("/b").unwrap(), a);
+        let mut buf = [0u8; 6];
+        fs.read(a, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"from a");
+        // The replaced file's KVs were reclaimed.
+        assert!(fs.kv_pairs() < kvs_before);
+        // A directory destination is refused.
+        fs.mkdir("/dir", 0o755).unwrap();
+        assert_eq!(fs.rename("/b", "/dir"), Err(FsError::IsADirectory));
+        // Self-rename is a no-op.
+        fs.rename("/b", "/b").unwrap();
+        assert_eq!(fs.resolve("/b").unwrap(), a);
+    }
+
+    #[test]
+    fn truncate_shrink_and_grow() {
+        let fs = fs();
+        let ino = fs.create("/t", 0o644).unwrap();
+        fs.write(ino, 0, &vec![9u8; 20_000]).unwrap();
+        fs.truncate(ino, 10_000).unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().size, 10_000);
+        let mut buf = vec![0u8; 20_000];
+        assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 10_000);
+        assert!(buf[..10_000].iter().all(|&b| b == 9));
+        // Grow back: the hole reads as zeros.
+        fs.truncate(ino, 15_000).unwrap();
+        assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 15_000);
+        assert!(buf[10_000..15_000].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn caches_hit_after_first_access() {
+        let fs = fs();
+        fs.mkdir("/etc", 0o755).unwrap();
+        fs.create("/etc/conf", 0o644).unwrap();
+        let s0 = fs.lookup_stats();
+        fs.resolve("/etc/conf").unwrap();
+        fs.resolve("/etc/conf").unwrap();
+        fs.resolve("/etc/conf").unwrap();
+        let s1 = fs.lookup_stats();
+        // After the entries are cached (they are: create/mkdir prime the
+        // dentry cache), resolves hit.
+        assert_eq!(s1.dentry_misses - s0.dentry_misses, 0);
+        assert!(s1.dentry_hits - s0.dentry_hits >= 6);
+    }
+
+    #[test]
+    fn set_mode_updates_attr() {
+        let fs = fs();
+        let ino = fs.create("/m", 0o600).unwrap();
+        fs.set_mode(ino, 0o444).unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().mode, 0o444);
+    }
+
+    #[test]
+    fn concurrent_creates_in_one_directory() {
+        let fs = Arc::new(fs());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        fs.create(&format!("/t{t}-f{i}"), 0o644).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(fs.readdir(ROOT_INO).unwrap().len(), 400);
+        // All inos distinct.
+        let mut inos: Vec<u64> = fs
+            .readdir(ROOT_INO)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.ino)
+            .collect();
+        inos.sort_unstable();
+        inos.dedup();
+        assert_eq!(inos.len(), 400);
+    }
+
+    #[test]
+    fn remount_recovers_namespace_and_allocator() {
+        let store = Arc::new(KvStore::new());
+        let inos: Vec<u64> = {
+            let fs = Kvfs::new(store.clone());
+            fs.mkdir("/persisted", 0o755).unwrap();
+            let a = fs.create("/persisted/a", 0o644).unwrap();
+            fs.write(a, 0, b"survives reboot").unwrap();
+            let b = fs.create("/persisted/b", 0o644).unwrap();
+            fs.write(b, 0, &vec![9u8; 100_000]).unwrap(); // big format
+            vec![a, b]
+        }; // "server" dies: all host state gone, store remains
+
+        let fs2 = Kvfs::open(store).unwrap();
+        // Namespace and data intact.
+        assert_eq!(fs2.resolve("/persisted/a").unwrap(), inos[0]);
+        let mut buf = [0u8; 15];
+        fs2.read(inos[0], 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"survives reboot");
+        assert_eq!(fs2.get_attr(inos[1]).unwrap().size, 100_000);
+        // New allocations never collide with recovered inodes.
+        let c = fs2.create("/persisted/c", 0o644).unwrap();
+        assert!(!inos.contains(&c), "ino reuse after remount");
+        assert!(c > *inos.iter().max().unwrap());
+    }
+
+    #[test]
+    fn open_on_an_empty_store_fails() {
+        assert_eq!(
+            Kvfs::open(Arc::new(KvStore::new())).err(),
+            Some(FsError::NotFound)
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_different_files() {
+        let fs = Arc::new(fs());
+        let inos: Vec<u64> = (0..8)
+            .map(|i| fs.create(&format!("/w{i}"), 0o644).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for (t, &ino) in inos.iter().enumerate() {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    for chunk in 0..10u64 {
+                        fs.write(ino, chunk * 4096, &vec![t as u8; 4096]).unwrap();
+                    }
+                });
+            }
+        });
+        let mut buf = vec![0u8; 40960];
+        for (t, &ino) in inos.iter().enumerate() {
+            assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 40960);
+            assert!(buf.iter().all(|&b| b == t as u8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+
+    fn fs() -> Kvfs {
+        Kvfs::new(Arc::new(KvStore::new()))
+    }
+
+    #[test]
+    fn hard_links_share_data_until_last_name_dies() {
+        let fs = fs();
+        let ino = fs.create("/original", 0o644).unwrap();
+        fs.write(ino, 0, b"shared bytes").unwrap();
+        fs.link("/original", "/alias").unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().nlink, 2);
+        assert_eq!(fs.resolve("/alias").unwrap(), ino);
+
+        // Writing through one name is visible through the other.
+        fs.write(ino, 0, b"UPDATED bytes").unwrap();
+        let alias_ino = fs.resolve("/alias").unwrap();
+        let mut buf = [0u8; 13];
+        fs.read(alias_ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"UPDATED bytes");
+
+        // Unlinking one name keeps the data alive.
+        fs.unlink("/original").unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().nlink, 1);
+        fs.read(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"UPDATED bytes");
+
+        // Unlinking the last name reclaims everything.
+        let kvs_before = fs.kv_pairs();
+        fs.unlink("/alias").unwrap();
+        assert!(fs.kv_pairs() < kvs_before);
+        assert_eq!(fs.get_attr(ino), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn hard_link_restrictions() {
+        let fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        assert_eq!(fs.link("/d", "/d2"), Err(FsError::InvalidOperation));
+        fs.create("/f", 0o644).unwrap();
+        fs.create("/existing", 0o644).unwrap();
+        assert_eq!(fs.link("/f", "/existing"), Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn symlink_round_trip_and_follow() {
+        let fs = fs();
+        fs.mkdir("/data", 0o755).unwrap();
+        let target = fs.create("/data/real.txt", 0o644).unwrap();
+        fs.write(target, 0, b"through the link").unwrap();
+
+        let l = fs.symlink("/shortcut", "/data/real.txt").unwrap();
+        assert_eq!(fs.readlink(l).unwrap(), "/data/real.txt");
+        // resolve follows; resolve_nofollow gives the link inode.
+        assert_eq!(fs.resolve("/shortcut").unwrap(), target);
+        assert_eq!(fs.resolve_nofollow("/shortcut").unwrap(), l);
+        // stat through the path resolves to the target file.
+        assert_eq!(fs.stat("/shortcut").unwrap().ino, target);
+    }
+
+    #[test]
+    fn symlink_to_directory_resolves_components() {
+        let fs = fs();
+        fs.mkdir("/real-dir", 0o755).unwrap();
+        let f = fs.create("/real-dir/file", 0o644).unwrap();
+        fs.symlink("/dirlink", "/real-dir").unwrap();
+        assert_eq!(fs.resolve("/dirlink/file").unwrap(), f);
+    }
+
+    #[test]
+    fn symlink_cycles_detected() {
+        let fs = fs();
+        fs.symlink("/a", "/b").unwrap();
+        fs.symlink("/b", "/a").unwrap();
+        assert_eq!(fs.resolve("/a"), Err(FsError::TooManyLinks));
+        // Chains within the limit still work.
+        fs.create("/end", 0o644).unwrap();
+        fs.symlink("/c1", "/end").unwrap();
+        fs.symlink("/c2", "/c1").unwrap();
+        fs.symlink("/c3", "/c2").unwrap();
+        assert_eq!(fs.resolve("/c3").unwrap(), fs.resolve("/end").unwrap());
+    }
+
+    #[test]
+    fn dangling_symlink_reports_not_found() {
+        let fs = fs();
+        fs.symlink("/dangle", "/nothing/here").unwrap();
+        assert_eq!(fs.resolve("/dangle"), Err(FsError::NotFound));
+        // readlink still works on the dangling link.
+        let l = fs.resolve_nofollow("/dangle").unwrap();
+        assert_eq!(fs.readlink(l).unwrap(), "/nothing/here");
+    }
+
+    #[test]
+    fn readlink_on_non_symlink_rejected() {
+        let fs = fs();
+        let ino = fs.create("/plain", 0o644).unwrap();
+        assert_eq!(fs.readlink(ino), Err(FsError::InvalidOperation));
+    }
+
+    #[test]
+    fn readdir_reports_symlink_kind() {
+        let fs = fs();
+        fs.create("/file", 0o644).unwrap();
+        fs.symlink("/ln", "/file").unwrap();
+        let kinds: Vec<(String, FileKind)> = fs
+            .readdir(ROOT_INO)
+            .unwrap()
+            .into_iter()
+            .map(|e| (e.name, e.kind))
+            .collect();
+        assert!(kinds.contains(&("ln".to_string(), FileKind::Symlink)));
+    }
+
+    #[test]
+    fn links_survive_remount() {
+        let store = Arc::new(KvStore::new());
+        {
+            let fs = Kvfs::new(store.clone());
+            let ino = fs.create("/base", 0o644).unwrap();
+            fs.write(ino, 0, b"x").unwrap();
+            fs.link("/base", "/hard").unwrap();
+            fs.symlink("/soft", "/base").unwrap();
+        }
+        let fs = Kvfs::open(store).unwrap();
+        assert_eq!(fs.get_attr(fs.resolve("/hard").unwrap()).unwrap().nlink, 2);
+        assert_eq!(
+            fs.resolve("/soft").unwrap(),
+            fs.resolve("/base").unwrap()
+        );
+    }
+}

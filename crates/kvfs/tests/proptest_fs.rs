@@ -1,0 +1,126 @@
+//! Model-based property test: KVFS under arbitrary operation sequences
+//! behaves exactly like a trivial in-memory reference file system
+//! (HashMap of paths → byte vectors). This exercises the small→big
+//! promotion boundary hard by biasing sizes around 8 KiB.
+
+use std::collections::HashMap;
+
+use dpc_kvfs::{FsError, Kvfs};
+use dpc_kvstore::KvStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(u8),
+    Write { file: u8, offset: u32, len: u32, fill: u8 },
+    Read { file: u8, offset: u32, len: u32 },
+    Truncate { file: u8, size: u32 },
+    Unlink(u8),
+    Stat(u8),
+}
+
+/// Sizes biased around the 8 KiB promotion boundary.
+fn arb_len() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        1u32..100,
+        7_900u32..8_500,
+        1u32..40_000,
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let file = 0u8..6;
+    prop_oneof![
+        (0u8..6).prop_map(Op::Create),
+        (file.clone(), 0u32..20_000, arb_len(), any::<u8>())
+            .prop_map(|(file, offset, len, fill)| Op::Write { file, offset, len, fill }),
+        (file.clone(), 0u32..50_000, arb_len())
+            .prop_map(|(file, offset, len)| Op::Read { file, offset, len }),
+        (file.clone(), 0u32..40_000).prop_map(|(file, size)| Op::Truncate { file, size }),
+        (0u8..6).prop_map(Op::Unlink),
+        (0u8..6).prop_map(Op::Stat),
+    ]
+}
+
+fn path(file: u8) -> String {
+    format!("/f{file}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kvfs_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let fs = Kvfs::new(Arc::new(KvStore::new()));
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut inos: HashMap<u8, u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Create(f) => {
+                    let r = fs.create(&path(f), 0o644);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(f) {
+                        let ino = r.unwrap();
+                        inos.insert(f, ino);
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert_eq!(r, Err(FsError::AlreadyExists));
+                    }
+                }
+                Op::Write { file, offset, len, fill } => {
+                    let Some(&ino) = inos.get(&file) else { continue };
+                    let data = vec![fill; len as usize];
+                    prop_assert_eq!(fs.write(ino, offset as u64, &data), Ok(len as usize));
+                    let m = model.get_mut(&file).unwrap();
+                    let end = (offset + len) as usize;
+                    if m.len() < end {
+                        m.resize(end, 0);
+                    }
+                    m[offset as usize..end].copy_from_slice(&data);
+                }
+                Op::Read { file, offset, len } => {
+                    let Some(&ino) = inos.get(&file) else { continue };
+                    let mut buf = vec![0xAA; len as usize];
+                    let n = fs.read(ino, offset as u64, &mut buf).unwrap();
+                    let m = &model[&file];
+                    let expect_n = m.len().saturating_sub(offset as usize).min(len as usize);
+                    prop_assert_eq!(n, expect_n);
+                    if n > 0 {
+                        prop_assert_eq!(&buf[..n], &m[offset as usize..offset as usize + n]);
+                    }
+                }
+                Op::Truncate { file, size } => {
+                    let Some(&ino) = inos.get(&file) else { continue };
+                    fs.truncate(ino, size as u64).unwrap();
+                    model.get_mut(&file).unwrap().resize(size as usize, 0);
+                }
+                Op::Unlink(f) => {
+                    let r = fs.unlink(&path(f));
+                    if model.remove(&f).is_some() {
+                        inos.remove(&f);
+                        prop_assert_eq!(r, Ok(()));
+                    } else {
+                        prop_assert_eq!(r, Err(FsError::NotFound));
+                    }
+                }
+                Op::Stat(f) => {
+                    let r = fs.stat(&path(f));
+                    match model.get(&f) {
+                        Some(m) => prop_assert_eq!(r.unwrap().size, m.len() as u64),
+                        None => prop_assert_eq!(r, Err(FsError::NotFound)),
+                    }
+                }
+            }
+        }
+
+        // Full final content check for every surviving file.
+        for (f, m) in &model {
+            let ino = inos[f];
+            let mut buf = vec![0u8; m.len() + 10];
+            let n = fs.read(ino, 0, &mut buf).unwrap();
+            prop_assert_eq!(n, m.len());
+            prop_assert_eq!(&buf[..n], &m[..]);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! A sharded, ordered, thread-safe KV store with prefix scans and
+//! sub-value (in-place) reads/writes.
+//!
+//! This is the *disaggregated KV store* the paper's KVFS converts file
+//! operations into (§3.4). The paper explicitly does not focus on the KV
+//! store's internals, so we provide a correct, concurrent, ordered map
+//! with the operations KVFS needs:
+//!
+//! - `get` / `put` / `delete` — whole-value ops (inode, attribute and
+//!   small-file KVs),
+//! - `scan_prefix` — ordered prefix scan (directory listing via the
+//!   `p_ino` key prefix),
+//! - `read_sub` / `write_sub` — in-place sub-value access at byte
+//!   granularity (the big-file KV's 8 KiB in-place updates).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+const SHARDS: usize = 16;
+
+/// Operation counters.
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct KvStats {
+    pub gets: u64,
+    pub puts: u64,
+    pub deletes: u64,
+    pub scans: u64,
+    pub sub_reads: u64,
+    pub sub_writes: u64,
+}
+
+/// An ordered KV store sharded by key hash for write concurrency.
+///
+/// Scans merge across shards, preserving global byte order of keys.
+pub struct KvStore {
+    shards: Vec<RwLock<BTreeMap<Vec<u8>, Vec<u8>>>>,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    scans: AtomicU64,
+    sub_reads: AtomicU64,
+    sub_writes: AtomicU64,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvStore {
+    pub fn new() -> Self {
+        KvStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            sub_reads: AtomicU64::new(0),
+            sub_writes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &RwLock<BTreeMap<Vec<u8>, Vec<u8>>> {
+        // FNV-1a over the key; cheap and stable.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            sub_reads: self.sub_reads.load(Ordering::Relaxed),
+            sub_writes: self.sub_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.shard(key).read().get(key).cloned()
+    }
+
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Length of the value under `key`, without copying it.
+    pub fn value_len(&self, key: &[u8]) -> Option<usize> {
+        self.shard(key).read().get(key).map(|v| v.len())
+    }
+
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.shard(key).write().insert(key.to_vec(), value.to_vec());
+    }
+
+    /// Insert only if absent; returns whether the insert happened.
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).write();
+        if shard.contains_key(key) {
+            false
+        } else {
+            shard.insert(key.to_vec(), value.to_vec());
+            true
+        }
+    }
+
+    /// Returns whether the key existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.shard(key).write().remove(key).is_some()
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in global
+    /// key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, v) in guard.range(prefix.to_vec()..) {
+                if !k.starts_with(prefix) {
+                    break;
+                }
+                out.push((k.clone(), v.clone()));
+            }
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of keys with the given prefix (scan without copying values).
+    pub fn count_prefix(&self, prefix: &[u8]) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.read();
+                guard
+                    .range(prefix.to_vec()..)
+                    .take_while(|(k, _)| k.starts_with(prefix))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Read `len` bytes at `offset` inside the value under `key`.
+    /// Reads past the end of the value return zeros (sparse semantics,
+    /// matching the big-file KV's block space).
+    pub fn read_sub(&self, key: &[u8], offset: usize, dst: &mut [u8]) -> bool {
+        self.sub_reads.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(key).read();
+        let Some(v) = shard.get(key) else {
+            return false;
+        };
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = v.get(offset + i).copied().unwrap_or(0);
+        }
+        true
+    }
+
+    /// Write `src` at `offset` inside the value under `key`, extending the
+    /// value with zeros as needed. Creates the key when absent.
+    pub fn write_sub(&self, key: &[u8], offset: usize, src: &[u8]) {
+        self.sub_writes.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).write();
+        let v = shard.entry(key.to_vec()).or_default();
+        if v.len() < offset + src.len() {
+            v.resize(offset + src.len(), 0);
+        }
+        v[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Shrink or grow the value under `key` to exactly `len` bytes
+    /// (zero-filling on growth). Creates the key when absent.
+    pub fn truncate_value(&self, key: &[u8], len: usize) {
+        let mut shard = self.shard(key).write();
+        let v = shard.entry(key.to_vec()).or_default();
+        v.resize(len, 0);
+    }
+
+    /// Total number of keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_delete() {
+        let kv = KvStore::new();
+        assert_eq!(kv.get(b"a"), None);
+        kv.put(b"a", b"1");
+        assert_eq!(kv.get(b"a").as_deref(), Some(&b"1"[..]));
+        kv.put(b"a", b"2"); // overwrite
+        assert_eq!(kv.get(b"a").as_deref(), Some(&b"2"[..]));
+        assert!(kv.delete(b"a"));
+        assert!(!kv.delete(b"a"));
+        assert_eq!(kv.get(b"a"), None);
+    }
+
+    #[test]
+    fn put_if_absent_semantics() {
+        let kv = KvStore::new();
+        assert!(kv.put_if_absent(b"k", b"first"));
+        assert!(!kv.put_if_absent(b"k", b"second"));
+        assert_eq!(kv.get(b"k").as_deref(), Some(&b"first"[..]));
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_exact() {
+        let kv = KvStore::new();
+        kv.put(b"dir1/b", b"2");
+        kv.put(b"dir1/a", b"1");
+        kv.put(b"dir1/c", b"3");
+        kv.put(b"dir2/a", b"x");
+        kv.put(b"dir", b"y");
+        let hits = kv.scan_prefix(b"dir1/");
+        let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"dir1/a"[..], b"dir1/b", b"dir1/c"]);
+        assert_eq!(kv.count_prefix(b"dir1/"), 3);
+        assert_eq!(kv.count_prefix(b"dir"), 5);
+        assert_eq!(kv.count_prefix(b"nope"), 0);
+    }
+
+    #[test]
+    fn empty_prefix_scans_everything_in_order() {
+        let kv = KvStore::new();
+        for i in 0..50u8 {
+            kv.put(&[i], &[i]);
+        }
+        let all = kv.scan_prefix(b"");
+        assert_eq!(all.len(), 50);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn sub_value_read_write() {
+        let kv = KvStore::new();
+        kv.write_sub(b"big", 8192, &[7u8; 8192]);
+        assert_eq!(kv.value_len(b"big"), Some(16384));
+        let mut head = [1u8; 10];
+        assert!(kv.read_sub(b"big", 0, &mut head));
+        assert_eq!(head, [0u8; 10]); // zero-extended hole
+        let mut mid = [0u8; 4];
+        assert!(kv.read_sub(b"big", 8192, &mut mid));
+        assert_eq!(mid, [7u8; 4]);
+        // Reads past the end give zeros.
+        let mut tail = [9u8; 8];
+        assert!(kv.read_sub(b"big", 16380, &mut tail));
+        assert_eq!(&tail[..4], &[7, 7, 7, 7]);
+        assert_eq!(&tail[4..], &[0, 0, 0, 0]);
+        // Missing keys report false.
+        assert!(!kv.read_sub(b"nothere", 0, &mut tail));
+    }
+
+    #[test]
+    fn truncate_value_grows_and_shrinks() {
+        let kv = KvStore::new();
+        kv.put(b"f", b"hello world");
+        kv.truncate_value(b"f", 5);
+        assert_eq!(kv.get(b"f").as_deref(), Some(&b"hello"[..]));
+        kv.truncate_value(b"f", 8);
+        assert_eq!(kv.get(b"f").as_deref(), Some(&b"hello\0\0\0"[..]));
+    }
+
+    #[test]
+    fn stats_count() {
+        let kv = KvStore::new();
+        kv.put(b"a", b"1");
+        kv.get(b"a");
+        kv.get(b"b");
+        kv.scan_prefix(b"");
+        kv.delete(b"a");
+        kv.write_sub(b"s", 0, b"x");
+        let mut buf = [0u8; 1];
+        kv.read_sub(b"s", 0, &mut buf);
+        let s = kv.stats();
+        assert_eq!((s.puts, s.gets, s.scans, s.deletes, s.sub_writes, s.sub_reads),
+                   (1, 2, 1, 1, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        let kv = KvStore::new();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let kv = &kv;
+                s.spawn(move || {
+                    for i in 0..200usize {
+                        let key = format!("t{t}/k{i}");
+                        kv.put(key.as_bytes(), &[t as u8; 32]);
+                        assert_eq!(kv.get(key.as_bytes()).unwrap(), vec![t as u8; 32]);
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 1600);
+        for t in 0..8usize {
+            assert_eq!(kv.count_prefix(format!("t{t}/").as_bytes()), 200);
+        }
+    }
+}

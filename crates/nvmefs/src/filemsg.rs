@@ -1,0 +1,638 @@
+//! Native file-semantic messages carried by nvme-fs.
+//!
+//! The whole point of nvme-fs is to let the VFS talk to the DPU-offloaded
+//! file stack *through file semantics* instead of block semantics: the
+//! write buffer of the bidirectional command starts with a request header
+//! ([`FileRequest`], `WH_len` bytes), followed by write payload; the read
+//! buffer receives a response header ([`FileResponse`], `RH_len` bytes)
+//! followed by read payload. This module defines those headers and their
+//! compact wire encoding.
+
+/// Maximum file or directory name length, per §3.4 of the paper
+/// ("we have limited the length of the file or directory name to 1024
+/// bytes").
+pub const MAX_NAME_LEN: usize = 1024;
+
+/// File attributes on the wire (the paper's 256-byte attribute structure,
+/// here encoded compactly).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct WireAttr {
+    pub ino: u64,
+    pub size: u64,
+    pub mode: u32,
+    pub nlink: u32,
+    pub uid: u32,
+    pub gid: u32,
+    pub atime_ns: u64,
+    pub mtime_ns: u64,
+    pub ctime_ns: u64,
+    /// 0 = regular file, 1 = directory.
+    pub kind: u8,
+}
+
+/// A file-semantic request from the host's fs-adapter to the DPU.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FileRequest {
+    Lookup { parent: u64, name: String },
+    Create { parent: u64, name: String, mode: u32 },
+    Mkdir { parent: u64, name: String, mode: u32 },
+    /// Read `len` bytes at `offset`; data returns in the read payload.
+    Read { ino: u64, offset: u64, len: u32 },
+    /// Write the write payload (`len` bytes) at `offset`.
+    Write { ino: u64, offset: u64, len: u32 },
+    Truncate { ino: u64, size: u64 },
+    Unlink { parent: u64, name: String },
+    Rmdir { parent: u64, name: String },
+    /// List a directory; entries return in the read payload.
+    Readdir { ino: u64 },
+    GetAttr { ino: u64 },
+    Rename { parent: u64, name: String, new_parent: u64, new_name: String },
+    Fsync { ino: u64 },
+    /// Hybrid-cache control: the host failed to allocate in `bucket` and
+    /// notifies the DPU to perform cache replacement (§3.3's write
+    /// protocol: "If it fails to allocate and lock, the host notifies the
+    /// DPU to perform cache replacement").
+    CacheEvict { bucket: u64 },
+    /// Hard link: a new name for the file at `ino`.
+    Link { ino: u64, new_parent: u64, new_name: String },
+    /// Symbolic link at `parent`/`name` pointing to `target`.
+    Symlink { parent: u64, name: String, target: String },
+    /// Read a symlink's target (returned in the read payload).
+    Readlink { ino: u64 },
+}
+
+/// A response header from the DPU.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FileResponse {
+    Ok,
+    /// Result of lookup/create/mkdir.
+    Ino(u64),
+    Attr(WireAttr),
+    /// Bytes of payload actually read or written.
+    Bytes(u32),
+    /// Number of directory entries in the read payload.
+    Entries(u32),
+    /// POSIX errno.
+    Err(i32),
+}
+
+/// Decoding failure: truncated or malformed header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError(pub &'static str);
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "nvme-fs message decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---- encoding helpers ------------------------------------------------
+
+struct Writer<'a>(&'a mut Vec<u8>);
+
+impl Writer<'_> {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn name(&mut self, s: &str) {
+        assert!(s.len() <= MAX_NAME_LEN, "name exceeds 1024 bytes");
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError("truncated message"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > MAX_NAME_LEN {
+            return Err(DecodeError("name exceeds 1024 bytes"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("name is not UTF-8"))
+    }
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes after message"))
+        }
+    }
+}
+
+// Request tags.
+const T_LOOKUP: u8 = 1;
+const T_CREATE: u8 = 2;
+const T_MKDIR: u8 = 3;
+const T_READ: u8 = 4;
+const T_WRITE: u8 = 5;
+const T_TRUNCATE: u8 = 6;
+const T_UNLINK: u8 = 7;
+const T_RMDIR: u8 = 8;
+const T_READDIR: u8 = 9;
+const T_GETATTR: u8 = 10;
+const T_RENAME: u8 = 11;
+const T_FSYNC: u8 = 12;
+const T_CACHE_EVICT: u8 = 13;
+const T_LINK: u8 = 14;
+const T_SYMLINK: u8 = 15;
+const T_READLINK: u8 = 16;
+
+impl FileRequest {
+    /// Append the wire form to `out`; returns the encoded length.
+    pub fn encode(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        let mut w = Writer(out);
+        match self {
+            FileRequest::Lookup { parent, name } => {
+                w.u8(T_LOOKUP);
+                w.u64(*parent);
+                w.name(name);
+            }
+            FileRequest::Create { parent, name, mode } => {
+                w.u8(T_CREATE);
+                w.u64(*parent);
+                w.u32(*mode);
+                w.name(name);
+            }
+            FileRequest::Mkdir { parent, name, mode } => {
+                w.u8(T_MKDIR);
+                w.u64(*parent);
+                w.u32(*mode);
+                w.name(name);
+            }
+            FileRequest::Read { ino, offset, len } => {
+                w.u8(T_READ);
+                w.u64(*ino);
+                w.u64(*offset);
+                w.u32(*len);
+            }
+            FileRequest::Write { ino, offset, len } => {
+                w.u8(T_WRITE);
+                w.u64(*ino);
+                w.u64(*offset);
+                w.u32(*len);
+            }
+            FileRequest::Truncate { ino, size } => {
+                w.u8(T_TRUNCATE);
+                w.u64(*ino);
+                w.u64(*size);
+            }
+            FileRequest::Unlink { parent, name } => {
+                w.u8(T_UNLINK);
+                w.u64(*parent);
+                w.name(name);
+            }
+            FileRequest::Rmdir { parent, name } => {
+                w.u8(T_RMDIR);
+                w.u64(*parent);
+                w.name(name);
+            }
+            FileRequest::Readdir { ino } => {
+                w.u8(T_READDIR);
+                w.u64(*ino);
+            }
+            FileRequest::GetAttr { ino } => {
+                w.u8(T_GETATTR);
+                w.u64(*ino);
+            }
+            FileRequest::Rename {
+                parent,
+                name,
+                new_parent,
+                new_name,
+            } => {
+                w.u8(T_RENAME);
+                w.u64(*parent);
+                w.u64(*new_parent);
+                w.name(name);
+                w.name(new_name);
+            }
+            FileRequest::Fsync { ino } => {
+                w.u8(T_FSYNC);
+                w.u64(*ino);
+            }
+            FileRequest::CacheEvict { bucket } => {
+                w.u8(T_CACHE_EVICT);
+                w.u64(*bucket);
+            }
+            FileRequest::Link {
+                ino,
+                new_parent,
+                new_name,
+            } => {
+                w.u8(T_LINK);
+                w.u64(*ino);
+                w.u64(*new_parent);
+                w.name(new_name);
+            }
+            FileRequest::Symlink {
+                parent,
+                name,
+                target,
+            } => {
+                w.u8(T_SYMLINK);
+                w.u64(*parent);
+                w.name(name);
+                w.name(target);
+            }
+            FileRequest::Readlink { ino } => {
+                w.u8(T_READLINK);
+                w.u64(*ino);
+            }
+        }
+        out.len() - start
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<FileRequest, DecodeError> {
+        let mut r = Reader { buf, pos: 0 };
+        let req = match r.u8()? {
+            T_LOOKUP => FileRequest::Lookup {
+                parent: r.u64()?,
+                name: r.name()?,
+            },
+            T_CREATE => FileRequest::Create {
+                parent: r.u64()?,
+                mode: r.u32()?,
+                name: r.name()?,
+            },
+            T_MKDIR => FileRequest::Mkdir {
+                parent: r.u64()?,
+                mode: r.u32()?,
+                name: r.name()?,
+            },
+            T_READ => FileRequest::Read {
+                ino: r.u64()?,
+                offset: r.u64()?,
+                len: r.u32()?,
+            },
+            T_WRITE => FileRequest::Write {
+                ino: r.u64()?,
+                offset: r.u64()?,
+                len: r.u32()?,
+            },
+            T_TRUNCATE => FileRequest::Truncate {
+                ino: r.u64()?,
+                size: r.u64()?,
+            },
+            T_UNLINK => FileRequest::Unlink {
+                parent: r.u64()?,
+                name: r.name()?,
+            },
+            T_RMDIR => FileRequest::Rmdir {
+                parent: r.u64()?,
+                name: r.name()?,
+            },
+            T_READDIR => FileRequest::Readdir { ino: r.u64()? },
+            T_GETATTR => FileRequest::GetAttr { ino: r.u64()? },
+            T_RENAME => {
+                let parent = r.u64()?;
+                let new_parent = r.u64()?;
+                let name = r.name()?;
+                let new_name = r.name()?;
+                FileRequest::Rename {
+                    parent,
+                    name,
+                    new_parent,
+                    new_name,
+                }
+            }
+            T_FSYNC => FileRequest::Fsync { ino: r.u64()? },
+            T_CACHE_EVICT => FileRequest::CacheEvict { bucket: r.u64()? },
+            T_LINK => FileRequest::Link {
+                ino: r.u64()?,
+                new_parent: r.u64()?,
+                new_name: r.name()?,
+            },
+            T_SYMLINK => {
+                let parent = r.u64()?;
+                let name = r.name()?;
+                let target = r.name()?;
+                FileRequest::Symlink {
+                    parent,
+                    name,
+                    target,
+                }
+            }
+            T_READLINK => FileRequest::Readlink { ino: r.u64()? },
+            _ => return Err(DecodeError("unknown request tag")),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+// Response tags.
+const R_OK: u8 = 0;
+const R_INO: u8 = 1;
+const R_ATTR: u8 = 2;
+const R_BYTES: u8 = 3;
+const R_ENTRIES: u8 = 4;
+const R_ERR: u8 = 5;
+
+impl FileResponse {
+    pub fn encode(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        let mut w = Writer(out);
+        match self {
+            FileResponse::Ok => w.u8(R_OK),
+            FileResponse::Ino(ino) => {
+                w.u8(R_INO);
+                w.u64(*ino);
+            }
+            FileResponse::Attr(a) => {
+                w.u8(R_ATTR);
+                w.u64(a.ino);
+                w.u64(a.size);
+                w.u32(a.mode);
+                w.u32(a.nlink);
+                w.u32(a.uid);
+                w.u32(a.gid);
+                w.u64(a.atime_ns);
+                w.u64(a.mtime_ns);
+                w.u64(a.ctime_ns);
+                w.u8(a.kind);
+            }
+            FileResponse::Bytes(n) => {
+                w.u8(R_BYTES);
+                w.u32(*n);
+            }
+            FileResponse::Entries(n) => {
+                w.u8(R_ENTRIES);
+                w.u32(*n);
+            }
+            FileResponse::Err(e) => {
+                w.u8(R_ERR);
+                w.i32(*e);
+            }
+        }
+        out.len() - start
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<FileResponse, DecodeError> {
+        let mut r = Reader { buf, pos: 0 };
+        let resp = match r.u8()? {
+            R_OK => FileResponse::Ok,
+            R_INO => FileResponse::Ino(r.u64()?),
+            R_ATTR => FileResponse::Attr(WireAttr {
+                ino: r.u64()?,
+                size: r.u64()?,
+                mode: r.u32()?,
+                nlink: r.u32()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+                atime_ns: r.u64()?,
+                mtime_ns: r.u64()?,
+                ctime_ns: r.u64()?,
+                kind: r.u8()?,
+            }),
+            R_BYTES => FileResponse::Bytes(r.u32()?),
+            R_ENTRIES => FileResponse::Entries(r.u32()?),
+            R_ERR => FileResponse::Err(r.i32()?),
+            _ => return Err(DecodeError("unknown response tag")),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+/// One directory entry in a readdir payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireDirent {
+    pub ino: u64,
+    pub kind: u8,
+    pub name: String,
+}
+
+/// Encode a list of directory entries into a payload buffer.
+pub fn encode_dirents(entries: &[WireDirent], out: &mut Vec<u8>) {
+    let mut w = Writer(out);
+    for e in entries {
+        w.u64(e.ino);
+        w.u8(e.kind);
+        w.name(&e.name);
+    }
+}
+
+/// Decode `count` directory entries from a payload buffer.
+pub fn decode_dirents(buf: &[u8], count: usize) -> Result<Vec<WireDirent>, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(WireDirent {
+            ino: r.u64()?,
+            kind: r.u8()?,
+            name: r.name()?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: FileRequest) {
+        let mut buf = Vec::new();
+        let n = req.encode(&mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(FileRequest::decode(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_req(FileRequest::Lookup {
+            parent: 0,
+            name: "etc".into(),
+        });
+        round_trip_req(FileRequest::Create {
+            parent: 7,
+            name: "a.conf".into(),
+            mode: 0o644,
+        });
+        round_trip_req(FileRequest::Mkdir {
+            parent: 0,
+            name: "dir".into(),
+            mode: 0o755,
+        });
+        round_trip_req(FileRequest::Read {
+            ino: 42,
+            offset: 8192,
+            len: 8192,
+        });
+        round_trip_req(FileRequest::Write {
+            ino: 42,
+            offset: 0,
+            len: 4096,
+        });
+        round_trip_req(FileRequest::Truncate { ino: 42, size: 100 });
+        round_trip_req(FileRequest::Unlink {
+            parent: 3,
+            name: "x".into(),
+        });
+        round_trip_req(FileRequest::Rmdir {
+            parent: 3,
+            name: "d".into(),
+        });
+        round_trip_req(FileRequest::Readdir { ino: 0 });
+        round_trip_req(FileRequest::GetAttr { ino: 9 });
+        round_trip_req(FileRequest::Rename {
+            parent: 1,
+            name: "old".into(),
+            new_parent: 2,
+            new_name: "new".into(),
+        });
+        round_trip_req(FileRequest::Fsync { ino: 5 });
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            FileResponse::Ok,
+            FileResponse::Ino(123),
+            FileResponse::Bytes(8192),
+            FileResponse::Entries(17),
+            FileResponse::Err(-2),
+            FileResponse::Attr(WireAttr {
+                ino: 5,
+                size: 1 << 30,
+                mode: 0o755,
+                nlink: 2,
+                uid: 1000,
+                gid: 1000,
+                atime_ns: 1,
+                mtime_ns: 2,
+                ctime_ns: 3,
+                kind: 1,
+            }),
+        ] {
+            let mut buf = Vec::new();
+            resp.encode(&mut buf);
+            assert_eq!(FileResponse::decode(&buf).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut buf = Vec::new();
+        FileRequest::Read {
+            ino: 1,
+            offset: 2,
+            len: 3,
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(FileRequest::decode(&buf[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        FileRequest::Fsync { ino: 1 }.encode(&mut buf);
+        buf.push(0);
+        assert_eq!(
+            FileRequest::decode(&buf),
+            Err(DecodeError("trailing bytes after message"))
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(FileRequest::decode(&[0xEE]).is_err());
+        assert!(FileResponse::decode(&[0xEE]).is_err());
+    }
+
+    #[test]
+    fn oversized_name_rejected_on_decode() {
+        let mut buf = vec![T_READDIR];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        // Craft a lookup with a giant claimed name length.
+        let mut evil = vec![T_LOOKUP];
+        evil.extend_from_slice(&0u64.to_le_bytes());
+        evil.extend_from_slice(&(MAX_NAME_LEN as u32 + 1).to_le_bytes());
+        evil.extend_from_slice(&[b'a'; 64]);
+        assert_eq!(
+            FileRequest::decode(&evil),
+            Err(DecodeError("name exceeds 1024 bytes"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "name exceeds 1024 bytes")]
+    fn oversized_name_rejected_on_encode() {
+        let mut buf = Vec::new();
+        FileRequest::Lookup {
+            parent: 0,
+            name: "x".repeat(MAX_NAME_LEN + 1),
+        }
+        .encode(&mut buf);
+    }
+
+    #[test]
+    fn dirent_list_round_trips() {
+        let entries = vec![
+            WireDirent {
+                ino: 1,
+                kind: 1,
+                name: "subdir".into(),
+            },
+            WireDirent {
+                ino: 2,
+                kind: 0,
+                name: "file.txt".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_dirents(&entries, &mut buf);
+        assert_eq!(decode_dirents(&buf, 2).unwrap(), entries);
+        assert!(decode_dirents(&buf, 3).is_err());
+    }
+
+    #[test]
+    fn non_utf8_name_rejected() {
+        let mut evil = vec![T_LOOKUP];
+        evil.extend_from_slice(&0u64.to_le_bytes());
+        evil.extend_from_slice(&2u32.to_le_bytes());
+        evil.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            FileRequest::decode(&evil),
+            Err(DecodeError("name is not UTF-8"))
+        );
+    }
+}

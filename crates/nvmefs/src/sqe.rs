@@ -1,0 +1,396 @@
+//! The nvme-fs submission and completion entries.
+//!
+//! §3.2 of the paper augments the NVMe protocol with a vendor-specific
+//! *bidirectional* command so a single SQE carries both a write buffer
+//! (request header + data to the DPU) and a read buffer (response header +
+//! data back from the DPU). The bit layout implemented here follows the
+//! paper exactly:
+//!
+//! - **Opcode** (Dword0 bits 0–7) = `0xA3`: bits 0–1 = `11b`
+//!   (bidirectional transfer), bits 2–6 = `01000b` (the nvme-fs function),
+//!   bit 7 = `1b` (vendor-specific).
+//! - **Dispatch type** (Dword0 bit 10): `0` = standalone file request
+//!   (routed to KVFS), `1` = distributed file request (routed to the DFS
+//!   client).
+//! - **PSDT** (Dword0 bits 14–15): `00b` selects PRP for both directions
+//!   (the paper's default); `SGL` is representable but unused.
+//! - **CID** (Dword0 bits 16–31): command identifier.
+//! - **PRP Write** in Dwords 2–5 and **PRP Read** in Dwords 6–9.
+//! - **Write_len** in Dword 10, **Read_len** in Dword 11.
+//! - **WH_len / RH_len** (write/read header lengths) in Dword 13.
+
+/// The vendor-specific bidirectional nvme-fs opcode.
+pub const OPCODE_NVMEFS: u8 = 0xA3;
+
+/// Size of one submission queue entry, per the NVMe spec.
+pub const SQE_SIZE: usize = 64;
+/// Size of one completion queue entry, per the NVMe spec.
+pub const CQE_SIZE: usize = 16;
+
+/// Where a request is routed by the DPU's IO-dispatch (Dword0 bit 10).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DispatchType {
+    /// Standalone file request — handled by KVFS.
+    Standalone,
+    /// Distributed file request — handled by the DFS client stack.
+    Distributed,
+}
+
+/// Data-buffer descriptor selector (Dword0 bits 14–15, the PSDT field).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Psdt {
+    /// Physical Region Page entries — the nvme-fs default.
+    Prp,
+    /// Scatter-gather list (write direction).
+    SglWrite,
+    /// Scatter-gather list (read direction).
+    SglRead,
+    /// Scatter-gather list (both directions).
+    SglBoth,
+}
+
+/// A 64-byte nvme-fs submission queue entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Sqe {
+    dwords: [u32; 16],
+}
+
+impl Default for Sqe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sqe {
+    /// A zeroed entry carrying the nvme-fs opcode with PRP transfer and
+    /// standalone dispatch.
+    pub fn new() -> Sqe {
+        let mut s = Sqe { dwords: [0; 16] };
+        s.dwords[0] = OPCODE_NVMEFS as u32;
+        s
+    }
+
+    pub fn opcode(&self) -> u8 {
+        (self.dwords[0] & 0xFF) as u8
+    }
+
+    /// True when the low opcode bits select bidirectional transfer (`11b`).
+    pub fn is_bidirectional(&self) -> bool {
+        self.opcode() & 0b11 == 0b11
+    }
+
+    /// The vendor function number (opcode bits 2–6). nvme-fs uses `01000b`.
+    pub fn function(&self) -> u8 {
+        (self.opcode() >> 2) & 0x1F
+    }
+
+    /// True when opcode bit 7 marks the command as vendor-customised.
+    pub fn is_vendor(&self) -> bool {
+        self.opcode() & 0x80 != 0
+    }
+
+    pub fn set_dispatch(&mut self, d: DispatchType) -> &mut Self {
+        match d {
+            DispatchType::Standalone => self.dwords[0] &= !(1 << 10),
+            DispatchType::Distributed => self.dwords[0] |= 1 << 10,
+        }
+        self
+    }
+
+    pub fn dispatch(&self) -> DispatchType {
+        if self.dwords[0] & (1 << 10) == 0 {
+            DispatchType::Standalone
+        } else {
+            DispatchType::Distributed
+        }
+    }
+
+    pub fn set_psdt(&mut self, p: Psdt) -> &mut Self {
+        let bits = match p {
+            Psdt::Prp => 0b00,
+            Psdt::SglWrite => 0b01,
+            Psdt::SglRead => 0b10,
+            Psdt::SglBoth => 0b11,
+        };
+        self.dwords[0] = (self.dwords[0] & !(0b11 << 14)) | (bits << 14);
+        self
+    }
+
+    pub fn psdt(&self) -> Psdt {
+        match (self.dwords[0] >> 14) & 0b11 {
+            0b00 => Psdt::Prp,
+            0b01 => Psdt::SglWrite,
+            0b10 => Psdt::SglRead,
+            _ => Psdt::SglBoth,
+        }
+    }
+
+    pub fn set_cid(&mut self, cid: u16) -> &mut Self {
+        self.dwords[0] = (self.dwords[0] & 0x0000_FFFF) | ((cid as u32) << 16);
+        self
+    }
+
+    pub fn cid(&self) -> u16 {
+        (self.dwords[0] >> 16) as u16
+    }
+
+    /// PRP of the host write buffer (request header + data), Dwords 2–5.
+    pub fn set_prp_write(&mut self, addr: u64, addr2: u64) -> &mut Self {
+        self.dwords[2] = addr as u32;
+        self.dwords[3] = (addr >> 32) as u32;
+        self.dwords[4] = addr2 as u32;
+        self.dwords[5] = (addr2 >> 32) as u32;
+        self
+    }
+
+    pub fn prp_write(&self) -> (u64, u64) {
+        (
+            self.dwords[2] as u64 | ((self.dwords[3] as u64) << 32),
+            self.dwords[4] as u64 | ((self.dwords[5] as u64) << 32),
+        )
+    }
+
+    /// PRP of the host read buffer (response header + data), Dwords 6–9.
+    pub fn set_prp_read(&mut self, addr: u64, addr2: u64) -> &mut Self {
+        self.dwords[6] = addr as u32;
+        self.dwords[7] = (addr >> 32) as u32;
+        self.dwords[8] = addr2 as u32;
+        self.dwords[9] = (addr2 >> 32) as u32;
+        self
+    }
+
+    pub fn prp_read(&self) -> (u64, u64) {
+        (
+            self.dwords[6] as u64 | ((self.dwords[7] as u64) << 32),
+            self.dwords[8] as u64 | ((self.dwords[9] as u64) << 32),
+        )
+    }
+
+    /// Bytes the host is writing to the DPU (payload, excluding header).
+    pub fn set_write_len(&mut self, len: u32) -> &mut Self {
+        self.dwords[10] = len;
+        self
+    }
+
+    pub fn write_len(&self) -> u32 {
+        self.dwords[10]
+    }
+
+    /// Bytes the host expects back from the DPU (payload, excluding header).
+    pub fn set_read_len(&mut self, len: u32) -> &mut Self {
+        self.dwords[11] = len;
+        self
+    }
+
+    pub fn read_len(&self) -> u32 {
+        self.dwords[11]
+    }
+
+    /// Number of scatter-gather segments in the write-side SGL
+    /// (Dword 12; meaningful only when PSDT selects SGL).
+    pub fn set_sgl_count(&mut self, n: u32) -> &mut Self {
+        self.dwords[12] = n;
+        self
+    }
+
+    pub fn sgl_count(&self) -> u32 {
+        self.dwords[12]
+    }
+
+    /// Write-header length (low half of Dword 13).
+    pub fn set_wh_len(&mut self, len: u16) -> &mut Self {
+        self.dwords[13] = (self.dwords[13] & 0xFFFF_0000) | len as u32;
+        self
+    }
+
+    pub fn wh_len(&self) -> u16 {
+        (self.dwords[13] & 0xFFFF) as u16
+    }
+
+    /// Read-header length (high half of Dword 13).
+    pub fn set_rh_len(&mut self, len: u16) -> &mut Self {
+        self.dwords[13] = (self.dwords[13] & 0x0000_FFFF) | ((len as u32) << 16);
+        self
+    }
+
+    pub fn rh_len(&self) -> u16 {
+        (self.dwords[13] >> 16) as u16
+    }
+
+    pub fn to_bytes(&self) -> [u8; SQE_SIZE] {
+        let mut out = [0u8; SQE_SIZE];
+        for (i, dw) in self.dwords.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&dw.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8; SQE_SIZE]) -> Sqe {
+        let mut dwords = [0u32; 16];
+        for (i, dw) in dwords.iter_mut().enumerate() {
+            *dw = u32::from_le_bytes(bytes[i * 4..(i + 1) * 4].try_into().unwrap());
+        }
+        Sqe { dwords }
+    }
+}
+
+/// Completion status codes posted by the DPU.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum CqeStatus {
+    Success = 0,
+    /// File-layer error; the response header carries the errno.
+    FsError = 1,
+    /// Malformed command.
+    InvalidCommand = 2,
+}
+
+impl CqeStatus {
+    fn from_bits(b: u8) -> CqeStatus {
+        match b {
+            0 => CqeStatus::Success,
+            1 => CqeStatus::FsError,
+            _ => CqeStatus::InvalidCommand,
+        }
+    }
+}
+
+/// A 16-byte completion queue entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Cqe {
+    /// Command-specific result: bytes of response payload actually produced.
+    pub result: u32,
+    /// Bytes of response header written at the start of the read buffer
+    /// (0 when the completion carries no header — then no header DMA was
+    /// spent, which is what keeps the raw 8 KiB write at 4 DMA ops).
+    pub hdr_len: u16,
+    /// SQ head pointer at completion time (flow control back to the host).
+    pub sq_head: u16,
+    pub status: CqeStatus,
+    pub cid: u16,
+    /// Phase tag: flips each time the CQ ring wraps, so the host can detect
+    /// fresh entries without a head register read.
+    pub phase: bool,
+}
+
+impl Cqe {
+    pub fn to_bytes(&self) -> [u8; CQE_SIZE] {
+        let mut out = [0u8; CQE_SIZE];
+        out[0..4].copy_from_slice(&self.result.to_le_bytes());
+        out[4..6].copy_from_slice(&self.hdr_len.to_le_bytes());
+        out[8..10].copy_from_slice(&self.sq_head.to_le_bytes());
+        out[12..14].copy_from_slice(&self.cid.to_le_bytes());
+        let status_phase = ((self.status as u16) << 1) | self.phase as u16;
+        out[14..16].copy_from_slice(&status_phase.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8; CQE_SIZE]) -> Cqe {
+        let status_phase = u16::from_le_bytes(bytes[14..16].try_into().unwrap());
+        Cqe {
+            result: u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            hdr_len: u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
+            sq_head: u16::from_le_bytes(bytes[8..10].try_into().unwrap()),
+            cid: u16::from_le_bytes(bytes[12..14].try_into().unwrap()),
+            status: CqeStatus::from_bits((status_phase >> 1) as u8 & 0x7F),
+            phase: status_phase & 1 == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_bit_layout_matches_paper() {
+        let s = Sqe::new();
+        assert_eq!(s.opcode(), 0xA3);
+        assert!(s.is_bidirectional(), "low bits must be 11b");
+        assert_eq!(s.function(), 0b01000, "function field must be 01000b");
+        assert!(s.is_vendor(), "high bit must mark vendor command");
+    }
+
+    #[test]
+    fn dispatch_bit_is_dword0_bit10() {
+        let mut s = Sqe::new();
+        assert_eq!(s.dispatch(), DispatchType::Standalone);
+        s.set_dispatch(DispatchType::Distributed);
+        assert_eq!(s.dispatch(), DispatchType::Distributed);
+        // Bit 10 set, opcode untouched.
+        let raw = s.to_bytes();
+        assert_eq!(raw[0], 0xA3);
+        assert_eq!(raw[1] & 0b100, 0b100); // bit 10 = byte1 bit2
+        s.set_dispatch(DispatchType::Standalone);
+        assert_eq!(s.to_bytes()[1] & 0b100, 0);
+    }
+
+    #[test]
+    fn psdt_default_prp() {
+        let mut s = Sqe::new();
+        assert_eq!(s.psdt(), Psdt::Prp);
+        s.set_psdt(Psdt::SglBoth);
+        assert_eq!(s.psdt(), Psdt::SglBoth);
+        // Bits 14-15 of dword0 = byte1 bits 6-7.
+        assert_eq!(s.to_bytes()[1] >> 6, 0b11);
+        s.set_psdt(Psdt::Prp);
+        assert_eq!(s.psdt(), Psdt::Prp);
+    }
+
+    #[test]
+    fn field_round_trips() {
+        let mut s = Sqe::new();
+        s.set_cid(0xBEEF)
+            .set_prp_write(0x1122_3344_5566_7788, 0x99AA)
+            .set_prp_read(0xDEAD_BEEF_0000_1111, 0x2222)
+            .set_write_len(8192)
+            .set_read_len(4096)
+            .set_wh_len(48)
+            .set_rh_len(32)
+            .set_dispatch(DispatchType::Distributed);
+        let back = Sqe::from_bytes(&s.to_bytes());
+        assert_eq!(back, s);
+        assert_eq!(back.cid(), 0xBEEF);
+        assert_eq!(back.prp_write(), (0x1122_3344_5566_7788, 0x99AA));
+        assert_eq!(back.prp_read(), (0xDEAD_BEEF_0000_1111, 0x2222));
+        assert_eq!(back.write_len(), 8192);
+        assert_eq!(back.read_len(), 4096);
+        assert_eq!(back.wh_len(), 48);
+        assert_eq!(back.rh_len(), 32);
+        assert_eq!(back.dispatch(), DispatchType::Distributed);
+        assert_eq!(back.opcode(), 0xA3);
+    }
+
+    #[test]
+    fn wh_rh_share_dword13() {
+        let mut s = Sqe::new();
+        s.set_wh_len(0x1234).set_rh_len(0x5678);
+        assert_eq!(s.wh_len(), 0x1234);
+        assert_eq!(s.rh_len(), 0x5678);
+        // Setting one must not clobber the other.
+        s.set_wh_len(0x0001);
+        assert_eq!(s.rh_len(), 0x5678);
+    }
+
+    #[test]
+    fn cqe_round_trip() {
+        let c = Cqe {
+            result: 8192,
+            hdr_len: 21,
+            sq_head: 17,
+            status: CqeStatus::FsError,
+            cid: 0xABCD,
+            phase: true,
+        };
+        let back = Cqe::from_bytes(&c.to_bytes());
+        assert_eq!(back, c);
+        let c2 = Cqe { phase: false, status: CqeStatus::Success, ..c };
+        assert_eq!(Cqe::from_bytes(&c2.to_bytes()), c2);
+    }
+
+    #[test]
+    fn sqe_is_64_bytes() {
+        assert_eq!(std::mem::size_of::<Sqe>(), SQE_SIZE);
+        assert_eq!(Sqe::new().to_bytes().len(), SQE_SIZE);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the discrete-event engine: queueing-theory laws
+//! must hold for arbitrary station configurations and service times.
+
+use dpc_sim::{Nanos, Plan, Simulation, StationCfg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Utilisation law: busy-servers = throughput × service-time, and
+    /// throughput is bounded by both the customer count and the station
+    /// capacity.
+    #[test]
+    fn utilisation_law_single_station(
+        servers in 1usize..8,
+        customers in 1usize..24,
+        service_us in 1.0f64..200.0,
+    ) {
+        let mut sim = Simulation::new();
+        let st = sim.add_station(StationCfg::new("s", servers));
+        let service = Nanos::from_micros(service_us);
+        let mut flow = move |_c: usize, _cy: u64, _now: Nanos, plan: &mut Plan| {
+            plan.service(st, service);
+        };
+        let report = sim.run(
+            &mut flow,
+            customers,
+            Nanos::from_millis(2.0),
+            Nanos::from_millis(30.0),
+        );
+        let x = report.total_throughput();
+
+        // Window-edge slack: cycles in flight at the warmup and end edges
+        // are excluded from per-class stats but still occupy the station.
+        let measure_s = 0.030;
+        let edge = (customers as f64 + 1.0) * service.as_secs() / measure_s;
+
+        // Utilisation law (exact up to window-edge effects).
+        let busy = report.busy_cores("s");
+        let expect_busy = x * service.as_secs();
+        prop_assert!(
+            (busy - expect_busy).abs() / expect_busy.max(0.01) < 0.03 + edge,
+            "busy {busy} vs X*S {expect_busy} (edge {edge})"
+        );
+
+        // Capacity bound.
+        let cap = servers as f64 / service.as_secs();
+        prop_assert!(x <= cap * 1.02, "throughput {x} above capacity {cap}");
+
+        // Deterministic closed loop: min(customers, servers) run in
+        // lock-step, so throughput is exactly min(c, s)/service.
+        let expect_x = customers.min(servers) as f64 / service.as_secs();
+        prop_assert!(
+            (x - expect_x).abs() / expect_x < 0.03 + edge,
+            "throughput {x} vs expected {expect_x} (edge {edge})"
+        );
+    }
+
+    /// Little's law on the whole loop: N = X × R (customers = throughput
+    /// × mean cycle latency) for any two-station tandem.
+    #[test]
+    fn littles_law_tandem(
+        s1 in 1usize..6,
+        s2 in 1usize..6,
+        customers in 1usize..20,
+        us1 in 1.0f64..80.0,
+        us2 in 1.0f64..80.0,
+        think_us in 0.0f64..50.0,
+    ) {
+        let mut sim = Simulation::new();
+        let a = sim.add_station(StationCfg::new("a", s1));
+        let b = sim.add_station(StationCfg::new("b", s2));
+        let (t1, t2) = (Nanos::from_micros(us1), Nanos::from_micros(us2));
+        let think = Nanos::from_micros(think_us);
+        let mut flow = move |_c: usize, _cy: u64, _now: Nanos, plan: &mut Plan| {
+            plan.service(a, t1);
+            if think > Nanos::ZERO {
+                plan.delay(think);
+            }
+            plan.service(b, t2);
+        };
+        let report = sim.run(
+            &mut flow,
+            customers,
+            Nanos::from_millis(3.0),
+            Nanos::from_millis(40.0),
+        );
+        let x = report.total_throughput();
+        let r = report.class(0).unwrap().latency.mean().as_secs();
+        let n = x * r;
+        // Same window-edge slack as above.
+        let edge = (customers as f64 + 1.0) * (us1 + us2 + think_us) * 1e-6 / 0.040;
+        prop_assert!(
+            ((n - customers as f64).abs() / (customers as f64)) < 0.05 + edge,
+            "Littles law: X*R = {n} vs N = {customers} (edge {edge})"
+        );
+    }
+
+    /// Conservation: per-class op counts sum to the station's op count
+    /// when every op visits the station exactly once.
+    #[test]
+    fn class_ops_conserve(
+        customers in 2usize..12,
+        classes in 1usize..4,
+    ) {
+        let mut sim = Simulation::new();
+        let st = sim.add_station(StationCfg::new("s", 4));
+        let mut flow = move |c: usize, _cy: u64, _now: Nanos, plan: &mut Plan| {
+            plan.class = c % classes;
+            plan.service(st, Nanos::from_micros(10.0));
+        };
+        let report = sim.run(
+            &mut flow,
+            customers,
+            Nanos::ZERO,
+            Nanos::from_millis(10.0),
+        );
+        let class_sum: u64 = report.classes.iter().map(|c| c.ops).sum();
+        let station_ops = report.station("s").unwrap().ops;
+        // Station ops may exceed counted class ops by at most the number
+        // of in-flight cycles at the window end.
+        prop_assert!(station_ops >= class_sum);
+        prop_assert!(station_ops - class_sum <= customers as u64 + 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! A functional block device: really stores bytes, sparsely, in 4 KiB
+//! blocks. Both the Ext4 baseline and the disaggregated data servers sit
+//! on top of this; timing is applied separately by [`crate::SsdModel`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Logical block size — matches the page size used throughout the paper.
+pub const BLOCK_SIZE: usize = 4096;
+
+const SHARDS: usize = 16;
+
+/// Device operation counters.
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct DeviceStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+/// A sparse, thread-safe block store.
+///
+/// Unwritten blocks read back as zeros (like a trimmed SSD). Blocks are
+/// sharded across locks by block number so concurrent I/O to different
+/// regions does not serialise.
+pub struct BlockDevice {
+    shards: Vec<RwLock<HashMap<u64, Box<[u8; BLOCK_SIZE]>>>>,
+    capacity_blocks: u64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl BlockDevice {
+    /// A device with the given capacity in bytes (rounded up to a block).
+    pub fn new(capacity_bytes: u64) -> Self {
+        BlockDevice {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity_blocks: capacity_bytes.div_ceil(BLOCK_SIZE as u64),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_blocks * BLOCK_SIZE as u64
+    }
+
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Number of blocks that have ever been written (allocated).
+    pub fn allocated_blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().len() as u64).sum()
+    }
+
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, block: u64) -> &RwLock<HashMap<u64, Box<[u8; BLOCK_SIZE]>>> {
+        &self.shards[(block as usize) % SHARDS]
+    }
+
+    fn check(&self, block: u64) {
+        assert!(
+            block < self.capacity_blocks,
+            "block {block} beyond device capacity {}",
+            self.capacity_blocks
+        );
+    }
+
+    /// Read one whole block. Unwritten blocks are zero.
+    pub fn read_block(&self, block: u64, dst: &mut [u8; BLOCK_SIZE]) {
+        self.check(block);
+        match self.shard(block).read().get(&block) {
+            Some(b) => dst.copy_from_slice(&b[..]),
+            None => dst.fill(0),
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(BLOCK_SIZE as u64, Ordering::Relaxed);
+    }
+
+    /// Write one whole block.
+    pub fn write_block(&self, block: u64, src: &[u8; BLOCK_SIZE]) {
+        self.check(block);
+        self.shard(block)
+            .write()
+            .insert(block, Box::new(*src));
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(BLOCK_SIZE as u64, Ordering::Relaxed);
+    }
+
+    /// Deallocate (trim) a block; subsequent reads return zeros.
+    pub fn trim_block(&self, block: u64) {
+        self.check(block);
+        self.shard(block).write().remove(&block);
+    }
+
+    /// Byte-addressed read spanning blocks.
+    pub fn read_at(&self, offset: u64, dst: &mut [u8]) {
+        assert!(
+            offset + dst.len() as u64 <= self.capacity_bytes(),
+            "read beyond device"
+        );
+        let mut pos = 0usize;
+        let mut off = offset;
+        let mut block_buf = [0u8; BLOCK_SIZE];
+        while pos < dst.len() {
+            let block = off / BLOCK_SIZE as u64;
+            let in_block = (off % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - in_block).min(dst.len() - pos);
+            self.read_block(block, &mut block_buf);
+            dst[pos..pos + n].copy_from_slice(&block_buf[in_block..in_block + n]);
+            pos += n;
+            off += n as u64;
+        }
+    }
+
+    /// Byte-addressed write spanning blocks (read-modify-write at edges).
+    pub fn write_at(&self, offset: u64, src: &[u8]) {
+        assert!(
+            offset + src.len() as u64 <= self.capacity_bytes(),
+            "write beyond device"
+        );
+        let mut pos = 0usize;
+        let mut off = offset;
+        let mut block_buf = [0u8; BLOCK_SIZE];
+        while pos < src.len() {
+            let block = off / BLOCK_SIZE as u64;
+            let in_block = (off % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - in_block).min(src.len() - pos);
+            if n == BLOCK_SIZE {
+                block_buf.copy_from_slice(&src[pos..pos + n]);
+            } else {
+                self.read_block(block, &mut block_buf);
+                block_buf[in_block..in_block + n].copy_from_slice(&src[pos..pos + n]);
+            }
+            self.write_block(block, &block_buf);
+            pos += n;
+            off += n as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let dev = BlockDevice::new(1 << 20);
+        let mut buf = [1u8; BLOCK_SIZE];
+        dev.read_block(3, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(dev.allocated_blocks(), 0);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let dev = BlockDevice::new(1 << 20);
+        let mut src = [0u8; BLOCK_SIZE];
+        src[0] = 0xAB;
+        src[BLOCK_SIZE - 1] = 0xCD;
+        dev.write_block(7, &src);
+        let mut dst = [0u8; BLOCK_SIZE];
+        dev.read_block(7, &mut dst);
+        assert_eq!(src, dst);
+        assert_eq!(dev.allocated_blocks(), 1);
+    }
+
+    #[test]
+    fn byte_addressed_spanning_write() {
+        let dev = BlockDevice::new(1 << 20);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        dev.write_at(BLOCK_SIZE as u64 - 100, &data);
+        let mut back = vec![0u8; data.len()];
+        dev.read_at(BLOCK_SIZE as u64 - 100, &mut back);
+        assert_eq!(back, data);
+        // Bytes before the write are untouched zeros.
+        let mut pre = [0u8; 100];
+        dev.read_at(BLOCK_SIZE as u64 - 200, &mut pre[..]);
+        assert!(pre.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn partial_block_write_preserves_rest() {
+        let dev = BlockDevice::new(1 << 20);
+        dev.write_at(0, &[0xFF; BLOCK_SIZE]);
+        dev.write_at(10, &[0x11; 4]);
+        let mut buf = [0u8; BLOCK_SIZE];
+        dev.read_block(0, &mut buf);
+        assert_eq!(buf[9], 0xFF);
+        assert_eq!(buf[10..14], [0x11; 4]);
+        assert_eq!(buf[14], 0xFF);
+    }
+
+    #[test]
+    fn trim_returns_block_to_zero() {
+        let dev = BlockDevice::new(1 << 20);
+        dev.write_block(2, &[9u8; BLOCK_SIZE]);
+        dev.trim_block(2);
+        let mut buf = [1u8; BLOCK_SIZE];
+        dev.read_block(2, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(dev.allocated_blocks(), 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let dev = BlockDevice::new(1 << 20);
+        dev.write_block(0, &[0u8; BLOCK_SIZE]);
+        let mut buf = [0u8; BLOCK_SIZE];
+        dev.read_block(0, &mut buf);
+        dev.read_block(1, &mut buf);
+        let s = dev.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, BLOCK_SIZE as u64);
+        assert_eq!(s.bytes_read, 2 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device")]
+    fn out_of_range_write_panics() {
+        let dev = BlockDevice::new(BLOCK_SIZE as u64);
+        dev.write_at(BLOCK_SIZE as u64 - 1, &[0, 0]);
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_blocks() {
+        let dev = BlockDevice::new(1 << 24);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let dev = &dev;
+                s.spawn(move || {
+                    let pat = [t as u8 + 1; BLOCK_SIZE];
+                    for b in 0..32 {
+                        dev.write_block(t * 32 + b, &pat);
+                    }
+                });
+            }
+        });
+        let mut buf = [0u8; BLOCK_SIZE];
+        for t in 0..8u64 {
+            for b in 0..32 {
+                dev.read_block(t * 32 + b, &mut buf);
+                assert!(buf.iter().all(|&x| x == t as u8 + 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # dpc-ssd — the local NVMe SSD substrate
+//!
+//! The paper's standalone-file-service comparison (Fig 7, Table 2) pits
+//! KVFS against local Ext4 on a Huawei ES3600P V5 NVMe SSD. This crate
+//! provides that SSD in two halves:
+//!
+//! - [`BlockDevice`]: a functional, thread-safe, sparse 4 KiB block store
+//!   that really holds the bytes written to it,
+//! - [`SsdModel`]: the timing model (88 µs read / 14 µs write service,
+//!   16-way internal parallelism) used as a `dpc-sim` station, which is
+//!   what makes local Ext4's IOPS plateau past 32 threads as in Fig 7.
+
+mod device;
+mod model;
+
+pub use device::{BlockDevice, DeviceStats, BLOCK_SIZE};
+pub use model::SsdModel;

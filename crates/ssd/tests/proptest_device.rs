@@ -1,0 +1,56 @@
+//! Property test: an arbitrary interleaving of byte-addressed reads and
+//! writes on the sparse block device behaves exactly like a flat byte
+//! array initialised to zeros.
+
+use dpc_ssd::BlockDevice;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: usize },
+    Trim { block: u64 },
+}
+
+const DEV_BYTES: u64 = 64 * 4096;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..DEV_BYTES - 9000, proptest::collection::vec(any::<u8>(), 1..9000))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        (0u64..DEV_BYTES - 9000, 1usize..9000)
+            .prop_map(|(offset, len)| Op::Read { offset, len }),
+        (0u64..64).prop_map(|block| Op::Trim { block }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn device_matches_flat_array(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let dev = BlockDevice::new(DEV_BYTES);
+        let mut model = vec![0u8; DEV_BYTES as usize];
+        for op in ops {
+            match op {
+                Op::Write { offset, data } => {
+                    dev.write_at(offset, &data);
+                    model[offset as usize..offset as usize + data.len()]
+                        .copy_from_slice(&data);
+                }
+                Op::Read { offset, len } => {
+                    let mut got = vec![0u8; len];
+                    dev.read_at(offset, &mut got);
+                    prop_assert_eq!(
+                        &got[..],
+                        &model[offset as usize..offset as usize + len]
+                    );
+                }
+                Op::Trim { block } => {
+                    dev.trim_block(block);
+                    model[block as usize * 4096..(block as usize + 1) * 4096].fill(0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal FUSE message framing, as carried over virtio-fs by DPFS.
+//!
+//! DPFS converts VFS requests into FUSE messages in the kernel, queues
+//! them through virtio-fs, and a DPFS-HAL thread re-extracts the FUSE
+//! request on the DPU (Figure 2a). We implement the header formats and the
+//! opcodes the evaluation path needs (READ / WRITE for raw transmission;
+//! LOOKUP / CREATE / GETATTR for completeness).
+
+/// `fuse_in_header`: 40 bytes on the wire.
+pub const IN_HEADER_LEN: usize = 40;
+/// `fuse_out_header`: 16 bytes on the wire.
+pub const OUT_HEADER_LEN: usize = 16;
+
+/// FUSE opcodes (the standard numbering).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(u32)]
+pub enum FuseOpcode {
+    Lookup = 1,
+    Getattr = 3,
+    Unlink = 10,
+    Read = 15,
+    Write = 16,
+    Create = 35,
+}
+
+impl FuseOpcode {
+    pub fn from_u32(v: u32) -> Option<FuseOpcode> {
+        Some(match v {
+            1 => FuseOpcode::Lookup,
+            3 => FuseOpcode::Getattr,
+            10 => FuseOpcode::Unlink,
+            15 => FuseOpcode::Read,
+            16 => FuseOpcode::Write,
+            35 => FuseOpcode::Create,
+            _ => return None,
+        })
+    }
+}
+
+/// The fixed FUSE request header.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FuseInHeader {
+    /// Total request length including this header and any payload.
+    pub len: u32,
+    pub opcode: FuseOpcode,
+    /// Request id echoed back in the reply.
+    pub unique: u64,
+    pub nodeid: u64,
+    pub uid: u32,
+    pub gid: u32,
+    pub pid: u32,
+}
+
+impl FuseInHeader {
+    pub fn to_bytes(&self) -> [u8; IN_HEADER_LEN] {
+        let mut out = [0u8; IN_HEADER_LEN];
+        out[0..4].copy_from_slice(&self.len.to_le_bytes());
+        out[4..8].copy_from_slice(&(self.opcode as u32).to_le_bytes());
+        out[8..16].copy_from_slice(&self.unique.to_le_bytes());
+        out[16..24].copy_from_slice(&self.nodeid.to_le_bytes());
+        out[24..28].copy_from_slice(&self.uid.to_le_bytes());
+        out[28..32].copy_from_slice(&self.gid.to_le_bytes());
+        out[32..36].copy_from_slice(&self.pid.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8; IN_HEADER_LEN]) -> Option<FuseInHeader> {
+        Some(FuseInHeader {
+            len: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            opcode: FuseOpcode::from_u32(u32::from_le_bytes(b[4..8].try_into().unwrap()))?,
+            unique: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            nodeid: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            uid: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+            gid: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            pid: u32::from_le_bytes(b[32..36].try_into().unwrap()),
+        })
+    }
+}
+
+/// The fixed FUSE reply header.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FuseOutHeader {
+    /// Total reply length including this header and any payload.
+    pub len: u32,
+    /// 0 on success, negative errno on failure.
+    pub error: i32,
+    pub unique: u64,
+}
+
+impl FuseOutHeader {
+    pub fn to_bytes(&self) -> [u8; OUT_HEADER_LEN] {
+        let mut out = [0u8; OUT_HEADER_LEN];
+        out[0..4].copy_from_slice(&self.len.to_le_bytes());
+        out[4..8].copy_from_slice(&self.error.to_le_bytes());
+        out[8..16].copy_from_slice(&self.unique.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8; OUT_HEADER_LEN]) -> FuseOutHeader {
+        FuseOutHeader {
+            len: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            error: i32::from_le_bytes(b[4..8].try_into().unwrap()),
+            unique: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+/// `fuse_read_in` / `fuse_write_in` argument block (simplified: offset +
+/// size, which is all READ/WRITE need here).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FuseIoArgs {
+    pub offset: u64,
+    pub size: u32,
+}
+
+impl FuseIoArgs {
+    pub const LEN: usize = 12;
+
+    pub fn to_bytes(&self) -> [u8; Self::LEN] {
+        let mut out = [0u8; Self::LEN];
+        out[0..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..12].copy_from_slice(&self.size.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8; Self::LEN]) -> FuseIoArgs {
+        FuseIoArgs {
+            offset: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            size: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_header_round_trip() {
+        let h = FuseInHeader {
+            len: 40 + 12 + 8192,
+            opcode: FuseOpcode::Write,
+            unique: 42,
+            nodeid: 7,
+            uid: 1000,
+            gid: 100,
+            pid: 4242,
+        };
+        assert_eq!(FuseInHeader::from_bytes(&h.to_bytes()), Some(h));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut b = FuseInHeader {
+            len: 40,
+            opcode: FuseOpcode::Read,
+            unique: 1,
+            nodeid: 1,
+            uid: 0,
+            gid: 0,
+            pid: 0,
+        }
+        .to_bytes();
+        b[4..8].copy_from_slice(&999u32.to_le_bytes());
+        assert_eq!(FuseInHeader::from_bytes(&b), None);
+    }
+
+    #[test]
+    fn out_header_round_trip() {
+        let h = FuseOutHeader {
+            len: 16 + 4096,
+            error: -2,
+            unique: 99,
+        };
+        assert_eq!(FuseOutHeader::from_bytes(&h.to_bytes()), h);
+    }
+
+    #[test]
+    fn io_args_round_trip() {
+        let a = FuseIoArgs {
+            offset: 1 << 40,
+            size: 8192,
+        };
+        assert_eq!(FuseIoArgs::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn header_sizes_match_fuse_abi() {
+        assert_eq!(IN_HEADER_LEN, 40);
+        assert_eq!(OUT_HEADER_LEN, 16);
+    }
+}

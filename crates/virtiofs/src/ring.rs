@@ -1,0 +1,277 @@
+//! The virtio split-ring structures, laid out in DMA-able host memory.
+//!
+//! This is the transport DPFS rides on and the baseline DPC replaces
+//! (Figure 2). A request is a *descriptor chain*: the driver fills the
+//! descriptor table, publishes the chain head in the *avail ring*, and the
+//! device walks the chain with one DMA read per step — which is exactly
+//! why an 8 KiB write costs 11 DMA operations end to end:
+//!
+//! 1. read `idx` from the avail ring (`last_avail_idx` check)
+//! 2. read the avail `ring[]` entry to find the chain head
+//! 3. (to 6.) read the descriptor-table entries of the chain one by one
+//!    (`next`-linked: command header, data, response header, status)
+//! 7. read the command buffer
+//! 8. read the data buffer
+//! 9. write the response buffer
+//! 10. write the used-ring element
+//! 11. write the used-ring `idx`
+
+use dpc_pcie::{DmaEngine, HostRegion};
+
+/// Descriptor flags.
+pub const VRING_DESC_F_NEXT: u16 = 0x1;
+/// Device-writable buffer (response direction).
+pub const VRING_DESC_F_WRITE: u16 = 0x2;
+
+/// One 16-byte descriptor-table entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Desc {
+    /// Buffer address (offset into the queue's buffer pool).
+    pub addr: u64,
+    pub len: u32,
+    pub flags: u16,
+    pub next: u16,
+}
+
+impl Desc {
+    pub const SIZE: usize = 16;
+
+    pub fn to_bytes(&self) -> [u8; Self::SIZE] {
+        let mut out = [0u8; Self::SIZE];
+        out[0..8].copy_from_slice(&self.addr.to_le_bytes());
+        out[8..12].copy_from_slice(&self.len.to_le_bytes());
+        out[12..14].copy_from_slice(&self.flags.to_le_bytes());
+        out[14..16].copy_from_slice(&self.next.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8; Self::SIZE]) -> Desc {
+        Desc {
+            addr: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            len: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            flags: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+            next: u16::from_le_bytes(b[14..16].try_into().unwrap()),
+        }
+    }
+
+    pub fn has_next(&self) -> bool {
+        self.flags & VRING_DESC_F_NEXT != 0
+    }
+
+    pub fn device_writable(&self) -> bool {
+        self.flags & VRING_DESC_F_WRITE != 0
+    }
+}
+
+/// One used-ring element: chain head id + bytes written by the device.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct UsedElem {
+    pub id: u32,
+    pub len: u32,
+}
+
+/// The split virtqueue: descriptor table + avail ring + used ring + a
+/// buffer pool, all in host memory.
+///
+/// Memory layout (all offsets in bytes):
+/// - `desc`:  `depth × 16`
+/// - `avail`: `flags(2) ‖ idx(2) ‖ ring[depth × 2]`
+/// - `used`:  `flags(2) ‖ idx(2) ‖ ring[depth × 8]`
+pub struct Virtqueue {
+    pub depth: u16,
+    pub desc: HostRegion,
+    pub avail: HostRegion,
+    pub used: HostRegion,
+    pub buffers: HostRegion,
+    pub buffer_bytes: usize,
+}
+
+impl Virtqueue {
+    pub fn new(depth: u16, buffer_bytes: usize) -> Virtqueue {
+        assert!(depth >= 4, "virtqueue needs room for 4-descriptor chains");
+        Virtqueue {
+            depth,
+            desc: HostRegion::new(depth as usize * Desc::SIZE),
+            avail: HostRegion::new(4 + depth as usize * 2),
+            used: HostRegion::new(4 + depth as usize * 8),
+            buffers: HostRegion::new(buffer_bytes),
+            buffer_bytes,
+        }
+    }
+
+    // --- driver-side (host local, no DMA) ------------------------------
+
+    pub fn write_desc_local(&self, i: u16, d: &Desc) {
+        self.desc
+            .write_local(i as usize * Desc::SIZE, &d.to_bytes());
+    }
+
+    pub fn avail_idx_local(&self) -> u16 {
+        let mut b = [0u8; 2];
+        self.avail.read_local(2, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Publish a chain head: store it in the ring slot and bump `idx`.
+    pub fn push_avail_local(&self, head: u16) {
+        let idx = self.avail_idx_local();
+        let slot = (idx % self.depth) as usize;
+        self.avail
+            .write_local(4 + slot * 2, &head.to_le_bytes());
+        self.avail.write_local(2, &(idx.wrapping_add(1)).to_le_bytes());
+    }
+
+    pub fn used_idx_local(&self) -> u16 {
+        let mut b = [0u8; 2];
+        self.used.read_local(2, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    pub fn read_used_local(&self, idx: u16) -> UsedElem {
+        let slot = (idx % self.depth) as usize;
+        let mut b = [0u8; 8];
+        self.used.read_local(4 + slot * 8, &mut b);
+        UsedElem {
+            id: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            len: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+        }
+    }
+
+    // --- device-side (DPU, every access is a counted DMA) --------------
+
+    /// ① read the avail `idx` (the `last_avail_idx` comparison source).
+    pub fn dma_avail_idx(&self, dma: &DmaEngine) -> u16 {
+        dma.dma_read_u16(&self.avail, 2)
+    }
+
+    /// ② read the avail `ring[slot]` entry (the chain head).
+    pub fn dma_avail_entry(&self, dma: &DmaEngine, idx: u16) -> u16 {
+        let slot = (idx % self.depth) as usize;
+        dma.dma_read_u16(&self.avail, 4 + slot * 2)
+    }
+
+    /// ③…: read one descriptor-table entry.
+    pub fn dma_desc(&self, dma: &DmaEngine, i: u16) -> Desc {
+        let mut b = [0u8; Desc::SIZE];
+        dma.dma_read(&self.desc, i as usize * Desc::SIZE, &mut b);
+        Desc::from_bytes(&b)
+    }
+
+    /// Read a descriptor's buffer (one DMA — virtio buffers are
+    /// driver-contiguous, unlike nvme-fs's page-granular PRPs).
+    pub fn dma_read_buffer(&self, dma: &DmaEngine, d: &Desc) -> Vec<u8> {
+        let mut out = vec![0u8; d.len as usize];
+        if !out.is_empty() {
+            dma.dma_read(&self.buffers, d.addr as usize, &mut out);
+        }
+        out
+    }
+
+    /// Write into a device-writable descriptor's buffer (one DMA).
+    pub fn dma_write_buffer(&self, dma: &DmaEngine, d: &Desc, data: &[u8]) {
+        assert!(data.len() <= d.len as usize, "overflows descriptor buffer");
+        assert!(d.device_writable(), "descriptor is not device-writable");
+        if !data.is_empty() {
+            dma.dma_write(&self.buffers, d.addr as usize, data);
+        }
+    }
+
+    /// ⑩ write the used-ring element.
+    pub fn dma_push_used_elem(&self, dma: &DmaEngine, used_idx: u16, elem: UsedElem) {
+        let slot = (used_idx % self.depth) as usize;
+        let mut b = [0u8; 8];
+        b[0..4].copy_from_slice(&elem.id.to_le_bytes());
+        b[4..8].copy_from_slice(&elem.len.to_le_bytes());
+        dma.dma_write(&self.used, 4 + slot * 8, &b);
+    }
+
+    /// ⑪ bump the used-ring `idx`.
+    pub fn dma_bump_used_idx(&self, dma: &DmaEngine, new_idx: u16) {
+        dma.dma_write_u16(&self.used, 2, new_idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_round_trip() {
+        let d = Desc {
+            addr: 0xABCD_EF01_2345,
+            len: 8192,
+            flags: VRING_DESC_F_NEXT | VRING_DESC_F_WRITE,
+            next: 7,
+        };
+        assert_eq!(Desc::from_bytes(&d.to_bytes()), d);
+        assert!(d.has_next());
+        assert!(d.device_writable());
+    }
+
+    #[test]
+    fn avail_publish_and_device_read() {
+        let vq = Virtqueue::new(8, 4096);
+        let dma = DmaEngine::new();
+        assert_eq!(vq.dma_avail_idx(&dma), 0);
+        vq.push_avail_local(3);
+        vq.push_avail_local(5);
+        assert_eq!(vq.dma_avail_idx(&dma), 2);
+        assert_eq!(vq.dma_avail_entry(&dma, 0), 3);
+        assert_eq!(vq.dma_avail_entry(&dma, 1), 5);
+        // Three device reads happened.
+        assert_eq!(dma.snapshot().dma_ops, 4);
+    }
+
+    #[test]
+    fn descriptor_chain_walk() {
+        let vq = Virtqueue::new(8, 65536);
+        let dma = DmaEngine::new();
+        vq.write_desc_local(0, &Desc { addr: 0, len: 40, flags: VRING_DESC_F_NEXT, next: 1 });
+        vq.write_desc_local(1, &Desc { addr: 64, len: 8192, flags: VRING_DESC_F_NEXT, next: 2 });
+        vq.write_desc_local(2, &Desc {
+            addr: 9000,
+            len: 16,
+            flags: VRING_DESC_F_WRITE,
+            next: 0,
+        });
+        let d0 = vq.dma_desc(&dma, 0);
+        assert!(d0.has_next());
+        let d1 = vq.dma_desc(&dma, d0.next);
+        let d2 = vq.dma_desc(&dma, d1.next);
+        assert!(!d2.has_next());
+        assert!(d2.device_writable());
+        assert_eq!(dma.snapshot().dma_ops, 3);
+    }
+
+    #[test]
+    fn used_ring_round_trip() {
+        let vq = Virtqueue::new(8, 4096);
+        let dma = DmaEngine::new();
+        assert_eq!(vq.used_idx_local(), 0);
+        vq.dma_push_used_elem(&dma, 0, UsedElem { id: 4, len: 8192 });
+        vq.dma_bump_used_idx(&dma, 1);
+        assert_eq!(vq.used_idx_local(), 1);
+        assert_eq!(vq.read_used_local(0), UsedElem { id: 4, len: 8192 });
+    }
+
+    #[test]
+    fn buffer_io() {
+        let vq = Virtqueue::new(8, 65536);
+        let dma = DmaEngine::new();
+        vq.buffers.write_local(128, b"hello device");
+        let d = Desc { addr: 128, len: 12, flags: 0, next: 0 };
+        assert_eq!(vq.dma_read_buffer(&dma, &d), b"hello device");
+        let dw = Desc { addr: 4096, len: 64, flags: VRING_DESC_F_WRITE, next: 0 };
+        vq.dma_write_buffer(&dma, &dw, b"response!");
+        assert_eq!(vq.buffers.read_local_vec(4096, 9), b"response!");
+    }
+
+    #[test]
+    #[should_panic(expected = "not device-writable")]
+    fn device_cannot_write_driver_buffer() {
+        let vq = Virtqueue::new(8, 4096);
+        let dma = DmaEngine::new();
+        let d = Desc { addr: 0, len: 16, flags: 0, next: 0 };
+        vq.dma_write_buffer(&dma, &d, b"nope");
+    }
+}

@@ -1,0 +1,210 @@
+//! fio/vdbench-style I/O workload generation.
+//!
+//! The evaluation drives every experiment with a small set of workload
+//! shapes (Table 1 lists vdbench 3.28 and fio 3.36): random or sequential
+//! access, read/write/mixed, fixed block sizes (4 KiB, 8 KiB, 1 MiB),
+//! a per-thread file or offset space, and a thread-count sweep. This
+//! module generates those deterministic streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Access pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    Random,
+    Sequential,
+}
+
+/// Operation mix.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Mix {
+    ReadOnly,
+    WriteOnly,
+    /// `read_pct` percent reads, rest writes (the paper's mix workload is
+    /// 70% random read / 30% random write).
+    Mixed { read_pct: u8 },
+}
+
+/// One generated I/O.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IoOp {
+    pub is_read: bool,
+    pub offset: u64,
+    pub len: usize,
+}
+
+/// A workload specification (one thread's stream; seed per thread).
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    pub pattern: Pattern,
+    pub mix: Mix,
+    pub block_size: usize,
+    /// Addressable bytes (file size); offsets are block-aligned within it.
+    pub file_size: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's staple: 8 KiB random read on big files.
+    pub fn rand_read_8k(file_size: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            pattern: Pattern::Random,
+            mix: Mix::ReadOnly,
+            block_size: 8192,
+            file_size,
+        }
+    }
+
+    pub fn rand_write_8k(file_size: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            pattern: Pattern::Random,
+            mix: Mix::WriteOnly,
+            block_size: 8192,
+            file_size,
+        }
+    }
+
+    pub fn seq_read_1m(file_size: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            pattern: Pattern::Sequential,
+            mix: Mix::ReadOnly,
+            block_size: 1 << 20,
+            file_size,
+        }
+    }
+
+    pub fn seq_write_1m(file_size: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            pattern: Pattern::Sequential,
+            mix: Mix::WriteOnly,
+            block_size: 1 << 20,
+            file_size,
+        }
+    }
+
+    pub fn blocks(&self) -> u64 {
+        (self.file_size / self.block_size as u64).max(1)
+    }
+}
+
+/// Deterministic generator for one thread's I/O stream.
+pub struct IoGen {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    cursor: u64,
+}
+
+impl IoGen {
+    pub fn new(spec: WorkloadSpec, seed: u64) -> IoGen {
+        IoGen {
+            spec,
+            rng: SmallRng::seed_from_u64(seed),
+            cursor: 0,
+        }
+    }
+
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    pub fn next_op(&mut self) -> IoOp {
+        let blocks = self.spec.blocks();
+        let block = match self.spec.pattern {
+            Pattern::Random => self.rng.gen_range(0..blocks),
+            Pattern::Sequential => {
+                let b = self.cursor % blocks;
+                self.cursor += 1;
+                b
+            }
+        };
+        let is_read = match self.spec.mix {
+            Mix::ReadOnly => true,
+            Mix::WriteOnly => false,
+            Mix::Mixed { read_pct } => self.rng.gen_range(0..100) < read_pct,
+        };
+        IoOp {
+            is_read,
+            offset: block * self.spec.block_size as u64,
+            len: self.spec.block_size,
+        }
+    }
+}
+
+impl Iterator for IoGen {
+    type Item = IoOp;
+    fn next(&mut self) -> Option<IoOp> {
+        Some(self.next_op())
+    }
+}
+
+/// The thread-count sweep used throughout the evaluation figures.
+pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_walks_in_order_and_wraps() {
+        let spec = WorkloadSpec {
+            pattern: Pattern::Sequential,
+            mix: Mix::ReadOnly,
+            block_size: 4096,
+            file_size: 3 * 4096,
+        };
+        let mut g = IoGen::new(spec, 1);
+        let offs: Vec<u64> = (0..6).map(|_| g.next_op().offset).collect();
+        assert_eq!(offs, vec![0, 4096, 8192, 0, 4096, 8192]);
+    }
+
+    #[test]
+    fn random_offsets_are_block_aligned_and_bounded() {
+        let spec = WorkloadSpec::rand_read_8k(1 << 30);
+        let mut g = IoGen::new(spec, 42);
+        for _ in 0..10_000 {
+            let op = g.next_op();
+            assert!(op.is_read);
+            assert_eq!(op.offset % 8192, 0);
+            assert!(op.offset + 8192 <= 1 << 30);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let spec = WorkloadSpec::rand_write_8k(1 << 24);
+        let a: Vec<IoOp> = IoGen::new(spec.clone(), 7).take(100).collect();
+        let b: Vec<IoOp> = IoGen::new(spec.clone(), 7).take(100).collect();
+        let c: Vec<IoOp> = IoGen::new(spec, 8).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_ratio_approximately_holds() {
+        // The paper's 70/30 mix.
+        let spec = WorkloadSpec {
+            pattern: Pattern::Random,
+            mix: Mix::Mixed { read_pct: 70 },
+            block_size: 4096,
+            file_size: 1 << 24,
+        };
+        let reads = IoGen::new(spec, 3)
+            .take(20_000)
+            .filter(|op| op.is_read)
+            .count();
+        let pct = reads as f64 / 20_000.0 * 100.0;
+        assert!((68.0..72.0).contains(&pct), "{pct}%");
+    }
+
+    #[test]
+    fn tiny_file_still_generates() {
+        let spec = WorkloadSpec {
+            pattern: Pattern::Random,
+            mix: Mix::WriteOnly,
+            block_size: 8192,
+            file_size: 100, // smaller than one block
+        };
+        let mut g = IoGen::new(spec, 1);
+        assert_eq!(g.next_op().offset, 0);
+    }
+}

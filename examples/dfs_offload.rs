@@ -1,0 +1,101 @@
+//! The DFS client comparison (paper §4.3, Figure 9) — functional view.
+//!
+//! Runs the same workload through the three fs-client flavours against
+//! identical backends and prints what each one *did*: RPCs, forwarding
+//! hops, bytes moved, and where the erasure coding ran. The timing view
+//! of the same comparison is `cargo bench -p dpc-bench` (fig9).
+//!
+//! ```sh
+//! cargo run --example dfs_offload
+//! ```
+
+use dpc::dfs::{
+    DfsBackend, DfsConfig, DpcClient, FsClient, OpTrace, OptimizedClient, StandardClient,
+    DFS_BLOCK,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn run_workload(client: &mut dyn FsClient, ops: usize) -> (OpTrace, u64) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut total = OpTrace::default();
+    let mut add = |t: OpTrace, total: &mut OpTrace| {
+        total.mds_rpcs += t.mds_rpcs;
+        total.ds_rpcs += t.ds_rpcs;
+        total.ec_bytes += t.ec_bytes;
+        total.bytes_out += t.bytes_out;
+        total.bytes_in += t.bytes_in;
+    };
+
+    // A 64 MiB "big file" workload: create, fill, then 70/30 random R/W.
+    let (attr, t) = client.create(0, "bigfile").unwrap();
+    add(t, &mut total);
+    let blocks = 64u64;
+    let data = vec![0xA5u8; DFS_BLOCK];
+    for b in 0..blocks {
+        add(client.write_block(attr.ino, b, &data).unwrap(), &mut total);
+    }
+    let mut cache_hits = 0u64;
+    for _ in 0..ops {
+        let b = rng.gen_range(0..blocks);
+        if rng.gen_range(0..100) < 70 {
+            let (_, t) = client.read_block(attr.ino, b).unwrap();
+            add(t, &mut total);
+        } else {
+            add(client.write_block(attr.ino, b, &data).unwrap(), &mut total);
+        }
+        // Metadata check every few ops (stat-heavy applications).
+        if rng.gen_range(0..4) == 0 {
+            let (_, t) = client.getattr(attr.ino).unwrap();
+            if t.meta_cache_hit {
+                cache_hits += 1;
+            }
+            add(t, &mut total);
+        }
+    }
+    add(client.sync_meta().unwrap(), &mut total);
+    (total, cache_hits)
+}
+
+fn main() {
+    const OPS: usize = 2000;
+    println!("workload: 64-block fill + {OPS} random 8K ops (70% read) + periodic stat\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10} {:>9}",
+        "client", "mds-rpcs", "ds-rpcs", "forwards", "bytes-out", "bytes-in", "ec-bytes", "stat-hits"
+    );
+
+    for flavour in ["standard", "optimized", "dpc"] {
+        // Fresh, identical backend per client so counters are comparable.
+        let backend = DfsBackend::new(DfsConfig::default());
+        let mut client: Box<dyn FsClient> = match flavour {
+            "standard" => Box::new(StandardClient::new(backend.clone(), 0)),
+            "optimized" => Box::new(OptimizedClient::new(backend.clone(), 1)),
+            _ => Box::new(DpcClient::new(backend.clone(), 2)),
+        };
+        let (t, stat_hits) = run_workload(client.as_mut(), OPS);
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10} {:>9}",
+            client.client_name(),
+            t.mds_rpcs,
+            t.ds_rpcs,
+            backend.total_forwards(),
+            t.bytes_out,
+            t.bytes_in,
+            t.ec_bytes,
+            stat_hits
+        );
+    }
+
+    println!(
+        "\nreading the table:
+  - the standard client funnels everything through its entry MDS: high
+    mds-rpcs, forwarding hops, zero client-side EC — and on real hardware,
+    an MDS bottleneck;
+  - the optimized client and DPC do the same work as each other (metadata
+    view -> no forwards, client-side EC, direct shard I/O, delegated
+    stats): identical rows. The difference Figure 9 measures is *where*
+    those cycles run — host cores for the optimized client, DPU cores for
+    DPC. Run `cargo bench -p dpc-bench` to see that in time and CPU."
+    );
+}
