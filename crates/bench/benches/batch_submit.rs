@@ -1,0 +1,80 @@
+//! Batched vs single-op submission through one nvme-fs queue pair with a
+//! live DPU-side echo thread. The cross-thread round trip is the cost
+//! being amortized: at batch=1 every op pays a full submit→serve→complete
+//! ping-pong (plus its own doorbell); at batch=16 sixteen ops share one
+//! doorbell and one wakeup in each direction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpc_nvmefs::{
+    CompletionBatch, CqeStatus, DispatchType, IncomingBatch, QueuePair, QueuePairConfig,
+};
+use dpc_pcie::DmaEngine;
+
+fn bench_batch_submit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_submit");
+    for &batch in &[1usize, 16] {
+        let dma = DmaEngine::new();
+        let (mut ini, mut tgt) = QueuePair::new(
+            0,
+            QueuePairConfig {
+                depth: 32,
+                max_io_bytes: 16 * 1024,
+            },
+        )
+        .split(dma.clone());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut inb = IncomingBatch::new();
+                let mut idle = 0u32;
+                while !stop.load(Ordering::Acquire) {
+                    if tgt.poll_many(&mut inb) > 0 {
+                        idle = 0;
+                        for inc in &inb {
+                            tgt.complete(inc.slot, CqeStatus::Success, b"", b"");
+                        }
+                    } else {
+                        idle += 1;
+                        if idle > 256 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            })
+        };
+
+        let payload = vec![0x42u8; 4096];
+        let mut comp = CompletionBatch::new();
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(&format!("4k_write_echo_batch_{batch}"), |b| {
+            b.iter(|| {
+                {
+                    let mut guard = ini.batch();
+                    for _ in 0..batch {
+                        guard
+                            .submit(DispatchType::Standalone, b"", &payload, 0)
+                            .unwrap();
+                    }
+                }
+                let mut got = 0usize;
+                while got < batch {
+                    got += ini.poll_many(&mut comp);
+                }
+            })
+        });
+
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(batch_submit, bench_batch_submit);
+criterion_main!(batch_submit);

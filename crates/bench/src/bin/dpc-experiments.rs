@@ -9,6 +9,11 @@
 use dpc_bench::{ablate, ablate_cache, fig1, fig6, fig7, fig8, fig9, table2, Table};
 use dpc_core::Testbed;
 
+// Count allocations so the batch-size ablation can report a real
+// allocs/op column (the hook is per-binary; see dpc_pcie::alloc).
+#[global_allocator]
+static ALLOC: dpc_pcie::alloc::CountingAllocator = dpc_pcie::alloc::CountingAllocator;
+
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig1", "motivation: standard vs optimized NFS client (IOPS + CPU)"),
     ("fig6", "raw host-DPU transmission: nvme-fs vs virtio-fs + bandwidth"),

@@ -191,6 +191,17 @@ impl ControlPlane {
         ok
     }
 
+    /// Whether any entry (clean or dirty) currently occupies `bucket`.
+    /// Lets an eviction caller distinguish "nothing to evict because the
+    /// bucket is empty" (benign) from "populated but nothing evictable"
+    /// (the host must fall back to write-through).
+    pub fn bucket_occupied(&self, bucket: usize) -> bool {
+        let _claim = self.cache.bucket_claim[bucket].lock();
+        self.cache
+            .chain(bucket)
+            .any(|idx| self.cache.entries[idx].status() != EntryStatus::Free)
+    }
+
     /// Insert a page fetched from the backend as *clean* (prefetch /
     /// read-miss fill). DMA-writes the page into the host data area.
     /// Returns `false` when the bucket has no free slot and eviction

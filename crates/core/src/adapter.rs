@@ -509,15 +509,22 @@ impl DpcFs {
                 }
                 Err(WriteError::NeedEviction { bucket }) => {
                     // Notify the DPU to run cache replacement, then retry.
-                    self.call(
+                    // EBUSY means the DPU could not free a frame even
+                    // after a flush pass — retrying is pointless, so go
+                    // straight to write-through.
+                    let evicted = match self.call(
                         inner,
                         &FileRequest::CacheEvict {
                             bucket: bucket as u64,
                         },
                         b"",
                         0,
-                    )?;
-                    if attempt == 2 {
+                    ) {
+                        Ok(_) => true,
+                        Err(DpcError(16 /* EBUSY */)) => false,
+                        Err(e) => return Err(e),
+                    };
+                    if !evicted || attempt == 2 {
                         // Fall back to write-through.
                         let (resp, _) = self.call(
                             inner,
@@ -570,43 +577,76 @@ impl DpcFs {
                 Ok(got)
             }
             IoMode::Buffered => {
+                struct Miss {
+                    lpn: u64,
+                    pos: usize,
+                    in_page: usize,
+                    take: usize,
+                }
                 let mut page = vec![0u8; PAGE_SIZE];
                 let mut pos = 0usize;
                 let mut off = offset;
+                // Pass 1: serve cache hits, remember the misses.
+                let mut misses: Vec<Miss> = Vec::new();
                 while pos < n {
                     let lpn = off / PAGE_SIZE as u64;
                     let in_page = (off % PAGE_SIZE as u64) as usize;
                     let take = (PAGE_SIZE - in_page).min(n - pos);
-                    if !self.cache.lookup_read(ino, lpn, &mut page) {
-                        // Miss: fetch the page from the DPU and fill the
-                        // cache clean (front-end read protocol).
-                        let (resp, payload) = self.call(
-                            &mut inner,
-                            &FileRequest::Read {
-                                ino,
-                                offset: lpn * PAGE_SIZE as u64,
-                                len: PAGE_SIZE as u32,
-                            },
-                            b"",
-                            PAGE_SIZE as u32,
-                        )?;
-                        let FileResponse::Bytes(got) = resp else {
-                            return Err(DpcError::IO);
-                        };
-                        page.fill(0);
-                        page[..got as usize].copy_from_slice(&payload[..got as usize]);
-                        // Fill the cache clean, marking only the fetched
-                        // prefix valid — the zero padding of a tail page
-                        // must never be flushed (size inflation).
-                        if let Ok(mut g) = self.cache.begin_write(ino, lpn) {
-                            g.write(0, &page);
-                            g.set_valid(got as usize);
-                            g.commit_clean();
-                        }
+                    if self.cache.lookup_read(ino, lpn, &mut page) {
+                        dst[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
+                    } else {
+                        misses.push(Miss {
+                            lpn,
+                            pos,
+                            in_page,
+                            take,
+                        });
                     }
-                    dst[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
                     pos += take;
                     off += take as u64;
+                }
+                // Pass 2: fetch every missing page from the DPU under a
+                // single batched submission (one doorbell per queue-full
+                // of pages), then fill the cache clean (front-end read
+                // protocol).
+                if !misses.is_empty() {
+                    let requests: Vec<FileRequest> = misses
+                        .iter()
+                        .map(|m| FileRequest::Read {
+                            ino,
+                            offset: m.lpn * PAGE_SIZE as u64,
+                            len: PAGE_SIZE as u32,
+                        })
+                        .collect();
+                    let mut done = Vec::with_capacity(requests.len());
+                    inner
+                        .chan
+                        .call_many(
+                            DispatchType::Standalone,
+                            &requests,
+                            PAGE_SIZE as u32,
+                            &mut done,
+                        )
+                        .map_err(|_| DpcError::IO)?;
+                    for (m, c) in misses.iter().zip(&done) {
+                        let got = match c.response {
+                            FileResponse::Bytes(g) => g as usize,
+                            FileResponse::Err(e) => return Err(DpcError(e)),
+                            _ => return Err(DpcError::IO),
+                        };
+                        page.fill(0);
+                        page[..got].copy_from_slice(&c.payload[..got]);
+                        // Mark only the fetched prefix valid — the zero
+                        // padding of a tail page must never be flushed
+                        // (size inflation).
+                        if let Ok(mut g) = self.cache.begin_write(ino, m.lpn) {
+                            g.write(0, &page);
+                            g.set_valid(got);
+                            g.commit_clean();
+                        }
+                        dst[m.pos..m.pos + m.take]
+                            .copy_from_slice(&page[m.in_page..m.in_page + m.take]);
+                    }
                 }
                 Ok(n)
             }

@@ -12,7 +12,8 @@ use dpc_cache::ControlPlane;
 use dpc_dfs::{ClientCore, DfsError, DFS_BLOCK};
 use dpc_kvfs::{FileKind, FsError, Kvfs};
 use dpc_nvmefs::{
-    encode_dirents, DispatchType, FileIncoming, FileRequest, FileResponse, WireAttr, WireDirent,
+    encode_dirents, DispatchType, FileIncoming, FileIncomingBatch, FileRequest, FileResponse,
+    FileTarget, WireAttr, WireDirent,
 };
 
 /// Map a KVFS attribute to the wire form.
@@ -56,6 +57,8 @@ pub struct Dispatcher {
     dfs: Option<ClientCore>,
     /// Enable the control plane's sequential prefetcher.
     pub prefetch: bool,
+    /// Recycled read-payload buffer for [`Dispatcher::handle_batch`].
+    payload_scratch: Vec<u8>,
 }
 
 impl Dispatcher {
@@ -65,48 +68,75 @@ impl Dispatcher {
             control,
             dfs,
             prefetch: true,
+            payload_scratch: Vec::new(),
         }
     }
 
     /// Serve one request; returns the response header and read payload.
     pub fn handle(&mut self, inc: &FileIncoming) -> (FileResponse, Vec<u8>) {
+        let mut payload = Vec::new();
+        let resp = self.handle_into(inc, &mut payload);
+        (resp, payload)
+    }
+
+    /// Serve one request, filling `payload_out` with the read payload (if
+    /// any) instead of allocating. The buffer is cleared first; on the
+    /// steady-state read path it is only ever `resize`d within its
+    /// retained capacity, so a warm serve loop does no heap allocation.
+    pub fn handle_into(&mut self, inc: &FileIncoming, payload_out: &mut Vec<u8>) -> FileResponse {
+        payload_out.clear();
         match inc.dispatch {
-            DispatchType::Standalone => self.handle_kvfs(inc),
-            DispatchType::Distributed => self.handle_dfs(inc),
+            DispatchType::Standalone => self.handle_kvfs(inc, payload_out),
+            DispatchType::Distributed => self.handle_dfs(inc, payload_out),
         }
     }
 
-    fn handle_kvfs(&mut self, inc: &FileIncoming) -> (FileResponse, Vec<u8>) {
+    /// Serve every request in `batch` and reply on `target`, reusing one
+    /// payload buffer across the whole batch. Returns the number served.
+    pub fn handle_batch(&mut self, batch: &FileIncomingBatch, target: &mut FileTarget) -> usize {
+        let mut payload = std::mem::take(&mut self.payload_scratch);
+        let mut served = 0usize;
+        for inc in batch {
+            let resp = self.handle_into(inc, &mut payload);
+            target.reply(inc.slot, &resp, &payload);
+            served += 1;
+        }
+        self.payload_scratch = payload;
+        served
+    }
+
+    fn handle_kvfs(&mut self, inc: &FileIncoming, out: &mut Vec<u8>) -> FileResponse {
         let kvfs = &self.kvfs;
         match &inc.request {
             FileRequest::Lookup { parent, name } => match kvfs.lookup(*parent, name) {
-                Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(ino) => FileResponse::Ino(ino),
+                Err(e) => fs_err(e),
             },
             FileRequest::Create { parent, name, mode } => {
                 match kvfs.create_in(*parent, name, *mode) {
-                    Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
-                    Err(e) => (fs_err(e), Vec::new()),
+                    Ok(ino) => FileResponse::Ino(ino),
+                    Err(e) => fs_err(e),
                 }
             }
             FileRequest::Mkdir { parent, name, mode } => {
                 match kvfs.mkdir_in(*parent, name, *mode) {
-                    Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
-                    Err(e) => (fs_err(e), Vec::new()),
+                    Ok(ino) => FileResponse::Ino(ino),
+                    Err(e) => fs_err(e),
                 }
             }
             FileRequest::Read { ino, offset, len } => {
-                let mut buf = vec![0u8; *len as usize];
-                match kvfs.read(*ino, *offset, &mut buf) {
+                out.resize(*len as usize, 0);
+                match kvfs.read(*ino, *offset, out) {
                     Ok(n) => {
-                        buf.truncate(n);
+                        out.truncate(n);
                         if self.prefetch {
                             // Feed the sequential detector; on a stream it
-                            // pulls ahead pages into the host cache.
+                            // pulls ahead pages into the host cache. The
+                            // backend closure borrows the shared KVFS
+                            // handle — no per-read Arc clone.
                             let lpn = offset / dpc_cache::PAGE_SIZE as u64;
-                            let kvfs = self.kvfs.clone();
                             let mut backend =
-                                move |ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
+                                |ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
                                     match kvfs.read(ino, lpn * dpc_cache::PAGE_SIZE as u64, out) {
                                         Ok(n) if n > 0 => {
                                             out[n..].fill(0);
@@ -117,33 +147,36 @@ impl Dispatcher {
                                 };
                             self.control.on_read_miss(*ino, lpn, &mut backend);
                         }
-                        (FileResponse::Bytes(buf.len() as u32), buf)
+                        FileResponse::Bytes(out.len() as u32)
                     }
-                    Err(e) => (fs_err(e), Vec::new()),
+                    Err(e) => {
+                        out.clear();
+                        fs_err(e)
+                    }
                 }
             }
             FileRequest::Write { ino, offset, .. } => {
                 match kvfs.write(*ino, *offset, &inc.payload) {
-                    Ok(n) => (FileResponse::Bytes(n as u32), Vec::new()),
-                    Err(e) => (fs_err(e), Vec::new()),
+                    Ok(n) => FileResponse::Bytes(n as u32),
+                    Err(e) => fs_err(e),
                 }
             }
             FileRequest::Truncate { ino, size } => match kvfs.truncate(*ino, *size) {
-                Ok(()) => (FileResponse::Ok, Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(()) => FileResponse::Ok,
+                Err(e) => fs_err(e),
             },
             FileRequest::Unlink { parent, name } => match kvfs.unlink_in(*parent, name) {
                 Ok(()) => {
                     // Drop any cached pages of the removed file lazily: the
                     // host invalidates by ino on its side; nothing to do
                     // here beyond the namespace.
-                    (FileResponse::Ok, Vec::new())
+                    FileResponse::Ok
                 }
-                Err(e) => (fs_err(e), Vec::new()),
+                Err(e) => fs_err(e),
             },
             FileRequest::Rmdir { parent, name } => match kvfs.rmdir_in(*parent, name) {
-                Ok(()) => (FileResponse::Ok, Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(()) => FileResponse::Ok,
+                Err(e) => fs_err(e),
             },
             FileRequest::Readdir { ino } => match kvfs.readdir(*ino) {
                 Ok(entries) => {
@@ -159,19 +192,19 @@ impl Dispatcher {
                             name: e.name,
                         })
                         .collect();
-                    let mut payload = Vec::new();
-                    encode_dirents(&wire, &mut payload);
-                    if payload.len() > inc.read_len as usize {
+                    encode_dirents(&wire, out);
+                    if out.len() > inc.read_len as usize {
                         // The host's buffer cannot hold the listing.
-                        return (FileResponse::Err(34 /* ERANGE */), Vec::new());
+                        out.clear();
+                        return FileResponse::Err(34 /* ERANGE */);
                     }
-                    (FileResponse::Entries(wire.len() as u32), payload)
+                    FileResponse::Entries(wire.len() as u32)
                 }
-                Err(e) => (fs_err(e), Vec::new()),
+                Err(e) => fs_err(e),
             },
             FileRequest::GetAttr { ino } => match kvfs.get_attr(*ino) {
-                Ok(a) => (FileResponse::Attr(wire_attr(&a)), Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(a) => FileResponse::Attr(wire_attr(&a)),
+                Err(e) => fs_err(e),
             },
             FileRequest::Rename {
                 parent,
@@ -179,112 +212,117 @@ impl Dispatcher {
                 new_parent,
                 new_name,
             } => match kvfs.rename_in(*parent, name, *new_parent, new_name) {
-                Ok(()) => (FileResponse::Ok, Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(()) => FileResponse::Ok,
+                Err(e) => fs_err(e),
             },
             FileRequest::Fsync { ino } => {
                 // Flush every dirty page of the hybrid cache into KVFS,
                 // then the (always-durable) store needs no further barrier.
-                let kvfs = self.kvfs.clone();
                 self.control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
                     let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
                 });
-                let _ = self.kvfs.fsync(*ino);
-                (FileResponse::Ok, Vec::new())
+                let _ = kvfs.fsync(*ino);
+                FileResponse::Ok
             }
             FileRequest::Link {
                 ino,
                 new_parent,
                 new_name,
             } => match kvfs.link_in(*ino, *new_parent, new_name) {
-                Ok(()) => (FileResponse::Ok, Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(()) => FileResponse::Ok,
+                Err(e) => fs_err(e),
             },
             FileRequest::Symlink {
                 parent,
                 name,
                 target,
             } => match kvfs.symlink_in(*parent, name, target) {
-                Ok(ino) => (FileResponse::Ino(ino), Vec::new()),
-                Err(e) => (fs_err(e), Vec::new()),
+                Ok(ino) => FileResponse::Ino(ino),
+                Err(e) => fs_err(e),
             },
             FileRequest::Readlink { ino } => match kvfs.readlink(*ino) {
                 Ok(target) => {
-                    let bytes = target.into_bytes();
-                    (FileResponse::Bytes(bytes.len() as u32), bytes)
+                    out.extend_from_slice(target.as_bytes());
+                    FileResponse::Bytes(out.len() as u32)
                 }
-                Err(e) => (fs_err(e), Vec::new()),
+                Err(e) => fs_err(e),
             },
             FileRequest::CacheEvict { bucket } => {
                 let bucket = *bucket as usize;
                 if !self.control.evict_one(bucket) {
                     // Nothing clean: flush first, then retry.
-                    let kvfs = self.kvfs.clone();
                     self.control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
                         let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
                     });
-                    self.control.evict_one(bucket);
+                    if !self.control.evict_one(bucket) && self.control.bucket_occupied(bucket) {
+                        // Even after a full flush pass nothing in this
+                        // (populated) bucket could be evicted; tell the
+                        // host so it can fall back to write-through
+                        // instead of assuming a free frame exists. An
+                        // empty bucket stays Ok — there was nothing to do.
+                        return FileResponse::Err(16 /* EBUSY */);
+                    }
                 }
-                (FileResponse::Ok, Vec::new())
+                FileResponse::Ok
             }
         }
     }
 
-    fn handle_dfs(&mut self, inc: &FileIncoming) -> (FileResponse, Vec<u8>) {
+    fn handle_dfs(&mut self, inc: &FileIncoming, out: &mut Vec<u8>) -> FileResponse {
         let Some(dfs) = self.dfs.as_mut() else {
-            return (FileResponse::Err(95 /* EOPNOTSUPP */), Vec::new());
+            return FileResponse::Err(95 /* EOPNOTSUPP */);
         };
         match &inc.request {
             FileRequest::Create { parent, name, .. } => match dfs.create(*parent, name) {
-                Ok((attr, _)) => (FileResponse::Ino(attr.ino), Vec::new()),
-                Err(e) => (dfs_err(e), Vec::new()),
+                Ok((attr, _)) => FileResponse::Ino(attr.ino),
+                Err(e) => dfs_err(e),
             },
             FileRequest::Lookup { parent, name } => match dfs.lookup(*parent, name) {
-                Ok((ino, _)) => (FileResponse::Ino(ino), Vec::new()),
-                Err(e) => (dfs_err(e), Vec::new()),
+                Ok((ino, _)) => FileResponse::Ino(ino),
+                Err(e) => dfs_err(e),
             },
             FileRequest::GetAttr { ino } => match dfs.getattr(*ino) {
-                Ok((a, _)) => (
-                    FileResponse::Attr(WireAttr {
-                        ino: a.ino,
-                        size: a.size,
-                        mtime_ns: a.mtime,
-                        nlink: 1,
-                        mode: 0o644,
-                        ..Default::default()
-                    }),
-                    Vec::new(),
-                ),
-                Err(e) => (dfs_err(e), Vec::new()),
+                Ok((a, _)) => FileResponse::Attr(WireAttr {
+                    ino: a.ino,
+                    size: a.size,
+                    mtime_ns: a.mtime,
+                    nlink: 1,
+                    mode: 0o644,
+                    ..Default::default()
+                }),
+                Err(e) => dfs_err(e),
             },
             FileRequest::Write { ino, offset, .. } => {
-                assert_eq!(
-                    *offset % DFS_BLOCK as u64,
-                    0,
-                    "DFS data path is block-granular"
-                );
+                if *offset % DFS_BLOCK as u64 != 0 {
+                    // The DFS data path is block-granular; an unaligned
+                    // offset is a caller error, not a server invariant.
+                    return FileResponse::Err(22 /* EINVAL */);
+                }
                 let block = offset / DFS_BLOCK as u64;
                 match dfs.write_block(*ino, block, &inc.payload) {
-                    Ok(_) => (FileResponse::Bytes(inc.payload.len() as u32), Vec::new()),
-                    Err(e) => (dfs_err(e), Vec::new()),
+                    Ok(_) => FileResponse::Bytes(inc.payload.len() as u32),
+                    Err(e) => dfs_err(e),
                 }
             }
             FileRequest::Read { ino, offset, len } => {
-                assert_eq!(*offset % DFS_BLOCK as u64, 0);
+                if *offset % DFS_BLOCK as u64 != 0 {
+                    return FileResponse::Err(22 /* EINVAL */);
+                }
                 let block = offset / DFS_BLOCK as u64;
                 match dfs.read_block(*ino, block) {
-                    Ok((mut data, _)) => {
-                        data.truncate(*len as usize);
-                        (FileResponse::Bytes(data.len() as u32), data)
+                    Ok((data, _)) => {
+                        let take = data.len().min(*len as usize);
+                        out.extend_from_slice(&data[..take]);
+                        FileResponse::Bytes(take as u32)
                     }
-                    Err(e) => (dfs_err(e), Vec::new()),
+                    Err(e) => dfs_err(e),
                 }
             }
             FileRequest::Fsync { .. } => match dfs.sync_meta() {
-                Ok(_) => (FileResponse::Ok, Vec::new()),
-                Err(e) => (dfs_err(e), Vec::new()),
+                Ok(_) => FileResponse::Ok,
+                Err(e) => dfs_err(e),
             },
-            _ => (FileResponse::Err(95 /* EOPNOTSUPP */), Vec::new()),
+            _ => FileResponse::Err(95 /* EOPNOTSUPP */),
         }
     }
 }

@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 
 use dpc_cache::ControlPlane;
 use dpc_kvfs::Kvfs;
-use dpc_nvmefs::FileTarget;
+use dpc_nvmefs::{FileIncomingBatch, FileTarget};
 
 use crate::dispatch::Dispatcher;
 
@@ -52,22 +52,25 @@ impl DpuRuntime {
                 std::thread::Builder::new()
                     .name(format!("dpu-svc-{qid}"))
                     .spawn(move || {
+                        // One recycled batch per service thread: the serve
+                        // loop drains every posted SQE per doorbell read,
+                        // replies in order, and allocates nothing once the
+                        // batch's buffers are warm.
+                        let mut batch = FileIncomingBatch::new();
                         let mut idle_spins = 0u32;
                         while !shared.shutdown.load(Ordering::Acquire) {
-                            match target.poll() {
-                                Some(inc) => {
-                                    idle_spins = 0;
-                                    let (resp, payload) = dispatcher.handle(&inc);
-                                    target.reply(inc.slot, &resp, &payload);
-                                    shared.requests_served.fetch_add(1, Ordering::Relaxed);
-                                }
-                                None => {
-                                    idle_spins += 1;
-                                    if idle_spins > 256 {
-                                        std::thread::yield_now();
-                                    } else {
-                                        std::hint::spin_loop();
-                                    }
+                            if target.poll_many(&mut batch) > 0 {
+                                idle_spins = 0;
+                                let served = dispatcher.handle_batch(&batch, &mut target);
+                                shared
+                                    .requests_served
+                                    .fetch_add(served as u64, Ordering::Relaxed);
+                            } else {
+                                idle_spins += 1;
+                                if idle_spins > 256 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
                                 }
                             }
                         }

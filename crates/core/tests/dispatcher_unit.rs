@@ -249,6 +249,89 @@ fn cache_evict_request_round_trip() {
 }
 
 #[test]
+fn cache_evict_busy_bucket_surfaces_ebusy() {
+    // A single-bucket cache whose every entry is dirty *and* write-locked
+    // by an active host writer: eviction finds nothing clean, the flush
+    // pass must skip the locked entries, and the retry still fails — the
+    // dispatcher reports EBUSY instead of pretending a frame was freed.
+    let kvfs = Arc::new(Kvfs::new(Arc::new(KvStore::new())));
+    let cache = Arc::new(HybridCache::new(CacheConfig {
+        pages: 8,
+        bucket_entries: 8,
+        mode: 1,
+    }));
+    let control = ControlPlane::new(cache.clone(), DmaEngine::new());
+    let mut d = Dispatcher::new(kvfs, control, None);
+
+    let page = vec![7u8; dpc_cache::PAGE_SIZE];
+    for lpn in 0..8u64 {
+        let mut g = cache.begin_write(1, lpn).unwrap();
+        g.write(0, &page);
+        g.commit_dirty();
+    }
+    // Re-acquire and hold the write locks (uncommitted guards).
+    let guards: Vec<_> = (0..8u64)
+        .map(|lpn| cache.begin_write(1, lpn).unwrap())
+        .collect();
+
+    let (resp, _) = d.handle(&incoming(
+        DispatchType::Standalone,
+        FileRequest::CacheEvict { bucket: 0 },
+        vec![],
+    ));
+    assert_eq!(resp, FileResponse::Err(16 /* EBUSY */));
+
+    // Once the writers release, flush-then-evict succeeds again.
+    drop(guards);
+    let (resp, _) = d.handle(&incoming(
+        DispatchType::Standalone,
+        FileRequest::CacheEvict { bucket: 0 },
+        vec![],
+    ));
+    assert_eq!(resp, FileResponse::Ok);
+}
+
+#[test]
+fn dfs_unaligned_offset_is_einval() {
+    // The DFS data path is 8 KiB-block granular; an unaligned offset from
+    // a buggy or hostile host must come back as EINVAL, not crash the
+    // service thread (these used to be assert_eq! panics).
+    let (mut d, _) = dispatcher(true);
+    let (resp, _) = d.handle(&incoming(
+        DispatchType::Distributed,
+        FileRequest::Create {
+            parent: 0,
+            name: "blk".into(),
+            mode: 0o644,
+        },
+        vec![],
+    ));
+    let FileResponse::Ino(ino) = resp else { panic!("{resp:?}") };
+
+    let (resp, _) = d.handle(&incoming(
+        DispatchType::Distributed,
+        FileRequest::Write {
+            ino,
+            offset: 4096, // not a multiple of DFS_BLOCK (8192)
+            len: 8192,
+        },
+        vec![7u8; 8192],
+    ));
+    assert_eq!(resp, FileResponse::Err(22));
+
+    let (resp, _) = d.handle(&incoming(
+        DispatchType::Distributed,
+        FileRequest::Read {
+            ino,
+            offset: 12_288,
+            len: 8192,
+        },
+        vec![],
+    ));
+    assert_eq!(resp, FileResponse::Err(22));
+}
+
+#[test]
 fn distributed_requests_without_backend_are_rejected() {
     let (mut d, _) = dispatcher(false);
     let (resp, _) = d.handle(&incoming(

@@ -85,7 +85,7 @@ proptest! {
         let shard = rng.gen_range(0..k + m);
         let byte = rng.gen_range(0..len);
         let bit = rng.gen_range(0..8);
-        shards[shard][byte] ^= 1 << bit;
+        shards[shard][byte] ^= 1u8 << bit;
         prop_assert!(!rs.verify(&shards).unwrap());
     }
 

@@ -11,13 +11,17 @@
 use dpc_pcie::DmaEngine;
 
 use crate::filemsg::{DecodeError, FileRequest, FileResponse};
-use crate::queue::{Completion, Incoming, Initiator, QueueFull, QueuePair, QueuePairConfig, Target};
+use crate::queue::{
+    Completion, CompletionBatch, Incoming, IncomingBatch, Initiator, QueueFull, QueuePair,
+    QueuePairConfig, Target,
+};
 use crate::sqe::{CqeStatus, DispatchType};
 
 /// Host-side file channel: one nvme-fs queue pair speaking file semantics.
 pub struct FileChannel {
     ini: Initiator,
     hdr_buf: Vec<u8>,
+    comp_batch: CompletionBatch,
 }
 
 /// A decoded completion delivered by [`FileChannel::poll`].
@@ -33,6 +37,7 @@ impl FileChannel {
         FileChannel {
             ini,
             hdr_buf: Vec::with_capacity(64),
+            comp_batch: CompletionBatch::new(),
         }
     }
 
@@ -147,6 +152,77 @@ impl FileChannel {
             std::hint::spin_loop();
         }
     }
+
+    /// Synchronous batched call: submit all `requests` (payload-less, each
+    /// expecting up to `read_len` bytes back) under as few doorbells as
+    /// possible — one when the whole batch fits in the ring — then spin
+    /// until every reply arrives. Completions are appended to `out` in
+    /// submission order. Like [`call`](FileChannel::call), requires an
+    /// idle channel.
+    pub fn call_many(
+        &mut self,
+        dispatch: DispatchType,
+        requests: &[FileRequest],
+        read_len: u32,
+        out: &mut Vec<FileCompletion>,
+    ) -> Result<(), DecodeError> {
+        assert_eq!(
+            self.outstanding(),
+            0,
+            "FileChannel::call_many requires an idle channel"
+        );
+        out.clear();
+        let mut first_err = None;
+        let mut next = 0usize;
+        while out.len() < requests.len() {
+            if next < requests.len() {
+                // Stage everything that fits under one doorbell.
+                let mut batch = self.ini.batch();
+                while next < requests.len() {
+                    self.hdr_buf.clear();
+                    requests[next].encode(&mut self.hdr_buf);
+                    match batch.submit(dispatch, &self.hdr_buf, b"", read_len) {
+                        Ok(_) => next += 1,
+                        Err(QueueFull) => break,
+                    }
+                }
+                batch.commit();
+            }
+            if self.ini.poll_many(&mut self.comp_batch) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for done in self.comp_batch.iter() {
+                let response = match done.status {
+                    CqeStatus::InvalidCommand => Ok(FileResponse::Err(22 /* EINVAL */)),
+                    _ => FileResponse::decode(&done.header),
+                };
+                match response {
+                    Ok(response) => out.push(FileCompletion {
+                        cid: done.cid,
+                        response,
+                        payload: done.payload.clone(),
+                    }),
+                    Err(e) => {
+                        // Remember the first decode failure but keep
+                        // draining so the channel ends the call idle.
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        out.push(FileCompletion {
+                            cid: done.cid,
+                            response: FileResponse::Err(5 /* EIO */),
+                            payload: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 /// A decoded request pending on the DPU side.
@@ -160,10 +236,81 @@ pub struct FileIncoming {
     pub read_len: u32,
 }
 
+impl Default for FileIncoming {
+    fn default() -> Self {
+        FileIncoming {
+            slot: 0,
+            dispatch: DispatchType::Standalone,
+            request: FileRequest::GetAttr { ino: 0 },
+            payload: Vec::new(),
+            read_len: 0,
+        }
+    }
+}
+
+/// Reusable batch of decoded requests filled by [`FileTarget::poll_many`].
+/// Payload buffers are recycled across [`clear`](FileIncomingBatch::clear)
+/// calls, like the queue-layer batches.
+#[derive(Default)]
+pub struct FileIncomingBatch {
+    items: Vec<FileIncoming>,
+    len: usize,
+}
+
+impl FileIncomingBatch {
+    pub fn new() -> FileIncomingBatch {
+        FileIncomingBatch::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop the contents but keep every buffer for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    pub fn as_slice(&self) -> &[FileIncoming] {
+        &self.items[..self.len]
+    }
+
+    pub fn iter(&self) -> core::slice::Iter<'_, FileIncoming> {
+        self.as_slice().iter()
+    }
+
+    fn next_slot(&mut self) -> &mut FileIncoming {
+        if self.len == self.items.len() {
+            self.items.push(FileIncoming::default());
+        }
+        self.len += 1;
+        &mut self.items[self.len - 1]
+    }
+
+    /// Un-claim the most recently claimed slot (malformed request).
+    fn pop_slot(&mut self) {
+        self.len -= 1;
+    }
+}
+
+impl<'a> IntoIterator for &'a FileIncomingBatch {
+    type Item = &'a FileIncoming;
+    type IntoIter = core::slice::Iter<'a, FileIncoming>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// DPU-side file target: one nvme-fs queue pair's server half.
 pub struct FileTarget {
     tgt: Target,
     hdr_buf: Vec<u8>,
+    inc_batch: IncomingBatch,
 }
 
 impl FileTarget {
@@ -171,6 +318,7 @@ impl FileTarget {
         FileTarget {
             tgt,
             hdr_buf: Vec::with_capacity(64),
+            inc_batch: IncomingBatch::new(),
         }
     }
 
@@ -202,6 +350,38 @@ impl FileTarget {
                 None
             }
         }
+    }
+
+    /// Drain every request published by the last doorbell into `out`,
+    /// recycling its buffers: one doorbell-register read per pass.
+    /// Malformed headers are completed with `InvalidCommand` inline and do
+    /// not appear in the batch. Returns the number of decoded requests.
+    pub fn poll_many(&mut self, out: &mut FileIncomingBatch) -> usize {
+        out.clear();
+        // Split borrow: poll into the queue-layer batch, then decode each
+        // command into the caller's file-layer batch.
+        let mut raw = std::mem::take(&mut self.inc_batch);
+        self.tgt.poll_many(&mut raw);
+        for inc in raw.iter() {
+            let slot = out.next_slot();
+            match FileRequest::decode(&inc.header) {
+                Ok(request) => {
+                    slot.request = request;
+                    slot.slot = inc.slot;
+                    slot.dispatch = inc.sqe.dispatch();
+                    slot.read_len = inc.sqe.read_len();
+                    slot.payload.clear();
+                    slot.payload.extend_from_slice(&inc.payload);
+                }
+                Err(_) => {
+                    out.pop_slot();
+                    self.tgt
+                        .complete(inc.slot, CqeStatus::InvalidCommand, b"", b"");
+                }
+            }
+        }
+        self.inc_batch = raw;
+        out.len()
     }
 
     /// Reply to a previously polled request.

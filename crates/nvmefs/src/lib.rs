@@ -25,13 +25,15 @@ mod filemsg;
 mod queue;
 mod sqe;
 
-pub use driver::{create_fabric, FileChannel, FileCompletion, FileIncoming, FileTarget};
+pub use driver::{
+    create_fabric, FileChannel, FileCompletion, FileIncoming, FileIncomingBatch, FileTarget,
+};
 pub use filemsg::{
     decode_dirents, encode_dirents, DecodeError, FileRequest, FileResponse, WireAttr, WireDirent,
     MAX_NAME_LEN,
 };
 pub use queue::{
-    Completion, Incoming, Initiator, QueueFull, QueuePair, QueuePairConfig, Target,
-    READ_HEADER_CAP, SGL_LIST_CAP, SGL_MAX_SEGMENTS,
+    Completion, CompletionBatch, DoorbellGuard, Incoming, IncomingBatch, Initiator, QueueFull,
+    QueuePair, QueuePairConfig, SubmitOp, Target, READ_HEADER_CAP, SGL_LIST_CAP, SGL_MAX_SEGMENTS,
 };
 pub use sqe::{Cqe, CqeStatus, DispatchType, Psdt, Sqe, CQE_SIZE, OPCODE_NVMEFS, SQE_SIZE};

@@ -112,6 +112,8 @@ impl QueuePair {
                 sq_head: 0,
                 cq_tail: 0,
                 cq_phase: true,
+                scratch: Vec::new(),
+                sgl_scratch: Vec::new(),
             },
         )
     }
@@ -148,6 +150,83 @@ pub struct Completion {
     pub payload: Vec<u8>,
 }
 
+impl Default for Completion {
+    fn default() -> Self {
+        Completion {
+            cid: 0,
+            status: CqeStatus::Success,
+            result: 0,
+            header: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Reusable batch of [`Completion`]s filled by [`Initiator::poll_many`].
+///
+/// Keeps its `Completion`s (and their header/payload buffers) across
+/// [`clear`](CompletionBatch::clear) calls, so a steady-state poll loop
+/// stops allocating once the batch has warmed up.
+#[derive(Default)]
+pub struct CompletionBatch {
+    items: Vec<Completion>,
+    len: usize,
+}
+
+impl CompletionBatch {
+    pub fn new() -> CompletionBatch {
+        CompletionBatch::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop the contents but keep every buffer for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    pub fn as_slice(&self) -> &[Completion] {
+        &self.items[..self.len]
+    }
+
+    pub fn iter(&self) -> core::slice::Iter<'_, Completion> {
+        self.as_slice().iter()
+    }
+
+    /// Hand out the next recycled slot, growing only on first use.
+    fn next_slot(&mut self) -> &mut Completion {
+        if self.len == self.items.len() {
+            self.items.push(Completion::default());
+        }
+        self.len += 1;
+        &mut self.items[self.len - 1]
+    }
+}
+
+impl<'a> IntoIterator for &'a CompletionBatch {
+    type Item = &'a Completion;
+    type IntoIter = core::slice::Iter<'a, Completion>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// One operation for [`Initiator::submit_many`].
+#[derive(Copy, Clone, Debug)]
+pub struct SubmitOp<'a> {
+    pub dispatch: DispatchType,
+    pub header: &'a [u8],
+    pub write_payload: &'a [u8],
+    pub read_len: u32,
+}
+
 /// Host-side NVME-INI driver for one queue pair.
 pub struct Initiator {
     shared: Arc<QpShared>,
@@ -173,10 +252,35 @@ impl Initiator {
         (self.sq_tail + 1) % self.shared.cfg.depth != self.sq_head_seen
     }
 
-    /// Submit a bidirectional command: `header ‖ write_payload` goes into
-    /// the slot's write buffer; up to `read_len` payload bytes are expected
-    /// back. Returns the CID (equal to the slot index).
-    pub fn submit(
+    /// Number of commands that can be staged right now without draining
+    /// completions: bounded by the ring's free span and by busy slots whose
+    /// completions have not been consumed yet.
+    pub fn free_slots(&self) -> usize {
+        let depth = self.shared.cfg.depth;
+        let ring_free = (self.sq_head_seen + depth - self.sq_tail - 1) % depth;
+        let mut n = 0usize;
+        while n < ring_free as usize {
+            let slot = (self.sq_tail as usize + n) % depth as usize;
+            if self.slot_busy[slot] {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Publish the staged SQ tail and ring the doorbell — exactly one MMIO
+    /// doorbell regardless of how many SQEs were staged since the last
+    /// publish.
+    fn publish_tail(&mut self) {
+        self.shared
+            .sq_tail_db
+            .store(self.sq_tail as u32, Ordering::Release);
+        self.dma.ring_doorbell();
+    }
+
+    /// Stage one command into the ring without publishing the tail.
+    fn stage(
         &mut self,
         dispatch: DispatchType,
         header: &[u8],
@@ -228,23 +332,26 @@ impl Initiator {
 
         self.slot_busy[slot as usize] = true;
         self.sq_tail = (self.sq_tail + 1) % cfg.depth;
-        // Publish the new tail and ring the doorbell.
-        self.shared
-            .sq_tail_db
-            .store(self.sq_tail as u32, Ordering::Release);
-        self.dma.ring_doorbell();
         Ok(slot)
     }
 
-    /// Submit a bidirectional command whose write side is described by a
-    /// scatter-gather list instead of a contiguous PRP range (PSDT =
-    /// `SglWrite`). Each segment is an independently-addressed buffer; the
-    /// target fetches the descriptor list (one DMA) and then each segment
-    /// (one DMA per segment), as a real SGL engine would.
-    ///
-    /// The logical payload is the concatenation of `header` and all
-    /// segments, exactly as in [`submit`](Initiator::submit).
-    pub fn submit_sgl(
+    /// Submit a bidirectional command: `header ‖ write_payload` goes into
+    /// the slot's write buffer; up to `read_len` payload bytes are expected
+    /// back. Returns the CID (equal to the slot index).
+    pub fn submit(
+        &mut self,
+        dispatch: DispatchType,
+        header: &[u8],
+        write_payload: &[u8],
+        read_len: u32,
+    ) -> Result<u16, QueueFull> {
+        let slot = self.stage(dispatch, header, write_payload, read_len)?;
+        self.publish_tail();
+        Ok(slot)
+    }
+
+    /// Stage one SGL command into the ring without publishing the tail.
+    fn stage_sgl(
         &mut self,
         dispatch: DispatchType,
         header: &[u8],
@@ -312,16 +419,66 @@ impl Initiator {
 
         self.slot_busy[slot as usize] = true;
         self.sq_tail = (self.sq_tail + 1) % cfg.depth;
-        self.shared
-            .sq_tail_db
-            .store(self.sq_tail as u32, Ordering::Release);
-        self.dma.ring_doorbell();
         Ok(slot)
     }
 
-    /// Poll the completion queue; returns at most one completion.
-    pub fn poll(&mut self) -> Option<Completion> {
-        let cfg = &self.shared.cfg;
+    /// Submit a bidirectional command whose write side is described by a
+    /// scatter-gather list instead of a contiguous PRP range (PSDT =
+    /// `SglWrite`). Each segment is an independently-addressed buffer; the
+    /// target fetches the descriptor list (one DMA) and then each segment
+    /// (one DMA per segment), as a real SGL engine would.
+    ///
+    /// The logical payload is the concatenation of `header` and all
+    /// segments, exactly as in [`submit`](Initiator::submit).
+    pub fn submit_sgl(
+        &mut self,
+        dispatch: DispatchType,
+        header: &[u8],
+        segments: &[&[u8]],
+        read_len: u32,
+    ) -> Result<u16, QueueFull> {
+        let slot = self.stage_sgl(dispatch, header, segments, read_len)?;
+        self.publish_tail();
+        Ok(slot)
+    }
+
+    /// Open a deferred-doorbell batch: every command staged through the
+    /// guard is written into the ring immediately, but the tail doorbell is
+    /// published (and rung) only once, when the guard commits or drops.
+    pub fn batch(&mut self) -> DoorbellGuard<'_> {
+        DoorbellGuard {
+            ini: self,
+            staged: 0,
+        }
+    }
+
+    /// Submit a batch of commands under a single doorbell. All-or-nothing:
+    /// fails with [`QueueFull`] (staging nothing) when fewer than
+    /// `ops.len()` slots are free. Returns the CID of the first op; the
+    /// rest occupy consecutive slots modulo the ring depth.
+    pub fn submit_many(&mut self, ops: &[SubmitOp<'_>]) -> Result<u16, QueueFull> {
+        assert!(!ops.is_empty(), "submit_many needs at least one op");
+        if self.free_slots() < ops.len() {
+            return Err(QueueFull);
+        }
+        let mut batch = self.batch();
+        let mut first = 0;
+        for (i, op) in ops.iter().enumerate() {
+            let cid = batch
+                .submit(op.dispatch, op.header, op.write_payload, op.read_len)
+                .expect("capacity checked up front");
+            if i == 0 {
+                first = cid;
+            }
+        }
+        batch.commit();
+        Ok(first)
+    }
+
+    /// Consume the CQE at the head, if fresh. Advances head/phase and flow
+    /// control but does **not** publish the head doorbell — callers batch
+    /// that into one store per poll pass.
+    fn pop_cqe(&mut self) -> Option<Cqe> {
         let mut raw = [0u8; CQE_SIZE];
         self.shared
             .cq_mem
@@ -330,42 +487,66 @@ impl Initiator {
         if cqe.phase != self.cq_phase {
             return None; // no fresh entry at the head
         }
-        // Consume it.
-        self.cq_head = (self.cq_head + 1) % cfg.depth;
+        self.cq_head = (self.cq_head + 1) % self.shared.cfg.depth;
         if self.cq_head == 0 {
             self.cq_phase = !self.cq_phase;
         }
+        self.sq_head_seen = cqe.sq_head;
+        self.slot_busy[cqe.cid as usize] = false;
+        Some(cqe)
+    }
+
+    /// Publish the consumed CQ head back to the device (one register store).
+    fn publish_cq_head(&mut self) {
         self.shared
             .cq_head_db
             .store(self.cq_head as u32, Ordering::Release);
-        self.sq_head_seen = cqe.sq_head;
+    }
 
-        let slot = cqe.cid;
-        let (_, roff) = slot_offsets(cfg, slot);
-        // Read back the response header (length carried in the CQE) and
-        // payload. Host-local reads; no DMA.
-        let header = if cqe.hdr_len > 0 {
+    /// Copy a consumed CQE's response header and payload into `out`,
+    /// reusing its buffers. Host-local reads; no DMA.
+    fn fill_completion(&mut self, cqe: &Cqe, out: &mut Completion) {
+        let (_, roff) = slot_offsets(&self.shared.cfg, cqe.cid);
+        out.cid = cqe.cid;
+        out.status = cqe.status;
+        out.result = cqe.result;
+        out.header.clear();
+        out.payload.clear();
+        if cqe.hdr_len > 0 {
+            out.header.resize(cqe.hdr_len as usize, 0);
+            self.shared.data_pool.read_local(roff, &mut out.header);
+        }
+        if cqe.result > 0 {
+            out.payload.resize(cqe.result as usize, 0);
             self.shared
                 .data_pool
-                .read_local_vec(roff, cqe.hdr_len as usize)
-        } else {
-            Vec::new()
-        };
-        let payload = if cqe.result > 0 {
-            self.shared
-                .data_pool
-                .read_local_vec(roff + READ_HEADER_CAP, cqe.result as usize)
-        } else {
-            Vec::new()
-        };
-        self.slot_busy[slot as usize] = false;
-        Some(Completion {
-            cid: slot,
-            status: cqe.status,
-            result: cqe.result,
-            header,
-            payload,
-        })
+                .read_local(roff + READ_HEADER_CAP, &mut out.payload);
+        }
+    }
+
+    /// Poll the completion queue; returns at most one completion.
+    pub fn poll(&mut self) -> Option<Completion> {
+        let cqe = self.pop_cqe()?;
+        self.publish_cq_head();
+        let mut out = Completion::default();
+        self.fill_completion(&cqe, &mut out);
+        Some(out)
+    }
+
+    /// Drain every available completion into `out` (recycling its buffers)
+    /// with a single CQ-head doorbell store at the end of the pass.
+    /// Returns the number of completions drained.
+    pub fn poll_many(&mut self, out: &mut CompletionBatch) -> usize {
+        out.clear();
+        while let Some(cqe) = self.pop_cqe() {
+            // Split borrows: take the slot first, then fill it.
+            let slot = out.next_slot();
+            self.fill_completion(&cqe, slot);
+        }
+        if !out.is_empty() {
+            self.publish_cq_head();
+        }
+        out.len()
     }
 
     /// Spin until a completion arrives (test/demo helper).
@@ -384,8 +565,63 @@ impl Initiator {
     }
 }
 
+/// Deferred-doorbell submission batch from [`Initiator::batch`].
+///
+/// Commands staged through the guard land in the ring immediately; the SQ
+/// tail doorbell is published exactly once when the guard commits (or is
+/// dropped), so a batch of N commands costs one MMIO doorbell instead of N.
+pub struct DoorbellGuard<'a> {
+    ini: &'a mut Initiator,
+    staged: usize,
+}
+
+impl DoorbellGuard<'_> {
+    /// Stage one command; see [`Initiator::submit`].
+    pub fn submit(
+        &mut self,
+        dispatch: DispatchType,
+        header: &[u8],
+        write_payload: &[u8],
+        read_len: u32,
+    ) -> Result<u16, QueueFull> {
+        let slot = self.ini.stage(dispatch, header, write_payload, read_len)?;
+        self.staged += 1;
+        Ok(slot)
+    }
+
+    /// Stage one SGL command; see [`Initiator::submit_sgl`].
+    pub fn submit_sgl(
+        &mut self,
+        dispatch: DispatchType,
+        header: &[u8],
+        segments: &[&[u8]],
+        read_len: u32,
+    ) -> Result<u16, QueueFull> {
+        let slot = self.ini.stage_sgl(dispatch, header, segments, read_len)?;
+        self.staged += 1;
+        Ok(slot)
+    }
+
+    /// Commands staged so far in this batch.
+    pub fn staged(&self) -> usize {
+        self.staged
+    }
+
+    /// Publish the tail and ring the doorbell (once). Equivalent to
+    /// dropping the guard; provided for explicit call sites.
+    pub fn commit(self) {}
+}
+
+impl Drop for DoorbellGuard<'_> {
+    fn drop(&mut self) {
+        if self.staged > 0 {
+            self.ini.publish_tail();
+        }
+    }
+}
+
 /// A command as seen by the DPU target.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Incoming {
     pub sqe: Sqe,
     /// Slot index (== CID) to pass back to [`Target::complete`].
@@ -396,6 +632,59 @@ pub struct Incoming {
     pub payload: Vec<u8>,
 }
 
+/// Reusable batch of [`Incoming`]s filled by [`Target::poll_many`];
+/// recycles per-command header/payload buffers the same way
+/// [`CompletionBatch`] does.
+#[derive(Default)]
+pub struct IncomingBatch {
+    items: Vec<Incoming>,
+    len: usize,
+}
+
+impl IncomingBatch {
+    pub fn new() -> IncomingBatch {
+        IncomingBatch::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop the contents but keep every buffer for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    pub fn as_slice(&self) -> &[Incoming] {
+        &self.items[..self.len]
+    }
+
+    pub fn iter(&self) -> core::slice::Iter<'_, Incoming> {
+        self.as_slice().iter()
+    }
+
+    fn next_slot(&mut self) -> &mut Incoming {
+        if self.len == self.items.len() {
+            self.items.push(Incoming::default());
+        }
+        self.len += 1;
+        &mut self.items[self.len - 1]
+    }
+}
+
+impl<'a> IntoIterator for &'a IncomingBatch {
+    type Item = &'a Incoming;
+    type IntoIter = core::slice::Iter<'a, Incoming>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// DPU-side NVME-TGT driver for one queue pair.
 pub struct Target {
     shared: Arc<QpShared>,
@@ -403,6 +692,13 @@ pub struct Target {
     sq_head: u16,
     cq_tail: u16,
     cq_phase: bool,
+    /// Reusable staging buffer for one command's contiguous
+    /// `[header ‖ payload]` write side — DMA granularity (and therefore
+    /// accounting) is over this contiguous view, the header/payload split
+    /// happens locally afterwards.
+    scratch: Vec<u8>,
+    /// Reusable staging buffer for SGL descriptor lists.
+    sgl_scratch: Vec<u8>,
 }
 
 impl Target {
@@ -410,16 +706,15 @@ impl Target {
         self.shared.id
     }
 
-    /// Poll the SQ doorbell; fetch and decode one SQE if available.
+    /// Fetch the SQE at the current head and gather its write side into
+    /// `out`, reusing `out`'s buffers and the target's scratch space.
+    /// Advances the SQ head. The caller has already checked availability.
     ///
     /// DMA accounting: 1 op for the SQE fetch plus
     /// `ceil((WH_len + Write_len) / 4096)` ops for the write buffer
-    /// (page-granularity PRP transfers).
-    pub fn poll(&mut self) -> Option<Incoming> {
-        let tail = self.shared.sq_tail_db.load(Ordering::Acquire) as u16;
-        if tail == self.sq_head {
-            return None;
-        }
+    /// (page-granularity PRP transfers), or list + per-segment ops in SGL
+    /// mode.
+    fn fill_incoming(&mut self, out: &mut Incoming) {
         let slot = self.sq_head;
         // ① fetch the SQE.
         let mut raw = [0u8; SQE_SIZE];
@@ -434,12 +729,14 @@ impl Target {
         let woff = sqe.prp_write().0 as usize;
         let total = sqe.wh_len() as usize + sqe.write_len() as usize;
         let sgl_write = matches!(sqe.psdt(), crate::sqe::Psdt::SglWrite | crate::sqe::Psdt::SglBoth);
-        let mut buf;
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
         if sgl_write {
             let count = sqe.sgl_count() as usize;
-            let mut list = vec![0u8; count * 16];
+            let mut list = std::mem::take(&mut self.sgl_scratch);
+            list.clear();
+            list.resize(count * 16, 0);
             self.dma.dma_read(&self.shared.data_pool, woff, &mut list);
-            buf = Vec::with_capacity(total);
             for d in 0..count {
                 let addr =
                     u64::from_le_bytes(list[d * 16..d * 16 + 8].try_into().unwrap()) as usize;
@@ -454,8 +751,9 @@ impl Target {
                     .dma_read(&self.shared.data_pool, addr, &mut buf[start..]);
             }
             debug_assert_eq!(buf.len(), total, "SGL descriptors cover the payload");
+            self.sgl_scratch = list;
         } else {
-            buf = vec![0u8; total];
+            buf.resize(total, 0);
             let mut pos = 0;
             while pos < total {
                 let n = (total - pos).min(4096);
@@ -464,16 +762,40 @@ impl Target {
                 pos += n;
             }
         }
-        let payload = buf.split_off(sqe.wh_len() as usize);
-        let header = buf;
+        let wh = sqe.wh_len() as usize;
+        out.header.clear();
+        out.header.extend_from_slice(&buf[..wh]);
+        out.payload.clear();
+        out.payload.extend_from_slice(&buf[wh..]);
+        out.sqe = sqe;
+        out.slot = slot;
+        self.scratch = buf;
 
         self.sq_head = (self.sq_head + 1) % self.shared.cfg.depth;
-        Some(Incoming {
-            sqe,
-            slot,
-            header,
-            payload,
-        })
+    }
+
+    /// Poll the SQ doorbell; fetch and decode one SQE if available.
+    pub fn poll(&mut self) -> Option<Incoming> {
+        let tail = self.shared.sq_tail_db.load(Ordering::Acquire) as u16;
+        if tail == self.sq_head {
+            return None;
+        }
+        let mut out = Incoming::default();
+        self.fill_incoming(&mut out);
+        Some(out)
+    }
+
+    /// Drain every SQE published by the last doorbell into `out`,
+    /// recycling its buffers: one doorbell-register read per pass, however
+    /// many commands arrived. Returns the number of commands fetched.
+    pub fn poll_many(&mut self, out: &mut IncomingBatch) -> usize {
+        out.clear();
+        let tail = self.shared.sq_tail_db.load(Ordering::Acquire) as u16;
+        while self.sq_head != tail {
+            let slot = out.next_slot();
+            self.fill_incoming(slot);
+        }
+        out.len()
     }
 
     /// Complete a command: DMA the response header and read payload into

@@ -17,6 +17,8 @@
 //! virtual-time charge are separated so tests can exercise the data path
 //! with real threads while benchmarks replay costs in `dpc-sim`.
 
+pub mod alloc;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

@@ -1,0 +1,416 @@
+//! Value-generation strategies: the subset of proptest's `Strategy` zoo
+//! the workspace tests use. No shrinking — `generate` produces one value
+//! per call from the deterministic [`TestRng`].
+
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<V, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> V,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---- primitive strategies --------------------------------------------
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated names/paths debuggable.
+        (0x20 + rng.below(0x5F) as u8) as char
+    }
+}
+
+// ---- ranges ----------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + rng.f64() as f32 * (self.end - self.start)
+    }
+}
+
+// ---- combinators -----------------------------------------------------
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, V> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> V,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick exceeded total weight");
+    }
+}
+
+// ---- collections -----------------------------------------------------
+
+/// Element-count bounds for [`vec`]: a half-open or inclusive range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---- string_regex ----------------------------------------------------
+
+/// Error from [`string_regex`] for unsupported patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl core::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unsupported regex for string strategy: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Strategy returned by [`string_regex`]: strings matching a
+/// `[class]{min,max}` pattern.
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strings matching a character-class-with-repetition regex, e.g.
+/// `"[a-zA-Z0-9._-]{1,64}"`. Only that shape is supported — enough for the
+/// workspace tests, which generate file names.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, RegexError> {
+    let err = || RegexError(pattern.to_string());
+
+    let rest = pattern.strip_prefix('[').ok_or_else(err)?;
+    let (class, rest) = rest.split_once(']').ok_or_else(err)?;
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(err)?;
+    let (min, max) = match counts.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse::<usize>().map_err(|_| err())?,
+            hi.parse::<usize>().map_err(|_| err())?,
+        ),
+        None => {
+            let n = counts.parse::<usize>().map_err(|_| err())?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return Err(err());
+    }
+
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        // `a-z` is a range unless `-` is the last char of the class.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            if let Some(&end) = lookahead.peek() {
+                chars = lookahead;
+                chars.next();
+                if (c as u32) > (end as u32) {
+                    return Err(err());
+                }
+                for code in c as u32..=end as u32 {
+                    alphabet.push(char::from_u32(code).ok_or_else(err)?);
+                }
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    if alphabet.is_empty() {
+        return Err(err());
+    }
+
+    Ok(RegexStrategy { alphabet, min, max })
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let span = (self.max - self.min) as u64 + 1;
+        let len = self.min + rng.below(span) as usize;
+        (0..len)
+            .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_regex_parses_classes_and_ranges() {
+        let s = string_regex("[a-cX._-]{2,4}").unwrap();
+        assert_eq!(s.alphabet, vec!['a', 'b', 'c', 'X', '.', '_', '-']);
+        assert_eq!((s.min, s.max), (2, 4));
+        let s = string_regex("[0-9]{3}").unwrap();
+        assert_eq!((s.min, s.max), (3, 3));
+        assert!(string_regex("plain text").is_err());
+        assert!(string_regex("[]{1,2}").is_err());
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let u = Union::new(vec![
+            (9, Strategy::boxed(Just(false))),
+            (1, Strategy::boxed(Just(true))),
+        ]);
+        let mut rng = TestRng::from_seed(42);
+        let trues = (0..10_000).filter(|_| u.generate(&mut rng)).count();
+        assert!((500..1500).contains(&trues), "{trues}");
+    }
+}

@@ -120,7 +120,7 @@ impl IoGen {
         let is_read = match self.spec.mix {
             Mix::ReadOnly => true,
             Mix::WriteOnly => false,
-            Mix::Mixed { read_pct } => self.rng.gen_range(0..100) < read_pct,
+            Mix::Mixed { read_pct } => self.rng.gen_range(0u8..100) < read_pct,
         };
         IoOp {
             is_read,

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 fn run_workload(client: &mut dyn FsClient, ops: usize) -> (OpTrace, u64) {
     let mut rng = SmallRng::seed_from_u64(7);
     let mut total = OpTrace::default();
-    let mut add = |t: OpTrace, total: &mut OpTrace| {
+    let add = |t: OpTrace, total: &mut OpTrace| {
         total.mds_rpcs += t.mds_rpcs;
         total.ds_rpcs += t.ds_rpcs;
         total.ec_bytes += t.ec_bytes;
