@@ -1,0 +1,108 @@
+//! Pool contention microbench: N host threads doing synchronous nvme-fs
+//! round-trips through one shared `ChannelPool`, against a live echo
+//! server per queue (same serving idiom as the DPU runtime).
+//!
+//! The quantity of interest is *aggregate* throughput as callers are
+//! added: the pool holds no lock across a round-trip, so concurrent
+//! callers pipeline over the queue pairs instead of serializing behind
+//! one another the way the old one-channel-per-adapter design did.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpc_nvmefs::{
+    create_fabric, ChannelPool, DispatchType, FileIncomingBatch, FileRequest, FileResponse,
+    FileTarget, QueuePairConfig,
+};
+use dpc_pcie::DmaEngine;
+
+/// Echo servers mirroring the DPU runtime's tiered-idle serve loop.
+fn spawn_servers(
+    targets: Vec<FileTarget>,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    targets
+        .into_iter()
+        .map(|mut tgt| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut batch = FileIncomingBatch::new();
+                let mut idle = 0u32;
+                while !stop.load(Ordering::Acquire) {
+                    if tgt.poll_many(&mut batch) > 0 {
+                        idle = 0;
+                        for inc in batch.iter() {
+                            tgt.reply(inc.slot, &FileResponse::Bytes(4096), b"");
+                        }
+                    } else {
+                        idle = idle.saturating_add(1);
+                        if idle > 4096 {
+                            std::thread::sleep(std::time::Duration::from_micros(20));
+                        } else if idle > 256 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+fn bench_pool_contention(c: &mut Criterion) {
+    const OPS_PER_THREAD: usize = 32;
+    let mut g = c.benchmark_group("pool_contention");
+
+    for &(queues, threads) in &[(2usize, 1usize), (2, 4), (2, 8), (4, 8)] {
+        let dma = DmaEngine::new();
+        let (channels, targets) = create_fabric(
+            queues,
+            QueuePairConfig {
+                depth: 64,
+                max_io_bytes: 16 * 1024,
+            },
+            &dma,
+        );
+        let pool = Arc::new(ChannelPool::new(channels));
+        let stop = Arc::new(AtomicBool::new(false));
+        let servers = spawn_servers(targets, &stop);
+
+        g.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        g.bench_function(&format!("q{queues}_t{threads}_4k_write"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        let pool = pool.clone();
+                        s.spawn(move || {
+                            let payload = vec![0x42u8; 4096];
+                            for _ in 0..OPS_PER_THREAD {
+                                pool.call(
+                                    DispatchType::Standalone,
+                                    &FileRequest::Write {
+                                        ino: 1,
+                                        offset: 0,
+                                        len: 4096,
+                                    },
+                                    &payload,
+                                    0,
+                                )
+                                .unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+
+        stop.store(true, Ordering::Release);
+        for h in servers {
+            h.join().unwrap();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(pool_contention, bench_pool_contention);
+criterion_main!(pool_contention);

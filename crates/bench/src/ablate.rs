@@ -44,8 +44,13 @@ pub fn nvmefs_iops_with_queues(tb: &Testbed, queues: usize) -> f64 {
         plan.service(wire, tb2.pcie.transfer_time(16));
         plan.service(host, c.host_complete);
     };
-    sim.run(&mut flow, 32, Nanos::from_millis(2.0), Nanos::from_millis(20.0))
-        .total_throughput()
+    sim.run(
+        &mut flow,
+        32,
+        Nanos::from_millis(2.0),
+        Nanos::from_millis(20.0),
+    )
+    .total_throughput()
 }
 
 /// One-thread 8K-write latency as a function of the per-DMA setup cost,
@@ -186,7 +191,9 @@ pub fn run(tb: &Testbed) -> Vec<Table> {
             format!("{:.1}x", iops / single),
         ]);
     }
-    q.note("multi-queue is the structural advantage virtio-fs cannot have (single-queue kernel path)");
+    q.note(
+        "multi-queue is the structural advantage virtio-fs cannot have (single-queue kernel path)",
+    );
 
     let mut d = Table::new(
         "Ablation: per-DMA setup cost sensitivity (1-thread 8K write latency)",
@@ -207,9 +214,19 @@ pub fn run(tb: &Testbed) -> Vec<Table> {
 
     let mut c = Table::new(
         "Ablation: cache-plane placement (PCIe bytes per 4K cache hit)",
-        &["placement", "bytes/hit", "double caching", "host CPU for mgmt"],
+        &[
+            "placement",
+            "bytes/hit",
+            "double caching",
+            "host CPU for mgmt",
+        ],
     );
-    c.row(vec!["hybrid (paper)".into(), "0".into(), "no".into(), "no (DPU)".into()]);
+    c.row(vec![
+        "hybrid (paper)".into(),
+        "0".into(),
+        "no".into(),
+        "no (DPU)".into(),
+    ]);
     c.row(vec![
         "full-DPU cache".into(),
         pcie_bytes_per_hit("dpu").to_string(),
@@ -255,7 +272,9 @@ pub fn run(tb: &Testbed) -> Vec<Table> {
             fmt_iops(1e9 / t.as_nanos() as f64),
         ]);
     }
-    b.note("one tail doorbell covers the whole batch; completions drain under a single CQ head store");
+    b.note(
+        "one tail doorbell covers the whole batch; completions drain under a single CQ head store",
+    );
 
     vec![q, d, c, p, b]
 }

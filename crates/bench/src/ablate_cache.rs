@@ -105,11 +105,7 @@ pub fn run() -> Vec<Table> {
         ("zipf 0.99", 8192, Some(0.99)),
     ] {
         let hr = random_read_hit_rate(1024, ws, theta, 40_000);
-        t.row(vec![
-            label.into(),
-            format!("{ws} pages"),
-            fmt_pct(hr),
-        ]);
+        t.row(vec![label.into(), format!("{ws} pages"), fmt_pct(hr)]);
     }
     t.note("skew is where the offloaded control plane's policy flexibility pays: same cache, 4-5x the hit rate");
 
@@ -117,7 +113,10 @@ pub fn run() -> Vec<Table> {
         "Ablation: sequential read hit rate, prefetcher off vs on (functional)",
         &["prefetcher", "hit rate"],
     );
-    p.row(vec!["off".into(), fmt_pct(sequential_hit_rate(false, 2000))]);
+    p.row(vec![
+        "off".into(),
+        fmt_pct(sequential_hit_rate(false, 2000)),
+    ]);
     p.row(vec!["on".into(), fmt_pct(sequential_hit_rate(true, 2000))]);
     p.note("the paper's Figure 8 prefetch effect, measured on the real cache (window 32)");
     vec![t, p]

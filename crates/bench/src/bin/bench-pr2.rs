@@ -1,0 +1,176 @@
+//! `bench-pr2` — the PR 2 host-concurrency thread sweep, emitting
+//! machine-readable `BENCH_PR2.json` at the repo root.
+//!
+//! Two sweeps over the same grid (1/2/4 nvme-fs queue pairs x 1..=64
+//! host threads, 4 KiB random read/write):
+//!
+//! - **functional**: the real stack end to end on this machine — host
+//!   callers, DPU service loops and the shared `ChannelPool` all
+//!   scheduled on the container's CPUs. Proves the multiplexer works
+//!   under contention and reports real doorbells/op; its scaling curve
+//!   is bounded by the host's core count.
+//! - **model**: the same workload replayed through the `dpc-sim`
+//!   closed-queueing model with the Table 1 testbed constants (the
+//!   repo's standard methodology for paper-shaped numbers): 52 host
+//!   hardware threads, one dedicated DPU service core per queue pair.
+//!   This is the sweep that exhibits the near-linear scaling to the
+//!   queue-count knee.
+//!
+//! Usage: `cargo run --release -p dpc-bench --bin bench-pr2 [--quick]`
+//! (`--quick` shrinks the functional grid and per-point duration).
+
+use std::time::Duration;
+
+use dpc_bench::sweep::{self, ModelPoint, SweepPoint, Workload};
+use dpc_bench::Table;
+use dpc_core::Testbed;
+
+const QUEUE_COUNTS: &[usize] = &[1, 2, 4];
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (queue_counts, thread_counts, per_point): (&[usize], &[usize], _) = if quick {
+        (&[1, 4], &[1, 8], Duration::from_millis(100))
+    } else {
+        (QUEUE_COUNTS, THREAD_COUNTS, Duration::from_millis(300))
+    };
+
+    let tb = Testbed::default();
+    let model = sweep::run_model_sweep(&tb, QUEUE_COUNTS, THREAD_COUNTS);
+
+    eprintln!(
+        "bench-pr2: functional sweep {:?} queues x {:?} threads, {} ms/point",
+        queue_counts,
+        thread_counts,
+        per_point.as_millis()
+    );
+    let measured = sweep::run_sweep(queue_counts, thread_counts, per_point);
+
+    for &workload in &[Workload::RandRead, Workload::RandWrite] {
+        let mut t = Table::new(
+            format!(
+                "PR 2 thread sweep: 4K {} (model IOPS | functional IOPS)",
+                workload.name()
+            ),
+            &[
+                "queues",
+                "threads",
+                "model iops",
+                "model p99 us",
+                "iops",
+                "p50 us",
+                "p99 us",
+                "db/op",
+            ],
+        );
+        for m in model.iter().filter(|m| m.workload == workload) {
+            let f = measured
+                .iter()
+                .find(|p| p.workload == workload && p.queues == m.queues && p.threads == m.threads);
+            t.row(vec![
+                m.queues.to_string(),
+                m.threads.to_string(),
+                format!("{:.0}", m.iops),
+                format!("{:.1}", m.p99_us),
+                f.map_or_else(|| "-".into(), |p| format!("{:.0}", p.iops)),
+                f.map_or_else(|| "-".into(), |p| format!("{:.1}", p.p50_us)),
+                f.map_or_else(|| "-".into(), |p| format!("{:.1}", p.p99_us)),
+                f.map_or_else(|| "-".into(), |p| format!("{:.2}", p.doorbells_per_op)),
+            ]);
+        }
+        t.note("model: Table 1 testbed (52 host threads, 1 DPU core/queue)");
+        t.note("functional: real stack on this container's cores");
+        t.print();
+    }
+
+    // Headline scaling: buffered random read at the max queue count.
+    let maxq = *QUEUE_COUNTS.iter().max().unwrap();
+    let model_at = |threads: usize| -> &ModelPoint {
+        model
+            .iter()
+            .find(|m| m.workload == Workload::RandRead && m.queues == maxq && m.threads == threads)
+            .expect("model grid covers the headline points")
+    };
+    let (m1, m8) = (model_at(1), model_at(8));
+    let speedup = m8.iops / m1.iops;
+    println!(
+        "\nrandread @ {maxq} queues (model): {:.0} IOPS @1 thread -> {:.0} IOPS @8 threads ({speedup:.2}x)",
+        m1.iops, m8.iops
+    );
+    let measured_scaling = {
+        let at = |threads: usize| -> Option<&SweepPoint> {
+            measured.iter().find(|p| {
+                p.workload == Workload::RandRead && p.queues == maxq && p.threads == threads
+            })
+        };
+        match (at(1), at(8)) {
+            (Some(one), Some(eight)) => {
+                let s = eight.iops / one.iops;
+                println!(
+                    "randread @ {maxq} queues (functional, {}-core host): {:.0} -> {:.0} IOPS ({s:.2}x)",
+                    std::thread::available_parallelism().map_or(1, |n| n.get()),
+                    one.iops,
+                    eight.iops
+                );
+                format!(
+                    ",\n    \"functional_iops_1_thread\": {:.1},\n    \"functional_iops_8_threads\": {:.1},\n    \"functional_speedup_8t_over_1t\": {s:.3}",
+                    one.iops, eight.iops
+                )
+            }
+            _ => String::new(),
+        }
+    };
+    let scaling = format!(
+        ",\n  \"scaling\": {{\n    \"queues\": {maxq},\n    \"workload\": \"randread\",\n    \"iops_1_thread\": {:.1},\n    \"iops_8_threads\": {:.1},\n    \"speedup_8t_over_1t\": {speedup:.3}{measured_scaling}\n  }}",
+        m1.iops, m8.iops
+    );
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    std::fs::write(json_path, render_json(&model, &measured, &scaling))
+        .expect("write BENCH_PR2.json");
+    eprintln!("wrote {json_path}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(model: &[ModelPoint], measured: &[SweepPoint], scaling: &str) -> String {
+    let mut model_rows = String::new();
+    for (i, m) in model.iter().enumerate() {
+        if i > 0 {
+            model_rows.push_str(",\n");
+        }
+        model_rows.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"queues\": {}, \"threads\": {}, \"iops\": {:.1}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            m.workload.name(),
+            m.queues,
+            m.threads,
+            m.iops,
+            m.mean_us,
+            m.p50_us,
+            m.p99_us,
+        ));
+    }
+    let mut rows = String::new();
+    for (i, p) in measured.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"queues\": {}, \"threads\": {}, \"ops\": {}, \"elapsed_s\": {:.4}, \"iops\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"doorbells_per_op\": {:.3}}}",
+            p.workload.name(),
+            p.queues,
+            p.threads,
+            p.ops,
+            p.elapsed_s,
+            p.iops,
+            p.p50_us,
+            p.p99_us,
+            p.doorbells_per_op,
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"pr2-thread-sweep\",\n  \"op_size_bytes\": {},\n  \"file_bytes\": {},\n  \"model\": {{\n   \"method\": \"dpc-sim closed queueing network, Table 1 testbed\",\n   \"points\": [\n{model_rows}\n  ]}},\n  \"functional\": {{\n   \"method\": \"real stack on the build container\",\n   \"points\": [\n{rows}\n  ]}}{scaling}\n}}\n",
+        sweep::OP_SIZE,
+        sweep::FILE_BYTES,
+    )
+}

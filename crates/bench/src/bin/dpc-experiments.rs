@@ -15,14 +15,29 @@ use dpc_core::Testbed;
 static ALLOC: dpc_pcie::alloc::CountingAllocator = dpc_pcie::alloc::CountingAllocator;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "motivation: standard vs optimized NFS client (IOPS + CPU)"),
-    ("fig6", "raw host-DPU transmission: nvme-fs vs virtio-fs + bandwidth"),
+    (
+        "fig1",
+        "motivation: standard vs optimized NFS client (IOPS + CPU)",
+    ),
+    (
+        "fig6",
+        "raw host-DPU transmission: nvme-fs vs virtio-fs + bandwidth",
+    ),
     ("fig7", "standalone: Ext4 vs KVFS latency/IOPS/CPU sweep"),
-    ("fig8", "hybrid cache contributions: direct vs buffered, prefetch"),
+    (
+        "fig8",
+        "hybrid cache contributions: direct vs buffered, prefetch",
+    ),
     ("table2", "sequential bandwidth: Ext4 vs KVFS"),
     ("fig9", "DFS: standard / optimized / DPC clients"),
-    ("ablate", "design-choice ablations (queues, DMA cost, cache plane, promotion)"),
-    ("cache", "cache-policy ablation: hit rates under skew, prefetcher on/off"),
+    (
+        "ablate",
+        "design-choice ablations (queues, DMA cost, cache plane, promotion)",
+    ),
+    (
+        "cache",
+        "cache-policy ablation: hit rates under skew, prefetcher on/off",
+    ),
 ];
 
 fn run_one(name: &str, tb: &Testbed) -> Option<Vec<Table>> {

@@ -99,7 +99,9 @@ pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<Fig1Point>) {
         points.push(s);
         points.push(o);
     }
-    t.note("paper: optimization improves IOPS ~4x but costs ~4-6x more CPU cores (Fig 9 text: 6-15x)");
+    t.note(
+        "paper: optimization improves IOPS ~4x but costs ~4-6x more CPU cores (Fig 9 text: 6-15x)",
+    );
     (vec![t], points)
 }
 
@@ -136,6 +138,9 @@ mod tests {
         let w = run_point(&tb, Client::Optimized, MixWork::RandWrite, 32).iops;
         let m = run_point(&tb, Client::Optimized, MixWork::Mix, 32).iops;
         let (lo, hi) = (r.min(w), r.max(w));
-        assert!((lo * 0.95..hi * 1.05).contains(&m), "mix {m} in [{lo},{hi}]");
+        assert!(
+            (lo * 0.95..hi * 1.05).contains(&m),
+            "mix {m} in [{lo},{hi}]"
+        );
     }
 }

@@ -63,9 +63,8 @@ struct Stations {
 
 fn build_sim(tb: &Testbed) -> (Simulation, Stations) {
     let mut sim = Simulation::new();
-    let host = sim.add_station(
-        StationCfg::new("host-cpu", tb.host.threads).with_oversub_penalty(0.25),
-    );
+    let host =
+        sim.add_station(StationCfg::new("host-cpu", tb.host.threads).with_oversub_penalty(0.25));
     let engines = sim.add_station(StationCfg::new("dma-engines", DMA_ENGINES));
     let wire = sim.add_station(StationCfg::new("pcie-wire", 1));
     let dpu = sim.add_station(
@@ -217,13 +216,7 @@ pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<RawPoint>) {
 
     let mut lat_table = Table::new(
         "Fig 6 (a,b): raw transmission latency, 8K (mean us, virtio vs nvme)",
-        &[
-            "threads",
-            "virtio rd",
-            "virtio wr",
-            "nvme rd",
-            "nvme wr",
-        ],
+        &["threads", "virtio rd", "virtio wr", "nvme rd", "nvme wr"],
     );
     let mut iops_table = Table::new(
         "Fig 6 (c,d): raw transmission IOPS, 4K",
@@ -261,7 +254,8 @@ pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<RawPoint>) {
     }
 
     let (nvme_dmas, virtio_dmas) = measure_dma_counts();
-    lat_table.note("paper: 1-thread best latency nvme 20.6/26.6us R/W, virtio 36.5/34us".to_string());
+    lat_table
+        .note("paper: 1-thread best latency nvme 20.6/26.6us R/W, virtio 36.5/34us".to_string());
     lat_table.note(format!(
         "functional DMA count for an 8K write: nvme-fs {nvme_dmas} ops (paper: 4), virtio-fs {virtio_dmas} ops (paper: 11)"
     ));
@@ -288,7 +282,9 @@ pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<RawPoint>) {
         points.push(rd);
         points.push(wr);
     }
-    bw_table.note("paper: nvme-fs nearly saturates PCIe 3.0 x16 (~15.7GB/s); single-queue virtio-fs cannot");
+    bw_table.note(
+        "paper: nvme-fs nearly saturates PCIe 3.0 x16 (~15.7GB/s); single-queue virtio-fs cannot",
+    );
 
     (vec![lat_table, iops_table, bw_table], points)
 }

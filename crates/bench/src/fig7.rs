@@ -106,9 +106,8 @@ fn plan_ext4(tb: &Testbed, st: &St, threads: usize, is_read: bool, plan: &mut Pl
 /// One 8 KiB DIO op on KVFS (full DPC path: nvme-fs → DPU → KV backend).
 fn plan_kvfs(tb: &Testbed, st: &St, threads: usize, is_read: bool, plan: &mut Plan) {
     let c = &tb.costs;
-    let host_cpu = c.host_syscall
-        + c.fs_adapter
-        + Nanos(KVFS_SCHED_PER_THREAD.as_nanos() * threads as u64);
+    let host_cpu =
+        c.host_syscall + c.fs_adapter + Nanos(KVFS_SCHED_PER_THREAD.as_nanos() * threads as u64);
     plan.service(st.host, host_cpu);
     plan.delay(tb.pcie.doorbell);
     // nvme-fs transport (SQE + data + CQE, as in Fig 6).
@@ -188,7 +187,15 @@ pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<Fig7Point>) {
     );
     let mut cpu = Table::new(
         "Fig 7 (c): host CPU usage (and KVFS's DPU usage)",
-        &["threads", "ext4 rd", "kvfs rd", "kvfs rd DPU", "ext4 wr", "kvfs wr", "kvfs wr DPU"],
+        &[
+            "threads",
+            "ext4 rd",
+            "kvfs rd",
+            "kvfs rd DPU",
+            "ext4 wr",
+            "kvfs wr",
+            "kvfs wr DPU",
+        ],
     );
 
     for &t in &threads {
@@ -276,10 +283,26 @@ mod tests {
         let kr = run_point(&t, System::Kvfs, true, 256);
         let kw = run_point(&t, System::Kvfs, false, 256);
         let us = |p: &Fig7Point| p.mean_latency.as_micros();
-        assert!((700.0..900.0).contains(&us(&er)), "ext4 rd {} vs paper 779", us(&er));
-        assert!((880.0..1150.0).contains(&us(&ew)), "ext4 wr {} vs paper 1009", us(&ew));
-        assert!((320.0..420.0).contains(&us(&kr)), "kvfs rd {} vs paper 363", us(&kr));
-        assert!((360.0..470.0).contains(&us(&kw)), "kvfs wr {} vs paper 410", us(&kw));
+        assert!(
+            (700.0..900.0).contains(&us(&er)),
+            "ext4 rd {} vs paper 779",
+            us(&er)
+        );
+        assert!(
+            (880.0..1150.0).contains(&us(&ew)),
+            "ext4 wr {} vs paper 1009",
+            us(&ew)
+        );
+        assert!(
+            (320.0..420.0).contains(&us(&kr)),
+            "kvfs rd {} vs paper 363",
+            us(&kr)
+        );
+        assert!(
+            (360.0..470.0).contains(&us(&kw)),
+            "kvfs wr {} vs paper 410",
+            us(&kw)
+        );
     }
 
     #[test]
@@ -301,7 +324,11 @@ mod tests {
         let i256 = run_point(&t, System::Kvfs, true, 256);
         assert!(i128.iops > i64t.iops * 1.15, "still scaling to 128");
         assert!(i256.iops < i128.iops * 1.1, "flat after DPU saturation");
-        assert!(i128.dpu_cpu > 0.9, "DPU ~100% at 128 threads: {}", i128.dpu_cpu);
+        assert!(
+            i128.dpu_cpu > 0.9,
+            "DPU ~100% at 128 threads: {}",
+            i128.dpu_cpu
+        );
     }
 
     #[test]
@@ -309,7 +336,11 @@ mod tests {
         let t = tb();
         let e = run_point(&t, System::Ext4, true, 256);
         let k = run_point(&t, System::Kvfs, true, 256);
-        assert!(e.host_cpu > 0.75, "ext4 @256 must burn most of the host: {}", e.host_cpu);
+        assert!(
+            e.host_cpu > 0.75,
+            "ext4 @256 must burn most of the host: {}",
+            e.host_cpu
+        );
         assert!(k.host_cpu < 0.20, "kvfs stays under 20%: {}", k.host_cpu);
         // CPU savings at >=64 threads (paper: 86% read).
         let e64 = run_point(&t, System::Ext4, true, 64);

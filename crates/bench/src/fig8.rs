@@ -248,7 +248,10 @@ mod tests {
         let d = direct_seq_read(&t, 1);
         let b = buffered_seq_read(&t, 1);
         let boost = b / d;
-        assert!((60.0..160.0).contains(&boost), "boost {boost} vs paper 100x");
+        assert!(
+            (60.0..160.0).contains(&boost),
+            "boost {boost} vs paper 100x"
+        );
     }
 
     #[test]

@@ -117,7 +117,14 @@ pub fn build_stations(sim: &mut Simulation, tb: &Testbed, cfg: &DfsConfig) -> St
 }
 
 /// Public access to the per-op plan builder (used by the Fig 1 mix).
-pub fn plan_op_public(tb: &Testbed, st: &St, client: Client, work: Work, cycle: u64, plan: &mut Plan) {
+pub fn plan_op_public(
+    tb: &Testbed,
+    st: &St,
+    client: Client,
+    work: Work,
+    cycle: u64,
+    plan: &mut Plan,
+) {
     plan_op(tb, st, client, work, cycle, plan)
 }
 
@@ -211,12 +218,20 @@ fn plan_op(tb: &Testbed, st: &St, client: Client, work: Work, cycle: u64, plan: 
                 mds_legs(tb, st, META_SERVICE, cycle, plan);
             }
             // Data proxied through the MDS (server-side EC on writes).
-            let data_svc = if is_write { META_DATA_WRITE } else { META_DATA_READ };
+            let data_svc = if is_write {
+                META_DATA_WRITE
+            } else {
+                META_DATA_READ
+            };
             mds_legs(tb, st, META_SERVICE + data_svc, cycle.rotate_left(13), plan);
             plan.service(st.stripes, STRIPE_SERVICE);
         }
         Client::Optimized => {
-            let mut host = if is_write { OPT_HOST_WRITE } else { OPT_HOST_READ };
+            let mut host = if is_write {
+                OPT_HOST_WRITE
+            } else {
+                OPT_HOST_READ
+            };
             if work == Work::CreateWrite {
                 host += OPT_CREATE_EXTRA;
             }
@@ -236,7 +251,11 @@ fn plan_op(tb: &Testbed, st: &St, client: Client, work: Work, cycle: u64, plan: 
         Client::Dpc => {
             plan.service(st.host, c.host_syscall + c.fs_adapter);
             transport_legs(tb, st, if is_write { 8192 } else { 0 }, is_write, plan);
-            let dpu = if is_write { DPC_DPU_WRITE } else { DPC_DPU_READ };
+            let dpu = if is_write {
+                DPC_DPU_WRITE
+            } else {
+                DPC_DPU_READ
+            };
             plan.service(st.dpu, dpu);
             for _ in 0..meta_ops {
                 let hit = cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100 < META_CACHE_HIT_PCT;
@@ -333,7 +352,9 @@ pub fn run(tb: &Testbed) -> (Vec<Table>, Vec<Fig9Point>) {
 
     let mut iops = Table::new(
         "Fig 9 (a,b): DFS IOPS / op-rate, 32 threads",
-        &["workload", "nfs", "nfs+opt", "nfs+dpc", "opt/nfs", "dpc/opt"],
+        &[
+            "workload", "nfs", "nfs+opt", "nfs+dpc", "opt/nfs", "dpc/opt",
+        ],
     );
     for (work, label) in [
         (Work::BigRead, "8K rnd read (big file)"),
@@ -437,7 +458,10 @@ mod tests {
             let o = run_point(&t, Client::Optimized, work, 32);
             let d = run_point(&t, Client::Dpc, work, 32);
             let rw = d.throughput / o.throughput;
-            assert!((1.15..1.75).contains(&rw), "{work:?} ratio {rw} vs paper ~1.4");
+            assert!(
+                (1.15..1.75).contains(&rw),
+                "{work:?} ratio {rw} vs paper ~1.4"
+            );
         }
     }
 

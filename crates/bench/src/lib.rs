@@ -7,14 +7,15 @@
 //! experiments` regenerates every table; EXPERIMENTS.md records
 //! paper-vs-measured.
 
-pub mod fig6;
-pub mod fig7;
-pub mod fig8;
 pub mod ablate;
 pub mod ablate_cache;
 pub mod fig1;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
 pub mod fig9;
-pub mod table2;
+pub mod sweep;
 pub mod table;
+pub mod table2;
 
 pub use table::Table;

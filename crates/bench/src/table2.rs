@@ -74,10 +74,16 @@ fn plan_ext4(tb: &Testbed, st: &St, is_read: bool, plan: &mut Plan) {
     plan.service(st.host, c.ext4_request_cpu + c.ext4_page_cpu * 8);
     if is_read {
         plan.service(st.ssd_cmd, tb.ssd.read_time(CHUNK));
-        plan.service(st.ssd_media_r, Nanos::for_transfer(CHUNK, SSD_MEDIA_READ_BW));
+        plan.service(
+            st.ssd_media_r,
+            Nanos::for_transfer(CHUNK, SSD_MEDIA_READ_BW),
+        );
     } else {
         plan.service(st.ssd_cmd, tb.ssd.write_time(CHUNK));
-        plan.service(st.ssd_media_w, Nanos::for_transfer(CHUNK, SSD_MEDIA_WRITE_BW));
+        plan.service(
+            st.ssd_media_w,
+            Nanos::for_transfer(CHUNK, SSD_MEDIA_WRITE_BW),
+        );
     }
     plan.service(st.host, c.host_complete);
 }
@@ -188,13 +194,13 @@ mod tests {
         let t = tb();
         let gb = 1e9;
         let cases: [(bool, usize, System, f64, f64); 8] = [
-            (true, 1, System::Ext4, 1.3 * gb, 2.4 * gb),   // paper 1.8
-            (false, 1, System::Ext4, 1.2 * gb, 2.2 * gb),  // paper 1.6
-            (true, 32, System::Ext4, 2.5 * gb, 3.4 * gb),  // paper 3.0
+            (true, 1, System::Ext4, 1.3 * gb, 2.4 * gb),  // paper 1.8
+            (false, 1, System::Ext4, 1.2 * gb, 2.2 * gb), // paper 1.6
+            (true, 32, System::Ext4, 2.5 * gb, 3.4 * gb), // paper 3.0
             (false, 32, System::Ext4, 1.6 * gb, 2.3 * gb), // paper 2.0
-            (true, 1, System::Kvfs, 3.8 * gb, 6.2 * gb),   // paper 5.0
-            (false, 1, System::Kvfs, 2.3 * gb, 4.0 * gb),  // paper 3.1
-            (true, 32, System::Kvfs, 6.8 * gb, 8.2 * gb),  // paper 7.6
+            (true, 1, System::Kvfs, 3.8 * gb, 6.2 * gb),  // paper 5.0
+            (false, 1, System::Kvfs, 2.3 * gb, 4.0 * gb), // paper 3.1
+            (true, 32, System::Kvfs, 6.8 * gb, 8.2 * gb), // paper 7.6
             (false, 32, System::Kvfs, 4.3 * gb, 5.4 * gb), // paper 5.0
         ];
         for (is_read, threads, system, lo, hi) in cases {
@@ -214,9 +220,15 @@ mod tests {
         let t = tb();
         // Ext4 reads at 32 threads sit at the SSD media bandwidth.
         let e = run_seq(&t, System::Ext4, true, 32);
-        assert!((e - SSD_MEDIA_READ_BW).abs() / SSD_MEDIA_READ_BW < 0.12, "{e:.3e}");
+        assert!(
+            (e - SSD_MEDIA_READ_BW).abs() / SSD_MEDIA_READ_BW < 0.12,
+            "{e:.3e}"
+        );
         // KVFS reads at the cluster streaming bandwidth.
         let k = run_seq(&t, System::Kvfs, true, 32);
-        assert!((k - t.kv.stream_read_bw).abs() / t.kv.stream_read_bw < 0.12, "{k:.3e}");
+        assert!(
+            (k - t.kv.stream_read_bw).abs() / t.kv.stream_read_bw < 0.12,
+            "{k:.3e}"
+        );
     }
 }

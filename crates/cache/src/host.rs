@@ -123,7 +123,11 @@ impl HybridCache {
             .map(|i| {
                 // Chain within the bucket: ... -> i+1, last -> MAX.
                 let last_in_bucket = (i + 1) % cfg.bucket_entries == 0;
-                CacheEntry::new(if last_in_bucket { u32::MAX } else { i as u32 + 1 })
+                CacheEntry::new(if last_in_bucket {
+                    u32::MAX
+                } else {
+                    i as u32 + 1
+                })
             })
             .collect();
         HybridCache {
@@ -169,7 +173,11 @@ impl HybridCache {
         std::iter::from_fn(move || {
             let i = cur?;
             let next = self.entries[i].next;
-            cur = if next == u32::MAX { None } else { Some(next as usize) };
+            cur = if next == u32::MAX {
+                None
+            } else {
+                Some(next as usize)
+            };
             Some(i)
         })
     }
@@ -402,7 +410,8 @@ impl WriteGuard<'_> {
         assert!(end <= PAGE_SIZE);
         let e = &self.cache.entries[self.idx];
         if e.valid.load(std::sync::atomic::Ordering::Relaxed) < end as u32 {
-            e.valid.store(end as u32, std::sync::atomic::Ordering::Release);
+            e.valid
+                .store(end as u32, std::sync::atomic::Ordering::Release);
         }
     }
 

@@ -89,7 +89,11 @@ impl FlushPipeline {
         self.stats.pages += 1;
         self.stats.bytes_in += page.len() as u64;
 
-        let compressed = if self.cfg.compress { compress(page) } else { None };
+        let compressed = if self.cfg.compress {
+            compress(page)
+        } else {
+            None
+        };
         let mut flags = 0u8;
         let payload: &[u8] = match &compressed {
             Some(c) => {
@@ -116,7 +120,13 @@ impl FlushPipeline {
 
     /// Decode + verify an envelope back into the original page.
     pub fn unseal(&mut self, ino: u64, lpn: u64, envelope: &[u8]) -> Result<Vec<u8>, UnsealError> {
-        let check = |c: bool, m: &'static str| if c { Ok(()) } else { Err(UnsealError::Corrupt(m)) };
+        let check = |c: bool, m: &'static str| {
+            if c {
+                Ok(())
+            } else {
+                Err(UnsealError::Corrupt(m))
+            }
+        };
         check(!envelope.is_empty(), "empty")?;
         let flags = envelope[0];
         let mut pos = 1usize;

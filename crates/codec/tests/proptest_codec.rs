@@ -11,8 +11,12 @@ fn arb_page() -> impl Strategy<Value = Vec<u8>> {
         // Runs of a few symbols (compressible).
         proptest::collection::vec(0u8..4, 0..4096),
         // Repeated small patterns.
-        (proptest::collection::vec(any::<u8>(), 1..32), 1usize..256)
-            .prop_map(|(pat, n)| pat.iter().copied().cycle().take(pat.len() * n).collect()),
+        (proptest::collection::vec(any::<u8>(), 1..32), 1usize..256).prop_map(|(pat, n)| pat
+            .iter()
+            .copied()
+            .cycle()
+            .take(pat.len() * n)
+            .collect()),
     ]
 }
 

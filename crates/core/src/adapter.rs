@@ -5,6 +5,15 @@
 //! converts everything else into nvme-fs messages. [`DpcFs`] is that
 //! adapter plus a small fd table — the file API applications use.
 //!
+//! Concurrency model (see DESIGN.md §7): the adapter holds **no** big
+//! lock. Link round-trips go through the shared
+//! [`ChannelPool`](dpc_nvmefs::ChannelPool) multiplexer, which never
+//! holds a lock across a round-trip; descriptor state lives in a sharded
+//! fd table (shard mutexes are held only for map lookups, never across a
+//! call) with per-fd size tracked as an atomic; cache access keeps its
+//! own per-entry PCIe-atomic locks. Any number of threads can drive one
+//! `DpcFs` — or many `DpcFs` clones of the same `Dpc` — concurrently.
+//!
 //! Semantics notes (documented divergences, both standard kernel
 //! behaviour): the adapter tracks each open file's logical size locally
 //! (like the kernel's `i_size`) because the flusher writes whole 4 KiB
@@ -12,11 +21,12 @@
 //! flush.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dpc_cache::{HybridCache, WriteError, PAGE_SIZE};
 use dpc_nvmefs::{
-    decode_dirents, DispatchType, FileChannel, FileRequest, FileResponse, WireAttr, WireDirent,
+    decode_dirents, ChannelPool, DispatchType, FileRequest, FileResponse, WireAttr, WireDirent,
 };
 use parking_lot::Mutex;
 
@@ -47,15 +57,58 @@ impl std::error::Error for DpcError {}
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Fd(pub u64);
 
-struct FdState {
+/// Per-descriptor state. The inode is fixed at open; the logical size is
+/// an atomic so the data path updates it without any map lock.
+struct FdEntry {
     ino: u64,
-    size: u64,
+    size: AtomicU64,
 }
 
-struct Inner {
-    chan: FileChannel,
-    fds: HashMap<u64, FdState>,
-    next_fd: u64,
+/// Sharded descriptor table: fd → entry. A shard mutex is held only long
+/// enough to touch its map — never across a link round-trip — so
+/// descriptor churn on one shard cannot serialize I/O on another.
+const FD_SHARDS: usize = 16;
+
+struct FdTable {
+    shards: [Mutex<HashMap<u64, Arc<FdEntry>>>; FD_SHARDS],
+    next_fd: AtomicU64,
+}
+
+impl FdTable {
+    fn new() -> FdTable {
+        FdTable {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            next_fd: AtomicU64::new(3),
+        }
+    }
+
+    fn shard(&self, fd: u64) -> &Mutex<HashMap<u64, Arc<FdEntry>>> {
+        &self.shards[(fd % FD_SHARDS as u64) as usize]
+    }
+
+    fn insert(&self, ino: u64, size: u64) -> Fd {
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.shard(fd).lock().insert(
+            fd,
+            Arc::new(FdEntry {
+                ino,
+                size: AtomicU64::new(size),
+            }),
+        );
+        Fd(fd)
+    }
+
+    fn get(&self, fd: Fd) -> Result<Arc<FdEntry>, DpcError> {
+        self.shard(fd.0)
+            .lock()
+            .get(&fd.0)
+            .cloned()
+            .ok_or(DpcError(9 /* EBADF */))
+    }
+
+    fn remove(&self, fd: Fd) {
+        self.shard(fd.0).lock().remove(&fd.0);
+    }
 }
 
 /// I/O mode for the data path.
@@ -67,23 +120,23 @@ pub enum IoMode {
     Direct,
 }
 
-/// The host-side file interface: one nvme-fs channel + the hybrid cache
-/// data plane. Clone-free; share behind `Arc` if needed.
+/// The host-side file interface: the shared nvme-fs channel pool + the
+/// hybrid cache data plane. Fully concurrent — share behind `Arc` or hand
+/// every thread its own adapter from [`Dpc::fs`](crate::Dpc::fs); both
+/// multiplex over the same queues.
 pub struct DpcFs {
     cache: Arc<HybridCache>,
-    inner: Mutex<Inner>,
+    pool: Arc<ChannelPool>,
+    fds: FdTable,
     pub mode: IoMode,
 }
 
 impl DpcFs {
-    pub(crate) fn new(cache: Arc<HybridCache>, chan: FileChannel, mode: IoMode) -> DpcFs {
+    pub(crate) fn new(cache: Arc<HybridCache>, pool: Arc<ChannelPool>, mode: IoMode) -> DpcFs {
         DpcFs {
             cache,
-            inner: Mutex::new(Inner {
-                chan,
-                fds: HashMap::new(),
-                next_fd: 3,
-            }),
+            pool,
+            fds: FdTable::new(),
             mode,
         }
     }
@@ -92,15 +145,19 @@ impl DpcFs {
         &self.cache
     }
 
+    /// The shared channel multiplexer (diagnostics/tests).
+    pub fn pool(&self) -> &Arc<ChannelPool> {
+        &self.pool
+    }
+
     fn call(
         &self,
-        inner: &mut Inner,
         req: &FileRequest,
         payload: &[u8],
         read_len: u32,
     ) -> Result<(FileResponse, Vec<u8>), DpcError> {
-        let done = inner
-            .chan
+        let done = self
+            .pool
             .call(DispatchType::Standalone, req, payload, read_len)
             .map_err(|_| DpcError::IO)?;
         match done.response {
@@ -111,18 +168,17 @@ impl DpcFs {
 
     /// Resolve a path to an inode with per-component lookups, following
     /// symbolic links (depth-capped, ELOOP beyond 8).
-    fn resolve(&self, inner: &mut Inner, path: &str) -> Result<u64, DpcError> {
-        self.resolve_depth(inner, path, 0)
+    fn resolve(&self, path: &str) -> Result<u64, DpcError> {
+        self.resolve_depth(path, 0)
     }
 
-    fn resolve_depth(&self, inner: &mut Inner, path: &str, depth: u32) -> Result<u64, DpcError> {
+    fn resolve_depth(&self, path: &str, depth: u32) -> Result<u64, DpcError> {
         if depth > 8 {
             return Err(DpcError(40 /* ELOOP */));
         }
         let mut ino = 0u64; // root
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             let (resp, _) = self.call(
-                inner,
                 &FileRequest::Lookup {
                     parent: ino,
                     name: comp.to_string(),
@@ -136,21 +192,20 @@ impl DpcFs {
             }
             // Follow symlinks wherever they appear on the path.
             loop {
-                let (resp, _) = self.call(inner, &FileRequest::GetAttr { ino }, b"", 0)?;
+                let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
                 let FileResponse::Attr(attr) = resp else {
                     return Err(DpcError::IO);
                 };
                 if attr.kind != 2 {
                     break;
                 }
-                let (resp, payload) =
-                    self.call(inner, &FileRequest::Readlink { ino }, b"", 4096)?;
+                let (resp, payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
                 let FileResponse::Bytes(n) = resp else {
                     return Err(DpcError::IO);
                 };
-                let target = String::from_utf8(payload[..n as usize].to_vec())
-                    .map_err(|_| DpcError::IO)?;
-                ino = self.resolve_depth(inner, &target, depth + 1)?;
+                let target =
+                    String::from_utf8(payload[..n as usize].to_vec()).map_err(|_| DpcError::IO)?;
+                ino = self.resolve_depth(&target, depth + 1)?;
             }
         }
         Ok(ino)
@@ -176,10 +231,8 @@ impl DpcFs {
 
     pub fn create_mode(&self, path: &str, mode: u32) -> Result<Fd, DpcError> {
         let (dir, name) = Self::split_parent(path)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, dir)?;
+        let parent = self.resolve(dir)?;
         let (resp, _) = self.call(
-            &mut inner,
             &FileRequest::Create {
                 parent,
                 name: name.to_string(),
@@ -191,44 +244,29 @@ impl DpcFs {
         let FileResponse::Ino(ino) = resp else {
             return Err(DpcError::IO);
         };
-        let fd = inner.next_fd;
-        inner.next_fd += 1;
-        inner.fds.insert(fd, FdState { ino, size: 0 });
-        Ok(Fd(fd))
+        Ok(self.fds.insert(ino, 0))
     }
 
     pub fn open(&self, path: &str) -> Result<Fd, DpcError> {
-        let mut inner = self.inner.lock();
-        let ino = self.resolve(&mut inner, path)?;
-        let (resp, _) = self.call(&mut inner, &FileRequest::GetAttr { ino }, b"", 0)?;
+        let ino = self.resolve(path)?;
+        let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
         let FileResponse::Attr(attr) = resp else {
             return Err(DpcError::IO);
         };
-        let fd = inner.next_fd;
-        inner.next_fd += 1;
-        inner.fds.insert(
-            fd,
-            FdState {
-                ino,
-                size: attr.size,
-            },
-        );
-        Ok(Fd(fd))
+        Ok(self.fds.insert(ino, attr.size))
     }
 
     pub fn close(&self, fd: Fd) -> Result<(), DpcError> {
         // Make buffered data durable before dropping the descriptor.
         self.fsync(fd)?;
-        self.inner.lock().fds.remove(&fd.0);
+        self.fds.remove(fd);
         Ok(())
     }
 
     pub fn mkdir(&self, path: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, dir)?;
+        let parent = self.resolve(dir)?;
         self.call(
-            &mut inner,
             &FileRequest::Mkdir {
                 parent,
                 name: name.to_string(),
@@ -241,10 +279,8 @@ impl DpcFs {
     }
 
     pub fn readdir(&self, path: &str) -> Result<Vec<WireDirent>, DpcError> {
-        let mut inner = self.inner.lock();
-        let ino = self.resolve(&mut inner, path)?;
+        let ino = self.resolve(path)?;
         let (resp, payload) = self.call(
-            &mut inner,
             &FileRequest::Readdir { ino },
             b"",
             // Listing capacity: half a megabyte of dirents (the slot
@@ -258,9 +294,8 @@ impl DpcFs {
     }
 
     pub fn stat(&self, path: &str) -> Result<WireAttr, DpcError> {
-        let mut inner = self.inner.lock();
-        let ino = self.resolve(&mut inner, path)?;
-        let (resp, _) = self.call(&mut inner, &FileRequest::GetAttr { ino }, b"", 0)?;
+        let ino = self.resolve(path)?;
+        let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
         match resp {
             FileResponse::Attr(a) => Ok(a),
             _ => Err(DpcError::IO),
@@ -269,12 +304,10 @@ impl DpcFs {
 
     pub fn unlink(&self, path: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, dir)?;
+        let parent = self.resolve(dir)?;
         // Find the ino first so cached pages can be invalidated.
         let ino = {
             let (resp, _) = self.call(
-                &mut inner,
                 &FileRequest::Lookup {
                     parent,
                     name: name.to_string(),
@@ -288,7 +321,6 @@ impl DpcFs {
             }
         };
         self.call(
-            &mut inner,
             &FileRequest::Unlink {
                 parent,
                 name: name.to_string(),
@@ -296,7 +328,6 @@ impl DpcFs {
             b"",
             0,
         )?;
-        drop(inner);
         // Drop stale cache pages.
         self.cache.invalidate_ino(ino);
         Ok(())
@@ -306,11 +337,9 @@ impl DpcFs {
     pub fn rename(&self, from: &str, to: &str) -> Result<(), DpcError> {
         let (fdir, fname) = Self::split_parent(from)?;
         let (tdir, tname) = Self::split_parent(to)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, fdir)?;
-        let new_parent = self.resolve(&mut inner, tdir)?;
+        let parent = self.resolve(fdir)?;
+        let new_parent = self.resolve(tdir)?;
         self.call(
-            &mut inner,
             &FileRequest::Rename {
                 parent,
                 name: fname.to_string(),
@@ -325,10 +354,8 @@ impl DpcFs {
 
     pub fn rmdir(&self, path: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, dir)?;
+        let parent = self.resolve(dir)?;
         self.call(
-            &mut inner,
             &FileRequest::Rmdir {
                 parent,
                 name: name.to_string(),
@@ -343,11 +370,9 @@ impl DpcFs {
     /// `existing`.
     pub fn link(&self, existing: &str, new_path: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(new_path)?;
-        let mut inner = self.inner.lock();
-        let ino = self.resolve(&mut inner, existing)?;
-        let new_parent = self.resolve(&mut inner, dir)?;
+        let ino = self.resolve(existing)?;
+        let new_parent = self.resolve(dir)?;
         self.call(
-            &mut inner,
             &FileRequest::Link {
                 ino,
                 new_parent,
@@ -362,10 +387,8 @@ impl DpcFs {
     /// Create a symbolic link at `path` pointing to `target`.
     pub fn symlink(&self, path: &str, target: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, dir)?;
+        let parent = self.resolve(dir)?;
         self.call(
-            &mut inner,
             &FileRequest::Symlink {
                 parent,
                 name: name.to_string(),
@@ -381,10 +404,8 @@ impl DpcFs {
     /// final component is not followed).
     pub fn readlink(&self, path: &str) -> Result<String, DpcError> {
         let (dir, name) = Self::split_parent(path)?;
-        let mut inner = self.inner.lock();
-        let parent = self.resolve(&mut inner, dir)?;
+        let parent = self.resolve(dir)?;
         let (resp, _) = self.call(
-            &mut inner,
             &FileRequest::Lookup {
                 parent,
                 name: name.to_string(),
@@ -395,12 +416,7 @@ impl DpcFs {
         let FileResponse::Ino(ino) = resp else {
             return Err(DpcError::IO);
         };
-        let (resp, payload) = self.call(
-            &mut inner,
-            &FileRequest::Readlink { ino },
-            b"",
-            4096,
-        )?;
+        let (resp, payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
         let FileResponse::Bytes(n) = resp else {
             return Err(DpcError::IO);
         };
@@ -409,14 +425,6 @@ impl DpcFs {
 
     // ---- data API --------------------------------------------------------
 
-    fn fd_state(&self, inner: &Inner, fd: Fd) -> Result<(u64, u64), DpcError> {
-        inner
-            .fds
-            .get(&fd.0)
-            .map(|s| (s.ino, s.size))
-            .ok_or(DpcError(9 /* EBADF */))
-    }
-
     /// Write at `offset`. Buffered mode absorbs the write in the hybrid
     /// cache (the paper's front-end write); direct mode sends it straight
     /// to the DPU.
@@ -424,13 +432,12 @@ impl DpcFs {
         if data.is_empty() {
             return Ok(0);
         }
-        let mut inner = self.inner.lock();
-        let (ino, _) = self.fd_state(&inner, fd)?;
+        let entry = self.fds.get(fd)?;
+        let ino = entry.ino;
 
         match self.mode {
             IoMode::Direct => {
                 let (resp, _) = self.call(
-                    &mut inner,
                     &FileRequest::Write {
                         ino,
                         offset,
@@ -442,8 +449,7 @@ impl DpcFs {
                 let FileResponse::Bytes(n) = resp else {
                     return Err(DpcError::IO);
                 };
-                let st = inner.fds.get_mut(&fd.0).unwrap();
-                st.size = st.size.max(offset + n as u64);
+                entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
                 Ok(n as usize)
             }
             IoMode::Buffered => {
@@ -453,12 +459,13 @@ impl DpcFs {
                     let lpn = off / PAGE_SIZE as u64;
                     let in_page = (off % PAGE_SIZE as u64) as usize;
                     let n = (PAGE_SIZE - in_page).min(data.len() - pos);
-                    self.buffered_write_page(&mut inner, ino, lpn, in_page, &data[pos..pos + n])?;
+                    self.buffered_write_page(ino, lpn, in_page, &data[pos..pos + n])?;
                     pos += n;
                     off += n as u64;
                 }
-                let st = inner.fds.get_mut(&fd.0).unwrap();
-                st.size = st.size.max(offset + data.len() as u64);
+                entry
+                    .size
+                    .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
                 Ok(data.len())
             }
         }
@@ -468,7 +475,6 @@ impl DpcFs {
     /// evict-and-retry path when the bucket is full.
     fn buffered_write_page(
         &self,
-        inner: &mut Inner,
         ino: u64,
         lpn: u64,
         in_page: usize,
@@ -481,7 +487,6 @@ impl DpcFs {
                         // Partial write into a fresh page: fetch the old
                         // content from the DPU first (read-modify-write).
                         let (resp, payload) = self.call(
-                            inner,
                             &FileRequest::Read {
                                 ino,
                                 offset: lpn * PAGE_SIZE as u64,
@@ -513,7 +518,6 @@ impl DpcFs {
                     // after a flush pass — retrying is pointless, so go
                     // straight to write-through.
                     let evicted = match self.call(
-                        inner,
                         &FileRequest::CacheEvict {
                             bucket: bucket as u64,
                         },
@@ -527,7 +531,6 @@ impl DpcFs {
                     if !evicted || attempt == 2 {
                         // Fall back to write-through.
                         let (resp, _) = self.call(
-                            inner,
                             &FileRequest::Write {
                                 ino,
                                 offset: lpn * PAGE_SIZE as u64 + in_page as u64,
@@ -550,8 +553,8 @@ impl DpcFs {
     /// Read at `offset`. Buffered mode checks the hybrid cache page by
     /// page before asking the DPU (the fs-adapter's read path).
     pub fn read(&self, fd: Fd, offset: u64, dst: &mut [u8]) -> Result<usize, DpcError> {
-        let mut inner = self.inner.lock();
-        let (ino, size) = self.fd_state(&inner, fd)?;
+        let entry = self.fds.get(fd)?;
+        let (ino, size) = (entry.ino, entry.size.load(Ordering::Acquire));
         if offset >= size || dst.is_empty() {
             return Ok(0);
         }
@@ -560,7 +563,6 @@ impl DpcFs {
         match self.mode {
             IoMode::Direct => {
                 let (resp, payload) = self.call(
-                    &mut inner,
                     &FileRequest::Read {
                         ino,
                         offset,
@@ -605,9 +607,9 @@ impl DpcFs {
                     pos += take;
                     off += take as u64;
                 }
-                // Pass 2: fetch every missing page from the DPU under a
-                // single batched submission (one doorbell per queue-full
-                // of pages), then fill the cache clean (front-end read
+                // Pass 2: fetch every missing page from the DPU under
+                // batched submission (doorbell-coalesced through the
+                // pool), then fill the cache clean (front-end read
                 // protocol).
                 if !misses.is_empty() {
                     let requests: Vec<FileRequest> = misses
@@ -618,15 +620,9 @@ impl DpcFs {
                             len: PAGE_SIZE as u32,
                         })
                         .collect();
-                    let mut done = Vec::with_capacity(requests.len());
-                    inner
-                        .chan
-                        .call_many(
-                            DispatchType::Standalone,
-                            &requests,
-                            PAGE_SIZE as u32,
-                            &mut done,
-                        )
+                    let done = self
+                        .pool
+                        .call_many(DispatchType::Standalone, &requests, PAGE_SIZE as u32)
                         .map_err(|_| DpcError::IO)?;
                     for (m, c) in misses.iter().zip(&done) {
                         let got = match c.response {
@@ -661,15 +657,15 @@ impl DpcFs {
         if total == 0 {
             return Ok(0);
         }
-        let mut inner = self.inner.lock();
-        let (ino, _) = self.fd_state(&inner, fd)?;
+        let entry = self.fds.get(fd)?;
+        let ino = entry.ino;
         // O_DIRECT coherence: dirty cached pages must reach the backend
         // before the direct write lands (flush, never discard).
         if self.cache.dirty_pages() > 0 {
-            self.call(&mut inner, &FileRequest::Fsync { ino }, b"", 0)?;
+            self.call(&FileRequest::Fsync { ino }, b"", 0)?;
         }
-        let done = inner
-            .chan
+        let done = self
+            .pool
             .call_sgl(
                 DispatchType::Standalone,
                 &FileRequest::Write {
@@ -683,10 +679,8 @@ impl DpcFs {
             .map_err(|_| DpcError::IO)?;
         match done.response {
             FileResponse::Bytes(n) => {
-                let st = inner.fds.get_mut(&fd.0).unwrap();
-                st.size = st.size.max(offset + n as u64);
+                entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
                 // Keep any cached pages coherent with the direct write.
-                drop(inner);
                 let first = offset / PAGE_SIZE as u64;
                 let last = (offset + n as u64).div_ceil(PAGE_SIZE as u64);
                 for lpn in first..=last {
@@ -701,21 +695,20 @@ impl DpcFs {
 
     /// Flush buffered data and reconcile the logical size.
     pub fn fsync(&self, fd: Fd) -> Result<(), DpcError> {
-        let mut inner = self.inner.lock();
-        let (ino, size) = self.fd_state(&inner, fd)?;
-        self.call(&mut inner, &FileRequest::Fsync { ino }, b"", 0)?;
+        let entry = self.fds.get(fd)?;
+        let (ino, size) = (entry.ino, entry.size.load(Ordering::Acquire));
+        self.call(&FileRequest::Fsync { ino }, b"", 0)?;
         // The flusher writes whole pages; trim any padding past the
         // logical size (kernel i_size reconciliation).
-        self.call(&mut inner, &FileRequest::Truncate { ino, size }, b"", 0)?;
+        self.call(&FileRequest::Truncate { ino, size }, b"", 0)?;
         Ok(())
     }
 
     pub fn truncate(&self, fd: Fd, size: u64) -> Result<(), DpcError> {
-        let mut inner = self.inner.lock();
-        let (ino, old) = self.fd_state(&inner, fd)?;
-        self.call(&mut inner, &FileRequest::Truncate { ino, size }, b"", 0)?;
-        inner.fds.get_mut(&fd.0).unwrap().size = size;
-        drop(inner);
+        let entry = self.fds.get(fd)?;
+        let (ino, old) = (entry.ino, entry.size.load(Ordering::Acquire));
+        self.call(&FileRequest::Truncate { ino, size }, b"", 0)?;
+        entry.size.store(size, Ordering::Release);
         // Invalidate cached pages past the new end, and clip the valid
         // length of the boundary page so a later flush cannot re-extend
         // the file.
@@ -743,8 +736,7 @@ impl DpcFs {
 
     /// File size as tracked by the adapter.
     pub fn size(&self, fd: Fd) -> Result<u64, DpcError> {
-        let inner = self.inner.lock();
-        self.fd_state(&inner, fd).map(|(_, s)| s)
+        self.fds.get(fd).map(|e| e.size.load(Ordering::Acquire))
     }
 
     // ---- distributed (DFS) dispatch -------------------------------------
@@ -760,9 +752,8 @@ impl DpcFs {
         payload: &[u8],
         read_len: u32,
     ) -> Result<(FileResponse, Vec<u8>), DpcError> {
-        let mut inner = self.inner.lock();
-        let done = inner
-            .chan
+        let done = self
+            .pool
             .call(DispatchType::Distributed, req, payload, read_len)
             .map_err(|_| DpcError::IO)?;
         match done.response {

@@ -164,7 +164,10 @@ mod tests {
             + t.pcie.dma_time(16)          // CQE
             + c.host_complete;
         let us = total.as_micros();
-        assert!((24.0..30.0).contains(&us), "modelled {us}us vs paper 26.6us");
+        assert!(
+            (24.0..30.0).contains(&us),
+            "modelled {us}us vs paper 26.6us"
+        );
         // And the read path (no write extra) near 20.6us.
         let read = total - c.dpu_write_extra;
         assert!((18.0..24.0).contains(&read.as_micros()), "{read}");

@@ -218,9 +218,10 @@ impl Dispatcher {
             FileRequest::Fsync { ino } => {
                 // Flush every dirty page of the hybrid cache into KVFS,
                 // then the (always-durable) store needs no further barrier.
-                self.control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                    let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
-                });
+                self.control
+                    .flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+                        let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
+                    });
                 let _ = kvfs.fsync(*ino);
                 FileResponse::Ok
             }
@@ -251,9 +252,10 @@ impl Dispatcher {
                 let bucket = *bucket as usize;
                 if !self.control.evict_one(bucket) {
                     // Nothing clean: flush first, then retry.
-                    self.control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                        let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
-                    });
+                    self.control
+                        .flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
+                            let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
+                        });
                     if !self.control.evict_one(bucket) && self.control.bucket_occupied(bucket) {
                         // Even after a full flush pass nothing in this
                         // (populated) bucket could be evicted; tell the

@@ -4,9 +4,12 @@
 //! a DMA engine, an nvme-fs fabric (multi-queue), the hybrid cache (host
 //! data plane + DPU control plane), KVFS over the disaggregated KV store,
 //! optionally a DFS backend with the offloaded client, and the DPU
-//! runtime serving it all. `Dpc::fs()` hands out host-side [`DpcFs`]
-//! adapters — one per nvme-fs queue pair, as in the paper's per-thread
-//! queue deployment.
+//! runtime serving it all. `Dpc::fs()` hands out any number of
+//! lightweight host-side [`DpcFs`] adapters, all multiplexing over the
+//! fabric's queue pairs through one shared
+//! [`ChannelPool`](dpc_nvmefs::ChannelPool) — the paper's per-thread
+//! queue deployment falls out of the pool's thread-affinity policy
+//! rather than a hard one-adapter-per-queue limit.
 
 use std::sync::Arc;
 
@@ -14,9 +17,8 @@ use dpc_cache::{CacheConfig, ControlPlane, HybridCache};
 use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
 use dpc_kvfs::Kvfs;
 use dpc_kvstore::KvStore;
-use dpc_nvmefs::{create_fabric, FileChannel, QueuePairConfig};
+use dpc_nvmefs::{create_fabric, ChannelPool, PoolStats, QueuePairConfig};
 use dpc_pcie::{DmaEngine, PcieSnapshot};
-use parking_lot::Mutex;
 
 use crate::adapter::{DpcFs, IoMode};
 use crate::dispatch::Dispatcher;
@@ -25,7 +27,8 @@ use crate::runtime::DpuRuntime;
 /// DPC deployment configuration.
 #[derive(Clone, Debug)]
 pub struct DpcConfig {
-    /// nvme-fs queue pairs (== host adapters that can be handed out).
+    /// nvme-fs queue pairs the shared channel pool multiplexes over
+    /// (adapters are unlimited; this sets the concurrency knee).
     pub queues: usize,
     pub queue_depth: u16,
     /// Per-direction slot capacity (max single I/O size over nvme-fs).
@@ -76,7 +79,7 @@ pub struct Dpc {
     cache: Arc<HybridCache>,
     kvfs: Arc<Kvfs>,
     dfs_backend: Option<Arc<DfsBackend>>,
-    channels: Mutex<Vec<FileChannel>>,
+    pool: Arc<ChannelPool>,
     runtime: DpuRuntime,
 }
 
@@ -141,10 +144,7 @@ impl Dpc {
             .collect();
 
         let flusher = if cfg.background_flush {
-            Some((
-                ControlPlane::new(cache.clone(), dma.clone()),
-                kvfs.clone(),
-            ))
+            Some((ControlPlane::new(cache.clone(), dma.clone()), kvfs.clone()))
         } else {
             None
         };
@@ -157,20 +157,17 @@ impl Dpc {
             cache,
             kvfs,
             dfs_backend,
-            channels: Mutex::new(channels),
+            pool: Arc::new(ChannelPool::new(channels)),
             runtime,
         }
     }
 
-    /// Take the next host-side adapter (one per nvme-fs queue pair).
-    /// Panics when all `cfg.queues` adapters are taken.
+    /// Hand out a host-side adapter. Adapters are lightweight (an fd
+    /// table plus a handle on the shared [`ChannelPool`]); take as many
+    /// as you like — every adapter, and every thread within an adapter,
+    /// multiplexes over the same `cfg.queues` nvme-fs queue pairs.
     pub fn fs(&self) -> DpcFs {
-        let chan = self
-            .channels
-            .lock()
-            .pop()
-            .expect("all nvme-fs queue pairs are already handed out");
-        DpcFs::new(self.cache.clone(), chan, self.cfg.io_mode)
+        DpcFs::new(self.cache.clone(), self.pool.clone(), self.cfg.io_mode)
     }
 
     /// Convenience alias emphasising the standalone (KVFS) service.
@@ -178,9 +175,21 @@ impl Dpc {
         self.fs()
     }
 
-    /// Remaining adapters that [`Dpc::fs`] can still hand out.
-    pub fn available_queues(&self) -> usize {
-        self.channels.lock().len()
+    /// Number of nvme-fs queue pairs the shared channel pool multiplexes
+    /// over (the host-side scaling knee).
+    pub fn queue_count(&self) -> usize {
+        self.pool.queue_count()
+    }
+
+    /// The shared host-side channel multiplexer (diagnostics/tests).
+    pub fn channel_pool(&self) -> &Arc<ChannelPool> {
+        &self.pool
+    }
+
+    /// Snapshot of the channel pool's counters (submissions, deliveries,
+    /// queue steals, full-pool stalls).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Direct access to the DPU-side KVFS (diagnostics/tests).

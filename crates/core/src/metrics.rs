@@ -126,7 +126,13 @@ mod tests {
     #[test]
     fn display_is_multiline_and_complete() {
         let s = MetricsSnapshot::default().to_string();
-        for key in ["pcie:", "hybrid cache:", "kvfs:", "kv store:", "dpu runtime:"] {
+        for key in [
+            "pcie:",
+            "hybrid cache:",
+            "kvfs:",
+            "kv store:",
+            "dpu runtime:",
+        ] {
             assert!(s.contains(key), "missing {key} in:\n{s}");
         }
     }

@@ -66,8 +66,17 @@ impl DpuRuntime {
                                     .requests_served
                                     .fetch_add(served as u64, Ordering::Relaxed);
                             } else {
-                                idle_spins += 1;
-                                if idle_spins > 256 {
+                                // Tiered backoff: spin briefly (latency),
+                                // then yield (share the core with host
+                                // threads and sibling queues), then nap
+                                // (a long-idle queue must not burn the
+                                // timeslices of the queues doing work —
+                                // it costs the first request after an
+                                // idle spell ~20 µs of extra latency).
+                                idle_spins = idle_spins.saturating_add(1);
+                                if idle_spins > 4096 {
+                                    std::thread::sleep(std::time::Duration::from_micros(20));
+                                } else if idle_spins > 256 {
                                     std::thread::yield_now();
                                 } else {
                                     std::hint::spin_loop();
@@ -89,11 +98,8 @@ impl DpuRuntime {
                             let kvfs2 = kvfs.clone();
                             let flushed =
                                 control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                                    let _ = kvfs2.write(
-                                        ino,
-                                        lpn * dpc_cache::PAGE_SIZE as u64,
-                                        page,
-                                    );
+                                    let _ =
+                                        kvfs2.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
                                 });
                             shared
                                 .pages_flushed

@@ -8,9 +8,7 @@ use dpc_core::Dispatcher;
 use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
 use dpc_kvfs::Kvfs;
 use dpc_kvstore::KvStore;
-use dpc_nvmefs::{
-    decode_dirents, DispatchType, FileIncoming, FileRequest, FileResponse,
-};
+use dpc_nvmefs::{decode_dirents, DispatchType, FileIncoming, FileRequest, FileResponse};
 use dpc_pcie::DmaEngine;
 
 fn incoming(dispatch: DispatchType, request: FileRequest, payload: Vec<u8>) -> FileIncoming {
@@ -170,7 +168,9 @@ fn standalone_data_requests() {
         FileRequest::GetAttr { ino },
         vec![],
     ));
-    let FileResponse::Attr(a) = resp else { panic!() };
+    let FileResponse::Attr(a) = resp else {
+        panic!()
+    };
     assert_eq!(a.size, 105);
 
     let (resp, _) = d.handle(&incoming(
@@ -306,7 +306,9 @@ fn dfs_unaligned_offset_is_einval() {
         },
         vec![],
     ));
-    let FileResponse::Ino(ino) = resp else { panic!("{resp:?}") };
+    let FileResponse::Ino(ino) = resp else {
+        panic!("{resp:?}")
+    };
 
     let (resp, _) = d.handle(&incoming(
         DispatchType::Distributed,
@@ -354,7 +356,9 @@ fn distributed_requests_served_by_client_core() {
         },
         vec![],
     ));
-    let FileResponse::Ino(ino) = resp else { panic!("{resp:?}") };
+    let FileResponse::Ino(ino) = resp else {
+        panic!("{resp:?}")
+    };
 
     let block = vec![7u8; 8192];
     let (resp, _) = d.handle(&incoming(

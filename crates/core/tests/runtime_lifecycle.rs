@@ -21,7 +21,7 @@ fn drop_joins_dpu_threads_and_flushes_nothing_dirty() {
         // panic (its final flush_pass runs after service threads stop).
         fs.write(fd, 0, &vec![2u8; 4096]).unwrap();
     } // Drop: shutdown flag, join service + flusher threads.
-    // Reaching here without hangs or panics is the assertion.
+      // Reaching here without hangs or panics is the assertion.
     assert!(kv_pairs >= 5);
 }
 
@@ -56,5 +56,8 @@ fn requests_served_counts_all_queues() {
     }
     // Each create is >= 1 request (plus parent resolution ops).
     assert!(dpc.requests_served() >= 3);
-    assert_eq!(dpc.available_queues(), 0);
+    assert_eq!(dpc.queue_count(), 3);
+    // Every pool submission came back.
+    let stats = dpc.pool_stats();
+    assert_eq!(stats.submitted, stats.completed);
 }

@@ -179,8 +179,10 @@ pub struct DfsBackend {
 
 impl DfsBackend {
     pub fn new(cfg: DfsConfig) -> Arc<DfsBackend> {
-        assert!(cfg.ec_k + cfg.ec_m <= cfg.data_server_count,
-            "need at least k+m data servers");
+        assert!(
+            cfg.ec_k + cfg.ec_m <= cfg.data_server_count,
+            "need at least k+m data servers"
+        );
         Arc::new(DfsBackend {
             mdses: (0..cfg.mds_count).map(MetadataServer::new).collect(),
             data_servers: (0..cfg.data_server_count).map(DataServer::new).collect(),
@@ -510,7 +512,10 @@ impl DfsBackend {
 
     /// Total RPCs served across all MDSes.
     pub fn total_mds_rpcs(&self) -> u64 {
-        self.mdses.iter().map(|m| m.rpcs.load(Ordering::Relaxed)).sum()
+        self.mdses
+            .iter()
+            .map(|m| m.rpcs.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total forwarding hops across all MDSes.
@@ -612,7 +617,10 @@ mod tests {
         // A competing client triggers a recall and takes the delegation.
         b.mds_delegate(0, attr.ino, 2).unwrap();
         assert_eq!(b.total_recalls(), 1);
-        assert!(b.delegation_revoked(attr.ino, 1), "old holder sees the recall");
+        assert!(
+            b.delegation_revoked(attr.ino, 1),
+            "old holder sees the recall"
+        );
         assert!(!b.delegation_revoked(attr.ino, 2), "new holder is clean");
         b.ack_recall(attr.ino, 1);
         assert!(!b.delegation_revoked(attr.ino, 1));

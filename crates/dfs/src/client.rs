@@ -511,7 +511,9 @@ mod tests {
         let b = backend();
         let mut std_c = StandardClient::new(b.clone(), 0);
         let (attr, _) = std_c.create(0, "f").unwrap();
-        let t = std_c.write_block(attr.ino, 0, &vec![1u8; DFS_BLOCK]).unwrap();
+        let t = std_c
+            .write_block(attr.ino, 0, &vec![1u8; DFS_BLOCK])
+            .unwrap();
         assert_eq!(t.mds_rpcs, 1);
         assert_eq!(t.ds_rpcs, 0, "client never touches data servers");
         assert_eq!(t.ec_bytes, 0, "EC is server-side");
@@ -539,7 +541,8 @@ mod tests {
         opt.0.meta_batch = 4;
         let (attr, _) = opt.create(0, "f").unwrap();
         for blk in 0..3u64 {
-            opt.write_block(attr.ino, blk, &vec![1u8; DFS_BLOCK]).unwrap();
+            opt.write_block(attr.ino, blk, &vec![1u8; DFS_BLOCK])
+                .unwrap();
         }
         // Not flushed yet: the MDS still sees size 0, but the client's own
         // cached view reflects the writes.
@@ -662,11 +665,16 @@ mod recall_tests {
                 (&mut c, &mut a)
             };
             w.0.check_lease(attr.ino).unwrap();
-            w.write_block(attr.ino, round - 1, &vec![round as u8; BLK]).unwrap();
+            w.write_block(attr.ino, round - 1, &vec![round as u8; BLK])
+                .unwrap();
             w.sync_meta().unwrap();
             r.0.check_lease(attr.ino).unwrap();
             let (seen, _) = r.getattr(attr.ino).unwrap();
-            assert!(seen.size >= round * BLK as u64, "round {round}: {}", seen.size);
+            assert!(
+                seen.size >= round * BLK as u64,
+                "round {round}: {}",
+                seen.size
+            );
         }
     }
 }
@@ -687,13 +695,21 @@ mod packing_tests {
             .map(|i| (i * 1024, vec![i as u8 + 1; 512]))
             .collect();
         let ds_rpcs_before: u64 = (0..b.data_server_count())
-            .map(|i| b.data_server(i).rpcs.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|i| {
+                b.data_server(i)
+                    .rpcs
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum();
         let (consolidated, trace) = c.write_small_packed(attr.ino, &ios).unwrap();
         assert_eq!(consolidated, 2, "16 small I/Os became 2 block writes");
         assert_eq!(trace.mds_rpcs, 1, "one packed message from the client");
         let ds_rpcs_after: u64 = (0..b.data_server_count())
-            .map(|i| b.data_server(i).rpcs.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|i| {
+                b.data_server(i)
+                    .rpcs
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum();
         // 2 blocks x 6 shards written, plus the RMW gathers; without
         // packing, 16 separate writes would have cost 16 x (6 + gather).
@@ -710,10 +726,7 @@ mod packing_tests {
             assert!(block0[start..start + 512].iter().all(|&x| x == i as u8 + 1));
         }
         // Size advanced to the max end.
-        assert_eq!(
-            b.mds_getattr(0, attr.ino).unwrap().size,
-            15 * 1024 + 512
-        );
+        assert_eq!(b.mds_getattr(0, attr.ino).unwrap().size, 15 * 1024 + 512);
     }
 
     #[test]
@@ -723,7 +736,8 @@ mod packing_tests {
         let (attr, _) = c.create(0, "rmw").unwrap();
         c.write_block(attr.ino, 0, &vec![0xEE; BLK]).unwrap();
         // A small packed write must not clobber the rest of the block.
-        c.write_small_packed(attr.ino, &[(100, vec![0x11; 8])]).unwrap();
+        c.write_small_packed(attr.ino, &[(100, vec![0x11; 8])])
+            .unwrap();
         let (back, _) = c.read_block(attr.ino, 0).unwrap();
         assert_eq!(back[99], 0xEE);
         assert_eq!(back[100..108], [0x11; 8]);

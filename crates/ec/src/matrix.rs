@@ -212,7 +212,9 @@ mod tests {
         ];
         for p in picks {
             let sub = v.select_rows(&p);
-            let inv = sub.invert().unwrap_or_else(|| panic!("rows {p:?} singular"));
+            let inv = sub
+                .invert()
+                .unwrap_or_else(|| panic!("rows {p:?} singular"));
             assert_eq!(sub.mul(&inv), Matrix::identity(4));
         }
     }
@@ -231,14 +233,8 @@ mod tests {
         let b = Matrix::from_rows(vec![vec![5, 6], vec![7, 8]]);
         let c = a.mul(&b);
         // c[0][0] = 1*5 ^ 2*7
-        assert_eq!(
-            c.get(0, 0),
-            gf256::add(gf256::mul(1, 5), gf256::mul(2, 7))
-        );
-        assert_eq!(
-            c.get(1, 1),
-            gf256::add(gf256::mul(3, 6), gf256::mul(4, 8))
-        );
+        assert_eq!(c.get(0, 0), gf256::add(gf256::mul(1, 5), gf256::mul(2, 7)));
+        assert_eq!(c.get(1, 1), gf256::add(gf256::mul(3, 6), gf256::mul(4, 8)));
     }
 
     #[test]

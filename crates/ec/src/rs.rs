@@ -32,7 +32,10 @@ impl core::fmt::Display for EcError {
             }
             EcError::UnequalShardLengths => write!(f, "shards must have equal lengths"),
             EcError::TooFewShards { want, got } => {
-                write!(f, "need at least {want} surviving shards, only {got} present")
+                write!(
+                    f,
+                    "need at least {want} surviving shards, only {got} present"
+                )
             }
         }
     }
@@ -123,10 +126,7 @@ impl ReedSolomon {
                 gf256::mul_acc_slice(coeff, d, out);
             }
         }
-        Ok(expect
-            .iter()
-            .zip(&shards[self.k..])
-            .all(|(e, s)| e == s))
+        Ok(expect.iter().zip(&shards[self.k..]).all(|(e, s)| e == s))
     }
 
     /// Rebuild every missing shard (`None` entries) in place.
@@ -151,7 +151,10 @@ impl ReedSolomon {
             return Ok(()); // nothing missing
         }
         let len = {
-            let refs: Vec<&Vec<u8>> = present.iter().map(|&i| shards[i].as_ref().unwrap()).collect();
+            let refs: Vec<&Vec<u8>> = present
+                .iter()
+                .map(|&i| shards[i].as_ref().unwrap())
+                .collect();
             Self::check_lengths(&refs)?
         };
 
@@ -255,13 +258,16 @@ mod tests {
         // Every pair of erasures out of 6 shards.
         for a in 0..6 {
             for b in (a + 1)..6 {
-                let mut damaged: Vec<Option<Vec<u8>>> =
-                    shards.iter().cloned().map(Some).collect();
+                let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
                 damaged[a] = None;
                 damaged[b] = None;
                 rs.reconstruct(&mut damaged).unwrap();
                 for (i, s) in damaged.iter().enumerate() {
-                    assert_eq!(s.as_ref().unwrap(), &shards[i], "erasures ({a},{b}) shard {i}");
+                    assert_eq!(
+                        s.as_ref().unwrap(),
+                        &shards[i],
+                        "erasures ({a},{b}) shard {i}"
+                    );
                 }
             }
         }

@@ -159,7 +159,13 @@ impl Ext4Sim {
         Ok((self.resolve(dir)?, name))
     }
 
-    fn insert_node(&self, parent: u64, name: &str, kind: ExtKind, mode: u32) -> Result<u64, ExtError> {
+    fn insert_node(
+        &self,
+        parent: u64,
+        name: &str,
+        kind: ExtKind,
+        mode: u32,
+    ) -> Result<u64, ExtError> {
         Self::validate(name)?;
         let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
         let now = self.now();
@@ -303,7 +309,12 @@ impl Ext4Sim {
         Ok(Some(pbn))
     }
 
-    fn read_block_raw(&self, ino: u64, lbn: u64, dst: &mut [u8; BLOCK_SIZE]) -> Result<(), ExtError> {
+    fn read_block_raw(
+        &self,
+        ino: u64,
+        lbn: u64,
+        dst: &mut [u8; BLOCK_SIZE],
+    ) -> Result<(), ExtError> {
         match self.map_block(ino, lbn, false)? {
             Some(pbn) => self.dev.read_block(pbn, dst),
             None => dst.fill(0),
@@ -311,7 +322,10 @@ impl Ext4Sim {
         Ok(())
     }
 
-    fn write_victim(&self, victim: Option<(u64, u64, Box<[u8; BLOCK_SIZE]>)>) -> Result<(), ExtError> {
+    fn write_victim(
+        &self,
+        victim: Option<(u64, u64, Box<[u8; BLOCK_SIZE]>)>,
+    ) -> Result<(), ExtError> {
         if let Some((vino, vlpn, data)) = victim {
             if let Some(pbn) = self.map_block(vino, vlpn, true)? {
                 self.dev.write_block(pbn, &data);
@@ -322,7 +336,13 @@ impl Ext4Sim {
 
     /// Read up to `dst.len()` bytes at `offset`. `direct` bypasses the
     /// page cache (O_DIRECT).
-    pub fn read(&self, ino: u64, offset: u64, dst: &mut [u8], direct: bool) -> Result<usize, ExtError> {
+    pub fn read(
+        &self,
+        ino: u64,
+        offset: u64,
+        dst: &mut [u8],
+        direct: bool,
+    ) -> Result<usize, ExtError> {
         let attr = self.attr(ino)?;
         if attr.kind == ExtKind::Dir {
             return Err(ExtError::IsADirectory);
@@ -360,7 +380,13 @@ impl Ext4Sim {
     }
 
     /// Write `src` at `offset`. `direct` bypasses the page cache.
-    pub fn write(&self, ino: u64, offset: u64, src: &[u8], direct: bool) -> Result<usize, ExtError> {
+    pub fn write(
+        &self,
+        ino: u64,
+        offset: u64,
+        src: &[u8],
+        direct: bool,
+    ) -> Result<usize, ExtError> {
         {
             let inodes = self.inodes.read();
             let node = inodes.get(&ino).ok_or(ExtError::NotFound)?;
@@ -431,11 +457,8 @@ impl Ext4Sim {
             return Err(ExtError::IsADirectory);
         }
         let keep = size.div_ceil(BLOCK_SIZE as u64);
-        let drop_blocks: Vec<(u64, u64)> = node
-            .blocks
-            .range(keep..)
-            .map(|(&l, &p)| (l, p))
-            .collect();
+        let drop_blocks: Vec<(u64, u64)> =
+            node.blocks.range(keep..).map(|(&l, &p)| (l, p)).collect();
         for (l, p) in drop_blocks {
             node.blocks.remove(&l);
             self.dev.trim_block(p);
@@ -528,7 +551,12 @@ mod tests {
         fs.create("/dir/f1", 0o644).unwrap();
         fs.create("/dir/f2", 0o644).unwrap();
         assert_eq!(fs.mkdir("/dir", 0o755), Err(ExtError::AlreadyExists));
-        let mut names: Vec<String> = fs.readdir("/dir").unwrap().into_iter().map(|e| e.0).collect();
+        let mut names: Vec<String> = fs
+            .readdir("/dir")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.0)
+            .collect();
         names.sort();
         assert_eq!(names, vec!["f1", "f2"]);
         assert_eq!(fs.rmdir("/dir"), Err(ExtError::DirectoryNotEmpty));
@@ -575,7 +603,8 @@ mod tests {
         let fs = Ext4Sim::new(dev, 4);
         let ino = fs.create("/e", 0o644).unwrap();
         for lbn in 0..16u64 {
-            fs.write(ino, lbn * 4096, &[lbn as u8 + 1; 4096], false).unwrap();
+            fs.write(ino, lbn * 4096, &[lbn as u8 + 1; 4096], false)
+                .unwrap();
         }
         assert!(fs.device().stats().writes >= 12, "evictions wrote back");
         let mut buf = [0u8; 4096];

@@ -10,11 +10,27 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Write { file: u8, offset: u32, len: u16, fill: u8, direct: bool },
-    Read { file: u8, offset: u32, len: u16, direct: bool },
-    Truncate { file: u8, size: u32 },
+    Write {
+        file: u8,
+        offset: u32,
+        len: u16,
+        fill: u8,
+        direct: bool,
+    },
+    Read {
+        file: u8,
+        offset: u32,
+        len: u16,
+        direct: bool,
+    },
+    Truncate {
+        file: u8,
+        size: u32,
+    },
     Flush,
-    Unlink { file: u8 },
+    Unlink {
+        file: u8,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

@@ -19,11 +19,11 @@ use crate::fileobj::FileObject;
 use crate::keys::{
     attr_key, big_key, inode_key, inode_prefix, name_from_inode_key, small_key, validate_name,
 };
+#[cfg(test)]
+use crate::types::BIG_BLOCK;
 use crate::types::{
     DataFormat, Dirent, FileAttr, FileKind, FsError, MAX_NAME_LEN, ROOT_INO, SMALL_FILE_MAX,
 };
-#[cfg(test)]
-use crate::types::BIG_BLOCK;
 
 /// Cache hit/miss counters for the dentry and inode caches.
 #[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
@@ -374,10 +374,7 @@ impl Kvfs {
                 continue;
             };
             let ino = u64::from_le_bytes(val.try_into().unwrap_or_default());
-            let kind = self
-                .get_attr(ino)
-                .map(|a| a.kind)
-                .unwrap_or(FileKind::File);
+            let kind = self.get_attr(ino).map(|a| a.kind).unwrap_or(FileKind::File);
             out.push(Dirent {
                 ino,
                 name: name.to_string(),
@@ -403,7 +400,9 @@ impl Kvfs {
         }
         let _guard = self.ino_lock(ino).lock();
         self.store.delete(&inode_key(parent, name));
-        self.dentry_cache.write().remove(&(parent, name.to_string()));
+        self.dentry_cache
+            .write()
+            .remove(&(parent, name.to_string()));
         if attr.nlink > 1 {
             attr.nlink -= 1;
             attr.ctime = self.now();
@@ -438,7 +437,9 @@ impl Kvfs {
         }
         let _guard = self.ino_lock(parent).lock();
         self.store.delete(&inode_key(parent, name));
-        self.dentry_cache.write().remove(&(parent, name.to_string()));
+        self.dentry_cache
+            .write()
+            .remove(&(parent, name.to_string()));
         self.drop_attr(ino);
         if let Ok(mut pattr) = self.get_attr(parent) {
             pattr.nlink = pattr.nlink.saturating_sub(1);
@@ -669,7 +670,11 @@ mod tests {
         fs.mkdir("/a/b", 0o755).unwrap();
         let ino = fs.create("/a/b/c.txt", 0o644).unwrap();
         assert_eq!(fs.resolve("/a/b/c.txt").unwrap(), ino);
-        assert_eq!(fs.resolve("a/b/c.txt").unwrap(), ino, "leading slash optional");
+        assert_eq!(
+            fs.resolve("a/b/c.txt").unwrap(),
+            ino,
+            "leading slash optional"
+        );
         assert_eq!(fs.resolve("/a/b/missing"), Err(FsError::NotFound));
         assert_eq!(fs.resolve("/a/b/c.txt/x"), Err(FsError::NotADirectory));
     }
@@ -691,7 +696,11 @@ mod tests {
         fs.create("/mid", 0o644).unwrap();
         let entries = fs.readdir(ROOT_INO).unwrap();
         let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
-        assert_eq!(names, vec!["alpha", "mid", "zeta"], "prefix scan is ordered");
+        assert_eq!(
+            names,
+            vec!["alpha", "mid", "zeta"],
+            "prefix scan is ordered"
+        );
         assert_eq!(entries[0].kind, FileKind::Dir);
         assert_eq!(entries[2].kind, FileKind::File);
     }
@@ -730,8 +739,10 @@ mod tests {
         let fs = fs();
         let ino = fs.create("/big", 0o644).unwrap();
         fs.write(ino, 0, &vec![0u8; 8 * BIG_BLOCK]).unwrap();
-        fs.write(ino, 3 * BIG_BLOCK as u64, &vec![3u8; BIG_BLOCK]).unwrap();
-        fs.write(ino, 6 * BIG_BLOCK as u64, &vec![6u8; BIG_BLOCK]).unwrap();
+        fs.write(ino, 3 * BIG_BLOCK as u64, &vec![3u8; BIG_BLOCK])
+            .unwrap();
+        fs.write(ino, 6 * BIG_BLOCK as u64, &vec![6u8; BIG_BLOCK])
+            .unwrap();
         let mut buf = vec![0u8; BIG_BLOCK];
         fs.read(ino, 3 * BIG_BLOCK as u64, &mut buf).unwrap();
         assert_eq!(buf, vec![3u8; BIG_BLOCK]);
@@ -1065,9 +1076,6 @@ mod link_tests {
         }
         let fs = Kvfs::open(store).unwrap();
         assert_eq!(fs.get_attr(fs.resolve("/hard").unwrap()).unwrap().nlink, 2);
-        assert_eq!(
-            fs.resolve("/soft").unwrap(),
-            fs.resolve("/base").unwrap()
-        );
+        assert_eq!(fs.resolve("/soft").unwrap(), fs.resolve("/base").unwrap());
     }
 }

@@ -223,7 +223,10 @@ mod tests {
         let mut a = FileAttr::new_file(1, 0o600, 0);
         a.format = DataFormat::Big;
         a.size = 1 << 30;
-        assert_eq!(FileAttr::decode(&a.encode()).unwrap().format, DataFormat::Big);
+        assert_eq!(
+            FileAttr::decode(&a.encode()).unwrap().format,
+            DataFormat::Big
+        );
     }
 
     #[test]

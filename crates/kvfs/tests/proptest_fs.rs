@@ -13,30 +13,47 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 enum Op {
     Create(u8),
-    Write { file: u8, offset: u32, len: u32, fill: u8 },
-    Read { file: u8, offset: u32, len: u32 },
-    Truncate { file: u8, size: u32 },
+    Write {
+        file: u8,
+        offset: u32,
+        len: u32,
+        fill: u8,
+    },
+    Read {
+        file: u8,
+        offset: u32,
+        len: u32,
+    },
+    Truncate {
+        file: u8,
+        size: u32,
+    },
     Unlink(u8),
     Stat(u8),
 }
 
 /// Sizes biased around the 8 KiB promotion boundary.
 fn arb_len() -> impl Strategy<Value = u32> {
-    prop_oneof![
-        1u32..100,
-        7_900u32..8_500,
-        1u32..40_000,
-    ]
+    prop_oneof![1u32..100, 7_900u32..8_500, 1u32..40_000,]
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     let file = 0u8..6;
     prop_oneof![
         (0u8..6).prop_map(Op::Create),
-        (file.clone(), 0u32..20_000, arb_len(), any::<u8>())
-            .prop_map(|(file, offset, len, fill)| Op::Write { file, offset, len, fill }),
-        (file.clone(), 0u32..50_000, arb_len())
-            .prop_map(|(file, offset, len)| Op::Read { file, offset, len }),
+        (file.clone(), 0u32..20_000, arb_len(), any::<u8>()).prop_map(
+            |(file, offset, len, fill)| Op::Write {
+                file,
+                offset,
+                len,
+                fill
+            }
+        ),
+        (file.clone(), 0u32..50_000, arb_len()).prop_map(|(file, offset, len)| Op::Read {
+            file,
+            offset,
+            len
+        }),
         (file.clone(), 0u32..40_000).prop_map(|(file, size)| Op::Truncate { file, size }),
         (0u8..6).prop_map(Op::Unlink),
         (0u8..6).prop_map(Op::Stat),

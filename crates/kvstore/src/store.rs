@@ -292,8 +292,17 @@ mod tests {
         let mut buf = [0u8; 1];
         kv.read_sub(b"s", 0, &mut buf);
         let s = kv.stats();
-        assert_eq!((s.puts, s.gets, s.scans, s.deletes, s.sub_writes, s.sub_reads),
-                   (1, 2, 1, 1, 1, 1));
+        assert_eq!(
+            (
+                s.puts,
+                s.gets,
+                s.scans,
+                s.deletes,
+                s.sub_writes,
+                s.sub_reads
+            ),
+            (1, 2, 1, 1, 1, 1)
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
         arb_key().prop_map(Op::Get),
         arb_key().prop_map(Op::Delete),
         proptest::collection::vec(0u8..4, 0..3).prop_map(Op::Scan),
-        (arb_key(), 0usize..64, proptest::collection::vec(any::<u8>(), 1..32))
+        (
+            arb_key(),
+            0usize..64,
+            proptest::collection::vec(any::<u8>(), 1..32)
+        )
             .prop_map(|(k, o, d)| Op::WriteSub(k, o, d)),
         (arb_key(), 0usize..80, 1usize..32).prop_map(|(k, o, l)| Op::ReadSub(k, o, l)),
     ]

@@ -24,6 +24,58 @@ pub struct FileChannel {
     comp_batch: CompletionBatch,
 }
 
+/// Error surfaced by the synchronous [`FileChannel::call`] family.
+///
+/// The `call*` helpers are single-owner conveniences: they require an idle
+/// channel because they spin for *the* reply and would otherwise steal
+/// another command's completion. Misuse used to panic; it is now a typed
+/// error so a host thread can back off (or route through
+/// [`ChannelPool`](crate::ChannelPool), which has no such restriction).
+#[derive(Debug)]
+pub enum CallError {
+    /// Commands are already outstanding on this channel (EBUSY).
+    Busy,
+    /// The submission ring has no free slot (EAGAIN).
+    Full,
+    /// The response header failed to decode.
+    Decode(DecodeError),
+}
+
+impl CallError {
+    /// The errno a POSIX surface would report for this error.
+    pub fn errno(&self) -> i32 {
+        match self {
+            CallError::Busy => 16,     // EBUSY
+            CallError::Full => 11,     // EAGAIN
+            CallError::Decode(_) => 5, // EIO
+        }
+    }
+}
+
+impl core::fmt::Display for CallError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CallError::Busy => write!(f, "channel busy: synchronous call needs an idle channel"),
+            CallError::Full => write!(f, "nvme-fs submission queue full"),
+            CallError::Decode(e) => write!(f, "response decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<DecodeError> for CallError {
+    fn from(e: DecodeError) -> CallError {
+        CallError::Decode(e)
+    }
+}
+
+impl From<QueueFull> for CallError {
+    fn from(_: QueueFull) -> CallError {
+        CallError::Full
+    }
+}
+
 /// A decoded completion delivered by [`FileChannel::poll`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FileCompletion {
@@ -49,6 +101,12 @@ impl FileChannel {
         self.ini.outstanding()
     }
 
+    /// Ring depth of the underlying queue pair (at most `depth - 1`
+    /// commands can be in flight).
+    pub fn depth(&self) -> u16 {
+        self.ini.depth()
+    }
+
     /// Submit a file request. `write_payload` carries file data for writes;
     /// `read_len` is the payload capacity expected back (file data for
     /// reads, dirent bytes for readdir).
@@ -69,6 +127,13 @@ impl FileChannel {
 
     /// Poll for one completion and decode its response header.
     pub fn poll(&mut self) -> Option<Result<FileCompletion, DecodeError>> {
+        self.poll_cid().map(|(_, r)| r)
+    }
+
+    /// Like [`poll`](FileChannel::poll), but the CID survives a decode
+    /// failure — multiplexers need it to route the error to the waiter
+    /// that owns the command.
+    pub fn poll_cid(&mut self) -> Option<(u16, Result<FileCompletion, DecodeError>)> {
         let Completion {
             cid,
             status,
@@ -80,11 +145,14 @@ impl FileChannel {
             CqeStatus::InvalidCommand => Ok(FileResponse::Err(22 /* EINVAL */)),
             _ => FileResponse::decode(&header),
         };
-        Some(response.map(|response| FileCompletion {
+        Some((
             cid,
-            response,
-            payload,
-        }))
+            response.map(|response| FileCompletion {
+                cid,
+                response,
+                payload,
+            }),
+        ))
     }
 
     /// Submit a file request whose payload is scattered across several
@@ -106,25 +174,53 @@ impl FileChannel {
         r
     }
 
+    /// Stage as many of `requests` as fit in the ring right now under a
+    /// single doorbell (payload-less commands, each expecting up to
+    /// `read_len` bytes back). Appends the CID of every staged command to
+    /// `cids` in submission order and returns how many were staged — zero
+    /// when the ring is full, in which case nothing was published.
+    pub fn submit_batch(
+        &mut self,
+        dispatch: DispatchType,
+        requests: &[FileRequest],
+        read_len: u32,
+        cids: &mut Vec<u16>,
+    ) -> usize {
+        let mut staged = 0usize;
+        let mut batch = self.ini.batch();
+        for req in requests {
+            self.hdr_buf.clear();
+            req.encode(&mut self.hdr_buf);
+            match batch.submit(dispatch, &self.hdr_buf, b"", read_len) {
+                Ok(cid) => {
+                    cids.push(cid);
+                    staged += 1;
+                }
+                Err(QueueFull) => break,
+            }
+        }
+        batch.commit();
+        staged
+    }
+
     /// Synchronous convenience: submit and spin for the matching reply.
-    /// Only valid when no other commands are outstanding on this channel.
+    /// Only valid when no other commands are outstanding on this channel;
+    /// a busy channel reports [`CallError::Busy`] (EBUSY) instead of
+    /// interleaving with (and possibly stealing) another command's reply.
     pub fn call(
         &mut self,
         dispatch: DispatchType,
         req: &FileRequest,
         write_payload: &[u8],
         read_len: u32,
-    ) -> Result<FileCompletion, DecodeError> {
-        assert_eq!(
-            self.outstanding(),
-            0,
-            "FileChannel::call requires an idle channel"
-        );
-        self.submit(dispatch, req, write_payload, read_len)
-            .expect("idle channel cannot be full");
+    ) -> Result<FileCompletion, CallError> {
+        if self.outstanding() != 0 {
+            return Err(CallError::Busy);
+        }
+        self.submit(dispatch, req, write_payload, read_len)?;
         loop {
             if let Some(done) = self.poll() {
-                return done;
+                return done.map_err(CallError::Decode);
             }
             std::hint::spin_loop();
         }
@@ -137,17 +233,14 @@ impl FileChannel {
         req: &FileRequest,
         segments: &[&[u8]],
         read_len: u32,
-    ) -> Result<FileCompletion, DecodeError> {
-        assert_eq!(
-            self.outstanding(),
-            0,
-            "FileChannel::call_sgl requires an idle channel"
-        );
-        self.submit_sgl(dispatch, req, segments, read_len)
-            .expect("idle channel cannot be full");
+    ) -> Result<FileCompletion, CallError> {
+        if self.outstanding() != 0 {
+            return Err(CallError::Busy);
+        }
+        self.submit_sgl(dispatch, req, segments, read_len)?;
         loop {
             if let Some(done) = self.poll() {
-                return done;
+                return done.map_err(CallError::Decode);
             }
             std::hint::spin_loop();
         }
@@ -165,12 +258,10 @@ impl FileChannel {
         requests: &[FileRequest],
         read_len: u32,
         out: &mut Vec<FileCompletion>,
-    ) -> Result<(), DecodeError> {
-        assert_eq!(
-            self.outstanding(),
-            0,
-            "FileChannel::call_many requires an idle channel"
-        );
+    ) -> Result<(), CallError> {
+        if self.outstanding() != 0 {
+            return Err(CallError::Busy);
+        }
         out.clear();
         let mut first_err = None;
         let mut next = 0usize;
@@ -219,7 +310,7 @@ impl FileChannel {
             }
         }
         match first_err {
-            Some(e) => Err(e),
+            Some(e) => Err(CallError::Decode(e)),
             None => Ok(()),
         }
     }
@@ -345,8 +436,7 @@ impl FileTarget {
                 read_len: sqe.read_len(),
             }),
             Err(_) => {
-                self.tgt
-                    .complete(slot, CqeStatus::InvalidCommand, b"", b"");
+                self.tgt.complete(slot, CqeStatus::InvalidCommand, b"", b"");
                 None
             }
         }
@@ -530,14 +620,12 @@ mod tests {
     #[test]
     fn call_helper_round_trips_synchronously() {
         let (mut chan, mut tgt, _) = one_pair();
-        let server = std::thread::spawn(move || {
-            loop {
-                if let Some(inc) = tgt.poll() {
-                    tgt.reply(inc.slot, &FileResponse::Ino(77), b"");
-                    break;
-                }
-                std::hint::spin_loop();
+        let server = std::thread::spawn(move || loop {
+            if let Some(inc) = tgt.poll() {
+                tgt.reply(inc.slot, &FileResponse::Ino(77), b"");
+                break;
             }
+            std::hint::spin_loop();
         });
         let done = chan
             .call(
@@ -552,6 +640,57 @@ mod tests {
             .unwrap();
         assert_eq!(done.response, FileResponse::Ino(77));
         server.join().unwrap();
+    }
+
+    #[test]
+    fn busy_channel_reports_typed_error_instead_of_panicking() {
+        // Regression: the call* helpers used to assert an idle channel and
+        // kill the host thread on misuse; now they return CallError::Busy
+        // (EBUSY) and leave the in-flight command untouched.
+        let (mut chan, mut tgt, _) = one_pair();
+        chan.submit(
+            DispatchType::Standalone,
+            &FileRequest::GetAttr { ino: 1 },
+            b"",
+            0,
+        )
+        .unwrap();
+        assert_eq!(chan.outstanding(), 1);
+
+        let req = FileRequest::GetAttr { ino: 2 };
+        match chan.call(DispatchType::Standalone, &req, b"", 0) {
+            Err(CallError::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        match chan.call_sgl(DispatchType::Standalone, &req, &[b"x"], 0) {
+            Err(CallError::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        let mut out = Vec::new();
+        match chan.call_many(
+            DispatchType::Standalone,
+            std::slice::from_ref(&req),
+            0,
+            &mut out,
+        ) {
+            Err(CallError::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(CallError::Busy.errno(), 16);
+        assert_eq!(CallError::Full.errno(), 11);
+
+        // The original command is still serviceable.
+        let inc = tgt.poll().unwrap();
+        assert_eq!(inc.request, FileRequest::GetAttr { ino: 1 });
+        tgt.reply(inc.slot, &FileResponse::Ino(1), b"");
+        let done = loop {
+            if let Some(d) = chan.poll() {
+                break d.unwrap();
+            }
+        };
+        assert_eq!(done.response, FileResponse::Ino(1));
+        // And the channel is usable synchronously again.
+        assert_eq!(chan.outstanding(), 0);
     }
 
     #[test]

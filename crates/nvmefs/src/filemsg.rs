@@ -33,32 +33,83 @@ pub struct WireAttr {
 /// A file-semantic request from the host's fs-adapter to the DPU.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FileRequest {
-    Lookup { parent: u64, name: String },
-    Create { parent: u64, name: String, mode: u32 },
-    Mkdir { parent: u64, name: String, mode: u32 },
+    Lookup {
+        parent: u64,
+        name: String,
+    },
+    Create {
+        parent: u64,
+        name: String,
+        mode: u32,
+    },
+    Mkdir {
+        parent: u64,
+        name: String,
+        mode: u32,
+    },
     /// Read `len` bytes at `offset`; data returns in the read payload.
-    Read { ino: u64, offset: u64, len: u32 },
+    Read {
+        ino: u64,
+        offset: u64,
+        len: u32,
+    },
     /// Write the write payload (`len` bytes) at `offset`.
-    Write { ino: u64, offset: u64, len: u32 },
-    Truncate { ino: u64, size: u64 },
-    Unlink { parent: u64, name: String },
-    Rmdir { parent: u64, name: String },
+    Write {
+        ino: u64,
+        offset: u64,
+        len: u32,
+    },
+    Truncate {
+        ino: u64,
+        size: u64,
+    },
+    Unlink {
+        parent: u64,
+        name: String,
+    },
+    Rmdir {
+        parent: u64,
+        name: String,
+    },
     /// List a directory; entries return in the read payload.
-    Readdir { ino: u64 },
-    GetAttr { ino: u64 },
-    Rename { parent: u64, name: String, new_parent: u64, new_name: String },
-    Fsync { ino: u64 },
+    Readdir {
+        ino: u64,
+    },
+    GetAttr {
+        ino: u64,
+    },
+    Rename {
+        parent: u64,
+        name: String,
+        new_parent: u64,
+        new_name: String,
+    },
+    Fsync {
+        ino: u64,
+    },
     /// Hybrid-cache control: the host failed to allocate in `bucket` and
     /// notifies the DPU to perform cache replacement (§3.3's write
     /// protocol: "If it fails to allocate and lock, the host notifies the
     /// DPU to perform cache replacement").
-    CacheEvict { bucket: u64 },
+    CacheEvict {
+        bucket: u64,
+    },
     /// Hard link: a new name for the file at `ino`.
-    Link { ino: u64, new_parent: u64, new_name: String },
+    Link {
+        ino: u64,
+        new_parent: u64,
+        new_name: String,
+    },
     /// Symbolic link at `parent`/`name` pointing to `target`.
-    Symlink { parent: u64, name: String, target: String },
+    Symlink {
+        parent: u64,
+        name: String,
+        target: String,
+    },
     /// Read a symlink's target (returned in the read payload).
-    Readlink { ino: u64 },
+    Readlink {
+        ino: u64,
+    },
 }
 
 /// A response header from the DPU.

@@ -18,20 +18,25 @@
 //! Layers: [`Sqe`]/[`Cqe`] (bit-exact entries) → [`QueuePair`] /
 //! [`Initiator`] / [`Target`] (rings over DMA-able host memory) →
 //! [`FileChannel`] / [`FileTarget`] (typed [`FileRequest`] /
-//! [`FileResponse`] framing).
+//! [`FileResponse`] framing) → [`ChannelPool`] (shared multi-threaded
+//! multiplexer over all queues, CID-matched completions, per-thread
+//! queue affinity).
 
 mod driver;
 mod filemsg;
+mod pool;
 mod queue;
 mod sqe;
 
 pub use driver::{
-    create_fabric, FileChannel, FileCompletion, FileIncoming, FileIncomingBatch, FileTarget,
+    create_fabric, CallError, FileChannel, FileCompletion, FileIncoming, FileIncomingBatch,
+    FileTarget,
 };
 pub use filemsg::{
     decode_dirents, encode_dirents, DecodeError, FileRequest, FileResponse, WireAttr, WireDirent,
     MAX_NAME_LEN,
 };
+pub use pool::{ChannelPool, PoolStats};
 pub use queue::{
     Completion, CompletionBatch, DoorbellGuard, Incoming, IncomingBatch, Initiator, QueueFull,
     QueuePair, QueuePairConfig, SubmitOp, Target, READ_HEADER_CAP, SGL_LIST_CAP, SGL_MAX_SEGMENTS,

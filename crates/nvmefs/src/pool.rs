@@ -1,0 +1,603 @@
+//! The host-side channel multiplexer.
+//!
+//! [`ChannelPool`] turns the fabric's queue pairs into one shared,
+//! thread-safe transport: any number of host threads issue synchronous
+//! calls concurrently, each queue carries many commands in flight, and
+//! completions are matched back to their callers by CID. This is what the
+//! paper's host scaling story (Fig 6/7) requires — and what the previous
+//! big-lock-around-a-blocking-RPC host adapter (the DPFS/virtio-fs
+//! pattern) made impossible.
+//!
+//! Locking discipline, the whole point of this module:
+//!
+//! - Each queue has one small mutex covering its [`FileChannel`] *and* its
+//!   CID→waiter table. The mutex is held only to stage/submit a command
+//!   and register its waiter, or to drain completions and hand them to
+//!   their waiters. **It is never held across a link round-trip.**
+//! - A submitting thread registers a one-shot waiter slot under the queue
+//!   lock (so a completion can never arrive unrouteable), releases the
+//!   lock, and then waits: check the slot, opportunistically `try_lock`
+//!   the queue to poll-and-deliver, spin briefly, yield. Whichever thread
+//!   happens to hold the queue while a CQE lands delivers it to the
+//!   owning waiter — there is no dedicated poller thread to bottleneck on.
+//! - Per-thread queue affinity (thread-id hash → preferred qid) keeps the
+//!   fast path on an uncontended queue; when the preferred queue's ring is
+//!   full the submitter steals the next queue instead of blocking.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::driver::{CallError, FileChannel, FileCompletion};
+use crate::filemsg::{DecodeError, FileRequest};
+use crate::queue::QueueFull;
+use crate::sqe::DispatchType;
+
+/// One-shot completion mailbox: filled exactly once by whichever thread
+/// drains the matching CQE, consumed exactly once by the submitting
+/// thread.
+struct Waiter {
+    ready: AtomicBool,
+    done: Mutex<Option<Result<FileCompletion, DecodeError>>>,
+}
+
+impl Waiter {
+    fn new() -> Arc<Waiter> {
+        Arc::new(Waiter {
+            ready: AtomicBool::new(false),
+            done: Mutex::new(None),
+        })
+    }
+
+    fn fill(&self, result: Result<FileCompletion, DecodeError>) {
+        *self.done.lock() = Some(result);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn try_take(&self) -> Option<Result<FileCompletion, DecodeError>> {
+        if !self.ready.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(
+            self.done
+                .lock()
+                .take()
+                .expect("ready waiter holds a completion"),
+        )
+    }
+}
+
+/// Per-queue state: the channel and the CID→waiter routing table, guarded
+/// together so a published command always has its waiter registered before
+/// anyone can poll its completion.
+struct QueueInner {
+    chan: FileChannel,
+    /// Slot-indexed (CID == slot) one-shot waiters for in-flight commands.
+    waiters: Vec<Option<Arc<Waiter>>>,
+}
+
+struct PoolQueue {
+    inner: Mutex<QueueInner>,
+}
+
+/// Counters for observing the multiplexer (all monotonic).
+#[derive(Copy, Clone, Default, Debug)]
+pub struct PoolStats {
+    /// Commands submitted through the pool.
+    pub submitted: u64,
+    /// Completions delivered to waiters.
+    pub completed: u64,
+    /// Submissions that left their preferred queue because it was full.
+    pub steals: u64,
+    /// Full passes over every queue that found no free slot anywhere.
+    pub full_stalls: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    steals: AtomicU64,
+    full_stalls: AtomicU64,
+}
+
+/// Shared, thread-safe multiplexer over all of the fabric's queue pairs.
+///
+/// Cheap to share (`Arc`); every [`DpcFs`-style] adapter holds a clone.
+/// See the module docs for the locking discipline.
+pub struct ChannelPool {
+    queues: Vec<PoolQueue>,
+    stats: StatCells,
+}
+
+/// How long a waiter spins before yielding the CPU. Short on purpose: on
+/// an oversubscribed host (more runnable threads than cores) the reply
+/// cannot arrive until the DPU service thread is scheduled, so parking
+/// early is what lets N threads pipeline over one core.
+const WAIT_SPINS: u32 = 64;
+
+impl ChannelPool {
+    /// Wrap the fabric's host halves into one shared multiplexer.
+    pub fn new(channels: Vec<FileChannel>) -> ChannelPool {
+        assert!(!channels.is_empty(), "a pool needs at least one queue");
+        let queues = channels
+            .into_iter()
+            .map(|chan| {
+                let depth = chan.depth() as usize;
+                PoolQueue {
+                    inner: Mutex::new(QueueInner {
+                        chan,
+                        waiters: (0..depth).map(|_| None).collect(),
+                    }),
+                }
+            })
+            .collect();
+        ChannelPool {
+            queues,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Number of underlying queue pairs.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Commands currently in flight on queue `qid`.
+    pub fn outstanding(&self, qid: usize) -> usize {
+        self.queues[qid].inner.lock().chan.outstanding()
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            steals: self.stats.steals.load(Ordering::Relaxed),
+            full_stalls: self.stats.full_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The calling thread's preferred queue: a hash of its thread id. A
+    /// stable choice keeps each thread on one (ideally uncontended) queue;
+    /// correctness never depends on it.
+    pub fn preferred_queue(&self) -> usize {
+        use std::hash::{Hash, Hasher};
+        thread_local! {
+            static TID_HASH: u64 = {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish()
+            };
+        }
+        (TID_HASH.with(|h| *h) as usize) % self.queues.len()
+    }
+
+    /// Drain every available completion on `g`'s channel and hand each to
+    /// its registered waiter. Caller holds the queue lock.
+    fn deliver(&self, g: &mut QueueInner) -> usize {
+        let mut n = 0usize;
+        while let Some((cid, result)) = g.chan.poll_cid() {
+            match g.waiters[cid as usize].take() {
+                Some(w) => w.fill(result),
+                // Unreachable by construction (waiters are registered
+                // under the same lock before the doorbell's effect can be
+                // polled), but a lost completion must not wedge delivery
+                // of the rest.
+                None => debug_assert!(false, "completion for cid {cid} had no waiter"),
+            }
+            n += 1;
+        }
+        self.stats.completed.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Submit one command on the first queue with a free slot, starting at
+    /// `start`, and register its waiter. Returns the queue it landed on.
+    fn submit_slot<F>(&self, start: usize, mut stage: F) -> (usize, Arc<Waiter>)
+    where
+        F: FnMut(&mut FileChannel) -> Result<u16, QueueFull>,
+    {
+        let n = self.queues.len();
+        loop {
+            for attempt in 0..n {
+                let qid = (start + attempt) % n;
+                let mut g = self.queues[qid].inner.lock();
+                let cid = match stage(&mut g.chan) {
+                    Ok(cid) => Some(cid),
+                    Err(QueueFull) => {
+                        // Free slots whose completions already landed,
+                        // then retry once before stealing the next queue.
+                        self.deliver(&mut g);
+                        stage(&mut g.chan).ok()
+                    }
+                };
+                if let Some(cid) = cid {
+                    let w = Waiter::new();
+                    debug_assert!(g.waiters[cid as usize].is_none());
+                    g.waiters[cid as usize] = Some(w.clone());
+                    self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                    if attempt > 0 {
+                        self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return (qid, w);
+                }
+            }
+            // Every ring is full: other threads' replies are in flight.
+            // Yield so the DPU side can run, then sweep again.
+            self.stats.full_stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Wait for `w` to be filled, opportunistically polling `qid` so that
+    /// *somebody* always drains the queue. No lock is held while waiting.
+    fn wait(&self, qid: usize, w: &Waiter) -> Result<FileCompletion, CallError> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(done) = w.try_take() {
+                return done.map_err(CallError::Decode);
+            }
+            if let Some(mut g) = self.queues[qid].inner.try_lock() {
+                if self.deliver(&mut g) > 0 {
+                    continue;
+                }
+            }
+            spins += 1;
+            if spins > WAIT_SPINS {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Synchronous round-trip on the calling thread's preferred queue
+    /// (stealing a neighbour on `QueueFull`). Safe from any number of
+    /// threads concurrently; no lock is held across the round-trip.
+    pub fn call(
+        &self,
+        dispatch: DispatchType,
+        req: &FileRequest,
+        write_payload: &[u8],
+        read_len: u32,
+    ) -> Result<FileCompletion, CallError> {
+        self.call_on(
+            self.preferred_queue(),
+            dispatch,
+            req,
+            write_payload,
+            read_len,
+        )
+    }
+
+    /// [`call`](ChannelPool::call) with an explicit preferred queue
+    /// (tests, or callers with their own placement policy).
+    pub fn call_on(
+        &self,
+        preferred: usize,
+        dispatch: DispatchType,
+        req: &FileRequest,
+        write_payload: &[u8],
+        read_len: u32,
+    ) -> Result<FileCompletion, CallError> {
+        let (qid, w) = self.submit_slot(preferred, |chan| {
+            chan.submit(dispatch, req, write_payload, read_len)
+        });
+        self.wait(qid, &w)
+    }
+
+    /// Synchronous scattered (writev-style) round-trip via SGL.
+    pub fn call_sgl(
+        &self,
+        dispatch: DispatchType,
+        req: &FileRequest,
+        segments: &[&[u8]],
+        read_len: u32,
+    ) -> Result<FileCompletion, CallError> {
+        let (qid, w) = self.submit_slot(self.preferred_queue(), |chan| {
+            chan.submit_sgl(dispatch, req, segments, read_len)
+        });
+        self.wait(qid, &w)
+    }
+
+    /// Batched synchronous fan-out: submit all `requests` (payload-less,
+    /// each expecting up to `read_len` bytes back), coalescing as many as
+    /// fit per doorbell, and return their completions in request order.
+    /// Chunks may land on different queues when rings fill; ordering is
+    /// restored by CID→index bookkeeping, not by arrival order.
+    pub fn call_many(
+        &self,
+        dispatch: DispatchType,
+        requests: &[FileRequest],
+        read_len: u32,
+    ) -> Result<Vec<FileCompletion>, CallError> {
+        let mut results: Vec<Option<FileCompletion>> = Vec::new();
+        results.resize_with(requests.len(), || None);
+        let mut first_err: Option<CallError> = None;
+        let n = self.queues.len();
+        let mut next = 0usize;
+        let mut cids: Vec<u16> = Vec::new();
+        while next < requests.len() {
+            // Stage one chunk under one doorbell on the first queue with
+            // room, registering a waiter per command before unlocking.
+            let start = self.preferred_queue();
+            let mut staged: Vec<(usize, Arc<Waiter>)> = Vec::new();
+            let mut chunk_qid = 0usize;
+            for attempt in 0..n {
+                let qid = (start + attempt) % n;
+                let mut g = self.queues[qid].inner.lock();
+                cids.clear();
+                let gi = &mut *g;
+                if gi
+                    .chan
+                    .submit_batch(dispatch, &requests[next..], read_len, &mut cids)
+                    == 0
+                {
+                    self.deliver(gi);
+                    gi.chan
+                        .submit_batch(dispatch, &requests[next..], read_len, &mut cids);
+                }
+                if !cids.is_empty() {
+                    for &cid in cids.iter() {
+                        let w = Waiter::new();
+                        debug_assert!(gi.waiters[cid as usize].is_none());
+                        gi.waiters[cid as usize] = Some(w.clone());
+                        staged.push((next, w));
+                        next += 1;
+                    }
+                    self.stats
+                        .submitted
+                        .fetch_add(cids.len() as u64, Ordering::Relaxed);
+                    if attempt > 0 {
+                        self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    chunk_qid = qid;
+                    break;
+                }
+            }
+            if staged.is_empty() {
+                self.stats.full_stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+                continue;
+            }
+            // Collect the whole chunk before staging the next one, so at
+            // most one ring's worth of this call is in flight at a time.
+            for (idx, w) in staged {
+                match self.wait(chunk_qid, &w) {
+                    Ok(c) => results[idx] = Some(c),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|c| c.expect("every request completed"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{create_fabric, FileTarget};
+    use crate::filemsg::FileResponse;
+    use crate::queue::QueuePairConfig;
+    use dpc_pcie::DmaEngine;
+
+    fn pool_with_targets(queues: usize, depth: u16) -> (Arc<ChannelPool>, Vec<FileTarget>) {
+        let dma = DmaEngine::new();
+        let (chans, tgts) = create_fabric(
+            queues,
+            QueuePairConfig {
+                depth,
+                max_io_bytes: 16 * 1024,
+            },
+            &dma,
+        );
+        (Arc::new(ChannelPool::new(chans)), tgts)
+    }
+
+    /// Serve every queue until `stop` flips: echo `GetAttr { ino }` back
+    /// as `Ino(ino)`.
+    fn spawn_echo_server(
+        mut tgts: Vec<FileTarget>,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let mut any = false;
+                for tgt in tgts.iter_mut() {
+                    while let Some(inc) = tgt.poll() {
+                        any = true;
+                        let FileRequest::GetAttr { ino } = inc.request else {
+                            panic!("echo server only speaks GetAttr");
+                        };
+                        tgt.reply(inc.slot, &FileResponse::Ino(ino), b"");
+                    }
+                }
+                if !any {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_queue() {
+        let (pool, tgts) = pool_with_targets(1, 16);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = spawn_echo_server(tgts, stop.clone());
+
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let ino = t * 1000 + i;
+                        let done = pool
+                            .call(
+                                DispatchType::Standalone,
+                                &FileRequest::GetAttr { ino },
+                                b"",
+                                0,
+                            )
+                            .unwrap();
+                        assert_eq!(done.response, FileResponse::Ino(ino));
+                    }
+                });
+            }
+        });
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 8 * 50);
+        assert_eq!(stats.completed, 8 * 50);
+    }
+
+    #[test]
+    fn out_of_order_completions_route_by_cid() {
+        // One queue, two in-flight commands, replies delivered in reverse
+        // submission order: each caller must still get *its* reply.
+        let (pool, mut tgts) = pool_with_targets(1, 8);
+        let mut tgt = tgts.pop().unwrap();
+
+        let server = std::thread::spawn(move || {
+            // Gather both requests before replying to either.
+            let mut pending = Vec::new();
+            while pending.len() < 2 {
+                if let Some(inc) = tgt.poll() {
+                    pending.push(inc);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            // Reply in reverse arrival order.
+            for inc in pending.into_iter().rev() {
+                let FileRequest::GetAttr { ino } = inc.request else {
+                    panic!("unexpected request");
+                };
+                tgt.reply(inc.slot, &FileResponse::Ino(ino), b"");
+            }
+        });
+
+        std::thread::scope(|s| {
+            for ino in [111u64, 222u64] {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let done = pool
+                        .call(
+                            DispatchType::Standalone,
+                            &FileRequest::GetAttr { ino },
+                            b"",
+                            0,
+                        )
+                        .unwrap();
+                    assert_eq!(done.response, FileResponse::Ino(ino), "caller {ino}");
+                });
+            }
+        });
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn full_preferred_queue_steals_a_neighbour() {
+        // depth 2 → one usable slot per queue. Occupy queue 0 with a
+        // command the server will not answer until queue 1 has served a
+        // stolen call.
+        let (pool, mut tgts) = pool_with_targets(2, 2);
+        let tgt1 = tgts.pop().unwrap();
+        let mut tgt0 = tgts.pop().unwrap();
+
+        let release = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Queue 0's server: hold the reply until released.
+        let r = release.clone();
+        let server0 = std::thread::spawn(move || {
+            let inc = loop {
+                if let Some(inc) = tgt0.poll() {
+                    break inc;
+                }
+                std::thread::yield_now();
+            };
+            while !r.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let FileRequest::GetAttr { ino } = inc.request else {
+                panic!();
+            };
+            tgt0.reply(inc.slot, &FileResponse::Ino(ino), b"");
+        });
+        let server1 = spawn_echo_server(vec![tgt1], stop.clone());
+
+        std::thread::scope(|s| {
+            // Occupant of queue 0's only slot.
+            let p = pool.clone();
+            let blocker = s.spawn(move || {
+                let done = p
+                    .call_on(
+                        0,
+                        DispatchType::Standalone,
+                        &FileRequest::GetAttr { ino: 1 },
+                        b"",
+                        0,
+                    )
+                    .unwrap();
+                assert_eq!(done.response, FileResponse::Ino(1));
+            });
+            // Wait until the slot is actually taken.
+            while pool.outstanding(0) == 0 {
+                std::thread::yield_now();
+            }
+            // Prefers queue 0, finds it full, must steal queue 1 — and
+            // completes while queue 0's reply is still being held back.
+            let done = pool
+                .call_on(
+                    0,
+                    DispatchType::Standalone,
+                    &FileRequest::GetAttr { ino: 2 },
+                    b"",
+                    0,
+                )
+                .unwrap();
+            assert_eq!(done.response, FileResponse::Ino(2));
+            assert_eq!(pool.outstanding(0), 1, "queue 0's command still in flight");
+            assert!(pool.stats().steals >= 1);
+
+            release.store(true, Ordering::Release);
+            blocker.join().unwrap();
+        });
+        stop.store(true, Ordering::Release);
+        server0.join().unwrap();
+        server1.join().unwrap();
+    }
+
+    #[test]
+    fn call_many_restores_request_order() {
+        let (pool, tgts) = pool_with_targets(2, 8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = spawn_echo_server(tgts, stop.clone());
+
+        // More requests than one ring holds → multiple chunks.
+        let requests: Vec<FileRequest> =
+            (0..40u64).map(|ino| FileRequest::GetAttr { ino }).collect();
+        let done = pool
+            .call_many(DispatchType::Standalone, &requests, 0)
+            .unwrap();
+        assert_eq!(done.len(), 40);
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.response, FileResponse::Ino(i as u64), "slot {i}");
+        }
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+    }
+}

@@ -728,7 +728,10 @@ impl Target {
         // scattered segment.
         let woff = sqe.prp_write().0 as usize;
         let total = sqe.wh_len() as usize + sqe.write_len() as usize;
-        let sgl_write = matches!(sqe.psdt(), crate::sqe::Psdt::SglWrite | crate::sqe::Psdt::SglBoth);
+        let sgl_write = matches!(
+            sqe.psdt(),
+            crate::sqe::Psdt::SglWrite | crate::sqe::Psdt::SglBoth
+        );
         let mut buf = std::mem::take(&mut self.scratch);
         buf.clear();
         if sgl_write {
@@ -806,13 +809,7 @@ impl Target {
     /// header-less, payload-less completion (e.g. acknowledging a raw
     /// write) therefore costs exactly one CQE DMA — which is what keeps
     /// the raw 8 KiB write at the paper's 4 DMA operations.
-    pub fn complete(
-        &mut self,
-        slot: u16,
-        status: CqeStatus,
-        header: &[u8],
-        payload: &[u8],
-    ) {
+    pub fn complete(&mut self, slot: u16, status: CqeStatus, header: &[u8], payload: &[u8]) {
         let cfg = &self.shared.cfg;
         assert!(header.len() <= READ_HEADER_CAP, "response header too big");
         assert!(
@@ -865,10 +862,13 @@ mod tests {
 
     fn pair(depth: u16, max_io: usize) -> (Initiator, Target, DmaEngine) {
         let dma = DmaEngine::new();
-        let (ini, tgt) = QueuePair::new(0, QueuePairConfig {
-            depth,
-            max_io_bytes: max_io,
-        })
+        let (ini, tgt) = QueuePair::new(
+            0,
+            QueuePairConfig {
+                depth,
+                max_io_bytes: max_io,
+            },
+        )
         .split(dma.clone());
         (ini, tgt, dma)
     }
@@ -926,7 +926,8 @@ mod tests {
         // pages (2) = 4 DMA operations.
         let (mut ini, mut tgt, dma) = pair(8, 16 * 1024);
         let before = dma.snapshot();
-        ini.submit(DispatchType::Standalone, b"", b"", 8192).unwrap();
+        ini.submit(DispatchType::Standalone, b"", b"", 8192)
+            .unwrap();
         let inc = tgt.poll().unwrap();
         tgt.complete(inc.slot, CqeStatus::Success, b"", &[3u8; 8192]);
         let c = ini.wait();
@@ -987,10 +988,7 @@ mod tests {
         let (mut ini, mut tgt, _) = pair(16, 4096);
         let mut cids = Vec::new();
         for i in 0..10u8 {
-            cids.push(
-                ini.submit(DispatchType::Standalone, b"", &[i], 1)
-                    .unwrap(),
-            );
+            cids.push(ini.submit(DispatchType::Standalone, b"", &[i], 1).unwrap());
         }
         for _ in 0..10 {
             echo_one(&mut tgt);

@@ -384,7 +384,11 @@ mod tests {
         };
         let back = Cqe::from_bytes(&c.to_bytes());
         assert_eq!(back, c);
-        let c2 = Cqe { phase: false, status: CqeStatus::Success, ..c };
+        let c2 = Cqe {
+            phase: false,
+            status: CqeStatus::Success,
+            ..c
+        };
         assert_eq!(Cqe::from_bytes(&c2.to_bytes()), c2);
     }
 

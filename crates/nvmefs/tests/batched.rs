@@ -3,8 +3,8 @@
 //! wrap under load.
 
 use dpc_nvmefs::{
-    CompletionBatch, CqeStatus, DispatchType, IncomingBatch, Initiator, QueuePair,
-    QueuePairConfig, SubmitOp, Target,
+    CompletionBatch, CqeStatus, DispatchType, IncomingBatch, Initiator, QueuePair, QueuePairConfig,
+    SubmitOp, Target,
 };
 use dpc_pcie::DmaEngine;
 

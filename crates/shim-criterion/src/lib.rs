@@ -67,7 +67,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
@@ -122,7 +126,10 @@ impl Bencher {
 
         // Calibrate: double the per-sample iteration count until one
         // sample takes at least its share of the measurement budget.
-        let target = self.cfg.measurement_time.div_f64(self.cfg.sample_size as f64);
+        let target = self
+            .cfg
+            .measurement_time
+            .div_f64(self.cfg.sample_size as f64);
         let mut iters: u64 = 1;
         loop {
             let start = Instant::now();
@@ -136,7 +143,9 @@ impl Bencher {
             iters = if elapsed.is_zero() {
                 iters * 8
             } else {
-                (iters * 2).max((target.as_nanos() as u64 / elapsed.as_nanos().max(1) as u64).min(iters * 8))
+                (iters * 2).max(
+                    (target.as_nanos() as u64 / elapsed.as_nanos().max(1) as u64).min(iters * 8),
+                )
             };
         }
 
@@ -189,7 +198,10 @@ fn run_one<F>(cfg: &Criterion, id: &str, throughput: Option<Throughput>, mut f: 
 where
     F: FnMut(&mut Bencher),
 {
-    let mut bencher = Bencher { cfg: cfg.clone(), ns_per_iter: 0.0 };
+    let mut bencher = Bencher {
+        cfg: cfg.clone(),
+        ns_per_iter: 0.0,
+    };
     f(&mut bencher);
     let ns = bencher.ns_per_iter;
     let rate = match throughput {

@@ -228,7 +228,10 @@ pub struct Union<V> {
 impl<V> Union<V> {
     pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
         let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
-        assert!(total_weight > 0, "prop_oneof! needs at least one weighted arm");
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one weighted arm"
+        );
         Union { arms, total_weight }
     }
 }
@@ -261,14 +264,20 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> SizeRange {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -286,7 +295,10 @@ pub struct VecStrategy<S> {
 
 /// Vectors of `size` elements drawn from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -218,7 +218,10 @@ impl Simulation {
         measure: Nanos,
     ) -> RunReport {
         assert!(customers > 0, "need at least one customer");
-        assert!(measure > Nanos::ZERO, "measurement window must be non-empty");
+        assert!(
+            measure > Nanos::ZERO,
+            "measurement window must be non-empty"
+        );
         let mut custs: Vec<Customer> = (0..customers)
             .map(|_| Customer {
                 plan: Plan::default(),
@@ -276,9 +279,8 @@ impl Simulation {
                         // Cycle complete.
                         let cust = &mut custs[c];
                         let latency = self.now - cust.cycle_start;
-                        let counted = stats_reset
-                            && cust.cycle_start >= warmup
-                            && !cust.plan.background;
+                        let counted =
+                            stats_reset && cust.cycle_start >= warmup && !cust.plan.background;
                         if counted {
                             let class = cust.plan.class;
                             while class_hist.len() <= class {
@@ -424,7 +426,12 @@ mod tests {
         let mut flow = move |_c: usize, _cy: u64, _now: Nanos, plan: &mut Plan| {
             plan.service(cpu, Nanos::from_micros(10.0));
         };
-        let report = sim.run(&mut flow, 2, Nanos::from_millis(1.0), Nanos::from_millis(10.0));
+        let report = sim.run(
+            &mut flow,
+            2,
+            Nanos::from_millis(1.0),
+            Nanos::from_millis(10.0),
+        );
         let c = report.class(0).unwrap();
         // Throughput still bounded by the single server: 100k ops/s.
         assert!((c.throughput - 100_000.0).abs() / 100_000.0 < 0.02);
@@ -439,7 +446,12 @@ mod tests {
         let mut flow = move |_c: usize, _cy: u64, _now: Nanos, plan: &mut Plan| {
             plan.service(cpu, Nanos::from_micros(10.0));
         };
-        let report = sim.run(&mut flow, 2, Nanos::from_millis(1.0), Nanos::from_millis(10.0));
+        let report = sim.run(
+            &mut flow,
+            2,
+            Nanos::from_millis(1.0),
+            Nanos::from_millis(10.0),
+        );
         let c = report.class(0).unwrap();
         assert!((c.throughput - 200_000.0).abs() / 200_000.0 < 0.02);
         assert!((c.latency.mean().as_micros() - 10.0).abs() < 0.5);
@@ -469,8 +481,14 @@ mod tests {
             plan.service(cpu, Nanos::from_micros(us));
         };
         let report = sim.run(&mut flow, 2, Nanos::ZERO, Nanos::from_millis(10.0));
-        assert_eq!(report.class(0).unwrap().latency.mean(), Nanos::from_micros(10.0));
-        assert_eq!(report.class(1).unwrap().latency.mean(), Nanos::from_micros(20.0));
+        assert_eq!(
+            report.class(0).unwrap().latency.mean(),
+            Nanos::from_micros(10.0)
+        );
+        assert_eq!(
+            report.class(1).unwrap().latency.mean(),
+            Nanos::from_micros(20.0)
+        );
     }
 
     #[test]
@@ -501,7 +519,10 @@ mod tests {
             plan.service(b, Nanos::from_micros(6.0));
         };
         let report = sim.run(&mut flow, 1, Nanos::ZERO, Nanos::from_millis(1.0));
-        assert_eq!(report.class(0).unwrap().latency.mean(), Nanos::from_micros(10.0));
+        assert_eq!(
+            report.class(0).unwrap().latency.mean(),
+            Nanos::from_micros(10.0)
+        );
         // b is the bottleneck at 60% utilization... no wait, single customer:
         // utilization of a = 0.3, b = 0.6.
         assert!((report.station("a").unwrap().utilization - 0.3).abs() < 0.01);
@@ -536,8 +557,13 @@ mod tests {
             let mut flow = move |_c: usize, _cy: u64, _now: Nanos, plan: &mut Plan| {
                 plan.service(dpu, Nanos::from_micros(10.0));
             };
-            sim.run(&mut flow, customers, Nanos::from_millis(1.0), Nanos::from_millis(20.0))
-                .total_throughput()
+            sim.run(
+                &mut flow,
+                customers,
+                Nanos::from_millis(1.0),
+                Nanos::from_millis(20.0),
+            )
+            .total_throughput()
         };
         let at_knee = run(8);
         let oversub = run(32);

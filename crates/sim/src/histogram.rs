@@ -223,7 +223,18 @@ mod tests {
 
     #[test]
     fn index_value_round_trip_stays_in_bucket() {
-        for v in [0u64, 1, 15, 16, 17, 255, 1023, 20_600, 1_000_000, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            255,
+            1023,
+            20_600,
+            1_000_000,
+            u32::MAX as u64,
+        ] {
             let idx = LatencyHistogram::index_of(v);
             let rep = LatencyHistogram::value_of(idx);
             // The representative must be within one sub-bucket width of v.

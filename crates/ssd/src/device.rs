@@ -91,17 +91,17 @@ impl BlockDevice {
             None => dst.fill(0),
         }
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(BLOCK_SIZE as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(BLOCK_SIZE as u64, Ordering::Relaxed);
     }
 
     /// Write one whole block.
     pub fn write_block(&self, block: u64, src: &[u8; BLOCK_SIZE]) {
         self.check(block);
-        self.shard(block)
-            .write()
-            .insert(block, Box::new(*src));
+        self.shard(block).write().insert(block, Box::new(*src));
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(BLOCK_SIZE as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(BLOCK_SIZE as u64, Ordering::Relaxed);
     }
 
     /// Deallocate (trim) a block; subsequent reads return zeros.

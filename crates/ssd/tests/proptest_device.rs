@@ -16,10 +16,12 @@ const DEV_BYTES: u64 = 64 * 4096;
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..DEV_BYTES - 9000, proptest::collection::vec(any::<u8>(), 1..9000))
+        (
+            0u64..DEV_BYTES - 9000,
+            proptest::collection::vec(any::<u8>(), 1..9000)
+        )
             .prop_map(|(offset, data)| Op::Write { offset, data }),
-        (0u64..DEV_BYTES - 9000, 1usize..9000)
-            .prop_map(|(offset, len)| Op::Read { offset, len }),
+        (0u64..DEV_BYTES - 9000, 1usize..9000).prop_map(|(offset, len)| Op::Read { offset, len }),
         (0u64..64).prop_map(|block| Op::Trim { block }),
     ]
 }

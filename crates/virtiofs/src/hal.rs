@@ -273,7 +273,10 @@ impl VirtioFsFront {
         let out = FuseOutHeader::from_bytes(&hb);
         let payload_len = (elem.len as usize).saturating_sub(OUT_HEADER_LEN);
         let payload = if payload_len > 0 {
-            self.shared.vq.buffers.read_local_vec(lay.data_out, payload_len)
+            self.shared
+                .vq
+                .buffers
+                .read_local_vec(lay.data_out, payload_len)
         } else {
             Vec::new()
         };

@@ -116,9 +116,9 @@ impl Virtqueue {
     pub fn push_avail_local(&self, head: u16) {
         let idx = self.avail_idx_local();
         let slot = (idx % self.depth) as usize;
+        self.avail.write_local(4 + slot * 2, &head.to_le_bytes());
         self.avail
-            .write_local(4 + slot * 2, &head.to_le_bytes());
-        self.avail.write_local(2, &(idx.wrapping_add(1)).to_le_bytes());
+            .write_local(2, &(idx.wrapping_add(1)).to_le_bytes());
     }
 
     pub fn used_idx_local(&self) -> u16 {
@@ -226,14 +226,33 @@ mod tests {
     fn descriptor_chain_walk() {
         let vq = Virtqueue::new(8, 65536);
         let dma = DmaEngine::new();
-        vq.write_desc_local(0, &Desc { addr: 0, len: 40, flags: VRING_DESC_F_NEXT, next: 1 });
-        vq.write_desc_local(1, &Desc { addr: 64, len: 8192, flags: VRING_DESC_F_NEXT, next: 2 });
-        vq.write_desc_local(2, &Desc {
-            addr: 9000,
-            len: 16,
-            flags: VRING_DESC_F_WRITE,
-            next: 0,
-        });
+        vq.write_desc_local(
+            0,
+            &Desc {
+                addr: 0,
+                len: 40,
+                flags: VRING_DESC_F_NEXT,
+                next: 1,
+            },
+        );
+        vq.write_desc_local(
+            1,
+            &Desc {
+                addr: 64,
+                len: 8192,
+                flags: VRING_DESC_F_NEXT,
+                next: 2,
+            },
+        );
+        vq.write_desc_local(
+            2,
+            &Desc {
+                addr: 9000,
+                len: 16,
+                flags: VRING_DESC_F_WRITE,
+                next: 0,
+            },
+        );
         let d0 = vq.dma_desc(&dma, 0);
         assert!(d0.has_next());
         let d1 = vq.dma_desc(&dma, d0.next);
@@ -259,9 +278,19 @@ mod tests {
         let vq = Virtqueue::new(8, 65536);
         let dma = DmaEngine::new();
         vq.buffers.write_local(128, b"hello device");
-        let d = Desc { addr: 128, len: 12, flags: 0, next: 0 };
+        let d = Desc {
+            addr: 128,
+            len: 12,
+            flags: 0,
+            next: 0,
+        };
         assert_eq!(vq.dma_read_buffer(&dma, &d), b"hello device");
-        let dw = Desc { addr: 4096, len: 64, flags: VRING_DESC_F_WRITE, next: 0 };
+        let dw = Desc {
+            addr: 4096,
+            len: 64,
+            flags: VRING_DESC_F_WRITE,
+            next: 0,
+        };
         vq.dma_write_buffer(&dma, &dw, b"response!");
         assert_eq!(vq.buffers.read_local_vec(4096, 9), b"response!");
     }
@@ -271,7 +300,12 @@ mod tests {
     fn device_cannot_write_driver_buffer() {
         let vq = Virtqueue::new(8, 4096);
         let dma = DmaEngine::new();
-        let d = Desc { addr: 0, len: 16, flags: 0, next: 0 };
+        let d = Desc {
+            addr: 0,
+            len: 16,
+            flags: 0,
+            next: 0,
+        };
         vq.dma_write_buffer(&dma, &d, b"nope");
     }
 }

@@ -23,7 +23,9 @@ pub enum Mix {
     WriteOnly,
     /// `read_pct` percent reads, rest writes (the paper's mix workload is
     /// 70% random read / 30% random write).
-    Mixed { read_pct: u8 },
+    Mixed {
+        read_pct: u8,
+    },
 }
 
 /// One generated I/O.

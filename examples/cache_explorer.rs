@@ -113,7 +113,10 @@ fn main() {
     let mut g = cache.begin_write(3, lpn).unwrap();
     g.write(0, &[3; 8]);
     g.commit_dirty();
-    println!("  retry succeeded; evictions so far: {}", cache.stats().evictions);
+    println!(
+        "  retry succeeded; evictions so far: {}",
+        cache.stats().evictions
+    );
 
     // --- sequential prefetch ------------------------------------------------
     println!("\n== sequential prefetch (Figure 8's 100x effect) ==");

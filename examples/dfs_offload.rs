@@ -10,8 +10,7 @@
 //! ```
 
 use dpc::dfs::{
-    DfsBackend, DfsConfig, DpcClient, FsClient, OpTrace, OptimizedClient, StandardClient,
-    DFS_BLOCK,
+    DfsBackend, DfsConfig, DpcClient, FsClient, OpTrace, OptimizedClient, StandardClient, DFS_BLOCK,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -62,7 +61,14 @@ fn main() {
     println!("workload: 64-block fill + {OPS} random 8K ops (70% read) + periodic stat\n");
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10} {:>9}",
-        "client", "mds-rpcs", "ds-rpcs", "forwards", "bytes-out", "bytes-in", "ec-bytes", "stat-hits"
+        "client",
+        "mds-rpcs",
+        "ds-rpcs",
+        "forwards",
+        "bytes-out",
+        "bytes-in",
+        "ec-bytes",
+        "stat-hits"
     );
 
     for flavour in ["standard", "optimized", "dpc"] {

@@ -42,7 +42,10 @@ fn main() {
             fs.write(fd, 0, &blob).unwrap();
             fs.close(fd).unwrap();
         }
-        println!("  pushed {name}: {layers} layers x {} KiB", layer_size / 1024);
+        println!(
+            "  pushed {name}: {layers} layers x {} KiB",
+            layer_size / 1024
+        );
     }
 
     println!("\n== registry listing ==");
@@ -93,7 +96,8 @@ fn main() {
     // Garbage-collect an image.
     println!("\n== removing web-frontend ==");
     for layer in fs.readdir("/images/web-frontend").unwrap() {
-        fs.unlink(&format!("/images/web-frontend/{}", layer.name)).unwrap();
+        fs.unlink(&format!("/images/web-frontend/{}", layer.name))
+            .unwrap();
     }
     fs.rmdir("/images/web-frontend").unwrap();
     println!(

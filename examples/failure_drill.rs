@@ -13,7 +13,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dpc::cache::{CacheConfig, ControlPlane, FlushPipeline, HybridCache, PipelineConfig, PAGE_SIZE};
+use dpc::cache::{
+    CacheConfig, ControlPlane, FlushPipeline, HybridCache, PipelineConfig, PAGE_SIZE,
+};
 use dpc::core::{Dpc, DpcConfig};
 use dpc::dfs::DfsConfig;
 use dpc::pcie::DmaEngine;
@@ -72,7 +74,9 @@ fn main() {
     // fake disaggregated store.
     for lpn in 0..4u64 {
         let mut g = cache.begin_write(1, lpn).unwrap();
-        let page: Vec<u8> = (0..PAGE_SIZE).map(|i| ((i as u64 + lpn) % 7) as u8).collect();
+        let page: Vec<u8> = (0..PAGE_SIZE)
+            .map(|i| ((i as u64 + lpn) % 7) as u8)
+            .collect();
         g.write(0, &page);
         g.commit_dirty();
     }

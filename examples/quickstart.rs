@@ -20,7 +20,8 @@ fn main() {
     // Plain file API, POSIX-style.
     fs.mkdir("/etc").unwrap();
     let fd = fs.create("/etc/app.conf").unwrap();
-    fs.write(fd, 0, b"listen=0.0.0.0:8080\nworkers=8\n").unwrap();
+    fs.write(fd, 0, b"listen=0.0.0.0:8080\nworkers=8\n")
+        .unwrap();
     fs.fsync(fd).unwrap();
 
     let mut buf = vec![0u8; 128];
@@ -29,7 +30,10 @@ fn main() {
     println!("{}", String::from_utf8_lossy(&buf[..n]));
 
     let attr = fs.stat("/etc/app.conf").unwrap();
-    println!("stat: ino={} size={} mode={:o}", attr.ino, attr.size, attr.mode);
+    println!(
+        "stat: ino={} size={} mode={:o}",
+        attr.ino, attr.size, attr.mode
+    );
 
     for entry in fs.readdir("/etc").unwrap() {
         println!(

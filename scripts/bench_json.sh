@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_PR2.json at the repo root: the PR 2 host-concurrency
+# thread sweep (model + functional, see crates/bench/src/sweep.rs).
+# Pass --quick for a fast smoke run (shrinks the functional grid).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dpc-bench --bin bench-pr2 -- "$@"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the whole workspace must build, pass every test, and be
-# clippy-clean (warnings are errors). CI runs exactly this script.
+# fmt- and clippy-clean (warnings are errors). CI runs exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --workspace --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings

@@ -45,7 +45,11 @@ fn sustained_mixed_stress() {
                         model.insert(name, vec![fill; len]);
                     } else if roll < 60 {
                         // Overwrite a random range of a random file.
-                        let name = model.keys().nth(rng.gen_range(0..model.len())).unwrap().clone();
+                        let name = model
+                            .keys()
+                            .nth(rng.gen_range(0..model.len()))
+                            .unwrap()
+                            .clone();
                         let content = model.get_mut(&name).unwrap();
                         if content.is_empty() {
                             continue;
@@ -64,7 +68,11 @@ fn sustained_mixed_stress() {
                         }
                     } else if roll < 80 {
                         // Verify a random file in full.
-                        let name = model.keys().nth(rng.gen_range(0..model.len())).unwrap().clone();
+                        let name = model
+                            .keys()
+                            .nth(rng.gen_range(0..model.len()))
+                            .unwrap()
+                            .clone();
                         let want = &model[&name];
                         let fd = fs.open(&name).unwrap();
                         let mut got = vec![0u8; want.len() + 8];
@@ -73,7 +81,11 @@ fn sustained_mixed_stress() {
                         assert_eq!(&got[..want.len()], &want[..], "{name} content");
                     } else if roll < 90 {
                         // Truncate.
-                        let name = model.keys().nth(rng.gen_range(0..model.len())).unwrap().clone();
+                        let name = model
+                            .keys()
+                            .nth(rng.gen_range(0..model.len()))
+                            .unwrap()
+                            .clone();
                         let content = model.get_mut(&name).unwrap();
                         let new_len = rng.gen_range(0..=content.len());
                         let fd = fs.open(&name).unwrap();
@@ -81,7 +93,11 @@ fn sustained_mixed_stress() {
                         content.truncate(new_len);
                     } else {
                         // Delete.
-                        let name = model.keys().nth(rng.gen_range(0..model.len())).unwrap().clone();
+                        let name = model
+                            .keys()
+                            .nth(rng.gen_range(0..model.len()))
+                            .unwrap()
+                            .clone();
                         fs.unlink(&name).unwrap();
                         model.remove(&name);
                     }
