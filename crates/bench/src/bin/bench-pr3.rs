@@ -1,0 +1,175 @@
+//! `bench-pr3` — degraded-read throughput under fault injection,
+//! emitting machine-readable `BENCH_PR3.json` at the repo root.
+//!
+//! Measures the DFS block-read path end to end (host adapter → nvme-fs →
+//! DPU dispatch → offloaded client → EC-striped data servers) in three
+//! configurations:
+//!
+//! - **healthy**: faults disabled. The recovery machinery must be
+//!   invisible here — the run also proves every recovery counter reads
+//!   zero (the <3% regression budget of PR 3 is judged against this
+//!   number).
+//! - **degraded**: one data server hard-failed (`--faults`). Every
+//!   stripe that placed a data shard on it is served by client-side
+//!   Reed–Solomon reconstruction.
+//! - **chaos**: a seeded [`FaultPlan`] with transient transport and
+//!   data-server faults (`--faults`). Throughput with bounded retries
+//!   absorbing the noise.
+//!
+//! Usage: `cargo run --release -p dpc-bench --bin bench-pr3 [--faults] [--quick]`
+//! (`--faults` adds the degraded and chaos scenarios; `--quick` shrinks
+//! the per-scenario duration).
+
+use std::time::{Duration, Instant};
+
+use dpc_core::{Dpc, DpcConfig};
+use dpc_dfs::{DfsConfig, DFS_BLOCK};
+use dpc_sim::{FaultPlan, FaultSpec};
+
+const BLOCKS: u64 = 64;
+const CHAOS_SEED: u64 = 1;
+
+struct Scenario {
+    name: &'static str,
+    ops: u64,
+    elapsed_s: f64,
+    blocks_per_s: f64,
+    mb_per_s: f64,
+    reconstructions: u64,
+    retries: u64,
+}
+
+fn run_reads(name: &'static str, dpc: &Dpc, ino: u64, per_point: Duration) -> Scenario {
+    let fs = dpc.fs();
+    // Warm-up pass: fault-free placement decisions, cache priming.
+    for b in 0..BLOCKS {
+        fs.dfs_read_block(ino, b).expect("warm-up read");
+    }
+    let before = dpc.metrics().recovery;
+    let start = Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed() < per_point {
+        let b = ops % BLOCKS;
+        let got = fs.dfs_read_block(ino, b).expect("benchmark read");
+        assert_eq!(got.len(), DFS_BLOCK);
+        ops += 1;
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let after = dpc.metrics().recovery;
+    let blocks_per_s = ops as f64 / elapsed_s;
+    Scenario {
+        name,
+        ops,
+        elapsed_s,
+        blocks_per_s,
+        mb_per_s: blocks_per_s * DFS_BLOCK as f64 / (1 << 20) as f64,
+        reconstructions: after.reconstructions - before.reconstructions,
+        retries: (after.ds_retries + after.link_retries)
+            - (before.ds_retries + before.link_retries),
+    }
+}
+
+fn populated(cfg: DpcConfig) -> (Dpc, u64) {
+    let dpc = Dpc::new(cfg);
+    let fs = dpc.fs();
+    let ino = fs.dfs_create(0, "bench.bin").expect("create");
+    let block: Vec<u8> = (0..DFS_BLOCK as u32).map(|i| (i % 251) as u8).collect();
+    for b in 0..BLOCKS {
+        fs.dfs_write_block(ino, b, &block).expect("populate");
+    }
+    fs.dfs_sync().expect("sync");
+    (dpc, ino)
+}
+
+fn main() {
+    let faults = std::env::args().any(|a| a == "--faults");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_point = if quick {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(500)
+    };
+
+    let mut scenarios = Vec::new();
+
+    // Healthy baseline: recovery machinery must be dormant.
+    {
+        let (dpc, ino) = populated(DpcConfig {
+            dfs: Some(DfsConfig::default()),
+            ..DpcConfig::default()
+        });
+        let s = run_reads("healthy", &dpc, ino, per_point);
+        let r = dpc.metrics().recovery;
+        assert_eq!(
+            r.link_retries + r.ds_retries + r.mds_retries + r.reconstructions,
+            0,
+            "healthy run must not touch the recovery machinery"
+        );
+        scenarios.push(s);
+    }
+
+    if faults {
+        // Degraded: one data server hard-down for the whole read phase.
+        {
+            let (dpc, ino) = populated(DpcConfig {
+                dfs: Some(DfsConfig::default()),
+                ..DpcConfig::default()
+            });
+            let backend = dpc.dfs_backend().expect("dfs configured").clone();
+            backend.enable_recovery();
+            backend.data_server(0).set_failed(true);
+            scenarios.push(run_reads("degraded-1ds", &dpc, ino, per_point));
+        }
+        // Chaos: seeded transient faults on the transport and two servers.
+        {
+            let plan = FaultPlan::new(CHAOS_SEED);
+            plan.arm("nvmefs.sqe_error", FaultSpec::probability(0.02));
+            plan.arm("ds.0.rpc", FaultSpec::probability(0.10));
+            plan.arm("ds.3.rpc", FaultSpec::probability(0.10));
+            let (dpc, ino) = populated(DpcConfig {
+                dfs: Some(DfsConfig::default()),
+                faults: Some(plan),
+                ..DpcConfig::default()
+            });
+            scenarios.push(run_reads("chaos-seeded", &dpc, ino, per_point));
+        }
+    }
+
+    for s in &scenarios {
+        println!(
+            "{:>14}: {:>9.0} blocks/s ({:>7.1} MiB/s), {} ops in {:.2}s, {} reconstructions, {} retries",
+            s.name, s.blocks_per_s, s.mb_per_s, s.ops, s.elapsed_s, s.reconstructions, s.retries
+        );
+    }
+    if let (Some(h), Some(d)) = (
+        scenarios.iter().find(|s| s.name == "healthy"),
+        scenarios.iter().find(|s| s.name == "degraded-1ds"),
+    ) {
+        println!(
+            "degraded-read throughput: {:.1}% of healthy",
+            d.blocks_per_s / h.blocks_per_s * 100.0
+        );
+    }
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    std::fs::write(json_path, render_json(&scenarios, faults)).expect("write BENCH_PR3.json");
+    eprintln!("wrote {json_path}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(scenarios: &[Scenario], faults: bool) -> String {
+    let mut rows = String::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"ops\": {}, \"elapsed_s\": {:.4}, \"blocks_per_s\": {:.1}, \"mb_per_s\": {:.2}, \"reconstructions\": {}, \"retries\": {}}}",
+            s.name, s.ops, s.elapsed_s, s.blocks_per_s, s.mb_per_s, s.reconstructions, s.retries
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"pr3-fault-recovery\",\n  \"block_bytes\": {},\n  \"blocks\": {},\n  \"faults\": {},\n  \"chaos_seed\": {},\n  \"scenarios\": [\n{rows}\n  ]\n}}\n",
+        DFS_BLOCK, BLOCKS, faults, CHAOS_SEED
+    )
+}

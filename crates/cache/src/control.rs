@@ -29,6 +29,15 @@ use crate::layout::{EntryStatus, PAGE_SIZE};
 /// Back-end sink for flushed dirty pages (the disaggregated store).
 pub trait FlushBackend {
     fn flush(&mut self, ino: u64, lpn: u64, page: &[u8]);
+
+    /// Fallible flush: `false` means the backend transiently refused the
+    /// page. The control plane retries in-pass and, failing that, parks
+    /// the page in the quarantine rather than wedging the flusher.
+    /// Infallible backends get this default and never fail.
+    fn try_flush(&mut self, ino: u64, lpn: u64, page: &[u8]) -> bool {
+        self.flush(ino, lpn, page);
+        true
+    }
 }
 
 impl<F: FnMut(u64, u64, &[u8])> FlushBackend for F {
@@ -36,6 +45,10 @@ impl<F: FnMut(u64, u64, &[u8])> FlushBackend for F {
         self(ino, lpn, page)
     }
 }
+
+/// In-pass reissues of a failed `try_flush` before the page is given up
+/// on (quarantined or left dirty) for this pass.
+const FLUSH_RETRIES: u32 = 3;
 
 /// Back-end source for prefetched pages.
 pub trait ReadBackend {
@@ -115,9 +128,35 @@ impl ControlPlane {
     }
 
     /// One flush pass over the meta area: safely flush every dirty page
-    /// the pass can read-lock. Returns the number of pages flushed.
+    /// the pass can read-lock. Returns the number of pages flushed
+    /// (including quarantined pages drained to the backend).
+    ///
+    /// A `try_flush` failure is retried [`FLUSH_RETRIES`] times in-pass;
+    /// a page that still won't flush moves to the bounded quarantine (its
+    /// entry turns clean and reclaimable) or, when the quarantine is full,
+    /// stays dirty so the bucket surfaces back-pressure instead of the
+    /// flusher wedging on it forever.
     pub fn flush_pass(&mut self, backend: &mut dyn FlushBackend) -> usize {
         let mut flushed = 0;
+
+        // Quarantined pages first: their cache entries may be long gone,
+        // so this pass is their only route to durability. Pages the
+        // backend still refuses are re-parked. No DMA/atomics recorded —
+        // the data already lives in DPU-side memory.
+        let parked: Vec<((u64, u64), Vec<u8>)> = self.cache.quarantine.lock().drain().collect();
+        for ((ino, lpn), page) in parked {
+            if backend.try_flush(ino, lpn, &page) {
+                self.cache
+                    .stats
+                    .quarantine_drains
+                    .fetch_add(1, Ordering::Relaxed);
+                self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                flushed += 1;
+            } else {
+                self.cache.quarantine.lock().insert((ino, lpn), page);
+            }
+        }
+
         let mut page = [0u8; PAGE_SIZE];
         for idx in 0..self.cache.cfg.pages {
             let e = &self.cache.entries[idx];
@@ -138,12 +177,43 @@ impl ControlPlane {
                 // SAFETY: read lock held on entry `idx`.
                 unsafe { self.cache.pages.read(idx, 0, &mut page) };
                 self.dma.record_external_dma(valid as u64);
-                backend.flush(ino, lpn, &page[..valid]);
-                // Mark clean while still holding the read lock — the write
-                // lock is excluded, so no writer can interleave.
-                e.set_status(EntryStatus::Clean);
-                self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
-                flushed += 1;
+                let mut ok = backend.try_flush(ino, lpn, &page[..valid]);
+                let mut tries = 0;
+                while !ok && tries < FLUSH_RETRIES {
+                    tries += 1;
+                    self.cache
+                        .stats
+                        .flush_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(50 << tries));
+                    ok = backend.try_flush(ino, lpn, &page[..valid]);
+                }
+                if ok {
+                    // A newer flush of this page supersedes any parked copy.
+                    self.cache.quarantine.lock().remove(&(ino, lpn));
+                    // Mark clean while still holding the read lock — the
+                    // write lock is excluded, so no writer can interleave.
+                    e.set_status(EntryStatus::Clean);
+                    self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                    flushed += 1;
+                } else {
+                    self.cache
+                        .stats
+                        .flush_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut q = self.cache.quarantine.lock();
+                    if q.len() < crate::host::QUARANTINE_CAP {
+                        q.insert((ino, lpn), page[..valid].to_vec());
+                        drop(q);
+                        // The quarantine now owns the only durable-pending
+                        // copy; the entry is reclaimable (but not evictable
+                        // — see `evict_one`).
+                        e.set_status(EntryStatus::Clean);
+                    }
+                    // Quarantine full: leave the entry dirty. The bucket
+                    // eventually reports NeedEviction with nothing
+                    // evictable, which the host surfaces as EBUSY.
+                }
             }
             // PCIe atomic: release the read lock.
             self.dma.record_atomic();
@@ -164,6 +234,12 @@ impl ControlPlane {
         for idx in self.cache.chain(bucket) {
             let e = &self.cache.entries[idx];
             if e.status() == EntryStatus::Clean {
+                // A quarantined page's cached copy is the only one a read
+                // can still see (the backend never accepted it) — evicting
+                // it would serve stale data from the backend.
+                if self.cache.is_quarantined(e.ino(), e.lpn()) {
+                    continue;
+                }
                 let t = self.cache.touch[idx].load(Ordering::Relaxed);
                 if victim.is_none_or(|(_, vt)| t < vt) {
                     victim = Some((idx, t));
@@ -413,6 +489,133 @@ mod tests {
         );
         let inserted = cp.on_read_miss(1, 1, &mut backend);
         assert_eq!(inserted, 2); // lpns 2,3 exist; 4 is EOF
+    }
+
+    /// A flush sink that refuses the next `fail_next` try_flush calls.
+    struct FlakySink {
+        fail_next: usize,
+        flushed: Vec<(u64, u64, Vec<u8>)>,
+    }
+
+    impl FlushBackend for FlakySink {
+        fn flush(&mut self, ino: u64, lpn: u64, page: &[u8]) {
+            self.flushed.push((ino, lpn, page.to_vec()));
+        }
+        fn try_flush(&mut self, ino: u64, lpn: u64, page: &[u8]) -> bool {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return false;
+            }
+            self.flush(ino, lpn, page);
+            true
+        }
+    }
+
+    #[test]
+    fn transient_flush_failure_recovers_in_pass() {
+        let (cache, mut cp, _) = setup(64, 8);
+        let mut g = cache.begin_write(1, 1).unwrap();
+        g.write(0, &[5; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut sink = FlakySink {
+            fail_next: 2,
+            flushed: Vec::new(),
+        };
+        assert_eq!(cp.flush_pass(&mut sink), 1);
+        let s = cache.stats();
+        assert_eq!(s.flush_retries, 2);
+        assert_eq!(s.flush_failures, 0);
+        assert_eq!(sink.flushed.len(), 1);
+        assert_eq!(cache.dirty_pages(), 0);
+        assert_eq!(cache.quarantined_pages(), 0);
+    }
+
+    #[test]
+    fn persistent_flush_failure_quarantines_then_drains() {
+        let (cache, mut cp, _) = setup(64, 8);
+        let mut g = cache.begin_write(2, 7).unwrap();
+        g.write(0, &[9; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut sink = FlakySink {
+            fail_next: usize::MAX,
+            flushed: Vec::new(),
+        };
+        assert_eq!(cp.flush_pass(&mut sink), 0);
+        let s = cache.stats();
+        assert_eq!(s.flush_failures, 1);
+        assert_eq!(s.flushes, 0);
+        // The entry was reclaimed (clean), the data parked.
+        assert_eq!(cache.dirty_pages(), 0);
+        assert_eq!(cache.quarantined_pages(), 1);
+        // Backend recovers: the next pass drains the quarantine.
+        sink.fail_next = 0;
+        assert_eq!(cp.flush_pass(&mut sink), 1);
+        assert_eq!(cache.quarantined_pages(), 0);
+        assert_eq!(cache.stats().quarantine_drains, 1);
+        assert_eq!(sink.flushed, vec![(2, 7, vec![9; PAGE_SIZE])]);
+    }
+
+    #[test]
+    fn quarantined_page_is_not_evictable() {
+        let (cache, mut cp, _) = setup(8, 8); // single bucket
+        let mut g = cache.begin_write(3, 0).unwrap();
+        g.write(0, &[1; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut sink = FlakySink {
+            fail_next: usize::MAX,
+            flushed: Vec::new(),
+        };
+        cp.flush_pass(&mut sink);
+        assert_eq!(cache.quarantined_pages(), 1);
+        // Clean but quarantined: the cached copy is the only readable one.
+        assert!(!cp.evict_one(0));
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(cache.lookup_read(3, 0, &mut buf));
+        // Once drained it becomes an ordinary clean page again.
+        sink.fail_next = 0;
+        cp.flush_pass(&mut sink);
+        assert!(cp.evict_one(0));
+    }
+
+    #[test]
+    fn invalidate_drops_quarantined_copy() {
+        let (cache, mut cp, _) = setup(64, 8);
+        let mut g = cache.begin_write(4, 2).unwrap();
+        g.write(0, &[8; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut sink = FlakySink {
+            fail_next: usize::MAX,
+            flushed: Vec::new(),
+        };
+        cp.flush_pass(&mut sink);
+        assert_eq!(cache.quarantined_pages(), 1);
+        // Truncate/unlink must kill the parked copy too, or a later pass
+        // would resurrect deleted data.
+        cache.invalidate(4, 2);
+        assert_eq!(cache.quarantined_pages(), 0);
+        sink.fail_next = 0;
+        assert_eq!(cp.flush_pass(&mut sink), 0);
+        assert!(sink.flushed.is_empty());
+    }
+
+    #[test]
+    fn full_quarantine_leaves_page_dirty() {
+        let (cache, mut cp, _) = setup(2048, 8);
+        // QUARANTINE_CAP pages + one extra, all destined to fail.
+        let n = crate::host::QUARANTINE_CAP as u64 + 1;
+        for lpn in 0..n {
+            let mut g = cache.begin_write(1, lpn).unwrap();
+            g.write(0, &[1; 8]);
+            g.commit_dirty();
+        }
+        let mut sink = FlakySink {
+            fail_next: usize::MAX,
+            flushed: Vec::new(),
+        };
+        assert_eq!(cp.flush_pass(&mut sink), 0);
+        assert_eq!(cache.quarantined_pages(), crate::host::QUARANTINE_CAP);
+        // The overflow page stayed dirty: back-pressure, not data loss.
+        assert_eq!(cache.dirty_pages(), 1);
     }
 
     #[test]

@@ -14,11 +14,18 @@
 //! 4. release the write lock and set the dirty status.
 
 use std::cell::UnsafeCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::layout::{bucket_of, CacheConfig, CacheEntry, CacheHeader, EntryStatus, PAGE_SIZE};
+
+/// Upper bound on dirty pages parked in the flush quarantine. Beyond it,
+/// persistently unflushable pages stay `Dirty` in their bucket — the
+/// bucket eventually reports `NeedEviction` with nothing evictable, which
+/// the host surfaces as back-pressure (EBUSY) instead of wedging.
+pub(crate) const QUARANTINE_CAP: usize = 256;
 
 /// The page pool backing the data area. Page *i* belongs to entry *i*.
 ///
@@ -79,6 +86,13 @@ pub struct CacheStats {
     pub evictions: u64,
     pub flushes: u64,
     pub prefetch_inserts: u64,
+    /// In-pass reissues of a failed backend flush.
+    pub flush_retries: u64,
+    /// Pages whose flush kept failing and were quarantined (or left
+    /// dirty when the quarantine was full).
+    pub flush_failures: u64,
+    /// Quarantined pages later flushed successfully.
+    pub quarantine_drains: u64,
 }
 
 #[derive(Default)]
@@ -89,6 +103,9 @@ pub(crate) struct StatsCells {
     pub(crate) evictions: AtomicU64,
     pub(crate) flushes: AtomicU64,
     pub(crate) prefetch_inserts: AtomicU64,
+    pub(crate) flush_retries: AtomicU64,
+    pub(crate) flush_failures: AtomicU64,
+    pub(crate) quarantine_drains: AtomicU64,
 }
 
 /// Failure modes of the front-end write path.
@@ -114,6 +131,10 @@ pub struct HybridCache {
     /// Per-entry last-access stamps (meta the control plane reads).
     pub(crate) touch: Box<[AtomicU64]>,
     pub(crate) stats: StatsCells,
+    /// Dirty pages whose backend flush failed persistently, parked here
+    /// (keyed by `(ino, lpn)`, value = the valid prefix of the page) so
+    /// their cache entries can be reclaimed. Bounded by [`QUARANTINE_CAP`].
+    pub(crate) quarantine: Mutex<HashMap<(u64, u64), Vec<u8>>>,
 }
 
 impl HybridCache {
@@ -143,6 +164,7 @@ impl HybridCache {
             clock: AtomicU64::new(0),
             touch: (0..cfg.pages).map(|_| AtomicU64::new(0)).collect(),
             stats: StatsCells::default(),
+            quarantine: Mutex::new(HashMap::new()),
             cfg,
         }
     }
@@ -163,7 +185,19 @@ impl HybridCache {
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             flushes: self.stats.flushes.load(Ordering::Relaxed),
             prefetch_inserts: self.stats.prefetch_inserts.load(Ordering::Relaxed),
+            flush_retries: self.stats.flush_retries.load(Ordering::Relaxed),
+            flush_failures: self.stats.flush_failures.load(Ordering::Relaxed),
+            quarantine_drains: self.stats.quarantine_drains.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of pages currently parked in the flush quarantine.
+    pub fn quarantined_pages(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+
+    pub(crate) fn is_quarantined(&self, ino: u64, lpn: u64) -> bool {
+        self.quarantine.lock().contains_key(&(ino, lpn))
     }
 
     /// Iterate the entry indices of one bucket's chain.
@@ -301,6 +335,9 @@ impl HybridCache {
     /// Drop a page from the cache (truncate/unlink): write-lock the entry
     /// and mark it free. Returns whether the page was present.
     pub fn invalidate(&self, ino: u64, lpn: u64) -> bool {
+        // A quarantined copy must die with the page, or a later flush pass
+        // would resurrect data the application just truncated away.
+        self.quarantine.lock().remove(&(ino, lpn));
         let bucket = self.bucket_of(ino, lpn);
         let _claim = self.bucket_claim[bucket].lock();
         for idx in self.chain(bucket) {
@@ -323,6 +360,7 @@ impl HybridCache {
     /// Drop every cached page of one inode (unlink). Returns the number of
     /// pages invalidated.
     pub fn invalidate_ino(&self, ino: u64) -> usize {
+        self.quarantine.lock().retain(|&(i, _), _| i != ino);
         let mut dropped = 0;
         for idx in 0..self.cfg.pages {
             let e = &self.entries[idx];

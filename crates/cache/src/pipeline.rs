@@ -12,6 +12,8 @@
 //! flags bit0 = compressed, bit1 = has DIF tag
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use dpc_codec::{compress, crc32c, decompress, DifError, DifTag};
 
 use crate::layout::PAGE_SIZE;
@@ -84,8 +86,19 @@ impl FlushPipeline {
     }
 
     /// Process one dirty page into a storable envelope.
+    ///
+    /// `page` may be the *valid prefix* of a page (tail pages flush only
+    /// their meaningful bytes); it is sealed zero-padded to the full page,
+    /// which is exactly what the zero-initialised cache page holds.
     pub fn seal(&mut self, ino: u64, lpn: u64, page: &[u8]) -> Vec<u8> {
-        assert_eq!(page.len(), PAGE_SIZE, "flush is page-granular");
+        let mut padded = [0u8; PAGE_SIZE];
+        let page: &[u8] = if page.len() == PAGE_SIZE {
+            page
+        } else {
+            let n = page.len().min(PAGE_SIZE);
+            padded[..n].copy_from_slice(&page[..n]);
+            &padded
+        };
         self.stats.pages += 1;
         self.stats.bytes_in += page.len() as u64;
 
@@ -132,14 +145,17 @@ impl FlushPipeline {
         let mut pos = 1usize;
         let tag = if flags & FLAG_DIF != 0 {
             check(envelope.len() >= pos + 8, "truncated tag")?;
-            let t = DifTag::from_bytes(envelope[pos..pos + 8].try_into().unwrap());
+            let bytes = <[u8; 8]>::try_from(&envelope[pos..pos + 8])
+                .map_err(|_| UnsealError::Corrupt("truncated tag"))?;
             pos += 8;
-            Some(t)
+            Some(DifTag::from_bytes(&bytes))
         } else {
             None
         };
         check(envelope.len() >= pos + 4, "truncated length")?;
-        let len = u32::from_le_bytes(envelope[pos..pos + 4].try_into().unwrap()) as usize;
+        let len_bytes = <[u8; 4]>::try_from(&envelope[pos..pos + 4])
+            .map_err(|_| UnsealError::Corrupt("truncated length"))?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
         pos += 4;
         check(envelope.len() == pos + len, "length mismatch")?;
         let payload = &envelope[pos..];
@@ -239,6 +255,18 @@ mod tests {
         let env = p.seal(1, 1, &page);
         assert_eq!(env.len(), 1 + 4 + PAGE_SIZE);
         assert_eq!(p.unseal(1, 1, &env).unwrap(), page);
+    }
+
+    #[test]
+    fn short_valid_prefix_seals_padded() {
+        // A tail page's valid prefix round-trips as the zero-padded page.
+        let mut p = FlushPipeline::new(PipelineConfig::default());
+        let prefix = vec![6u8; 100];
+        let env = p.seal(2, 4, &prefix);
+        let page = p.unseal(2, 4, &env).unwrap();
+        assert_eq!(page.len(), PAGE_SIZE);
+        assert_eq!(&page[..100], &prefix[..]);
+        assert!(page[100..].iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -159,7 +159,7 @@ impl DpcFs {
         let done = self
             .pool
             .call(DispatchType::Standalone, req, payload, read_len)
-            .map_err(|_| DpcError::IO)?;
+            .map_err(|e| DpcError(e.errno()))?;
         match done.response {
             FileResponse::Err(e) => Err(DpcError(e)),
             resp => Ok((resp, done.payload)),
@@ -432,6 +432,10 @@ impl DpcFs {
         if data.is_empty() {
             return Ok(0);
         }
+        // Hostile offsets (end past u64::MAX) must error, not overflow.
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(DpcError::INVALID)?;
         let entry = self.fds.get(fd)?;
         let ino = entry.ino;
 
@@ -463,9 +467,7 @@ impl DpcFs {
                     pos += n;
                     off += n as u64;
                 }
-                entry
-                    .size
-                    .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
+                entry.size.fetch_max(end, Ordering::AcqRel);
                 Ok(data.len())
             }
         }
@@ -623,7 +625,7 @@ impl DpcFs {
                     let done = self
                         .pool
                         .call_many(DispatchType::Standalone, &requests, PAGE_SIZE as u32)
-                        .map_err(|_| DpcError::IO)?;
+                        .map_err(|e| DpcError(e.errno()))?;
                     for (m, c) in misses.iter().zip(&done) {
                         let got = match c.response {
                             FileResponse::Bytes(g) => g as usize,
@@ -676,7 +678,7 @@ impl DpcFs {
                 segments,
                 0,
             )
-            .map_err(|_| DpcError::IO)?;
+            .map_err(|e| DpcError(e.errno()))?;
         match done.response {
             FileResponse::Bytes(n) => {
                 entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
@@ -755,7 +757,7 @@ impl DpcFs {
         let done = self
             .pool
             .call(DispatchType::Distributed, req, payload, read_len)
-            .map_err(|_| DpcError::IO)?;
+            .map_err(|e| DpcError(e.errno()))?;
         match done.response {
             FileResponse::Err(e) => Err(DpcError(e)),
             resp => Ok((resp, done.payload)),

@@ -8,13 +8,14 @@
 
 use std::sync::Arc;
 
-use dpc_cache::ControlPlane;
+use dpc_cache::{ControlPlane, FlushBackend};
 use dpc_dfs::{ClientCore, DfsError, DFS_BLOCK};
 use dpc_kvfs::{FileKind, FsError, Kvfs};
 use dpc_nvmefs::{
     encode_dirents, DispatchType, FileIncoming, FileIncomingBatch, FileRequest, FileResponse,
     FileTarget, WireAttr, WireDirent,
 };
+use dpc_sim::FaultSite;
 
 /// Map a KVFS attribute to the wire form.
 fn wire_attr(a: &dpc_kvfs::FileAttr) -> WireAttr {
@@ -46,7 +47,43 @@ fn dfs_err(e: DfsError) -> FileResponse {
         DfsError::AlreadyExists => 17,
         DfsError::Unrecoverable => 5, // EIO
         DfsError::Delegated => 11,    // EAGAIN
+        // A transient server fault that survived the client's retry
+        // budget: the host may simply try again.
+        DfsError::Transient => 11, // EAGAIN
     })
+}
+
+/// The dispatcher's flush sink: dirty hybrid-cache pages persist into
+/// KVFS. Reports failure (instead of panicking or silently dropping) so
+/// the control plane can retry and quarantine — a fault-site hit models a
+/// transiently unreachable store.
+pub(crate) struct KvfsFlush<'a> {
+    pub kvfs: &'a Arc<Kvfs>,
+    pub fault: Option<&'a Arc<FaultSite>>,
+}
+
+impl FlushBackend for KvfsFlush<'_> {
+    fn flush(&mut self, ino: u64, lpn: u64, page: &[u8]) {
+        let _ = self.try_flush(ino, lpn, page);
+    }
+
+    fn try_flush(&mut self, ino: u64, lpn: u64, page: &[u8]) -> bool {
+        if let Some(site) = self.fault {
+            if site.fires() {
+                return false;
+            }
+        }
+        match self
+            .kvfs
+            .write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page)
+        {
+            Ok(_) => true,
+            // The file vanished (unlinked with dirty pages still cached):
+            // the page is garbage, dropping it is the correct outcome.
+            Err(FsError::NotFound) => true,
+            Err(_) => false,
+        }
+    }
 }
 
 /// One service thread's dispatcher.
@@ -57,6 +94,8 @@ pub struct Dispatcher {
     dfs: Option<ClientCore>,
     /// Enable the control plane's sequential prefetcher.
     pub prefetch: bool,
+    /// Fault site fired on every flush-to-KVFS attempt ("cache.flush").
+    pub(crate) flush_fault: Option<Arc<FaultSite>>,
     /// Recycled read-payload buffer for [`Dispatcher::handle_batch`].
     payload_scratch: Vec<u8>,
 }
@@ -68,6 +107,7 @@ impl Dispatcher {
             control,
             dfs,
             prefetch: true,
+            flush_fault: None,
             payload_scratch: Vec::new(),
         }
     }
@@ -218,10 +258,10 @@ impl Dispatcher {
             FileRequest::Fsync { ino } => {
                 // Flush every dirty page of the hybrid cache into KVFS,
                 // then the (always-durable) store needs no further barrier.
-                self.control
-                    .flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                        let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
-                    });
+                self.control.flush_pass(&mut KvfsFlush {
+                    kvfs,
+                    fault: self.flush_fault.as_ref(),
+                });
                 let _ = kvfs.fsync(*ino);
                 FileResponse::Ok
             }
@@ -252,10 +292,10 @@ impl Dispatcher {
                 let bucket = *bucket as usize;
                 if !self.control.evict_one(bucket) {
                     // Nothing clean: flush first, then retry.
-                    self.control
-                        .flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                            let _ = kvfs.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
-                        });
+                    self.control.flush_pass(&mut KvfsFlush {
+                        kvfs,
+                        fault: self.flush_fault.as_ref(),
+                    });
                     if !self.control.evict_one(bucket) && self.control.bucket_occupied(bucket) {
                         // Even after a full flush pass nothing in this
                         // (populated) bucket could be evicted; tell the

@@ -17,8 +17,9 @@ use dpc_cache::{CacheConfig, ControlPlane, HybridCache};
 use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
 use dpc_kvfs::Kvfs;
 use dpc_kvstore::KvStore;
-use dpc_nvmefs::{create_fabric, ChannelPool, PoolStats, QueuePairConfig};
+use dpc_nvmefs::{create_fabric, ChannelPool, PoolStats, QueuePairConfig, RetryPolicy};
 use dpc_pcie::{DmaEngine, PcieSnapshot};
+use dpc_sim::FaultPlan;
 
 use crate::adapter::{DpcFs, IoMode};
 use crate::dispatch::Dispatcher;
@@ -47,6 +48,13 @@ pub struct DpcConfig {
     /// Also stand up a DFS backend and offload its client (Distributed
     /// dispatch). None = standalone-only DPC.
     pub dfs: Option<DfsConfig>,
+    /// Link-level retry budget: per-call completion deadlines, CID
+    /// reissue and bounded exponential backoff in the channel pool.
+    pub retry: RetryPolicy,
+    /// Seeded fault-injection plan threaded through every layer (nvme-fs
+    /// transport, DFS/KV servers, cache flush). None = no faults; all
+    /// recovery machinery stays dormant and its counters read zero.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for DpcConfig {
@@ -61,6 +69,8 @@ impl Default for DpcConfig {
             prefetch: true,
             background_flush: false,
             dfs: None,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -119,6 +129,15 @@ impl Dpc {
         });
         let dfs_backend = shared_dfs.or_else(|| cfg.dfs.map(DfsBackend::new));
 
+        if let Some(plan) = &cfg.faults {
+            // Server-side faults + client-side recovery for the DFS and
+            // KV layers (the transport and flush sites attach below).
+            if let Some(b) = &dfs_backend {
+                b.set_fault_plan(plan);
+            }
+            kvfs.store().set_fault_site(Some(plan.site("kv.op")));
+        }
+
         let (channels, targets) = create_fabric(
             cfg.queues,
             QueuePairConfig {
@@ -128,9 +147,13 @@ impl Dpc {
             &dma,
         );
 
+        let flush_fault = cfg.faults.as_ref().map(|p| p.site("cache.flush"));
         let targets_with_dispatch: Vec<_> = targets
             .into_iter()
-            .map(|t| {
+            .map(|mut t| {
+                if let Some(plan) = &cfg.faults {
+                    t.set_fault_plan(plan);
+                }
                 let mut dispatcher = Dispatcher::new(
                     kvfs.clone(),
                     ControlPlane::new(cache.clone(), dma.clone()),
@@ -139,17 +162,25 @@ impl Dpc {
                         .map(|b| ClientCore::new(b.clone(), next_dfs_client_id())),
                 );
                 dispatcher.prefetch = cfg.prefetch;
+                dispatcher.flush_fault = flush_fault.clone();
                 (t, dispatcher)
             })
             .collect();
 
         let flusher = if cfg.background_flush {
-            Some((ControlPlane::new(cache.clone(), dma.clone()), kvfs.clone()))
+            Some((
+                ControlPlane::new(cache.clone(), dma.clone()),
+                kvfs.clone(),
+                flush_fault,
+            ))
         } else {
             None
         };
 
         let runtime = DpuRuntime::spawn(targets_with_dispatch, flusher);
+
+        let mut pool = ChannelPool::new(channels);
+        pool.set_retry(cfg.retry);
 
         Dpc {
             cfg,
@@ -157,7 +188,7 @@ impl Dpc {
             cache,
             kvfs,
             dfs_backend,
-            pool: Arc::new(ChannelPool::new(channels)),
+            pool: Arc::new(pool),
             runtime,
         }
     }
@@ -221,13 +252,36 @@ impl Dpc {
 
     /// One snapshot of every layer's counters.
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        let pool = self.pool.stats();
+        let cache = self.cache.stats();
+        let kv = self.kvfs.store().stats();
+        let dfs = self
+            .dfs_backend
+            .as_ref()
+            .map(|b| b.recovery().snapshot())
+            .unwrap_or_default();
         crate::metrics::MetricsSnapshot {
             pcie: self.dma.snapshot(),
-            cache: self.cache.stats(),
+            cache,
             kvfs_lookups: self.kvfs.lookup_stats(),
-            kv: self.kvfs.store().stats(),
+            kv,
             requests_served: self.runtime.requests_served(),
             pages_flushed: self.runtime.pages_flushed(),
+            recovery: crate::metrics::RecoverySnapshot {
+                link_retries: pool.retries,
+                link_timeouts: pool.timeouts,
+                transport_errors: pool.transport_errors,
+                stale_completions: pool.stale_completions,
+                ds_retries: dfs.ds_retries,
+                mds_retries: dfs.mds_retries,
+                reconstructions: dfs.reconstructions,
+                repairs: dfs.repairs,
+                repair_drops: dfs.repair_drops,
+                kv_retries: kv.retries,
+                flush_retries: cache.flush_retries,
+                flush_failures: cache.flush_failures,
+                quarantined: self.cache.quarantined_pages() as u64,
+            },
         }
     }
 }

@@ -33,5 +33,5 @@ pub use adapter::{DpcError, DpcFs, Fd, IoMode};
 pub use config::{DpuSpec, HostCpu, SoftwareCosts, Testbed};
 pub use dispatch::Dispatcher;
 pub use dpc::{Dpc, DpcConfig};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, RecoverySnapshot};
 pub use runtime::{DpuRuntime, RuntimeShared};

@@ -10,6 +10,40 @@ use dpc_kvfs::LookupStats;
 use dpc_kvstore::KvStats;
 use dpc_pcie::PcieSnapshot;
 
+/// Recovery-action counters gathered from every layer. All-zero on a
+/// healthy run with faults disabled — the chaos tests assert exactly
+/// that, so nothing here may increment on the fault-free fast path.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct RecoverySnapshot {
+    /// nvme-fs link: idempotent commands reissued after a timeout or
+    /// transport error.
+    pub link_retries: u64,
+    /// nvme-fs link: calls whose completion missed its deadline.
+    pub link_timeouts: u64,
+    /// Transport-error CQEs observed by the channel pool.
+    pub transport_errors: u64,
+    /// Late completions that arrived after their waiter gave up.
+    pub stale_completions: u64,
+    /// DFS client: data-server shard RPCs reissued.
+    pub ds_retries: u64,
+    /// DFS client: MDS RPCs reissued after a transient fault.
+    pub mds_retries: u64,
+    /// DFS client: degraded reads served by RS-reconstruction.
+    pub reconstructions: u64,
+    /// DFS client: shards re-written to recovered servers.
+    pub repairs: u64,
+    /// DFS client: repair-queue entries shed at capacity.
+    pub repair_drops: u64,
+    /// KV store operations that waited out a transient fault.
+    pub kv_retries: u64,
+    /// Cache flush pipeline: in-pass flush reissues.
+    pub flush_retries: u64,
+    /// Cache flush pipeline: pages whose flush failed persistently.
+    pub flush_failures: u64,
+    /// Pages currently parked in the flush quarantine.
+    pub quarantined: u64,
+}
+
 /// Point-in-time view of a whole DPC instance.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct MetricsSnapshot {
@@ -21,6 +55,8 @@ pub struct MetricsSnapshot {
     pub requests_served: u64,
     /// Pages persisted by the background flusher (0 when disabled).
     pub pages_flushed: u64,
+    /// Fault-recovery actions across every layer.
+    pub recovery: RecoverySnapshot,
 }
 
 impl MetricsSnapshot {
@@ -84,10 +120,28 @@ impl core::fmt::Display for MetricsSnapshot {
             "kv store: {} gets, {} puts, {} deletes, {} scans, {} sub-writes",
             self.kv.gets, self.kv.puts, self.kv.deletes, self.kv.scans, self.kv.sub_writes
         )?;
-        write!(
+        writeln!(
             f,
             "dpu runtime: {} requests served, {} pages flushed",
             self.requests_served, self.pages_flushed
+        )?;
+        let r = &self.recovery;
+        write!(
+            f,
+            "recovery: link {} retries / {} timeouts / {} transport errs, \
+             dfs {} ds + {} mds retries, {} reconstructions, {} repairs, \
+             kv {} retries, flush {} retries / {} failures, {} quarantined",
+            r.link_retries,
+            r.link_timeouts,
+            r.transport_errors,
+            r.ds_retries,
+            r.mds_retries,
+            r.reconstructions,
+            r.repairs,
+            r.kv_retries,
+            r.flush_retries,
+            r.flush_failures,
+            r.quarantined
         )
     }
 }
@@ -132,6 +186,7 @@ mod tests {
             "kvfs:",
             "kv store:",
             "dpu runtime:",
+            "recovery:",
         ] {
             assert!(s.contains(key), "missing {key} in:\n{s}");
         }

@@ -14,8 +14,9 @@ use std::thread::JoinHandle;
 use dpc_cache::ControlPlane;
 use dpc_kvfs::Kvfs;
 use dpc_nvmefs::{FileIncomingBatch, FileTarget};
+use dpc_sim::FaultSite;
 
-use crate::dispatch::Dispatcher;
+use crate::dispatch::{Dispatcher, KvfsFlush};
 
 /// Shared runtime state.
 pub struct RuntimeShared {
@@ -37,7 +38,7 @@ impl DpuRuntime {
     /// [`Dispatcher`]) and one flusher thread.
     pub fn spawn(
         targets: Vec<(FileTarget, Dispatcher)>,
-        flusher: Option<(ControlPlane, Arc<Kvfs>)>,
+        flusher: Option<(ControlPlane, Arc<Kvfs>, Option<Arc<FaultSite>>)>,
     ) -> DpuRuntime {
         let shared = Arc::new(RuntimeShared {
             shutdown: AtomicBool::new(false),
@@ -88,19 +89,17 @@ impl DpuRuntime {
             );
         }
 
-        if let Some((mut control, kvfs)) = flusher {
+        if let Some((mut control, kvfs, fault)) = flusher {
             let shared = shared.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("dpu-flusher".into())
                     .spawn(move || {
                         while !shared.shutdown.load(Ordering::Acquire) {
-                            let kvfs2 = kvfs.clone();
-                            let flushed =
-                                control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                                    let _ =
-                                        kvfs2.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
-                                });
+                            let flushed = control.flush_pass(&mut KvfsFlush {
+                                kvfs: &kvfs,
+                                fault: fault.as_ref(),
+                            });
                             shared
                                 .pages_flushed
                                 .fetch_add(flushed as u64, Ordering::Relaxed);
@@ -109,9 +108,11 @@ impl DpuRuntime {
                             }
                         }
                         // Final drain so nothing dirty is lost at shutdown.
-                        let kvfs2 = kvfs.clone();
-                        let flushed = control.flush_pass(&mut |ino: u64, lpn: u64, page: &[u8]| {
-                            let _ = kvfs2.write(ino, lpn * dpc_cache::PAGE_SIZE as u64, page);
+                        // Faults stay out of the way here: pages must not
+                        // be abandoned in the quarantine at tear-down.
+                        let flushed = control.flush_pass(&mut KvfsFlush {
+                            kvfs: &kvfs,
+                            fault: None,
                         });
                         shared
                             .pages_flushed

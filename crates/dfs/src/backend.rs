@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dpc_ec::ReedSolomon;
+use dpc_sim::fault::{FaultPlan, FaultSite};
 use parking_lot::RwLock;
 
 /// Data is striped and erasure-coded at this granularity.
@@ -35,6 +36,8 @@ pub enum DfsError {
     Unrecoverable,
     /// Delegation conflict: another client holds it.
     Delegated,
+    /// Transient server fault (injected): safe to retry.
+    Transient,
 }
 
 impl core::fmt::Display for DfsError {
@@ -44,6 +47,7 @@ impl core::fmt::Display for DfsError {
             DfsError::AlreadyExists => "file exists",
             DfsError::Unrecoverable => "too many shards lost",
             DfsError::Delegated => "delegation held by another client",
+            DfsError::Transient => "transient server fault",
         };
         f.write_str(s)
     }
@@ -107,8 +111,11 @@ impl MetadataServer {
 pub struct DataServer {
     pub id: usize,
     shards: RwLock<HashMap<(u64, u64, usize), Vec<u8>>>,
-    /// Failure injection: a failed server refuses reads.
+    /// Failure injection: a failed server refuses reads and writes.
     failed: std::sync::atomic::AtomicBool,
+    /// Optional scheduled fault site (flaky / slow behaviour): when it
+    /// fires, the RPC is refused even though the server is otherwise up.
+    fault: RwLock<Option<Arc<FaultSite>>>,
     pub rpcs: AtomicU64,
 }
 
@@ -118,26 +125,62 @@ impl DataServer {
             id,
             shards: RwLock::new(HashMap::new()),
             failed: std::sync::atomic::AtomicBool::new(false),
+            fault: RwLock::new(None),
             rpcs: AtomicU64::new(0),
         }
     }
 
-    pub fn put_shard(&self, ino: u64, block: u64, shard: usize, data: Vec<u8>) {
+    /// Does this RPC fail right now (hard failure, or a scheduled fault)?
+    fn refuses(&self) -> bool {
+        if self.failed.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &*self.fault.read() {
+            Some(site) => site.fires(),
+            None => false,
+        }
+    }
+
+    /// Store one shard. Returns `false` when the server refused the write
+    /// (failed, or a scheduled fault fired) — the shard is NOT stored.
+    pub fn put_shard(&self, ino: u64, block: u64, shard: usize, data: Vec<u8>) -> bool {
         self.rpcs.fetch_add(1, Ordering::Relaxed);
+        if self.refuses() {
+            return false;
+        }
         self.shards.write().insert((ino, block, shard), data);
+        true
     }
 
     pub fn get_shard(&self, ino: u64, block: u64, shard: usize) -> Option<Vec<u8>> {
         self.rpcs.fetch_add(1, Ordering::Relaxed);
-        if self.failed.load(Ordering::Relaxed) {
+        if self.refuses() {
             return None;
         }
         self.shards.read().get(&(ino, block, shard)).cloned()
     }
 
-    /// Inject / clear a failure.
+    /// Inject / clear a hard failure (all RPCs refused while set).
     pub fn set_failed(&self, failed: bool) {
         self.failed.store(failed, Ordering::Relaxed);
+    }
+
+    /// Attach a scheduled fault site (flaky/slow behaviour driven by a
+    /// [`FaultPlan`]); `None` detaches.
+    pub fn set_fault_site(&self, site: Option<Arc<FaultSite>>) {
+        *self.fault.write() = site;
+    }
+
+    /// Crash: lose all stored shards and refuse RPCs until
+    /// [`restart`](DataServer::restart).
+    pub fn crash(&self) {
+        self.failed.store(true, Ordering::Relaxed);
+        self.shards.write().clear();
+    }
+
+    /// Bring a crashed server back up (empty — repair must repopulate it).
+    pub fn restart(&self) {
+        self.failed.store(false, Ordering::Relaxed);
     }
 
     pub fn shard_count(&self) -> usize {
@@ -167,6 +210,44 @@ impl Default for DfsConfig {
     }
 }
 
+/// Client-side recovery counters, shared by every client of one backend
+/// (all monotonic; every recovery action increments exactly one).
+#[derive(Default)]
+pub struct DfsRecoveryStats {
+    /// Data-server RPC reissues after a refused shard get/put.
+    pub ds_retries: AtomicU64,
+    /// MDS RPC reissues after a transient fault.
+    pub mds_retries: AtomicU64,
+    /// Blocks rebuilt from parity on the read path.
+    pub reconstructions: AtomicU64,
+    /// Shards re-written to their home server by background repair.
+    pub repairs: AtomicU64,
+    /// Repair work items shed because the repair queue was full.
+    pub repair_drops: AtomicU64,
+}
+
+/// Point-in-time copy of [`DfsRecoveryStats`].
+#[derive(Copy, Clone, Default, Debug)]
+pub struct DfsRecoverySnapshot {
+    pub ds_retries: u64,
+    pub mds_retries: u64,
+    pub reconstructions: u64,
+    pub repairs: u64,
+    pub repair_drops: u64,
+}
+
+impl DfsRecoveryStats {
+    pub fn snapshot(&self) -> DfsRecoverySnapshot {
+        DfsRecoverySnapshot {
+            ds_retries: self.ds_retries.load(Ordering::Relaxed),
+            mds_retries: self.mds_retries.load(Ordering::Relaxed),
+            reconstructions: self.reconstructions.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            repair_drops: self.repair_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The whole backend cluster.
 pub struct DfsBackend {
     pub cfg: DfsConfig,
@@ -175,6 +256,14 @@ pub struct DfsBackend {
     ec: ReedSolomon,
     next_ino: AtomicU64,
     clock: AtomicU64,
+    /// "mds.rpc" fault site: MDS ops fail with [`DfsError::Transient`]
+    /// (before any mutation) while it fires.
+    mds_fault: RwLock<Option<Arc<FaultSite>>>,
+    /// True once a [`FaultPlan`] was attached: clients only engage their
+    /// retry machinery when faults are possible, so recovery counters are
+    /// exactly zero on a healthy run.
+    faults_on: std::sync::atomic::AtomicBool,
+    recovery: DfsRecoveryStats,
 }
 
 impl DfsBackend {
@@ -189,8 +278,52 @@ impl DfsBackend {
             ec: ReedSolomon::new(cfg.ec_k, cfg.ec_m),
             next_ino: AtomicU64::new(1),
             clock: AtomicU64::new(1),
+            mds_fault: RwLock::new(None),
+            faults_on: std::sync::atomic::AtomicBool::new(false),
+            recovery: DfsRecoveryStats::default(),
             cfg,
         })
+    }
+
+    /// Attach a fault plan: creates the "mds.rpc" site (initially `Off`)
+    /// and per-data-server "ds.<id>.rpc" sites, and flips
+    /// [`faults_enabled`](DfsBackend::faults_enabled) on so clients engage
+    /// their recovery paths.
+    pub fn set_fault_plan(&self, plan: &Arc<FaultPlan>) {
+        *self.mds_fault.write() = Some(plan.site("mds.rpc"));
+        for ds in &self.data_servers {
+            ds.set_fault_site(Some(plan.site(&format!("ds.{}.rpc", ds.id))));
+        }
+        self.faults_on.store(true, Ordering::Release);
+    }
+
+    /// Are scheduled faults (or injected failures) possible on this
+    /// backend? Also flipped on by [`DataServer::set_failed`]-style manual
+    /// injection via [`enable_recovery`](DfsBackend::enable_recovery).
+    pub fn faults_enabled(&self) -> bool {
+        self.faults_on.load(Ordering::Acquire)
+    }
+
+    /// Turn client recovery machinery on without attaching a plan (manual
+    /// `set_failed` / `crash` injection).
+    pub fn enable_recovery(&self) {
+        self.faults_on.store(true, Ordering::Release);
+    }
+
+    /// Shared recovery counters.
+    pub fn recovery(&self) -> &DfsRecoveryStats {
+        &self.recovery
+    }
+
+    /// Consult the "mds.rpc" fault site; fires → the op fails before any
+    /// state change, so a retry is always safe.
+    fn mds_fault(&self) -> Result<(), DfsError> {
+        if let Some(site) = &*self.mds_fault.read() {
+            if site.fires() {
+                return Err(DfsError::Transient);
+            }
+        }
+        Ok(())
     }
 
     pub fn ec(&self) -> &ReedSolomon {
@@ -242,6 +375,7 @@ impl DfsBackend {
     /// Create a file. `via` is the MDS the client contacted; forwarding to
     /// the home MDS is counted there.
     pub fn mds_create(&self, via: usize, p_ino: u64, name: &str) -> Result<DfsAttr, DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_name(p_ino, name);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -269,6 +403,7 @@ impl DfsBackend {
 
     /// Lookup a dentry.
     pub fn mds_lookup(&self, via: usize, p_ino: u64, name: &str) -> Result<u64, DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_name(p_ino, name);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -285,6 +420,7 @@ impl DfsBackend {
 
     /// Fetch attributes.
     pub fn mds_getattr(&self, via: usize, ino: u64) -> Result<DfsAttr, DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_ino(ino);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -302,6 +438,7 @@ impl DfsBackend {
     /// Update size/mtime after a write (direct to the home MDS: this path
     /// is used by lazily-batched metadata updates too).
     pub fn mds_update_size(&self, via: usize, ino: u64, end: u64) -> Result<(), DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_ino(ino);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -320,6 +457,7 @@ impl DfsBackend {
 
     /// Acquire (or confirm) a delegation of `ino` for `client`.
     pub fn mds_delegate(&self, via: usize, ino: u64, client: u64) -> Result<(), DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_ino(ino);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -386,6 +524,7 @@ impl DfsBackend {
         data: &[u8],
     ) -> Result<(), DfsError> {
         assert!(data.len() <= DFS_BLOCK);
+        self.mds_fault()?;
         let home = self.home_mds_of_ino(ino);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -422,6 +561,7 @@ impl DfsBackend {
         ino: u64,
         ios: &[(u64, Vec<u8>)], // (byte offset, data), each < DFS_BLOCK
     ) -> Result<usize, DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_ino(ino);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -474,6 +614,7 @@ impl DfsBackend {
     /// Standard-client read: the MDS gathers shards, reassembles the block
     /// (reconstructing if shards are missing) and returns it.
     pub fn mds_read_block(&self, via: usize, ino: u64, block: u64) -> Result<Vec<u8>, DfsError> {
+        self.mds_fault()?;
         let home = self.home_mds_of_ino(ino);
         self.mdses[via].rpcs.fetch_add(1, Ordering::Relaxed);
         if home != via {
@@ -501,10 +642,14 @@ impl DfsBackend {
             self.ec
                 .reconstruct(&mut shards)
                 .map_err(|_| DfsError::Unrecoverable)?;
+            self.recovery
+                .reconstructions
+                .fetch_add(1, Ordering::Relaxed);
         }
         let mut out = Vec::with_capacity(DFS_BLOCK);
         for s in shards.into_iter().take(k) {
-            out.extend_from_slice(&s.unwrap());
+            let shard = s.ok_or(DfsError::Unrecoverable)?;
+            out.extend_from_slice(&shard);
         }
         out.truncate(DFS_BLOCK);
         Ok(out)

@@ -18,10 +18,54 @@
 //! the network and what was computed locally, so the benchmarks can
 //! convert structure into time without re-guessing the protocol.
 
-use std::collections::HashMap;
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::backend::{DfsAttr, DfsBackend, DfsError, DFS_BLOCK};
+
+/// Bounded reissues of a refused data-server RPC before giving up on that
+/// server (degraded read / repair queue take over).
+const DS_RETRIES: u32 = 3;
+/// Bounded reissues of an MDS RPC that failed with a transient fault.
+const MDS_RETRIES: u32 = 8;
+/// Write-path repair queue bound: beyond this, the oldest pending repair
+/// is shed (and counted) instead of letting the queue grow without limit.
+const REPAIR_CAP: usize = 1024;
+/// Repair entries attempted per drain pass (keeps a dead server from
+/// turning every write into a full queue sweep).
+const REPAIR_DRAIN: usize = 8;
+
+/// Exponential backoff between recovery attempts (microseconds, capped).
+fn backoff(attempt: u32) {
+    let us = (20u64 << attempt.min(8)).min(2_000);
+    std::thread::sleep(std::time::Duration::from_micros(us));
+}
+
+/// Run an MDS operation, reissuing on [`DfsError::Transient`] with bounded
+/// exponential backoff. Transient faults are raised before any server-side
+/// mutation, so the retry is always safe — including for `create`.
+fn retry_mds<T>(
+    backend: &DfsBackend,
+    mut op: impl FnMut() -> Result<T, DfsError>,
+) -> Result<T, DfsError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Err(DfsError::Transient) if attempt < MDS_RETRIES => {
+                attempt += 1;
+                backend
+                    .recovery()
+                    .mds_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                backoff(attempt);
+            }
+            other => return other,
+        }
+    }
+}
 
 /// What one client operation did (structure, not time).
 #[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
@@ -185,6 +229,10 @@ pub struct ClientCore {
     /// Flush pending metadata after this many batched writes.
     pub meta_batch: usize,
     batched: usize,
+    /// Shards whose home server refused the write even after retries:
+    /// (server, ino, block, shard, data). Drained opportunistically on
+    /// later writes / metadata syncs; bounded by [`REPAIR_CAP`].
+    pending_repair: VecDeque<(usize, u64, u64, usize, Vec<u8>)>,
 }
 
 impl ClientCore {
@@ -196,6 +244,7 @@ impl ClientCore {
             pending_meta: HashMap::new(),
             meta_batch: 16,
             batched: 0,
+            pending_repair: VecDeque::new(),
         }
     }
 
@@ -203,13 +252,87 @@ impl ClientCore {
         &self.backend
     }
 
+    /// Shard repairs still queued (shed or completed ones are not).
+    pub fn pending_repairs(&self) -> usize {
+        self.pending_repair.len()
+    }
+
+    /// Fetch one shard, reissuing a bounded number of times when the
+    /// server refuses and recovery is engaged. Only the first attempt is
+    /// an [`OpTrace`]-visible RPC; reissues land in the recovery counters.
+    fn get_shard_recovering(
+        &self,
+        server: usize,
+        ino: u64,
+        block: u64,
+        shard: usize,
+    ) -> Option<Vec<u8>> {
+        let ds = self.backend.data_server(server);
+        let got = ds.get_shard(ino, block, shard);
+        if got.is_some() || !self.backend.faults_enabled() {
+            return got;
+        }
+        for attempt in 1..=DS_RETRIES {
+            self.backend
+                .recovery()
+                .ds_retries
+                .fetch_add(1, Ordering::Relaxed);
+            backoff(attempt);
+            if let Some(d) = ds.get_shard(ino, block, shard) {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Queue a shard for background repair, shedding the oldest entry
+    /// when the queue is full.
+    fn queue_repair(&mut self, server: usize, ino: u64, block: u64, shard: usize, data: Vec<u8>) {
+        if self.pending_repair.len() >= REPAIR_CAP {
+            self.pending_repair.pop_front();
+            self.backend
+                .recovery()
+                .repair_drops
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.pending_repair
+            .push_back((server, ino, block, shard, data));
+    }
+
+    /// One repair pass: attempt up to [`REPAIR_DRAIN`] queued shard
+    /// writes, re-queueing the ones their server still refuses.
+    fn drain_repairs(&mut self) {
+        for _ in 0..REPAIR_DRAIN.min(self.pending_repair.len()) {
+            let Some((server, ino, block, shard, data)) = self.pending_repair.pop_front() else {
+                break;
+            };
+            if self
+                .backend
+                .data_server(server)
+                .put_shard(ino, block, shard, data.clone())
+            {
+                self.backend
+                    .recovery()
+                    .repairs
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.pending_repair
+                    .push_back((server, ino, block, shard, data));
+            }
+        }
+    }
+
     pub fn create(&mut self, parent: u64, name: &str) -> Result<(DfsAttr, OpTrace), DfsError> {
         // Metadata view: go straight to the home MDS — no forwarding hop.
         let home = self.backend.home_mds_of_name(parent, name);
-        let attr = self.backend.mds_create(home, parent, name)?;
+        let attr = retry_mds(&self.backend, || {
+            self.backend.mds_create(home, parent, name)
+        })?;
         // Take the delegation immediately (create-and-write pattern).
         let ihome = self.backend.home_mds_of_ino(attr.ino);
-        self.backend.mds_delegate(ihome, attr.ino, self.client_id)?;
+        retry_mds(&self.backend, || {
+            self.backend.mds_delegate(ihome, attr.ino, self.client_id)
+        })?;
         self.attr_cache.insert(attr.ino, attr);
         Ok((
             attr,
@@ -223,7 +346,9 @@ impl ClientCore {
 
     pub fn lookup(&mut self, parent: u64, name: &str) -> Result<(u64, OpTrace), DfsError> {
         let home = self.backend.home_mds_of_name(parent, name);
-        let ino = self.backend.mds_lookup(home, parent, name)?;
+        let ino = retry_mds(&self.backend, || {
+            self.backend.mds_lookup(home, parent, name)
+        })?;
         Ok((
             ino,
             OpTrace {
@@ -245,7 +370,9 @@ impl ClientCore {
         self.attr_cache.remove(&ino);
         if let Some(end) = self.pending_meta.remove(&ino) {
             let home = self.backend.home_mds_of_ino(ino);
-            self.backend.mds_update_size(home, ino, end)?;
+            retry_mds(&self.backend, || {
+                self.backend.mds_update_size(home, ino, end)
+            })?;
         }
         self.backend.ack_recall(ino, self.client_id);
         Ok(true)
@@ -268,14 +395,18 @@ impl ClientCore {
             ));
         }
         let home = self.backend.home_mds_of_ino(ino);
-        let attr = self.backend.mds_getattr(home, ino)?;
+        let attr = retry_mds(&self.backend, || self.backend.mds_getattr(home, ino))?;
         // Acquire a delegation so subsequent getattrs are local.
         let mut trace = OpTrace {
             mds_rpcs: 1,
             bytes_in: 64,
             ..Default::default()
         };
-        if self.backend.mds_delegate(home, ino, self.client_id).is_ok() {
+        if retry_mds(&self.backend, || {
+            self.backend.mds_delegate(home, ino, self.client_id)
+        })
+        .is_ok()
+        {
             self.attr_cache.insert(ino, attr);
             trace.mds_rpcs += 1;
         }
@@ -291,11 +422,35 @@ impl ClientCore {
             .encode_buffer(data)
             .map_err(|_| DfsError::Unrecoverable)?;
         let shard_bytes: u64 = shards.iter().map(|s| s.len() as u64).sum();
-        // Direct I/O: shards straight to the data servers.
+        // Opportunistic repair pass before new work.
+        if self.backend.faults_enabled() && !self.pending_repair.is_empty() {
+            self.drain_repairs();
+        }
+        // Direct I/O: shards straight to the data servers. A refused put
+        // is retried with backoff; a persistently refusing server gets the
+        // shard queued for background repair (the block stays readable
+        // through parity meanwhile).
+        let recovering = self.backend.faults_enabled();
         for (s, server) in self.backend.placement(ino, block).into_iter().enumerate() {
-            self.backend
-                .data_server(server)
-                .put_shard(ino, block, s, shards[s].clone());
+            let ds = self.backend.data_server(server);
+            let mut ok = ds.put_shard(ino, block, s, shards[s].clone());
+            if ok || !recovering {
+                continue;
+            }
+            for attempt in 1..=DS_RETRIES {
+                self.backend
+                    .recovery()
+                    .ds_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                backoff(attempt);
+                if ds.put_shard(ino, block, s, shards[s].clone()) {
+                    ok = true;
+                    break;
+                }
+            }
+            if !ok {
+                self.queue_repair(server, ino, block, s, shards[s].clone());
+            }
         }
         // Lazy metadata: batch the size update.
         let end = block * DFS_BLOCK as u64 + data.len() as u64;
@@ -324,32 +479,52 @@ impl ClientCore {
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; placement.len()];
         let mut ds_rpcs = 0u32;
         for s in 0..k {
-            shards[s] = self
-                .backend
-                .data_server(placement[s])
-                .get_shard(ino, block, s);
+            shards[s] = self.get_shard_recovering(placement[s], ino, block, s);
             ds_rpcs += 1;
         }
         if shards[..k].iter().any(|s| s.is_none()) {
             if shards[..k].iter().all(|s| s.is_none()) {
                 return Err(DfsError::NotFound);
             }
-            // Degraded read: pull parity shards and reconstruct locally.
+            // Degraded read: pull parity shards and reconstruct locally
+            // from any k of the k+m shards.
             for s in k..placement.len() {
-                shards[s] = self
-                    .backend
-                    .data_server(placement[s])
-                    .get_shard(ino, block, s);
+                shards[s] = self.get_shard_recovering(placement[s], ino, block, s);
                 ds_rpcs += 1;
             }
+            let missing: Vec<usize> = (0..shards.len()).filter(|&s| shards[s].is_none()).collect();
             self.backend
                 .ec()
                 .reconstruct(&mut shards)
                 .map_err(|_| DfsError::Unrecoverable)?;
+            self.backend
+                .recovery()
+                .reconstructions
+                .fetch_add(1, Ordering::Relaxed);
+            // Read repair: push the rebuilt shards back to their homes so
+            // the stripe heals (only counted when the put sticks; the
+            // server may still be down).
+            if self.backend.faults_enabled() {
+                for s in missing {
+                    if let Some(data) = shards[s].clone() {
+                        if self
+                            .backend
+                            .data_server(placement[s])
+                            .put_shard(ino, block, s, data)
+                        {
+                            self.backend
+                                .recovery()
+                                .repairs
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
         }
         let mut out = Vec::with_capacity(DFS_BLOCK);
         for s in shards.into_iter().take(k) {
-            out.extend_from_slice(&s.unwrap());
+            let shard = s.ok_or(DfsError::Unrecoverable)?;
+            out.extend_from_slice(&shard);
         }
         out.truncate(DFS_BLOCK);
         let n = out.len() as u64;
@@ -364,10 +539,15 @@ impl ClientCore {
     }
 
     pub fn sync_meta(&mut self) -> Result<OpTrace, DfsError> {
+        if self.backend.faults_enabled() && !self.pending_repair.is_empty() {
+            self.drain_repairs();
+        }
         let mut trace = OpTrace::default();
         for (ino, end) in std::mem::take(&mut self.pending_meta) {
             let home = self.backend.home_mds_of_ino(ino);
-            self.backend.mds_update_size(home, ino, end)?;
+            retry_mds(&self.backend, || {
+                self.backend.mds_update_size(home, ino, end)
+            })?;
             trace.mds_rpcs += 1;
         }
         self.batched = 0;

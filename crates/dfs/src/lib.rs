@@ -21,6 +21,7 @@ mod backend;
 mod client;
 
 pub use backend::{
-    DataServer, DfsAttr, DfsBackend, DfsConfig, DfsError, MetadataServer, DFS_BLOCK,
+    DataServer, DfsAttr, DfsBackend, DfsConfig, DfsError, DfsRecoverySnapshot, DfsRecoveryStats,
+    MetadataServer, DFS_BLOCK,
 };
 pub use client::{ClientCore, DpcClient, FsClient, OpTrace, OptimizedClient, StandardClient};

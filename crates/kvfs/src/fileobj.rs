@@ -6,6 +6,8 @@
 //! — here realised as one block KV per logical block number
 //! (`0x04 ‖ ino ‖ lbn`), updated in place.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use dpc_kvstore::KvStore;
 
 use crate::keys::{big_key, big_prefix};
@@ -68,8 +70,11 @@ impl<'a> FileObject<'a> {
     pub fn truncate(&self, new_size: u64) {
         let keep_blocks = new_size.div_ceil(BIG_BLOCK as u64);
         for (key, _) in self.store.scan_prefix(&big_prefix(self.ino)) {
-            let lbn = u64::from_be_bytes(key[9..17].try_into().unwrap());
-            if lbn >= keep_blocks {
+            // Skip (don't panic on) malformed short keys in the scan.
+            let Some(Ok(bytes)) = key.get(9..17).map(<[u8; 8]>::try_from) else {
+                continue;
+            };
+            if u64::from_be_bytes(bytes) >= keep_blocks {
                 self.store.delete(&key);
             }
         }

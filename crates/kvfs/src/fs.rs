@@ -8,6 +8,8 @@
 //! the file object). Dentry and inode caches — the ones the VFS layer
 //! would provide — are built in and instrumented.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,7 +80,12 @@ impl Kvfs {
         let max_ino = store
             .scan_prefix(&[0x02])
             .into_iter()
-            .map(|(k, _)| u64::from_be_bytes(k[1..9].try_into().unwrap_or_default()))
+            .filter_map(|(k, _)| {
+                // A malformed (short) attribute key must not panic the
+                // remount; it simply doesn't inform the allocator.
+                let bytes: [u8; 8] = k.get(1..9)?.try_into().ok()?;
+                Some(u64::from_be_bytes(bytes))
+            })
             .max()
             .unwrap_or(ROOT_INO);
         Ok(Self::construct(store, max_ino + 1))
@@ -520,7 +527,11 @@ impl Kvfs {
         if attr.is_dir() {
             return Err(FsError::IsADirectory);
         }
-        let end = offset + data.len() as u64;
+        // A hostile offset near u64::MAX must surface as an error, not an
+        // arithmetic overflow panic.
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::InvalidOperation)?;
 
         match attr.format {
             DataFormat::Small if end < SMALL_FILE_MAX => {
@@ -921,6 +932,41 @@ mod tests {
             Kvfs::open(Arc::new(KvStore::new())).err(),
             Some(FsError::NotFound)
         );
+    }
+
+    #[test]
+    fn hostile_offsets_error_instead_of_panicking() {
+        // Regression: a write whose offset + len overflows u64 used to
+        // panic in debug builds; it must surface as a typed error.
+        let fs = fs();
+        let ino = fs.create("/h", 0o644).unwrap();
+        assert_eq!(
+            fs.write(ino, u64::MAX - 3, b"boom"),
+            Err(FsError::InvalidOperation)
+        );
+        assert_eq!(
+            fs.write(ino, u64::MAX, b"x"),
+            Err(FsError::InvalidOperation)
+        );
+        // Reads far past EOF are a clean zero, not a slice panic.
+        let mut buf = [0u8; 8];
+        assert_eq!(fs.read(ino, u64::MAX - 1, &mut buf).unwrap(), 0);
+        // The file is still healthy afterwards.
+        assert_eq!(fs.write(ino, 0, b"ok").unwrap(), 2);
+    }
+
+    #[test]
+    fn malformed_store_records_do_not_panic() {
+        // A corrupted dentry value (wrong width) and a short attribute key
+        // must degrade to NotFound / be skipped — never panic.
+        let store = Arc::new(KvStore::new());
+        let fs = Kvfs::new(store.clone());
+        store.put(&crate::keys::inode_key(ROOT_INO, "bad"), &[1, 2, 3]);
+        assert_eq!(fs.lookup(ROOT_INO, "bad"), Err(FsError::NotFound));
+        // Short attribute key in the 0x02 keyspace: remount must survive.
+        store.put(&[0x02, 0x01], b"junk");
+        let fs2 = Kvfs::open(store).unwrap();
+        assert_eq!(fs2.resolve("/").unwrap(), ROOT_INO);
     }
 
     #[test]

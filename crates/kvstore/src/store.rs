@@ -15,7 +15,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use dpc_sim::fault::FaultSite;
 use parking_lot::RwLock;
 
 const SHARDS: usize = 16;
@@ -29,6 +31,9 @@ pub struct KvStats {
     pub scans: u64,
     pub sub_reads: u64,
     pub sub_writes: u64,
+    /// Operations that had to wait out a transient fault ("kv.op" site):
+    /// each stalled re-check counts one retry.
+    pub retries: u64,
 }
 
 /// An ordered KV store sharded by key hash for write concurrency.
@@ -36,12 +41,17 @@ pub struct KvStats {
 /// Scans merge across shards, preserving global byte order of keys.
 pub struct KvStore {
     shards: Vec<RwLock<BTreeMap<Vec<u8>, Vec<u8>>>>,
+    /// Optional "kv.op" fault site: while it fires, ops stall briefly and
+    /// retry (the KV API has no error channel — faults here model a busy
+    /// or momentarily unreachable service, recovered by waiting).
+    fault: RwLock<Option<Arc<FaultSite>>>,
     gets: AtomicU64,
     puts: AtomicU64,
     deletes: AtomicU64,
     scans: AtomicU64,
     sub_reads: AtomicU64,
     sub_writes: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Default for KvStore {
@@ -54,12 +64,35 @@ impl KvStore {
     pub fn new() -> Self {
         KvStore {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            fault: RwLock::new(None),
             gets: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             sub_reads: AtomicU64::new(0),
             sub_writes: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach the "kv.op" fault site (`None` detaches).
+    pub fn set_fault_site(&self, site: Option<Arc<FaultSite>>) {
+        *self.fault.write() = site;
+    }
+
+    /// Wait out a firing fault site with bounded backoff: each stalled
+    /// re-check is one retry. After the bound, proceed anyway — the store
+    /// itself is always consistent; the fault only models added latency.
+    fn fault_pause(&self) {
+        let site = self.fault.read().clone();
+        let Some(site) = site else {
+            return;
+        };
+        let mut attempt = 0u32;
+        while attempt < 8 && site.fires() {
+            attempt += 1;
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(20 << attempt.min(6)));
         }
     }
 
@@ -81,10 +114,12 @@ impl KvStore {
             scans: self.scans.load(Ordering::Relaxed),
             sub_reads: self.sub_reads.load(Ordering::Relaxed),
             sub_writes: self.sub_writes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.fault_pause();
         self.gets.fetch_add(1, Ordering::Relaxed);
         self.shard(key).read().get(key).cloned()
     }
@@ -99,6 +134,7 @@ impl KvStore {
     }
 
     pub fn put(&self, key: &[u8], value: &[u8]) {
+        self.fault_pause();
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.shard(key).write().insert(key.to_vec(), value.to_vec());
     }
@@ -117,6 +153,7 @@ impl KvStore {
 
     /// Returns whether the key existed.
     pub fn delete(&self, key: &[u8]) -> bool {
+        self.fault_pause();
         self.deletes.fetch_add(1, Ordering::Relaxed);
         self.shard(key).write().remove(key).is_some()
     }
@@ -124,6 +161,7 @@ impl KvStore {
     /// All `(key, value)` pairs whose key starts with `prefix`, in global
     /// key order.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.fault_pause();
         self.scans.fetch_add(1, Ordering::Relaxed);
         let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for shard in &self.shards {
@@ -157,6 +195,7 @@ impl KvStore {
     /// Reads past the end of the value return zeros (sparse semantics,
     /// matching the big-file KV's block space).
     pub fn read_sub(&self, key: &[u8], offset: usize, dst: &mut [u8]) -> bool {
+        self.fault_pause();
         self.sub_reads.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(key).read();
         let Some(v) = shard.get(key) else {
@@ -171,6 +210,7 @@ impl KvStore {
     /// Write `src` at `offset` inside the value under `key`, extending the
     /// value with zeros as needed. Creates the key when absent.
     pub fn write_sub(&self, key: &[u8], offset: usize, src: &[u8]) {
+        self.fault_pause();
         self.sub_writes.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(key).write();
         let v = shard.entry(key.to_vec()).or_default();

@@ -8,7 +8,10 @@
 //! contrasts this with virtio-fs's single queue), so [`create_fabric`]
 //! builds any number of independent queue pairs sharing one DMA engine.
 
+use std::sync::Arc;
+
 use dpc_pcie::DmaEngine;
+use dpc_sim::fault::{FaultPlan, FaultSite};
 
 use crate::filemsg::{DecodeError, FileRequest, FileResponse};
 use crate::queue::{
@@ -16,6 +19,24 @@ use crate::queue::{
     QueuePairConfig, Target,
 };
 use crate::sqe::{CqeStatus, DispatchType};
+
+/// Whether reissuing `req` after a lost/failed completion is safe: the
+/// request must produce the same outcome when executed twice. Namespace
+/// mutations (create, unlink, rename, …) are not reissued — a duplicate
+/// execution would double-apply them.
+pub(crate) fn is_idempotent(req: &FileRequest) -> bool {
+    matches!(
+        req,
+        FileRequest::Read { .. }
+            | FileRequest::Write { .. }
+            | FileRequest::GetAttr { .. }
+            | FileRequest::Lookup { .. }
+            | FileRequest::Readdir { .. }
+            | FileRequest::Readlink { .. }
+            | FileRequest::Truncate { .. }
+            | FileRequest::Fsync { .. }
+    )
+}
 
 /// Host-side file channel: one nvme-fs queue pair speaking file semantics.
 pub struct FileChannel {
@@ -39,15 +60,23 @@ pub enum CallError {
     Full,
     /// The response header failed to decode.
     Decode(DecodeError),
+    /// The DPU posted a transport-level error completion and the retry
+    /// budget (if any) is exhausted.
+    Transport,
+    /// The per-call deadline expired with no completion, and the retry
+    /// budget is exhausted (or the request is unsafe to reissue).
+    TimedOut,
 }
 
 impl CallError {
     /// The errno a POSIX surface would report for this error.
     pub fn errno(&self) -> i32 {
         match self {
-            CallError::Busy => 16,     // EBUSY
-            CallError::Full => 11,     // EAGAIN
-            CallError::Decode(_) => 5, // EIO
+            CallError::Busy => 16,      // EBUSY
+            CallError::Full => 11,      // EAGAIN
+            CallError::Decode(_) => 5,  // EIO
+            CallError::Transport => 5,  // EIO
+            CallError::TimedOut => 110, // ETIMEDOUT
         }
     }
 }
@@ -58,6 +87,8 @@ impl core::fmt::Display for CallError {
             CallError::Busy => write!(f, "channel busy: synchronous call needs an idle channel"),
             CallError::Full => write!(f, "nvme-fs submission queue full"),
             CallError::Decode(e) => write!(f, "response decode failed: {e}"),
+            CallError::Transport => write!(f, "nvme-fs transport error (retries exhausted)"),
+            CallError::TimedOut => write!(f, "nvme-fs call deadline expired (retries exhausted)"),
         }
     }
 }
@@ -82,6 +113,27 @@ pub struct FileCompletion {
     pub cid: u16,
     pub response: FileResponse,
     pub payload: Vec<u8>,
+}
+
+/// Why a polled completion carries no usable [`FileCompletion`]. The CID
+/// is still valid — multiplexers route the failure to the owning waiter,
+/// which decides whether the command can be reissued.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RecvError {
+    /// The response header failed to decode.
+    Decode(DecodeError),
+    /// The DPU posted [`CqeStatus::TransportError`]: the command was shed
+    /// at the transport layer and never executed.
+    Transport,
+}
+
+impl From<RecvError> for CallError {
+    fn from(e: RecvError) -> CallError {
+        match e {
+            RecvError::Decode(d) => CallError::Decode(d),
+            RecvError::Transport => CallError::Transport,
+        }
+    }
 }
 
 impl FileChannel {
@@ -126,14 +178,14 @@ impl FileChannel {
     }
 
     /// Poll for one completion and decode its response header.
-    pub fn poll(&mut self) -> Option<Result<FileCompletion, DecodeError>> {
+    pub fn poll(&mut self) -> Option<Result<FileCompletion, RecvError>> {
         self.poll_cid().map(|(_, r)| r)
     }
 
-    /// Like [`poll`](FileChannel::poll), but the CID survives a decode
-    /// failure — multiplexers need it to route the error to the waiter
-    /// that owns the command.
-    pub fn poll_cid(&mut self) -> Option<(u16, Result<FileCompletion, DecodeError>)> {
+    /// Like [`poll`](FileChannel::poll), but the CID survives a decode or
+    /// transport failure — multiplexers need it to route the error to the
+    /// waiter that owns the command.
+    pub fn poll_cid(&mut self) -> Option<(u16, Result<FileCompletion, RecvError>)> {
         let Completion {
             cid,
             status,
@@ -143,7 +195,8 @@ impl FileChannel {
         } = self.ini.poll()?;
         let response = match status {
             CqeStatus::InvalidCommand => Ok(FileResponse::Err(22 /* EINVAL */)),
-            _ => FileResponse::decode(&header),
+            CqeStatus::TransportError => Err(RecvError::Transport),
+            _ => FileResponse::decode(&header).map_err(RecvError::Decode),
         };
         Some((
             cid,
@@ -220,7 +273,7 @@ impl FileChannel {
         self.submit(dispatch, req, write_payload, read_len)?;
         loop {
             if let Some(done) = self.poll() {
-                return done.map_err(CallError::Decode);
+                return done.map_err(CallError::from);
             }
             std::hint::spin_loop();
         }
@@ -240,7 +293,7 @@ impl FileChannel {
         self.submit_sgl(dispatch, req, segments, read_len)?;
         loop {
             if let Some(done) = self.poll() {
-                return done.map_err(CallError::Decode);
+                return done.map_err(CallError::from);
             }
             std::hint::spin_loop();
         }
@@ -286,7 +339,8 @@ impl FileChannel {
             for done in self.comp_batch.iter() {
                 let response = match done.status {
                     CqeStatus::InvalidCommand => Ok(FileResponse::Err(22 /* EINVAL */)),
-                    _ => FileResponse::decode(&done.header),
+                    CqeStatus::TransportError => Err(RecvError::Transport),
+                    _ => FileResponse::decode(&done.header).map_err(RecvError::Decode),
                 };
                 match response {
                     Ok(response) => out.push(FileCompletion {
@@ -295,8 +349,8 @@ impl FileChannel {
                         payload: done.payload.clone(),
                     }),
                     Err(e) => {
-                        // Remember the first decode failure but keep
-                        // draining so the channel ends the call idle.
+                        // Remember the first failure but keep draining so
+                        // the channel ends the call idle.
                         if first_err.is_none() {
                             first_err = Some(e);
                         }
@@ -310,7 +364,7 @@ impl FileChannel {
             }
         }
         match first_err {
-            Some(e) => Err(CallError::Decode(e)),
+            Some(e) => Err(CallError::from(e)),
             None => Ok(()),
         }
     }
@@ -397,11 +451,30 @@ impl<'a> IntoIterator for &'a FileIncomingBatch {
     }
 }
 
+/// Fault sites a [`FileTarget`] consults per decoded request. Both only
+/// ever fire for idempotent requests (the host reissues by CID, which
+/// must be safe).
+struct TargetFaults {
+    /// "nvmefs.defer": hold the request back for `delay` poll ticks, then
+    /// serve it normally. Models a stalled link — the completion always
+    /// re-emerges, but possibly after the host's deadline (the host then
+    /// sees a *dropped* completion, reissues, and the late CQE lands on
+    /// an abandoned waiter).
+    defer: Arc<FaultSite>,
+    /// "nvmefs.sqe_error": shed the command with a
+    /// [`CqeStatus::TransportError`] CQE instead of executing it.
+    error: Arc<FaultSite>,
+}
+
 /// DPU-side file target: one nvme-fs queue pair's server half.
 pub struct FileTarget {
     tgt: Target,
     hdr_buf: Vec<u8>,
     inc_batch: IncomingBatch,
+    faults: Option<TargetFaults>,
+    /// Requests withheld by the defer site: (release tick, request).
+    deferred: Vec<(u64, FileIncoming)>,
+    tick: u64,
 }
 
 impl FileTarget {
@@ -410,17 +483,55 @@ impl FileTarget {
             tgt,
             hdr_buf: Vec::with_capacity(64),
             inc_batch: IncomingBatch::new(),
+            faults: None,
+            deferred: Vec::new(),
+            tick: 0,
         }
+    }
+
+    /// Attach transport fault sites from `plan` ("nvmefs.defer" and
+    /// "nvmefs.sqe_error"; both created `Off`).
+    pub fn set_fault_plan(&mut self, plan: &Arc<FaultPlan>) {
+        self.faults = Some(TargetFaults {
+            defer: plan.site("nvmefs.defer"),
+            error: plan.site("nvmefs.sqe_error"),
+        });
     }
 
     pub fn queue_id(&self) -> u16 {
         self.tgt.queue_id()
     }
 
+    /// Consult the fault sites for a freshly decoded request. Returns
+    /// `true` when the request was consumed by an injected fault (shed
+    /// with a transport-error CQE, or parked on the deferral list).
+    fn inject(&mut self, inc: &FileIncoming) -> bool {
+        let Some(faults) = &self.faults else {
+            return false;
+        };
+        if !is_idempotent(&inc.request) {
+            return false;
+        }
+        if faults.error.fires() {
+            self.tgt
+                .complete(inc.slot, CqeStatus::TransportError, b"", b"");
+            return true;
+        }
+        if let Some(delay) = faults.defer.check() {
+            self.deferred.push((self.tick + delay.max(1), inc.clone()));
+            return true;
+        }
+        false
+    }
+
     /// Poll for one incoming request. Malformed headers are completed with
     /// an `InvalidCommand` CQE internally and skipped (returns `None` for
-    /// this poll round).
+    /// this poll round), as are requests consumed by an armed fault site.
     pub fn poll(&mut self) -> Option<FileIncoming> {
+        self.tick += 1;
+        if let Some(ready) = self.take_deferred() {
+            return Some(ready);
+        }
         let Incoming {
             sqe,
             slot,
@@ -428,13 +539,20 @@ impl FileTarget {
             payload,
         } = self.tgt.poll()?;
         match FileRequest::decode(&header) {
-            Ok(request) => Some(FileIncoming {
-                slot,
-                dispatch: sqe.dispatch(),
-                request,
-                payload,
-                read_len: sqe.read_len(),
-            }),
+            Ok(request) => {
+                let inc = FileIncoming {
+                    slot,
+                    dispatch: sqe.dispatch(),
+                    request,
+                    payload,
+                    read_len: sqe.read_len(),
+                };
+                if self.inject(&inc) {
+                    None
+                } else {
+                    Some(inc)
+                }
+            }
             Err(_) => {
                 self.tgt.complete(slot, CqeStatus::InvalidCommand, b"", b"");
                 None
@@ -442,12 +560,25 @@ impl FileTarget {
         }
     }
 
+    /// Pop one deferred request whose release tick has passed.
+    fn take_deferred(&mut self) -> Option<FileIncoming> {
+        let tick = self.tick;
+        let idx = self.deferred.iter().position(|(due, _)| *due <= tick)?;
+        Some(self.deferred.swap_remove(idx).1)
+    }
+
     /// Drain every request published by the last doorbell into `out`,
     /// recycling its buffers: one doorbell-register read per pass.
     /// Malformed headers are completed with `InvalidCommand` inline and do
-    /// not appear in the batch. Returns the number of decoded requests.
+    /// not appear in the batch; armed fault sites may shed or defer
+    /// requests the same way. Returns the number of decoded requests.
     pub fn poll_many(&mut self, out: &mut FileIncomingBatch) -> usize {
         out.clear();
+        self.tick += 1;
+        // Release deferred requests whose stall has elapsed.
+        while let Some(ready) = self.take_deferred() {
+            *out.next_slot() = ready;
+        }
         // Split borrow: poll into the queue-layer batch, then decode each
         // command into the caller's file-layer batch.
         let mut raw = std::mem::take(&mut self.inc_batch);
@@ -467,6 +598,13 @@ impl FileTarget {
                     out.pop_slot();
                     self.tgt
                         .complete(inc.slot, CqeStatus::InvalidCommand, b"", b"");
+                    continue;
+                }
+            }
+            if self.faults.is_some() {
+                let decoded = out.items[out.len - 1].clone();
+                if self.inject(&decoded) {
+                    out.pop_slot();
                 }
             }
         }

@@ -30,13 +30,13 @@ mod sqe;
 
 pub use driver::{
     create_fabric, CallError, FileChannel, FileCompletion, FileIncoming, FileIncomingBatch,
-    FileTarget,
+    FileTarget, RecvError,
 };
 pub use filemsg::{
     decode_dirents, encode_dirents, DecodeError, FileRequest, FileResponse, WireAttr, WireDirent,
     MAX_NAME_LEN,
 };
-pub use pool::{ChannelPool, PoolStats};
+pub use pool::{ChannelPool, PoolStats, RetryPolicy};
 pub use queue::{
     Completion, CompletionBatch, DoorbellGuard, Incoming, IncomingBatch, Initiator, QueueFull,
     QueuePair, QueuePairConfig, SubmitOp, Target, READ_HEADER_CAP, SGL_LIST_CAP, SGL_MAX_SEGMENTS,

@@ -24,38 +24,44 @@
 //!   fast path on an uncontended queue; when the preferred queue's ring is
 //!   full the submitter steals the next queue instead of blocking.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::driver::{CallError, FileChannel, FileCompletion};
-use crate::filemsg::{DecodeError, FileRequest};
+use crate::driver::{is_idempotent, CallError, FileChannel, FileCompletion, RecvError};
+use crate::filemsg::FileRequest;
 use crate::queue::QueueFull;
 use crate::sqe::DispatchType;
 
 /// One-shot completion mailbox: filled exactly once by whichever thread
 /// drains the matching CQE, consumed exactly once by the submitting
-/// thread.
+/// thread. A waiter whose caller gave up (deadline expiry) is flagged
+/// `abandoned` so the late completion can be counted and dropped instead
+/// of wedging the routing table.
 struct Waiter {
     ready: AtomicBool,
-    done: Mutex<Option<Result<FileCompletion, DecodeError>>>,
+    abandoned: AtomicBool,
+    done: Mutex<Option<Result<FileCompletion, RecvError>>>,
 }
 
 impl Waiter {
     fn new() -> Arc<Waiter> {
         Arc::new(Waiter {
             ready: AtomicBool::new(false),
+            abandoned: AtomicBool::new(false),
             done: Mutex::new(None),
         })
     }
 
-    fn fill(&self, result: Result<FileCompletion, DecodeError>) {
+    fn fill(&self, result: Result<FileCompletion, RecvError>) {
         *self.done.lock() = Some(result);
         self.ready.store(true, Ordering::Release);
     }
 
-    fn try_take(&self) -> Option<Result<FileCompletion, DecodeError>> {
+    fn try_take(&self) -> Option<Result<FileCompletion, RecvError>> {
         if !self.ready.load(Ordering::Acquire) {
             return None;
         }
@@ -65,6 +71,35 @@ impl Waiter {
                 .take()
                 .expect("ready waiter holds a completion"),
         )
+    }
+}
+
+/// Recovery knobs for the pool's synchronous calls. Deadlines are measured
+/// in *yields* (scheduler round-trips), not wall time, so an oversubscribed
+/// single-core host does not see spurious timeouts just because the DPU
+/// service thread was descheduled.
+#[derive(Copy, Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per idempotent call (first try included).
+    pub attempts: u32,
+    /// Yields a waiter tolerates before declaring its completion lost.
+    /// Generous on purpose: a false timeout on a non-idempotent request
+    /// surfaces an error the caller cannot retry.
+    pub deadline_yields: u64,
+    /// First backoff sleep between attempts, in microseconds.
+    pub backoff_base_us: u64,
+    /// Backoff ceiling, in microseconds (doubling stops here).
+    pub backoff_cap_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            deadline_yields: 2_000_000,
+            backoff_base_us: 50,
+            backoff_cap_us: 5_000,
+        }
     }
 }
 
@@ -92,6 +127,14 @@ pub struct PoolStats {
     pub steals: u64,
     /// Full passes over every queue that found no free slot anywhere.
     pub full_stalls: u64,
+    /// Calls whose completion missed its deadline (waiter abandoned).
+    pub timeouts: u64,
+    /// Reissues of idempotent calls after a timeout or transport error.
+    pub retries: u64,
+    /// Transport-error CQEs handed back to callers.
+    pub transport_errors: u64,
+    /// Late completions that arrived after their waiter was abandoned.
+    pub stale_completions: u64,
 }
 
 #[derive(Default)]
@@ -100,6 +143,10 @@ struct StatCells {
     completed: AtomicU64,
     steals: AtomicU64,
     full_stalls: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    transport_errors: AtomicU64,
+    stale_completions: AtomicU64,
 }
 
 /// Shared, thread-safe multiplexer over all of the fabric's queue pairs.
@@ -109,6 +156,7 @@ struct StatCells {
 pub struct ChannelPool {
     queues: Vec<PoolQueue>,
     stats: StatCells,
+    retry: RetryPolicy,
 }
 
 /// How long a waiter spins before yielding the CPU. Short on purpose: on
@@ -136,7 +184,18 @@ impl ChannelPool {
         ChannelPool {
             queues,
             stats: StatCells::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replace the recovery policy (call before sharing the pool).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The recovery policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Number of underlying queue pairs.
@@ -156,6 +215,10 @@ impl ChannelPool {
             completed: self.stats.completed.load(Ordering::Relaxed),
             steals: self.stats.steals.load(Ordering::Relaxed),
             full_stalls: self.stats.full_stalls.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            transport_errors: self.stats.transport_errors.load(Ordering::Relaxed),
+            stale_completions: self.stats.stale_completions.load(Ordering::Relaxed),
         }
     }
 
@@ -178,18 +241,32 @@ impl ChannelPool {
     /// its registered waiter. Caller holds the queue lock.
     fn deliver(&self, g: &mut QueueInner) -> usize {
         let mut n = 0usize;
+        let mut delivered = 0u64;
+        let mut stale = 0u64;
         while let Some((cid, result)) = g.chan.poll_cid() {
             match g.waiters[cid as usize].take() {
-                Some(w) => w.fill(result),
-                // Unreachable by construction (waiters are registered
-                // under the same lock before the doorbell's effect can be
-                // polled), but a lost completion must not wedge delivery
-                // of the rest.
-                None => debug_assert!(false, "completion for cid {cid} had no waiter"),
+                Some(w) if !w.abandoned.load(Ordering::Acquire) => {
+                    w.fill(result);
+                    delivered += 1;
+                }
+                // The caller gave up on this command (deadline expiry and
+                // reissue); its CID only becomes reusable now that the
+                // late completion has drained, so count it and move on.
+                Some(_) => stale += 1,
+                // No waiter at all: a completion outlived even the
+                // abandoned mailbox. Must not wedge delivery of the rest.
+                None => stale += 1,
             }
             n += 1;
         }
-        self.stats.completed.fetch_add(n as u64, Ordering::Relaxed);
+        if delivered > 0 {
+            self.stats.completed.fetch_add(delivered, Ordering::Relaxed);
+        }
+        if stale > 0 {
+            self.stats
+                .stale_completions
+                .fetch_add(stale, Ordering::Relaxed);
+        }
         n
     }
 
@@ -231,13 +308,26 @@ impl ChannelPool {
         }
     }
 
+    /// Translate a drained result into the caller-facing outcome,
+    /// counting transport errors as they surface.
+    fn finish(&self, done: Result<FileCompletion, RecvError>) -> Result<FileCompletion, CallError> {
+        if matches!(done, Err(RecvError::Transport)) {
+            self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        done.map_err(CallError::from)
+    }
+
     /// Wait for `w` to be filled, opportunistically polling `qid` so that
     /// *somebody* always drains the queue. No lock is held while waiting.
+    /// Gives up after the policy's yield budget: the waiter is flagged
+    /// abandoned (so the late completion is dropped as stale, never
+    /// misrouted) and the caller sees [`CallError::TimedOut`].
     fn wait(&self, qid: usize, w: &Waiter) -> Result<FileCompletion, CallError> {
         let mut spins = 0u32;
+        let mut yields = 0u64;
         loop {
             if let Some(done) = w.try_take() {
-                return done.map_err(CallError::Decode);
+                return self.finish(done);
             }
             if let Some(mut g) = self.queues[qid].inner.try_lock() {
                 if self.deliver(&mut g) > 0 {
@@ -245,12 +335,45 @@ impl ChannelPool {
                 }
             }
             spins += 1;
-            if spins > WAIT_SPINS {
-                std::thread::yield_now();
-            } else {
+            if spins <= WAIT_SPINS {
                 std::hint::spin_loop();
+                continue;
             }
+            yields += 1;
+            if yields >= self.retry.deadline_yields {
+                // Final sweep under a blocking lock before giving up, and
+                // abandon under that same lock so delivery can never race
+                // the abandonment.
+                let mut g = self.queues[qid].inner.lock();
+                self.deliver(&mut g);
+                if let Some(done) = w.try_take() {
+                    return self.finish(done);
+                }
+                w.abandoned.store(true, Ordering::Release);
+                drop(g);
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(CallError::TimedOut);
+            }
+            std::thread::yield_now();
         }
+    }
+
+    /// Exponential backoff between reissues of an idempotent call.
+    fn backoff(&self, attempt: u32) {
+        let us = self
+            .retry
+            .backoff_base_us
+            .checked_shl(attempt.saturating_sub(1).min(16))
+            .unwrap_or(u64::MAX)
+            .min(self.retry.backoff_cap_us);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    /// Is `err` an outcome a reissue can fix?
+    fn retryable(err: &CallError) -> bool {
+        matches!(err, CallError::Transport | CallError::TimedOut)
     }
 
     /// Synchronous round-trip on the calling thread's preferred queue
@@ -282,10 +405,25 @@ impl ChannelPool {
         write_payload: &[u8],
         read_len: u32,
     ) -> Result<FileCompletion, CallError> {
-        let (qid, w) = self.submit_slot(preferred, |chan| {
-            chan.submit(dispatch, req, write_payload, read_len)
-        });
-        self.wait(qid, &w)
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let (qid, w) = self.submit_slot(preferred, |chan| {
+                chan.submit(dispatch, req, write_payload, read_len)
+            });
+            match self.wait(qid, &w) {
+                Ok(c) => return Ok(c),
+                Err(e)
+                    if Self::retryable(&e)
+                        && is_idempotent(req)
+                        && attempt < self.retry.attempts =>
+                {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Synchronous scattered (writev-style) round-trip via SGL.
@@ -296,10 +434,25 @@ impl ChannelPool {
         segments: &[&[u8]],
         read_len: u32,
     ) -> Result<FileCompletion, CallError> {
-        let (qid, w) = self.submit_slot(self.preferred_queue(), |chan| {
-            chan.submit_sgl(dispatch, req, segments, read_len)
-        });
-        self.wait(qid, &w)
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let (qid, w) = self.submit_slot(self.preferred_queue(), |chan| {
+                chan.submit_sgl(dispatch, req, segments, read_len)
+            });
+            match self.wait(qid, &w) {
+                Ok(c) => return Ok(c),
+                Err(e)
+                    if Self::retryable(&e)
+                        && is_idempotent(req)
+                        && attempt < self.retry.attempts =>
+                {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Batched synchronous fan-out: submit all `requests` (payload-less,
@@ -367,6 +520,18 @@ impl ChannelPool {
             for (idx, w) in staged {
                 match self.wait(chunk_qid, &w) {
                     Ok(c) => results[idx] = Some(c),
+                    Err(e) if Self::retryable(&e) && is_idempotent(&requests[idx]) => {
+                        // Reissue just this member as a single call; the
+                        // rest of the chunk is unaffected.
+                        match self.reissue(dispatch, &requests[idx], read_len) {
+                            Ok(c) => results[idx] = Some(c),
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
                     Err(e) => {
                         if first_err.is_none() {
                             first_err = Some(e);
@@ -382,6 +547,33 @@ impl ChannelPool {
             .into_iter()
             .map(|c| c.expect("every request completed"))
             .collect())
+    }
+
+    /// Reissue one payload-less idempotent request after its batched
+    /// submission failed (batch attempt counts as attempt 1).
+    fn reissue(
+        &self,
+        dispatch: DispatchType,
+        req: &FileRequest,
+        read_len: u32,
+    ) -> Result<FileCompletion, CallError> {
+        let mut attempt = 1u32;
+        loop {
+            if attempt >= self.retry.attempts {
+                return Err(CallError::TimedOut);
+            }
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            self.backoff(attempt);
+            attempt += 1;
+            let (qid, w) = self.submit_slot(self.preferred_queue(), |chan| {
+                chan.submit(dispatch, req, b"", read_len)
+            });
+            match self.wait(qid, &w) {
+                Ok(c) => return Ok(c),
+                Err(e) if Self::retryable(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 

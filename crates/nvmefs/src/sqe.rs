@@ -243,6 +243,10 @@ pub enum CqeStatus {
     FsError = 1,
     /// Malformed command.
     InvalidCommand = 2,
+    /// Link-level transport failure: the command was received but not
+    /// executed (the DPU sheds it under fault injection or link stress).
+    /// Safe to reissue — the host pool retries idempotent requests.
+    TransportError = 3,
 }
 
 impl CqeStatus {
@@ -250,6 +254,7 @@ impl CqeStatus {
         match b {
             0 => CqeStatus::Success,
             1 => CqeStatus::FsError,
+            3 => CqeStatus::TransportError,
             _ => CqeStatus::InvalidCommand,
         }
     }

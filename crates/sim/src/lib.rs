@@ -24,11 +24,13 @@
 //! ```
 
 mod engine;
+pub mod fault;
 mod histogram;
 mod station;
 mod time;
 
 pub use engine::{ClassStats, Flow, Leg, Plan, RunReport, Simulation};
+pub use fault::{FaultMode, FaultPlan, FaultSite, FaultSpec};
 pub use histogram::LatencyHistogram;
 pub use station::{StationCfg, StationId, StationStats};
 pub use time::Nanos;

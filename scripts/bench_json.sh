@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR2.json at the repo root: the PR 2 host-concurrency
-# thread sweep (model + functional, see crates/bench/src/sweep.rs).
-# Pass --quick for a fast smoke run (shrinks the functional grid).
+# Regenerate the machine-readable bench JSONs at the repo root:
+#   BENCH_PR2.json — host-concurrency thread sweep (crates/bench/src/sweep.rs)
+#   BENCH_PR3.json — degraded-read throughput under fault injection
+# Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p dpc-bench --bin bench-pr2 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr3 -- --faults "$@"
