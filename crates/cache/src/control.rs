@@ -38,6 +38,26 @@ pub trait FlushBackend {
         self.flush(ino, lpn, page);
         true
     }
+
+    /// Vectored flush of one coalesced extent: `data` holds the pages of
+    /// `lpn..` back to back (every page full-size except possibly the
+    /// last, which may be a file-tail valid prefix). The default decomposes
+    /// into per-page `try_flush` calls — all-or-nothing is approximated by
+    /// stopping at the first refusal. Backends with a cheaper multi-page
+    /// path (a single KVFS big-file write) override this.
+    fn try_flush_extent(&mut self, ino: u64, lpn: u64, data: &[u8]) -> bool {
+        let mut off = 0usize;
+        let mut p = lpn;
+        while off < data.len() {
+            let end = (off + PAGE_SIZE).min(data.len());
+            if !self.try_flush(ino, p, &data[off..end]) {
+                return false;
+            }
+            off = end;
+            p += 1;
+        }
+        true
+    }
 }
 
 impl<F: FnMut(u64, u64, &[u8])> FlushBackend for F {
@@ -107,11 +127,20 @@ impl SeqPrefetcher {
     }
 }
 
+/// Default cap on pages per coalesced extent (256 KiB of data).
+pub const DEFAULT_EXTENT_PAGES: usize = 64;
+
 /// The DPU control plane attached to one hybrid cache.
 pub struct ControlPlane {
     cache: Arc<HybridCache>,
     dma: DmaEngine,
     pub prefetcher: SeqPrefetcher,
+    /// Cap on pages coalesced into one backend extent write.
+    pub max_extent_pages: usize,
+    /// Reusable extent assembly buffer (pages pulled to DPU DRAM).
+    extent_buf: Vec<u8>,
+    /// Reusable list of read-locked entry indices for the current extent.
+    extent_locks: Vec<usize>,
 }
 
 impl ControlPlane {
@@ -120,6 +149,9 @@ impl ControlPlane {
             cache,
             dma,
             prefetcher: SeqPrefetcher::default(),
+            max_extent_pages: DEFAULT_EXTENT_PAGES,
+            extent_buf: Vec::new(),
+            extent_locks: Vec::new(),
         }
     }
 
@@ -137,25 +169,7 @@ impl ControlPlane {
     /// stays dirty so the bucket surfaces back-pressure instead of the
     /// flusher wedging on it forever.
     pub fn flush_pass(&mut self, backend: &mut dyn FlushBackend) -> usize {
-        let mut flushed = 0;
-
-        // Quarantined pages first: their cache entries may be long gone,
-        // so this pass is their only route to durability. Pages the
-        // backend still refuses are re-parked. No DMA/atomics recorded —
-        // the data already lives in DPU-side memory.
-        let parked: Vec<((u64, u64), Vec<u8>)> = self.cache.quarantine.lock().drain().collect();
-        for ((ino, lpn), page) in parked {
-            if backend.try_flush(ino, lpn, &page) {
-                self.cache
-                    .stats
-                    .quarantine_drains
-                    .fetch_add(1, Ordering::Relaxed);
-                self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
-                flushed += 1;
-            } else {
-                self.cache.quarantine.lock().insert((ino, lpn), page);
-            }
-        }
+        let mut flushed = self.drain_quarantine(backend, None);
 
         let mut page = [0u8; PAGE_SIZE];
         for idx in 0..self.cache.cfg.pages {
@@ -189,11 +203,17 @@ impl ControlPlane {
                     ok = backend.try_flush(ino, lpn, &page[..valid]);
                 }
                 if ok {
-                    // A newer flush of this page supersedes any parked copy.
-                    self.cache.quarantine.lock().remove(&(ino, lpn));
+                    // A newer flush of this page supersedes any parked copy
+                    // (skip the lock entirely when nothing is parked).
+                    if !self.cache.quarantine_is_empty() {
+                        let mut q = self.cache.quarantine.lock();
+                        q.remove(&(ino, lpn));
+                        self.cache.quarantine_note_len(&q);
+                    }
                     // Mark clean while still holding the read lock — the
                     // write lock is excluded, so no writer can interleave.
                     e.set_status(EntryStatus::Clean);
+                    self.cache.note_clean(ino, lpn);
                     self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
                     flushed += 1;
                 } else {
@@ -204,11 +224,13 @@ impl ControlPlane {
                     let mut q = self.cache.quarantine.lock();
                     if q.len() < crate::host::QUARANTINE_CAP {
                         q.insert((ino, lpn), page[..valid].to_vec());
+                        self.cache.quarantine_note_len(&q);
                         drop(q);
                         // The quarantine now owns the only durable-pending
                         // copy; the entry is reclaimable (but not evictable
                         // — see `evict_one`).
                         e.set_status(EntryStatus::Clean);
+                        self.cache.note_clean(ino, lpn);
                     }
                     // Quarantine full: leave the entry dirty. The bucket
                     // eventually reports NeedEviction with nothing
@@ -220,6 +242,305 @@ impl ControlPlane {
             e.read_unlock();
         }
         flushed
+    }
+
+    /// Flush quarantined pages to the backend (optionally only one ino's).
+    /// Their cache entries may be long gone, so this is their only route
+    /// to durability. Pages the backend still refuses are re-parked. No
+    /// DMA/atomics recorded — the data already lives in DPU-side memory.
+    ///
+    /// A parked copy is stale the moment the page is re-dirtied, and two
+    /// control planes (background flusher, fsync on a service thread)
+    /// share one quarantine: between this drain's pop and its backend
+    /// write, the other plane may flush newer data — its supersede-remove
+    /// finds the map already empty, and blindly writing the popped copy
+    /// would regress the backend. So each popped page is revalidated
+    /// against its live cache entry: a `Dirty` entry supersedes the copy
+    /// (drop it — the newer data is indexed and will flush), a `Clean`
+    /// entry is flushed from its *current* bytes under the read lock
+    /// (lock-ordered against any later re-dirty), and only a page with no
+    /// entry left falls back to the parked copy itself.
+    pub(crate) fn drain_quarantine(
+        &mut self,
+        backend: &mut dyn FlushBackend,
+        ino_filter: Option<u64>,
+    ) -> usize {
+        if self.cache.quarantine_is_empty() {
+            return 0; // nothing parked — the common, faults-free case
+        }
+        let parked: Vec<((u64, u64), Vec<u8>)> = {
+            let mut q = self.cache.quarantine.lock();
+            let popped = match ino_filter {
+                None => q.drain().collect(),
+                Some(ino) => {
+                    let keys: Vec<(u64, u64)> = q.keys().filter(|k| k.0 == ino).copied().collect();
+                    keys.into_iter()
+                        .filter_map(|k| q.remove(&k).map(|v| (k, v)))
+                        .collect()
+                }
+            };
+            self.cache.quarantine_note_len(&q);
+            popped
+        };
+        let mut flushed = 0;
+        let mut live = [0u8; PAGE_SIZE];
+        for ((ino, lpn), page) in parked {
+            // `None` = no usable entry, flush the parked copy itself;
+            // `Some(ok)` = the live entry was handled under its lock.
+            let mut live_outcome: Option<bool> = None;
+            let mut superseded = false;
+            if let Some(idx) = self.find_entry(ino, lpn) {
+                let e = &self.cache.entries[idx];
+                if e.try_read_lock() {
+                    if e.ino() == ino && e.lpn() == lpn {
+                        match e.status() {
+                            EntryStatus::Dirty => superseded = true,
+                            EntryStatus::Clean => {
+                                let valid = (e.valid() as usize).min(PAGE_SIZE);
+                                // SAFETY: read lock held on entry `idx`.
+                                unsafe { self.cache.pages.read(idx, 0, &mut live) };
+                                let ok = backend.try_flush(ino, lpn, &live[..valid]);
+                                if !ok {
+                                    // Refused again: re-park the *live*
+                                    // bytes — never the popped copy, which
+                                    // may be older than the entry.
+                                    let mut q = self.cache.quarantine.lock();
+                                    q.insert((ino, lpn), live[..valid].to_vec());
+                                    self.cache.quarantine_note_len(&q);
+                                }
+                                live_outcome = Some(ok);
+                            }
+                            _ => {}
+                        }
+                    }
+                    e.read_unlock();
+                } else {
+                    // A host writer holds the lock and will commit the
+                    // page dirty — its data supersedes the parked copy.
+                    superseded = true;
+                }
+            }
+            if superseded {
+                continue;
+            }
+            let ok = match live_outcome {
+                Some(ok) => ok,
+                None => {
+                    let ok = backend.try_flush(ino, lpn, &page);
+                    if !ok {
+                        let mut q = self.cache.quarantine.lock();
+                        q.insert((ino, lpn), page);
+                        self.cache.quarantine_note_len(&q);
+                    }
+                    ok
+                }
+            };
+            if ok {
+                self.cache
+                    .stats
+                    .quarantine_drains
+                    .fetch_add(1, Ordering::Relaxed);
+                self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Extent-coalescing flush pass: walk the per-ino dirty-range index
+    /// (no meta-area scan), read-lock runs of adjacent dirty LPNs, pull
+    /// them to DPU DRAM as one contiguous buffer and hand each run to the
+    /// backend as a single [`FlushBackend::try_flush_extent`] call.
+    ///
+    /// With `ino_filter`, only that inode's pages flush (`Sync` waits only
+    /// for its own file's residual). `background` attributes the flushed
+    /// pages to the background or foreground counters.
+    ///
+    /// A partial (file-tail) page terminates its extent: only valid
+    /// prefixes are ever sent, so a coalesced write can never push padding
+    /// past a file's logical end. A refused extent is retried in-pass,
+    /// then quarantined *whole* — every page of it is parked (or, when the
+    /// quarantine fills, left dirty); no page is ever dropped.
+    pub fn flush_extents(
+        &mut self,
+        backend: &mut dyn FlushBackend,
+        ino_filter: Option<u64>,
+        background: bool,
+    ) -> usize {
+        let mut flushed = self.drain_quarantine(backend, ino_filter);
+        let max_pages = self.max_extent_pages.max(1);
+        let snapshot = self.cache.dirty_snapshot(ino_filter);
+        let mut buf = std::mem::take(&mut self.extent_buf);
+        let mut locked = std::mem::take(&mut self.extent_locks);
+
+        for (ino, lpns) in snapshot {
+            let mut i = 0usize;
+            while i < lpns.len() {
+                let start_lpn = lpns[i];
+                buf.clear();
+                locked.clear();
+                let mut tail_valid = PAGE_SIZE;
+
+                // Assemble a run of adjacent, lockable, still-dirty pages.
+                while locked.len() < max_pages && tail_valid == PAGE_SIZE {
+                    let run = locked.len();
+                    if i + run >= lpns.len() || lpns[i + run] != start_lpn + run as u64 {
+                        break;
+                    }
+                    let lpn = lpns[i + run];
+                    let Some(idx) = self.find_entry(ino, lpn) else {
+                        break;
+                    };
+                    let e = &self.cache.entries[idx];
+                    // PCIe atomic: add the read lock.
+                    self.dma.record_atomic();
+                    if !e.try_read_lock() {
+                        break; // host writer active; catch it next pass
+                    }
+                    // Re-validate under the lock — the snapshot is stale by
+                    // construction.
+                    if e.status() != EntryStatus::Dirty || e.ino() != ino || e.lpn() != lpn {
+                        self.dma.record_atomic();
+                        e.read_unlock();
+                        break;
+                    }
+                    let valid = (e.valid() as usize).min(PAGE_SIZE);
+                    let off = buf.len();
+                    buf.resize(off + valid, 0);
+                    // SAFETY: read lock held on entry `idx`.
+                    unsafe { self.cache.pages.read(idx, 0, &mut buf[off..off + valid]) };
+                    self.dma.record_external_dma(valid as u64);
+                    locked.push(idx);
+                    tail_valid = valid; // < PAGE_SIZE terminates the run
+                }
+
+                if locked.is_empty() {
+                    // Head page unlockable or no longer dirty: skip it.
+                    i += 1;
+                    continue;
+                }
+
+                let run = locked.len();
+                let mut ok = backend.try_flush_extent(ino, start_lpn, &buf);
+                let mut tries = 0;
+                while !ok && tries < FLUSH_RETRIES {
+                    tries += 1;
+                    self.cache
+                        .stats
+                        .flush_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(50 << tries));
+                    ok = backend.try_flush_extent(ino, start_lpn, &buf);
+                }
+
+                if ok {
+                    // Clean the whole run with batched bookkeeping: one
+                    // quarantine probe (lock only if something is parked)
+                    // and one dirty-shard acquisition for the run, instead
+                    // of two mutex round-trips per page. The read locks
+                    // stay held until every status is Clean and the index
+                    // entries are gone, so no writer can interleave.
+                    if !self.cache.quarantine_is_empty() {
+                        let mut q = self.cache.quarantine.lock();
+                        for k in 0..run {
+                            q.remove(&(ino, start_lpn + k as u64));
+                        }
+                        self.cache.quarantine_note_len(&q);
+                    }
+                    for &idx in locked.iter() {
+                        self.cache.entries[idx].set_status(EntryStatus::Clean);
+                    }
+                    self.cache.note_clean_run(ino, start_lpn, run);
+                    self.cache
+                        .stats
+                        .flushes
+                        .fetch_add(run as u64, Ordering::Relaxed);
+                    flushed += run;
+                    for &idx in locked.iter() {
+                        // PCIe atomic: release the read lock.
+                        self.dma.record_atomic();
+                        self.cache.entries[idx].read_unlock();
+                    }
+                    self.cache.stats.record_extent(run);
+                    let cell = if background {
+                        &self.cache.stats.bg_flush_pages
+                    } else {
+                        &self.cache.stats.fg_flush_pages
+                    };
+                    cell.fetch_add(run as u64, Ordering::Relaxed);
+                } else {
+                    for (k, &idx) in locked.iter().enumerate() {
+                        let e = &self.cache.entries[idx];
+                        let lpn = start_lpn + k as u64;
+                        let page_off = k * PAGE_SIZE;
+                        let page_end = buf.len().min(page_off + PAGE_SIZE);
+                        // Quarantine the whole extent, page by page: the
+                        // entry is reclaimed but the data stays pending.
+                        self.cache
+                            .stats
+                            .flush_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut q = self.cache.quarantine.lock();
+                        if q.len() < crate::host::QUARANTINE_CAP {
+                            q.insert((ino, lpn), buf[page_off..page_end].to_vec());
+                            self.cache.quarantine_note_len(&q);
+                            drop(q);
+                            e.set_status(EntryStatus::Clean);
+                            self.cache.note_clean(ino, lpn);
+                        }
+                        // Quarantine full: the page stays dirty (EBUSY
+                        // back-pressure), never lost.
+                        // PCIe atomic: release the read lock.
+                        self.dma.record_atomic();
+                        e.read_unlock();
+                    }
+                }
+                i += run;
+            }
+        }
+
+        self.extent_buf = buf;
+        self.extent_locks = locked;
+        flushed
+    }
+
+    /// Locate the cache entry currently holding `<ino, lpn>`, if any.
+    fn find_entry(&self, ino: u64, lpn: u64) -> Option<usize> {
+        let bucket = self.cache.bucket_of(ino, lpn);
+        self.cache.chain(bucket).find(|&idx| {
+            let e = &self.cache.entries[idx];
+            e.ino() == ino && e.lpn() == lpn && e.status() != EntryStatus::Free
+        })
+    }
+
+    /// Batched replacement: one command frees slots in many buckets (the
+    /// multi-bucket `CacheEvictBatch` wire op — one doorbell, one
+    /// round-trip for a whole write burst). Buckets may repeat: each
+    /// occurrence asks for one freed slot. On the first bucket with
+    /// nothing clean to evict, a single foreground extent-flush pass runs
+    /// and the bucket is retried — never one flush per page. Returns the
+    /// number of slots freed.
+    pub fn evict_batch(&mut self, buckets: &[usize], backend: &mut dyn FlushBackend) -> usize {
+        self.cache
+            .stats
+            .batched_evictions
+            .fetch_add(1, Ordering::Relaxed);
+        let mut freed = 0usize;
+        let mut flushed_once = false;
+        for &bucket in buckets {
+            if self.evict_one(bucket) {
+                freed += 1;
+                continue;
+            }
+            if !flushed_once {
+                self.flush_extents(backend, None, false);
+                flushed_once = true;
+            }
+            if self.evict_one(bucket) {
+                freed += 1;
+            }
+        }
+        freed
     }
 
     /// Cache replacement in one bucket: evict the least-recently-touched
@@ -281,9 +602,13 @@ impl ControlPlane {
     /// Insert a page fetched from the backend as *clean* (prefetch /
     /// read-miss fill). DMA-writes the page into the host data area.
     /// Returns `false` when the bucket has no free slot and eviction
-    /// could not make one. The whole of `data` is stored; all of it is
-    /// marked valid — use [`insert_clean_valid`](Self::insert_clean_valid)
-    /// for tail pages whose padding must not count.
+    /// could not make one; `true` when the page is cached afterwards —
+    /// which includes the already-present case, where the fill is
+    /// *discarded* (the cached copy is at least as new as the backend's,
+    /// and may hold an unflushed write). The whole of `data` is stored;
+    /// all of it is marked valid — use
+    /// [`insert_clean_valid`](Self::insert_clean_valid) for tail pages
+    /// whose padding must not count.
     pub fn insert_clean(&self, ino: u64, lpn: u64, data: &[u8]) -> bool {
         self.insert_clean_valid(ino, lpn, data, data.len())
     }
@@ -306,6 +631,15 @@ impl ControlPlane {
                 }
             }
         };
+        if !guard.claimed_free() {
+            // The page is already cached — and the cached copy is at
+            // least as new as what the backend returned (a host write may
+            // have dirtied it after this fill's backend read). Clobbering
+            // it with backend bytes and committing *clean* would silently
+            // destroy an unflushed write. Dropping the guard just
+            // releases the lock; the entry is untouched.
+            return true;
+        }
         guard.write(0, data);
         guard.set_valid(valid);
         self.dma.record_external_dma(data.len() as u64);
@@ -616,6 +950,220 @@ mod tests {
         assert_eq!(cache.quarantined_pages(), crate::host::QUARANTINE_CAP);
         // The overflow page stayed dirty: back-pressure, not data loss.
         assert_eq!(cache.dirty_pages(), 1);
+    }
+
+    /// An extent-aware sink recording whole extents; refuses the next
+    /// `fail_next` extent attempts.
+    struct ExtentSink {
+        fail_next: usize,
+        extents: Vec<(u64, u64, Vec<u8>)>,
+        pages: Vec<(u64, u64, Vec<u8>)>,
+    }
+
+    impl ExtentSink {
+        fn new() -> ExtentSink {
+            ExtentSink {
+                fail_next: 0,
+                extents: Vec::new(),
+                pages: Vec::new(),
+            }
+        }
+    }
+
+    impl FlushBackend for ExtentSink {
+        fn flush(&mut self, ino: u64, lpn: u64, page: &[u8]) {
+            self.pages.push((ino, lpn, page.to_vec()));
+        }
+        fn try_flush(&mut self, ino: u64, lpn: u64, page: &[u8]) -> bool {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return false;
+            }
+            self.flush(ino, lpn, page);
+            true
+        }
+        fn try_flush_extent(&mut self, ino: u64, lpn: u64, data: &[u8]) -> bool {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return false;
+            }
+            self.extents.push((ino, lpn, data.to_vec()));
+            true
+        }
+    }
+
+    fn dirty_page(cache: &HybridCache, ino: u64, lpn: u64, fill: u8, valid: usize) {
+        let mut g = cache.begin_write(ino, lpn).unwrap();
+        g.write(0, &vec![fill; valid]);
+        g.set_valid(valid);
+        g.commit_dirty();
+    }
+
+    #[test]
+    fn flush_extents_coalesces_adjacent_runs() {
+        let (cache, mut cp, dma) = setup(256, 8);
+        for lpn in 0..5u64 {
+            dirty_page(&cache, 1, lpn, lpn as u8 + 1, PAGE_SIZE);
+        }
+        for lpn in 8..10u64 {
+            dirty_page(&cache, 1, lpn, 0xAA, PAGE_SIZE);
+        }
+        dirty_page(&cache, 2, 0, 0xBB, PAGE_SIZE);
+
+        let mut sink = ExtentSink::new();
+        let flushed = cp.flush_extents(&mut sink, None, false);
+        assert_eq!(flushed, 8);
+        assert_eq!(cache.dirty_pages(), 0);
+        assert_eq!(cache.dirty_count(), 0);
+
+        sink.extents.sort();
+        assert_eq!(sink.extents.len(), 3, "three runs, three backend calls");
+        assert_eq!(
+            (
+                sink.extents[0].0,
+                sink.extents[0].1,
+                sink.extents[0].2.len()
+            ),
+            (1, 0, 5 * PAGE_SIZE)
+        );
+        // Page contents land in order within the coalesced buffer.
+        for lpn in 0..5usize {
+            assert_eq!(sink.extents[0].2[lpn * PAGE_SIZE], lpn as u8 + 1);
+        }
+        assert_eq!(
+            (
+                sink.extents[1].0,
+                sink.extents[1].1,
+                sink.extents[1].2.len()
+            ),
+            (1, 8, 2 * PAGE_SIZE)
+        );
+        assert_eq!(
+            (
+                sink.extents[2].0,
+                sink.extents[2].1,
+                sink.extents[2].2.len()
+            ),
+            (2, 0, PAGE_SIZE)
+        );
+
+        let s = cache.stats();
+        assert_eq!(s.flushes, 8);
+        assert_eq!(s.extents_flushed, 3);
+        // Histogram: one 1-page, one 2–3-page, one 4–7-page extent.
+        assert_eq!(s.extent_pages_hist, [1, 1, 1, 0, 0]);
+        assert_eq!(s.fg_flush_pages, 8);
+        assert_eq!(s.bg_flush_pages, 0);
+        // Per-page lock/unlock atomics and per-page DMA pulls, as in the
+        // linear pass.
+        let d = dma.snapshot();
+        assert_eq!(d.atomics, 16);
+        assert_eq!(d.dma_ops, 8);
+    }
+
+    #[test]
+    fn flush_extents_tail_page_terminates_extent() {
+        let (cache, mut cp, _) = setup(256, 8);
+        dirty_page(&cache, 1, 0, 3, PAGE_SIZE);
+        dirty_page(&cache, 1, 1, 4, 100); // file tail: 100 valid bytes
+        dirty_page(&cache, 1, 2, 5, PAGE_SIZE);
+
+        let mut sink = ExtentSink::new();
+        assert_eq!(cp.flush_extents(&mut sink, None, true), 3);
+        sink.extents.sort();
+        // The short page closes its extent; lpn 2 starts a fresh one.
+        assert_eq!(sink.extents.len(), 2);
+        assert_eq!(sink.extents[0].1, 0);
+        assert_eq!(sink.extents[0].2.len(), PAGE_SIZE + 100);
+        assert_eq!(sink.extents[0].2[PAGE_SIZE], 4);
+        assert_eq!(sink.extents[1].1, 2);
+        assert_eq!(sink.extents[1].2.len(), PAGE_SIZE);
+        assert_eq!(cache.stats().bg_flush_pages, 3);
+    }
+
+    #[test]
+    fn flush_extents_respects_max_extent_pages() {
+        let (cache, mut cp, _) = setup(256, 8);
+        cp.max_extent_pages = 2;
+        for lpn in 0..5u64 {
+            dirty_page(&cache, 1, lpn, 1, PAGE_SIZE);
+        }
+        let mut sink = ExtentSink::new();
+        assert_eq!(cp.flush_extents(&mut sink, None, false), 5);
+        let sizes: Vec<usize> = sink.extents.iter().map(|e| e.2.len() / PAGE_SIZE).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn flush_extents_ino_filter_flushes_only_that_file() {
+        let (cache, mut cp, _) = setup(256, 8);
+        dirty_page(&cache, 1, 0, 1, PAGE_SIZE);
+        dirty_page(&cache, 2, 0, 2, PAGE_SIZE);
+        let mut sink = ExtentSink::new();
+        assert_eq!(cp.flush_extents(&mut sink, Some(1), false), 1);
+        assert_eq!(sink.extents.len(), 1);
+        assert_eq!(sink.extents[0].0, 1);
+        assert_eq!(cache.dirty_count(), 1, "ino 2 untouched");
+        assert!(cache.has_dirty_in_range(2, 0, 0));
+    }
+
+    #[test]
+    fn refused_extent_quarantines_every_page() {
+        let (cache, mut cp, _) = setup(256, 8);
+        for lpn in 0..4u64 {
+            dirty_page(&cache, 7, lpn, lpn as u8 + 1, PAGE_SIZE);
+        }
+        let mut sink = ExtentSink::new();
+        sink.fail_next = usize::MAX;
+        assert_eq!(cp.flush_extents(&mut sink, None, false), 0);
+        // The whole extent parked: entries reclaimed, no page lost.
+        assert_eq!(cache.dirty_pages(), 0);
+        assert_eq!(cache.quarantined_pages(), 4);
+        assert_eq!(cache.stats().flush_failures, 4);
+        assert_eq!(cache.stats().extents_flushed, 0);
+        // Backend recovers: the next pass drains all four, byte-exact.
+        sink.fail_next = 0;
+        assert_eq!(cp.flush_extents(&mut sink, None, false), 4);
+        assert_eq!(cache.quarantined_pages(), 0);
+        sink.pages.sort();
+        assert_eq!(sink.pages.len(), 4);
+        for (k, (ino, lpn, page)) in sink.pages.iter().enumerate() {
+            assert_eq!((*ino, *lpn), (7, k as u64));
+            assert_eq!(page[0], k as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn evict_batch_frees_many_buckets_with_one_flush() {
+        let (cache, mut cp, _) = setup(16, 8); // two buckets
+                                               // Fill both buckets with dirty pages of ino 0 and 1.
+        let mut filled = 0;
+        let mut lpn = 0u64;
+        while filled < 16 && lpn < 1000 {
+            for ino in 0..2u64 {
+                if cache
+                    .begin_write(ino, lpn)
+                    .map(|mut g| {
+                        g.write(0, &[1; 8]);
+                        g.commit_dirty();
+                    })
+                    .is_ok()
+                {
+                    filled += 1;
+                }
+            }
+            lpn += 1;
+        }
+        assert!(cache.header().free() < 4, "cache mostly full");
+        let mut sink = ExtentSink::new();
+        let freed = cp.evict_batch(&[0, 0, 1, 1], &mut sink);
+        assert_eq!(freed, 4, "one command freed four slots");
+        assert_eq!(cache.stats().batched_evictions, 1);
+        assert_eq!(cache.stats().evictions, 4);
+        assert!(
+            !sink.extents.is_empty(),
+            "a flush ran to make pages evictable"
+        );
     }
 
     #[test]

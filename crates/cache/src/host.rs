@@ -14,18 +14,25 @@
 //! 4. release the write lock and set the dirty status.
 
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::layout::{bucket_of, CacheConfig, CacheEntry, CacheHeader, EntryStatus, PAGE_SIZE};
 
+/// Shards of the per-ino dirty-range index (keyed by ino, so one file's
+/// write burst contends on one shard while the flusher walks another).
+pub(crate) const DIRTY_SHARDS: usize = 16;
+
 /// Upper bound on dirty pages parked in the flush quarantine. Beyond it,
 /// persistently unflushable pages stay `Dirty` in their bucket — the
 /// bucket eventually reports `NeedEviction` with nothing evictable, which
 /// the host surfaces as back-pressure (EBUSY) instead of wedging.
 pub(crate) const QUARANTINE_CAP: usize = 256;
+
+/// One shard of the dirty-range index: `ino -> sorted dirty LPNs`.
+type DirtyShard = HashMap<u64, BTreeSet<u64>>;
 
 /// The page pool backing the data area. Page *i* belongs to entry *i*.
 ///
@@ -93,6 +100,23 @@ pub struct CacheStats {
     pub flush_failures: u64,
     /// Quarantined pages later flushed successfully.
     pub quarantine_drains: u64,
+    /// Coalesced extents written to the backend (each covers ≥ 1 page).
+    pub extents_flushed: u64,
+    /// Extent-size histogram: pages-per-extent in 1 / 2–3 / 4–7 / 8–15 /
+    /// 16+ buckets.
+    pub extent_pages_hist: [u64; 5],
+    /// Pages flushed by the background (watermark-driven) flusher.
+    pub bg_flush_pages: u64,
+    /// Pages flushed on the foreground path (Sync / eviction pressure).
+    pub fg_flush_pages: u64,
+    /// Multi-bucket eviction commands executed on the control plane.
+    pub batched_evictions: u64,
+    /// Foreground writes that stalled on `NeedEviction` (each such page
+    /// costs a host→DPU eviction round-trip).
+    pub evict_stalls: u64,
+    /// Buffered writes that fell back to write-through because no cache
+    /// slot could be freed.
+    pub write_throughs: u64,
 }
 
 #[derive(Default)]
@@ -106,6 +130,28 @@ pub(crate) struct StatsCells {
     pub(crate) flush_retries: AtomicU64,
     pub(crate) flush_failures: AtomicU64,
     pub(crate) quarantine_drains: AtomicU64,
+    pub(crate) extents_flushed: AtomicU64,
+    pub(crate) extent_pages_hist: [AtomicU64; 5],
+    pub(crate) bg_flush_pages: AtomicU64,
+    pub(crate) fg_flush_pages: AtomicU64,
+    pub(crate) batched_evictions: AtomicU64,
+    pub(crate) evict_stalls: AtomicU64,
+    pub(crate) write_throughs: AtomicU64,
+}
+
+impl StatsCells {
+    /// Record one flushed extent of `pages` pages into the size histogram.
+    pub(crate) fn record_extent(&self, pages: usize) {
+        self.extents_flushed.fetch_add(1, Ordering::Relaxed);
+        let bucket = match pages {
+            0..=1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            _ => 4,
+        };
+        self.extent_pages_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Failure modes of the front-end write path.
@@ -135,6 +181,18 @@ pub struct HybridCache {
     /// (keyed by `(ino, lpn)`, value = the valid prefix of the page) so
     /// their cache entries can be reclaimed. Bounded by [`QUARANTINE_CAP`].
     pub(crate) quarantine: Mutex<HashMap<(u64, u64), Vec<u8>>>,
+    /// Lock-free mirror of the quarantine's length, updated under the
+    /// quarantine mutex. Lets the flush hot paths skip the per-page mutex
+    /// acquisition entirely in the (overwhelmingly common) faults-free
+    /// case — see [`quarantine_is_empty`](Self::quarantine_is_empty).
+    pub(crate) quarantine_len: AtomicU64,
+    /// Per-ino dirty-range index: `shard(ino) → ino → sorted dirty LPNs`.
+    /// Lets the control plane walk dirty pages as extents instead of
+    /// scanning the whole meta area, and the adapter answer range-overlap
+    /// queries (O_DIRECT coherence) without a full scan.
+    pub(crate) dirty_index: Box<[Mutex<DirtyShard>]>,
+    /// Pages currently marked dirty (mirror of the index's total size).
+    pub(crate) dirty_total: AtomicU64,
 }
 
 impl HybridCache {
@@ -165,8 +223,111 @@ impl HybridCache {
             touch: (0..cfg.pages).map(|_| AtomicU64::new(0)).collect(),
             stats: StatsCells::default(),
             quarantine: Mutex::new(HashMap::new()),
+            quarantine_len: AtomicU64::new(0),
+            dirty_index: (0..DIRTY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            dirty_total: AtomicU64::new(0),
             cfg,
         }
+    }
+
+    fn dirty_shard(&self, ino: u64) -> &Mutex<DirtyShard> {
+        &self.dirty_index[(ino as usize) % DIRTY_SHARDS]
+    }
+
+    /// Record `<ino, lpn>` as dirty in the range index. Called with the
+    /// entry's write lock held (commit path), so it is ordered against the
+    /// flusher's [`note_clean`](Self::note_clean) under the read lock.
+    pub(crate) fn note_dirty(&self, ino: u64, lpn: u64) {
+        let mut shard = self.dirty_shard(ino).lock();
+        if shard.entry(ino).or_default().insert(lpn) {
+            self.dirty_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop `<ino, lpn>` from the range index (flushed clean, quarantined,
+    /// or invalidated). Idempotent: concurrent flush passes may race to
+    /// clean the same page.
+    pub(crate) fn note_clean(&self, ino: u64, lpn: u64) {
+        let mut shard = self.dirty_shard(ino).lock();
+        if let Some(set) = shard.get_mut(&ino) {
+            if set.remove(&lpn) {
+                self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+            }
+            if set.is_empty() {
+                shard.remove(&ino);
+            }
+        }
+    }
+
+    /// Batched [`note_clean`](Self::note_clean): drop the run of `n`
+    /// adjacent LPNs starting at `start` under a single shard acquisition.
+    /// The extent flusher's clean-side cost would otherwise be dominated
+    /// by taking this mutex once per page of every run. Idempotent per
+    /// page, like `note_clean`.
+    pub(crate) fn note_clean_run(&self, ino: u64, start: u64, n: usize) {
+        let mut shard = self.dirty_shard(ino).lock();
+        if let Some(set) = shard.get_mut(&ino) {
+            let mut removed = 0u64;
+            for lpn in start..start + n as u64 {
+                if set.remove(&lpn) {
+                    removed += 1;
+                }
+            }
+            if removed > 0 {
+                self.dirty_total.fetch_sub(removed, Ordering::Relaxed);
+            }
+            if set.is_empty() {
+                shard.remove(&ino);
+            }
+        }
+    }
+
+    /// Pages currently dirty, per the range index (O(1)).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_total.load(Ordering::Relaxed) as usize
+    }
+
+    /// Fraction of the cache that is dirty, per the range index (O(1)).
+    pub fn dirty_ratio(&self) -> f64 {
+        self.dirty_total.load(Ordering::Relaxed) as f64 / self.cfg.pages as f64
+    }
+
+    /// Does any dirty page of `ino` fall within `first_lpn..=last_lpn`?
+    /// Range query on the index — no meta-area scan.
+    pub fn has_dirty_in_range(&self, ino: u64, first_lpn: u64, last_lpn: u64) -> bool {
+        let shard = self.dirty_shard(ino).lock();
+        shard
+            .get(&ino)
+            .is_some_and(|set| set.range(first_lpn..=last_lpn).next().is_some())
+    }
+
+    /// Snapshot the dirty index: `(ino, sorted dirty LPNs)` pairs, sorted
+    /// by ino for deterministic extent walks. With `ino_filter`, only that
+    /// inode's pages. The snapshot is advisory — pages may be cleaned or
+    /// re-dirtied concurrently; the flush pass revalidates under the entry
+    /// lock.
+    pub(crate) fn dirty_snapshot(&self, ino_filter: Option<u64>) -> Vec<(u64, Vec<u64>)> {
+        let mut out = Vec::new();
+        match ino_filter {
+            Some(ino) => {
+                let shard = self.dirty_shard(ino).lock();
+                if let Some(set) = shard.get(&ino) {
+                    out.push((ino, set.iter().copied().collect()));
+                }
+            }
+            None => {
+                for shard in self.dirty_index.iter() {
+                    let shard = shard.lock();
+                    for (&ino, set) in shard.iter() {
+                        out.push((ino, set.iter().copied().collect()));
+                    }
+                }
+                out.sort_unstable_by_key(|&(ino, _)| ino);
+            }
+        }
+        out
     }
 
     pub fn config(&self) -> &CacheConfig {
@@ -188,12 +349,53 @@ impl HybridCache {
             flush_retries: self.stats.flush_retries.load(Ordering::Relaxed),
             flush_failures: self.stats.flush_failures.load(Ordering::Relaxed),
             quarantine_drains: self.stats.quarantine_drains.load(Ordering::Relaxed),
+            extents_flushed: self.stats.extents_flushed.load(Ordering::Relaxed),
+            extent_pages_hist: std::array::from_fn(|i| {
+                self.stats.extent_pages_hist[i].load(Ordering::Relaxed)
+            }),
+            bg_flush_pages: self.stats.bg_flush_pages.load(Ordering::Relaxed),
+            fg_flush_pages: self.stats.fg_flush_pages.load(Ordering::Relaxed),
+            batched_evictions: self.stats.batched_evictions.load(Ordering::Relaxed),
+            evict_stalls: self.stats.evict_stalls.load(Ordering::Relaxed),
+            write_throughs: self.stats.write_throughs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Foreground write stalled on `NeedEviction` (adapter-side account).
+    pub fn note_evict_stall(&self) {
+        self.stats.evict_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buffered write fell back to write-through (adapter-side account).
+    pub fn note_write_through(&self) {
+        self.stats.write_throughs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of pages currently parked in the flush quarantine.
     pub fn quarantined_pages(&self) -> usize {
         self.quarantine.lock().len()
+    }
+
+    /// Fast emptiness probe: true when nothing is parked. A flush path
+    /// may use this to skip the per-page supersede-removal lock; the
+    /// probe is ordered by the entry locks (a copy is always parked under
+    /// the entry's read lock, and its length store precedes the unlock),
+    /// so any copy parked before the current lock-holder acquired its
+    /// lock is visible. A copy parked by a *concurrently overlapping*
+    /// read-locker holds the same page generation (writers are excluded
+    /// throughout both holds), so skipping its removal is harmless — the
+    /// revalidating [`ControlPlane::drain_quarantine`] drops or refreshes
+    /// it on the next pass.
+    ///
+    /// [`ControlPlane::drain_quarantine`]: crate::ControlPlane
+    pub(crate) fn quarantine_is_empty(&self) -> bool {
+        self.quarantine_len.load(Ordering::Acquire) == 0
+    }
+
+    /// Refresh the lock-free length mirror; must be called with the
+    /// quarantine mutex held, after any mutation of the map.
+    pub(crate) fn quarantine_note_len(&self, q: &HashMap<(u64, u64), Vec<u8>>) {
+        self.quarantine_len.store(q.len() as u64, Ordering::Release);
     }
 
     pub(crate) fn is_quarantined(&self, ino: u64, lpn: u64) -> bool {
@@ -218,6 +420,11 @@ impl HybridCache {
 
     pub(crate) fn bucket_of(&self, ino: u64, lpn: u64) -> usize {
         bucket_of(ino, lpn, self.cfg.buckets())
+    }
+
+    /// Number of hash buckets (bounds for wire-supplied bucket indices).
+    pub fn bucket_count(&self) -> usize {
+        self.cfg.buckets()
     }
 
     fn stamp(&self, idx: usize) {
@@ -337,7 +544,11 @@ impl HybridCache {
     pub fn invalidate(&self, ino: u64, lpn: u64) -> bool {
         // A quarantined copy must die with the page, or a later flush pass
         // would resurrect data the application just truncated away.
-        self.quarantine.lock().remove(&(ino, lpn));
+        if !self.quarantine_is_empty() {
+            let mut q = self.quarantine.lock();
+            q.remove(&(ino, lpn));
+            self.quarantine_note_len(&q);
+        }
         let bucket = self.bucket_of(ino, lpn);
         let _claim = self.bucket_claim[bucket].lock();
         for idx in self.chain(bucket) {
@@ -345,6 +556,9 @@ impl HybridCache {
             if e.ino() == ino && e.lpn() == lpn && e.status() != EntryStatus::Free {
                 while !e.try_write_lock() {
                     std::hint::spin_loop();
+                }
+                if e.status() == EntryStatus::Dirty {
+                    self.note_clean(ino, lpn);
                 }
                 e.set_status(EntryStatus::Free);
                 e.ino.store(0, Ordering::Release);
@@ -360,7 +574,11 @@ impl HybridCache {
     /// Drop every cached page of one inode (unlink). Returns the number of
     /// pages invalidated.
     pub fn invalidate_ino(&self, ino: u64) -> usize {
-        self.quarantine.lock().retain(|&(i, _), _| i != ino);
+        if !self.quarantine_is_empty() {
+            let mut q = self.quarantine.lock();
+            q.retain(|&(i, _), _| i != ino);
+            self.quarantine_note_len(&q);
+        }
         let mut dropped = 0;
         for idx in 0..self.cfg.pages {
             let e = &self.entries[idx];
@@ -376,6 +594,9 @@ impl HybridCache {
                 std::hint::spin_loop();
             }
             if e.ino() == ino && e.status() != EntryStatus::Free {
+                if e.status() == EntryStatus::Dirty {
+                    self.note_clean(ino, e.lpn());
+                }
                 e.set_status(EntryStatus::Free);
                 e.ino.store(0, Ordering::Release);
                 e.lpn.store(0, Ordering::Release);
@@ -471,7 +692,17 @@ impl WriteGuard<'_> {
     /// Step 4: release the write lock and set the dirty status.
     pub fn commit_dirty(mut self) {
         let e = &self.cache.entries[self.idx];
+        // Index while still holding the write lock, so the flusher's
+        // clean-side removal (done under the read lock) cannot interleave.
+        // Re-dirtying an already-Dirty page skips the index: the write
+        // lock pins the status, and Dirty status implies the page is
+        // already indexed — the shard mutex + BTree insert would be a
+        // no-op on the hottest path (overwriting a not-yet-flushed page).
+        let was_dirty = e.status() == EntryStatus::Dirty;
         e.set_status(EntryStatus::Dirty);
+        if !was_dirty {
+            self.cache.note_dirty(e.ino(), e.lpn());
+        }
         self.cache.stamp(self.idx);
         self.cache.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.committed = true;
@@ -481,6 +712,9 @@ impl WriteGuard<'_> {
     /// Commit as clean (prefetch inserts and host-side read fills).
     pub fn commit_clean(mut self) {
         let e = &self.cache.entries[self.idx];
+        if e.status() == EntryStatus::Dirty {
+            self.cache.note_clean(e.ino(), e.lpn());
+        }
         e.set_status(EntryStatus::Clean);
         self.cache.stamp(self.idx);
         self.committed = true;
@@ -643,6 +877,65 @@ mod tests {
             }
         }
         assert_eq!(c.header().free(), 1024 - 512);
+    }
+
+    #[test]
+    fn dirty_index_tracks_commits_and_invalidation() {
+        let c = small_cache();
+        assert_eq!(c.dirty_count(), 0);
+        for lpn in [3u64, 4, 5, 9] {
+            let mut g = c.begin_write(7, lpn).unwrap();
+            g.write(0, &[1; 64]);
+            g.commit_dirty();
+        }
+        assert_eq!(c.dirty_count(), 4);
+        assert_eq!(c.dirty_count(), c.dirty_pages(), "index mirrors the scan");
+        assert!(c.has_dirty_in_range(7, 3, 5));
+        assert!(c.has_dirty_in_range(7, 9, 9));
+        assert!(!c.has_dirty_in_range(7, 6, 8));
+        assert!(!c.has_dirty_in_range(8, 0, u64::MAX));
+
+        // Re-dirtying the same page must not double count.
+        let mut g = c.begin_write(7, 3).unwrap();
+        g.write(0, &[2; 64]);
+        g.commit_dirty();
+        assert_eq!(c.dirty_count(), 4);
+
+        let snap = c.dirty_snapshot(Some(7));
+        assert_eq!(snap, vec![(7, vec![3, 4, 5, 9])]);
+
+        assert!(c.invalidate(7, 4));
+        assert_eq!(c.dirty_count(), 3);
+        assert_eq!(c.invalidate_ino(7), 3);
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn clean_commit_over_dirty_page_updates_index() {
+        let c = small_cache();
+        let mut g = c.begin_write(1, 1).unwrap();
+        g.write(0, &[1; PAGE_SIZE]);
+        g.commit_dirty();
+        assert_eq!(c.dirty_count(), 1);
+        // A read-fill landing on the (already dirty) page commits clean:
+        // the index must drop it or the ratio drifts upward forever.
+        let mut g = c.begin_write(1, 1).unwrap();
+        g.write(0, &[2; PAGE_SIZE]);
+        g.commit_clean();
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn dirty_ratio_follows_count() {
+        let c = small_cache(); // 64 pages
+        for lpn in 0..16u64 {
+            let mut g = c.begin_write(2, lpn).unwrap();
+            g.write(0, &[0xCC; 8]);
+            g.commit_dirty();
+        }
+        assert!((c.dirty_ratio() - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod host;
 mod layout;
 mod pipeline;
 
-pub use control::{ControlPlane, FlushBackend, ReadBackend, SeqPrefetcher};
+pub use control::{ControlPlane, FlushBackend, ReadBackend, SeqPrefetcher, DEFAULT_EXTENT_PAGES};
 pub use host::{CacheStats, HybridCache, WriteError, WriteGuard};
 pub use layout::{CacheConfig, CacheEntry, CacheHeader, EntryStatus, LockState, PAGE_SIZE};
 pub use pipeline::{FlushPipeline, PipelineConfig, PipelineStats, UnsealError};

@@ -14,7 +14,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use dpc_codec::{compress, crc32c, decompress, DifError, DifTag};
+use dpc_codec::{crc32c, decompress, Compressor, DifError, DifTag};
 
 use crate::layout::PAGE_SIZE;
 
@@ -49,10 +49,21 @@ pub struct PipelineStats {
 }
 
 /// The flush-time processing pipeline (runs on the DPU).
+///
+/// Holds reusable scratch (compressor tables, compression output,
+/// per-page envelope buffer): at steady state [`seal_into`] and
+/// [`seal_extent_into`] touch the allocator zero times per page — the
+/// same discipline as the transport's recycled batches.
+///
+/// [`seal_into`]: FlushPipeline::seal_into
+/// [`seal_extent_into`]: FlushPipeline::seal_extent_into
 #[derive(Default)]
 pub struct FlushPipeline {
     pub cfg: PipelineConfig,
     stats: PipelineStats,
+    comp: Compressor,
+    comp_buf: Vec<u8>,
+    env_buf: Vec<u8>,
 }
 
 /// Errors surfaced when unsealing an envelope.
@@ -77,7 +88,7 @@ impl FlushPipeline {
     pub fn new(cfg: PipelineConfig) -> FlushPipeline {
         FlushPipeline {
             cfg,
-            stats: PipelineStats::default(),
+            ..FlushPipeline::default()
         }
     }
 
@@ -90,7 +101,20 @@ impl FlushPipeline {
     /// `page` may be the *valid prefix* of a page (tail pages flush only
     /// their meaningful bytes); it is sealed zero-padded to the full page,
     /// which is exactly what the zero-initialised cache page holds.
+    ///
+    /// Allocates a fresh envelope per call; the flush hot path uses
+    /// [`seal_into`](FlushPipeline::seal_into) with a recycled buffer.
     pub fn seal(&mut self, ino: u64, lpn: u64, page: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.seal_into(ino, lpn, page, &mut out);
+        out
+    }
+
+    /// [`seal`](FlushPipeline::seal) into a caller-recycled buffer
+    /// (cleared first). Once `out` and the pipeline's internal scratch
+    /// have reached their working sizes, this performs no allocation.
+    pub fn seal_into(&mut self, ino: u64, lpn: u64, page: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         let mut padded = [0u8; PAGE_SIZE];
         let page: &[u8] = if page.len() == PAGE_SIZE {
             page
@@ -102,21 +126,16 @@ impl FlushPipeline {
         self.stats.pages += 1;
         self.stats.bytes_in += page.len() as u64;
 
-        let compressed = if self.cfg.compress {
-            compress(page)
-        } else {
-            None
-        };
+        let compressed = self.cfg.compress && self.comp.compress_into(page, &mut self.comp_buf);
         let mut flags = 0u8;
-        let payload: &[u8] = match &compressed {
-            Some(c) => {
-                flags |= FLAG_COMPRESSED;
-                self.stats.compressed_pages += 1;
-                c
-            }
-            None => page,
+        let payload: &[u8] = if compressed {
+            flags |= FLAG_COMPRESSED;
+            self.stats.compressed_pages += 1;
+            &self.comp_buf
+        } else {
+            page
         };
-        let mut out = Vec::with_capacity(1 + 8 + 4 + payload.len());
+        out.reserve(1 + 8 + 4 + payload.len());
         out.push(0); // placeholder for flags
         if self.cfg.dif {
             flags |= FLAG_DIF;
@@ -128,7 +147,74 @@ impl FlushPipeline {
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(payload);
         self.stats.bytes_out += out.len() as u64;
-        out
+    }
+
+    /// Seal one coalesced extent — `data` holds the pages of
+    /// `start_lpn..` back to back, every page full-size except possibly
+    /// the last — into a framed envelope batch:
+    ///
+    /// ```text
+    /// [env len u32][envelope] ... one frame per page
+    /// ```
+    ///
+    /// written into `out` (cleared first). Returns the page count. Like
+    /// [`seal_into`](FlushPipeline::seal_into), allocation-free at steady
+    /// state.
+    pub fn seal_extent_into(
+        &mut self,
+        ino: u64,
+        start_lpn: u64,
+        data: &[u8],
+        out: &mut Vec<u8>,
+    ) -> usize {
+        out.clear();
+        let mut env = std::mem::take(&mut self.env_buf);
+        let mut off = 0usize;
+        let mut lpn = start_lpn;
+        let mut pages = 0usize;
+        while off < data.len() {
+            let end = (off + PAGE_SIZE).min(data.len());
+            self.seal_into(ino, lpn, &data[off..end], &mut env);
+            out.reserve(4 + env.len());
+            out.extend_from_slice(&(env.len() as u32).to_le_bytes());
+            out.extend_from_slice(&env);
+            off = end;
+            lpn += 1;
+            pages += 1;
+        }
+        self.env_buf = env;
+        pages
+    }
+
+    /// Decode + verify a framed envelope batch produced by
+    /// [`seal_extent_into`](FlushPipeline::seal_extent_into), returning
+    /// the concatenated (zero-padded) pages.
+    pub fn unseal_extent(
+        &mut self,
+        ino: u64,
+        start_lpn: u64,
+        batch: &[u8],
+    ) -> Result<Vec<u8>, UnsealError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut lpn = start_lpn;
+        while pos < batch.len() {
+            if pos + 4 > batch.len() {
+                return Err(UnsealError::Corrupt("truncated frame length"));
+            }
+            let len_bytes = <[u8; 4]>::try_from(&batch[pos..pos + 4])
+                .map_err(|_| UnsealError::Corrupt("truncated frame length"))?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            pos += 4;
+            if pos + len > batch.len() {
+                return Err(UnsealError::Corrupt("truncated frame"));
+            }
+            let page = self.unseal(ino, lpn, &batch[pos..pos + len])?;
+            out.extend_from_slice(&page);
+            pos += len;
+            lpn += 1;
+        }
+        Ok(out)
     }
 
     /// Decode + verify an envelope back into the original page.
@@ -276,6 +362,67 @@ mod tests {
         for cut in [0usize, 1, 5, env.len() - 1] {
             assert!(p.unseal(1, 1, &env[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn seal_into_matches_seal() {
+        let mut p = FlushPipeline::new(PipelineConfig::default());
+        let mut p2 = FlushPipeline::new(PipelineConfig::default());
+        let mut out = Vec::new();
+        let pages: Vec<Vec<u8>> = vec![
+            vec![7u8; PAGE_SIZE],
+            (0..PAGE_SIZE).map(|i| (i % 23) as u8).collect(),
+            vec![6u8; 100],
+        ];
+        for (k, page) in pages.iter().enumerate() {
+            let a = p.seal(k as u64, k as u64, page);
+            p2.seal_into(k as u64, k as u64, page, &mut out);
+            assert_eq!(a, out, "page {k}");
+        }
+        assert_eq!(p.stats(), p2.stats());
+    }
+
+    #[test]
+    fn extent_batch_round_trips() {
+        let mut p = FlushPipeline::new(PipelineConfig::default());
+        // Three full pages + one 100-byte tail, back to back.
+        let mut data = Vec::new();
+        for k in 0..3usize {
+            data.extend_from_slice(&vec![k as u8 + 1; PAGE_SIZE]);
+        }
+        data.extend_from_slice(&[9u8; 100]);
+
+        let mut batch = Vec::new();
+        let pages = p.seal_extent_into(5, 20, &data, &mut batch);
+        assert_eq!(pages, 4);
+
+        let back = p.unseal_extent(5, 20, &batch).unwrap();
+        assert_eq!(back.len(), 4 * PAGE_SIZE, "pages come back zero-padded");
+        assert_eq!(&back[..data.len() - 100], &data[..data.len() - 100]);
+        assert_eq!(&back[3 * PAGE_SIZE..3 * PAGE_SIZE + 100], &[9u8; 100][..]);
+        assert!(back[3 * PAGE_SIZE + 100..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn extent_batch_rejects_corruption_and_truncation() {
+        let mut p = FlushPipeline::new(PipelineConfig::default());
+        let data: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 13) as u8).collect();
+        let mut batch = Vec::new();
+        p.seal_extent_into(1, 0, &data, &mut batch);
+        // Truncated mid-frame and mid-length.
+        assert!(p.unseal_extent(1, 0, &batch[..batch.len() - 1]).is_err());
+        assert!(p.unseal_extent(1, 0, &batch[..2]).is_err());
+        // A flipped payload byte (last byte = tail of page 2's payload)
+        // fails decompression or the page's DIF guard.
+        let mut bad = batch.clone();
+        let last = batch.len() - 1;
+        bad[last] ^= 0x20;
+        assert!(p.unseal_extent(1, 0, &bad).is_err());
+        // Wrong start LPN: every page is misdirected.
+        assert!(matches!(
+            p.unseal_extent(1, 1, &batch),
+            Err(UnsealError::Dif(DifError::Misdirected))
+        ));
     }
 
     #[test]

@@ -111,9 +111,13 @@ proptest! {
                     }
                 }
                 Op::InsertClean { ino, lpn, fill } => {
-                    if cp.insert_clean(ino, lpn, &[fill; PAGE_SIZE]) {
+                    // A fill never clobbers an existing entry — the cached
+                    // copy is at least as new as anything a backend read
+                    // returned (the entry may hold an unflushed write). It
+                    // only lands when it claims a free slot.
+                    let novel = !content.contains_key(&(ino, lpn));
+                    if cp.insert_clean(ino, lpn, &[fill; PAGE_SIZE]) && novel {
                         content.insert((ino, lpn), fill);
-                        dirty.remove(&(ino, lpn)); // overwritten as clean
                     }
                 }
             }

@@ -19,4 +19,4 @@ mod crc;
 mod lz;
 
 pub use crc::{crc32c, update as crc32c_update, DifError, DifTag};
-pub use lz::{compress, decompress, CorruptStream};
+pub use lz::{compress, decompress, Compressor, CorruptStream};

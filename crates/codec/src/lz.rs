@@ -26,88 +26,132 @@ fn hash3(data: &[u8], i: usize) -> usize {
 
 /// Compress `input`; `None` when incompressible (output ≥ input).
 pub fn compress(input: &[u8]) -> Option<Vec<u8>> {
-    if input.len() < MIN_MATCH {
-        return None;
+    let mut comp = Compressor::new();
+    let mut out = Vec::new();
+    if comp.compress_into(input, &mut out) {
+        Some(out)
+    } else {
+        None
     }
-    let mut out: Vec<u8> = Vec::with_capacity(input.len());
-    let mut head = vec![usize::MAX; 1 << HASH_BITS];
-    let mut prev = vec![usize::MAX; input.len()];
+}
 
-    let mut i = 0usize;
-    let mut ctrl_pos = usize::MAX;
-    let mut ctrl_bits = 8u8; // force a fresh control byte at the start
+/// Reusable compressor state: the hash-chain tables survive across calls
+/// so steady-state flush paths compress without touching the allocator.
+pub struct Compressor {
+    head: Vec<usize>,
+    prev: Vec<usize>,
+}
 
-    let push_flag = |out: &mut Vec<u8>, ctrl_pos: &mut usize, ctrl_bits: &mut u8, flag: bool| {
-        if *ctrl_bits == 8 {
-            *ctrl_pos = out.len();
-            out.push(0);
-            *ctrl_bits = 0;
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    pub fn new() -> Self {
+        Compressor {
+            head: Vec::new(),
+            prev: Vec::new(),
         }
-        if flag {
-            out[*ctrl_pos] |= 1 << *ctrl_bits;
-        }
-        *ctrl_bits += 1;
-    };
+    }
 
-    while i < input.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        if i + MIN_MATCH <= input.len() {
-            let h = hash3(input, i);
-            let mut cand = head[h];
-            let mut probes = 0;
-            while cand != usize::MAX && probes < 16 {
-                let dist = i - cand;
-                if dist > WINDOW {
-                    break;
-                }
-                let max = (input.len() - i).min(MAX_MATCH);
-                let mut l = 0usize;
-                while l < max && input[cand + l] == input[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = dist;
-                    if l == max {
-                        break;
-                    }
-                }
-                cand = prev[cand];
-                probes += 1;
-            }
+    /// Compress `input` into `out` (cleared first). Returns `false` when
+    /// incompressible (output would be ≥ input); `out` contents are then
+    /// unspecified. Once `out` and the internal tables have grown to the
+    /// working size, repeated calls perform no allocation.
+    pub fn compress_into(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
+        out.clear();
+        if input.len() < MIN_MATCH {
+            return false;
         }
+        out.reserve(input.len());
+        self.head.resize(1 << HASH_BITS, usize::MAX);
+        self.head.fill(usize::MAX);
+        if self.prev.len() < input.len() {
+            self.prev.resize(input.len(), usize::MAX);
+        }
+        self.prev[..input.len()].fill(usize::MAX);
+        let head = &mut self.head[..];
+        let prev = &mut self.prev[..];
 
-        if best_len >= MIN_MATCH {
-            push_flag(&mut out, &mut ctrl_pos, &mut ctrl_bits, true);
-            let d = (best_dist - 1) as u16; // 0..4095
-            let l = (best_len - MIN_MATCH) as u16; // 0..15
-            let token = (d << 4) | l;
-            out.extend_from_slice(&token.to_le_bytes());
-            // Index every position we skip over.
-            let end = i + best_len;
-            while i < end && i + MIN_MATCH <= input.len() {
-                let h = hash3(input, i);
-                prev[i] = head[h];
-                head[h] = i;
-                i += 1;
-            }
-            i = end;
-        } else {
-            push_flag(&mut out, &mut ctrl_pos, &mut ctrl_bits, false);
-            out.push(input[i]);
+        let mut i = 0usize;
+        let mut ctrl_pos = usize::MAX;
+        let mut ctrl_bits = 8u8; // force a fresh control byte at the start
+
+        let push_flag =
+            |out: &mut Vec<u8>, ctrl_pos: &mut usize, ctrl_bits: &mut u8, flag: bool| {
+                if *ctrl_bits == 8 {
+                    *ctrl_pos = out.len();
+                    out.push(0);
+                    *ctrl_bits = 0;
+                }
+                if flag {
+                    out[*ctrl_pos] |= 1 << *ctrl_bits;
+                }
+                *ctrl_bits += 1;
+            };
+
+        while i < input.len() {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
             if i + MIN_MATCH <= input.len() {
                 let h = hash3(input, i);
-                prev[i] = head[h];
-                head[h] = i;
+                let mut cand = head[h];
+                let mut probes = 0;
+                while cand != usize::MAX && probes < 16 {
+                    let dist = i - cand;
+                    if dist > WINDOW {
+                        break;
+                    }
+                    let max = (input.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < max && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l == max {
+                            break;
+                        }
+                    }
+                    cand = prev[cand];
+                    probes += 1;
+                }
             }
-            i += 1;
+
+            if best_len >= MIN_MATCH {
+                push_flag(out, &mut ctrl_pos, &mut ctrl_bits, true);
+                let d = (best_dist - 1) as u16; // 0..4095
+                let l = (best_len - MIN_MATCH) as u16; // 0..15
+                let token = (d << 4) | l;
+                out.extend_from_slice(&token.to_le_bytes());
+                // Index every position we skip over.
+                let end = i + best_len;
+                while i < end && i + MIN_MATCH <= input.len() {
+                    let h = hash3(input, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                    i += 1;
+                }
+                i = end;
+            } else {
+                push_flag(out, &mut ctrl_pos, &mut ctrl_bits, false);
+                out.push(input[i]);
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash3(input, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+            if out.len() >= input.len() {
+                return false;
+            }
         }
-        if out.len() >= input.len() {
-            return None;
-        }
+        true
     }
-    Some(out)
 }
 
 /// Decompression failure: corrupt stream.
@@ -242,6 +286,34 @@ mod tests {
         // A match token pointing before the start.
         let bad = [0b0000_0001u8, 0xFF, 0xFF];
         assert!(decompress(&bad, 20).is_err());
+    }
+
+    #[test]
+    fn reused_compressor_matches_one_shot() {
+        // Stale hash chains from a previous page must never leak into the
+        // next compression: the reusable path is byte-identical to the
+        // allocating one, in any call order.
+        let pages: Vec<Vec<u8>> = vec![
+            vec![0u8; 4096],
+            b"abcdabcdabcd".repeat(341),
+            (0..4096u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+                .collect(),
+            vec![7u8; 128],
+        ];
+        let mut comp = Compressor::new();
+        let mut out = Vec::new();
+        for _round in 0..3 {
+            for page in &pages {
+                let one_shot = compress(page);
+                let reused = comp.compress_into(page, &mut out);
+                assert_eq!(one_shot.is_some(), reused);
+                if let Some(c) = one_shot {
+                    assert_eq!(c, out);
+                    assert_eq!(decompress(&out, page.len()).unwrap(), *page);
+                }
+            }
+        }
     }
 
     #[test]

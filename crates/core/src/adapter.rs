@@ -457,71 +457,50 @@ impl DpcFs {
                 Ok(n as usize)
             }
             IoMode::Buffered => {
+                // Pass 1: absorb whatever the cache will take, remember
+                // the pages whose bucket was full instead of evicting
+                // inline — a dirty-heavy burst used to ping-pong one
+                // CacheEvict round-trip per stalled page.
+                struct Stalled {
+                    lpn: u64,
+                    in_page: usize,
+                    pos: usize,
+                    len: usize,
+                }
+                let mut stalled: Vec<Stalled> = Vec::new();
+                let mut buckets: Vec<u64> = Vec::new();
                 let mut pos = 0usize;
                 let mut off = offset;
                 while pos < data.len() {
                     let lpn = off / PAGE_SIZE as u64;
                     let in_page = (off % PAGE_SIZE as u64) as usize;
                     let n = (PAGE_SIZE - in_page).min(data.len() - pos);
-                    self.buffered_write_page(ino, lpn, in_page, &data[pos..pos + n])?;
+                    match self.cache_write_page(ino, lpn, in_page, &data[pos..pos + n])? {
+                        Ok(()) => {}
+                        Err(bucket) => {
+                            self.cache.note_evict_stall();
+                            stalled.push(Stalled {
+                                lpn,
+                                in_page,
+                                pos,
+                                len: n,
+                            });
+                            // One occurrence per needed slot — duplicates
+                            // are deliberate.
+                            buckets.push(bucket as u64);
+                        }
+                    }
                     pos += n;
                     off += n as u64;
                 }
-                entry.size.fetch_max(end, Ordering::AcqRel);
-                Ok(data.len())
-            }
-        }
-    }
-
-    /// One page of the paper's front-end write protocol, with the
-    /// evict-and-retry path when the bucket is full.
-    fn buffered_write_page(
-        &self,
-        ino: u64,
-        lpn: u64,
-        in_page: usize,
-        chunk: &[u8],
-    ) -> Result<(), DpcError> {
-        for attempt in 0..3 {
-            match self.cache.begin_write(ino, lpn) {
-                Ok(mut guard) => {
-                    if guard.claimed_free() && chunk.len() < PAGE_SIZE {
-                        // Partial write into a fresh page: fetch the old
-                        // content from the DPU first (read-modify-write).
-                        let (resp, payload) = self.call(
-                            &FileRequest::Read {
-                                ino,
-                                offset: lpn * PAGE_SIZE as u64,
-                                len: PAGE_SIZE as u32,
-                            },
-                            b"",
-                            PAGE_SIZE as u32,
-                        )?;
-                        if let FileResponse::Bytes(_) = resp {
-                            // Scrub recycled pool bytes, then lay down the
-                            // old content. Only the fetched bytes are
-                            // *valid* — the zero padding past them must
-                            // never be flushed (it would inflate the
-                            // file's logical size).
-                            guard.write(0, &vec![0u8; PAGE_SIZE]);
-                            guard.set_valid(0);
-                            if !payload.is_empty() {
-                                guard.write(0, &payload);
-                            }
-                        }
-                    }
-                    guard.write(in_page, chunk);
-                    guard.commit_dirty();
-                    return Ok(());
-                }
-                Err(WriteError::NeedEviction { bucket }) => {
-                    // Notify the DPU to run cache replacement, then retry.
-                    // EBUSY means the DPU could not free a frame even
-                    // after a flush pass — retrying is pointless, so go
-                    // straight to write-through.
+                // Pass 2: one batched eviction round-trip frees a slot
+                // per stalled page, then each page retries once. EBUSY
+                // means the DPU could not free anything even after a
+                // flush pass — retrying is pointless, write through.
+                if !stalled.is_empty() {
                     let evicted = match self.call(
-                        &FileRequest::CacheEvict {
-                            bucket: bucket as u64,
+                        &FileRequest::CacheEvictBatch {
+                            buckets: std::mem::take(&mut buckets),
                         },
                         b"",
                         0,
@@ -530,26 +509,88 @@ impl DpcFs {
                         Err(DpcError(16 /* EBUSY */)) => false,
                         Err(e) => return Err(e),
                     };
-                    if !evicted || attempt == 2 {
-                        // Fall back to write-through.
-                        let (resp, _) = self.call(
-                            &FileRequest::Write {
-                                ino,
-                                offset: lpn * PAGE_SIZE as u64 + in_page as u64,
-                                len: chunk.len() as u32,
-                            },
-                            chunk,
-                            0,
-                        )?;
-                        let FileResponse::Bytes(_) = resp else {
-                            return Err(DpcError::IO);
-                        };
-                        return Ok(());
+                    for s in &stalled {
+                        let chunk = &data[s.pos..s.pos + s.len];
+                        if evicted && self.cache_write_page(ino, s.lpn, s.in_page, chunk)?.is_ok() {
+                            continue;
+                        }
+                        self.cache.note_write_through();
+                        self.write_through_page(ino, s.lpn, s.in_page, chunk)?;
                     }
                 }
+                entry.size.fetch_max(end, Ordering::AcqRel);
+                Ok(data.len())
             }
         }
-        unreachable!("loop always returns")
+    }
+
+    /// One page of the paper's front-end write protocol. `Ok(Ok(()))`
+    /// means the cache absorbed the page; `Ok(Err(bucket))` reports a
+    /// full bucket for the caller to batch into one eviction command.
+    fn cache_write_page(
+        &self,
+        ino: u64,
+        lpn: u64,
+        in_page: usize,
+        chunk: &[u8],
+    ) -> Result<Result<(), usize>, DpcError> {
+        match self.cache.begin_write(ino, lpn) {
+            Ok(mut guard) => {
+                if guard.claimed_free() && chunk.len() < PAGE_SIZE {
+                    // Partial write into a fresh page: fetch the old
+                    // content from the DPU first (read-modify-write).
+                    let (resp, payload) = self.call(
+                        &FileRequest::Read {
+                            ino,
+                            offset: lpn * PAGE_SIZE as u64,
+                            len: PAGE_SIZE as u32,
+                        },
+                        b"",
+                        PAGE_SIZE as u32,
+                    )?;
+                    if let FileResponse::Bytes(_) = resp {
+                        // Scrub recycled pool bytes, then lay down the
+                        // old content. Only the fetched bytes are
+                        // *valid* — the zero padding past them must
+                        // never be flushed (it would inflate the
+                        // file's logical size).
+                        guard.write(0, &vec![0u8; PAGE_SIZE]);
+                        guard.set_valid(0);
+                        if !payload.is_empty() {
+                            guard.write(0, &payload);
+                        }
+                    }
+                }
+                guard.write(in_page, chunk);
+                guard.commit_dirty();
+                Ok(Ok(()))
+            }
+            Err(WriteError::NeedEviction { bucket }) => Ok(Err(bucket)),
+        }
+    }
+
+    /// Bypass the cache for one page-sized chunk (no slot could be
+    /// freed for it).
+    fn write_through_page(
+        &self,
+        ino: u64,
+        lpn: u64,
+        in_page: usize,
+        chunk: &[u8],
+    ) -> Result<(), DpcError> {
+        let (resp, _) = self.call(
+            &FileRequest::Write {
+                ino,
+                offset: lpn * PAGE_SIZE as u64 + in_page as u64,
+                len: chunk.len() as u32,
+            },
+            chunk,
+            0,
+        )?;
+        let FileResponse::Bytes(_) = resp else {
+            return Err(DpcError::IO);
+        };
+        Ok(())
     }
 
     /// Read at `offset`. Buffered mode checks the hybrid cache page by
@@ -661,9 +702,19 @@ impl DpcFs {
         }
         let entry = self.fds.get(fd)?;
         let ino = entry.ino;
-        // O_DIRECT coherence: dirty cached pages must reach the backend
-        // before the direct write lands (flush, never discard).
-        if self.cache.dirty_pages() > 0 {
+        // O_DIRECT coherence: dirty cached pages overlapping the write
+        // must reach the backend before the direct write lands (flush,
+        // never discard). The dirty-range index answers the overlap
+        // query exactly — unrelated files' dirty pages (or this file's
+        // outside the range) no longer force a full flush. Quarantined
+        // pages sit outside the index, so any of them (rare: only under
+        // injected flush faults) still take the conservative path.
+        let end = offset.checked_add(total as u64).ok_or(DpcError::INVALID)?;
+        let first_lpn = offset / PAGE_SIZE as u64;
+        let last_lpn = (end - 1) / PAGE_SIZE as u64;
+        if self.cache.has_dirty_in_range(ino, first_lpn, last_lpn)
+            || self.cache.quarantined_pages() > 0
+        {
             self.call(&FileRequest::Fsync { ino }, b"", 0)?;
         }
         let done = self

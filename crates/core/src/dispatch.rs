@@ -84,6 +84,25 @@ impl FlushBackend for KvfsFlush<'_> {
             Err(_) => false,
         }
     }
+
+    fn try_flush_extent(&mut self, ino: u64, lpn: u64, data: &[u8]) -> bool {
+        // One fault-site draw per *extent* attempt, mirroring the real
+        // failure unit: a refused multi-page write fails whole, and the
+        // control plane quarantines every page of it.
+        if let Some(site) = self.fault {
+            if site.fires() {
+                return false;
+            }
+        }
+        match self
+            .kvfs
+            .write_extent(ino, lpn * dpc_cache::PAGE_SIZE as u64, &[data])
+        {
+            Ok(_) => true,
+            Err(FsError::NotFound) => true,
+            Err(_) => false,
+        }
+    }
 }
 
 /// One service thread's dispatcher.
@@ -94,6 +113,9 @@ pub struct Dispatcher {
     dfs: Option<ClientCore>,
     /// Enable the control plane's sequential prefetcher.
     pub prefetch: bool,
+    /// Coalesce adjacent dirty pages into extent writes on the flush
+    /// path (and scope `Fsync` flushes to the requested inode).
+    pub coalesce: bool,
     /// Fault site fired on every flush-to-KVFS attempt ("cache.flush").
     pub(crate) flush_fault: Option<Arc<FaultSite>>,
     /// Recycled read-payload buffer for [`Dispatcher::handle_batch`].
@@ -107,6 +129,7 @@ impl Dispatcher {
             control,
             dfs,
             prefetch: true,
+            coalesce: true,
             flush_fault: None,
             payload_scratch: Vec::new(),
         }
@@ -256,12 +279,21 @@ impl Dispatcher {
                 Err(e) => fs_err(e),
             },
             FileRequest::Fsync { ino } => {
-                // Flush every dirty page of the hybrid cache into KVFS,
-                // then the (always-durable) store needs no further barrier.
-                self.control.flush_pass(&mut KvfsFlush {
+                // Persist the hybrid cache's dirty pages into KVFS, then
+                // the (always-durable) store needs no further barrier.
+                // With coalescing the dirty-range index scopes the flush
+                // to this inode (other files' pages are the background
+                // flusher's problem) and adjacent pages go out as extent
+                // writes; the legacy path scans the whole meta area.
+                let mut backend = KvfsFlush {
                     kvfs,
                     fault: self.flush_fault.as_ref(),
-                });
+                };
+                if self.coalesce {
+                    self.control.flush_extents(&mut backend, Some(*ino), false);
+                } else {
+                    self.control.flush_pass(&mut backend);
+                }
                 let _ = kvfs.fsync(*ino);
                 FileResponse::Ok
             }
@@ -306,6 +338,29 @@ impl Dispatcher {
                     }
                 }
                 FileResponse::Ok
+            }
+            FileRequest::CacheEvictBatch { buckets } => {
+                // One doorbell frees a slot per requested bucket occurrence
+                // (a stalled write burst ping-ponged one CacheEvict per
+                // page before). Wire-supplied indices are wrapped into
+                // range — the host always sends valid ones, but a hostile
+                // peer must not be able to panic a service thread.
+                let nb = self.control.cache().bucket_count();
+                let wanted: Vec<usize> = buckets.iter().map(|b| (*b as usize) % nb).collect();
+                let freed = self.control.evict_batch(
+                    &wanted,
+                    &mut KvfsFlush {
+                        kvfs,
+                        fault: self.flush_fault.as_ref(),
+                    },
+                );
+                if freed == 0 && wanted.iter().any(|&b| self.control.bucket_occupied(b)) {
+                    // Same contract as CacheEvict: a populated bucket that
+                    // stayed full even after a flush pass is EBUSY — the
+                    // host goes straight to write-through.
+                    return FileResponse::Err(16 /* EBUSY */);
+                }
+                FileResponse::Bytes(freed as u32)
             }
         }
     }

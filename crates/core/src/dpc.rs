@@ -23,7 +23,7 @@ use dpc_sim::FaultPlan;
 
 use crate::adapter::{DpcFs, IoMode};
 use crate::dispatch::Dispatcher;
-use crate::runtime::DpuRuntime;
+use crate::runtime::{DpuRuntime, FlusherConfig};
 
 /// DPC deployment configuration.
 #[derive(Clone, Debug)]
@@ -41,10 +41,23 @@ pub struct DpcConfig {
     pub io_mode: IoMode,
     /// Enable the DPU-side sequential prefetcher.
     pub prefetch: bool,
-    /// Run a background flusher thread (periodic write-back). Off by
-    /// default: dirty pages then persist on fsync/close/eviction, which
-    /// keeps size reconciliation deterministic.
+    /// Run a background flusher thread (watermark-driven write-back).
+    /// Off by default: dirty pages then persist on fsync/close/eviction,
+    /// which keeps size reconciliation deterministic.
     pub background_flush: bool,
+    /// Coalesce adjacent dirty pages into multi-page extent writes on
+    /// every flush path (fsync, eviction pressure, background flusher)
+    /// and scope fsync flushes to the requested inode via the per-ino
+    /// dirty-range index. Off = the legacy one-KV-write-per-page path.
+    pub coalesce_flush: bool,
+    /// Largest coalesced extent, in pages.
+    pub flush_extent_pages: usize,
+    /// Background flusher hysteresis: start draining when the dirty
+    /// ratio reaches the high watermark, stop once it falls to the low
+    /// one. Foreground writes then always find clean evictable pages and
+    /// `fsync` only waits for the residual.
+    pub flush_low_watermark: f64,
+    pub flush_high_watermark: f64,
     /// Also stand up a DFS backend and offload its client (Distributed
     /// dispatch). None = standalone-only DPC.
     pub dfs: Option<DfsConfig>,
@@ -68,6 +81,10 @@ impl Default for DpcConfig {
             io_mode: IoMode::Buffered,
             prefetch: true,
             background_flush: false,
+            coalesce_flush: true,
+            flush_extent_pages: dpc_cache::DEFAULT_EXTENT_PAGES,
+            flush_low_watermark: 0.25,
+            flush_high_watermark: 0.75,
             dfs: None,
             retry: RetryPolicy::default(),
             faults: None,
@@ -154,25 +171,33 @@ impl Dpc {
                 if let Some(plan) = &cfg.faults {
                     t.set_fault_plan(plan);
                 }
+                let mut control = ControlPlane::new(cache.clone(), dma.clone());
+                control.max_extent_pages = cfg.flush_extent_pages.max(1);
                 let mut dispatcher = Dispatcher::new(
                     kvfs.clone(),
-                    ControlPlane::new(cache.clone(), dma.clone()),
+                    control,
                     dfs_backend
                         .as_ref()
                         .map(|b| ClientCore::new(b.clone(), next_dfs_client_id())),
                 );
                 dispatcher.prefetch = cfg.prefetch;
+                dispatcher.coalesce = cfg.coalesce_flush;
                 dispatcher.flush_fault = flush_fault.clone();
                 (t, dispatcher)
             })
             .collect();
 
         let flusher = if cfg.background_flush {
-            Some((
-                ControlPlane::new(cache.clone(), dma.clone()),
-                kvfs.clone(),
-                flush_fault,
-            ))
+            let mut control = ControlPlane::new(cache.clone(), dma.clone());
+            control.max_extent_pages = cfg.flush_extent_pages.max(1);
+            Some(FlusherConfig {
+                control,
+                kvfs: kvfs.clone(),
+                fault: flush_fault,
+                coalesce: cfg.coalesce_flush,
+                low_watermark: cfg.flush_low_watermark,
+                high_watermark: cfg.flush_high_watermark,
+            })
         } else {
             None
         };

@@ -80,6 +80,16 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Mean pages per coalesced flush extent (0 when none flushed).
+    pub fn pages_per_extent(&self) -> f64 {
+        if self.cache.extents_flushed == 0 {
+            0.0
+        } else {
+            (self.cache.bg_flush_pages + self.cache.fg_flush_pages) as f64
+                / self.cache.extents_flushed as f64
+        }
+    }
+
     /// Average PCIe DMA bytes per served request.
     pub fn pcie_bytes_per_request(&self) -> f64 {
         if self.requests_served == 0 {
@@ -107,6 +117,24 @@ impl core::fmt::Display for MetricsSnapshot {
             self.cache.flushes,
             self.cache.evictions,
             self.cache.prefetch_inserts
+        )?;
+        let c = &self.cache;
+        writeln!(
+            f,
+            "write-back: {} extents ({} pages bg / {} fg), pages-per-extent \
+             1:{} 2-3:{} 4-7:{} 8-15:{} 16+:{}, {} batched evictions, \
+             {} evict stalls, {} write-throughs",
+            c.extents_flushed,
+            c.bg_flush_pages,
+            c.fg_flush_pages,
+            c.extent_pages_hist[0],
+            c.extent_pages_hist[1],
+            c.extent_pages_hist[2],
+            c.extent_pages_hist[3],
+            c.extent_pages_hist[4],
+            c.batched_evictions,
+            c.evict_stalls,
+            c.write_throughs
         )?;
         writeln!(
             f,
@@ -183,6 +211,7 @@ mod tests {
         for key in [
             "pcie:",
             "hybrid cache:",
+            "write-back:",
             "kvfs:",
             "kv store:",
             "dpu runtime:",

@@ -18,6 +18,20 @@ use dpc_sim::FaultSite;
 
 use crate::dispatch::{Dispatcher, KvfsFlush};
 
+/// Everything the background flusher thread needs: its own control-plane
+/// slice, the KVFS sink, and the write-back policy knobs.
+pub struct FlusherConfig {
+    pub control: ControlPlane,
+    pub kvfs: Arc<Kvfs>,
+    pub fault: Option<Arc<FaultSite>>,
+    /// Coalesce adjacent dirty pages into extent writes.
+    pub coalesce: bool,
+    /// Hysteresis band: start draining at `high_watermark` dirty ratio,
+    /// stop at `low_watermark`.
+    pub low_watermark: f64,
+    pub high_watermark: f64,
+}
+
 /// Shared runtime state.
 pub struct RuntimeShared {
     pub shutdown: AtomicBool,
@@ -38,7 +52,7 @@ impl DpuRuntime {
     /// [`Dispatcher`]) and one flusher thread.
     pub fn spawn(
         targets: Vec<(FileTarget, Dispatcher)>,
-        flusher: Option<(ControlPlane, Arc<Kvfs>, Option<Arc<FaultSite>>)>,
+        flusher: Option<FlusherConfig>,
     ) -> DpuRuntime {
         let shared = Arc::new(RuntimeShared {
             shutdown: AtomicBool::new(false),
@@ -89,31 +103,62 @@ impl DpuRuntime {
             );
         }
 
-        if let Some((mut control, kvfs, fault)) = flusher {
+        if let Some(mut f) = flusher {
             let shared = shared.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("dpu-flusher".into())
                     .spawn(move || {
+                        // Watermark pacing with hysteresis: below the
+                        // high watermark the flusher trickles (one pass,
+                        // then a nap — write-back proceeds but host I/O
+                        // keeps the PCIe/KV bandwidth); once the dirty
+                        // ratio crosses it, passes run back-to-back until
+                        // the ratio falls to the low watermark. Foreground
+                        // writes then always find clean evictable pages,
+                        // and fsync only waits for the residual.
+                        let cache = f.control.cache().clone();
+                        let mut urgent = false;
                         while !shared.shutdown.load(Ordering::Acquire) {
-                            let flushed = control.flush_pass(&mut KvfsFlush {
-                                kvfs: &kvfs,
-                                fault: fault.as_ref(),
-                            });
+                            let ratio = cache.dirty_ratio();
+                            if ratio >= f.high_watermark {
+                                urgent = true;
+                            }
+                            if ratio <= f.low_watermark {
+                                urgent = false;
+                            }
+                            let mut backend = KvfsFlush {
+                                kvfs: &f.kvfs,
+                                fault: f.fault.as_ref(),
+                            };
+                            let flushed = if f.coalesce {
+                                f.control.flush_extents(&mut backend, None, true)
+                            } else {
+                                f.control.flush_pass(&mut backend)
+                            };
                             shared
                                 .pages_flushed
                                 .fetch_add(flushed as u64, Ordering::Relaxed);
                             if flushed == 0 {
+                                // Nothing flushable (clean, or every dirty
+                                // page pinned by a writer): back off.
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            } else if !urgent {
                                 std::thread::sleep(std::time::Duration::from_micros(200));
                             }
                         }
                         // Final drain so nothing dirty is lost at shutdown.
                         // Faults stay out of the way here: pages must not
                         // be abandoned in the quarantine at tear-down.
-                        let flushed = control.flush_pass(&mut KvfsFlush {
-                            kvfs: &kvfs,
+                        let mut backend = KvfsFlush {
+                            kvfs: &f.kvfs,
                             fault: None,
-                        });
+                        };
+                        let flushed = if f.coalesce {
+                            f.control.flush_extents(&mut backend, None, true)
+                        } else {
+                            f.control.flush_pass(&mut backend)
+                        };
                         shared
                             .pages_flushed
                             .fetch_add(flushed as u64, Ordering::Relaxed);

@@ -94,6 +94,14 @@ pub enum FileRequest {
     CacheEvict {
         bucket: u64,
     },
+    /// Batched cache replacement: one doorbell and one round-trip ask the
+    /// DPU to free a slot per listed bucket (buckets may repeat — each
+    /// occurrence is one needed slot). The write path collects all of a
+    /// burst's `NeedEviction` misses into a single command instead of
+    /// ping-ponging a `CacheEvict` per page.
+    CacheEvictBatch {
+        buckets: Vec<u64>,
+    },
     /// Hard link: a new name for the file at `ino`.
     Link {
         ino: u64,
@@ -223,6 +231,7 @@ const T_CACHE_EVICT: u8 = 13;
 const T_LINK: u8 = 14;
 const T_SYMLINK: u8 = 15;
 const T_READLINK: u8 = 16;
+const T_CACHE_EVICT_BATCH: u8 = 17;
 
 impl FileRequest {
     /// Append the wire form to `out`; returns the encoded length.
@@ -301,6 +310,13 @@ impl FileRequest {
             FileRequest::CacheEvict { bucket } => {
                 w.u8(T_CACHE_EVICT);
                 w.u64(*bucket);
+            }
+            FileRequest::CacheEvictBatch { buckets } => {
+                w.u8(T_CACHE_EVICT_BATCH);
+                w.u32(buckets.len() as u32);
+                for b in buckets {
+                    w.u64(*b);
+                }
             }
             FileRequest::Link {
                 ino,
@@ -385,6 +401,16 @@ impl FileRequest {
             }
             T_FSYNC => FileRequest::Fsync { ino: r.u64()? },
             T_CACHE_EVICT => FileRequest::CacheEvict { bucket: r.u64()? },
+            T_CACHE_EVICT_BATCH => {
+                let count = r.u32()? as usize;
+                // `count` is attacker-controlled: decode element by element
+                // (truncation errors out) instead of pre-reserving.
+                let mut buckets = Vec::new();
+                for _ in 0..count {
+                    buckets.push(r.u64()?);
+                }
+                FileRequest::CacheEvictBatch { buckets }
+            }
             T_LINK => FileRequest::Link {
                 ino: r.u64()?,
                 new_parent: r.u64()?,
@@ -569,6 +595,29 @@ mod tests {
             new_name: "new".into(),
         });
         round_trip_req(FileRequest::Fsync { ino: 5 });
+        round_trip_req(FileRequest::CacheEvict { bucket: 12 });
+        round_trip_req(FileRequest::CacheEvictBatch {
+            buckets: vec![3, 3, 7, 0, u64::MAX],
+        });
+        round_trip_req(FileRequest::CacheEvictBatch { buckets: vec![] });
+    }
+
+    #[test]
+    fn evict_batch_truncations_rejected() {
+        let mut buf = Vec::new();
+        FileRequest::CacheEvictBatch {
+            buckets: vec![1, 2, 3],
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(FileRequest::decode(&buf[..cut]).is_err(), "cut={cut}");
+        }
+        // A lying count larger than the actual element data must error,
+        // not over-read or over-allocate.
+        let mut evil = vec![T_CACHE_EVICT_BATCH];
+        evil.extend_from_slice(&(u32::MAX).to_le_bytes());
+        evil.extend_from_slice(&7u64.to_le_bytes());
+        assert!(FileRequest::decode(&evil).is_err());
     }
 
     #[test]

@@ -2,9 +2,12 @@
 # Regenerate the machine-readable bench JSONs at the repo root:
 #   BENCH_PR2.json — host-concurrency thread sweep (crates/bench/src/sweep.rs)
 #   BENCH_PR3.json — degraded-read throughput under fault injection
+#   BENCH_PR4.json — write-back: per-page vs coalesced flush ablation,
+#                    foreground vs background fsync latency
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p dpc-bench --bin bench-pr2 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr3 -- --faults "$@"
+cargo run --release -p dpc-bench --bin bench-pr4 -- "$@"

@@ -1,0 +1,277 @@
+//! PR 4 write-back verification: background flush + extent coalescing
+//! must be invisible to readers — byte-exact against an in-memory model,
+//! with and without seeded flush chaos — and the new write-back
+//! machinery must stay completely off the fast path when idle.
+//!
+//! Reuses the PR 3 chaos plumbing: seeds `[1, 7, 42]` by default
+//! (`DPC_CHAOS_SEED=<u64>` pins one), faults drawn from per-site
+//! deterministic streams. A refused extent write fails *whole*: the
+//! control plane must quarantine every page of it and replay them later
+//! — no page may ever be lost, even across an instance restart.
+
+use std::collections::HashMap;
+
+use dpc::core::{Dpc, DpcConfig};
+use dpc::sim::{FaultPlan, FaultSpec};
+use proptest::prelude::*;
+
+const CHAOS_SEEDS: [u64; 3] = [1, 7, 42];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("DPC_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DPC_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => CHAOS_SEEDS.to_vec(),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pattern(seed: u64, id: u64, len: usize) -> Vec<u8> {
+    let mut s = seed ^ id.rotate_left(29);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        out.extend_from_slice(&splitmix(&mut s).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// One seeded run: dirty-heavy mixed writes racing the watermark-driven
+/// background flusher, with every extent flush at risk of refusal. The
+/// files must read back byte-exact live, and — after the instance shuts
+/// down (which drains the quarantine fault-free) — from a second
+/// instance reopening the same KV store cold.
+fn writeback_chaos_run(seed: u64) {
+    let plan = FaultPlan::new(seed);
+    plan.arm("cache.flush", FaultSpec::probability(0.25));
+
+    let mut files: HashMap<String, Vec<u8>> = HashMap::new();
+    let store = {
+        let dpc = Dpc::new(DpcConfig {
+            background_flush: true,
+            cache_pages: 512, // small: eviction pressure races the flusher
+            faults: Some(plan.clone()),
+            ..DpcConfig::default()
+        });
+        let fs = dpc.fs();
+        let mut rng = seed;
+        fs.mkdir("/wb").unwrap();
+        for id in 0..6u64 {
+            let path = format!("/wb/f{id}");
+            let fd = fs.create(&path).unwrap();
+            // Sequential dirty run (coalescable) ...
+            let base = pattern(seed, id, 16_384 + (splitmix(&mut rng) % 65_536) as usize);
+            fs.write(fd, 0, &base).unwrap();
+            let mut model = base;
+            // ... then scattered overwrites racing the background flusher.
+            for v in 0..8u64 {
+                let off = (splitmix(&mut rng) as usize) % model.len();
+                let len = 1 + (splitmix(&mut rng) as usize) % 9_000;
+                let data = pattern(seed ^ 0xA5A5, id * 100 + v, len);
+                fs.write(fd, off as u64, &data).unwrap();
+                let end = (off + len).max(model.len());
+                model.resize(end, 0);
+                model[off..off + len].copy_from_slice(&data);
+            }
+            if splitmix(&mut rng).is_multiple_of(2) {
+                fs.fsync(fd).unwrap();
+            }
+            // Live read-back straight through the racing flusher.
+            let mut buf = vec![0u8; model.len()];
+            assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), model.len());
+            assert_eq!(buf, model, "seed {seed}: {path} diverged live");
+            fs.close(fd).unwrap();
+            files.insert(path, model);
+        }
+
+        assert!(plan.total_injected() > 0, "seed {seed}: no fault fired");
+        let m = dpc.metrics();
+        assert!(
+            m.recovery.flush_retries + m.recovery.flush_failures > 0,
+            "seed {seed}: refused extents left no trace: {:?}",
+            m.recovery
+        );
+        dpc.kvfs_inner().store().clone()
+        // Drop: the shutdown drain persists every residual dirty or
+        // quarantined page with faults disarmed.
+    };
+
+    // Diskless restart: a fresh instance over the same store, no cache,
+    // no faults. Every byte must have survived the chaos.
+    let dpc = Dpc::with_shared_storage(DpcConfig::default(), Some(store), None);
+    let fs = dpc.fs();
+    for (path, model) in &files {
+        let fd = fs.open(path).unwrap();
+        let mut buf = vec![0u8; model.len()];
+        assert_eq!(
+            fs.read(fd, 0, &mut buf).unwrap(),
+            model.len(),
+            "seed {seed}: {path} short after restart"
+        );
+        assert_eq!(&buf, model, "seed {seed}: {path} lost pages to chaos");
+        fs.close(fd).unwrap();
+    }
+}
+
+#[test]
+fn background_coalesced_writeback_survives_flush_chaos() {
+    for seed in seeds() {
+        writeback_chaos_run(seed);
+    }
+}
+
+/// Deterministic coalescing shape: with no background flusher racing, a
+/// sequential dirty run flushes as one multi-page extent, not N
+/// single-page writes.
+#[test]
+fn sequential_dirty_run_flushes_as_one_extent() {
+    let dpc = Dpc::new(DpcConfig::default());
+    let fs = dpc.fs();
+    let fd = fs.create("/seq").unwrap();
+    let data = pattern(7, 0, 32 * 4096);
+    fs.write(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+
+    let m = dpc.metrics();
+    assert_eq!(m.cache.extents_flushed, 1, "one coalesced extent");
+    assert_eq!(m.cache.fg_flush_pages, 32);
+    assert_eq!(m.cache.bg_flush_pages, 0);
+    assert_eq!(m.cache.extent_pages_hist, [0, 0, 0, 0, 1]); // 16+ bucket
+    assert!(m.pages_per_extent() > 1.0);
+
+    let mut buf = vec![0u8; data.len()];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), data.len());
+    assert_eq!(buf, data);
+}
+
+/// Eviction pressure takes the batched path: a write burst larger than
+/// the cache issues multi-bucket `CacheEvictBatch` commands instead of
+/// one `CacheEvict` round-trip per stalled page — and stays byte-exact.
+#[test]
+fn overcommitted_write_burst_uses_batched_eviction() {
+    let dpc = Dpc::new(DpcConfig {
+        cache_pages: 128,
+        cache_bucket_entries: 4,
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/burst").unwrap();
+    let data = pattern(11, 3, 1 << 20); // 256 pages through a 128-page cache
+    fs.write(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+
+    let m = dpc.metrics();
+    assert!(m.cache.evict_stalls > 0, "the burst must have stalled");
+    assert!(
+        m.cache.batched_evictions > 0,
+        "stalls must take the batched path: {:?}",
+        m.cache
+    );
+    assert!(
+        m.cache.batched_evictions <= m.cache.evict_stalls,
+        "batching must not send more commands than stalls"
+    );
+
+    let mut buf = vec![0u8; data.len()];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), data.len());
+    assert_eq!(buf, data);
+}
+
+/// Fault-free, pressure-free write-back keeps every recovery counter and
+/// every foreground-degradation counter at exactly zero: no evict
+/// stalls, no write-throughs, nothing quarantined — the new machinery
+/// costs the fast path nothing.
+#[test]
+fn fault_free_writeback_keeps_stall_counters_at_zero() {
+    let dpc = Dpc::new(DpcConfig {
+        background_flush: true,
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    for id in 0..4u64 {
+        let path = format!("/clean{id}");
+        let fd = fs.create(&path).unwrap();
+        let data = pattern(42, id, 100_000);
+        fs.write(fd, 0, &data).unwrap();
+        fs.fsync(fd).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), data.len());
+        assert_eq!(buf, data);
+        fs.close(fd).unwrap();
+    }
+
+    let m = dpc.metrics();
+    assert_eq!(m.cache.evict_stalls, 0);
+    assert_eq!(m.cache.write_throughs, 0);
+    let r = m.recovery;
+    assert_eq!(r.flush_retries, 0);
+    assert_eq!(r.flush_failures, 0);
+    assert_eq!(r.quarantined, 0);
+    assert_eq!(r.link_retries, 0);
+    assert_eq!(r.kv_retries, 0);
+    // The dirty pages did go through the coalesced path.
+    assert!(m.cache.extents_flushed > 0);
+    let hist_total: u64 = m.cache.extent_pages_hist.iter().sum();
+    assert_eq!(hist_total, m.cache.extents_flushed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Background flush + extent coalescing under seeded chaos is
+    /// byte-exact against an in-memory model for arbitrary write
+    /// schedules, live and across a restart.
+    #[test]
+    fn coalesced_writeback_matches_model_under_chaos(seed in any::<u64>()) {
+        let plan = FaultPlan::new(seed);
+        plan.arm("cache.flush", FaultSpec::probability(0.3));
+
+        let mut model: Vec<u8> = Vec::new();
+        let store = {
+            let dpc = Dpc::new(DpcConfig {
+                background_flush: true,
+                cache_pages: 256,
+                faults: Some(plan),
+                ..DpcConfig::default()
+            });
+            let fs = dpc.fs();
+            let fd = fs.create("/prop").unwrap();
+            let mut rng = seed;
+            for v in 0..24u64 {
+                let off = (splitmix(&mut rng) as usize) % 150_000;
+                let len = 1 + (splitmix(&mut rng) as usize) % 20_000;
+                let data = pattern(seed, v, len);
+                fs.write(fd, off as u64, &data).unwrap();
+                if model.len() < off + len {
+                    model.resize(off + len, 0);
+                }
+                model[off..off + len].copy_from_slice(&data);
+                if v % 7 == 6 {
+                    fs.fsync(fd).unwrap();
+                }
+            }
+            let mut buf = vec![0u8; model.len()];
+            prop_assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), model.len());
+            prop_assert_eq!(&buf, &model, "diverged live");
+            fs.close(fd).unwrap();
+            dpc.kvfs_inner().store().clone()
+        };
+
+        let dpc = Dpc::with_shared_storage(DpcConfig::default(), Some(store), None);
+        let fs = dpc.fs();
+        let fd = fs.open("/prop").unwrap();
+        prop_assert_eq!(fs.size(fd).unwrap(), model.len() as u64);
+        let mut buf = vec![0u8; model.len()];
+        prop_assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), model.len());
+        prop_assert_eq!(&buf, &model, "lost pages across restart");
+    }
+}
