@@ -12,19 +12,23 @@
 //!   the locks and mark entries clean.
 //! - **Replacement**: when the host fails to allocate in a bucket it
 //!   notifies the DPU, which evicts the least-recently-touched clean entry.
-//! - **Prefetch**: the control plane watches the miss stream; on a
-//!   sequential pattern it pulls ahead pages from the backend into the
-//!   host cache (this is what produces the paper's 100× single-thread
-//!   sequential-read speed-up in Figure 8).
+//! - **Prefetch**: the dispatcher feeds the miss stream into the
+//!   [`ReadaheadTable`](crate::ReadaheadTable); planned windows are
+//!   queued and *filled here*, on a background thread, by
+//!   [`fill_window`](ControlPlane::fill_window) — one vectored backend
+//!   read per contiguous window, throttled by cache pressure (this is
+//!   what produces the paper's 100× single-thread sequential-read
+//!   speed-up in Figure 8, without the demand path ever waiting on a
+//!   fill).
 
-use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use dpc_pcie::DmaEngine;
 
 use crate::host::HybridCache;
-use crate::layout::{EntryStatus, PAGE_SIZE};
+use crate::layout::{EntryStatus, FLAG_MARKER, FLAG_PREFETCHED, PAGE_SIZE};
+use crate::readahead::PrefetchJob;
 
 /// Back-end sink for flushed dirty pages (the disaggregated store).
 pub trait FlushBackend {
@@ -77,6 +81,27 @@ pub trait ReadBackend {
     /// of `out` must be zeroed padding). `None` when the page does not
     /// exist at all (past EOF) — it is then not inserted.
     fn read_page(&mut self, ino: u64, lpn: u64, out: &mut [u8]) -> Option<usize>;
+
+    /// Vectored fill: read `out.len() / PAGE_SIZE` consecutive pages
+    /// starting at `start` into `out`, returning total *valid* bytes
+    /// (short at EOF; bytes past it are zeroed padding). The default
+    /// decomposes into per-page reads; backends with a cheaper
+    /// multi-page path (one KVFS `read_extent`) override it.
+    fn read_pages(&mut self, ino: u64, start: u64, out: &mut [u8]) -> usize {
+        let mut total = 0;
+        for (k, page) in out.chunks_mut(PAGE_SIZE).enumerate() {
+            match self.read_page(ino, start + k as u64, page) {
+                Some(v) => {
+                    total += v;
+                    if v < page.len() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        total
+    }
 }
 
 impl<F: FnMut(u64, u64, &mut [u8]) -> Option<usize>> ReadBackend for F {
@@ -85,56 +110,25 @@ impl<F: FnMut(u64, u64, &mut [u8]) -> Option<usize>> ReadBackend for F {
     }
 }
 
-/// Sequential-stream detector driving prefetch decisions.
-///
-/// Tracks the last miss LPN per inode; after `trigger` consecutive
-/// sequential misses it recommends prefetching a `window` of pages.
-pub struct SeqPrefetcher {
-    streams: HashMap<u64, (u64, u32)>,
-    pub trigger: u32,
-    pub window: u64,
-}
-
-impl Default for SeqPrefetcher {
-    fn default() -> Self {
-        SeqPrefetcher {
-            streams: HashMap::new(),
-            trigger: 2,
-            window: 32,
-        }
-    }
-}
-
-impl SeqPrefetcher {
-    /// Record a miss; returns the LPN range worth prefetching, if any.
-    pub fn on_miss(&mut self, ino: u64, lpn: u64) -> Option<std::ops::Range<u64>> {
-        let entry = self.streams.entry(ino).or_insert((lpn, 0));
-        if lpn == entry.0 + 1 || (lpn == entry.0 && entry.1 == 0) {
-            entry.1 = entry.1.saturating_add(1);
-        } else if lpn != entry.0 {
-            entry.1 = 1;
-        }
-        entry.0 = lpn;
-        if entry.1 >= self.trigger {
-            Some(lpn + 1..lpn + 1 + self.window)
-        } else {
-            None
-        }
-    }
-
-    pub fn forget(&mut self, ino: u64) {
-        self.streams.remove(&ino);
-    }
-}
-
 /// Default cap on pages per coalesced extent (256 KiB of data).
 pub const DEFAULT_EXTENT_PAGES: usize = 64;
+
+/// Outcome of a single prefetch-insert attempt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum PrefetchInsert {
+    /// A fresh entry was claimed and filled.
+    Inserted,
+    /// The page is already cached (possibly dirty) — the fill was
+    /// discarded, per the no-clobber rule.
+    Present,
+    /// No free slot in the bucket. Prefetch never evicts to make room.
+    NoSlot,
+}
 
 /// The DPU control plane attached to one hybrid cache.
 pub struct ControlPlane {
     cache: Arc<HybridCache>,
     dma: DmaEngine,
-    pub prefetcher: SeqPrefetcher,
     /// Cap on pages coalesced into one backend extent write.
     pub max_extent_pages: usize,
     /// Reusable extent assembly buffer (pages pulled to DPU DRAM).
@@ -148,7 +142,6 @@ impl ControlPlane {
         ControlPlane {
             cache,
             dma,
-            prefetcher: SeqPrefetcher::default(),
             max_extent_pages: DEFAULT_EXTENT_PAGES,
             extent_buf: Vec::new(),
             extent_locks: Vec::new(),
@@ -580,6 +573,7 @@ impl ControlPlane {
             e.set_status(EntryStatus::Free);
             e.ino.store(0, Ordering::Release);
             e.lpn.store(0, Ordering::Release);
+            e.flags.store(0, Ordering::Release);
             self.cache.header.free.fetch_add(1, Ordering::Relaxed);
             self.cache.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -651,25 +645,138 @@ impl ControlPlane {
         true
     }
 
-    /// Handle a read miss the host forwarded to the DPU: feed the
-    /// sequential detector and, when it fires, prefetch the window from
-    /// the backend into the host cache. Returns pages inserted.
-    pub fn on_read_miss(&mut self, ino: u64, lpn: u64, backend: &mut dyn ReadBackend) -> usize {
-        let Some(range) = self.prefetcher.on_miss(ino, lpn) else {
+    /// Prefetch insert: like [`insert_clean_valid`] but it never evicts
+    /// (readahead must not force out pages an application put there) and
+    /// it tags the entry's readahead flag bits before committing.
+    ///
+    /// [`insert_clean_valid`]: Self::insert_clean_valid
+    fn insert_prefetched(
+        &self,
+        ino: u64,
+        lpn: u64,
+        data: &[u8],
+        valid: usize,
+        flags: u32,
+    ) -> PrefetchInsert {
+        debug_assert!(valid <= data.len() && data.len() <= PAGE_SIZE);
+        match self.cache.begin_write(ino, lpn) {
+            Ok(mut guard) => {
+                if !guard.claimed_free() {
+                    // Already cached — the cached copy is at least as new
+                    // (no-clobber rule); dropping the guard just unlocks.
+                    return PrefetchInsert::Present;
+                }
+                guard.write(0, data);
+                guard.set_valid(valid);
+                guard.set_flags(flags);
+                guard.commit_clean();
+                self.cache
+                    .stats
+                    .prefetch_inserts
+                    .fetch_add(1, Ordering::Relaxed);
+                PrefetchInsert::Inserted
+            }
+            Err(crate::host::WriteError::NeedEviction { .. }) => PrefetchInsert::NoSlot,
+        }
+    }
+
+    /// Fill one planned readahead window from the backend — the body of
+    /// the background prefetcher thread. Returns pages inserted.
+    ///
+    /// Three rules keep this strictly best-effort:
+    ///
+    /// - **Cache-pressure throttling**: with `free <= throttle_free` the
+    ///   job is dropped outright; otherwise it shrinks to the headroom
+    ///   above the watermark. Combined with the no-evict insert, a
+    ///   prefetch can never force eviction (let alone of dirty pages).
+    /// - **Epoch check**: the inode's content epoch is snapshotted before
+    ///   the backend read and re-checked before every insert; any
+    ///   concurrent write, flush or invalidate of the inode bumps it and
+    ///   aborts the remaining inserts — bytes read before the change
+    ///   must not overwrite (or resurrect next to) newer data.
+    /// - **No-clobber**: an already-present page is skipped, never
+    ///   overwritten ([`insert_prefetched`](Self::insert_prefetched)).
+    ///
+    /// Sequential windows (`stride == 1`) cost one vectored
+    /// [`ReadBackend::read_pages`] call and one DMA; strided windows
+    /// fall back to per-page reads.
+    pub fn fill_window(
+        &mut self,
+        job: &PrefetchJob,
+        backend: &mut dyn ReadBackend,
+        throttle_free: u64,
+    ) -> usize {
+        let win = &job.window;
+        let stats = &self.cache.stats;
+        let free = self.cache.header.free();
+        if free <= throttle_free {
+            stats.ra_throttled.fetch_add(1, Ordering::Relaxed);
             return 0;
-        };
-        let mut page = vec![0u8; PAGE_SIZE];
-        let mut inserted = 0;
-        for p in range {
-            let Some(valid) = backend.read_page(ino, p, &mut page) else {
-                break;
-            };
-            if self.insert_clean_valid(ino, p, &page, valid) {
-                inserted += 1;
-            } else {
-                break;
+        }
+        let mut pages = win.pages as u64;
+        if pages > free - throttle_free {
+            // Shrink to what fits above the watermark.
+            pages = free - throttle_free;
+            stats.ra_throttled.fetch_add(1, Ordering::Relaxed);
+        }
+        let epoch = self.cache.ino_epoch(job.ino);
+        let mut inserted = 0usize;
+        if win.stride == 1 {
+            let want = pages as usize * PAGE_SIZE;
+            let mut buf = std::mem::take(&mut self.extent_buf);
+            buf.clear();
+            buf.resize(want, 0);
+            let valid_total = backend.read_pages(job.ino, win.start, &mut buf);
+            // One DMA pushes the whole window into the host data area.
+            self.dma.record_external_dma(valid_total as u64);
+            for k in 0..pages {
+                let off = k as usize * PAGE_SIZE;
+                let valid = valid_total.saturating_sub(off).min(PAGE_SIZE);
+                if valid == 0 {
+                    break; // EOF inside the window
+                }
+                if self.cache.ino_epoch(job.ino) != epoch {
+                    stats.ra_dropped.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                let lpn = win.start + k;
+                let mut flags = FLAG_PREFETCHED;
+                if win.marker == Some(lpn) {
+                    flags |= FLAG_MARKER;
+                }
+                match self.insert_prefetched(job.ino, lpn, &buf[off..off + PAGE_SIZE], valid, flags)
+                {
+                    PrefetchInsert::Inserted => inserted += 1,
+                    PrefetchInsert::Present => {}
+                    PrefetchInsert::NoSlot => break,
+                }
+            }
+            self.extent_buf = buf;
+        } else {
+            let mut page = [0u8; PAGE_SIZE];
+            for k in 0..pages {
+                let pos = win.start as i64 + k as i64 * win.stride;
+                if pos < 0 {
+                    break;
+                }
+                let lpn = pos as u64;
+                if self.cache.ino_epoch(job.ino) != epoch {
+                    stats.ra_dropped.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                page.fill(0);
+                let Some(valid) = backend.read_page(job.ino, lpn, &mut page) else {
+                    break;
+                };
+                self.dma.record_external_dma(valid as u64);
+                match self.insert_prefetched(job.ino, lpn, &page, valid, FLAG_PREFETCHED) {
+                    PrefetchInsert::Inserted => inserted += 1,
+                    PrefetchInsert::Present => {}
+                    PrefetchInsert::NoSlot => break,
+                }
             }
         }
+        stats.ra_async_fills.fetch_add(1, Ordering::Relaxed);
         inserted
     }
 }
@@ -771,58 +878,178 @@ mod tests {
         assert!(cache.lookup_read(1, 99, &mut buf));
     }
 
-    #[test]
-    fn prefetcher_detects_sequential_streams() {
-        let mut p = SeqPrefetcher {
-            streams: HashMap::new(),
-            trigger: 2,
-            window: 4,
-        };
-        assert_eq!(p.on_miss(1, 10), None);
-        assert_eq!(p.on_miss(1, 11), Some(12..16));
-        // Random jump resets the streak.
-        assert_eq!(p.on_miss(1, 50), None);
-        assert_eq!(p.on_miss(1, 51), Some(52..56));
-        // Other inodes tracked independently.
-        assert_eq!(p.on_miss(2, 0), None);
-        assert_eq!(p.on_miss(2, 1), Some(2..6));
+    /// Per-page closure backend, usable where a `ReadBackend` is needed.
+    struct PageSource<F: FnMut(u64, u64, &mut [u8]) -> Option<usize>>(F);
+
+    impl<F: FnMut(u64, u64, &mut [u8]) -> Option<usize>> ReadBackend for PageSource<F> {
+        fn read_page(&mut self, ino: u64, lpn: u64, out: &mut [u8]) -> Option<usize> {
+            (self.0)(ino, lpn, out)
+        }
+    }
+
+    fn job(ino: u64, start: u64, pages: u32, stride: i64, marker: Option<u64>) -> PrefetchJob {
+        PrefetchJob {
+            ino,
+            window: crate::readahead::RaWindow {
+                start,
+                pages,
+                stride,
+                marker,
+            },
+        }
     }
 
     #[test]
-    fn read_miss_prefetch_fills_cache() {
-        let (cache, mut cp, _) = setup(256, 8);
-        cp.prefetcher.window = 8;
-        let mut backend = |ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
+    fn fill_window_inserts_and_flags_marker() {
+        let (cache, mut cp, dma) = setup(256, 8);
+        let mut backend = PageSource(|ino: u64, lpn: u64, out: &mut [u8]| {
             out.fill((ino * 100 + lpn) as u8);
             Some(out.len())
-        };
-        assert_eq!(cp.on_read_miss(3, 0, &mut backend), 0);
-        let inserted = cp.on_read_miss(3, 1, &mut backend);
+        });
+        let inserted = cp.fill_window(&job(3, 2, 8, 1, Some(6)), &mut backend, 0);
         assert_eq!(inserted, 8);
-        // Pages 2..10 are now cache hits for the host.
+        assert_eq!(cache.stats().prefetch_inserts, 8);
+        assert_eq!(cache.stats().ra_async_fills, 1);
+        // One DMA for the whole window, not eight.
+        assert_eq!(dma.snapshot().dma_ops, 1);
+        // Pages 2..10 are now host hits; the first consumption of each
+        // scores a readahead hit, and lpn 6 reports the marker.
         let mut buf = vec![0u8; PAGE_SIZE];
         for lpn in 2..10u64 {
-            assert!(cache.lookup_read(3, lpn, &mut buf), "lpn={lpn}");
+            let hint = cache.lookup_read_hint(3, lpn, &mut buf).expect("hit");
             assert_eq!(buf[0], (300 + lpn) as u8);
+            assert_eq!(hint.marker, lpn == 6, "lpn={lpn}");
         }
-        assert_eq!(cache.stats().prefetch_inserts, 8);
+        assert_eq!(cache.stats().ra_hits, 8);
+        // Second reads: still hits, but the flags were consumed.
+        let hint = cache.lookup_read_hint(3, 6, &mut buf).unwrap();
+        assert!(!hint.marker);
+        assert_eq!(cache.stats().ra_hits, 8);
     }
 
     #[test]
-    fn prefetch_stops_at_backend_eof() {
-        let (_cache, mut cp, _) = setup(256, 8);
-        cp.prefetcher.window = 8;
-        let mut backend = |_ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
+    fn fill_window_stops_at_backend_eof() {
+        let (cache, mut cp, _) = setup(256, 8);
+        let mut backend = PageSource(|_ino: u64, lpn: u64, out: &mut [u8]| {
             out.fill(1);
             (lpn < 4).then_some(out.len())
-        };
-        cp.on_read_miss(
-            1,
-            0,
-            &mut (|_: u64, _: u64, out: &mut [u8]| Some(out.len())) as _,
-        );
-        let inserted = cp.on_read_miss(1, 1, &mut backend);
+        });
+        let inserted = cp.fill_window(&job(1, 2, 8, 1, None), &mut backend, 0);
         assert_eq!(inserted, 2); // lpns 2,3 exist; 4 is EOF
+        assert_eq!(cache.stats().prefetch_inserts, 2);
+    }
+
+    #[test]
+    fn fill_window_tail_page_keeps_valid_prefix() {
+        let (cache, mut cp, _) = setup(256, 8);
+        // 2.5 pages of file: lpn 2 ends after PAGE_SIZE/2 bytes.
+        let mut backend = PageSource(|_ino: u64, lpn: u64, out: &mut [u8]| match lpn {
+            0..=1 => {
+                out.fill(7);
+                Some(out.len())
+            }
+            2 => {
+                out[..PAGE_SIZE / 2].fill(7);
+                out[PAGE_SIZE / 2..].fill(0);
+                Some(PAGE_SIZE / 2)
+            }
+            _ => None,
+        });
+        assert_eq!(cp.fill_window(&job(1, 0, 4, 1, None), &mut backend, 0), 3);
+        // The tail entry records only the valid prefix, so a later dirty
+        // flush of it can never write padding past the logical end.
+        let bucket = cache.bucket_of(1, 2);
+        let idx = cache
+            .chain(bucket)
+            .find(|&i| cache.entries[i].ino() == 1 && cache.entries[i].lpn() == 2)
+            .unwrap();
+        assert_eq!(cache.entries[idx].valid() as usize, PAGE_SIZE / 2);
+    }
+
+    #[test]
+    fn fill_window_throttles_under_cache_pressure() {
+        // One 64-entry bucket: filler writes can never collide out of
+        // slots, so free is exactly 4 when the fills run.
+        let (cache, mut cp, _) = setup(64, 64);
+        // Eat 60 of 64 pages so free = 4.
+        for lpn in 0..60u64 {
+            let mut g = cache.begin_write(9, lpn).unwrap();
+            g.write(0, &[1; 8]);
+            g.commit_dirty();
+        }
+        let mut backend = PageSource(|_: u64, _: u64, out: &mut [u8]| Some(out.len()));
+        // Free (4) at/below the watermark (4): dropped outright.
+        assert_eq!(cp.fill_window(&job(1, 0, 8, 1, None), &mut backend, 4), 0);
+        assert_eq!(cache.stats().prefetch_inserts, 0);
+        assert_eq!(cache.stats().ra_throttled, 1);
+        // Watermark 2: the window shrinks to the headroom (4 - 2 = 2).
+        let inserted = cp.fill_window(&job(1, 0, 8, 1, None), &mut backend, 2);
+        assert_eq!(inserted, 2);
+        assert_eq!(cache.stats().ra_throttled, 2);
+    }
+
+    #[test]
+    fn fill_window_never_clobbers_dirty_page() {
+        let (cache, mut cp, _) = setup(256, 8);
+        // A host write dirties lpn 5 before the fill lands.
+        let mut g = cache.begin_write(1, 5).unwrap();
+        g.write(0, &[0xDD; PAGE_SIZE]);
+        g.commit_dirty();
+        let epoch_after_write = cache.ino_epoch(1);
+        let mut backend = PageSource(|_: u64, _: u64, out: &mut [u8]| {
+            out.fill(0xBB);
+            Some(out.len())
+        });
+        assert_eq!(cache.ino_epoch(1), epoch_after_write);
+        let inserted = cp.fill_window(&job(1, 4, 4, 1, None), &mut backend, 0);
+        // lpns 4,6,7 inserted; 5 skipped (Present), not overwritten.
+        assert_eq!(inserted, 3);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(cache.lookup_read(1, 5, &mut buf));
+        assert_eq!(buf[0], 0xDD, "dirty page survived the async fill");
+        assert_eq!(cache.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn fill_window_aborts_when_ino_epoch_moves() {
+        let (cache, mut cp, _) = setup(256, 8);
+        let cache2 = cache.clone();
+        let mut fired = false;
+        // The backend read races a host write: the write lands *after*
+        // the backend returned its (now stale) bytes. The epoch bump
+        // must abort the remaining inserts.
+        let mut backend = PageSource(move |_: u64, lpn: u64, out: &mut [u8]| {
+            out.fill(0x11);
+            if !fired && lpn == 0 {
+                fired = true;
+                let mut g = cache2.begin_write(1, 2).unwrap();
+                g.write(0, &[0x99; PAGE_SIZE]);
+                g.commit_dirty();
+            }
+            Some(out.len())
+        });
+        let inserted = cp.fill_window(&job(1, 0, 4, 1, None), &mut backend, 0);
+        assert_eq!(inserted, 0, "epoch moved mid-fill: all inserts aborted");
+        assert_eq!(cache.stats().ra_dropped, 1);
+        // The dirty page is untouched.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(cache.lookup_read(1, 2, &mut buf));
+        assert_eq!(buf[0], 0x99);
+    }
+
+    #[test]
+    fn fill_window_strided_uses_per_page_reads() {
+        let (cache, mut cp, _) = setup(256, 8);
+        let mut backend = PageSource(|_: u64, lpn: u64, out: &mut [u8]| {
+            out.fill(lpn as u8);
+            Some(out.len())
+        });
+        assert_eq!(cp.fill_window(&job(1, 10, 4, 10, None), &mut backend, 0), 4);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for lpn in [10u64, 20, 30, 40] {
+            assert!(cache.lookup_read(1, lpn, &mut buf), "lpn={lpn}");
+            assert_eq!(buf[0], lpn as u8);
+        }
     }
 
     /// A flush sink that refuses the next `fail_next` try_flush calls.

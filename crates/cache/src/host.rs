@@ -19,7 +19,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::layout::{bucket_of, CacheConfig, CacheEntry, CacheHeader, EntryStatus, PAGE_SIZE};
+use crate::layout::{
+    bucket_of, CacheConfig, CacheEntry, CacheHeader, EntryStatus, FLAG_MARKER, FLAG_PREFETCHED,
+    PAGE_SIZE,
+};
 
 /// Shards of the per-ino dirty-range index (keyed by ino, so one file's
 /// write burst contends on one shard while the flusher walks another).
@@ -117,6 +120,20 @@ pub struct CacheStats {
     /// Buffered writes that fell back to write-through because no cache
     /// slot could be freed.
     pub write_throughs: u64,
+    /// Demand hits on pages the background prefetcher inserted (each
+    /// prefetched page scores at most once).
+    pub ra_hits: u64,
+    /// Readahead windows filled by the background prefetcher thread.
+    pub ra_async_fills: u64,
+    /// Prefetch jobs dropped or shrunk by cache-pressure throttling
+    /// (free pages below the watermark).
+    pub ra_throttled: u64,
+    /// Prefetch jobs dropped because the prefetch queue was full or the
+    /// stream state went stale (concurrent write/invalidate).
+    pub ra_dropped: u64,
+    /// Demand-miss fills that covered a multi-page run with one vectored
+    /// backend read instead of per-page reads.
+    pub demand_vector_fills: u64,
 }
 
 #[derive(Default)]
@@ -137,6 +154,11 @@ pub(crate) struct StatsCells {
     pub(crate) batched_evictions: AtomicU64,
     pub(crate) evict_stalls: AtomicU64,
     pub(crate) write_throughs: AtomicU64,
+    pub(crate) ra_hits: AtomicU64,
+    pub(crate) ra_async_fills: AtomicU64,
+    pub(crate) ra_throttled: AtomicU64,
+    pub(crate) ra_dropped: AtomicU64,
+    pub(crate) demand_vector_fills: AtomicU64,
 }
 
 impl StatsCells {
@@ -152,6 +174,15 @@ impl StatsCells {
         };
         self.extent_pages_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Outcome of a flag-aware cache hit
+/// (see [`HybridCache::lookup_read_hint`]).
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct ReadHint {
+    /// The hit consumed the async-trigger marker page: the caller should
+    /// hint the DPU to queue the next readahead window.
+    pub marker: bool,
 }
 
 /// Failure modes of the front-end write path.
@@ -193,6 +224,13 @@ pub struct HybridCache {
     pub(crate) dirty_index: Box<[Mutex<DirtyShard>]>,
     /// Pages currently marked dirty (mirror of the index's total size).
     pub(crate) dirty_total: AtomicU64,
+    /// Per-ino-shard content epochs. Bumped whenever an inode's cached
+    /// content moves relative to the backend (a page dirtied, flushed
+    /// clean, or invalidated). The background prefetcher snapshots the
+    /// epoch before its backend read and re-checks it before inserting:
+    /// a change means the bytes it holds may predate newer writes, so the
+    /// fill is abandoned rather than risk resurrecting stale data.
+    pub(crate) ino_epochs: Box<[AtomicU64]>,
 }
 
 impl HybridCache {
@@ -228,8 +266,18 @@ impl HybridCache {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             dirty_total: AtomicU64::new(0),
+            ino_epochs: (0..DIRTY_SHARDS).map(|_| AtomicU64::new(0)).collect(),
             cfg,
         }
+    }
+
+    /// Current content epoch of `ino`'s shard (see `ino_epochs`).
+    pub fn ino_epoch(&self, ino: u64) -> u64 {
+        self.ino_epochs[(ino as usize) % DIRTY_SHARDS].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_ino_epoch(&self, ino: u64) {
+        self.ino_epochs[(ino as usize) % DIRTY_SHARDS].fetch_add(1, Ordering::Release);
     }
 
     fn dirty_shard(&self, ino: u64) -> &Mutex<DirtyShard> {
@@ -240,6 +288,7 @@ impl HybridCache {
     /// entry's write lock held (commit path), so it is ordered against the
     /// flusher's [`note_clean`](Self::note_clean) under the read lock.
     pub(crate) fn note_dirty(&self, ino: u64, lpn: u64) {
+        self.bump_ino_epoch(ino);
         let mut shard = self.dirty_shard(ino).lock();
         if shard.entry(ino).or_default().insert(lpn) {
             self.dirty_total.fetch_add(1, Ordering::Relaxed);
@@ -250,6 +299,7 @@ impl HybridCache {
     /// or invalidated). Idempotent: concurrent flush passes may race to
     /// clean the same page.
     pub(crate) fn note_clean(&self, ino: u64, lpn: u64) {
+        self.bump_ino_epoch(ino);
         let mut shard = self.dirty_shard(ino).lock();
         if let Some(set) = shard.get_mut(&ino) {
             if set.remove(&lpn) {
@@ -267,6 +317,7 @@ impl HybridCache {
     /// by taking this mutex once per page of every run. Idempotent per
     /// page, like `note_clean`.
     pub(crate) fn note_clean_run(&self, ino: u64, start: u64, n: usize) {
+        self.bump_ino_epoch(ino);
         let mut shard = self.dirty_shard(ino).lock();
         if let Some(set) = shard.get_mut(&ino) {
             let mut removed = 0u64;
@@ -358,7 +409,26 @@ impl HybridCache {
             batched_evictions: self.stats.batched_evictions.load(Ordering::Relaxed),
             evict_stalls: self.stats.evict_stalls.load(Ordering::Relaxed),
             write_throughs: self.stats.write_throughs.load(Ordering::Relaxed),
+            ra_hits: self.stats.ra_hits.load(Ordering::Relaxed),
+            ra_async_fills: self.stats.ra_async_fills.load(Ordering::Relaxed),
+            ra_throttled: self.stats.ra_throttled.load(Ordering::Relaxed),
+            ra_dropped: self.stats.ra_dropped.load(Ordering::Relaxed),
+            demand_vector_fills: self.stats.demand_vector_fills.load(Ordering::Relaxed),
         }
+    }
+
+    /// Demand-miss fill covered a multi-page run with one vectored read
+    /// (adapter-side account).
+    pub fn note_vector_fill(&self) {
+        self.stats
+            .demand_vector_fills
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A planned prefetch window was dropped before filling (queue full
+    /// or stream gone stale).
+    pub fn note_ra_dropped(&self) {
+        self.stats.ra_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Foreground write stalled on `NeedEviction` (adapter-side account).
@@ -435,6 +505,16 @@ impl HybridCache {
     /// Front-end read: on a hit, copy the page into `dst` under a read
     /// lock. `dst` must be exactly one page.
     pub fn lookup_read(&self, ino: u64, lpn: u64, dst: &mut [u8]) -> bool {
+        self.lookup_read_hint(ino, lpn, dst).is_some()
+    }
+
+    /// [`lookup_read`](Self::lookup_read) that also reports the page's
+    /// readahead flags: `Some(hint)` on a hit, `None` on a miss. Consuming
+    /// a prefetched page scores a readahead hit (once — the flag word is
+    /// swapped to zero); consuming the marker page tells the caller to
+    /// hint the DPU so the *next* window is queued before this one runs
+    /// dry.
+    pub fn lookup_read_hint(&self, ino: u64, lpn: u64, dst: &mut [u8]) -> Option<ReadHint> {
         assert_eq!(dst.len(), PAGE_SIZE, "reads are page-granular");
         let bucket = self.bucket_of(ino, lpn);
         for idx in self.chain(bucket) {
@@ -456,19 +536,30 @@ impl HybridCache {
             let valid = e.ino() == ino
                 && e.lpn() == lpn
                 && matches!(e.status(), EntryStatus::Clean | EntryStatus::Dirty);
+            let mut flags = 0;
             if valid {
                 // SAFETY: read lock held on entry `idx`.
                 unsafe { self.pages.read(idx, 0, dst) };
                 self.stamp(idx);
+                // Consume the flag word; concurrent readers race on the
+                // swap and exactly one of them observes the bits.
+                if e.flags.load(Ordering::Relaxed) != 0 {
+                    flags = e.flags.swap(0, Ordering::AcqRel);
+                }
             }
             e.read_unlock();
             if valid {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                return true;
+                if flags & FLAG_PREFETCHED != 0 {
+                    self.stats.ra_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(ReadHint {
+                    marker: flags & FLAG_MARKER != 0,
+                });
             }
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        false
+        None
     }
 
     /// Front-end write, steps 1–2 of the paper's protocol: find or claim a
@@ -510,6 +601,7 @@ impl HybridCache {
                 e.ino.store(ino, Ordering::Release);
                 e.lpn.store(lpn, Ordering::Release);
                 e.valid.store(0, Ordering::Release);
+                e.flags.store(0, Ordering::Release);
                 self.header.free.fetch_sub(1, Ordering::Relaxed);
                 return Ok(WriteGuard {
                     cache: self,
@@ -542,6 +634,7 @@ impl HybridCache {
     /// Drop a page from the cache (truncate/unlink): write-lock the entry
     /// and mark it free. Returns whether the page was present.
     pub fn invalidate(&self, ino: u64, lpn: u64) -> bool {
+        self.bump_ino_epoch(ino);
         // A quarantined copy must die with the page, or a later flush pass
         // would resurrect data the application just truncated away.
         if !self.quarantine_is_empty() {
@@ -563,6 +656,7 @@ impl HybridCache {
                 e.set_status(EntryStatus::Free);
                 e.ino.store(0, Ordering::Release);
                 e.lpn.store(0, Ordering::Release);
+                e.flags.store(0, Ordering::Release);
                 self.header.free.fetch_add(1, Ordering::Relaxed);
                 e.write_unlock();
                 return true;
@@ -574,6 +668,7 @@ impl HybridCache {
     /// Drop every cached page of one inode (unlink). Returns the number of
     /// pages invalidated.
     pub fn invalidate_ino(&self, ino: u64) -> usize {
+        self.bump_ino_epoch(ino);
         if !self.quarantine_is_empty() {
             let mut q = self.quarantine.lock();
             q.retain(|&(i, _), _| i != ino);
@@ -600,6 +695,7 @@ impl HybridCache {
                 e.set_status(EntryStatus::Free);
                 e.ino.store(0, Ordering::Release);
                 e.lpn.store(0, Ordering::Release);
+                e.flags.store(0, Ordering::Release);
                 self.header.free.fetch_add(1, Ordering::Relaxed);
                 dropped += 1;
             }
@@ -682,6 +778,15 @@ impl WriteGuard<'_> {
             .store(end as u32, std::sync::atomic::Ordering::Release);
     }
 
+    /// Tag the entry's readahead flag bits (prefetched / marker). Set by
+    /// the background prefetcher before committing its fill clean; the
+    /// first demand hit consumes them.
+    pub(crate) fn set_flags(&mut self, flags: u32) {
+        self.cache.entries[self.idx]
+            .flags
+            .store(flags, std::sync::atomic::Ordering::Release);
+    }
+
     /// Read back from the page (read-modify-write support).
     pub fn read(&self, offset: usize, dst: &mut [u8]) {
         assert!(offset + dst.len() <= PAGE_SIZE, "read exceeds the page");
@@ -699,6 +804,9 @@ impl WriteGuard<'_> {
         // already indexed — the shard mutex + BTree insert would be a
         // no-op on the hottest path (overwriting a not-yet-flushed page).
         let was_dirty = e.status() == EntryStatus::Dirty;
+        // A freshly-written page is no longer a prefetched page, and a
+        // marker on it would fire a hint for a stream that just changed.
+        e.flags.store(0, Ordering::Release);
         e.set_status(EntryStatus::Dirty);
         if !was_dirty {
             self.cache.note_dirty(e.ino(), e.lpn());

@@ -63,6 +63,17 @@ pub(crate) const LOCK_WRITE: u32 = u32::MAX;
 pub(crate) const LOCK_INVALID: u32 = u32::MAX - 1;
 pub(crate) const MAX_READERS: u32 = u32::MAX - 2;
 
+/// Entry flag bits (the `flags` word on [`CacheEntry`]).
+///
+/// `FLAG_PREFETCHED` marks a page inserted by the background prefetcher
+/// and not yet consumed by a demand read — the first hit clears it and
+/// scores a readahead hit, so the hit ratio counts distinct pages.
+/// `FLAG_MARKER` is the async-trigger page (the analogue of Linux's
+/// `PG_readahead`): a demand hit on it tells the adapter to request the
+/// *next* window while the stream is still consuming this one.
+pub(crate) const FLAG_PREFETCHED: u32 = 1;
+pub(crate) const FLAG_MARKER: u32 = 2;
+
 /// One meta-area cache entry.
 ///
 /// `next` is the intra-bucket chain link fixed at initialisation (the
@@ -76,6 +87,11 @@ pub struct CacheEntry {
     /// Meaningful bytes of the page (a tail page of a file is valid only
     /// up to the file's logical end; the flusher must not write padding).
     pub(crate) valid: AtomicU32,
+    /// Readahead flag bits ([`FLAG_PREFETCHED`], [`FLAG_MARKER`]). Set
+    /// under the entry's write lock; consumed (swapped to zero) by the
+    /// first demand reader under a read lock — the atomic swap makes the
+    /// consumption exactly-once even among racing readers.
+    pub(crate) flags: AtomicU32,
 }
 
 impl CacheEntry {
@@ -87,6 +103,7 @@ impl CacheEntry {
             lpn: AtomicU64::new(0),
             ino: AtomicU64::new(0),
             valid: AtomicU32::new(0),
+            flags: AtomicU32::new(0),
         }
     }
 

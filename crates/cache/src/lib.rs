@@ -41,8 +41,10 @@ mod control;
 mod host;
 mod layout;
 mod pipeline;
+mod readahead;
 
-pub use control::{ControlPlane, FlushBackend, ReadBackend, SeqPrefetcher, DEFAULT_EXTENT_PAGES};
-pub use host::{CacheStats, HybridCache, WriteError, WriteGuard};
+pub use control::{ControlPlane, FlushBackend, ReadBackend, DEFAULT_EXTENT_PAGES};
+pub use host::{CacheStats, HybridCache, ReadHint, WriteError, WriteGuard};
 pub use layout::{CacheConfig, CacheEntry, CacheHeader, EntryStatus, LockState, PAGE_SIZE};
 pub use pipeline::{FlushPipeline, PipelineConfig, PipelineStats, UnsealError};
+pub use readahead::{PrefetchJob, PrefetchQueue, RaConfig, RaWindow, ReadaheadTable};

@@ -1,0 +1,443 @@
+//! Adaptive per-inode readahead state and the background prefetch queue.
+//!
+//! This replaces the old global sequential detector with the structure
+//! the paper's control plane implies and Linux-style readahead refined:
+//!
+//! - a **sharded per-ino stream table** ([`ReadaheadTable`]) tracking the
+//!   last access, the detected stride, and an adaptive window that
+//!   doubles on sequential progress (up to a cap) and resets to the
+//!   initial size on random access;
+//! - an **async-trigger marker**: each emitted window nominates a marker
+//!   page (the analogue of `PG_readahead`); the demand hit that consumes
+//!   it prompts the host to hint the DPU, which plans the *next* window
+//!   before the reader exhausts the cached one — steady-state streams
+//!   never stall on a miss;
+//! - a **bounded prefetch queue** ([`PrefetchQueue`]) decoupling window
+//!   *planning* (on the dispatch path) from window *filling* (a
+//!   `DpuRuntime` background thread) so the demand path never performs a
+//!   backend read it wasn't asked for.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Shards of the readahead table (keyed by ino, like the dirty index).
+const RA_SHARDS: usize = 16;
+
+/// Tunables for the adaptive window logic.
+#[derive(Copy, Clone, Debug)]
+pub struct RaConfig {
+    /// First window emitted when a stream is detected (pages).
+    pub initial_window: u32,
+    /// Cap the window doubles toward (pages).
+    pub max_window: u32,
+    /// Consecutive pattern-following accesses before the first window.
+    pub trigger: u32,
+}
+
+impl Default for RaConfig {
+    fn default() -> Self {
+        RaConfig {
+            initial_window: 4,
+            max_window: 64,
+            trigger: 2,
+        }
+    }
+}
+
+/// One prefetch decision: `pages` positions starting at `start`, spaced
+/// `stride` pages apart (`stride == 1` is a contiguous window eligible
+/// for a single vectored backend read). `marker` is the page whose
+/// demand hit should trigger planning of the next window (sequential
+/// streams only).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RaWindow {
+    pub start: u64,
+    pub pages: u32,
+    pub stride: i64,
+    pub marker: Option<u64>,
+}
+
+/// Per-inode stream state.
+struct RaStream {
+    /// First LPN of the last observed access.
+    last_start: u64,
+    /// Pages the last access spanned (multi-page demand reads count as
+    /// one sequential step of their full span, not a stride-N jump).
+    last_span: u32,
+    /// Detected access stride in pages (1 = sequential).
+    stride: i64,
+    /// Consecutive accesses that followed the detected pattern.
+    run: u32,
+    /// Current adaptive window size (pages).
+    window: u32,
+    /// Sequential streams: first LPN not yet covered by an emitted
+    /// window (the readahead frontier).
+    planned_next: u64,
+    /// Strided streams: predicted positions still ahead of the reader.
+    ahead: i64,
+}
+
+/// Sharded per-ino readahead state table. Shared (via `Arc`) by every
+/// dispatcher thread; a stream's state lives wherever its reads land.
+pub struct ReadaheadTable {
+    cfg: RaConfig,
+    shards: Box<[Mutex<HashMap<u64, RaStream>>]>,
+}
+
+impl ReadaheadTable {
+    pub fn new(cfg: RaConfig) -> ReadaheadTable {
+        ReadaheadTable {
+            cfg,
+            shards: (0..RA_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    pub fn config(&self) -> &RaConfig {
+        &self.cfg
+    }
+
+    fn shard(&self, ino: u64) -> &Mutex<HashMap<u64, RaStream>> {
+        &self.shards[(ino as usize) % RA_SHARDS]
+    }
+
+    /// Feed a demand read (`span` pages starting at `lpn`) into the
+    /// stream detector; returns a window worth prefetching, if the
+    /// pattern warrants one. Only *misses* reach the DPU, so between two
+    /// calls the reader may have consumed any number of cached pages —
+    /// a miss landing anywhere inside the planned frontier still counts
+    /// as sequential progress.
+    pub fn on_read(&self, ino: u64, lpn: u64, span: u32) -> Option<RaWindow> {
+        let span = span.max(1);
+        let cfg = self.cfg;
+        let mut shard = self.shard(ino).lock();
+        let s = shard.entry(ino).or_insert(RaStream {
+            last_start: lpn,
+            last_span: span,
+            stride: 1,
+            run: 0,
+            window: cfg.initial_window,
+            planned_next: 0,
+            ahead: 0,
+        });
+        if s.run == 0 {
+            // Fresh stream: this access is its first evidence.
+            s.run = 1;
+        } else {
+            let delta = lpn as i64 - s.last_start as i64;
+            if delta == 0 {
+                return None; // re-read of the same position: no evidence
+            }
+            let frontier = s.planned_next.max(s.last_start + s.last_span as u64);
+            let seq = lpn > s.last_start && lpn <= frontier;
+            if seq {
+                if s.stride == 1 {
+                    s.run += 1;
+                } else {
+                    s.stride = 1;
+                    s.run = 2;
+                    s.ahead = 0;
+                }
+            } else if delta == s.stride && s.stride != 1 {
+                s.run += 1;
+                s.ahead = (s.ahead - 1).max(0);
+            } else {
+                // Random jump: shrink back to the initial window and
+                // start over with this delta as the tentative stride.
+                s.stride = delta;
+                s.run = 1;
+                s.window = cfg.initial_window;
+                s.planned_next = 0;
+                s.ahead = 0;
+            }
+            s.last_start = lpn;
+            s.last_span = span;
+        }
+        if s.run < cfg.trigger {
+            return None;
+        }
+        if s.stride == 1 {
+            let pos_end = lpn + span as u64;
+            if s.planned_next > pos_end {
+                // A window is already planned ahead; its marker page
+                // will extend the stream asynchronously.
+                return None;
+            }
+            let start = s.planned_next.max(pos_end);
+            let pages = s.window;
+            s.planned_next = start + pages as u64;
+            let marker = Some(start + pages as u64 / 2);
+            s.window = (s.window * 2).min(cfg.max_window);
+            Some(RaWindow {
+                start,
+                pages,
+                stride: 1,
+                marker,
+            })
+        } else {
+            if s.ahead > 0 {
+                return None; // predicted positions still ahead of the reader
+            }
+            let start = lpn as i64 + s.stride;
+            if start < 0 {
+                return None;
+            }
+            let pages = s.window;
+            s.ahead = pages as i64;
+            s.window = (s.window * 2).min(cfg.max_window);
+            Some(RaWindow {
+                start: start as u64,
+                pages,
+                stride: s.stride,
+                marker: None,
+            })
+        }
+    }
+
+    /// The host consumed a window's async-trigger marker page: plan the
+    /// next window from the frontier so it fills while the reader works
+    /// through the current one. `None` when the stream has since reset
+    /// (random access or truncate) — a stale marker must not resurrect
+    /// a dead stream.
+    pub fn on_marker(&self, ino: u64, lpn: u64) -> Option<RaWindow> {
+        let cfg = self.cfg;
+        let mut shard = self.shard(ino).lock();
+        let s = shard.get_mut(&ino)?;
+        if s.stride != 1 || s.run < cfg.trigger {
+            return None;
+        }
+        // Marker consumption is sequential progress in itself.
+        if lpn >= s.last_start {
+            s.last_start = lpn;
+            s.last_span = 1;
+        }
+        let start = s.planned_next.max(lpn + 1);
+        let pages = s.window;
+        s.planned_next = start + pages as u64;
+        let marker = Some(start + pages as u64 / 2);
+        s.window = (s.window * 2).min(cfg.max_window);
+        Some(RaWindow {
+            start,
+            pages,
+            stride: 1,
+            marker,
+        })
+    }
+
+    /// Forget `ino`'s stream (truncate/unlink/invalidate): a stale
+    /// stream must not prefetch beyond a new EOF or resurrect freed
+    /// pages.
+    pub fn reset(&self, ino: u64) {
+        self.shard(ino).lock().remove(&ino);
+    }
+
+    /// Streams currently tracked (diagnostic).
+    pub fn streams(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// One queued fill: a planned window for one inode.
+#[derive(Copy, Clone, Debug)]
+pub struct PrefetchJob {
+    pub ino: u64,
+    pub window: RaWindow,
+}
+
+/// Bounded MPMC queue feeding the background prefetcher thread.
+/// `push` never blocks: when full, the job is simply dropped (readahead
+/// is best-effort; the demand path must never wait on it).
+pub struct PrefetchQueue {
+    jobs: Mutex<VecDeque<PrefetchJob>>,
+    cap: usize,
+    /// Jobs popped but not yet completed.
+    in_flight: AtomicU64,
+    /// Lock-free mirror of the queue length (for `is_idle`).
+    queued: AtomicU64,
+}
+
+impl PrefetchQueue {
+    pub fn new(cap: usize) -> PrefetchQueue {
+        PrefetchQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            in_flight: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a job; `false` means the queue was full and the job was
+    /// dropped.
+    pub fn push(&self, job: PrefetchJob) -> bool {
+        let mut q = self.jobs.lock();
+        if q.len() >= self.cap {
+            return false;
+        }
+        q.push_back(job);
+        self.queued.store(q.len() as u64, Ordering::Release);
+        true
+    }
+
+    /// Dequeue the next job; the caller owes a [`done`](Self::done) call
+    /// once the fill completes.
+    pub fn pop(&self) -> Option<PrefetchJob> {
+        let mut q = self.jobs.lock();
+        let job = q.pop_front()?;
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.queued.store(q.len() as u64, Ordering::Release);
+        Some(job)
+    }
+
+    /// Mark a popped job finished.
+    pub fn done(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Nothing queued and nothing mid-fill. (`queued` is read before
+    /// `in_flight`: `pop` increments the latter before publishing the
+    /// shorter length, so a job can never vanish between the two loads.)
+    pub fn is_idle(&self) -> bool {
+        self.queued.load(Ordering::Acquire) == 0 && self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.queued.load(Ordering::Acquire) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(initial: u32, max: u32) -> ReadaheadTable {
+        ReadaheadTable::new(RaConfig {
+            initial_window: initial,
+            max_window: max,
+            trigger: 2,
+        })
+    }
+
+    #[test]
+    fn sequential_stream_triggers_after_two_accesses() {
+        let t = table(4, 64);
+        assert_eq!(t.on_read(1, 10, 1), None);
+        let w = t.on_read(1, 11, 1).unwrap();
+        assert_eq!((w.start, w.pages, w.stride), (12, 4, 1));
+        assert_eq!(w.marker, Some(14));
+    }
+
+    #[test]
+    fn window_doubles_on_sequential_progress_up_to_cap() {
+        let t = table(4, 16);
+        t.on_read(1, 0, 1);
+        let mut sizes = Vec::new();
+        let w = t.on_read(1, 1, 1).unwrap();
+        sizes.push(w.pages);
+        // Consume each window's marker: the next window doubles.
+        let mut marker = w.marker.unwrap();
+        for _ in 0..4 {
+            let w = t.on_marker(1, marker).unwrap();
+            sizes.push(w.pages);
+            marker = w.marker.unwrap();
+        }
+        assert_eq!(sizes, vec![4, 8, 16, 16, 16], "doubles then caps");
+    }
+
+    #[test]
+    fn random_access_resets_window_and_run() {
+        let t = table(4, 64);
+        t.on_read(1, 0, 1);
+        let w = t.on_read(1, 1, 1).unwrap();
+        assert_eq!(w.pages, 4);
+        t.on_marker(1, w.marker.unwrap()).unwrap(); // window now 8-ish
+                                                    // Random jump far away: stream resets, needs re-triggering.
+        assert_eq!(t.on_read(1, 5000, 1), None);
+        assert_eq!(t.on_read(1, 5001, 1).map(|w| w.pages), Some(4));
+    }
+
+    #[test]
+    fn multi_page_reads_count_as_sequential_spans() {
+        let t = table(4, 64);
+        // An 8-page buffered read followed by the next 8 pages is one
+        // sequential stream, not a stride-8 pattern.
+        assert_eq!(t.on_read(1, 0, 8), None);
+        let w = t.on_read(1, 8, 8).unwrap();
+        assert_eq!((w.start, w.stride), (16, 1));
+    }
+
+    #[test]
+    fn stride_detection_emits_strided_window() {
+        let t = table(4, 64);
+        assert_eq!(t.on_read(1, 0, 1), None);
+        assert_eq!(t.on_read(1, 100, 1), None); // tentative stride 100
+        let w = t.on_read(1, 200, 1).unwrap();
+        assert_eq!((w.start, w.pages, w.stride), (300, 4, 100));
+        assert_eq!(w.marker, None);
+        // While the predictions hold, no duplicate windows fire.
+        assert_eq!(t.on_read(1, 300, 1), None);
+        assert_eq!(t.on_read(1, 400, 1), None);
+    }
+
+    #[test]
+    fn backward_stride_is_tracked() {
+        let t = table(4, 64);
+        t.on_read(1, 1000, 1);
+        t.on_read(1, 990, 1);
+        let w = t.on_read(1, 980, 1).unwrap();
+        assert_eq!((w.start, w.stride), (970, -10));
+    }
+
+    #[test]
+    fn marker_of_reset_stream_is_ignored() {
+        let t = table(4, 64);
+        t.on_read(1, 0, 1);
+        let w = t.on_read(1, 1, 1).unwrap();
+        let marker = w.marker.unwrap();
+        t.reset(1);
+        assert_eq!(t.on_marker(1, marker), None, "stale marker after reset");
+    }
+
+    #[test]
+    fn inos_are_independent() {
+        let t = table(4, 64);
+        t.on_read(1, 0, 1);
+        t.on_read(2, 50, 1);
+        assert!(t.on_read(1, 1, 1).is_some());
+        assert!(t.on_read(2, 51, 1).is_some());
+        assert_eq!(t.streams(), 2);
+        t.reset(1);
+        assert_eq!(t.streams(), 1);
+    }
+
+    #[test]
+    fn queue_bounds_and_idleness() {
+        let q = PrefetchQueue::new(2);
+        let job = PrefetchJob {
+            ino: 1,
+            window: RaWindow {
+                start: 0,
+                pages: 4,
+                stride: 1,
+                marker: None,
+            },
+        };
+        assert!(q.is_idle());
+        assert!(q.push(job));
+        assert!(q.push(job));
+        assert!(!q.push(job), "full queue drops");
+        assert_eq!(q.len(), 2);
+        let j = q.pop().unwrap();
+        assert_eq!(j.ino, 1);
+        assert!(!q.is_idle(), "popped job still in flight");
+        q.done();
+        q.pop().unwrap();
+        q.done();
+        assert!(q.is_idle());
+        assert!(q.pop().is_none());
+    }
+}

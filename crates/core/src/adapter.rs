@@ -111,6 +111,11 @@ impl FdTable {
     }
 }
 
+/// Cap on pages fetched by one spanning miss read (256 KiB — well under
+/// the default 1 MiB nvme-fs slot capacity, and matching the flush
+/// extent cap).
+const MAX_MISS_RUN_PAGES: usize = 64;
+
 /// I/O mode for the data path.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum IoMode {
@@ -631,14 +636,21 @@ impl DpcFs {
                 let mut page = vec![0u8; PAGE_SIZE];
                 let mut pos = 0usize;
                 let mut off = offset;
-                // Pass 1: serve cache hits, remember the misses.
+                // Pass 1: serve cache hits, remember the misses. A hit
+                // that consumed a readahead marker page is remembered so
+                // the DPU can be told (once per call) to plan the next
+                // window while this one is still being consumed.
                 let mut misses: Vec<Miss> = Vec::new();
+                let mut marker_hint: Option<u64> = None;
                 while pos < n {
                     let lpn = off / PAGE_SIZE as u64;
                     let in_page = (off % PAGE_SIZE as u64) as usize;
                     let take = (PAGE_SIZE - in_page).min(n - pos);
-                    if self.cache.lookup_read(ino, lpn, &mut page) {
+                    if let Some(hint) = self.cache.lookup_read_hint(ino, lpn, &mut page) {
                         dst[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
+                        if hint.marker && marker_hint.is_none() {
+                            marker_hint = Some(lpn);
+                        }
                     } else {
                         misses.push(Miss {
                             lpn,
@@ -650,42 +662,90 @@ impl DpcFs {
                     pos += take;
                     off += take as u64;
                 }
-                // Pass 2: fetch every missing page from the DPU under
-                // batched submission (doorbell-coalesced through the
-                // pool), then fill the cache clean (front-end read
-                // protocol).
+                // Pass 2: group the missing pages into contiguous runs
+                // and fetch each run with ONE spanning read (the DPU
+                // serves it as one vectored KVFS extent read); the runs
+                // themselves go out under batched submission
+                // (doorbell-coalesced through the pool). A lone miss
+                // degenerates to the old per-page fetch.
                 if !misses.is_empty() {
-                    let requests: Vec<FileRequest> = misses
+                    struct Run {
+                        /// Index of the run's first page in `misses`.
+                        first: usize,
+                        pages: usize,
+                    }
+                    let mut runs: Vec<Run> = Vec::new();
+                    for (i, m) in misses.iter().enumerate() {
+                        match runs.last_mut() {
+                            Some(r)
+                                if r.pages < MAX_MISS_RUN_PAGES
+                                    && misses[r.first].lpn + r.pages as u64 == m.lpn =>
+                            {
+                                r.pages += 1;
+                            }
+                            _ => runs.push(Run { first: i, pages: 1 }),
+                        }
+                    }
+                    let mut max_len = 0u32;
+                    let requests: Vec<FileRequest> = runs
                         .iter()
-                        .map(|m| FileRequest::Read {
-                            ino,
-                            offset: m.lpn * PAGE_SIZE as u64,
-                            len: PAGE_SIZE as u32,
+                        .map(|r| {
+                            let len = (r.pages * PAGE_SIZE) as u32;
+                            max_len = max_len.max(len);
+                            FileRequest::Read {
+                                ino,
+                                offset: misses[r.first].lpn * PAGE_SIZE as u64,
+                                len,
+                            }
                         })
                         .collect();
                     let done = self
                         .pool
-                        .call_many(DispatchType::Standalone, &requests, PAGE_SIZE as u32)
+                        .call_many(DispatchType::Standalone, &requests, max_len)
                         .map_err(|e| DpcError(e.errno()))?;
-                    for (m, c) in misses.iter().zip(&done) {
+                    for (r, c) in runs.iter().zip(&done) {
                         let got = match c.response {
                             FileResponse::Bytes(g) => g as usize,
                             FileResponse::Err(e) => return Err(DpcError(e)),
                             _ => return Err(DpcError::IO),
                         };
-                        page.fill(0);
-                        page[..got].copy_from_slice(&c.payload[..got]);
-                        // Mark only the fetched prefix valid — the zero
-                        // padding of a tail page must never be flushed
-                        // (size inflation).
-                        if let Ok(mut g) = self.cache.begin_write(ino, m.lpn) {
-                            g.write(0, &page);
-                            g.set_valid(got);
-                            g.commit_clean();
+                        if r.pages > 1 {
+                            self.cache.note_vector_fill();
                         }
-                        dst[m.pos..m.pos + m.take]
-                            .copy_from_slice(&page[m.in_page..m.in_page + m.take]);
+                        for k in 0..r.pages {
+                            let m = &misses[r.first + k];
+                            let valid = got.saturating_sub(k * PAGE_SIZE).min(PAGE_SIZE);
+                            page.fill(0);
+                            page[..valid]
+                                .copy_from_slice(&c.payload[k * PAGE_SIZE..k * PAGE_SIZE + valid]);
+                            // Fill the cache clean (front-end read
+                            // protocol). Only a freshly claimed entry may
+                            // be written: a page that appeared since pass
+                            // 1 belongs to a concurrent writer (possibly
+                            // dirty) and must not be clobbered with the
+                            // older backend bytes. Only the fetched
+                            // prefix is marked valid — the zero padding
+                            // of a tail page must never be flushed (size
+                            // inflation).
+                            if valid > 0 {
+                                if let Ok(mut g) = self.cache.begin_write(ino, m.lpn) {
+                                    if g.claimed_free() {
+                                        g.write(0, &page);
+                                        g.set_valid(valid);
+                                        g.commit_clean();
+                                    }
+                                }
+                            }
+                            dst[m.pos..m.pos + m.take]
+                                .copy_from_slice(&page[m.in_page..m.in_page + m.take]);
+                        }
                     }
+                }
+                if let Some(lpn) = marker_hint {
+                    // Async trigger: one fire-and-forget hint per read
+                    // call; the DPU plans (and background-fills) the next
+                    // window. Errors just mean no readahead this round.
+                    let _ = self.call(&FileRequest::ReadaheadHint { ino, lpn }, b"", 0);
                 }
                 Ok(n)
             }

@@ -3,12 +3,16 @@
 //! nvme-fs delivers each command with a dispatch bit (Dword0 bit 10):
 //! standalone file requests go to KVFS, distributed file requests go to
 //! the offloaded DFS client. The dispatcher also owns this service
-//! thread's slice of the hybrid-cache control plane, so read misses feed
-//! the sequential prefetcher and flush/evict requests are served here.
+//! thread's slice of the hybrid-cache control plane, so flush/evict
+//! requests are served here; demand reads only *feed* the shared
+//! readahead table — planned windows go to the prefetch queue and the
+//! background prefetcher thread fills them, never the request path.
 
 use std::sync::Arc;
 
-use dpc_cache::{ControlPlane, FlushBackend};
+use dpc_cache::{
+    ControlPlane, FlushBackend, PrefetchJob, PrefetchQueue, ReadBackend, ReadaheadTable,
+};
 use dpc_dfs::{ClientCore, DfsError, DFS_BLOCK};
 use dpc_kvfs::{FileKind, FsError, Kvfs};
 use dpc_nvmefs::{
@@ -105,14 +109,43 @@ impl FlushBackend for KvfsFlush<'_> {
     }
 }
 
+/// The prefetcher's page source: background window fills read from KVFS.
+/// Sequential windows go through the vectored [`Kvfs::read_extent`] so
+/// consecutive pages sharing an 8 KiB block cost one KV read, not two.
+pub(crate) struct KvfsRead<'a> {
+    pub kvfs: &'a Arc<Kvfs>,
+}
+
+impl ReadBackend for KvfsRead<'_> {
+    fn read_page(&mut self, ino: u64, lpn: u64, out: &mut [u8]) -> Option<usize> {
+        match self.kvfs.read(ino, lpn * dpc_cache::PAGE_SIZE as u64, out) {
+            Ok(n) if n > 0 => {
+                out[n..].fill(0);
+                Some(n)
+            }
+            _ => None,
+        }
+    }
+
+    fn read_pages(&mut self, ino: u64, start: u64, out: &mut [u8]) -> usize {
+        let mut segments: Vec<&mut [u8]> = out.chunks_mut(dpc_cache::PAGE_SIZE).collect();
+        self.kvfs
+            .read_extent(ino, start * dpc_cache::PAGE_SIZE as u64, &mut segments)
+            .unwrap_or(0)
+    }
+}
+
 /// One service thread's dispatcher.
 pub struct Dispatcher {
     kvfs: Arc<Kvfs>,
     control: ControlPlane,
     /// The offloaded DFS client (None when DPC runs standalone-only).
     dfs: Option<ClientCore>,
-    /// Enable the control plane's sequential prefetcher.
-    pub prefetch: bool,
+    /// Readahead hooks shared across service threads: the per-ino
+    /// adaptive-window table plus the queue feeding the background
+    /// prefetcher. `None` = readahead off; demand reads are then pure
+    /// KVFS reads with no state tracking at all.
+    ra: Option<(Arc<ReadaheadTable>, Arc<PrefetchQueue>)>,
     /// Coalesce adjacent dirty pages into extent writes on the flush
     /// path (and scope `Fsync` flushes to the requested inode).
     pub coalesce: bool,
@@ -128,10 +161,34 @@ impl Dispatcher {
             kvfs,
             control,
             dfs,
-            prefetch: true,
+            ra: None,
             coalesce: true,
             flush_fault: None,
             payload_scratch: Vec::new(),
+        }
+    }
+
+    /// Attach the shared readahead state (enables adaptive prefetch).
+    pub fn set_readahead(&mut self, table: Arc<ReadaheadTable>, queue: Arc<PrefetchQueue>) {
+        self.ra = Some((table, queue));
+    }
+
+    /// Feed one demand read into the readahead state machine. The DPU
+    /// only ever sees *misses* (hits are absorbed by the host data
+    /// plane), so a planned window is queued for the background
+    /// prefetcher rather than filled here — the request path never does
+    /// window I/O. A full queue drops the job (readahead is best-effort).
+    fn note_read(&self, ino: u64, offset: u64, len: u32) {
+        let Some((table, queue)) = &self.ra else {
+            return;
+        };
+        let page = dpc_cache::PAGE_SIZE as u64;
+        let lpn = offset / page;
+        let span = ((offset % page + len as u64).div_ceil(page)).max(1) as u32;
+        if let Some(window) = table.on_read(ino, lpn, span) {
+            if !queue.push(PrefetchJob { ino, window }) {
+                self.control.cache().note_ra_dropped();
+            }
         }
     }
 
@@ -189,27 +246,21 @@ impl Dispatcher {
             }
             FileRequest::Read { ino, offset, len } => {
                 out.resize(*len as usize, 0);
-                match kvfs.read(*ino, *offset, out) {
+                let page = dpc_cache::PAGE_SIZE;
+                let res = if out.len() > page && *offset % page as u64 == 0 {
+                    // A page-aligned spanning read — the adapter's batched
+                    // miss path fetching a whole run of missing pages.
+                    // One vectored KVFS read shares the underlying block
+                    // fetches across the run's pages.
+                    let mut segments: Vec<&mut [u8]> = out.chunks_mut(page).collect();
+                    kvfs.read_extent(*ino, *offset, &mut segments)
+                } else {
+                    kvfs.read(*ino, *offset, out)
+                };
+                match res {
                     Ok(n) => {
                         out.truncate(n);
-                        if self.prefetch {
-                            // Feed the sequential detector; on a stream it
-                            // pulls ahead pages into the host cache. The
-                            // backend closure borrows the shared KVFS
-                            // handle — no per-read Arc clone.
-                            let lpn = offset / dpc_cache::PAGE_SIZE as u64;
-                            let mut backend =
-                                |ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
-                                    match kvfs.read(ino, lpn * dpc_cache::PAGE_SIZE as u64, out) {
-                                        Ok(n) if n > 0 => {
-                                            out[n..].fill(0);
-                                            Some(n)
-                                        }
-                                        _ => None,
-                                    }
-                                };
-                            self.control.on_read_miss(*ino, lpn, &mut backend);
-                        }
+                        self.note_read(*ino, *offset, *len);
                         FileResponse::Bytes(out.len() as u32)
                     }
                     Err(e) => {
@@ -218,6 +269,20 @@ impl Dispatcher {
                     }
                 }
             }
+            FileRequest::ReadaheadHint { ino, lpn } => {
+                // The host's demand read consumed a marker page: plan the
+                // next window while the stream still has this one to
+                // chew on. Fire-and-forget (always Ok) — a reset or
+                // never-tracked stream simply ignores the hint.
+                if let Some((table, queue)) = &self.ra {
+                    if let Some(window) = table.on_marker(*ino, *lpn) {
+                        if !queue.push(PrefetchJob { ino: *ino, window }) {
+                            self.control.cache().note_ra_dropped();
+                        }
+                    }
+                }
+                FileResponse::Ok
+            }
             FileRequest::Write { ino, offset, .. } => {
                 match kvfs.write(*ino, *offset, &inc.payload) {
                     Ok(n) => FileResponse::Bytes(n as u32),
@@ -225,18 +290,37 @@ impl Dispatcher {
                 }
             }
             FileRequest::Truncate { ino, size } => match kvfs.truncate(*ino, *size) {
-                Ok(()) => FileResponse::Ok,
-                Err(e) => fs_err(e),
-            },
-            FileRequest::Unlink { parent, name } => match kvfs.unlink_in(*parent, name) {
                 Ok(()) => {
-                    // Drop any cached pages of the removed file lazily: the
-                    // host invalidates by ino on its side; nothing to do
-                    // here beyond the namespace.
+                    // The stream's planned frontier may point past the new
+                    // end; forget it so stale windows are never queued.
+                    if let Some((table, _)) = &self.ra {
+                        table.reset(*ino);
+                    }
                     FileResponse::Ok
                 }
                 Err(e) => fs_err(e),
             },
+            FileRequest::Unlink { parent, name } => {
+                // Resolve the victim first (only when readahead is on) so
+                // its stream state can be dropped with the file.
+                let victim = if self.ra.is_some() {
+                    kvfs.lookup(*parent, name).ok()
+                } else {
+                    None
+                };
+                match kvfs.unlink_in(*parent, name) {
+                    Ok(()) => {
+                        // Cached pages of the removed file are the host's
+                        // problem (it invalidates by ino); the readahead
+                        // stream is ours.
+                        if let (Some((table, _)), Some(ino)) = (&self.ra, victim) {
+                            table.reset(ino);
+                        }
+                        FileResponse::Ok
+                    }
+                    Err(e) => fs_err(e),
+                }
+            }
             FileRequest::Rmdir { parent, name } => match kvfs.rmdir_in(*parent, name) {
                 Ok(()) => FileResponse::Ok,
                 Err(e) => fs_err(e),

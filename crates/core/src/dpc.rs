@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use dpc_cache::{CacheConfig, ControlPlane, HybridCache};
+use dpc_cache::{CacheConfig, ControlPlane, HybridCache, PrefetchQueue, RaConfig, ReadaheadTable};
 use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
 use dpc_kvfs::Kvfs;
 use dpc_kvstore::KvStore;
@@ -23,7 +23,7 @@ use dpc_sim::FaultPlan;
 
 use crate::adapter::{DpcFs, IoMode};
 use crate::dispatch::Dispatcher;
-use crate::runtime::{DpuRuntime, FlusherConfig};
+use crate::runtime::{DpuRuntime, FlusherConfig, PrefetcherConfig};
 
 /// DPC deployment configuration.
 #[derive(Clone, Debug)]
@@ -39,8 +39,20 @@ pub struct DpcConfig {
     pub cache_bucket_entries: usize,
     /// Default I/O mode of handed-out adapters.
     pub io_mode: IoMode,
-    /// Enable the DPU-side sequential prefetcher.
+    /// Enable the DPU-side adaptive readahead (per-ino window tracking,
+    /// background window fills, marker-driven async triggering).
     pub prefetch: bool,
+    /// First readahead window emitted when a stream is detected (pages).
+    pub ra_initial_window: u32,
+    /// Cap the adaptive window doubles toward (pages).
+    pub ra_max_window: u32,
+    /// Prefetch-queue capacity (jobs); pushes beyond it are dropped —
+    /// readahead is best-effort and must never block a demand read.
+    pub ra_queue_cap: usize,
+    /// Cache-pressure floor for prefetch fills, as a fraction of total
+    /// cache pages: a window fill never pushes free pages below
+    /// `ra_throttle_free * cache_pages` (it shrinks or drops instead).
+    pub ra_throttle_free: f64,
     /// Run a background flusher thread (watermark-driven write-back).
     /// Off by default: dirty pages then persist on fsync/close/eviction,
     /// which keeps size reconciliation deterministic.
@@ -80,6 +92,10 @@ impl Default for DpcConfig {
             cache_bucket_entries: 8,
             io_mode: IoMode::Buffered,
             prefetch: true,
+            ra_initial_window: 4,
+            ra_max_window: 64,
+            ra_queue_cap: 256,
+            ra_throttle_free: 0.125,
             background_flush: false,
             coalesce_flush: true,
             flush_extent_pages: dpc_cache::DEFAULT_EXTENT_PAGES,
@@ -108,6 +124,9 @@ pub struct Dpc {
     dfs_backend: Option<Arc<DfsBackend>>,
     pool: Arc<ChannelPool>,
     runtime: DpuRuntime,
+    /// The shared prefetch queue (None with `prefetch` off) — kept for
+    /// [`Dpc::drain_prefetch`] and diagnostics.
+    ra_queue: Option<Arc<PrefetchQueue>>,
 }
 
 impl Dpc {
@@ -165,6 +184,21 @@ impl Dpc {
         );
 
         let flush_fault = cfg.faults.as_ref().map(|p| p.site("cache.flush"));
+        // One readahead table + job queue shared by every service thread
+        // (a stream's reads may land on any queue; the state must follow
+        // the inode, not the queue).
+        let ra = if cfg.prefetch {
+            let initial = cfg.ra_initial_window.max(1);
+            let table = Arc::new(ReadaheadTable::new(RaConfig {
+                initial_window: initial,
+                max_window: cfg.ra_max_window.max(initial),
+                trigger: 2,
+            }));
+            let queue = Arc::new(PrefetchQueue::new(cfg.ra_queue_cap.max(1)));
+            Some((table, queue))
+        } else {
+            None
+        };
         let targets_with_dispatch: Vec<_> = targets
             .into_iter()
             .map(|mut t| {
@@ -180,7 +214,9 @@ impl Dpc {
                         .as_ref()
                         .map(|b| ClientCore::new(b.clone(), next_dfs_client_id())),
                 );
-                dispatcher.prefetch = cfg.prefetch;
+                if let Some((table, queue)) = &ra {
+                    dispatcher.set_readahead(table.clone(), queue.clone());
+                }
                 dispatcher.coalesce = cfg.coalesce_flush;
                 dispatcher.flush_fault = flush_fault.clone();
                 (t, dispatcher)
@@ -202,7 +238,18 @@ impl Dpc {
             None
         };
 
-        let runtime = DpuRuntime::spawn(targets_with_dispatch, flusher);
+        let prefetcher = ra.as_ref().map(|(_, queue)| {
+            let mut control = ControlPlane::new(cache.clone(), dma.clone());
+            control.max_extent_pages = cfg.flush_extent_pages.max(1);
+            PrefetcherConfig {
+                control,
+                kvfs: kvfs.clone(),
+                queue: queue.clone(),
+                throttle_free: (cfg.cache_pages as f64 * cfg.ra_throttle_free) as u64,
+            }
+        });
+
+        let runtime = DpuRuntime::spawn(targets_with_dispatch, flusher, prefetcher);
 
         let mut pool = ChannelPool::new(channels);
         pool.set_retry(cfg.retry);
@@ -215,7 +262,24 @@ impl Dpc {
             dfs_backend,
             pool: Arc::new(pool),
             runtime,
+            ra_queue: ra.map(|(_, q)| q),
         }
+    }
+
+    /// Wait until the background prefetcher has drained every queued
+    /// window fill (tests and benchmarks that need deterministic cache
+    /// contents; no-op with `prefetch` off).
+    pub fn drain_prefetch(&self) {
+        if let Some(q) = &self.ra_queue {
+            while !q.is_idle() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Pages inserted by the background prefetcher so far.
+    pub fn pages_prefetched(&self) -> u64 {
+        self.runtime.pages_prefetched()
     }
 
     /// Hand out a host-side adapter. Adapters are lightweight (an fd

@@ -98,6 +98,17 @@ impl MetricsSnapshot {
             self.pcie.dma_bytes as f64 / self.requests_served as f64
         }
     }
+
+    /// Fraction of background-prefetched pages that a demand read later
+    /// consumed, in [0, 1] (readahead accuracy: inserts the stream never
+    /// touched are wasted backend bandwidth).
+    pub fn readahead_hit_rate(&self) -> f64 {
+        if self.cache.prefetch_inserts == 0 {
+            0.0
+        } else {
+            (self.cache.ra_hits as f64 / self.cache.prefetch_inserts as f64).min(1.0)
+        }
+    }
 }
 
 impl core::fmt::Display for MetricsSnapshot {
@@ -135,6 +146,18 @@ impl core::fmt::Display for MetricsSnapshot {
             c.batched_evictions,
             c.evict_stalls,
             c.write_throughs
+        )?;
+        writeln!(
+            f,
+            "readahead: {} async fills, {} inserts, {} hits ({:.0}% useful), \
+             {} throttled, {} dropped, {} demand vector fills",
+            c.ra_async_fills,
+            c.prefetch_inserts,
+            c.ra_hits,
+            self.readahead_hit_rate() * 100.0,
+            c.ra_throttled,
+            c.ra_dropped,
+            c.demand_vector_fills
         )?;
         writeln!(
             f,
@@ -212,6 +235,7 @@ mod tests {
             "pcie:",
             "hybrid cache:",
             "write-back:",
+            "readahead:",
             "kvfs:",
             "kv store:",
             "dpu runtime:",
@@ -219,5 +243,19 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing {key} in:\n{s}");
         }
+    }
+
+    #[test]
+    fn readahead_hit_rate_computes() {
+        let m = MetricsSnapshot {
+            cache: CacheStats {
+                prefetch_inserts: 8,
+                ra_hits: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(m.readahead_hit_rate(), 0.75);
+        assert_eq!(MetricsSnapshot::default().readahead_hit_rate(), 0.0);
     }
 }

@@ -1,22 +1,24 @@
 //! The DPU runtime: service threads polling nvme-fs targets, plus the
-//! background cache flusher.
+//! background cache flusher and the background prefetcher.
 //!
 //! In the real system these are processes on the DPU's 24 TaiShan cores;
 //! here they are OS threads serving the same roles — each nvme-fs queue
-//! pair gets a service loop running the [`Dispatcher`], and one flusher
+//! pair gets a service loop running the [`Dispatcher`], one flusher
 //! thread periodically scans the hybrid cache's meta area and persists
-//! dirty pages into KVFS (the paper's back-end write path).
+//! dirty pages into KVFS (the paper's back-end write path), and one
+//! prefetcher thread drains the readahead queue, filling planned windows
+//! into the host cache (the paper's back-end read path).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dpc_cache::ControlPlane;
+use dpc_cache::{ControlPlane, PrefetchQueue};
 use dpc_kvfs::Kvfs;
 use dpc_nvmefs::{FileIncomingBatch, FileTarget};
 use dpc_sim::FaultSite;
 
-use crate::dispatch::{Dispatcher, KvfsFlush};
+use crate::dispatch::{Dispatcher, KvfsFlush, KvfsRead};
 
 /// Everything the background flusher thread needs: its own control-plane
 /// slice, the KVFS sink, and the write-back policy knobs.
@@ -32,6 +34,19 @@ pub struct FlusherConfig {
     pub high_watermark: f64,
 }
 
+/// Everything the background prefetcher thread needs: its own
+/// control-plane slice, the KVFS page source, the shared job queue, and
+/// the cache-pressure floor.
+pub struct PrefetcherConfig {
+    pub control: ControlPlane,
+    pub kvfs: Arc<Kvfs>,
+    pub queue: Arc<PrefetchQueue>,
+    /// Free-page floor: window fills are dropped (or shrunk to the
+    /// headroom) so prefetch never pushes `free` below this watermark —
+    /// a reader must not be able to evict a writer's working set.
+    pub throttle_free: u64,
+}
+
 /// Shared runtime state.
 pub struct RuntimeShared {
     pub shutdown: AtomicBool,
@@ -39,6 +54,8 @@ pub struct RuntimeShared {
     pub requests_served: AtomicU64,
     /// Pages persisted by the flusher.
     pub pages_flushed: AtomicU64,
+    /// Pages inserted by the background prefetcher.
+    pub pages_prefetched: AtomicU64,
 }
 
 /// Handle owning the DPU threads; joins them on drop.
@@ -53,11 +70,13 @@ impl DpuRuntime {
     pub fn spawn(
         targets: Vec<(FileTarget, Dispatcher)>,
         flusher: Option<FlusherConfig>,
+        prefetcher: Option<PrefetcherConfig>,
     ) -> DpuRuntime {
         let shared = Arc::new(RuntimeShared {
             shutdown: AtomicBool::new(false),
             requests_served: AtomicU64::new(0),
             pages_flushed: AtomicU64::new(0),
+            pages_prefetched: AtomicU64::new(0),
         });
         let mut threads = Vec::new();
 
@@ -167,6 +186,50 @@ impl DpuRuntime {
             );
         }
 
+        if let Some(mut p) = prefetcher {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dpu-prefetch".into())
+                    .spawn(move || {
+                        // Drain the job queue; fills are entirely off the
+                        // request path (the dispatcher only plans windows
+                        // and pushes jobs). `fill_window` applies the
+                        // cache-pressure throttle, the no-clobber rule and
+                        // the ino-epoch abort internally, so this loop is
+                        // pure plumbing plus the flusher-style backoff.
+                        let mut idle_spins = 0u32;
+                        while !shared.shutdown.load(Ordering::Acquire) {
+                            match p.queue.pop() {
+                                Some(job) => {
+                                    idle_spins = 0;
+                                    let mut backend = KvfsRead { kvfs: &p.kvfs };
+                                    let inserted =
+                                        p.control.fill_window(&job, &mut backend, p.throttle_free);
+                                    shared
+                                        .pages_prefetched
+                                        .fetch_add(inserted as u64, Ordering::Relaxed);
+                                    p.queue.done();
+                                }
+                                None => {
+                                    idle_spins = idle_spins.saturating_add(1);
+                                    if idle_spins > 4096 {
+                                        std::thread::sleep(std::time::Duration::from_micros(20));
+                                    } else if idle_spins > 256 {
+                                        std::thread::yield_now();
+                                    } else {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                        // Unqueued jobs die with the instance: prefetch is
+                        // a hint, there is nothing to drain durably.
+                    })
+                    .expect("spawn prefetcher thread"),
+            );
+        }
+
         DpuRuntime { shared, threads }
     }
 
@@ -176,6 +239,10 @@ impl DpuRuntime {
 
     pub fn pages_flushed(&self) -> u64 {
         self.shared.pages_flushed.load(Ordering::Relaxed)
+    }
+
+    pub fn pages_prefetched(&self) -> u64 {
+        self.shared.pages_prefetched.load(Ordering::Relaxed)
     }
 }
 

@@ -656,6 +656,64 @@ impl Kvfs {
         Ok(n)
     }
 
+    /// Vectored read: fill `segments` with the contiguous byte run
+    /// starting at `offset`, under **one** attribute read. Mirror of
+    /// [`write_extent`] — an N-page readahead window costs one
+    /// `read_extent` instead of N `read` calls, each of which would
+    /// re-fetch the attribute KV. Bytes past EOF are zero-filled;
+    /// returns the number of valid bytes (0 at or past EOF).
+    ///
+    /// [`write_extent`]: Kvfs::write_extent
+    pub fn read_extent(
+        &self,
+        ino: u64,
+        offset: u64,
+        segments: &mut [&mut [u8]],
+    ) -> Result<usize, FsError> {
+        let total: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        let attr = self.get_attr(ino)?;
+        if attr.is_dir() {
+            return Err(FsError::IsADirectory);
+        }
+        let end = offset.checked_add(total).ok_or(FsError::InvalidOperation)?;
+        if offset >= attr.size || total == 0 {
+            for seg in segments.iter_mut() {
+                seg.fill(0);
+            }
+            return Ok(0);
+        }
+        let valid = (attr.size - offset).min(total) as usize;
+        match attr.format {
+            DataFormat::Small => {
+                let v = self.store.get(&small_key(ino)).unwrap_or_default();
+                let mut pos = offset as usize;
+                for seg in segments.iter_mut() {
+                    for d in seg.iter_mut() {
+                        *d = v.get(pos).copied().unwrap_or(0);
+                        pos += 1;
+                    }
+                }
+            }
+            DataFormat::Big => {
+                FileObject::new(&self.store, ino).read_at_vectored(offset, segments);
+                // Blocks written while the file was larger may retain
+                // stale bytes past EOF; never leak them to the cache.
+                if end > attr.size {
+                    let mut pos = offset;
+                    for seg in segments.iter_mut() {
+                        let seg_end = pos + seg.len() as u64;
+                        if seg_end > attr.size {
+                            let from = attr.size.saturating_sub(pos) as usize;
+                            seg[from..].fill(0);
+                        }
+                        pos = seg_end;
+                    }
+                }
+            }
+        }
+        Ok(valid)
+    }
+
     /// Truncate (grow or shrink) to `size`.
     pub fn truncate(&self, ino: u64, size: u64) -> Result<(), FsError> {
         let _guard = self.ino_lock(ino).lock();
@@ -832,6 +890,67 @@ mod tests {
             fs.read(b, 0, &mut bb).unwrap()
         );
         assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn read_extent_matches_sequential_reads() {
+        let fs = fs();
+        let ino = fs.create("/rext", 0o644).unwrap();
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        fs.write(ino, 0, &data).unwrap();
+        // Aligned window entirely inside the file.
+        let mut pages: Vec<Vec<u8>> = (0..6).map(|_| vec![0xEE; 4096]).collect();
+        {
+            let mut segs: Vec<&mut [u8]> = pages.iter_mut().map(|p| p.as_mut_slice()).collect();
+            assert_eq!(fs.read_extent(ino, 2 * 4096, &mut segs).unwrap(), 6 * 4096);
+        }
+        for (k, p) in pages.iter().enumerate() {
+            let mut one = vec![0u8; 4096];
+            assert_eq!(fs.read(ino, (2 + k as u64) * 4096, &mut one).unwrap(), 4096);
+            assert_eq!(p, &one, "page {k} differs from per-page read");
+        }
+        // Window straddling EOF: valid bytes clamp to size, tail zero-fills.
+        let mut tail: Vec<Vec<u8>> = (0..3).map(|_| vec![0xEE; 4096]).collect();
+        let mut segs: Vec<&mut [u8]> = tail.iter_mut().map(|p| p.as_mut_slice()).collect();
+        let valid = fs.read_extent(ino, 9 * 4096, &mut segs).unwrap();
+        assert_eq!(valid, 40_000 - 9 * 4096); // 3136: EOF inside the first page
+        assert_eq!(&tail[0][..valid], &data[9 * 4096..40_000]);
+        assert!(tail[0][valid..].iter().all(|&b| b == 0));
+        assert!(tail[1].iter().all(|&b| b == 0));
+        assert!(tail[2].iter().all(|&b| b == 0));
+        // Entirely past EOF: zero valid bytes, segments zeroed.
+        let mut past = vec![0xEEu8; 4096];
+        assert_eq!(fs.read_extent(ino, 64 * 4096, &mut [&mut past]).unwrap(), 0);
+        assert!(past.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn read_extent_small_file() {
+        let fs = fs();
+        let ino = fs.create("/rext-s", 0o644).unwrap();
+        fs.write(ino, 0, &[9u8; 3000]).unwrap();
+        assert_eq!(fs.get_attr(ino).unwrap().format, DataFormat::Small);
+        let mut a = vec![0xEEu8; 2048];
+        let mut b = vec![0xEEu8; 2048];
+        let valid = fs.read_extent(ino, 1024, &mut [&mut a, &mut b]).unwrap();
+        assert_eq!(valid, 3000 - 1024); // 1976: EOF inside the first segment
+        assert!(a[..valid].iter().all(|&x| x == 9));
+        assert!(a[valid..].iter().all(|&x| x == 0));
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn read_extent_shares_block_fetches() {
+        let fs = fs();
+        let ino = fs.create("/rext-ops", 0o644).unwrap();
+        fs.write(ino, 0, &vec![5u8; 32 * 4096]).unwrap(); // big format
+        let before = fs.store().stats().sub_reads;
+        let mut pages: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 4096]).collect();
+        let mut segs: Vec<&mut [u8]> = pages.iter_mut().map(|p| p.as_mut_slice()).collect();
+        fs.read_extent(ino, 0, &mut segs).unwrap();
+        let vectored = fs.store().stats().sub_reads - before;
+        // 8 × 4 KiB pages over 8 KiB blocks: 4 block fetches, not 8.
+        assert_eq!(vectored, 4, "block walk must be shared across segments");
     }
 
     #[test]

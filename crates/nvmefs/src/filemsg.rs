@@ -118,6 +118,16 @@ pub enum FileRequest {
     Readlink {
         ino: u64,
     },
+    /// Readahead trigger: the host's demand read hit the marker page of a
+    /// prefetched window (the analogue of Linux's `PG_readahead`), telling
+    /// the DPU-side readahead state machine to queue the *next* window
+    /// while the stream is still consuming this one. Fire-and-forget from
+    /// the adapter's point of view; the DPU only adjusts prefetch state.
+    ReadaheadHint {
+        ino: u64,
+        /// Logical page number of the marker page that was consumed.
+        lpn: u64,
+    },
 }
 
 /// A response header from the DPU.
@@ -232,6 +242,7 @@ const T_LINK: u8 = 14;
 const T_SYMLINK: u8 = 15;
 const T_READLINK: u8 = 16;
 const T_CACHE_EVICT_BATCH: u8 = 17;
+const T_READAHEAD_HINT: u8 = 18;
 
 impl FileRequest {
     /// Append the wire form to `out`; returns the encoded length.
@@ -342,6 +353,11 @@ impl FileRequest {
                 w.u8(T_READLINK);
                 w.u64(*ino);
             }
+            FileRequest::ReadaheadHint { ino, lpn } => {
+                w.u8(T_READAHEAD_HINT);
+                w.u64(*ino);
+                w.u64(*lpn);
+            }
         }
         out.len() - start
     }
@@ -427,6 +443,10 @@ impl FileRequest {
                 }
             }
             T_READLINK => FileRequest::Readlink { ino: r.u64()? },
+            T_READAHEAD_HINT => FileRequest::ReadaheadHint {
+                ino: r.u64()?,
+                lpn: r.u64()?,
+            },
             _ => return Err(DecodeError("unknown request tag")),
         };
         r.done()?;
@@ -600,6 +620,19 @@ mod tests {
             buckets: vec![3, 3, 7, 0, u64::MAX],
         });
         round_trip_req(FileRequest::CacheEvictBatch { buckets: vec![] });
+        round_trip_req(FileRequest::ReadaheadHint {
+            ino: 42,
+            lpn: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn readahead_hint_truncations_rejected() {
+        let mut buf = Vec::new();
+        FileRequest::ReadaheadHint { ino: 9, lpn: 1024 }.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(FileRequest::decode(&buf[..cut]).is_err(), "cut={cut}");
+        }
     }
 
     #[test]

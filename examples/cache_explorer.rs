@@ -12,7 +12,10 @@
 
 use std::sync::Arc;
 
-use dpc::cache::{CacheConfig, ControlPlane, HybridCache, WriteError, PAGE_SIZE};
+use dpc::cache::{
+    CacheConfig, ControlPlane, HybridCache, PrefetchJob, RaConfig, ReadaheadTable, WriteError,
+    PAGE_SIZE,
+};
 use dpc::pcie::DmaEngine;
 
 fn main() {
@@ -118,20 +121,23 @@ fn main() {
         cache.stats().evictions
     );
 
-    // --- sequential prefetch ------------------------------------------------
-    println!("\n== sequential prefetch (Figure 8's 100x effect) ==");
+    // --- adaptive readahead -------------------------------------------------
+    println!("\n== adaptive readahead (Figure 8's 100x effect) ==");
     let mut backend_reads = 0u32;
     let mut backend = |_ino: u64, lpn: u64, out: &mut [u8]| -> Option<usize> {
         backend_reads += 1;
         out.fill(lpn as u8);
         Some(out.len())
     };
-    // A sequential miss stream on ino 5: lpn 0, 1 -> detector fires.
-    dpu.on_read_miss(5, 0, &mut backend);
-    let inserted = dpu.on_read_miss(5, 1, &mut backend);
+    // A sequential miss stream on ino 5: lpn 0, 1 -> the window planner
+    // fires and the (here inline) prefetcher fills the planned window.
+    let table = ReadaheadTable::new(RaConfig::default());
+    table.on_read(5, 0, 1);
+    let window = table.on_read(5, 1, 1).expect("two sequential misses fire");
+    let inserted = dpu.fill_window(&PrefetchJob { ino: 5, window }, &mut backend, 0);
     println!("  after two sequential misses the DPU prefetched {inserted} pages");
     let mut hits = 0;
-    for lpn in 2..2 + inserted as u64 {
+    for lpn in window.start..window.start + inserted as u64 {
         if cache.lookup_read(5, lpn, &mut buf) {
             hits += 1;
         }

@@ -4,6 +4,8 @@
 #   BENCH_PR3.json — degraded-read throughput under fault injection
 #   BENCH_PR4.json — write-back: per-page vs coalesced flush ablation,
 #                    foreground vs background fsync latency
+#   BENCH_PR5.json — adaptive readahead: sequential/strided cold-read
+#                    throughput on/off, vectored vs per-page miss path
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,3 +13,4 @@ cd "$(dirname "$0")/.."
 cargo run --release -p dpc-bench --bin bench-pr2 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr3 -- --faults "$@"
 cargo run --release -p dpc-bench --bin bench-pr4 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr5 -- "$@"
