@@ -99,6 +99,7 @@ fn bench_cache(c: &mut Criterion) {
         pages: 4096,
         bucket_entries: 8,
         mode: 1,
+        meta_lockfree: true,
     }));
     let page = vec![0x5Au8; PAGE_SIZE];
     g.throughput(Throughput::Bytes(PAGE_SIZE as u64));

@@ -31,6 +31,7 @@ pub fn random_read_hit_rate(
         pages: cache_pages,
         bucket_entries: 8,
         mode: 0,
+        meta_lockfree: true,
     }));
     let cp = ControlPlane::new(cache.clone(), DmaEngine::new());
     let mut rng = SmallRng::seed_from_u64(7);
@@ -80,6 +81,7 @@ pub fn sequential_hit_rate(prefetch: bool, pages: u64) -> f64 {
         pages: 1024,
         bucket_entries: 8,
         mode: 0,
+        meta_lockfree: true,
     }));
     let mut cp = ControlPlane::new(cache.clone(), DmaEngine::new());
     let table = ReadaheadTable::new(RaConfig::default());

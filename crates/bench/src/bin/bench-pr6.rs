@@ -1,0 +1,492 @@
+//! `bench-pr6` — the lock-free cache meta plane (seqlock/CAS epochs)
+//! under a read-mostly Zipfian hot set, emitting `BENCH_PR6.json` at the
+//! repo root.
+//!
+//! Two complementary views, same workload shape (the PR 2 precedent —
+//! its sweep also reports a functional curve *and* a calibrated model
+//! curve, because this container is not the paper's testbed):
+//!
+//! - **measured**: N host threads stream a [`HotSetGen`] mix (95% 4 KiB
+//!   reads, Zipf(0.99) over 8 files x 1 MiB, fully cache-resident after
+//!   a warm pass) through a live `Dpc`, once with the seqlock plane
+//!   (`cache_lockfree: true`) and once with the paper's literal
+//!   per-entry read-lock protocol. Reported: ops/s and the
+//!   [`TailRecorder`] p50/p99/p999, plus the meta-plane counters. On
+//!   this single-core box the two modes time-slice instead of truly
+//!   contending, so the measured gap understates the win; what the
+//!   measured rows *prove* is the counter claim — `read_locks == 0`
+//!   single-threaded, and `read_locks == lock_fallbacks` always (the
+//!   hit path takes a lock only through the explicit write-hot
+//!   fallback).
+//! - **model**: the same stream through the `dpc-sim` closed queueing
+//!   network with the Table 1 testbed (52 host hardware threads). The
+//!   hit path is host-side work only; the modes differ in what a hit
+//!   pays on the entry's meta cacheline. Lock-based, with >1 reader the
+//!   line is in Modified state on some other core on every access, so
+//!   the acquire/release RMW pair costs two coherence transfers
+//!   (~150 ns each, the measured cross-core dirty-line cost on Xeon
+//!   class parts) — and for the Zipf-head entry those transfers
+//!   serialise (single line ownership), modelled as a one-server
+//!   station. Seqlock readers only *load* the version word, so the line
+//!   stays Shared and costs ~10 ns; nothing serialises. Writers (5%)
+//!   pay the same write path in both modes. The 8-thread model ratio is
+//!   the PR's acceptance gate; the sweep to 52 threads shows the knee
+//!   moving from the hot line's saturation point up to the host's
+//!   hardware-thread count.
+//!
+//! Usage: `cargo run --release -p dpc-bench --bin bench-pr6 [--quick]`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpc_core::{Dpc, DpcConfig, Testbed};
+use dpc_kvstore::KvStore;
+use dpc_sim::{Nanos, Plan, Simulation, StationCfg};
+use dpc_workload::{HotSetGen, HotSetSpec, TailRecorder};
+
+const PAGE: usize = 4096;
+/// Hot set: 8 files x 1 MiB = 2048 pages, cache-resident in 4096 pages.
+const FILES: u64 = 8;
+const FILE_BYTES: u64 = 1 << 20;
+/// Measured thread sweep (the gate point is 8).
+const MEASURED_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Model thread sweep — past the lock mode's hot-line knee (the head
+/// page's cacheline saturates near the host's hardware-thread count)
+/// and past 52 threads, where the seqlock mode finally knees on host
+/// CPU itself.
+const MODEL_THREADS: [usize; 8] = [1, 2, 4, 8, 16, 32, 52, 64];
+
+// ---- calibrated model constants (ns) ---------------------------------
+// Hash + chain walk + zero-copy serve of a resident 4 KiB page. This is
+// `cache_host_op` (0.7 us, "hash, probe, lock, copy") minus its lock
+// component: the protocol cost is what the two modes disagree on, so it
+// is charged separately below.
+const PROBE_SERVE_NS: u64 = 400;
+/// One atomic RMW on a cacheline that other readers keep pulling — the
+/// line is Modified elsewhere on every access, one coherence transfer.
+const RMW_CONTENDED_NS: u64 = 150;
+/// The same RMW with no other reader (line stays in the owner's L1).
+const RMW_LOCAL_NS: u64 = 25;
+/// Seqlock version load: the line stays Shared; readers hit locally.
+const SEQ_LOAD_NS: u64 = 10;
+/// Write-path extra over a read hit (page copy-in + dirty bookkeeping).
+/// Identical in both modes — the write plane still takes the CAS lock.
+const WRITE_EXTRA_NS: u64 = 600;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// P(hottest item) under Zipf(theta) over n items.
+fn zipf_head(n: u64, theta: f64) -> f64 {
+    let h: f64 = (1..=n).map(|i| (i as f64).powf(-theta)).sum();
+    1.0 / h
+}
+
+// ---- measured sweep --------------------------------------------------
+
+fn seed_store(spec: &HotSetSpec) -> Arc<KvStore> {
+    let dpc = Dpc::new(DpcConfig::default());
+    let fs = dpc.fs();
+    fs.mkdir("/hot").expect("mkdir");
+    let mut s = 0x60D5u64;
+    for f in 0..spec.files {
+        let fd = fs.create(&format!("/hot/f{f}.bin")).expect("create");
+        let mut chunk = Vec::with_capacity(64 * PAGE);
+        while chunk.len() < 64 * PAGE {
+            chunk.extend_from_slice(&splitmix(&mut s).to_le_bytes());
+        }
+        let mut off = 0u64;
+        while off < spec.file_size {
+            fs.write(fd, off, &chunk).expect("seed write");
+            off += chunk.len() as u64;
+        }
+        fs.close(fd).expect("close");
+    }
+    dpc.kvfs_inner().store().clone()
+}
+
+#[derive(Clone)]
+struct MeasuredPoint {
+    lockfree: bool,
+    threads: usize,
+    ops: u64,
+    elapsed_s: f64,
+    kops_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    hits: u64,
+    read_locks: u64,
+    lock_fallbacks: u64,
+    meta_retries: u64,
+}
+
+fn run_measured(
+    store: &Arc<KvStore>,
+    spec: &HotSetSpec,
+    lockfree: bool,
+    threads: usize,
+    per_point: Duration,
+) -> MeasuredPoint {
+    let dpc = Arc::new(Dpc::with_shared_storage(
+        DpcConfig {
+            cache_lockfree: lockfree,
+            cache_pages: 4096,
+            prefetch: false,
+            ..DpcConfig::default()
+        },
+        Some(store.clone()),
+        None,
+    ));
+    // Warm pass: pull the whole set resident so the timed loop is
+    // hit-dominated (the point of the hot-set shape).
+    {
+        let fs = dpc.fs();
+        let mut buf = vec![0u8; 16 * PAGE];
+        for f in 0..spec.files {
+            let fd = fs.open(&format!("/hot/f{f}.bin")).expect("open");
+            let mut off = 0u64;
+            while off < spec.file_size {
+                fs.read(fd, off, &mut buf).expect("warm read");
+                off += buf.len() as u64;
+            }
+            fs.close(fd).expect("close");
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut per_thread: Vec<(u64, TailRecorder)> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let dpc = dpc.clone();
+            let stop = stop.clone();
+            let spec = spec.clone();
+            handles.push(s.spawn(move || {
+                let fs = dpc.fs();
+                let fds: Vec<_> = (0..spec.files)
+                    .map(|f| fs.open(&format!("/hot/f{f}.bin")).expect("open"))
+                    .collect();
+                let mut gen = HotSetGen::new(spec, 0xC0FE + t as u64);
+                let mut buf = vec![0u8; PAGE];
+                let mut rec = TailRecorder::new();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let op = gen.next_op();
+                    let fd = fds[op.file as usize];
+                    let t0 = Instant::now();
+                    if op.is_read {
+                        let n = fs.read(fd, op.offset, &mut buf[..op.len]).expect("read");
+                        assert_eq!(n, op.len);
+                    } else {
+                        let n = fs.write(fd, op.offset, &buf[..op.len]).expect("write");
+                        assert_eq!(n, op.len);
+                    }
+                    rec.record_ns(t0.elapsed().as_nanos() as u64);
+                    ops += 1;
+                }
+                (ops, rec)
+            }));
+        }
+        std::thread::sleep(per_point);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            per_thread.push(h.join().unwrap());
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut rec = TailRecorder::new();
+    let mut ops = 0u64;
+    for (n, r) in &per_thread {
+        ops += n;
+        rec.merge(r);
+    }
+    let t = rec.summary();
+    let m = dpc.metrics();
+
+    // The acceptance counter-proof, enforced on every point:
+    // the front-end hit path only ever takes a read lock through the
+    // explicit write-hot fallback — and never at all when lock-free
+    // mode runs single-threaded (no concurrent writer to collide with).
+    if lockfree {
+        assert_eq!(
+            m.cache.read_locks, m.cache.lock_fallbacks,
+            "hit path took a read lock outside the fallback"
+        );
+        if threads == 1 {
+            assert_eq!(m.cache.read_locks, 0, "single-threaded hit path locked");
+            assert_eq!(m.cache.lock_fallbacks, 0);
+        }
+    } else {
+        assert!(
+            m.cache.read_locks >= m.cache.hits,
+            "lock-based mode must pay a read lock per hit"
+        );
+    }
+
+    MeasuredPoint {
+        lockfree,
+        threads,
+        ops,
+        elapsed_s,
+        kops_per_s: ops as f64 / elapsed_s / 1e3,
+        p50_us: t.p50_ns as f64 / 1e3,
+        p99_us: t.p99_ns as f64 / 1e3,
+        p999_us: t.p999_ns as f64 / 1e3,
+        hits: m.cache.hits,
+        read_locks: m.cache.read_locks,
+        lock_fallbacks: m.cache.lock_fallbacks,
+        meta_retries: m.cache.meta_retries,
+    }
+}
+
+// ---- calibrated model sweep ------------------------------------------
+
+#[derive(Clone)]
+struct ModelPoint {
+    lockfree: bool,
+    threads: usize,
+    kops_per_s: f64,
+    mean_us: f64,
+    p99_us: f64,
+}
+
+/// One model point: N closed-loop host threads issuing the hot-set mix
+/// against the resident cache. `p_head` is the Zipf probability of the
+/// single hottest page — the one whose meta line serialises lock-based
+/// readers.
+fn run_model(tb: &Testbed, lockfree: bool, threads: usize, spec: &HotSetSpec) -> ModelPoint {
+    let mut sim = Simulation::new();
+    let host = sim.add_station(StationCfg::new("host-cpu", tb.host.threads));
+    let line = sim.add_station(StationCfg::new("hot-meta-line", 1));
+
+    let p_head = zipf_head(spec.files, spec.theta) * zipf_head(spec.blocks_per_file(), spec.theta);
+    let read_pct = spec.read_pct as f64 / 100.0;
+    // With a single closed-loop caller nothing else dirties the line, so
+    // the RMW pair stays core-local in lock mode.
+    let rmw = if threads > 1 {
+        RMW_CONTENDED_NS
+    } else {
+        RMW_LOCAL_NS
+    };
+
+    let mut flow = move |caller: usize, cycle: u64, _now: Nanos, plan: &mut Plan| {
+        let mut s = (caller as u64) << 32 | cycle;
+        let is_read = unit(splitmix(&mut s)) < read_pct;
+        let is_head = unit(splitmix(&mut s)) < p_head;
+        if is_read {
+            if lockfree {
+                // Probe + serve; the version word pair stays Shared.
+                plan.service(host, Nanos(PROBE_SERVE_NS + 2 * SEQ_LOAD_NS));
+            } else {
+                plan.service(host, Nanos(PROBE_SERVE_NS));
+                if is_head && threads > 1 {
+                    // Acquire + release RMWs on the head page's line:
+                    // exclusive ownership, one reader at a time.
+                    plan.service(line, Nanos(2 * rmw));
+                } else {
+                    plan.service(host, Nanos(2 * rmw));
+                }
+            }
+        } else {
+            // Write path identical in both modes: CAS write lock, page
+            // copy-in, dirty bookkeeping, version bump (seqlock) or not.
+            plan.service(host, Nanos(PROBE_SERVE_NS + WRITE_EXTRA_NS));
+            if is_head && threads > 1 {
+                plan.service(line, Nanos(rmw));
+            } else {
+                plan.service(host, Nanos(rmw));
+            }
+        }
+    };
+    let report = sim.run(
+        &mut flow,
+        threads,
+        Nanos::from_millis(2.0),
+        Nanos::from_millis(20.0),
+    );
+    let c = report.class(0).unwrap();
+    ModelPoint {
+        lockfree,
+        threads,
+        kops_per_s: c.throughput / 1e3,
+        mean_us: c.latency.mean().as_micros(),
+        p99_us: c.latency.p99().as_micros(),
+    }
+}
+
+// ----------------------------------------------------------------------
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_point = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(250)
+    };
+    let spec = HotSetSpec::read_hot(FILES, FILE_BYTES);
+    let store = seed_store(&spec);
+
+    let mut measured = Vec::new();
+    for &threads in &MEASURED_THREADS {
+        for lockfree in [false, true] {
+            let p = run_measured(&store, &spec, lockfree, threads, per_point);
+            println!(
+                "measured {:>9} {}T: {:>8.1} kops/s, p50 {:>6.1}us p99 {:>7.1}us p999 {:>7.1}us, \
+                 {} hits, {} read-locks, {} fallbacks, {} retries",
+                if p.lockfree { "seqlock" } else { "lock" },
+                p.threads,
+                p.kops_per_s,
+                p.p50_us,
+                p.p99_us,
+                p.p999_us,
+                p.hits,
+                p.read_locks,
+                p.lock_fallbacks,
+                p.meta_retries,
+            );
+            measured.push(p);
+        }
+    }
+
+    let tb = Testbed::default();
+    let mut model = Vec::new();
+    for &threads in &MODEL_THREADS {
+        for lockfree in [false, true] {
+            let p = run_model(&tb, lockfree, threads, &spec);
+            println!(
+                "model    {:>9} {}T: {:>8.1} kops/s, mean {:>6.2}us, p99 {:>6.2}us",
+                if p.lockfree { "seqlock" } else { "lock" },
+                p.threads,
+                p.kops_per_s,
+                p.mean_us,
+                p.p99_us,
+            );
+            model.push(p);
+        }
+    }
+
+    let m_at = |lockfree: bool, t: usize| {
+        measured
+            .iter()
+            .find(|p| p.lockfree == lockfree && p.threads == t)
+            .unwrap()
+            .kops_per_s
+    };
+    let mo_at = |lockfree: bool, t: usize| {
+        model
+            .iter()
+            .find(|p| p.lockfree == lockfree && p.threads == t)
+            .unwrap()
+            .kops_per_s
+    };
+    // The acceptance gate rides the calibrated model (real 8-way
+    // parallelism; this container has one core). The measured ratio is
+    // reported alongside, honestly labelled.
+    let model_speedup_8t = mo_at(true, 8) / mo_at(false, 8);
+    let measured_speedup_8t = m_at(true, 8) / m_at(false, 8);
+    // Knee = first thread count where scaling efficiency drops under
+    // 85% of linear. Linear is anchored at the 2-thread per-thread rate
+    // (the 1-thread point is off-trend: with one caller the meta line
+    // stays core-local, so lock mode's per-op cost is lower there).
+    let knee = |lockfree: bool| -> usize {
+        let per_thread = mo_at(lockfree, 2) / 2.0;
+        for &t in &MODEL_THREADS[2..] {
+            if mo_at(lockfree, t) < 0.85 * per_thread * t as f64 {
+                return t;
+            }
+        }
+        *MODEL_THREADS.last().unwrap()
+    };
+    let knee_lock = knee(false);
+    let knee_seq = knee(true);
+    println!("model 8-thread hot-read speedup:    {model_speedup_8t:.2}x (gate >= 1.5x)");
+    println!("measured 8-thread speedup (1 core): {measured_speedup_8t:.2}x");
+    println!("model scaling knee: lock-based {knee_lock}T -> seqlock {knee_seq}T");
+    assert!(
+        model_speedup_8t >= 1.5,
+        "acceptance: modelled 8-thread hot-set read speedup {model_speedup_8t:.2}x < 1.5x"
+    );
+    assert!(knee_seq > knee_lock, "seqlock must move the knee higher");
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    std::fs::write(
+        json_path,
+        render_json(
+            &spec,
+            &measured,
+            &model,
+            model_speedup_8t,
+            measured_speedup_8t,
+            knee_lock,
+            knee_seq,
+        ),
+    )
+    .expect("write BENCH_PR6.json");
+    eprintln!("wrote {json_path}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    spec: &HotSetSpec,
+    measured: &[MeasuredPoint],
+    model: &[ModelPoint],
+    model_speedup_8t: f64,
+    measured_speedup_8t: f64,
+    knee_lock: usize,
+    knee_seq: usize,
+) -> String {
+    let mode = |lockfree: bool| if lockfree { "seqlock" } else { "lock" };
+    let mut mrows = String::new();
+    for (i, p) in measured.iter().enumerate() {
+        if i > 0 {
+            mrows.push_str(",\n");
+        }
+        mrows.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"ops\": {}, \"elapsed_s\": {:.4}, \"kops_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"hits\": {}, \"read_locks\": {}, \"lock_fallbacks\": {}, \"meta_retries\": {}}}",
+            mode(p.lockfree),
+            p.threads,
+            p.ops,
+            p.elapsed_s,
+            p.kops_per_s,
+            p.p50_us,
+            p.p99_us,
+            p.p999_us,
+            p.hits,
+            p.read_locks,
+            p.lock_fallbacks,
+            p.meta_retries,
+        ));
+    }
+    let mut orows = String::new();
+    for (i, p) in model.iter().enumerate() {
+        if i > 0 {
+            orows.push_str(",\n");
+        }
+        orows.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"kops_per_s\": {:.1}, \"mean_us\": {:.2}, \"p99_us\": {:.2}}}",
+            mode(p.lockfree),
+            p.threads,
+            p.kops_per_s,
+            p.mean_us,
+            p.p99_us,
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"pr6-lockfree-meta\",\n  \"hot_set\": {{\"files\": {}, \"file_bytes\": {}, \"block_bytes\": {}, \"theta\": {:.2}, \"read_pct\": {}}},\n  \"hot_read_speedup_8t\": {model_speedup_8t:.2},\n  \"measured_speedup_8t\": {measured_speedup_8t:.2},\n  \"model_knee_threads_lock\": {knee_lock},\n  \"model_knee_threads_seqlock\": {knee_seq},\n  \"measured\": [\n{mrows}\n  ],\n  \"model\": [\n{orows}\n  ]\n}}\n",
+        spec.files, spec.file_size, spec.block_size, spec.theta, spec.read_pct,
+    )
+}

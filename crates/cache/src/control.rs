@@ -161,6 +161,18 @@ impl ControlPlane {
     /// entry turns clean and reclaimable) or, when the quarantine is full,
     /// stays dirty so the bucket surfaces back-pressure instead of the
     /// flusher wedging on it forever.
+    ///
+    /// Flush paths keep taking per-entry *read locks* even when the
+    /// front-end hit path runs lock-free (DESIGN.md §11): an optimistic
+    /// flusher that snapshotted a page, wrote it to the backend and then
+    /// failed seqlock revalidation would already have published
+    /// potentially stale bytes — two concurrent flushers could then race
+    /// a host overwrite and leave the backend holding the older version.
+    /// The lock pins the bytes for the duration of the backend write.
+    /// The front end no longer blocks on these locks (readers validate
+    /// versions instead), so the cost stays off the hit path; these
+    /// control-plane acquisitions are deliberately *not* counted in the
+    /// `read_locks` stat, which proves the hit path alone.
     pub fn flush_pass(&mut self, backend: &mut dyn FlushBackend) -> usize {
         let mut flushed = self.drain_quarantine(backend, None);
 
@@ -791,6 +803,7 @@ mod tests {
             pages,
             bucket_entries,
             mode: 1,
+            meta_lockfree: true,
         }));
         let dma = DmaEngine::new();
         let cp = ControlPlane::new(cache.clone(), dma.clone());

@@ -16,7 +16,7 @@
 //! ordinary CPU atomics (the meta area lives in host DRAM), the DPU with
 //! PCIe atomics (accounted through the DMA engine).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 
 /// Cache page size ("pagesize specifies the page size, usually 4KB").
 pub const PAGE_SIZE: usize = 4096;
@@ -92,6 +92,14 @@ pub struct CacheEntry {
     /// first demand reader under a read lock — the atomic swap makes the
     /// consumption exactly-once even among racing readers.
     pub(crate) flags: AtomicU32,
+    /// Seqlock version word (DESIGN.md §11). Even = stable, odd = a
+    /// writer is mutating meta + page. Bumped to odd by
+    /// [`CacheEntry::try_write_lock`] and back to even by
+    /// [`CacheEntry::write_unlock`], so every writer path — overwrite,
+    /// fill, evict, invalidate — inherits the protocol without
+    /// call-site changes. Optimistic readers snapshot it, read, and
+    /// revalidate; they never touch `lock`.
+    pub(crate) seq: AtomicU32,
 }
 
 impl CacheEntry {
@@ -104,6 +112,7 @@ impl CacheEntry {
             ino: AtomicU64::new(0),
             valid: AtomicU32::new(0),
             flags: AtomicU32::new(0),
+            seq: AtomicU32::new(0),
         }
     }
 
@@ -134,16 +143,53 @@ impl CacheEntry {
     }
 
     /// Try to take the write lock (CAS 0 → WRITE).
+    ///
+    /// On success the seqlock version word is bumped to odd *before* the
+    /// caller's first mutation becomes visible: optimistic readers that
+    /// load an odd version back off, and any reader overlapping the
+    /// mutation sees a version mismatch on revalidation. The CAS on
+    /// `lock` still serialises writers against each other (and against
+    /// legacy read locks), so the version word itself has exactly one
+    /// mutator at a time.
     pub(crate) fn try_write_lock(&self) -> bool {
-        self.lock
+        if self
+            .lock
             .compare_exchange(0, LOCK_WRITE, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+            .is_err()
+        {
+            return false;
+        }
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s & 1, 0, "write lock acquired with odd version");
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        // Order the odd store before every subsequent meta/page write.
+        fence(Ordering::Release);
+        true
     }
 
-    /// Release the write lock.
+    /// Release the write lock, publishing the even version first so a
+    /// reader that revalidates after seeing the unlocked word also sees
+    /// the version moved.
     pub(crate) fn write_unlock(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s & 1, 1, "write_unlock with even version");
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
         let prev = self.lock.swap(0, Ordering::Release);
         debug_assert_eq!(prev, LOCK_WRITE, "write_unlock without write lock");
+    }
+
+    /// Snapshot the seqlock version word. Even values are stable
+    /// snapshots; odd means a writer is mid-mutation.
+    pub(crate) fn version(&self) -> u32 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Revalidate an optimistic read begun at version `v`: true iff no
+    /// writer began (or finished) in between. The acquire fence orders
+    /// the caller's data reads before this version re-load.
+    pub(crate) fn version_validate(&self, v: u32) -> bool {
+        fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == v
     }
 
     /// Try to add a reader (fails under a write lock / invalid marker).
@@ -203,6 +249,11 @@ pub struct CacheConfig {
     pub bucket_entries: usize,
     /// 0 = read cache, 1 = write cache (header field; informational).
     pub mode: u32,
+    /// Serve read hits through the lock-free seqlock meta plane
+    /// (DESIGN.md §11). When false, readers fall back to the paper's
+    /// literal per-entry read-lock protocol — kept as the comparison
+    /// baseline for `bench-pr6` and the equivalence proptest.
+    pub meta_lockfree: bool,
 }
 
 impl Default for CacheConfig {
@@ -211,6 +262,7 @@ impl Default for CacheConfig {
             pages: 4096, // 16 MiB of cache pages
             bucket_entries: 8,
             mode: 1,
+            meta_lockfree: true,
         }
     }
 }
@@ -301,6 +353,7 @@ mod tests {
             pages: 64,
             bucket_entries: 8,
             mode: 0,
+            meta_lockfree: true,
         };
         assert_eq!(cfg.buckets(), 8);
     }
@@ -312,7 +365,21 @@ mod tests {
             pages: 65,
             bucket_entries: 8,
             mode: 0,
+            meta_lockfree: true,
         }
         .buckets();
+    }
+
+    #[test]
+    fn write_lock_cycle_bumps_version_by_two() {
+        let e = CacheEntry::new(u32::MAX);
+        let v0 = e.version();
+        assert_eq!(v0 & 1, 0);
+        assert!(e.try_write_lock());
+        assert_eq!(e.version(), v0.wrapping_add(1), "odd while held");
+        e.write_unlock();
+        assert_eq!(e.version(), v0.wrapping_add(2), "even after release");
+        assert!(e.version_validate(v0.wrapping_add(2)));
+        assert!(!e.version_validate(v0), "stale snapshot must fail");
     }
 }

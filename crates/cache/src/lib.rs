@@ -11,11 +11,16 @@
 //!   processing) runs on the DPU ([`ControlPlane`]), reaching the shared
 //!   meta area with PCIe atomics and pulling dirty pages by DMA.
 //!
-//! Consistency follows the paper's protocol exactly: per-entry read/write
-//! locks encapsulated in the meta area; a page is only touched while its
-//! entry is locked; the host's front-end write ends by atomically
-//! releasing the write lock and setting the dirty status; the DPU flushes
-//! under read locks so concurrent host writers are excluded.
+//! Consistency extends the paper's protocol with a lock-free read plane
+//! (DESIGN.md §11): every entry carries a seqlock version word alongside
+//! the paper's read/write lock. Writers (host front-end, DPU flush/evict)
+//! still serialise on the lock word — taking it bumps the version odd,
+//! releasing it bumps it even — while read hits validate the version
+//! instead of locking ([`HybridCache::lookup_read_ref`]), so readers
+//! never block writers and the hit path takes zero lock traffic. The DPU
+//! flushes under read locks so concurrent host writers are excluded; the
+//! per-entry lock-based reader protocol survives behind
+//! `CacheConfig::meta_lockfree = false` as the comparison baseline.
 //!
 //! ```
 //! use dpc_cache::{CacheConfig, ControlPlane, HybridCache};
@@ -44,7 +49,7 @@ mod pipeline;
 mod readahead;
 
 pub use control::{ControlPlane, FlushBackend, ReadBackend, DEFAULT_EXTENT_PAGES};
-pub use host::{CacheStats, HybridCache, ReadHint, WriteError, WriteGuard};
+pub use host::{CacheStats, HybridCache, ReadHint, ReadRef, WriteError, WriteGuard};
 pub use layout::{CacheConfig, CacheEntry, CacheHeader, EntryStatus, LockState, PAGE_SIZE};
 pub use pipeline::{FlushPipeline, PipelineConfig, PipelineStats, UnsealError};
 pub use readahead::{PrefetchJob, PrefetchQueue, RaConfig, RaWindow, ReadaheadTable};

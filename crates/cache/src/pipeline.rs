@@ -433,6 +433,7 @@ mod tests {
             pages: 64,
             bucket_entries: 8,
             mode: 1,
+            meta_lockfree: true,
         }));
         let mut cp = ControlPlane::new(cache.clone(), DmaEngine::new());
         for lpn in 0..10u64 {

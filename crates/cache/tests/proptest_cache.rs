@@ -50,6 +50,7 @@ proptest! {
             pages: 64,
             bucket_entries: 8,
             mode: 1,
+            meta_lockfree: true,
         }));
         let dma = DmaEngine::new();
         let mut cp = ControlPlane::new(cache.clone(), dma);

@@ -636,28 +636,57 @@ impl DpcFs {
                 let mut page = vec![0u8; PAGE_SIZE];
                 let mut pos = 0usize;
                 let mut off = offset;
-                // Pass 1: serve cache hits, remember the misses. A hit
-                // that consumed a readahead marker page is remembered so
-                // the DPU can be told (once per call) to plan the next
-                // window while this one is still being consumed.
+                // Pass 1: serve cache hits zero-copy, remember the
+                // misses. A hit borrows the shared pool page through an
+                // epoch-validated `ReadRef` and lands the bytes straight
+                // in the caller's buffer — exactly one copy, at the user
+                // boundary, for whole-page and partial reads alike. A
+                // torn validation (writer moved the page mid-read) falls
+                // back to the bounded-retry locked copy path. A hit that
+                // consumed a readahead marker page is remembered so the
+                // DPU can be told (once per call) to plan the next window
+                // while this one is still being consumed.
                 let mut misses: Vec<Miss> = Vec::new();
                 let mut marker_hint: Option<u64> = None;
                 while pos < n {
                     let lpn = off / PAGE_SIZE as u64;
                     let in_page = (off % PAGE_SIZE as u64) as usize;
                     let take = (PAGE_SIZE - in_page).min(n - pos);
-                    if let Some(hint) = self.cache.lookup_read_hint(ino, lpn, &mut page) {
-                        dst[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
-                        if hint.marker && marker_hint.is_none() {
-                            marker_hint = Some(lpn);
+                    let hint = match self.cache.lookup_read_ref(ino, lpn) {
+                        Some(r) => {
+                            r.read(in_page, &mut dst[pos..pos + take]);
+                            match r.finish() {
+                                Some(hint) => Some(hint),
+                                // Torn: the provisional bytes in `dst`
+                                // are overwritten by whichever settled
+                                // copy (or miss fill) follows.
+                                None => {
+                                    self.cache
+                                        .lookup_read_hint(ino, lpn, &mut page)
+                                        .inspect(|_| {
+                                            dst[pos..pos + take]
+                                                .copy_from_slice(&page[in_page..in_page + take]);
+                                        })
+                                }
+                            }
                         }
-                    } else {
-                        misses.push(Miss {
+                        None => {
+                            self.cache.note_read_miss();
+                            None
+                        }
+                    };
+                    match hint {
+                        Some(hint) => {
+                            if hint.marker && marker_hint.is_none() {
+                                marker_hint = Some(lpn);
+                            }
+                        }
+                        None => misses.push(Miss {
                             lpn,
                             pos,
                             in_page,
                             take,
-                        });
+                        }),
                     }
                     pos += take;
                     off += take as u64;

@@ -37,6 +37,10 @@ pub struct DpcConfig {
     /// Hybrid-cache pages (4 KiB each).
     pub cache_pages: usize,
     pub cache_bucket_entries: usize,
+    /// Serve cache read hits through the lock-free seqlock meta plane
+    /// (DESIGN.md §11). Off = the paper's literal per-entry read-lock
+    /// protocol, kept as the `bench-pr6` comparison baseline.
+    pub cache_lockfree: bool,
     /// Default I/O mode of handed-out adapters.
     pub io_mode: IoMode,
     /// Enable the DPU-side adaptive readahead (per-ino window tracking,
@@ -90,6 +94,7 @@ impl Default for DpcConfig {
             max_io_bytes: 1 << 20,
             cache_pages: 4096,
             cache_bucket_entries: 8,
+            cache_lockfree: true,
             io_mode: IoMode::Buffered,
             prefetch: true,
             ra_initial_window: 4,
@@ -158,6 +163,7 @@ impl Dpc {
             pages: cfg.cache_pages,
             bucket_entries: cfg.cache_bucket_entries,
             mode: 1,
+            meta_lockfree: cfg.cache_lockfree,
         }));
         let kvfs = Arc::new(match kv_store {
             Some(store) => Kvfs::open(store).expect("shared store holds no KVFS root"),

@@ -132,6 +132,12 @@ impl core::fmt::Display for MetricsSnapshot {
         let c = &self.cache;
         writeln!(
             f,
+            "meta plane: {} optimistic retries, {} lock fallbacks, \
+             {} read locks on the hit path",
+            c.meta_retries, c.lock_fallbacks, c.read_locks
+        )?;
+        writeln!(
+            f,
             "write-back: {} extents ({} pages bg / {} fg), pages-per-extent \
              1:{} 2-3:{} 4-7:{} 8-15:{} 16+:{}, {} batched evictions, \
              {} evict stalls, {} write-throughs",

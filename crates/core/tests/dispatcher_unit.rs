@@ -27,6 +27,7 @@ fn dispatcher(dfs: bool) -> (Dispatcher, Arc<Kvfs>) {
         pages: 64,
         bucket_entries: 8,
         mode: 1,
+        meta_lockfree: true,
     }));
     let control = ControlPlane::new(cache, DmaEngine::new());
     let dfs_core = if dfs {
@@ -259,6 +260,7 @@ fn cache_evict_busy_bucket_surfaces_ebusy() {
         pages: 8,
         bucket_entries: 8,
         mode: 1,
+        meta_lockfree: true,
     }));
     let control = ControlPlane::new(cache.clone(), DmaEngine::new());
     let mut d = Dispatcher::new(kvfs, control, None);

@@ -1,0 +1,225 @@
+//! Read-mostly *hot-set* workloads: Zipfian page offsets over a small
+//! file set — the "a million users hammering the same assets" shape that
+//! makes the cache's read-hit path the whole game. PR 6's lock-free meta
+//! plane is evaluated under exactly this stream: nearly every access is
+//! a resident-page hit, so meta-plane lock traffic (or its absence) is
+//! the dominant cost.
+//!
+//! [`HotSetGen`] reuses the crate's [`Zipf`] distribution twice — once to
+//! pick the file (hot files exist too) and once to pick the page within
+//! it — and [`TailRecorder`] wraps the simulator's log-bucketed histogram
+//! into the p50/p99/p999 summary the tail-latency tables report.
+
+use dpc_sim::{LatencyHistogram, Nanos};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Zipf;
+
+/// Specification of a read-mostly hot-set stream.
+#[derive(Clone, Debug)]
+pub struct HotSetSpec {
+    /// Number of files in the set.
+    pub files: u64,
+    /// Size of every file, in bytes (pages are 4 KiB-aligned offsets).
+    pub file_size: u64,
+    /// I/O size in bytes (offsets are aligned to it).
+    pub block_size: usize,
+    /// Zipf skew over both the file choice and the in-file offset.
+    /// 0.99 is the YCSB default; larger = hotter head.
+    pub theta: f64,
+    /// Percent of operations that are reads (the rest are same-location
+    /// writes, keeping a trickle of meta-plane writers in the stream).
+    pub read_pct: u8,
+}
+
+impl HotSetSpec {
+    /// The PR 6 benchmark shape: 8 files × 1 MiB, 4 KiB accesses,
+    /// Zipf(0.99), 95% reads — small enough that the whole set stays
+    /// cache-resident after one warm pass.
+    pub fn read_hot(files: u64, file_size: u64) -> HotSetSpec {
+        HotSetSpec {
+            files,
+            file_size,
+            block_size: 4096,
+            theta: 0.99,
+            read_pct: 95,
+        }
+    }
+
+    pub fn blocks_per_file(&self) -> u64 {
+        (self.file_size / self.block_size as u64).max(1)
+    }
+}
+
+/// One generated hot-set operation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HotSetOp {
+    /// Index of the file in the set (0 = hottest).
+    pub file: u64,
+    pub is_read: bool,
+    pub offset: u64,
+    pub len: usize,
+}
+
+/// Deterministic generator for one thread's hot-set stream.
+pub struct HotSetGen {
+    spec: HotSetSpec,
+    file_dist: Zipf,
+    block_dist: Zipf,
+    rng: SmallRng,
+}
+
+impl HotSetGen {
+    pub fn new(spec: HotSetSpec, seed: u64) -> HotSetGen {
+        let file_dist = Zipf::new(spec.files, spec.theta);
+        let block_dist = Zipf::new(spec.blocks_per_file(), spec.theta);
+        HotSetGen {
+            spec,
+            file_dist,
+            block_dist,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn spec(&self) -> &HotSetSpec {
+        &self.spec
+    }
+
+    pub fn next_op(&mut self) -> HotSetOp {
+        let file = self.file_dist.sample(&mut self.rng);
+        let block = self.block_dist.sample(&mut self.rng);
+        let is_read = self.rng.gen_range(0u8..100) < self.spec.read_pct;
+        HotSetOp {
+            file,
+            is_read,
+            offset: block * self.spec.block_size as u64,
+            len: self.spec.block_size,
+        }
+    }
+}
+
+impl Iterator for HotSetGen {
+    type Item = HotSetOp;
+    fn next(&mut self) -> Option<HotSetOp> {
+        Some(self.next_op())
+    }
+}
+
+/// Tail-latency recorder: a log-bucketed histogram summarised as the
+/// p50/p99/p999 triple the hot-set tables report (plus mean and count).
+#[derive(Clone, Default, Debug)]
+pub struct TailRecorder {
+    hist: LatencyHistogram,
+}
+
+/// The summary [`TailRecorder`] produces (all values nanoseconds).
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct TailSummary {
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+}
+
+impl TailRecorder {
+    pub fn new() -> TailRecorder {
+        TailRecorder::default()
+    }
+
+    /// Record one operation latency, in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.hist.record(Nanos(ns));
+    }
+
+    /// Fold another thread's recorder into this one.
+    pub fn merge(&mut self, other: &TailRecorder) {
+        self.hist.merge(&other.hist);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    pub fn summary(&self) -> TailSummary {
+        TailSummary {
+            count: self.hist.count(),
+            mean_ns: self.hist.mean().as_nanos(),
+            p50_ns: self.hist.p50().as_nanos(),
+            p99_ns: self.hist.p99().as_nanos(),
+            p999_ns: self.hist.quantile(0.999).as_nanos(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> HotSetSpec {
+        HotSetSpec::read_hot(8, 1 << 20)
+    }
+
+    #[test]
+    fn ops_stay_in_bounds_and_aligned() {
+        let mut g = HotSetGen::new(spec(), 1);
+        for _ in 0..20_000 {
+            let op = g.next_op();
+            assert!(op.file < 8);
+            assert_eq!(op.offset % 4096, 0);
+            assert!(op.offset + op.len as u64 <= 1 << 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a: Vec<HotSetOp> = HotSetGen::new(spec(), 7).take(200).collect();
+        let b: Vec<HotSetOp> = HotSetGen::new(spec(), 7).take(200).collect();
+        let c: Vec<HotSetOp> = HotSetGen::new(spec(), 8).take(200).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_and_skew_hold() {
+        let mut g = HotSetGen::new(spec(), 3);
+        let mut reads = 0usize;
+        let mut hottest_file = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            let op = g.next_op();
+            if op.is_read {
+                reads += 1;
+            }
+            if op.file == 0 {
+                hottest_file += 1;
+            }
+        }
+        let pct = reads as f64 / N as f64 * 100.0;
+        assert!((92.0..98.0).contains(&pct), "{pct}% reads");
+        // Zipf(0.99) over 8 files: the hottest draws well over a third.
+        assert!(
+            hottest_file as f64 / N as f64 > 0.3,
+            "hottest file drew {hottest_file}/{N}"
+        );
+    }
+
+    #[test]
+    fn tail_recorder_summarises_and_merges() {
+        let mut a = TailRecorder::new();
+        let mut b = TailRecorder::new();
+        for v in 1..=1000u64 {
+            a.record_ns(v);
+        }
+        b.record_ns(1_000_000); // one outlier in the other thread
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 1001);
+        // p50 near 500, p99 near 990, p999 captures the outlier's octave.
+        assert!((450..=550).contains(&s.p50_ns), "p50={}", s.p50_ns);
+        assert!((900..=1100).contains(&s.p99_ns), "p99={}", s.p99_ns);
+        assert!(s.p999_ns >= 990, "p999={}", s.p999_ns);
+        assert!(s.p999_ns <= 1_100_000);
+    }
+}

@@ -5,12 +5,17 @@
 //! deterministically (seeded [`IoGen`] streams): random/sequential
 //! patterns, read/write/70-30 mixes, the 4 KiB / 8 KiB / 1 MiB block
 //! sizes, and the thread sweep every figure scans ([`THREAD_SWEEP`]).
-//! [`Zipf`] adds skew for the cache-policy ablations.
+//! [`Zipf`] adds skew for the cache-policy ablations, and [`HotSetGen`]
+//! composes it into the read-mostly hot-set stream (Zipfian offsets over
+//! a small file set) that drives the PR 6 lock-free meta-plane tables,
+//! with [`TailRecorder`] producing their p50/p99/p999 summaries.
 
 mod fileset;
 mod gen;
+mod hotset;
 mod zipf;
 
 pub use fileset::{FileOp, FileSetGen, FileSetMix};
 pub use gen::{IoGen, IoOp, Mix, Pattern, WorkloadSpec, THREAD_SWEEP};
+pub use hotset::{HotSetGen, HotSetOp, HotSetSpec, TailRecorder, TailSummary};
 pub use zipf::Zipf;

@@ -23,6 +23,7 @@ fn main() {
         pages: 64,
         bucket_entries: 8,
         mode: 1,
+        meta_lockfree: true,
     }));
     let dma = DmaEngine::new();
     let mut dpu = ControlPlane::new(cache.clone(), dma.clone());

@@ -66,6 +66,7 @@ fn main() {
         pages: 64,
         bucket_entries: 8,
         mode: 1,
+        meta_lockfree: true,
     }));
     let mut cp = ControlPlane::new(cache.clone(), DmaEngine::new());
     let mut pipeline = FlushPipeline::new(PipelineConfig::default());

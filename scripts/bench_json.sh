@@ -6,6 +6,8 @@
 #                    foreground vs background fsync latency
 #   BENCH_PR5.json — adaptive readahead: sequential/strided cold-read
 #                    throughput on/off, vectored vs per-page miss path
+#   BENCH_PR6.json — lock-free meta plane: Zipfian hot-set read
+#                    throughput + tail latency, seqlock vs lock-based
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,3 +16,4 @@ cargo run --release -p dpc-bench --bin bench-pr2 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr3 -- --faults "$@"
 cargo run --release -p dpc-bench --bin bench-pr4 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr5 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr6 -- "$@"
