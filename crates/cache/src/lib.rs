@@ -47,9 +47,11 @@ mod host;
 mod layout;
 mod pipeline;
 mod readahead;
+mod stages;
 
 pub use control::{ControlPlane, FlushBackend, ReadBackend, DEFAULT_EXTENT_PAGES};
 pub use host::{CacheStats, HybridCache, ReadHint, ReadRef, WriteError, WriteGuard};
 pub use layout::{CacheConfig, CacheEntry, CacheHeader, EntryStatus, LockState, PAGE_SIZE};
 pub use pipeline::{FlushPipeline, PipelineConfig, PipelineStats, UnsealError};
 pub use readahead::{PrefetchJob, PrefetchQueue, RaConfig, RaWindow, ReadaheadTable};
+pub use stages::{ExtentPipeline, ExtentPipelineConfig};

@@ -1,0 +1,260 @@
+//! Extent frame codec for the offloaded flush pipeline (PR 7).
+//!
+//! When `flush_extents` seals a coalesced extent it wraps the raw bytes
+//! in a small self-describing frame *before* EC striping, so any k of
+//! the k+m stripes reassemble to something that can be validated and
+//! (when the compressor won) decompressed without consulting metadata:
+//!
+//! ```text
+//!   [magic u32][flags u8][k u8][m u8][0 u8][raw_len u32][payload_len u32][crc u32]
+//!   [payload: payload_len bytes]  (+ EC zero padding, ignored)
+//! ```
+//!
+//! All integers little-endian; `crc` is [`crc32c`] over the payload.
+//! `flags` bit 0 set ⇒ payload is an LZ stream for `raw_len` bytes,
+//! clear ⇒ payload *is* the raw bytes (incompressible extent stored
+//! raw). EC striping pads the frame to `k * shard_len`; the trailing
+//! padding past `HEADER_LEN + payload_len` is ignored on decode, which
+//! is what lets the reader concatenate reconstructed stripes blindly.
+
+use crate::crc::crc32c;
+use crate::lz::{decompress, Compressor};
+
+/// Frame header length in bytes.
+pub const EXTENT_HEADER_LEN: usize = 20;
+
+/// `"DPCX"` little-endian.
+pub const EXTENT_MAGIC: u32 = 0x5843_5044;
+
+const FLAG_COMPRESSED: u8 = 1 << 0;
+
+/// Accept the compressed payload only when the whole frame shrinks to
+/// ≤ 7/8 of the raw bytes; marginal wins are not worth the decode cost.
+fn compression_pays(raw_len: usize, comp_len: usize) -> bool {
+    comp_len + EXTENT_HEADER_LEN <= raw_len / 8 * 7
+}
+
+/// What [`frame_extent_into`] did, for the pipeline's stage counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExtentFrameInfo {
+    /// Payload was stored as an LZ stream (ratio gate passed).
+    pub compressed: bool,
+    /// Total frame length (header + payload, before any EC padding).
+    pub frame_len: usize,
+}
+
+/// Decode failure: the frame is malformed or fails its CRC.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExtentFrameError(pub &'static str);
+
+impl core::fmt::Display for ExtentFrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "corrupt extent frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExtentFrameError {}
+
+/// Seal `raw` into `out` (cleared first). When `compressor` is `Some`,
+/// the payload is LZ-compressed and kept only if the ratio gate passes
+/// (otherwise the raw bytes are stored and `compressed` is false —
+/// the skip the pipeline counts as `compress_skips`). `k`/`m` record
+/// the striping geometry the caller is about to apply (0/0 for
+/// replicated frames). Steady-state zero-allocation once `out` and
+/// `scratch` have grown to the working size.
+pub fn frame_extent_into(
+    compressor: Option<(&mut Compressor, &mut Vec<u8>)>,
+    raw: &[u8],
+    k: u8,
+    m: u8,
+    out: &mut Vec<u8>,
+) -> ExtentFrameInfo {
+    out.clear();
+    let mut compressed = false;
+    let mut payload_is_scratch = false;
+    if let Some((comp, scratch)) = compressor {
+        if comp.compress_into(raw, scratch) && compression_pays(raw.len(), scratch.len()) {
+            compressed = true;
+            payload_is_scratch = true;
+            out.reserve(EXTENT_HEADER_LEN + scratch.len());
+            out.extend_from_slice(&EXTENT_MAGIC.to_le_bytes());
+            out.push(FLAG_COMPRESSED);
+            out.push(k);
+            out.push(m);
+            out.push(0);
+            out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crc32c(scratch).to_le_bytes());
+            out.extend_from_slice(scratch);
+        }
+    }
+    if !payload_is_scratch {
+        out.reserve(EXTENT_HEADER_LEN + raw.len());
+        out.extend_from_slice(&EXTENT_MAGIC.to_le_bytes());
+        out.push(0);
+        out.push(k);
+        out.push(m);
+        out.push(0);
+        out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32c(raw).to_le_bytes());
+        out.extend_from_slice(raw);
+    }
+    ExtentFrameInfo {
+        compressed,
+        frame_len: out.len(),
+    }
+}
+
+/// Parse and validate a frame (possibly carrying EC zero padding past
+/// the payload) and return the raw extent bytes.
+pub fn unframe_extent(frame: &[u8]) -> Result<Vec<u8>, ExtentFrameError> {
+    if frame.len() < EXTENT_HEADER_LEN {
+        return Err(ExtentFrameError("short header"));
+    }
+    let magic = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+    if magic != EXTENT_MAGIC {
+        return Err(ExtentFrameError("bad magic"));
+    }
+    let flags = frame[4];
+    if flags & !FLAG_COMPRESSED != 0 {
+        return Err(ExtentFrameError("unknown flags"));
+    }
+    let raw_len = u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]) as usize;
+    let payload_len = u32::from_le_bytes([frame[12], frame[13], frame[14], frame[15]]) as usize;
+    let crc = u32::from_le_bytes([frame[16], frame[17], frame[18], frame[19]]);
+    let payload = frame
+        .get(EXTENT_HEADER_LEN..EXTENT_HEADER_LEN + payload_len)
+        .ok_or(ExtentFrameError("payload overruns frame"))?;
+    if crc32c(payload) != crc {
+        return Err(ExtentFrameError("payload crc mismatch"));
+    }
+    if flags & FLAG_COMPRESSED != 0 {
+        decompress(payload, raw_len).map_err(|_| ExtentFrameError("corrupt LZ payload"))
+    } else {
+        if payload_len != raw_len {
+            return Err(ExtentFrameError("raw frame length mismatch"));
+        }
+        Ok(payload.to_vec())
+    }
+}
+
+/// The striping geometry recorded in a frame header, without decoding
+/// the payload. Used by tests/tools; the data path carries geometry in
+/// its extent records.
+pub fn extent_frame_geometry(frame: &[u8]) -> Result<(u8, u8), ExtentFrameError> {
+    if frame.len() < EXTENT_HEADER_LEN {
+        return Err(ExtentFrameError("short header"));
+    }
+    let magic = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+    if magic != EXTENT_MAGIC {
+        return Err(ExtentFrameError("bad magic"));
+    }
+    Ok((frame[5], frame[6]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compressible(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i / 64) as u8).collect()
+    }
+
+    fn incompressible(len: usize) -> Vec<u8> {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_compressed() {
+        let raw = compressible(16384);
+        let mut comp = Compressor::new();
+        let mut scratch = Vec::new();
+        let mut frame = Vec::new();
+        let info = frame_extent_into(Some((&mut comp, &mut scratch)), &raw, 4, 2, &mut frame);
+        assert!(info.compressed);
+        assert!(info.frame_len < raw.len());
+        assert_eq!(extent_frame_geometry(&frame).unwrap(), (4, 2));
+        assert_eq!(unframe_extent(&frame).unwrap(), raw);
+    }
+
+    #[test]
+    fn roundtrip_incompressible_stores_raw() {
+        let raw = incompressible(8192);
+        let mut comp = Compressor::new();
+        let mut scratch = Vec::new();
+        let mut frame = Vec::new();
+        let info = frame_extent_into(Some((&mut comp, &mut scratch)), &raw, 4, 2, &mut frame);
+        assert!(!info.compressed);
+        assert_eq!(info.frame_len, EXTENT_HEADER_LEN + raw.len());
+        assert_eq!(unframe_extent(&frame).unwrap(), raw);
+    }
+
+    #[test]
+    fn roundtrip_no_compressor() {
+        let raw = compressible(4096);
+        let mut frame = Vec::new();
+        let info = frame_extent_into(None, &raw, 0, 0, &mut frame);
+        assert!(!info.compressed);
+        assert_eq!(unframe_extent(&frame).unwrap(), raw);
+    }
+
+    #[test]
+    fn tolerates_ec_zero_padding() {
+        let raw = compressible(10000);
+        let mut comp = Compressor::new();
+        let mut scratch = Vec::new();
+        let mut frame = Vec::new();
+        frame_extent_into(Some((&mut comp, &mut scratch)), &raw, 4, 2, &mut frame);
+        // EC pads the frame to k * shard_len; decode must ignore it.
+        let padded_len = frame.len().div_ceil(4) * 4 + 64;
+        frame.resize(padded_len, 0);
+        assert_eq!(unframe_extent(&frame).unwrap(), raw);
+    }
+
+    #[test]
+    fn detects_payload_bitrot() {
+        let raw = compressible(4096);
+        let mut frame = Vec::new();
+        frame_extent_into(None, &raw, 1, 2, &mut frame);
+        frame[EXTENT_HEADER_LEN + 100] ^= 0x40;
+        assert_eq!(
+            unframe_extent(&frame),
+            Err(ExtentFrameError("payload crc mismatch"))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(unframe_extent(&[0u8; 8]).is_err());
+        assert!(unframe_extent(&[0u8; 64]).is_err());
+        let raw = compressible(4096);
+        let mut frame = Vec::new();
+        frame_extent_into(None, &raw, 1, 2, &mut frame);
+        frame[0] ^= 1; // magic
+        assert!(unframe_extent(&frame).is_err());
+    }
+
+    #[test]
+    fn ratio_gate_rejects_marginal_wins() {
+        // A payload that compresses, but not by ≥ 1/8: stored raw.
+        let mut raw = incompressible(8192);
+        for b in raw.iter_mut().take(600) {
+            *b = 7;
+        }
+        let mut comp = Compressor::new();
+        let mut scratch = Vec::new();
+        let mut frame = Vec::new();
+        let info = frame_extent_into(Some((&mut comp, &mut scratch)), &raw, 4, 2, &mut frame);
+        assert!(!info.compressed);
+        assert_eq!(unframe_extent(&frame).unwrap(), raw);
+    }
+}

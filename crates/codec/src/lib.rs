@@ -12,11 +12,20 @@
 //!   a 4 KiB window, returning `None` for incompressible blocks (stored
 //!   raw, as storage stacks do).
 //!
+//! - [`frame_extent_into`] / [`unframe_extent`] — the self-describing
+//!   CRC-framed extent container the PR 7 flush pipeline seals before
+//!   EC striping (compress-if-it-pays, stored-raw otherwise).
+//!
 //! `dpc-cache`'s [`FlushPipeline`](../dpc_cache) wires both into the
 //! hybrid cache's flush pass.
 
 mod crc;
+mod extent;
 mod lz;
 
 pub use crc::{crc32c, update as crc32c_update, DifError, DifTag};
+pub use extent::{
+    extent_frame_geometry, frame_extent_into, unframe_extent, ExtentFrameError, ExtentFrameInfo,
+    EXTENT_HEADER_LEN, EXTENT_MAGIC,
+};
 pub use lz::{compress, decompress, Compressor, CorruptStream};

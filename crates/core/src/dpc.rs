@@ -74,6 +74,15 @@ pub struct DpcConfig {
     /// `fsync` only waits for the residual.
     pub flush_low_watermark: f64,
     pub flush_high_watermark: f64,
+    /// Stage the flush pipeline's extent-granular EC encode: coalesced
+    /// extents are CRC-framed and striped k+m (the DFS geometry) on the
+    /// flusher thread, then fanned to shard-capable backends as one batch
+    /// per extent. Off = plain replication, the equivalence baseline.
+    /// Backends that only take raw bytes (KVFS) are unaffected either way.
+    pub flush_ec: bool,
+    /// Stage the flush pipeline's cold-extent compression
+    /// (skip-if-incompressible ratio gate; composes with `flush_ec`).
+    pub flush_compress: bool,
     /// Also stand up a DFS backend and offload its client (Distributed
     /// dispatch). None = standalone-only DPC.
     pub dfs: Option<DfsConfig>,
@@ -106,6 +115,8 @@ impl Default for DpcConfig {
             flush_extent_pages: dpc_cache::DEFAULT_EXTENT_PAGES,
             flush_low_watermark: 0.25,
             flush_high_watermark: 0.75,
+            flush_ec: false,
+            flush_compress: false,
             dfs: None,
             retry: RetryPolicy::default(),
             faults: None,
@@ -190,6 +201,25 @@ impl Dpc {
         );
 
         let flush_fault = cfg.faults.as_ref().map(|p| p.site("cache.flush"));
+        // Staged flush pipeline (PR 7): armed on every flush-capable
+        // control plane when either knob is on. It only engages against
+        // shard-capable sinks; the KVFS sink keeps raw bytes, so with
+        // both knobs off (or standalone KVFS flushes) every pipeline
+        // counter stays provably zero.
+        let pipeline_cfg = (cfg.flush_ec || cfg.flush_compress).then(|| {
+            let (k, m) = cfg.dfs.as_ref().map(|d| (d.ec_k, d.ec_m)).unwrap_or((4, 2));
+            dpc_cache::ExtentPipelineConfig {
+                ec: cfg.flush_ec,
+                k,
+                m,
+                compress: cfg.flush_compress,
+            }
+        });
+        let arm = |control: &mut ControlPlane| {
+            if let Some(pc) = pipeline_cfg {
+                control.set_pipeline(Some(dpc_cache::ExtentPipeline::new(pc)));
+            }
+        };
         // One readahead table + job queue shared by every service thread
         // (a stream's reads may land on any queue; the state must follow
         // the inode, not the queue).
@@ -213,6 +243,7 @@ impl Dpc {
                 }
                 let mut control = ControlPlane::new(cache.clone(), dma.clone());
                 control.max_extent_pages = cfg.flush_extent_pages.max(1);
+                arm(&mut control);
                 let mut dispatcher = Dispatcher::new(
                     kvfs.clone(),
                     control,
@@ -232,6 +263,7 @@ impl Dpc {
         let flusher = if cfg.background_flush {
             let mut control = ControlPlane::new(cache.clone(), dma.clone());
             control.max_extent_pages = cfg.flush_extent_pages.max(1);
+            arm(&mut control);
             Some(FlusherConfig {
                 control,
                 kvfs: kvfs.clone(),
@@ -372,6 +404,7 @@ impl Dpc {
                 reconstructions: dfs.reconstructions,
                 repairs: dfs.repairs,
                 repair_drops: dfs.repair_drops,
+                crc_rejects: dfs.crc_rejects,
                 kv_retries: kv.retries,
                 flush_retries: cache.flush_retries,
                 flush_failures: cache.flush_failures,

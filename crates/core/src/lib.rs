@@ -31,7 +31,7 @@ mod runtime;
 
 pub use adapter::{DpcError, DpcFs, Fd, IoMode};
 pub use config::{DpuSpec, HostCpu, SoftwareCosts, Testbed};
-pub use dispatch::Dispatcher;
+pub use dispatch::{DfsFlush, Dispatcher};
 pub use dpc::{Dpc, DpcConfig};
 pub use metrics::{MetricsSnapshot, RecoverySnapshot};
 pub use runtime::{DpuRuntime, RuntimeShared};

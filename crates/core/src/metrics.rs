@@ -34,6 +34,9 @@ pub struct RecoverySnapshot {
     pub repairs: u64,
     /// DFS client: repair-queue entries shed at capacity.
     pub repair_drops: u64,
+    /// DFS data servers: stored shards whose CRC failed verification on
+    /// read — bit rot treated as a lost shard and fed to reconstruction.
+    pub crc_rejects: u64,
     /// KV store operations that waited out a transient fault.
     pub kv_retries: u64,
     /// Cache flush pipeline: in-pass flush reissues.
@@ -167,6 +170,21 @@ impl core::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
+            "flush pipeline: {} extents sealed ({} B in / {} B out), \
+             {} compressed / {} skips ({} ns), {} ec-encoded ({} ns), \
+             {} shard batches",
+            c.pipe_extents,
+            c.pipe_bytes_in,
+            c.pipe_bytes_out,
+            c.compressed_extents,
+            c.compress_skips,
+            c.compress_ns,
+            c.ec_encoded_extents,
+            c.ec_ns,
+            c.shard_batches
+        )?;
+        writeln!(
+            f,
             "kvfs: dentry {:.0}% hit, inode {} hits / {} misses",
             self.dentry_hit_rate() * 100.0,
             self.kvfs_lookups.inode_hits,
@@ -187,7 +205,8 @@ impl core::fmt::Display for MetricsSnapshot {
             f,
             "recovery: link {} retries / {} timeouts / {} transport errs, \
              dfs {} ds + {} mds retries, {} reconstructions, {} repairs, \
-             kv {} retries, flush {} retries / {} failures, {} quarantined",
+             {} crc rejects, kv {} retries, flush {} retries / {} failures, \
+             {} quarantined",
             r.link_retries,
             r.link_timeouts,
             r.transport_errors,
@@ -195,6 +214,7 @@ impl core::fmt::Display for MetricsSnapshot {
             r.mds_retries,
             r.reconstructions,
             r.repairs,
+            r.crc_rejects,
             r.kv_retries,
             r.flush_retries,
             r.flush_failures,
@@ -242,6 +262,7 @@ mod tests {
             "hybrid cache:",
             "write-back:",
             "readahead:",
+            "flush pipeline:",
             "kvfs:",
             "kv store:",
             "dpu runtime:",

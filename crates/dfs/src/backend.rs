@@ -12,12 +12,23 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dpc_codec::crc32c;
 use dpc_ec::ReedSolomon;
 use dpc_sim::fault::{FaultPlan, FaultSite};
 use parking_lot::RwLock;
 
 /// Data is striped and erasure-coded at this granularity.
 pub const DFS_BLOCK: usize = 8192;
+
+/// The flush pipeline's extent records are tracked at cache-page
+/// granularity (4 KiB), half a [`DFS_BLOCK`].
+pub const EXTENT_PAGE: usize = 4096;
+
+/// High bit tagging the block-number namespace used for extent stripes:
+/// stripe storage keys are `(ino, EXTENT_BLOCK_TAG | extent_id, shard)`,
+/// which can never collide with a real block number (blocks are byte
+/// offsets / 8 KiB, far below 2^63).
+pub const EXTENT_BLOCK_TAG: u64 = 1 << 63;
 
 /// Minimal file attributes tracked by the MDS.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -107,26 +118,43 @@ impl MetadataServer {
     }
 }
 
+/// A shard at rest: payload plus the CRC32C it arrived with. The
+/// checksum is verified on every read so silent bit-rot surfaces as a
+/// *lost* shard and flows into the ordinary reconstruct + read-repair
+/// recovery path rather than returning corrupt bytes.
+struct StoredShard {
+    data: Vec<u8>,
+    crc: u32,
+}
+
 /// One data server: shard storage keyed by `(ino, block, shard)`.
 pub struct DataServer {
     pub id: usize,
-    shards: RwLock<HashMap<(u64, u64, usize), Vec<u8>>>,
+    shards: RwLock<HashMap<(u64, u64, usize), StoredShard>>,
     /// Failure injection: a failed server refuses reads and writes.
     failed: std::sync::atomic::AtomicBool,
     /// Optional scheduled fault site (flaky / slow behaviour): when it
     /// fires, the RPC is refused even though the server is otherwise up.
     fault: RwLock<Option<Arc<FaultSite>>>,
     pub rpcs: AtomicU64,
+    /// Payload bytes received on the write path (wire-byte accounting;
+    /// counted on arrival, whether or not the write was accepted).
+    pub ingress_bytes: AtomicU64,
+    /// Shared with [`DfsRecoveryStats::crc_rejects`]: shards whose
+    /// stored checksum no longer matched on read.
+    recovery: Arc<DfsRecoveryStats>,
 }
 
 impl DataServer {
-    fn new(id: usize) -> DataServer {
+    fn new(id: usize, recovery: Arc<DfsRecoveryStats>) -> DataServer {
         DataServer {
             id,
             shards: RwLock::new(HashMap::new()),
             failed: std::sync::atomic::AtomicBool::new(false),
             fault: RwLock::new(None),
             rpcs: AtomicU64::new(0),
+            ingress_bytes: AtomicU64::new(0),
+            recovery,
         }
     }
 
@@ -141,14 +169,47 @@ impl DataServer {
         }
     }
 
-    /// Store one shard. Returns `false` when the server refused the write
-    /// (failed, or a scheduled fault fired) — the shard is NOT stored.
-    pub fn put_shard(&self, ino: u64, block: u64, shard: usize, data: Vec<u8>) -> bool {
+    /// Store one shard (checksummed at the insert — the only place the
+    /// payload is copied). Returns `false` when the server refused the
+    /// write (failed, or a scheduled fault fired) — the shard is NOT
+    /// stored.
+    pub fn put_shard(&self, ino: u64, block: u64, shard: usize, data: &[u8]) -> bool {
         self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.ingress_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         if self.refuses() {
             return false;
         }
-        self.shards.write().insert((ino, block, shard), data);
+        self.shards.write().insert(
+            (ino, block, shard),
+            StoredShard {
+                data: data.to_vec(),
+                crc: crc32c(data),
+            },
+        );
+        true
+    }
+
+    /// Store several shards in ONE RPC — the net-side mirror of PR 1's
+    /// `submit_many` one-doorbell idiom. One `rpcs` tick, one fault
+    /// draw, all-or-nothing: a refused batch stores none of its shards.
+    pub fn put_shards_batch(&self, puts: &[(u64, u64, usize, &[u8])]) -> bool {
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        let bytes: u64 = puts.iter().map(|(_, _, _, d)| d.len() as u64).sum();
+        self.ingress_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if self.refuses() {
+            return false;
+        }
+        let mut shards = self.shards.write();
+        for &(ino, block, shard, data) in puts {
+            shards.insert(
+                (ino, block, shard),
+                StoredShard {
+                    data: data.to_vec(),
+                    crc: crc32c(data),
+                },
+            );
+        }
         true
     }
 
@@ -157,7 +218,29 @@ impl DataServer {
         if self.refuses() {
             return None;
         }
-        self.shards.read().get(&(ino, block, shard)).cloned()
+        let shards = self.shards.read();
+        let stored = shards.get(&(ino, block, shard))?;
+        if crc32c(&stored.data) != stored.crc {
+            // Bit-rot: report the shard as lost so the caller's degraded
+            // path reconstructs it (and read-repair overwrites us).
+            self.recovery.crc_rejects.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(stored.data.clone())
+    }
+
+    /// Test hook: flip one payload bit in a stored shard *without*
+    /// updating its checksum, simulating at-rest bit-rot.
+    pub fn corrupt_shard(&self, ino: u64, block: u64, shard: usize) -> bool {
+        let mut shards = self.shards.write();
+        match shards.get_mut(&(ino, block, shard)) {
+            Some(stored) if !stored.data.is_empty() => {
+                let mid = stored.data.len() / 2;
+                stored.data[mid] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Inject / clear a hard failure (all RPCs refused while set).
@@ -224,6 +307,9 @@ pub struct DfsRecoveryStats {
     pub repairs: AtomicU64,
     /// Repair work items shed because the repair queue was full.
     pub repair_drops: AtomicU64,
+    /// Shards whose stored CRC32C failed verification on read (bit-rot
+    /// detected and reported as a lost shard).
+    pub crc_rejects: AtomicU64,
 }
 
 /// Point-in-time copy of [`DfsRecoveryStats`].
@@ -234,6 +320,7 @@ pub struct DfsRecoverySnapshot {
     pub reconstructions: u64,
     pub repairs: u64,
     pub repair_drops: u64,
+    pub crc_rejects: u64,
 }
 
 impl DfsRecoveryStats {
@@ -244,7 +331,39 @@ impl DfsRecoveryStats {
             reconstructions: self.reconstructions.load(Ordering::Relaxed),
             repairs: self.repairs.load(Ordering::Relaxed),
             repair_drops: self.repair_drops.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// One published extent from the offloaded flush pipeline: a coalesced
+/// run of 4 KiB cache pages sealed into a CRC frame and striped `k+m`
+/// (or replicated `m + 1` plain frames when `k == 1`). Stripes live in
+/// the ordinary shard store under `(ino, EXTENT_BLOCK_TAG | id, s)`;
+/// this record is the per-page index that maps reads back to the newest
+/// covering extent.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExtentRecord {
+    /// Globally unique extent id (monotonic; fresh id per flush, so a
+    /// re-flush of the same pages never overwrites live stripes).
+    pub id: u64,
+    pub ino: u64,
+    /// First 4 KiB page covered.
+    pub start_lpn: u64,
+    /// Pages covered.
+    pub pages: u32,
+    /// Raw (pre-frame, pre-compression) extent length in bytes.
+    pub raw_len: u32,
+    /// Data stripes (1 ⇒ replicated whole frames).
+    pub k: u8,
+    /// Parity stripes (for `k == 1`: replica count − 1).
+    pub m: u8,
+}
+
+impl ExtentRecord {
+    /// The block-namespace key this extent's stripes are stored under.
+    pub fn block_key(&self) -> u64 {
+        EXTENT_BLOCK_TAG | self.id
     }
 }
 
@@ -263,7 +382,11 @@ pub struct DfsBackend {
     /// retry machinery when faults are possible, so recovery counters are
     /// exactly zero on a healthy run.
     faults_on: std::sync::atomic::AtomicBool,
-    recovery: DfsRecoveryStats,
+    recovery: Arc<DfsRecoveryStats>,
+    /// Extent-id allocator for the flush pipeline's stripe namespace.
+    extent_seq: AtomicU64,
+    /// `(ino, lpn)` → newest extent covering that 4 KiB page.
+    extents: RwLock<HashMap<(u64, u64), ExtentRecord>>,
 }
 
 impl DfsBackend {
@@ -272,15 +395,20 @@ impl DfsBackend {
             cfg.ec_k + cfg.ec_m <= cfg.data_server_count,
             "need at least k+m data servers"
         );
+        let recovery = Arc::new(DfsRecoveryStats::default());
         Arc::new(DfsBackend {
             mdses: (0..cfg.mds_count).map(MetadataServer::new).collect(),
-            data_servers: (0..cfg.data_server_count).map(DataServer::new).collect(),
+            data_servers: (0..cfg.data_server_count)
+                .map(|id| DataServer::new(id, Arc::clone(&recovery)))
+                .collect(),
             ec: ReedSolomon::new(cfg.ec_k, cfg.ec_m),
             next_ino: AtomicU64::new(1),
             clock: AtomicU64::new(1),
             mds_fault: RwLock::new(None),
             faults_on: std::sync::atomic::AtomicBool::new(false),
-            recovery: DfsRecoveryStats::default(),
+            recovery,
+            extent_seq: AtomicU64::new(0),
+            extents: RwLock::new(HashMap::new()),
             cfg,
         })
     }
@@ -368,6 +496,125 @@ impl DfsBackend {
         (0..self.cfg.ec_k + self.cfg.ec_m)
             .map(|s| (base + s) % n)
             .collect()
+    }
+
+    /// Total payload bytes received by all data servers on the write
+    /// path — the "wire bytes" side of the flush pipeline's
+    /// wire-bytes-per-flushed-byte metric.
+    pub fn total_ingress_bytes(&self) -> u64 {
+        self.data_servers
+            .iter()
+            .map(|ds| ds.ingress_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    // ---- extent registry (offloaded flush pipeline) --------------------
+
+    /// Allocate a fresh extent record covering
+    /// `[start_lpn, start_lpn + pages)` of `ino` — id reserved, nothing
+    /// published yet. Callers store the stripes under
+    /// [`ExtentRecord::block_key`] first and
+    /// [`publish_record`](DfsBackend::publish_record) only once enough
+    /// stripes landed, so readers never see a half-stored extent.
+    pub fn alloc_extent(
+        &self,
+        ino: u64,
+        start_lpn: u64,
+        pages: u32,
+        raw_len: u32,
+        k: u8,
+        m: u8,
+    ) -> ExtentRecord {
+        ExtentRecord {
+            id: self.extent_seq.fetch_add(1, Ordering::Relaxed) + 1,
+            ino,
+            start_lpn,
+            pages,
+            raw_len,
+            k,
+            m,
+        }
+    }
+
+    /// Make `rec` the newest extent for every page it covers.
+    pub fn publish_record(&self, rec: &ExtentRecord) {
+        let mut extents = self.extents.write();
+        for p in 0..rec.pages as u64 {
+            extents.insert((rec.ino, rec.start_lpn + p), *rec);
+        }
+    }
+
+    /// [`alloc_extent`](DfsBackend::alloc_extent) +
+    /// [`publish_record`](DfsBackend::publish_record) in one step (tests
+    /// and single-writer paths).
+    pub fn publish_extent(
+        &self,
+        ino: u64,
+        start_lpn: u64,
+        pages: u32,
+        raw_len: u32,
+        k: u8,
+        m: u8,
+    ) -> ExtentRecord {
+        let rec = self.alloc_extent(ino, start_lpn, pages, raw_len, k, m);
+        self.publish_record(&rec);
+        rec
+    }
+
+    /// The newest extent covering 4 KiB page `lpn` of `ino`, if any.
+    pub fn extent_record(&self, ino: u64, lpn: u64) -> Option<ExtentRecord> {
+        self.extents.read().get(&(ino, lpn)).copied()
+    }
+
+    /// Drop extent records for pages `>= from_lpn` of `ino` (truncate /
+    /// unlink). Stripes are left behind under retired ids — no live
+    /// record points at them, and fresh flushes always allocate fresh
+    /// ids, so they can never serve stale bytes.
+    pub fn invalidate_extents(&self, ino: u64, from_lpn: u64) {
+        self.extents
+            .write()
+            .retain(|&(i, lpn), _| i != ino || lpn < from_lpn);
+    }
+
+    /// Stripe placement for an extent: `k + m` distinct data servers
+    /// chosen by the extent's unique id (same rotation scheme as block
+    /// [`placement`](DfsBackend::placement)).
+    pub fn extent_placement(&self, rec: &ExtentRecord) -> Vec<usize> {
+        let n = self.data_servers.len();
+        let base = (hash64(rec.ino, rec.block_key()) % n as u64) as usize;
+        (0..(rec.k as usize + rec.m as usize))
+            .map(|s| (base + s) % n)
+            .collect()
+    }
+
+    /// Fan a whole stripe set out to its data servers, one batched RPC
+    /// per server (the extent-granular one-doorbell fanout). Returns
+    /// per-shard success; a refused server fails every shard it hosts.
+    pub fn put_shards_batch(&self, ino: u64, block_key: u64, shards: &[Vec<u8>]) -> Vec<bool> {
+        let n = self.data_servers.len();
+        let base = (hash64(ino, block_key) % n as u64) as usize;
+        let mut ok = vec![false; shards.len()];
+        // Group shards by destination server; placement rotates so with
+        // `shards.len() <= n` each server sees exactly one batch.
+        let mut by_server: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for s in 0..shards.len() {
+            by_server[(base + s) % n].push(s);
+        }
+        for (server, idxs) in by_server.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let puts: Vec<(u64, u64, usize, &[u8])> = idxs
+                .iter()
+                .map(|&s| (ino, block_key, s, shards[s].as_slice()))
+                .collect();
+            if self.data_servers[server].put_shards_batch(&puts) {
+                for &s in idxs {
+                    ok[s] = true;
+                }
+            }
+        }
+        ok
     }
 
     // ---- MDS-side operations (each counts an RPC at the serving MDS) ----
@@ -536,7 +783,7 @@ impl DfsBackend {
             .encode_buffer(data)
             .map_err(|_| DfsError::Unrecoverable)?;
         for (s, server) in self.placement(ino, block).into_iter().enumerate() {
-            self.data_servers[server].put_shard(ino, block, s, shards[s].clone());
+            self.data_servers[server].put_shard(ino, block, s, &shards[s]);
         }
         let end = block * DFS_BLOCK as u64 + data.len() as u64;
         let now = self.now();
@@ -597,7 +844,7 @@ impl DfsBackend {
                 .encode_buffer(&buf)
                 .map_err(|_| DfsError::Unrecoverable)?;
             for (sh, server) in self.placement(ino, block).into_iter().enumerate() {
-                self.data_servers[server].put_shard(ino, block, sh, shards[sh].clone());
+                self.data_servers[server].put_shard(ino, block, sh, &shards[sh]);
             }
         }
         let now = self.now();
@@ -773,6 +1020,80 @@ mod tests {
         b.mds_release_delegation(attr.ino, 2);
         b.mds_delegate(0, attr.ino, 1).unwrap();
         assert_eq!(b.total_recalls(), 1, "no recall on a free delegation");
+    }
+
+    #[test]
+    fn corrupt_shard_detected_and_reconstructed() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let attr = b.mds_create(0, 0, "rotten").unwrap();
+        let block: Vec<u8> = (0..DFS_BLOCK).map(|i| (i * 13 % 241) as u8).collect();
+        b.mds_write_block(0, attr.ino, 0, &block).unwrap();
+        // Flip a payload bit in data shard 0 without touching its CRC.
+        let server0 = b.placement(attr.ino, 0)[0];
+        assert!(b.data_server(server0).corrupt_shard(attr.ino, 0, 0));
+        assert_eq!(b.recovery().snapshot().crc_rejects, 0);
+        // The read still returns correct bytes: the corrupt shard reads
+        // as lost and the block reconstructs from parity.
+        assert_eq!(b.mds_read_block(0, attr.ino, 0).unwrap(), block);
+        let snap = b.recovery().snapshot();
+        assert_eq!(snap.crc_rejects, 1);
+        assert_eq!(snap.reconstructions, 1);
+    }
+
+    #[test]
+    fn batched_put_is_one_rpc_and_all_or_nothing() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let ds = b.data_server(0);
+        let before = ds.rpcs.load(Ordering::Relaxed);
+        let d0 = vec![1u8; 64];
+        let d1 = vec![2u8; 64];
+        assert!(ds.put_shards_batch(&[(9, 0, 0, &d0), (9, 1, 0, &d1)]));
+        assert_eq!(ds.rpcs.load(Ordering::Relaxed), before + 1);
+        assert_eq!(ds.shard_count(), 2);
+        assert_eq!(ds.ingress_bytes.load(Ordering::Relaxed), 128);
+        // A refused batch stores nothing.
+        ds.set_failed(true);
+        assert!(!ds.put_shards_batch(&[(9, 2, 0, &d0)]));
+        ds.set_failed(false);
+        assert_eq!(ds.shard_count(), 2);
+    }
+
+    #[test]
+    fn extent_registry_newest_wins_and_invalidates() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let a = b.publish_extent(7, 0, 4, 16384, 4, 2);
+        let c = b.publish_extent(7, 2, 4, 16384, 4, 2);
+        assert_ne!(a.id, c.id);
+        assert_eq!(b.extent_record(7, 0), Some(a));
+        assert_eq!(b.extent_record(7, 1), Some(a));
+        assert_eq!(b.extent_record(7, 2), Some(c), "newer record wins");
+        assert_eq!(b.extent_record(7, 5), Some(c));
+        assert_eq!(b.extent_record(7, 6), None);
+        assert_eq!(b.extent_record(8, 0), None);
+        // Placement: k+m distinct servers, stable per record.
+        let placement = b.extent_placement(&a);
+        assert_eq!(placement.len(), 6);
+        let uniq: std::collections::HashSet<_> = placement.iter().collect();
+        assert_eq!(uniq.len(), 6);
+        b.invalidate_extents(7, 3);
+        assert_eq!(b.extent_record(7, 2), Some(c), "below cut survives");
+        assert_eq!(b.extent_record(7, 3), None);
+        assert_eq!(b.extent_record(7, 5), None);
+    }
+
+    #[test]
+    fn extent_stripe_fanout_round_trips_through_shard_store() {
+        let b = DfsBackend::new(DfsConfig::default());
+        let rec = b.publish_extent(3, 0, 8, 32768, 4, 2);
+        let shards: Vec<Vec<u8>> = (0..6u8).map(|s| vec![s; 512]).collect();
+        let ok = b.put_shards_batch(3, rec.block_key(), &shards);
+        assert!(ok.iter().all(|&x| x));
+        for (s, &server) in b.extent_placement(&rec).iter().enumerate() {
+            assert_eq!(
+                b.data_server(server).get_shard(3, rec.block_key(), s),
+                Some(shards[s].clone())
+            );
+        }
     }
 
     #[test]

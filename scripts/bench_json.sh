@@ -8,6 +8,9 @@
 #                    throughput on/off, vectored vs per-page miss path
 #   BENCH_PR6.json — lock-free meta plane: Zipfian hot-set read
 #                    throughput + tail latency, seqlock vs lock-based
+#   BENCH_PR7.json — staged flush pipeline: wire bytes per flushed
+#                    byte and flush MB/s with EC+compression on vs
+#                    off, degraded-read latency stripes vs refetch
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,3 +20,4 @@ cargo run --release -p dpc-bench --bin bench-pr3 -- --faults "$@"
 cargo run --release -p dpc-bench --bin bench-pr4 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr5 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr6 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr7 -- "$@"

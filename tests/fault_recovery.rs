@@ -206,6 +206,7 @@ fn fault_free_run_keeps_every_recovery_counter_at_zero() {
     assert_eq!(r.reconstructions, 0);
     assert_eq!(r.repairs, 0);
     assert_eq!(r.repair_drops, 0);
+    assert_eq!(r.crc_rejects, 0);
     assert_eq!(r.kv_retries, 0);
     assert_eq!(r.flush_retries, 0);
     assert_eq!(r.flush_failures, 0);

@@ -1,0 +1,383 @@
+//! PR 7 flush-pipeline verification: the staged flush — extent-granular
+//! compression + EC striping + single-batch shard fanout — must be
+//! byte-for-byte equivalent to the plain-replication baseline over mixed
+//! write/truncate/evict schedules, survive seeded chaos at the flush and
+//! data-server RPC sites, and stay provably dormant (every pipeline
+//! counter zero) when both `flush_ec` and `flush_compress` are off.
+//!
+//! Chaos follows the PR 3/4 convention: seeds `[1, 7, 42]` by default,
+//! `DPC_CHAOS_SEED=<u64>` pins one.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dpc::cache::{
+    CacheConfig, ControlPlane, ExtentPipeline, ExtentPipelineConfig, HybridCache, PAGE_SIZE,
+};
+use dpc::core::{DfsFlush, Dpc, DpcConfig};
+use dpc::dfs::{ClientCore, DfsBackend, DfsConfig, DFS_BLOCK};
+use dpc::pcie::DmaEngine;
+use dpc::sim::{FaultPlan, FaultSpec};
+use proptest::prelude::*;
+
+const CHAOS_SEEDS: [u64; 3] = [1, 7, 42];
+const INO: u64 = 7;
+/// LPN universe for generated schedules (16 DFS blocks).
+const MAX_LPN: u64 = 32;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("DPC_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DPC_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => CHAOS_SEEDS.to_vec(),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One schedule step. `Write` dirties a full page with a patterned fill
+/// (compressible: long runs with a per-page tweak); `Truncate` drops the
+/// file's tail from `from` on (cache pages and published extents);
+/// `Evict` pressures a bucket through the batched-eviction path (which
+/// flushes through the same sink); `Flush` runs a full extent pass.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { lpn: u64, fill: u8 },
+    Truncate { from: u64 },
+    Evict { bucket: usize },
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..MAX_LPN, any::<u8>()).prop_map(|(lpn, fill)| Op::Write { lpn, fill }),
+        1 => (0..MAX_LPN).prop_map(|from| Op::Truncate { from }),
+        1 => (0..8usize).prop_map(|bucket| Op::Evict { bucket }),
+        2 => Just(Op::Flush),
+    ]
+}
+
+/// A page's bytes: mostly-constant fill with a sprinkle of structure so
+/// compression wins but the bytes still identify (lpn, fill) uniquely.
+fn page_bytes(lpn: u64, fill: u8) -> Vec<u8> {
+    let mut page = vec![fill; PAGE_SIZE];
+    page[0] = lpn as u8;
+    page[1] = (lpn >> 8) as u8;
+    page[PAGE_SIZE - 1] = fill.wrapping_add(1);
+    page
+}
+
+/// Cache + control plane + DFS client under one schedule, flushing
+/// through [`DfsFlush`] with an optional armed pipeline.
+struct Harness {
+    cache: Arc<HybridCache>,
+    cp: ControlPlane,
+    core: ClientCore,
+    backend: Arc<DfsBackend>,
+    fault: Option<Arc<dpc::sim::FaultSite>>,
+}
+
+impl Harness {
+    fn new(pipeline: Option<ExtentPipelineConfig>, plan: Option<&Arc<FaultPlan>>) -> Harness {
+        let cache = Arc::new(HybridCache::new(CacheConfig {
+            pages: 64,
+            bucket_entries: 8,
+            mode: 1,
+            meta_lockfree: true,
+        }));
+        let mut cp = ControlPlane::new(cache.clone(), DmaEngine::new());
+        cp.set_pipeline(pipeline.map(ExtentPipeline::new));
+        let backend = DfsBackend::new(DfsConfig::default());
+        let fault = plan.map(|p| {
+            backend.set_fault_plan(p);
+            backend.enable_recovery();
+            p.site("cache.flush")
+        });
+        let core = ClientCore::new(backend.clone(), 1);
+        Harness {
+            cache,
+            cp,
+            core,
+            backend,
+            fault,
+        }
+    }
+
+    fn flush(&mut self) {
+        let mut sink = DfsFlush {
+            core: &mut self.core,
+            fault: self.fault.as_ref(),
+        };
+        self.cp.flush_extents(&mut sink, None, false);
+    }
+
+    fn apply(&mut self, op: &Op, oracle: &mut BTreeMap<u64, Vec<u8>>) {
+        match op {
+            Op::Write { lpn, fill } => {
+                let page = page_bytes(*lpn, *fill);
+                loop {
+                    match self.cache.begin_write(INO, *lpn) {
+                        Ok(mut g) => {
+                            g.write(0, &page);
+                            g.commit_dirty();
+                            break;
+                        }
+                        Err(dpc::cache::WriteError::NeedEviction { bucket }) => {
+                            let mut sink = DfsFlush {
+                                core: &mut self.core,
+                                fault: self.fault.as_ref(),
+                            };
+                            self.cp.evict_batch(&[bucket], &mut sink);
+                        }
+                    }
+                }
+                oracle.insert(*lpn, page);
+            }
+            Op::Truncate { from } => {
+                for lpn in *from..MAX_LPN {
+                    self.cache.invalidate(INO, lpn);
+                }
+                self.backend.invalidate_extents(INO, *from);
+                oracle.retain(|&lpn, _| lpn < *from);
+            }
+            Op::Evict { bucket } => {
+                let bucket = bucket % self.cache.bucket_count();
+                let mut sink = DfsFlush {
+                    core: &mut self.core,
+                    fault: self.fault.as_ref(),
+                };
+                self.cp.evict_batch(&[bucket], &mut sink);
+            }
+            Op::Flush => self.flush(),
+        }
+    }
+
+    /// Flush until nothing is dirty or parked (chaos runs need several
+    /// passes while fault sites keep refusing extents).
+    fn settle(&mut self) {
+        for _ in 0..400 {
+            self.flush();
+            if self.cache.dirty_pages() == 0 && self.cache.quarantined_pages() == 0 {
+                return;
+            }
+        }
+        panic!(
+            "cache failed to settle: {} dirty, {} quarantined",
+            self.cache.dirty_pages(),
+            self.cache.quarantined_pages()
+        );
+    }
+
+    /// Read every oracle page back through the extent-aware block read.
+    fn assert_matches(&mut self, oracle: &BTreeMap<u64, Vec<u8>>, label: &str) {
+        let pages_per_block = DFS_BLOCK / PAGE_SIZE;
+        let blocks: std::collections::BTreeSet<u64> =
+            oracle.keys().map(|l| l / pages_per_block as u64).collect();
+        for block in blocks {
+            let data = self
+                .core
+                .read_block(INO, block)
+                .unwrap_or_else(|e| panic!("{label}: read_block({block}) failed: {e:?}"))
+                .0;
+            for p in 0..pages_per_block {
+                let lpn = block * pages_per_block as u64 + p as u64;
+                if let Some(want) = oracle.get(&lpn) {
+                    let got = &data[p * PAGE_SIZE..(p + 1) * PAGE_SIZE];
+                    assert_eq!(got, &want[..], "{label}: page {lpn} diverged");
+                }
+            }
+        }
+    }
+}
+
+/// Run one schedule to completion and return the harness for read-back.
+fn run_schedule(
+    pipeline: Option<ExtentPipelineConfig>,
+    ops: &[Op],
+) -> (Harness, BTreeMap<u64, Vec<u8>>) {
+    let mut h = Harness::new(pipeline, None);
+    let mut oracle = BTreeMap::new();
+    for op in ops {
+        h.apply(op, &mut oracle);
+    }
+    h.settle();
+    (h, oracle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Byte-exact equivalence: the EC+compression pipeline and the plain
+    /// replication baseline must expose identical bytes after any mixed
+    /// write/truncate/evict schedule — and the baseline run must leave
+    /// every pipeline counter at zero.
+    #[test]
+    fn pipeline_is_byte_equivalent_to_plain_flush(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let (mut plain, oracle_p) = run_schedule(None, &ops);
+        let staged_cfg = ExtentPipelineConfig { ec: true, k: 4, m: 2, compress: true };
+        let (mut staged, oracle_s) = run_schedule(Some(staged_cfg), &ops);
+        prop_assert_eq!(&oracle_p, &oracle_s, "oracles must agree by construction");
+
+        plain.assert_matches(&oracle_p, "plain");
+        staged.assert_matches(&oracle_s, "staged");
+
+        let sp = plain.cache.stats();
+        prop_assert_eq!(
+            (sp.pipe_extents, sp.pipe_bytes_in, sp.pipe_bytes_out, sp.shard_batches),
+            (0, 0, 0, 0)
+        );
+        prop_assert_eq!((sp.compressed_extents, sp.compress_skips, sp.ec_encoded_extents), (0, 0, 0));
+
+        let ss = staged.cache.stats();
+        prop_assert_eq!(ss.pipe_extents, ss.extents_flushed);
+        prop_assert_eq!(ss.shard_batches, ss.extents_flushed);
+        if ss.extents_flushed > 0 {
+            prop_assert!(ss.pipe_bytes_in > 0);
+            // Compressible fills: the sealed wire bytes (parity included)
+            // undercut the raw bytes.
+            prop_assert!(ss.pipe_bytes_out < ss.pipe_bytes_in);
+        }
+    }
+}
+
+/// Seeded chaos at the flush site and the data-server RPC sites: refused
+/// extents quarantine whole and replay; degraded shard stores queue
+/// repairs. Once the sites heal, everything settles byte-exact.
+#[test]
+fn chaos_at_flush_and_ds_rpc_sites_stays_byte_exact() {
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed);
+        plan.arm("cache.flush", FaultSpec::probability(0.25));
+        plan.arm("ds.0.rpc", FaultSpec::probability(0.10));
+        plan.arm("ds.3.rpc", FaultSpec::probability(0.10));
+
+        let staged_cfg = ExtentPipelineConfig {
+            ec: true,
+            k: 4,
+            m: 2,
+            compress: true,
+        };
+        let mut h = Harness::new(Some(staged_cfg), Some(&plan));
+        let mut oracle = BTreeMap::new();
+        let mut rng = seed;
+        for step in 0..160u64 {
+            let op = match splitmix(&mut rng) % 10 {
+                0 => Op::Flush,
+                1 => Op::Truncate {
+                    from: splitmix(&mut rng) % MAX_LPN,
+                },
+                _ => Op::Write {
+                    lpn: splitmix(&mut rng) % MAX_LPN,
+                    fill: (splitmix(&mut rng) ^ step) as u8,
+                },
+            };
+            h.apply(&op, &mut oracle);
+        }
+
+        // Heal the cluster, then settle and verify.
+        plan.arm("cache.flush", FaultSpec::off());
+        plan.arm("ds.0.rpc", FaultSpec::off());
+        plan.arm("ds.3.rpc", FaultSpec::off());
+        h.settle();
+        h.assert_matches(&oracle, &format!("chaos seed {seed}"));
+    }
+}
+
+/// Degraded read after a staged flush: with a data server down, the
+/// extent read reconstructs from stripes (no full refetch) and the bytes
+/// stay exact.
+#[test]
+fn staged_extents_survive_a_downed_data_server() {
+    let staged_cfg = ExtentPipelineConfig {
+        ec: true,
+        k: 4,
+        m: 2,
+        compress: true,
+    };
+    let mut h = Harness::new(Some(staged_cfg), None);
+    let mut oracle = BTreeMap::new();
+    for lpn in 0..8u64 {
+        h.apply(
+            &Op::Write {
+                lpn,
+                fill: lpn as u8 + 1,
+            },
+            &mut oracle,
+        );
+    }
+    h.settle();
+    h.backend.enable_recovery();
+    // Fail the server holding data stripe 0 of the sealed extent — downing
+    // a parity-only server would let the read skip reconstruction.
+    let rec = h.backend.extent_record(INO, 0).expect("extent published");
+    let placement = h.backend.extent_placement(&rec);
+    h.backend.data_server(placement[0]).set_failed(true);
+    h.assert_matches(&oracle, "one server down");
+    assert!(
+        h.backend.recovery().snapshot().reconstructions > 0,
+        "degraded reads must go through stripe reconstruction"
+    );
+}
+
+/// With both knobs off, a full DPC instance (KVFS + DFS traffic, fsync
+/// flushes, evictions) must leave every pipeline counter at zero — the
+/// staged path provably never engages.
+#[test]
+fn knobs_off_leave_every_pipeline_counter_zero() {
+    let dpc = Dpc::new(DpcConfig {
+        dfs: Some(DfsConfig::default()),
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.create("/d/f").unwrap();
+    let data = vec![0x5Au8; 48 * 1024];
+    fs.write(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+    let mut buf = vec![0u8; data.len()];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), data.len());
+    assert_eq!(buf, data);
+    let ino = fs.dfs_create(0, "blk.bin").unwrap();
+    let block = vec![0x3Cu8; DFS_BLOCK];
+    fs.dfs_write_block(ino, 0, &block).unwrap();
+    assert_eq!(fs.dfs_read_block(ino, 0).unwrap(), block);
+
+    let c = dpc.metrics().cache;
+    assert_eq!(
+        (c.pipe_extents, c.pipe_bytes_in, c.pipe_bytes_out),
+        (0, 0, 0)
+    );
+    assert_eq!(
+        (c.compressed_extents, c.compress_skips, c.compress_ns),
+        (0, 0, 0)
+    );
+    assert_eq!((c.ec_encoded_extents, c.ec_ns, c.shard_batches), (0, 0, 0));
+}
+
+/// Knobs *on* against a raw-bytes-only sink (standalone KVFS): the
+/// capability gate keeps the pipeline dormant — armed but never engaged.
+#[test]
+fn armed_pipeline_never_engages_against_raw_only_sinks() {
+    let dpc = Dpc::new(DpcConfig {
+        flush_ec: true,
+        flush_compress: true,
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/raw").unwrap();
+    fs.write(fd, 0, &vec![9u8; 64 * 1024]).unwrap();
+    fs.fsync(fd).unwrap();
+    let c = dpc.metrics().cache;
+    assert_eq!((c.pipe_extents, c.shard_batches), (0, 0));
+    assert!(c.flushes > 0, "the raw flush path did run");
+}
