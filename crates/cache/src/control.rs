@@ -25,6 +25,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use dpc_pcie::DmaEngine;
+use dpc_sim::CrashSwitch;
 
 use crate::host::HybridCache;
 use crate::layout::{EntryStatus, FLAG_MARKER, FLAG_PREFETCHED, PAGE_SIZE};
@@ -168,6 +169,10 @@ pub struct ControlPlane {
     /// extent before it goes to a shard-capable backend. `None` (the
     /// default) keeps the raw-extent path byte-identical to PR 4.
     pipeline: Option<ExtentPipeline>,
+    /// Simulated DPU crash switch (DESIGN.md §13). Interior flush points
+    /// draw it; once tripped every flush entry point returns 0 without
+    /// touching the cache — the "DPU is dead" state recovery tests rely on.
+    crash: Option<Arc<CrashSwitch>>,
 }
 
 impl ControlPlane {
@@ -179,11 +184,29 @@ impl ControlPlane {
             extent_buf: Vec::new(),
             extent_locks: Vec::new(),
             pipeline: None,
+            crash: None,
         }
     }
 
     pub fn cache(&self) -> &Arc<HybridCache> {
         &self.cache
+    }
+
+    /// Attach the simulated DPU crash switch. Flush paths then draw it at
+    /// their interior injection points (mid-flush, between EC encode and
+    /// shard fanout) and go inert once it trips.
+    pub fn set_crash_switch(&mut self, crash: Option<Arc<CrashSwitch>>) {
+        self.crash = crash;
+    }
+
+    fn crash_tripped(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.is_tripped())
+    }
+
+    /// Draw the crash site once (or observe a prior trip). `true` means
+    /// the DPU just died at this point.
+    fn check_crash(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.check_crash())
     }
 
     /// Arm (or disarm) the staged flush pipeline. Armed, every coalesced
@@ -222,6 +245,10 @@ impl ControlPlane {
     /// control-plane acquisitions are deliberately *not* counted in the
     /// `read_locks` stat, which proves the hit path alone.
     pub fn flush_pass(&mut self, backend: &mut dyn FlushBackend) -> usize {
+        if self.crash_tripped() {
+            return 0;
+        }
+        let wal = self.cache.wal();
         let mut flushed = self.drain_quarantine(backend, None);
 
         let mut page = [0u8; PAGE_SIZE];
@@ -255,6 +282,14 @@ impl ControlPlane {
                     std::thread::sleep(std::time::Duration::from_micros(50 << tries));
                     ok = backend.try_flush(ino, lpn, &page[..valid]);
                 }
+                if ok && self.check_crash() {
+                    // Mid-flush crash: the backend has the bytes but the
+                    // entry stays Dirty and the intent stays live — replay
+                    // redoes the write (idempotent).
+                    self.dma.record_atomic();
+                    e.read_unlock();
+                    return flushed;
+                }
                 if ok {
                     // A newer flush of this page supersedes any parked copy
                     // (skip the lock entirely when nothing is parked).
@@ -267,6 +302,11 @@ impl ControlPlane {
                     // write lock is excluded, so no writer can interleave.
                     e.set_status(EntryStatus::Clean);
                     self.cache.note_clean(ino, lpn);
+                    if let Some(log) = wal.as_ref() {
+                        // Durable in the backend: the intents owed by this
+                        // page retire and WAL space can reclaim.
+                        log.note_durable(ino, lpn);
+                    }
                     self.cache.stats.flushes.fetch_add(1, Ordering::Relaxed);
                     flushed += 1;
                 } else {
@@ -318,8 +358,8 @@ impl ControlPlane {
         backend: &mut dyn FlushBackend,
         ino_filter: Option<u64>,
     ) -> usize {
-        if self.cache.quarantine_is_empty() {
-            return 0; // nothing parked — the common, faults-free case
+        if self.crash_tripped() || self.cache.quarantine_is_empty() {
+            return 0; // dead DPU, or nothing parked (the common case)
         }
         let parked: Vec<((u64, u64), Vec<u8>)> = {
             let mut q = self.cache.quarantine.lock();
@@ -389,6 +429,13 @@ impl ControlPlane {
                 }
             };
             if ok {
+                if let Some(log) = self.cache.wal() {
+                    // Durable either from the live entry's current bytes
+                    // (a superset of every committed intent — quarantined
+                    // entries are never evicted, see `evict_one`) or from
+                    // the parked copy of a page with no entry left.
+                    log.note_durable(ino, lpn);
+                }
                 self.cache
                     .stats
                     .quarantine_drains
@@ -420,6 +467,12 @@ impl ControlPlane {
         ino_filter: Option<u64>,
         background: bool,
     ) -> usize {
+        if self.crash_tripped() {
+            return 0;
+        }
+        let wal = self.cache.wal();
+        let crash = self.crash.clone();
+        let check_crash = move || crash.as_ref().is_some_and(|c| c.check_crash());
         let mut flushed = self.drain_quarantine(backend, ino_filter);
         let max_pages = self.max_extent_pages.max(1);
         let snapshot = self.cache.dirty_snapshot(ino_filter);
@@ -483,6 +536,18 @@ impl ControlPlane {
                     // the extent is never re-encoded in-pass.
                     let (k, m) = (pipe.k(), pipe.m());
                     let shards = pipe.seal(&buf, &self.cache.stats);
+                    // Injection point: the DPU dies between EC encode and
+                    // the shard fanout — nothing reached the backend, the
+                    // pages stay dirty and their intents stay live.
+                    if check_crash() {
+                        for &idx in locked.iter() {
+                            self.dma.record_atomic();
+                            self.cache.entries[idx].read_unlock();
+                        }
+                        self.extent_buf = buf;
+                        self.extent_locks = locked;
+                        return flushed;
+                    }
                     ok = backend.try_flush_shards(ino, start_lpn, &buf, shards, k, m);
                     while !ok && tries < FLUSH_RETRIES {
                         tries += 1;
@@ -512,6 +577,18 @@ impl ControlPlane {
                     }
                 }
 
+                if ok && check_crash() {
+                    // Mid-flush crash: the backend accepted the extent but
+                    // the run is never marked clean and the intents stay
+                    // live — replay redoes the writes (idempotent).
+                    for &idx in locked.iter() {
+                        self.dma.record_atomic();
+                        self.cache.entries[idx].read_unlock();
+                    }
+                    self.extent_buf = buf;
+                    self.extent_locks = locked;
+                    return flushed;
+                }
                 if ok {
                     // Clean the whole run with batched bookkeeping: one
                     // quarantine probe (lock only if something is parked)
@@ -530,6 +607,11 @@ impl ControlPlane {
                         self.cache.entries[idx].set_status(EntryStatus::Clean);
                     }
                     self.cache.note_clean_run(ino, start_lpn, run);
+                    if let Some(log) = wal.as_ref() {
+                        // The whole run is durable: retire its intents and
+                        // let the WAL reclaim their log space.
+                        log.note_durable_run(ino, start_lpn, run);
+                    }
                     self.cache
                         .stats
                         .flushes

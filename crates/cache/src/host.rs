@@ -244,6 +244,19 @@ pub struct CacheStats {
     /// Sealed extents whose shards were fanned to the backend as one
     /// vectored batch.
     pub shard_batches: u64,
+    /// Intent-log records appended (writes, truncates, checkpoints).
+    /// All six `wal_*` counters are zero when no log is attached.
+    pub wal_appends: u64,
+    /// Bytes appended to the intent log (headers + payloads).
+    pub wal_bytes: u64,
+    /// Log-space reclaims: committed-tail advances past retired records.
+    pub wal_checkpoints: u64,
+    /// Records re-applied by crash recovery.
+    pub wal_replayed_records: u64,
+    /// Torn/corrupt tail records dropped by the recovery scan.
+    pub wal_torn_tail_drops: u64,
+    /// Appends refused because the ring was full (back-pressure events).
+    pub wal_stalls: u64,
 }
 
 #[derive(Default)]
@@ -353,6 +366,9 @@ pub struct HybridCache {
     /// a change means the bytes it holds may predate newer writes, so the
     /// fill is abandoned rather than risk resurrecting stale data.
     pub(crate) ino_epochs: Box<[AtomicU64]>,
+    /// The attached write-ahead intent log (None = WAL off; all `wal_*`
+    /// stats stay zero and no path pays for logging).
+    pub(crate) wal: parking_lot::RwLock<Option<std::sync::Arc<crate::wal::IntentLog>>>,
 }
 
 impl HybridCache {
@@ -389,8 +405,21 @@ impl HybridCache {
                 .collect(),
             dirty_total: AtomicU64::new(0),
             ino_epochs: (0..DIRTY_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            wal: parking_lot::RwLock::new(None),
             cfg,
         }
+    }
+
+    /// Attach the write-ahead intent log. From here on, the adapter logs
+    /// every mutation before ack and the control plane retires records as
+    /// their pages durably land.
+    pub fn attach_wal(&self, log: std::sync::Arc<crate::wal::IntentLog>) {
+        *self.wal.write() = Some(log);
+    }
+
+    /// The attached intent log, if any.
+    pub fn wal(&self) -> Option<std::sync::Arc<crate::wal::IntentLog>> {
+        self.wal.read().clone()
     }
 
     /// Current content epoch of `ino`'s shard (see `ino_epochs`).
@@ -512,7 +541,19 @@ impl HybridCache {
     }
 
     pub fn stats(&self) -> CacheStats {
+        let wal = self
+            .wal
+            .read()
+            .as_ref()
+            .map(|log| log.stats())
+            .unwrap_or_default();
         CacheStats {
+            wal_appends: wal.appends,
+            wal_bytes: wal.bytes,
+            wal_checkpoints: wal.checkpoints,
+            wal_replayed_records: wal.replayed,
+            wal_torn_tail_drops: wal.torn_drops,
+            wal_stalls: wal.stalls,
             hits: self.stats.hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
             writes: self.stats.writes.load(Ordering::Relaxed),
@@ -895,6 +936,13 @@ impl HybridCache {
     /// and mark it free. Returns whether the page was present.
     pub fn invalidate(&self, ino: u64, lpn: u64) -> bool {
         self.bump_ino_epoch(ino);
+        // A deliberate drop voids the page's intent-log obligations: the
+        // data is *meant* to be gone (truncate clipped it, or a durable
+        // O_DIRECT write superseded it), so the records it carried must
+        // not pin the log tail.
+        if let Some(log) = self.wal() {
+            log.note_durable(ino, lpn);
+        }
         // A quarantined copy must die with the page, or a later flush pass
         // would resurrect data the application just truncated away.
         if !self.quarantine_is_empty() {
@@ -929,6 +977,10 @@ impl HybridCache {
     /// pages invalidated.
     pub fn invalidate_ino(&self, ino: u64) -> usize {
         self.bump_ino_epoch(ino);
+        // Whole-file drop (unlink): void every obligation of the ino.
+        if let Some(log) = self.wal() {
+            log.drop_ino(ino);
+        }
         if !self.quarantine_is_empty() {
             let mut q = self.quarantine.lock();
             q.retain(|&(i, _), _| i != ino);
@@ -1163,10 +1215,23 @@ impl WriteGuard<'_> {
     }
 
     /// Shrink the valid length to exactly `end` (truncation support).
+    ///
+    /// Bytes between `end` and the old valid length are zeroed. Every
+    /// fill path leaves the buffer zero past `valid` and readers
+    /// ([`ReadRef::read`]) trust that invariant rather than re-checking
+    /// `valid` on every copy — a clip that left the clipped bytes in
+    /// place would let a later valid extension (truncate-grow, or a
+    /// write higher in the page) resurrect them.
     pub fn set_valid(&mut self, end: usize) {
         assert!(end <= PAGE_SIZE);
-        self.cache.entries[self.idx]
-            .valid
+        let e = &self.cache.entries[self.idx];
+        let old = e.valid.load(std::sync::atomic::Ordering::Relaxed) as usize;
+        if end < old {
+            static ZEROS: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+            // SAFETY: the guard holds the entry's write lock.
+            unsafe { self.cache.pages.write(self.idx, end, &ZEROS[..old - end]) };
+        }
+        e.valid
             .store(end as u32, std::sync::atomic::Ordering::Release);
     }
 

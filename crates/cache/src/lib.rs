@@ -48,6 +48,7 @@ mod layout;
 mod pipeline;
 mod readahead;
 mod stages;
+mod wal;
 
 pub use control::{ControlPlane, FlushBackend, ReadBackend, DEFAULT_EXTENT_PAGES};
 pub use host::{CacheStats, HybridCache, ReadHint, ReadRef, WriteError, WriteGuard};
@@ -55,3 +56,4 @@ pub use layout::{CacheConfig, CacheEntry, CacheHeader, EntryStatus, LockState, P
 pub use pipeline::{FlushPipeline, PipelineConfig, PipelineStats, UnsealError};
 pub use readahead::{PrefetchJob, PrefetchQueue, RaConfig, RaWindow, ReadaheadTable};
 pub use stages::{ExtentPipeline, ExtentPipelineConfig};
+pub use wal::{IntentLog, WalError, WalKind, WalRecord, WalScan, WalStats, REC_HEADER, WAL_HEADER};

@@ -24,11 +24,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dpc_cache::{HybridCache, WriteError, PAGE_SIZE};
+use dpc_cache::{HybridCache, IntentLog, WalError, WalKind, WriteError, PAGE_SIZE};
 use dpc_nvmefs::{
     decode_dirents, ChannelPool, DispatchType, FileRequest, FileResponse, WireAttr, WireDirent,
 };
 use parking_lot::Mutex;
+
+use crate::dispatch::FSYNC_ALL;
 
 /// Errors surfaced by the adapter (errno-carrying).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -125,6 +127,34 @@ pub enum IoMode {
     Direct,
 }
 
+/// What `fsync` waits for (DESIGN.md §13) — only meaningful when the
+/// intent log is on; without one the adapter always behaves as `Data`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FsyncMode {
+    /// Flush dirty pages to the backing store and reconcile the size —
+    /// data-durable, the classic (and default) tier.
+    Data,
+    /// Return once every acknowledged write is in the intent log.
+    /// Because the DPU appends the record *before* acking any buffered
+    /// write, that is already true by the time `fsync` is called — the
+    /// call is a no-op, and crash recovery replays the log to
+    /// reconstruct the data. The cheap tier for intent-logged deployments.
+    Log,
+}
+
+/// Admission verdict from the intent log for one data-plane op.
+enum WalAdmit {
+    /// No log attached — proceed exactly as before PR 8.
+    None,
+    /// Intent record appended (write-ahead of the mutation); the op must
+    /// retire the carried seq as its pages/ack become durable.
+    Logged(Arc<IntentLog>, u64),
+    /// The payload can never fit the ring. The log was forcibly drained,
+    /// so the op may proceed unlogged — but only *durably* (a buffered
+    /// absorb would reopen the lost-ack window the log exists to close).
+    Bypass,
+}
+
 /// The host-side file interface: the shared nvme-fs channel pool + the
 /// hybrid cache data plane. Fully concurrent — share behind `Arc` or hand
 /// every thread its own adapter from [`Dpc::fs`](crate::Dpc::fs); both
@@ -134,15 +164,23 @@ pub struct DpcFs {
     pool: Arc<ChannelPool>,
     fds: FdTable,
     pub mode: IoMode,
+    /// Durability tier `fsync` provides (see [`FsyncMode`]).
+    pub fsync_mode: FsyncMode,
 }
 
 impl DpcFs {
-    pub(crate) fn new(cache: Arc<HybridCache>, pool: Arc<ChannelPool>, mode: IoMode) -> DpcFs {
+    pub(crate) fn new(
+        cache: Arc<HybridCache>,
+        pool: Arc<ChannelPool>,
+        mode: IoMode,
+        fsync_mode: FsyncMode,
+    ) -> DpcFs {
         DpcFs {
             cache,
             pool,
             fds: FdTable::new(),
             mode,
+            fsync_mode,
         }
     }
 
@@ -430,6 +468,64 @@ impl DpcFs {
 
     // ---- data API --------------------------------------------------------
 
+    /// Append the intent record for one data-plane op (write-ahead: the
+    /// record must be in the ring before the mutation is acknowledged —
+    /// for a buffered write, before the cache absorbs a single page).
+    ///
+    /// A full ring is back-pressure, not an error: records retire as
+    /// their pages become durable, so forcing flushes reclaims space.
+    /// Each stall round escalates from a scoped fsync to a global one;
+    /// a ring that stays full after a bounded number of rounds surfaces
+    /// as EBUSY (`wal_stalls` counts every full-ring encounter). A
+    /// payload larger than the whole ring drains the log and proceeds
+    /// unlogged-but-durable ([`WalAdmit::Bypass`]); a tripped crash
+    /// switch is EIO (the DPU is dead — nothing can be acknowledged).
+    fn wal_admit(
+        &self,
+        kind: WalKind,
+        ino: u64,
+        offset: u64,
+        payload: &[u8],
+        obligations: u32,
+    ) -> Result<WalAdmit, DpcError> {
+        let Some(log) = self.cache.wal() else {
+            return Ok(WalAdmit::None);
+        };
+        const STALL_ROUNDS: u32 = 32;
+        let mut rounds = 0u32;
+        loop {
+            match log.try_append(kind, ino, offset, payload, obligations) {
+                Ok(seq) => return Ok(WalAdmit::Logged(log, seq)),
+                Err(WalError::Crashed) => return Err(DpcError::IO),
+                Err(WalError::WouldBlock) => {
+                    rounds += 1;
+                    if rounds > STALL_ROUNDS {
+                        return Err(DpcError(16 /* EBUSY */));
+                    }
+                    // Make this file's pages durable first (cheap,
+                    // targeted); escalate to a global flush if the ring
+                    // is pinned by other files' records.
+                    let scope = if rounds <= 2 { ino } else { FSYNC_ALL };
+                    self.call(&FileRequest::Fsync { ino: scope }, b"", 0)?;
+                }
+                Err(WalError::TooLarge) => {
+                    let mut drain_rounds = 0u32;
+                    while !log.is_drained() {
+                        drain_rounds += 1;
+                        if drain_rounds > STALL_ROUNDS {
+                            return Err(DpcError(16 /* EBUSY */));
+                        }
+                        if log.crashed() {
+                            return Err(DpcError::IO);
+                        }
+                        self.call(&FileRequest::Fsync { ino: FSYNC_ALL }, b"", 0)?;
+                    }
+                    return Ok(WalAdmit::Bypass);
+                }
+            }
+        }
+    }
+
     /// Write at `offset`. Buffered mode absorbs the write in the hybrid
     /// cache (the paper's front-end write); direct mode sends it straight
     /// to the DPU.
@@ -446,7 +542,13 @@ impl DpcFs {
 
         match self.mode {
             IoMode::Direct => {
-                let (resp, _) = self.call(
+                // Direct writes are durable at ack, but must still be
+                // *ordered* in the log relative to any live buffered
+                // records: positional replay redoes every surviving
+                // record in sequence, so the direct bytes can never be
+                // resurrected-over by an older buffered write.
+                let admit = self.wal_admit(WalKind::Write, ino, offset, data, 1)?;
+                let res = self.call(
                     &FileRequest::Write {
                         ino,
                         offset,
@@ -454,7 +556,16 @@ impl DpcFs {
                     },
                     data,
                     0,
-                )?;
+                );
+                if let WalAdmit::Logged(log, seq) = &admit {
+                    // Durable at ack; voided on a non-crash error. After a
+                    // crash the op is ambiguous — the record must stay
+                    // live so positional replay resolves it one way.
+                    if res.is_ok() || !log.crashed() {
+                        log.retire_all(*seq);
+                    }
+                }
+                let (resp, _) = res?;
                 let FileResponse::Bytes(n) = resp else {
                     return Err(DpcError::IO);
                 };
@@ -462,71 +573,160 @@ impl DpcFs {
                 Ok(n as usize)
             }
             IoMode::Buffered => {
-                // Pass 1: absorb whatever the cache will take, remember
-                // the pages whose bucket was full instead of evicting
-                // inline — a dirty-heavy burst used to ping-pong one
-                // CacheEvict round-trip per stalled page.
-                struct Stalled {
-                    lpn: u64,
-                    in_page: usize,
-                    pos: usize,
-                    len: usize,
-                }
-                let mut stalled: Vec<Stalled> = Vec::new();
-                let mut buckets: Vec<u64> = Vec::new();
-                let mut pos = 0usize;
-                let mut off = offset;
-                while pos < data.len() {
-                    let lpn = off / PAGE_SIZE as u64;
-                    let in_page = (off % PAGE_SIZE as u64) as usize;
-                    let n = (PAGE_SIZE - in_page).min(data.len() - pos);
-                    match self.cache_write_page(ino, lpn, in_page, &data[pos..pos + n])? {
-                        Ok(()) => {}
-                        Err(bucket) => {
-                            self.cache.note_evict_stall();
-                            stalled.push(Stalled {
-                                lpn,
-                                in_page,
-                                pos,
-                                len: n,
-                            });
-                            // One occurrence per needed slot — duplicates
-                            // are deliberate.
-                            buckets.push(bucket as u64);
+                // Write-ahead: the intent record must be on the ring
+                // before the cache absorbs the first page — an acked
+                // buffered write is then always recoverable.
+                let first_lpn = offset / PAGE_SIZE as u64;
+                let last_lpn = (end - 1) / PAGE_SIZE as u64;
+                let pages = (last_lpn - first_lpn + 1) as u32;
+                let wal = match self.wal_admit(WalKind::Write, ino, offset, data, pages)? {
+                    WalAdmit::None => None,
+                    WalAdmit::Logged(log, seq) => Some((log, seq)),
+                    WalAdmit::Bypass => {
+                        return self.write_bypass(&entry, ino, offset, end, data);
+                    }
+                };
+                let res = self.write_buffered(&entry, ino, offset, end, data, wal.as_ref());
+                if res.is_err() {
+                    if let Some((log, seq)) = &wal {
+                        // A non-crash error mid-write: pages that did
+                        // commit retire on flush; the rest must not pin
+                        // the ring. After a crash the record stays so
+                        // replay redoes the whole (ambiguous) op — some
+                        // pages may already be committed or durable, and
+                        // only a full redo leaves a consistent outcome.
+                        if !log.crashed() {
+                            log.retire_all(*seq);
                         }
                     }
-                    pos += n;
-                    off += n as u64;
                 }
-                // Pass 2: one batched eviction round-trip frees a slot
-                // per stalled page, then each page retries once. EBUSY
-                // means the DPU could not free anything even after a
-                // flush pass — retrying is pointless, write through.
-                if !stalled.is_empty() {
-                    let evicted = match self.call(
-                        &FileRequest::CacheEvictBatch {
-                            buckets: std::mem::take(&mut buckets),
-                        },
-                        b"",
-                        0,
-                    ) {
-                        Ok(_) => true,
-                        Err(DpcError(16 /* EBUSY */)) => false,
-                        Err(e) => return Err(e),
-                    };
-                    for s in &stalled {
-                        let chunk = &data[s.pos..s.pos + s.len];
-                        if evicted && self.cache_write_page(ino, s.lpn, s.in_page, chunk)?.is_ok() {
-                            continue;
-                        }
-                        self.cache.note_write_through();
-                        self.write_through_page(ino, s.lpn, s.in_page, chunk)?;
-                    }
-                }
-                entry.size.fetch_max(end, Ordering::AcqRel);
-                Ok(data.len())
+                res
             }
         }
+    }
+
+    /// The buffered two-pass absorb (the paper's front-end write),
+    /// factored out so the caller can void the intent record on error.
+    fn write_buffered(
+        &self,
+        entry: &FdEntry,
+        ino: u64,
+        offset: u64,
+        end: u64,
+        data: &[u8],
+        wal: Option<&(Arc<IntentLog>, u64)>,
+    ) -> Result<usize, DpcError> {
+        // Pass 1: absorb whatever the cache will take, remember
+        // the pages whose bucket was full instead of evicting
+        // inline — a dirty-heavy burst used to ping-pong one
+        // CacheEvict round-trip per stalled page.
+        struct Stalled {
+            lpn: u64,
+            in_page: usize,
+            pos: usize,
+            len: usize,
+        }
+        let mut stalled: Vec<Stalled> = Vec::new();
+        let mut buckets: Vec<u64> = Vec::new();
+        let mut pos = 0usize;
+        let mut off = offset;
+        while pos < data.len() {
+            let lpn = off / PAGE_SIZE as u64;
+            let in_page = (off % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - pos);
+            match self.cache_write_page(ino, lpn, in_page, &data[pos..pos + n], wal)? {
+                Ok(()) => {}
+                Err(bucket) => {
+                    self.cache.note_evict_stall();
+                    stalled.push(Stalled {
+                        lpn,
+                        in_page,
+                        pos,
+                        len: n,
+                    });
+                    // One occurrence per needed slot — duplicates
+                    // are deliberate.
+                    buckets.push(bucket as u64);
+                }
+            }
+            pos += n;
+            off += n as u64;
+        }
+        // Pass 2: one batched eviction round-trip frees a slot
+        // per stalled page, then each page retries once. EBUSY
+        // means the DPU could not free anything even after a
+        // flush pass — retrying is pointless, write through.
+        if !stalled.is_empty() {
+            let evicted = match self.call(
+                &FileRequest::CacheEvictBatch {
+                    buckets: std::mem::take(&mut buckets),
+                },
+                b"",
+                0,
+            ) {
+                Ok(_) => true,
+                Err(DpcError(16 /* EBUSY */)) => false,
+                Err(e) => return Err(e),
+            };
+            for s in &stalled {
+                let chunk = &data[s.pos..s.pos + s.len];
+                if evicted
+                    && self
+                        .cache_write_page(ino, s.lpn, s.in_page, chunk, wal)?
+                        .is_ok()
+                {
+                    continue;
+                }
+                self.cache.note_write_through();
+                self.write_through_page(ino, s.lpn, s.in_page, chunk)?;
+                if let Some((log, seq)) = wal {
+                    // Written through durably: that page's
+                    // obligation is already met.
+                    log.retire_page(*seq);
+                }
+            }
+        }
+        entry.size.fetch_max(end, Ordering::AcqRel);
+        Ok(data.len())
+    }
+
+    /// Durable write-through of a whole buffer that can never fit the
+    /// intent log ([`WalAdmit::Bypass`]): chunked direct writes (inside
+    /// the nvme-fs slot cap), then cached-page invalidation so later
+    /// reads see the new bytes. Nothing buffered ⇒ nothing to recover.
+    fn write_bypass(
+        &self,
+        entry: &FdEntry,
+        ino: u64,
+        offset: u64,
+        end: u64,
+        data: &[u8],
+    ) -> Result<usize, DpcError> {
+        const BYPASS_CHUNK: usize = 64 * PAGE_SIZE;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let n = BYPASS_CHUNK.min(data.len() - pos);
+            let (resp, _) = self.call(
+                &FileRequest::Write {
+                    ino,
+                    offset: offset + pos as u64,
+                    len: n as u32,
+                },
+                &data[pos..pos + n],
+                0,
+            )?;
+            let FileResponse::Bytes(_) = resp else {
+                return Err(DpcError::IO);
+            };
+            pos += n;
+        }
+        let first = offset / PAGE_SIZE as u64;
+        let last = (end - 1) / PAGE_SIZE as u64;
+        for lpn in first..=last {
+            self.cache.invalidate(ino, lpn);
+        }
+        entry.size.fetch_max(end, Ordering::AcqRel);
+        Ok(data.len())
     }
 
     /// One page of the paper's front-end write protocol. `Ok(Ok(()))`
@@ -538,6 +738,7 @@ impl DpcFs {
         lpn: u64,
         in_page: usize,
         chunk: &[u8],
+        wal: Option<&(Arc<IntentLog>, u64)>,
     ) -> Result<Result<(), usize>, DpcError> {
         match self.cache.begin_write(ino, lpn) {
             Ok(mut guard) => {
@@ -567,6 +768,12 @@ impl DpcFs {
                     }
                 }
                 guard.write(in_page, chunk);
+                if let Some((log, seq)) = wal {
+                    // Register the obligation while still holding the
+                    // entry write lock: the moment `commit_dirty` lands,
+                    // a flusher may drain (and try to retire) this page.
+                    log.note_committed(ino, lpn, *seq);
+                }
                 guard.commit_dirty();
                 Ok(Ok(()))
             }
@@ -806,7 +1013,20 @@ impl DpcFs {
         {
             self.call(&FileRequest::Fsync { ino }, b"", 0)?;
         }
-        let done = self
+        // Intent-log the gathered payload (flattened — replay needs the
+        // bytes contiguous; the wire path still crosses as an SGL).
+        // Durable at ack, so the record retires as soon as the call
+        // returns; it exists to order the op against live buffered
+        // records under positional replay.
+        let mut admit = WalAdmit::None;
+        if self.cache.wal().is_some() {
+            let mut flat = Vec::with_capacity(total);
+            for s in segments {
+                flat.extend_from_slice(s);
+            }
+            admit = self.wal_admit(WalKind::Write, ino, offset, &flat, 1)?;
+        }
+        let res = self
             .pool
             .call_sgl(
                 DispatchType::Standalone,
@@ -818,7 +1038,15 @@ impl DpcFs {
                 segments,
                 0,
             )
-            .map_err(|e| DpcError(e.errno()))?;
+            .map_err(|e| DpcError(e.errno()));
+        if let WalAdmit::Logged(log, seq) = &admit {
+            // Voided on return — except after a crash, where the record
+            // must survive for positional replay (the op is ambiguous).
+            if res.is_ok() || !log.crashed() {
+                log.retire_all(*seq);
+            }
+        }
+        let done = res?;
         match done.response {
             FileResponse::Bytes(n) => {
                 entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
@@ -836,12 +1064,24 @@ impl DpcFs {
     }
 
     /// Flush buffered data and reconcile the logical size.
+    ///
+    /// Two durability tiers (DESIGN.md §13): [`FsyncMode::Data`] flushes
+    /// dirty pages and reconciles the size; [`FsyncMode::Log`] returns
+    /// immediately when the intent log is attached — every acknowledged
+    /// write already has its record on the ring (write-ahead of the
+    /// ack), so log-durability holds by construction and recovery
+    /// replays the rest.
     pub fn fsync(&self, fd: Fd) -> Result<(), DpcError> {
         let entry = self.fds.get(fd)?;
+        if self.fsync_mode == FsyncMode::Log && self.cache.wal().is_some() {
+            return Ok(());
+        }
         let (ino, size) = (entry.ino, entry.size.load(Ordering::Acquire));
         self.call(&FileRequest::Fsync { ino }, b"", 0)?;
         // The flusher writes whole pages; trim any padding past the
-        // logical size (kernel i_size reconciliation).
+        // logical size (kernel i_size reconciliation). No intent record:
+        // replay reconciles every touched file's size itself, from the
+        // records it redoes.
         self.call(&FileRequest::Truncate { ino, size }, b"", 0)?;
         Ok(())
     }
@@ -849,7 +1089,19 @@ impl DpcFs {
     pub fn truncate(&self, fd: Fd, size: u64) -> Result<(), DpcError> {
         let entry = self.fds.get(fd)?;
         let (ino, old) = (entry.ino, entry.size.load(Ordering::Acquire));
-        self.call(&FileRequest::Truncate { ino, size }, b"", 0)?;
+        // Write-ahead: the truncate record orders against live buffered
+        // records (positional replay), so a post-crash redo of an older
+        // write can never resurrect the clipped bytes. Durable at ack —
+        // retired (voided) when the call returns, unless a crash made
+        // the op ambiguous (then replay applies the surviving record).
+        let admit = self.wal_admit(WalKind::Truncate, ino, size, b"", 1)?;
+        let res = self.call(&FileRequest::Truncate { ino, size }, b"", 0);
+        if let WalAdmit::Logged(log, seq) = &admit {
+            if res.is_ok() || !log.crashed() {
+                log.retire_all(*seq);
+            }
+        }
+        res?;
         entry.size.store(size, Ordering::Release);
         // Invalidate cached pages past the new end, and clip the valid
         // length of the boundary page so a later flush cannot re-extend

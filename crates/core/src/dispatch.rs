@@ -21,6 +21,12 @@ use dpc_nvmefs::{
 };
 use dpc_sim::FaultSite;
 
+/// Sentinel inode for `FileRequest::Fsync` meaning "flush every inode's
+/// dirty pages" — the WAL back-pressure path frees ring space without
+/// naming a file (and without the per-inode KVFS barrier, which would be
+/// meaningless for a whole-cache sweep).
+pub const FSYNC_ALL: u64 = u64::MAX;
+
 /// Map a KVFS attribute to the wire form.
 fn wire_attr(a: &dpc_kvfs::FileAttr) -> WireAttr {
     WireAttr {
@@ -449,13 +455,28 @@ impl Dispatcher {
                     kvfs,
                     fault: self.flush_fault.as_ref(),
                 };
+                if *ino == FSYNC_ALL {
+                    // Unscoped sweep (WAL ring back-pressure): flush every
+                    // inode, no per-inode barrier.
+                    if self.coalesce {
+                        self.control.flush_extents(&mut backend, None, false);
+                    } else {
+                        self.control.flush_pass(&mut backend);
+                    }
+                    return FileResponse::Ok;
+                }
                 if self.coalesce {
                     self.control.flush_extents(&mut backend, Some(*ino), false);
                 } else {
                     self.control.flush_pass(&mut backend);
                 }
-                let _ = kvfs.fsync(*ino);
-                FileResponse::Ok
+                // The KVFS barrier can genuinely fail (vanished inode, KV
+                // refusal) — swallowing it here once turned fsync into a
+                // false durability promise.
+                match kvfs.fsync(*ino) {
+                    Ok(()) => FileResponse::Ok,
+                    Err(e) => fs_err(e),
+                }
             }
             FileRequest::Link {
                 ino,

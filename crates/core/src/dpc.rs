@@ -13,15 +13,18 @@
 
 use std::sync::Arc;
 
-use dpc_cache::{CacheConfig, ControlPlane, HybridCache, PrefetchQueue, RaConfig, ReadaheadTable};
+use dpc_cache::{
+    CacheConfig, ControlPlane, HybridCache, IntentLog, PrefetchQueue, RaConfig, ReadaheadTable,
+    WAL_HEADER,
+};
 use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
 use dpc_kvfs::Kvfs;
 use dpc_kvstore::KvStore;
 use dpc_nvmefs::{create_fabric, ChannelPool, PoolStats, QueuePairConfig, RetryPolicy};
-use dpc_pcie::{DmaEngine, PcieSnapshot};
-use dpc_sim::FaultPlan;
+use dpc_pcie::{DmaEngine, HostRegion, PcieSnapshot};
+use dpc_sim::{CrashSwitch, FaultPlan};
 
-use crate::adapter::{DpcFs, IoMode};
+use crate::adapter::{DpcFs, FsyncMode, IoMode};
 use crate::dispatch::Dispatcher;
 use crate::runtime::{DpuRuntime, FlusherConfig, PrefetcherConfig};
 
@@ -89,6 +92,20 @@ pub struct DpcConfig {
     /// Link-level retry budget: per-call completion deadlines, CID
     /// reissue and bounded exponential backoff in the channel pool.
     pub retry: RetryPolicy,
+    /// Keep a write-ahead intent log in a DMA-able host region: the DPU
+    /// appends an intent record *before* acknowledging any buffered
+    /// write, so a DPU crash loses nothing that was acked — recovery
+    /// scans the ring, drops the torn tail by CRC, and replays the
+    /// survivors (DESIGN.md §13). Off = the pre-PR-8 behaviour; every
+    /// `wal_*` counter stays provably zero.
+    pub wal: bool,
+    /// Ring capacity of the intent log in bytes (payload + headers).
+    /// Small rings exercise the reclaim/back-pressure machinery; the
+    /// default comfortably covers a dirty set the size of the cache.
+    pub wal_bytes: usize,
+    /// What `fsync` waits for (only meaningful with `wal` on — without a
+    /// log it silently degrades to [`FsyncMode::Data`]).
+    pub fsync_mode: FsyncMode,
     /// Seeded fault-injection plan threaded through every layer (nvme-fs
     /// transport, DFS/KV servers, cache flush). None = no faults; all
     /// recovery machinery stays dormant and its counters read zero.
@@ -117,6 +134,9 @@ impl Default for DpcConfig {
             flush_high_watermark: 0.75,
             flush_ec: false,
             flush_compress: false,
+            wal: false,
+            wal_bytes: 4 << 20,
+            fsync_mode: FsyncMode::Data,
             dfs: None,
             retry: RetryPolicy::default(),
             faults: None,
@@ -143,6 +163,13 @@ pub struct Dpc {
     /// The shared prefetch queue (None with `prefetch` off) — kept for
     /// [`Dpc::drain_prefetch`] and diagnostics.
     ra_queue: Option<Arc<PrefetchQueue>>,
+    /// The DPU kill switch: armed by the `dpu.crash` fault site when a
+    /// fault plan is present, inert otherwise. Shared by every DPU-side
+    /// loop and injection point; latches on first fire.
+    crash: Arc<CrashSwitch>,
+    /// The intent log (None with `wal` off). The cache holds the same
+    /// handle; this one serves diagnostics and region hand-off.
+    wal: Option<Arc<IntentLog>>,
 }
 
 impl Dpc {
@@ -164,10 +191,47 @@ impl Dpc {
         Self::build(cfg, kv_store, dfs_backend)
     }
 
+    /// Rebuild a DPC instance after a simulated DPU crash, replaying the
+    /// intent log left behind in `region` (the crashed instance's
+    /// [`Dpc::wal_region`]) against the surviving KV store.
+    ///
+    /// The new instance reuses the region under the next log epoch;
+    /// acknowledged-but-unflushed writes come back as dirty cache pages,
+    /// are flushed, and every touched file's size is reconciled — the
+    /// returned client is clean and the log drained. `cfg.wal` is forced
+    /// on (recovering without a log would re-open the window).
+    pub fn recover(
+        mut cfg: DpcConfig,
+        kv_store: Arc<KvStore>,
+        dfs_backend: Option<Arc<DfsBackend>>,
+        region: HostRegion,
+    ) -> Dpc {
+        let scan = IntentLog::scan(&region);
+        cfg.wal = true;
+        let dpc = Self::build_with_wal(
+            cfg,
+            Some(kv_store),
+            dfs_backend,
+            Some((region, scan.epoch.wrapping_add(1).max(1))),
+        );
+        let log = dpc.wal.clone().expect("recover builds with wal on");
+        DpuRuntime::recover(&dpc.cache, &dpc.kvfs, dpc.dma.clone(), &log, scan);
+        dpc
+    }
+
     fn build(
         cfg: DpcConfig,
         kv_store: Option<Arc<KvStore>>,
         shared_dfs: Option<Arc<DfsBackend>>,
+    ) -> Dpc {
+        Self::build_with_wal(cfg, kv_store, shared_dfs, None)
+    }
+
+    fn build_with_wal(
+        cfg: DpcConfig,
+        kv_store: Option<Arc<KvStore>>,
+        shared_dfs: Option<Arc<DfsBackend>>,
+        wal_region: Option<(HostRegion, u32)>,
     ) -> Dpc {
         let dma = DmaEngine::new();
         let cache = Arc::new(HybridCache::new(CacheConfig {
@@ -190,6 +254,24 @@ impl Dpc {
             }
             kvfs.store().set_fault_site(Some(plan.site("kv.op")));
         }
+
+        // The DPU kill switch: one shared latch across every service
+        // loop, flusher, prefetcher and log append. Without a fault plan
+        // it is inert and every check is a single relaxed load.
+        let crash = Arc::new(match &cfg.faults {
+            Some(plan) => CrashSwitch::armed_by(plan.site("dpu.crash")),
+            None => CrashSwitch::inert(),
+        });
+
+        // The intent log: fresh ring, or a crashed instance's region
+        // re-adopted under the next epoch (see `Dpc::recover`).
+        let wal = cfg.wal.then(|| {
+            let (region, epoch) = wal_region
+                .unwrap_or_else(|| (HostRegion::new(WAL_HEADER + cfg.wal_bytes.max(4096)), 1));
+            let log = IntentLog::create(region, dma.clone(), Some(crash.clone()), epoch);
+            cache.attach_wal(log.clone());
+            log
+        });
 
         let (channels, targets) = create_fabric(
             cfg.queues,
@@ -243,6 +325,7 @@ impl Dpc {
                 }
                 let mut control = ControlPlane::new(cache.clone(), dma.clone());
                 control.max_extent_pages = cfg.flush_extent_pages.max(1);
+                control.set_crash_switch(Some(crash.clone()));
                 arm(&mut control);
                 let mut dispatcher = Dispatcher::new(
                     kvfs.clone(),
@@ -263,6 +346,7 @@ impl Dpc {
         let flusher = if cfg.background_flush {
             let mut control = ControlPlane::new(cache.clone(), dma.clone());
             control.max_extent_pages = cfg.flush_extent_pages.max(1);
+            control.set_crash_switch(Some(crash.clone()));
             arm(&mut control);
             Some(FlusherConfig {
                 control,
@@ -279,6 +363,7 @@ impl Dpc {
         let prefetcher = ra.as_ref().map(|(_, queue)| {
             let mut control = ControlPlane::new(cache.clone(), dma.clone());
             control.max_extent_pages = cfg.flush_extent_pages.max(1);
+            control.set_crash_switch(Some(crash.clone()));
             PrefetcherConfig {
                 control,
                 kvfs: kvfs.clone(),
@@ -287,7 +372,7 @@ impl Dpc {
             }
         });
 
-        let runtime = DpuRuntime::spawn(targets_with_dispatch, flusher, prefetcher);
+        let runtime = DpuRuntime::spawn(targets_with_dispatch, flusher, prefetcher, crash.clone());
 
         let mut pool = ChannelPool::new(channels);
         pool.set_retry(cfg.retry);
@@ -301,6 +386,8 @@ impl Dpc {
             pool: Arc::new(pool),
             runtime,
             ra_queue: ra.map(|(_, q)| q),
+            crash,
+            wal,
         }
     }
 
@@ -325,7 +412,19 @@ impl Dpc {
     /// as you like — every adapter, and every thread within an adapter,
     /// multiplexes over the same `cfg.queues` nvme-fs queue pairs.
     pub fn fs(&self) -> DpcFs {
-        DpcFs::new(self.cache.clone(), self.pool.clone(), self.cfg.io_mode)
+        // Log-durable fsync is only honest when there *is* a log; without
+        // one it degrades to data-durable rather than silently to no-op.
+        let fsync_mode = if self.cfg.wal {
+            self.cfg.fsync_mode
+        } else {
+            FsyncMode::Data
+        };
+        DpcFs::new(
+            self.cache.clone(),
+            self.pool.clone(),
+            self.cfg.io_mode,
+            fsync_mode,
+        )
     }
 
     /// Convenience alias emphasising the standalone (KVFS) service.
@@ -365,6 +464,33 @@ impl Dpc {
 
     pub fn config(&self) -> &DpcConfig {
         &self.cfg
+    }
+
+    /// The intent log, when `cfg.wal` is on (diagnostics/tests).
+    pub fn wal(&self) -> Option<&Arc<IntentLog>> {
+        self.wal.as_ref()
+    }
+
+    /// The log's host region — what survives a DPU crash. Hand it to
+    /// [`Dpc::recover`] along with the shared KV store to rebuild.
+    pub fn wal_region(&self) -> Option<HostRegion> {
+        self.wal.as_ref().map(|log| log.region().clone())
+    }
+
+    /// The surviving KV store (for [`Dpc::recover`] after a crash).
+    pub fn kv_store(&self) -> Arc<KvStore> {
+        self.kvfs.store().clone()
+    }
+
+    /// Whether the simulated DPU has crashed (the `dpu.crash` latch).
+    pub fn crashed(&self) -> bool {
+        self.crash.is_tripped()
+    }
+
+    /// Kill the DPU now (benchmarks/tests crashing at a chosen point
+    /// rather than a seeded one).
+    pub fn trip_crash(&self) {
+        self.crash.trip();
     }
 
     /// Requests the DPU runtime has served.

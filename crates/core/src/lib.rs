@@ -29,9 +29,9 @@ mod dpc;
 mod metrics;
 mod runtime;
 
-pub use adapter::{DpcError, DpcFs, Fd, IoMode};
+pub use adapter::{DpcError, DpcFs, Fd, FsyncMode, IoMode};
 pub use config::{DpuSpec, HostCpu, SoftwareCosts, Testbed};
-pub use dispatch::{DfsFlush, Dispatcher};
+pub use dispatch::{DfsFlush, Dispatcher, FSYNC_ALL};
 pub use dpc::{Dpc, DpcConfig};
 pub use metrics::{MetricsSnapshot, RecoverySnapshot};
 pub use runtime::{DpuRuntime, RuntimeShared};

@@ -185,6 +185,17 @@ impl core::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
+            "wal: {} appends ({} B), {} checkpoints, {} replayed, \
+             {} torn drops, {} stalls",
+            c.wal_appends,
+            c.wal_bytes,
+            c.wal_checkpoints,
+            c.wal_replayed_records,
+            c.wal_torn_tail_drops,
+            c.wal_stalls
+        )?;
+        writeln!(
+            f,
             "kvfs: dentry {:.0}% hit, inode {} hits / {} misses",
             self.dentry_hit_rate() * 100.0,
             self.kvfs_lookups.inode_hits,
@@ -263,6 +274,7 @@ mod tests {
             "write-back:",
             "readahead:",
             "flush pipeline:",
+            "wal:",
             "kvfs:",
             "kv store:",
             "dpu runtime:",

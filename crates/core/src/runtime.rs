@@ -13,10 +13,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dpc_cache::{ControlPlane, PrefetchQueue};
+use dpc_cache::{ControlPlane, HybridCache, IntentLog, PrefetchQueue, WalKind, WalScan, PAGE_SIZE};
 use dpc_kvfs::Kvfs;
 use dpc_nvmefs::{FileIncomingBatch, FileTarget};
-use dpc_sim::FaultSite;
+use dpc_pcie::DmaEngine;
+use dpc_sim::{CrashSwitch, FaultSite};
 
 use crate::dispatch::{Dispatcher, KvfsFlush, KvfsRead};
 
@@ -71,6 +72,7 @@ impl DpuRuntime {
         targets: Vec<(FileTarget, Dispatcher)>,
         flusher: Option<FlusherConfig>,
         prefetcher: Option<PrefetcherConfig>,
+        crash: Arc<CrashSwitch>,
     ) -> DpuRuntime {
         let shared = Arc::new(RuntimeShared {
             shutdown: AtomicBool::new(false),
@@ -82,6 +84,7 @@ impl DpuRuntime {
 
         for (qid, (mut target, mut dispatcher)) in targets.into_iter().enumerate() {
             let shared = shared.clone();
+            let crash = crash.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("dpu-svc-{qid}"))
@@ -92,7 +95,11 @@ impl DpuRuntime {
                         // batch's buffers are warm.
                         let mut batch = FileIncomingBatch::new();
                         let mut idle_spins = 0u32;
-                        while !shared.shutdown.load(Ordering::Acquire) {
+                        // A tripped crash switch means the DPU is dead:
+                        // the service loop exits, posted commands rot in
+                        // the queue and the host's calls time out — the
+                        // behaviour recovery tests simulate against.
+                        while !shared.shutdown.load(Ordering::Acquire) && !crash.is_tripped() {
                             if target.poll_many(&mut batch) > 0 {
                                 idle_spins = 0;
                                 let served = dispatcher.handle_batch(&batch, &mut target);
@@ -124,6 +131,7 @@ impl DpuRuntime {
 
         if let Some(mut f) = flusher {
             let shared = shared.clone();
+            let crash = crash.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("dpu-flusher".into())
@@ -138,7 +146,7 @@ impl DpuRuntime {
                         // and fsync only waits for the residual.
                         let cache = f.control.cache().clone();
                         let mut urgent = false;
-                        while !shared.shutdown.load(Ordering::Acquire) {
+                        while !shared.shutdown.load(Ordering::Acquire) && !crash.is_tripped() {
                             let ratio = cache.dirty_ratio();
                             if ratio >= f.high_watermark {
                                 urgent = true;
@@ -169,18 +177,24 @@ impl DpuRuntime {
                         // Final drain so nothing dirty is lost at shutdown.
                         // Faults stay out of the way here: pages must not
                         // be abandoned in the quarantine at tear-down.
-                        let mut backend = KvfsFlush {
-                            kvfs: &f.kvfs,
-                            fault: None,
-                        };
-                        let flushed = if f.coalesce {
-                            f.control.flush_extents(&mut backend, None, true)
-                        } else {
-                            f.control.flush_pass(&mut backend)
-                        };
-                        shared
-                            .pages_flushed
-                            .fetch_add(flushed as u64, Ordering::Relaxed);
+                        // A tripped crash switch suppresses the drain — a
+                        // dead DPU cannot helpfully persist its dirty set
+                        // on the way out, and doing so would make every
+                        // crash-recovery test vacuous.
+                        if !crash.is_tripped() {
+                            let mut backend = KvfsFlush {
+                                kvfs: &f.kvfs,
+                                fault: None,
+                            };
+                            let flushed = if f.coalesce {
+                                f.control.flush_extents(&mut backend, None, true)
+                            } else {
+                                f.control.flush_pass(&mut backend)
+                            };
+                            shared
+                                .pages_flushed
+                                .fetch_add(flushed as u64, Ordering::Relaxed);
+                        }
                     })
                     .expect("spawn flusher thread"),
             );
@@ -188,6 +202,7 @@ impl DpuRuntime {
 
         if let Some(mut p) = prefetcher {
             let shared = shared.clone();
+            let crash = crash.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("dpu-prefetch".into())
@@ -199,7 +214,7 @@ impl DpuRuntime {
                         // the ino-epoch abort internally, so this loop is
                         // pure plumbing plus the flusher-style backoff.
                         let mut idle_spins = 0u32;
-                        while !shared.shutdown.load(Ordering::Acquire) {
+                        while !shared.shutdown.load(Ordering::Acquire) && !crash.is_tripped() {
                             match p.queue.pop() {
                                 Some(job) => {
                                     idle_spins = 0;
@@ -231,6 +246,168 @@ impl DpuRuntime {
         }
 
         DpuRuntime { shared, threads }
+    }
+
+    /// Replay a scanned intent log into a freshly built cache + KVFS pair.
+    ///
+    /// Called by [`crate::Dpc::recover`] after a simulated DPU crash: the
+    /// old log region was scanned (CRC-validated, torn tail dropped) and
+    /// the surviving records arrive here in sequence order. Replay is
+    /// *positional redo*: every valid record is re-applied — writes
+    /// re-enter the cache as dirty pages protected by the fresh log
+    /// (`log`, running under the next epoch on the same region), truncates
+    /// are applied durably on the spot. Redo is idempotent, so records
+    /// whose effects already reached KVFS before the crash simply
+    /// overwrite with identical bytes; replaying everything in order is
+    /// what makes mixed write/truncate histories come out byte-exact.
+    ///
+    /// After the record sweep, each touched ino is flushed and its size
+    /// reconciled, so recovery hands back a *clean* client: the dirty set
+    /// is durable, the fresh log is drained, and a second crash loses
+    /// nothing that was acknowledged.
+    ///
+    /// Returns the number of records replayed.
+    pub fn recover(
+        cache: &Arc<HybridCache>,
+        kvfs: &Arc<Kvfs>,
+        dma: DmaEngine,
+        log: &Arc<IntentLog>,
+        scan: WalScan,
+    ) -> u64 {
+        log.add_torn(scan.torn);
+        // Per-ino logical size, threaded through the replay: writes grow
+        // it, truncates reset it, and the final per-ino truncate below
+        // reconciles KVFS (whole-page flushes round sizes up).
+        let mut sizes: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut replayed = 0u64;
+        for rec in &scan.records {
+            // The record's ino may have been unlinked between append and
+            // crash (the old log's in-memory retirement died with it).
+            // A missing attr means the file is gone: nothing to redo.
+            let size = match sizes.entry(rec.ino) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(v) => match kvfs.get_attr(rec.ino) {
+                    Ok(attr) => *v.insert(attr.size),
+                    Err(_) => continue,
+                },
+            };
+            match rec.kind {
+                WalKind::Write => {
+                    let end = rec.offset + rec.payload.len() as u64;
+                    let pages = if rec.payload.is_empty() {
+                        0
+                    } else {
+                        ((end - 1) / PAGE_SIZE as u64 - rec.offset / PAGE_SIZE as u64 + 1) as u32
+                    };
+                    match log.try_append(WalKind::Write, rec.ino, rec.offset, &rec.payload, pages) {
+                        Ok(seq) => {
+                            // Re-insert as dirty pages under the fresh
+                            // log's protection, page chunk by page chunk —
+                            // the same front-end protocol the adapter
+                            // runs, minus the dispatcher hop.
+                            let mut pos = 0usize;
+                            while pos < rec.payload.len() {
+                                let abs = rec.offset + pos as u64;
+                                let lpn = abs / PAGE_SIZE as u64;
+                                let in_page = (abs % PAGE_SIZE as u64) as usize;
+                                let take = (PAGE_SIZE - in_page).min(rec.payload.len() - pos);
+                                let chunk = &rec.payload[pos..pos + take];
+                                match cache.begin_write(rec.ino, lpn) {
+                                    Ok(mut guard) => {
+                                        if guard.claimed_free() && take < PAGE_SIZE {
+                                            // Partial write into a fresh
+                                            // slot: read-modify-write the
+                                            // durable base page first.
+                                            let mut base = vec![0u8; PAGE_SIZE];
+                                            guard.write(0, &base);
+                                            guard.set_valid(0);
+                                            if let Ok(n) = kvfs.read(
+                                                rec.ino,
+                                                lpn * PAGE_SIZE as u64,
+                                                &mut base,
+                                            ) {
+                                                if n > 0 {
+                                                    guard.write(0, &base[..n]);
+                                                }
+                                            }
+                                        }
+                                        guard.write(in_page, chunk);
+                                        // Register the obligation before
+                                        // the page becomes flushable, or a
+                                        // racing drain could miss it.
+                                        log.note_committed(rec.ino, lpn, seq);
+                                        guard.commit_dirty();
+                                    }
+                                    Err(_) => {
+                                        // No slot free: write through
+                                        // durably — that obligation is
+                                        // already met.
+                                        let _ = kvfs.write(rec.ino, abs, chunk);
+                                        log.retire_page(seq);
+                                    }
+                                }
+                                pos += take;
+                            }
+                        }
+                        Err(_) => {
+                            // Fresh ring can't hold the record (tiny ring
+                            // or oversized payload): replay durably,
+                            // bypassing the cache — durable data needs no
+                            // log protection.
+                            let _ = kvfs.write(rec.ino, rec.offset, &rec.payload);
+                        }
+                    }
+                    sizes.insert(rec.ino, size.max(end));
+                }
+                WalKind::Truncate => {
+                    // Durable at apply: no fresh record needed (recovery
+                    // itself is atomic in the simulation).
+                    let _ = kvfs.truncate(rec.ino, rec.offset);
+                    if rec.offset < size {
+                        // Drop replayed cache pages past the new end and
+                        // clip the boundary page, exactly as the adapter's
+                        // truncate does — a later flush must not
+                        // resurrect clipped bytes.
+                        let first = rec.offset.div_ceil(PAGE_SIZE as u64);
+                        let last = size.div_ceil(PAGE_SIZE as u64);
+                        for lpn in first..=last {
+                            cache.invalidate(rec.ino, lpn);
+                        }
+                        let tail = (rec.offset % PAGE_SIZE as u64) as usize;
+                        if tail != 0 {
+                            if let Ok(mut g) =
+                                cache.begin_write(rec.ino, rec.offset / PAGE_SIZE as u64)
+                            {
+                                if g.claimed_free() {
+                                    drop(g);
+                                } else {
+                                    g.set_valid(tail);
+                                    g.commit_dirty();
+                                }
+                            }
+                        }
+                    }
+                    sizes.insert(rec.ino, rec.offset);
+                }
+                WalKind::Checkpoint => continue,
+            }
+            replayed += 1;
+        }
+        log.add_replayed(replayed);
+
+        // Drain what replay re-dirtied: flush every touched ino, then
+        // reconcile its logical size (whole-page flushes round up). The
+        // per-page durable hook retires the fresh records as they land,
+        // so a fully replayed + flushed log reads as drained.
+        let mut control = ControlPlane::new(cache.clone(), dma);
+        let mut backend = KvfsFlush { kvfs, fault: None };
+        while control.flush_pass(&mut backend) > 0 {}
+        let mut inos: Vec<(u64, u64)> = sizes.into_iter().collect();
+        inos.sort_unstable();
+        for (ino, size) in inos {
+            let _ = kvfs.truncate(ino, size);
+        }
+        replayed
     }
 
     pub fn requests_served(&self) -> u64 {

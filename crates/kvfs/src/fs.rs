@@ -746,9 +746,17 @@ impl Kvfs {
         Ok(())
     }
 
-    /// Persistence barrier. The backing KV store is always durable in this
-    /// model, so this is a consistency point only.
-    pub fn fsync(&self, _ino: u64) -> Result<(), FsError> {
+    /// Persistence barrier. The backing KV store is durable in this model,
+    /// but the barrier can still fail: the inode may have vanished under
+    /// the caller (`NotFound`), or the KV service may refuse the barrier
+    /// outright (`Io`, modelled by a zero-delay "kv.op" fault fire).
+    /// Callers must surface both — PR 8 exists because an earlier version
+    /// swallowed them.
+    pub fn fsync(&self, ino: u64) -> Result<(), FsError> {
+        self.get_attr(ino)?;
+        if !self.store.barrier() {
+            return Err(FsError::Io);
+        }
         Ok(())
     }
 

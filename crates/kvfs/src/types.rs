@@ -159,6 +159,8 @@ pub enum FsError {
     TooManyLinks,
     /// readlink on something that is not a symlink, or link on a directory.
     InvalidOperation,
+    /// The backing KV service refused a durability barrier (fsync).
+    Io,
 }
 
 impl FsError {
@@ -173,6 +175,7 @@ impl FsError {
             FsError::InvalidName => 22,       // EINVAL
             FsError::TooManyLinks => 40,      // ELOOP
             FsError::InvalidOperation => 1,   // EPERM
+            FsError::Io => 5,                 // EIO
         }
     }
 }
@@ -189,6 +192,7 @@ impl core::fmt::Display for FsError {
             FsError::InvalidName => "invalid file name",
             FsError::TooManyLinks => "too many levels of symbolic links",
             FsError::InvalidOperation => "operation not permitted",
+            FsError::Io => "input/output error",
         };
         f.write_str(s)
     }

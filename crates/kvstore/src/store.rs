@@ -96,6 +96,27 @@ impl KvStore {
         }
     }
 
+    /// One durability-barrier draw on the "kv.op" site (the fsync path).
+    /// A fired fault with a positive delay models a slow-but-reachable
+    /// service: stall it out like any op and report success. A fired
+    /// fault with delay zero models an outright refusal — the one case
+    /// the KV API surfaces as an error (`false`) instead of latency.
+    pub fn barrier(&self) -> bool {
+        let site = self.fault.read().clone();
+        let Some(site) = site else {
+            return true;
+        };
+        match site.check() {
+            None => true,
+            Some(0) => false,
+            Some(d) => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(20 * d.min(512)));
+                true
+            }
+        }
+    }
+
     fn shard(&self, key: &[u8]) -> &RwLock<BTreeMap<Vec<u8>, Vec<u8>>> {
         // FNV-1a over the key; cheap and stable.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

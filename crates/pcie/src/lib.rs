@@ -144,6 +144,32 @@ impl PcieCounters {
     }
 }
 
+/// An access to a [`HostRegion`] that would fall outside its bounds
+/// (including `offset + len` overflowing `usize`). Carried as data so a
+/// recovery scan over a corrupt log tail can stop cleanly instead of
+/// panicking a thread.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RegionError {
+    /// Requested start offset.
+    pub offset: usize,
+    /// Requested length.
+    pub len: usize,
+    /// The region's actual size.
+    pub region_len: usize,
+}
+
+impl core::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "range {}..{}+{} outside region of {} bytes",
+            self.offset, self.offset, self.len, self.region_len
+        )
+    }
+}
+
+impl std::error::Error for RegionError {}
+
 /// A DMA-able region of host memory.
 ///
 /// Cheaply cloneable (shared). The "host side" accesses it directly with
@@ -171,16 +197,71 @@ impl HostRegion {
     }
 
     /// Host-CPU store into the region (no DMA accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offset + src.len()` overflows or lands past the end
+    /// of the region. Callers whose offsets come from *trusted* layout
+    /// math (queue rings, fixed headers) use this form; anything parsing
+    /// offsets out of region *contents* — e.g. the intent-log recovery
+    /// scan walking a possibly-corrupt tail — must use
+    /// [`try_write_local`](Self::try_write_local) /
+    /// [`try_read_local`](Self::try_read_local) instead, so corrupt
+    /// lengths surface as typed errors rather than panics.
     pub fn write_local(&self, offset: usize, src: &[u8]) {
-        let mut guard = self.inner.write();
-        let dst = &mut guard[offset..offset + src.len()];
-        dst.copy_from_slice(src);
+        self.try_write_local(offset, src)
+            .unwrap_or_else(|e| panic!("HostRegion::write_local: {e}"));
     }
 
     /// Host-CPU load from the region (no DMA accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offset + dst.len()` overflows or lands past the end
+    /// of the region — see [`write_local`](Self::write_local) for the
+    /// trusted-offset contract and the fallible alternatives.
     pub fn read_local(&self, offset: usize, dst: &mut [u8]) {
+        self.try_read_local(offset, dst)
+            .unwrap_or_else(|e| panic!("HostRegion::read_local: {e}"));
+    }
+
+    /// Fallible host-CPU store: a range that overflows or falls outside
+    /// the region returns [`RegionError`] and writes nothing (never a
+    /// partial copy).
+    pub fn try_write_local(&self, offset: usize, src: &[u8]) -> Result<(), RegionError> {
+        let mut guard = self.inner.write();
+        let dst = Self::checked_range(guard.len(), offset, src.len())?;
+        guard[dst].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Fallible host-CPU load: a range that overflows or falls outside
+    /// the region returns [`RegionError`] and leaves `dst` untouched.
+    pub fn try_read_local(&self, offset: usize, dst: &mut [u8]) -> Result<(), RegionError> {
         let guard = self.inner.read();
-        dst.copy_from_slice(&guard[offset..offset + dst.len()]);
+        let src = Self::checked_range(guard.len(), offset, dst.len())?;
+        dst.copy_from_slice(&guard[src]);
+        Ok(())
+    }
+
+    fn checked_range(
+        region_len: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<std::ops::Range<usize>, RegionError> {
+        let end = offset.checked_add(len).ok_or(RegionError {
+            offset,
+            len,
+            region_len,
+        })?;
+        if end > region_len {
+            return Err(RegionError {
+                offset,
+                len,
+                region_len,
+            });
+        }
+        Ok(offset..end)
     }
 
     /// Host-CPU read returning a fresh Vec; convenience for tests.
@@ -318,6 +399,47 @@ mod tests {
         dma.dma_write_u16(&r, 4, 0xBEEF);
         assert_eq!(dma.dma_read_u16(&r, 4), 0xBEEF);
         assert_eq!(dma.snapshot().dma_ops, 2);
+    }
+
+    #[test]
+    fn try_accessors_reject_out_of_range() {
+        let r = HostRegion::new(64);
+        // In-bounds round trip works.
+        assert_eq!(r.try_write_local(60, &[9, 9, 9, 9]), Ok(()));
+        let mut buf = [0u8; 4];
+        assert_eq!(r.try_read_local(60, &mut buf), Ok(()));
+        assert_eq!(buf, [9, 9, 9, 9]);
+
+        // One past the end.
+        let err = r.try_write_local(61, &[0; 4]).unwrap_err();
+        assert_eq!((err.offset, err.len, err.region_len), (61, 4, 64));
+        // Offset itself past the end.
+        assert!(r.try_read_local(64, &mut [0u8; 1]).is_err());
+        // offset + len overflows usize — must error, not wrap to "fits".
+        assert!(r.try_read_local(usize::MAX, &mut [0u8; 2]).is_err());
+        assert!(r.try_write_local(usize::MAX - 1, &[0; 4]).is_err());
+        // A failed read leaves dst untouched.
+        let mut untouched = [7u8; 4];
+        assert!(r.try_read_local(62, &mut untouched).is_err());
+        assert_eq!(untouched, [7; 4]);
+        // Zero-length accesses at the boundary are fine.
+        assert_eq!(r.try_read_local(64, &mut []), Ok(()));
+        assert_eq!(r.try_write_local(64, &[]), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "HostRegion::read_local")]
+    fn infallible_read_panics_out_of_range() {
+        let r = HostRegion::new(8);
+        let mut buf = [0u8; 4];
+        r.read_local(6, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "HostRegion::write_local")]
+    fn infallible_write_panics_out_of_range() {
+        let r = HostRegion::new(8);
+        r.write_local(6, &[0; 4]);
     }
 
     #[test]

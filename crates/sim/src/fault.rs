@@ -190,6 +190,67 @@ impl FaultSite {
     }
 }
 
+/// A one-way "the DPU died" latch driven by a seeded [`FaultSite`]
+/// (conventionally named `"dpu.crash"`).
+///
+/// Control-plane code sprinkles [`check_crash`](CrashSwitch::check_crash)
+/// at its injection points — mid-flush, mid-log-append, between EC encode
+/// and shard fanout, at the top of the runtime loops. Each call draws the
+/// site once; the first hit that fires *trips* the switch permanently, and
+/// every later call (from any thread) sees it tripped without drawing
+/// again. That models a crash faithfully: once the DPU is dead it stays
+/// dead, threads wind down where they stand, and nothing — including
+/// graceful-shutdown drains — may keep doing work on its behalf.
+///
+/// A switch with no site never trips (the faults-off fast path is one
+/// relaxed atomic load).
+#[derive(Default)]
+pub struct CrashSwitch {
+    site: Option<Arc<FaultSite>>,
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+impl CrashSwitch {
+    /// A switch that can never trip (faults disabled).
+    pub fn inert() -> CrashSwitch {
+        CrashSwitch::default()
+    }
+
+    /// A switch driven by `site` (typically `plan.site("dpu.crash")`).
+    pub fn armed_by(site: Arc<FaultSite>) -> CrashSwitch {
+        CrashSwitch {
+            site: Some(site),
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the DPU has already crashed (no site draw).
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// One injection point: returns `true` if the DPU is (now) dead.
+    /// Draws the site once per call until the first fire, then latches.
+    pub fn check_crash(&self) -> bool {
+        if self.is_tripped() {
+            return true;
+        }
+        let Some(site) = &self.site else {
+            return false;
+        };
+        if site.fires() {
+            self.trip();
+            return true;
+        }
+        false
+    }
+
+    /// Force the crash (used by tests/benches to kill the DPU at will).
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::SeqCst);
+    }
+}
+
 /// A seeded registry of fault sites. Every site starts `Off`; arm the
 /// ones a scenario wants with [`arm`](FaultPlan::arm).
 pub struct FaultPlan {
@@ -328,6 +389,25 @@ mod tests {
         assert_eq!(site.check(), Some(7));
         site.arm(FaultSpec::off());
         assert_eq!(site.check(), None);
+    }
+
+    #[test]
+    fn crash_switch_latches_on_first_fire() {
+        let plan = FaultPlan::new(11);
+        let sw = CrashSwitch::armed_by(plan.arm("dpu.crash", FaultSpec::nth(3)));
+        assert!(!sw.check_crash());
+        assert!(!sw.check_crash());
+        assert!(sw.check_crash(), "third draw fires and trips");
+        // Latched: no further site draws (nth(3) would say no again).
+        assert!(sw.check_crash());
+        assert!(sw.is_tripped());
+
+        let inert = CrashSwitch::inert();
+        for _ in 0..100 {
+            assert!(!inert.check_crash());
+        }
+        inert.trip();
+        assert!(inert.check_crash(), "manual trip latches too");
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod station;
 mod time;
 
 pub use engine::{ClassStats, Flow, Leg, Plan, RunReport, Simulation};
-pub use fault::{FaultMode, FaultPlan, FaultSite, FaultSpec};
+pub use fault::{CrashSwitch, FaultMode, FaultPlan, FaultSite, FaultSpec};
 pub use histogram::LatencyHistogram;
 pub use station::{StationCfg, StationId, StationStats};
 pub use time::Nanos;

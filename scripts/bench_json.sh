@@ -11,6 +11,9 @@
 #   BENCH_PR7.json — staged flush pipeline: wire bytes per flushed
 #                    byte and flush MB/s with EC+compression on vs
 #                    off, degraded-read latency stripes vs refetch
+#   BENCH_PR8.json — write-ahead intent log: buffered-write append
+#                    overhead on vs off, crash-replay time vs dirty
+#                    set, tiny-ring recovery storm (stall reclaim)
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,3 +24,4 @@ cargo run --release -p dpc-bench --bin bench-pr4 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr5 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr6 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr7 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr8 -- "$@"

@@ -1,0 +1,497 @@
+//! PR 8 crash-consistency harness: the write-ahead intent log vs a
+//! simulated DPU crash.
+//!
+//! The `dpu.crash` fault site drives a latching [`CrashSwitch`]: service
+//! loops exit, the flusher dies where it stands (mid-flush, mid-append,
+//! between EC encode and shard fanout), and nothing drains at teardown.
+//! Because every buffered write appends its intent record *before* the
+//! ack, recovery — scan the surviving ring, drop the torn tail by CRC,
+//! replay the rest positionally — must reproduce every acknowledged
+//! mutation byte-exactly.
+//!
+//! The sweep runs a seeded mixed write/truncate/fsync schedule against
+//! an in-memory model, killing the DPU at the k-th crash-site draw for a
+//! ladder of k, then recovers and compares. Only the single op in flight
+//! at the crash is ambiguous (it errored — the host knows it may or may
+//! not have landed); the verifier accepts the model with or without it.
+//!
+//! Seeds: `[1, 7, 42]` by default; set `DPC_CHAOS_SEED=<u64>` to pin one
+//! (the CI chaos job fans out over the fixed seeds).
+
+use dpc::core::{Dpc, DpcConfig, FsyncMode};
+use dpc::nvmefs::RetryPolicy;
+use dpc::sim::{FaultPlan, FaultSpec};
+use proptest::prelude::*;
+
+const CHAOS_SEEDS: [u64; 3] = [1, 7, 42];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("DPC_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DPC_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => CHAOS_SEEDS.to_vec(),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pattern(seed: u64, tag: u64, len: usize) -> Vec<u8> {
+    let mut s = seed ^ tag.rotate_left(23);
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        out.extend_from_slice(&splitmix(&mut s).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// The crash-sweep base configuration: WAL on, deterministic data path
+/// (no background flusher or prefetcher drawing crash-site faults off
+/// the op being executed), fast link deadlines so calls into a dead DPU
+/// error in milliseconds instead of minutes.
+fn crash_cfg() -> DpcConfig {
+    DpcConfig {
+        wal: true,
+        wal_bytes: 256 * 1024,
+        cache_pages: 512,
+        background_flush: false,
+        prefetch: false,
+        retry: RetryPolicy {
+            attempts: 2,
+            deadline_yields: 10_000,
+            backoff_base_us: 20,
+            backoff_cap_us: 200,
+        },
+        ..DpcConfig::default()
+    }
+}
+
+const FILES: u64 = 2;
+const MAX_BYTES: u64 = 64 * 1024;
+const OPS: u64 = 24;
+
+/// One schedule op, derived deterministically from the seed stream.
+#[derive(Clone, Debug)]
+enum Op {
+    Write {
+        file: usize,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    Truncate {
+        file: usize,
+        size: u64,
+    },
+    Fsync {
+        file: usize,
+    },
+}
+
+fn gen_op(seed: u64, rng: &mut u64, tag: u64) -> Op {
+    let file = (splitmix(rng) % FILES) as usize;
+    match splitmix(rng) % 10 {
+        0..=5 => {
+            let offset = splitmix(rng) % (MAX_BYTES - 16 * 1024);
+            let len = 1 + (splitmix(rng) % (12 * 1024)) as usize;
+            Op::Write {
+                file,
+                offset,
+                data: pattern(seed, tag, len),
+            }
+        }
+        6..=7 => Op::Truncate {
+            file,
+            size: splitmix(rng) % MAX_BYTES,
+        },
+        _ => Op::Fsync { file },
+    }
+}
+
+/// Apply `op` to the in-memory model (what a crash-free, fully durable
+/// execution would leave behind).
+fn apply_model(model: &mut [Vec<u8>], op: &Op) {
+    match op {
+        Op::Write { file, offset, data } => {
+            let f = &mut model[*file];
+            let end = *offset as usize + data.len();
+            if f.len() < end {
+                f.resize(end, 0);
+            }
+            f[*offset as usize..end].copy_from_slice(data);
+        }
+        Op::Truncate { file, size } => model[*file].resize(*size as usize, 0),
+        Op::Fsync { .. } => {}
+    }
+}
+
+/// One seeded run killed at the `k`-th `dpu.crash` draw, then recovered
+/// and verified. Returns the recovered instance's replayed-record count
+/// (the sweep asserts the total is nonzero — replay provably ran).
+fn crash_run(seed: u64, k: u64) -> u64 {
+    let plan = FaultPlan::new(seed);
+    plan.arm("dpu.crash", FaultSpec::nth(k));
+    let cfg = DpcConfig {
+        faults: Some(plan),
+        ..crash_cfg()
+    };
+    let dpc = Dpc::new(cfg);
+    let fs = dpc.fs();
+
+    fs.mkdir("/wal").unwrap();
+    let mut fds = Vec::new();
+    for f in 0..FILES {
+        fds.push(fs.create(&format!("/wal/f{f}")).unwrap());
+    }
+
+    let mut model: Vec<Vec<u8>> = vec![Vec::new(); FILES as usize];
+    let mut ambiguous: Option<Op> = None;
+    let mut rng = seed ^ (k << 32);
+    for tag in 0..OPS {
+        let op = gen_op(seed, &mut rng, tag);
+        let res = match &op {
+            Op::Write { file, offset, data } => fs.write(fds[*file], *offset, data).map(|_| ()),
+            Op::Truncate { file, size } => fs.truncate(fds[*file], *size),
+            Op::Fsync { file } => fs.fsync(fds[*file]),
+        };
+        match res {
+            Ok(()) => apply_model(&mut model, &op),
+            Err(_) => {
+                // The only legitimate reason an op fails in this sweep is
+                // the injected crash; anything else is a real bug.
+                assert!(
+                    dpc.crashed(),
+                    "seed {seed} k {k}: op {op:?} failed without a crash"
+                );
+                ambiguous = Some(op);
+                break;
+            }
+        }
+    }
+    // Runs where the schedule finished before draw k: kill the DPU at
+    // rest — recovery must replay whatever is still buffered.
+    if !dpc.crashed() {
+        dpc.trip_crash();
+    }
+
+    let store = dpc.kv_store();
+    let region = dpc.wal_region().expect("wal is on");
+    drop(fs);
+    drop(dpc); // dead DPU: threads exit, the shutdown drain is suppressed
+
+    let rdpc = Dpc::recover(crash_cfg(), store, None, region);
+    let rfs = rdpc.fs();
+    for f in 0..FILES as usize {
+        let path = format!("/wal/f{f}");
+        let committed = &model[f];
+        // The in-flight op is ambiguous for its file: it errored, so the
+        // host may not assume either outcome. Everything else is exact.
+        let alt = ambiguous.as_ref().and_then(|op| {
+            let touches = matches!(op,
+                Op::Write { file, .. } | Op::Truncate { file, .. } | Op::Fsync { file }
+                    if *file == f);
+            touches.then(|| {
+                let mut m = model.clone();
+                apply_model(&mut m, op);
+                m[f].clone()
+            })
+        });
+
+        let size = rfs
+            .stat(&path)
+            .unwrap_or_else(|e| panic!("seed {seed} k {k}: stat {path} after recovery: {e}"));
+        let fd = rfs.open(&path).unwrap();
+        let mut buf = vec![0u8; size.size as usize];
+        assert_eq!(rfs.read(fd, 0, &mut buf).unwrap(), buf.len());
+        let exact = buf.len() == committed.len() && buf == *committed;
+        let ambig_ok = alt
+            .as_ref()
+            .is_some_and(|a| buf.len() == a.len() && buf == *a);
+        if !(exact || ambig_ok) {
+            let first_diff = buf
+                .iter()
+                .zip(committed.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(buf.len().min(committed.len()));
+            let alt_diff = alt.as_ref().map(|a| {
+                buf.iter()
+                    .zip(a.iter())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(buf.len().min(a.len()))
+            });
+            panic!(
+                "seed {seed} k {k}: {path} diverged after recovery \
+                 (got {} B, committed {} B, ambiguous-alt {:?} B, \
+                 ambiguous op {:?}, \
+                 first diff vs committed at byte {first_diff} \
+                 (got {:?} want {:?}), first diff vs alt at {alt_diff:?})",
+                buf.len(),
+                committed.len(),
+                alt.as_ref().map(|a| a.len()),
+                ambiguous.as_ref().map(|o| match o {
+                    Op::Write { file, offset, data } =>
+                        format!("write f{file} [{offset}..{})", *offset + data.len() as u64),
+                    Op::Truncate { file, size } => format!("truncate f{file} -> {size}"),
+                    Op::Fsync { file } => format!("fsync f{file}"),
+                }),
+                &buf[first_diff..(first_diff + 8).min(buf.len())],
+                &committed[first_diff..(first_diff + 8).min(committed.len())],
+            );
+        }
+        rfs.close(fd).unwrap();
+    }
+
+    // The recovered instance must be fully functional: new writes land,
+    // flush, and read back (the log is live again under a fresh epoch).
+    let fd = rfs.create("/wal/post").unwrap();
+    let post = pattern(seed, 777, 9000);
+    rfs.write(fd, 0, &post).unwrap();
+    rfs.fsync(fd).unwrap();
+    let mut buf = vec![0u8; post.len()];
+    assert_eq!(rfs.read(fd, 0, &mut buf).unwrap(), post.len());
+    assert_eq!(buf, post, "seed {seed} k {k}: post-recovery write diverged");
+    rfs.close(fd).unwrap();
+
+    rdpc.metrics().cache.wal_replayed_records
+}
+
+#[test]
+fn crash_sweep_stays_byte_exact_and_replays() {
+    // Kill the DPU at an escalating ladder of crash-site draws: early
+    // ones land mid-append (torn-tail territory), later ones land in
+    // fsync's flush path (mid-flush, post-seal) or between ops.
+    let mut replayed_total = 0u64;
+    for seed in seeds() {
+        for k in [1, 2, 3, 5, 8, 13, 21, 34] {
+            replayed_total += crash_run(seed, k);
+        }
+    }
+    assert!(
+        replayed_total > 0,
+        "no crash point ever left records to replay — the sweep is vacuous"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random seeds × a random crash draw: same invariant as the fixed
+    /// sweep, exploring schedule shapes the ladder does not.
+    #[test]
+    fn random_crash_points_stay_byte_exact(seed in any::<u64>(), k in 1u64..40) {
+        crash_run(seed, k);
+    }
+}
+
+#[test]
+fn wal_disabled_keeps_every_wal_counter_at_zero() {
+    // Default config: no log. The whole subsystem must stay provably
+    // dormant — all six counters pinned at zero through a real workload.
+    let dpc = Dpc::new(DpcConfig::default());
+    let fs = dpc.fs();
+    let fd = fs.create("/plain").unwrap();
+    let data = pattern(3, 0, 40_000);
+    fs.write(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+    fs.truncate(fd, 10_000).unwrap();
+    let mut buf = vec![0u8; 10_000];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), 10_000);
+    assert_eq!(&buf, &data[..10_000]);
+    fs.close(fd).unwrap();
+
+    let c = dpc.metrics().cache;
+    assert_eq!(c.wal_appends, 0);
+    assert_eq!(c.wal_bytes, 0);
+    assert_eq!(c.wal_checkpoints, 0);
+    assert_eq!(c.wal_replayed_records, 0);
+    assert_eq!(c.wal_torn_tail_drops, 0);
+    assert_eq!(c.wal_stalls, 0);
+}
+
+#[test]
+fn wal_enabled_logs_appends_and_reclaims_on_flush() {
+    let dpc = Dpc::new(crash_cfg());
+    let fs = dpc.fs();
+    let fd = fs.create("/logged").unwrap();
+    let data = pattern(5, 1, 30_000);
+    fs.write(fd, 0, &data).unwrap();
+    let c = dpc.metrics().cache;
+    assert!(c.wal_appends >= 1, "buffered write must append an intent");
+    assert!(c.wal_bytes as usize > data.len(), "payload + header logged");
+
+    // Data-durable fsync retires the write's obligations page by page;
+    // the tail reclaims and checkpoints record it.
+    fs.fsync(fd).unwrap();
+    let c = dpc.metrics().cache;
+    assert!(c.wal_checkpoints >= 1, "flush must reclaim log space");
+    assert!(
+        dpc.wal().unwrap().is_drained(),
+        "a fully flushed instance leaves a drained log"
+    );
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn tiny_ring_backpressure_stalls_then_recovers() {
+    // A ring much smaller than the dirty set: appends hit WouldBlock,
+    // the adapter forces flushes to reclaim, and every write still
+    // succeeds. `wal_stalls` proves back-pressure engaged; the drained
+    // end state proves reclaim kept up (no ring deadlock).
+    let dpc = Dpc::new(DpcConfig {
+        wal_bytes: 8 * 1024,
+        ..crash_cfg()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/pressure").unwrap();
+    for i in 0..24u64 {
+        let data = pattern(9, i, 3000);
+        fs.write(fd, i * 3000, &data).unwrap();
+    }
+    let c = dpc.metrics().cache;
+    assert!(c.wal_stalls > 0, "an 8 KiB ring must have back-pressured");
+    fs.fsync(fd).unwrap();
+    assert!(dpc.wal().unwrap().is_drained());
+    let mut buf = vec![0u8; 3000];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), 3000);
+    assert_eq!(buf, pattern(9, 0, 3000));
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn oversized_write_bypasses_the_log_durably() {
+    // A single write bigger than the whole ring can never be logged:
+    // the adapter drains the log and writes through durably instead.
+    let dpc = Dpc::new(DpcConfig {
+        wal_bytes: 16 * 1024,
+        ..crash_cfg()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/big").unwrap();
+    let data = pattern(11, 0, 48 * 1024);
+    assert_eq!(fs.write(fd, 0, &data).unwrap(), data.len());
+    // Durable without an fsync: kill the DPU, recover, bytes survive.
+    dpc.trip_crash();
+    let store = dpc.kv_store();
+    let region = dpc.wal_region().unwrap();
+    drop(fs);
+    drop(dpc);
+    let rdpc = Dpc::recover(crash_cfg(), store, None, region);
+    let rfs = rdpc.fs();
+    let fd = rfs.open("/big").unwrap();
+    let mut buf = vec![0u8; data.len()];
+    assert_eq!(rfs.read(fd, 0, &mut buf).unwrap(), data.len());
+    assert_eq!(buf, data);
+}
+
+#[test]
+fn log_durable_fsync_is_a_noop_that_still_recovers() {
+    // FsyncMode::Log: fsync returns without flushing (the intent records
+    // already make the data recoverable), and a crash right after the
+    // fsync must still bring every byte back.
+    let dpc = Dpc::new(DpcConfig {
+        fsync_mode: FsyncMode::Log,
+        ..crash_cfg()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/lazy").unwrap();
+    let data = pattern(13, 2, 20_000);
+    fs.write(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+    // Nothing flushed: log-durable fsync leaves the pages dirty.
+    assert_eq!(
+        dpc.metrics().cache.flushes,
+        0,
+        "Log-tier fsync must not flush"
+    );
+
+    dpc.trip_crash();
+    let store = dpc.kv_store();
+    let region = dpc.wal_region().unwrap();
+    drop(fs);
+    drop(dpc);
+    let rdpc = Dpc::recover(crash_cfg(), store, None, region);
+    assert!(rdpc.metrics().cache.wal_replayed_records > 0);
+    let rfs = rdpc.fs();
+    let fd = rfs.open("/lazy").unwrap();
+    let mut buf = vec![0u8; data.len()];
+    assert_eq!(rfs.read(fd, 0, &mut buf).unwrap(), data.len());
+    assert_eq!(buf, data);
+}
+
+#[test]
+fn fsync_surfaces_kv_barrier_refusal_as_eio() {
+    // Satellite 1 regression: the dispatcher used to swallow KVFS fsync
+    // errors (`let _ = kvfs.fsync(...)`). A refused durability barrier
+    // (kv.op fault with zero delay) must surface as EIO, not silent Ok.
+    let plan = FaultPlan::new(17);
+    let dpc = Dpc::new(DpcConfig {
+        faults: Some(plan.clone()),
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/barrier").unwrap();
+    fs.write(fd, 0, b"must not vanish silently").unwrap();
+
+    // Arm *after* setup so the refusal lands on fsync's barrier draw.
+    plan.arm("kv.op", FaultSpec::always());
+    let err = fs.fsync(fd).unwrap_err();
+    assert_eq!(err.errno(), 5, "refused barrier must be EIO, got {err}");
+
+    // Disarm: the same fsync now succeeds — the error was transient,
+    // nothing was wedged by the failed attempt.
+    plan.arm("kv.op", FaultSpec::off());
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn stalled_kv_barrier_is_waited_out_not_errored() {
+    // A fired barrier with positive delay models slow-but-reachable:
+    // fsync must stall and succeed (the chaos suites arm kv.op with
+    // delays and expect zero surfaced errors).
+    let plan = FaultPlan::new(19);
+    let dpc = Dpc::new(DpcConfig {
+        faults: Some(plan.clone()),
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    let fd = fs.create("/slow").unwrap();
+    fs.write(fd, 0, b"patience").unwrap();
+    plan.arm("kv.op", FaultSpec::always().with_delay(2));
+    fs.fsync(fd).unwrap();
+    plan.arm("kv.op", FaultSpec::off());
+    assert!(dpc.metrics().recovery.kv_retries > 0, "the stall was real");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn truncate_shrink_then_extend_reads_zeros() {
+    // Regression caught by the crash sweep but reachable with no crash
+    // and no WAL: truncating a file whose boundary page is cached used
+    // to clip only the entry's valid length, leaving the clipped bytes
+    // in the page buffer — a later extension re-exposed them to reads.
+    let dpc = Dpc::new(DpcConfig::default());
+    let fs = dpc.fs();
+    let fd = fs.create("/clip").unwrap();
+    fs.write(fd, 0, &pattern(21, 0, 28288)).unwrap();
+    fs.truncate(fd, 24810).unwrap();
+    fs.truncate(fd, 58140).unwrap();
+    let mut buf = vec![1u8; 58140 - 24810];
+    assert_eq!(fs.read(fd, 24810, &mut buf).unwrap(), buf.len());
+    assert!(
+        buf.iter().all(|&b| b == 0),
+        "clipped bytes resurrected past the truncate point"
+    );
+    // The kept prefix is untouched by the clip.
+    let mut head = vec![0u8; 24810];
+    assert_eq!(fs.read(fd, 0, &mut head).unwrap(), head.len());
+    assert_eq!(head, pattern(21, 0, 28288)[..24810]);
+    fs.close(fd).unwrap();
+}
