@@ -1,0 +1,541 @@
+//! `bench-pr9` — the metadata fast path (sharded MDS namespace +
+//! host-side attr/dentry/negative/readdir caching, DESIGN.md §14) under
+//! the million-file-tree workload family, emitting `BENCH_PR9.json` at
+//! the repo root.
+//!
+//! Three scenarios, each a measured run of the live stack plus a
+//! calibrated `dpc-sim` model point (the PR 2/PR 6 precedent: this
+//! container has one core, so concurrency gates ride the model and the
+//! measured rows prove the functional/counter claims):
+//!
+//! - **stat stampede**: Zipf(0.9) repeated stats over the synthetic tree
+//!   through a live `Dpc`, metadata cache on vs off. Off pays the full
+//!   resolve walk per stat (a lookup RPC per component plus a getattr);
+//!   on answers warm stats entirely from the host-side dentry + attr
+//!   layers. The off trials double as the dormancy proof: every `meta_*`
+//!   counter must read exactly zero.
+//! - **ls -R**: repeated recursive walks; on serves generation-validated
+//!   listings from the readdir cache, off re-issues one listing RPC per
+//!   directory per round.
+//! - **create storm**: 8 threads untar disjoint directory sets into one
+//!   MDS, namespace stripes (`ns_shards = 16`) vs the single-lock server
+//!   (`ns_shards = 1`). The measured row runs the real `DfsBackend`
+//!   (time-sliced on this box); the acceptance ratio rides the model,
+//!   where the stripe lock is a one-server station holding the
+//!   namespace-map portion of the MDS service time and the sharded mode
+//!   spreads that hold across 16 stripe stations.
+//!
+//! Gates: model stat stampede >= 3x on/off, model ls -R >= 1.5x on/off,
+//! model 8-thread create storm >= 2x sharded/single-lock, and all meta
+//! counters zero with the knobs off.
+//!
+//! Usage: `cargo run --release -p dpc-bench --bin bench-pr9 [--quick]`
+
+use std::time::Instant;
+
+use dpc_cache::MetaStats;
+use dpc_core::{Dpc, DpcConfig, Testbed};
+use dpc_dfs::{DfsBackend, DfsConfig};
+use dpc_sim::{Nanos, Plan, Simulation, StationCfg};
+use dpc_workload::{MetaOp, MetaTreeSpec};
+
+struct Knobs {
+    /// Tree shape for the stat/ls-R scenarios.
+    dirs: usize,
+    files_per_dir: usize,
+    /// Zipf(0.9) stats issued over the tree.
+    stampede_ops: usize,
+    /// Full `ls -R` passes (round 1 warms the readdir cache).
+    ls_rounds: usize,
+    /// Create-storm shape: threads untar disjoint directory shards.
+    storm_dirs: usize,
+    storm_files_per_dir: usize,
+    storm_threads: usize,
+}
+
+fn knobs(quick: bool) -> Knobs {
+    if quick {
+        Knobs {
+            dirs: 16,
+            files_per_dir: 32,
+            stampede_ops: 4_000,
+            ls_rounds: 3,
+            storm_dirs: 64,
+            storm_files_per_dir: 32,
+            storm_threads: 8,
+        }
+    } else {
+        Knobs {
+            dirs: 64,
+            files_per_dir: 128,
+            stampede_ops: 40_000,
+            ls_rounds: 5,
+            storm_dirs: 256,
+            storm_files_per_dir: 128,
+            storm_threads: 8,
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn assert_meta_dormant(stats: &MetaStats) {
+    for (name, v) in [
+        ("attr_hits", stats.attr_hits),
+        ("attr_misses", stats.attr_misses),
+        ("dentry_hits", stats.dentry_hits),
+        ("dentry_misses", stats.dentry_misses),
+        ("neg_hits", stats.neg_hits),
+        ("readdir_hits", stats.readdir_hits),
+        ("readdir_misses", stats.readdir_misses),
+        ("invalidations", stats.invalidations),
+    ] {
+        assert_eq!(v, 0, "cache-off baseline moved meta counter {name}");
+    }
+}
+
+// ---- measured stat stampede + ls -R ----------------------------------
+
+struct MetaPoint {
+    cache: bool,
+    build_s: f64,
+    stat_kops: f64,
+    lsr_lists_per_s: f64,
+    stats: MetaStats,
+}
+
+fn run_meta_trial(cache: bool, k: &Knobs) -> MetaPoint {
+    let dpc = Dpc::new(DpcConfig {
+        meta_cache: cache,
+        background_flush: false,
+        prefetch: false,
+        ..DpcConfig::default()
+    });
+    let fs = dpc.fs();
+    let spec = MetaTreeSpec::new("/tree", k.dirs, k.files_per_dir);
+    fs.mkdir("/tree").expect("mkdir root");
+
+    // Untar-like build (single shard: one client populates the tree).
+    let t0 = Instant::now();
+    for op in spec.untar(0, 1) {
+        match op {
+            MetaOp::Mkdir { path } => {
+                fs.mkdir(&path).expect("mkdir");
+            }
+            MetaOp::Create { path } => {
+                let fd = fs.create(&path).expect("create");
+                fs.close(fd).expect("close");
+            }
+            other => panic!("untar emitted {other:?}"),
+        }
+    }
+    let build_s = t0.elapsed().as_secs_f64();
+
+    // Stat stampede, Zipf(0.9) over every file.
+    let stats_ops = spec.stat_stampede(k.stampede_ops, 0.9, 0x9A7A);
+    let t0 = Instant::now();
+    for op in &stats_ops {
+        let MetaOp::Stat { path } = op else {
+            unreachable!()
+        };
+        let attr = fs.stat(path).expect("stat");
+        assert_eq!(attr.size, 0, "empty tree file grew?");
+    }
+    let stat_s = t0.elapsed().as_secs_f64();
+
+    // ls -R rounds. Entry counts are asserted every round: a cache that
+    // serves the wrong listing fails here, not silently.
+    let walk = spec.ls_r();
+    let t0 = Instant::now();
+    let mut lists = 0u64;
+    for _ in 0..k.ls_rounds {
+        for (i, op) in walk.iter().enumerate() {
+            let MetaOp::List { path } = op else {
+                unreachable!()
+            };
+            let entries = fs.readdir(path).expect("readdir");
+            let want = if i == 0 { k.dirs } else { k.files_per_dir };
+            assert_eq!(entries.len(), want, "{path} listing");
+            lists += 1;
+        }
+    }
+    let lsr_s = t0.elapsed().as_secs_f64();
+
+    let stats = dpc.metrics().meta;
+    if cache {
+        assert!(stats.attr_hits > 0, "warm stampede must hit the attr cache");
+        assert!(stats.dentry_hits > 0, "resolve must hit the dentry cache");
+        assert!(
+            stats.readdir_hits as usize >= (k.ls_rounds - 1) * (k.dirs + 1),
+            "rounds after the first must hit the readdir cache"
+        );
+    } else {
+        assert_meta_dormant(&stats);
+    }
+
+    MetaPoint {
+        cache,
+        build_s,
+        stat_kops: k.stampede_ops as f64 / stat_s / 1e3,
+        lsr_lists_per_s: lists as f64 / lsr_s,
+        stats,
+    }
+}
+
+// ---- measured create storm -------------------------------------------
+
+struct StormPoint {
+    ns_shards: usize,
+    creates: u64,
+    kops_per_s: f64,
+}
+
+/// 8 threads untar disjoint directory shards into a single MDS — the
+/// parent-ino-striped locks are the only thing the modes disagree on.
+fn run_storm_measured(ns_shards: usize, k: &Knobs) -> StormPoint {
+    let be = DfsBackend::new(DfsConfig {
+        mds_count: 1,
+        ns_shards,
+        ..DfsConfig::default()
+    });
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..k.storm_threads {
+            let be = be.clone();
+            s.spawn(move || {
+                for d in (t..k.storm_dirs).step_by(k.storm_threads) {
+                    let p_ino = 1_000 + d as u64;
+                    for f in 0..k.storm_files_per_dir {
+                        be.mds_create(0, p_ino, &format!("f{f:05}"))
+                            .expect("create");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let creates = (k.storm_dirs * k.storm_files_per_dir) as u64;
+
+    // Every directory must hold exactly its shard's files (paginated
+    // through the scoped-snapshot readdir).
+    for d in [0, k.storm_dirs / 2, k.storm_dirs - 1] {
+        let p_ino = 1_000 + d as u64;
+        let mut seen = 0usize;
+        let mut cursor: Option<String> = None;
+        loop {
+            let (page, next) = be
+                .mds_readdir(0, p_ino, cursor.as_deref(), 100)
+                .expect("readdir");
+            seen += page.len();
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(seen, k.storm_files_per_dir, "dir {d} lost creates");
+    }
+
+    StormPoint {
+        ns_shards,
+        creates,
+        kops_per_s: creates as f64 / elapsed / 1e3,
+    }
+}
+
+// ---- calibrated model points -----------------------------------------
+
+/// Namespace-map work the MDS performs *under the namespace lock* per
+/// create: dentry probe + insert, inode insert, allocator bump — plus
+/// the scan interference the single lock inflicts (a concurrent readdir
+/// holds the same word across its whole prefix walk). Half the 12 us
+/// `mds_service` budget, calibrated against the map-heavy share of the
+/// create path.
+const STRIPE_HOLD_NS: u64 = 6_000;
+/// Host-side cache probe per warm metadata hit (dentry walk + attr or
+/// listing fetch out of the sharded maps).
+const META_PROBE_NS: u64 = 300;
+/// Per-entry cost of materialising a listing: decode + name copy on the
+/// RPC path, clone-out of the generation-stamped snapshot on the cache
+/// path. Same order on both sides.
+const ENTRY_COPY_NS: u64 = 60;
+/// Server-side per-entry readdir cost: shard scan step + attr fetch +
+/// wire encode.
+const ENTRY_SERVE_NS: u64 = 250;
+
+struct ModelPoint {
+    threads: usize,
+    kops_per_s: f64,
+    mean_us: f64,
+}
+
+fn model_report(
+    sim: &mut Simulation,
+    mut flow: impl FnMut(usize, u64, Nanos, &mut Plan),
+    threads: usize,
+) -> ModelPoint {
+    let report = sim.run(
+        &mut flow,
+        threads,
+        Nanos::from_millis(2.0),
+        Nanos::from_millis(20.0),
+    );
+    let c = report.class(0).expect("class 0");
+    ModelPoint {
+        threads,
+        kops_per_s: c.throughput / 1e3,
+        mean_us: c.latency.mean().as_micros(),
+    }
+}
+
+/// Stat stampede on the Table 1 testbed: `threads` closed-loop clients.
+/// Off pays depth lookup RPCs + getattr, all served by the MDS pool; on
+/// answers warm stats from host-side maps (the stampede's Zipf head is
+/// fully resident after the first touch).
+fn model_stat(tb: &Testbed, cache: bool, threads: usize) -> ModelPoint {
+    let mut sim = Simulation::new();
+    let host = sim.add_station(StationCfg::new("host-cpu", tb.host.threads));
+    let mds = sim.add_station(StationCfg::new("mds-pool", 4));
+    let c = tb.costs;
+    // Depth-2 tree: two lookups + one getattr per cold stat.
+    let rpcs = 3u64;
+    let mut flow = move |_caller: usize, _cycle: u64, _now: Nanos, plan: &mut Plan| {
+        if cache {
+            plan.service(host, Nanos(c.host_syscall.0 + META_PROBE_NS));
+        } else {
+            plan.service(host, Nanos(c.host_syscall.0 + rpcs * c.rpc_cpu.0));
+            plan.service(mds, Nanos(rpcs * c.mds_service.0));
+        }
+    };
+    model_report(&mut sim, &mut flow, threads)
+}
+
+/// `ls -R` on the model testbed: one listing per directory, `entries`
+/// names each.
+fn model_lsr(tb: &Testbed, cache: bool, threads: usize, entries: u64) -> ModelPoint {
+    let mut sim = Simulation::new();
+    let host = sim.add_station(StationCfg::new("host-cpu", tb.host.threads));
+    let mds = sim.add_station(StationCfg::new("mds-pool", 4));
+    let c = tb.costs;
+    let mut flow = move |_caller: usize, _cycle: u64, _now: Nanos, plan: &mut Plan| {
+        if cache {
+            plan.service(
+                host,
+                Nanos(c.host_syscall.0 + META_PROBE_NS + entries * ENTRY_COPY_NS),
+            );
+        } else {
+            plan.service(
+                host,
+                Nanos(c.host_syscall.0 + c.rpc_cpu.0 + entries * ENTRY_COPY_NS),
+            );
+            plan.service(mds, Nanos(c.mds_service.0 + entries * ENTRY_SERVE_NS));
+        }
+    };
+    model_report(&mut sim, &mut flow, threads)
+}
+
+/// Create storm against one MDS: the namespace-map hold is a one-server
+/// station per stripe; `ns_shards = 1` funnels every create through the
+/// same stripe, `ns_shards = 16` spreads holds by parent-directory hash.
+fn model_storm(tb: &Testbed, ns_shards: usize, threads: usize, dirs: u64) -> ModelPoint {
+    let mut sim = Simulation::new();
+    let host = sim.add_station(StationCfg::new("host-cpu", tb.host.threads));
+    // One MDS machine: its service threads parallelise everything except
+    // the stripe hold.
+    let mds = sim.add_station(StationCfg::new("mds-cpu", tb.dpu.cores));
+    let stripes: Vec<_> = (0..ns_shards)
+        .map(|_| sim.add_station(StationCfg::new("ns-stripe", 1)))
+        .collect();
+    let c = tb.costs;
+    let mut flow = move |caller: usize, cycle: u64, _now: Nanos, plan: &mut Plan| {
+        let mut s = ((caller as u64) << 32) | cycle;
+        let dir = splitmix(&mut s) % dirs;
+        let stripe = (splitmix(&mut (dir ^ 0xD5)) % stripes.len() as u64) as usize;
+        plan.service(host, Nanos(c.host_syscall.0 + c.rpc_cpu.0));
+        plan.service(mds, Nanos(c.mds_service.0 - STRIPE_HOLD_NS));
+        plan.service(stripes[stripe], Nanos(STRIPE_HOLD_NS));
+    };
+    model_report(&mut sim, &mut flow, threads)
+}
+
+// ----------------------------------------------------------------------
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k = knobs(quick);
+    let tb = Testbed::default();
+
+    // Measured: live stack, cache on vs off.
+    let mut meta_points = Vec::new();
+    for cache in [false, true] {
+        let p = run_meta_trial(cache, &k);
+        println!(
+            "measured meta {:>3}: build {:>6.2}s, stampede {:>8.1} kstat/s, \
+             ls -R {:>8.0} lists/s | attr {}h/{}m dentry {}h/{}m neg {} \
+             readdir {}h/{}m inval {}",
+            if p.cache { "on" } else { "off" },
+            p.build_s,
+            p.stat_kops,
+            p.lsr_lists_per_s,
+            p.stats.attr_hits,
+            p.stats.attr_misses,
+            p.stats.dentry_hits,
+            p.stats.dentry_misses,
+            p.stats.neg_hits,
+            p.stats.readdir_hits,
+            p.stats.readdir_misses,
+            p.stats.invalidations,
+        );
+        meta_points.push(p);
+    }
+    let measured_stat_x = meta_points[1].stat_kops / meta_points[0].stat_kops;
+    let measured_lsr_x = meta_points[1].lsr_lists_per_s / meta_points[0].lsr_lists_per_s;
+
+    // Measured: create storm, sharded vs single lock (time-sliced here).
+    let mut storm_points = Vec::new();
+    for ns_shards in [1, 16] {
+        let p = run_storm_measured(ns_shards, &k);
+        println!(
+            "measured storm {:>2} stripe(s): {} creates, {:>8.1} kcreate/s ({} threads, 1 core)",
+            p.ns_shards, p.creates, p.kops_per_s, k.storm_threads,
+        );
+        storm_points.push(p);
+    }
+    let measured_storm_x = storm_points[1].kops_per_s / storm_points[0].kops_per_s;
+
+    // Model: the Table 1 testbed with real parallelism.
+    let threads = 8;
+    let m_stat_off = model_stat(&tb, false, threads);
+    let m_stat_on = model_stat(&tb, true, threads);
+    let m_lsr_off = model_lsr(&tb, false, threads, k.files_per_dir as u64);
+    let m_lsr_on = model_lsr(&tb, true, threads, k.files_per_dir as u64);
+    let m_storm_1 = model_storm(&tb, 1, threads, k.storm_dirs as u64);
+    let m_storm_16 = model_storm(&tb, 16, threads, k.storm_dirs as u64);
+    for (name, off, on) in [
+        ("stat", &m_stat_off, &m_stat_on),
+        ("ls-R", &m_lsr_off, &m_lsr_on),
+        ("storm", &m_storm_1, &m_storm_16),
+    ] {
+        println!(
+            "model {name:>6} {}T: {:>8.1} -> {:>8.1} kops/s (mean {:>6.2} -> {:>6.2} us)",
+            off.threads, off.kops_per_s, on.kops_per_s, off.mean_us, on.mean_us,
+        );
+    }
+    let model_stat_x = m_stat_on.kops_per_s / m_stat_off.kops_per_s;
+    let model_lsr_x = m_lsr_on.kops_per_s / m_lsr_off.kops_per_s;
+    let model_storm_x = m_storm_16.kops_per_s / m_storm_1.kops_per_s;
+
+    println!(
+        "stat stampede cache on/off:  model {model_stat_x:.2}x (gate >= 3x), measured {measured_stat_x:.2}x"
+    );
+    println!(
+        "ls -R cache on/off:          model {model_lsr_x:.2}x (gate >= 1.5x), measured {measured_lsr_x:.2}x"
+    );
+    println!(
+        "create storm sharded/single: model {model_storm_x:.2}x (gate >= 2x), measured {measured_storm_x:.2}x (1 core)"
+    );
+    assert!(
+        model_stat_x >= 3.0,
+        "acceptance: modelled stat-stampede speedup {model_stat_x:.2}x < 3x"
+    );
+    assert!(
+        model_lsr_x >= 1.5,
+        "acceptance: modelled ls -R speedup {model_lsr_x:.2}x < 1.5x"
+    );
+    assert!(
+        model_storm_x >= 2.0,
+        "acceptance: modelled 8-thread create-storm speedup {model_storm_x:.2}x < 2x"
+    );
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    std::fs::write(
+        json_path,
+        render_json(
+            &k,
+            &meta_points,
+            &storm_points,
+            [
+                ("stat", model_stat_x, &m_stat_off, &m_stat_on),
+                ("ls_r", model_lsr_x, &m_lsr_off, &m_lsr_on),
+                ("storm", model_storm_x, &m_storm_1, &m_storm_16),
+            ],
+            measured_stat_x,
+            measured_lsr_x,
+            measured_storm_x,
+        ),
+    )
+    .expect("write BENCH_PR9.json");
+    eprintln!("wrote {json_path}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(
+    k: &Knobs,
+    meta_points: &[MetaPoint],
+    storm_points: &[StormPoint],
+    model: [(&str, f64, &ModelPoint, &ModelPoint); 3],
+    measured_stat_x: f64,
+    measured_lsr_x: f64,
+    measured_storm_x: f64,
+) -> String {
+    let mut mrows = String::new();
+    for (i, p) in meta_points.iter().enumerate() {
+        if i > 0 {
+            mrows.push_str(",\n");
+        }
+        let s = &p.stats;
+        mrows.push_str(&format!(
+            "    {{\"cache\": {}, \"build_s\": {:.3}, \"stat_kops_per_s\": {:.1}, \"lsr_lists_per_s\": {:.0}, \"attr_hits\": {}, \"attr_misses\": {}, \"dentry_hits\": {}, \"dentry_misses\": {}, \"neg_hits\": {}, \"readdir_hits\": {}, \"readdir_misses\": {}, \"invalidations\": {}}}",
+            p.cache,
+            p.build_s,
+            p.stat_kops,
+            p.lsr_lists_per_s,
+            s.attr_hits,
+            s.attr_misses,
+            s.dentry_hits,
+            s.dentry_misses,
+            s.neg_hits,
+            s.readdir_hits,
+            s.readdir_misses,
+            s.invalidations,
+        ));
+    }
+    let mut srows = String::new();
+    for (i, p) in storm_points.iter().enumerate() {
+        if i > 0 {
+            srows.push_str(",\n");
+        }
+        srows.push_str(&format!(
+            "    {{\"ns_shards\": {}, \"creates\": {}, \"kcreates_per_s\": {:.1}}}",
+            p.ns_shards, p.creates, p.kops_per_s,
+        ));
+    }
+    let mut orows = String::new();
+    for (i, (name, x, off, on)) in model.iter().enumerate() {
+        if i > 0 {
+            orows.push_str(",\n");
+        }
+        orows.push_str(&format!(
+            "    {{\"scenario\": \"{name}\", \"threads\": {}, \"off_kops_per_s\": {:.1}, \"on_kops_per_s\": {:.1}, \"speedup\": {x:.2}}}",
+            off.threads, off.kops_per_s, on.kops_per_s,
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"pr9-metadata-fast-path\",\n  \"workload\": {{\"dirs\": {}, \"files_per_dir\": {}, \"stampede_ops\": {}, \"ls_rounds\": {}, \"storm_dirs\": {}, \"storm_files_per_dir\": {}, \"storm_threads\": {}}},\n  \"model_stat_speedup\": {:.2},\n  \"model_lsr_speedup\": {:.2},\n  \"model_storm_speedup\": {:.2},\n  \"measured_stat_speedup\": {measured_stat_x:.2},\n  \"measured_lsr_speedup\": {measured_lsr_x:.2},\n  \"measured_storm_speedup\": {measured_storm_x:.2},\n  \"measured_meta\": [\n{mrows}\n  ],\n  \"measured_storm\": [\n{srows}\n  ],\n  \"model\": [\n{orows}\n  ]\n}}\n",
+        k.dirs,
+        k.files_per_dir,
+        k.stampede_ops,
+        k.ls_rounds,
+        k.storm_dirs,
+        k.storm_files_per_dir,
+        k.storm_threads,
+        model[0].1,
+        model[1].1,
+        model[2].1,
+    )
+}

@@ -24,7 +24,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dpc_cache::{HybridCache, IntentLog, WalError, WalKind, WriteError, PAGE_SIZE};
+use dpc_cache::{
+    HybridCache, IntentLog, MetaAttr, MetaCache, MetaDirent, NameLookup, WalError, WalKind,
+    WriteError, PAGE_SIZE,
+};
 use dpc_nvmefs::{
     decode_dirents, ChannelPool, DispatchType, FileRequest, FileResponse, WireAttr, WireDirent,
 };
@@ -166,6 +169,10 @@ pub struct DpcFs {
     pub mode: IoMode,
     /// Durability tier `fsync` provides (see [`FsyncMode`]).
     pub fsync_mode: FsyncMode,
+    /// Host-side metadata cache (DESIGN.md §14), shared across every
+    /// adapter of one `Dpc`. `None` (the default) keeps the metadata
+    /// path untouched — no probes, no counters.
+    meta: Option<Arc<MetaCache>>,
 }
 
 impl DpcFs {
@@ -174,6 +181,7 @@ impl DpcFs {
         pool: Arc<ChannelPool>,
         mode: IoMode,
         fsync_mode: FsyncMode,
+        meta: Option<Arc<MetaCache>>,
     ) -> DpcFs {
         DpcFs {
             cache,
@@ -181,6 +189,7 @@ impl DpcFs {
             fds: FdTable::new(),
             mode,
             fsync_mode,
+            meta,
         }
     }
 
@@ -209,6 +218,100 @@ impl DpcFs {
         }
     }
 
+    // ---- metadata fast path (DESIGN.md §14) ----------------------------
+
+    fn meta_to_wire(a: MetaAttr) -> WireAttr {
+        WireAttr {
+            ino: a.ino,
+            size: a.size,
+            mode: a.mode,
+            nlink: a.nlink,
+            uid: a.uid,
+            gid: a.gid,
+            atime_ns: a.atime_ns,
+            mtime_ns: a.mtime_ns,
+            ctime_ns: a.ctime_ns,
+            kind: a.kind,
+        }
+    }
+
+    fn wire_to_meta(a: &WireAttr) -> MetaAttr {
+        MetaAttr {
+            ino: a.ino,
+            size: a.size,
+            mode: a.mode,
+            nlink: a.nlink,
+            uid: a.uid,
+            gid: a.gid,
+            atime_ns: a.atime_ns,
+            mtime_ns: a.mtime_ns,
+            ctime_ns: a.ctime_ns,
+            kind: a.kind,
+        }
+    }
+
+    /// One path-component lookup through the dentry + negative layers: a
+    /// dentry hit skips the `Lookup` RPC entirely, a valid negative entry
+    /// answers ENOENT with zero RPCs, and a backend round-trip primes
+    /// whichever layer matches its outcome.
+    fn lookup_component(&self, parent: u64, name: &str) -> Result<u64, DpcError> {
+        if let Some(meta) = &self.meta {
+            match meta.lookup_name(parent, name) {
+                NameLookup::Hit(ino) => return Ok(ino),
+                NameLookup::Negative => return Err(DpcError::NOT_FOUND),
+                NameLookup::Miss => {}
+            }
+        }
+        match self.call(
+            &FileRequest::Lookup {
+                parent,
+                name: name.to_string(),
+            },
+            b"",
+            0,
+        ) {
+            Ok((FileResponse::Ino(ino), _)) => {
+                if let Some(meta) = &self.meta {
+                    meta.insert_dentry(parent, name, ino);
+                }
+                Ok(ino)
+            }
+            Ok(_) => Err(DpcError::IO),
+            Err(e) => {
+                if e == DpcError::NOT_FOUND {
+                    if let Some(meta) = &self.meta {
+                        meta.insert_negative(parent, name);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// TTL-validated attr fetch: a cache hit skips the `GetAttr` RPC.
+    fn getattr_ino(&self, ino: u64) -> Result<WireAttr, DpcError> {
+        if let Some(meta) = &self.meta {
+            if let Some(a) = meta.get_attr(ino) {
+                return Ok(Self::meta_to_wire(a));
+            }
+        }
+        let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
+        let FileResponse::Attr(attr) = resp else {
+            return Err(DpcError::IO);
+        };
+        if let Some(meta) = &self.meta {
+            meta.insert_attr(Self::wire_to_meta(&attr));
+        }
+        Ok(attr)
+    }
+
+    /// Drop `ino`'s cached attr after a size/nlink/mtime-changing op.
+    fn meta_invalidate(&self, ino: u64) {
+        if let Some(meta) = &self.meta {
+            meta.invalidate_ino(ino);
+        }
+    }
+
     /// Resolve a path to an inode with per-component lookups, following
     /// symbolic links (depth-capped, ELOOP beyond 8).
     fn resolve(&self, path: &str) -> Result<u64, DpcError> {
@@ -221,24 +324,10 @@ impl DpcFs {
         }
         let mut ino = 0u64; // root
         for comp in path.split('/').filter(|c| !c.is_empty()) {
-            let (resp, _) = self.call(
-                &FileRequest::Lookup {
-                    parent: ino,
-                    name: comp.to_string(),
-                },
-                b"",
-                0,
-            )?;
-            match resp {
-                FileResponse::Ino(i) => ino = i,
-                _ => return Err(DpcError::IO),
-            }
+            ino = self.lookup_component(ino, comp)?;
             // Follow symlinks wherever they appear on the path.
             loop {
-                let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
-                let FileResponse::Attr(attr) = resp else {
-                    return Err(DpcError::IO);
-                };
+                let attr = self.getattr_ino(ino)?;
                 if attr.kind != 2 {
                     break;
                 }
@@ -287,15 +376,15 @@ impl DpcFs {
         let FileResponse::Ino(ino) = resp else {
             return Err(DpcError::IO);
         };
+        if let Some(meta) = &self.meta {
+            meta.note_create(parent, name, ino);
+        }
         Ok(self.fds.insert(ino, 0))
     }
 
     pub fn open(&self, path: &str) -> Result<Fd, DpcError> {
         let ino = self.resolve(path)?;
-        let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
-        let FileResponse::Attr(attr) = resp else {
-            return Err(DpcError::IO);
-        };
+        let attr = self.getattr_ino(ino)?;
         Ok(self.fds.insert(ino, attr.size))
     }
 
@@ -309,7 +398,7 @@ impl DpcFs {
     pub fn mkdir(&self, path: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
         let parent = self.resolve(dir)?;
-        self.call(
+        let (resp, _) = self.call(
             &FileRequest::Mkdir {
                 parent,
                 name: name.to_string(),
@@ -318,11 +407,26 @@ impl DpcFs {
             b"",
             0,
         )?;
+        if let (Some(meta), FileResponse::Ino(ino)) = (&self.meta, resp) {
+            meta.note_create(parent, name, ino);
+        }
         Ok(())
     }
 
     pub fn readdir(&self, path: &str) -> Result<Vec<WireDirent>, DpcError> {
         let ino = self.resolve(path)?;
+        if let Some(meta) = &self.meta {
+            if let Some(entries) = meta.get_dir(ino) {
+                return Ok(entries
+                    .iter()
+                    .map(|e| WireDirent {
+                        ino: e.ino,
+                        kind: e.kind,
+                        name: e.name.clone(),
+                    })
+                    .collect());
+            }
+        }
         let (resp, payload) = self.call(
             &FileRequest::Readdir { ino },
             b"",
@@ -333,36 +437,34 @@ impl DpcFs {
         let FileResponse::Entries(n) = resp else {
             return Err(DpcError::IO);
         };
-        decode_dirents(&payload, n as usize).map_err(|_| DpcError::IO)
+        let entries = decode_dirents(&payload, n as usize).map_err(|_| DpcError::IO)?;
+        if let Some(meta) = &self.meta {
+            meta.insert_dir(
+                ino,
+                entries
+                    .iter()
+                    .map(|e| MetaDirent {
+                        ino: e.ino,
+                        kind: e.kind,
+                        name: e.name.clone(),
+                    })
+                    .collect(),
+            );
+        }
+        Ok(entries)
     }
 
     pub fn stat(&self, path: &str) -> Result<WireAttr, DpcError> {
         let ino = self.resolve(path)?;
-        let (resp, _) = self.call(&FileRequest::GetAttr { ino }, b"", 0)?;
-        match resp {
-            FileResponse::Attr(a) => Ok(a),
-            _ => Err(DpcError::IO),
-        }
+        self.getattr_ino(ino)
     }
 
     pub fn unlink(&self, path: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
         let parent = self.resolve(dir)?;
-        // Find the ino first so cached pages can be invalidated.
-        let ino = {
-            let (resp, _) = self.call(
-                &FileRequest::Lookup {
-                    parent,
-                    name: name.to_string(),
-                },
-                b"",
-                0,
-            )?;
-            match resp {
-                FileResponse::Ino(i) => i,
-                _ => return Err(DpcError::IO),
-            }
-        };
+        // Find the ino first so cached pages can be invalidated (the
+        // dentry layer usually answers this without an RPC).
+        let ino = self.lookup_component(parent, name)?;
         self.call(
             &FileRequest::Unlink {
                 parent,
@@ -371,8 +473,13 @@ impl DpcFs {
             b"",
             0,
         )?;
-        // Drop stale cache pages.
+        // Drop stale cache pages and metadata (the remaining links' nlink
+        // changed too, so the attr goes regardless).
         self.cache.invalidate_ino(ino);
+        if let Some(meta) = &self.meta {
+            meta.note_remove(parent, name);
+            meta.invalidate_ino(ino);
+        }
         Ok(())
     }
 
@@ -392,6 +499,13 @@ impl DpcFs {
             b"",
             0,
         )?;
+        if let Some(meta) = &self.meta {
+            // Both directories mutated: bump both generations (killing
+            // their listings and negative entries — a rename *into* a
+            // cached-absent name must start resolving again).
+            meta.note_remove(parent, fname);
+            meta.note_remove(new_parent, tname);
+        }
         Ok(())
     }
 
@@ -406,6 +520,9 @@ impl DpcFs {
             b"",
             0,
         )?;
+        if let Some(meta) = &self.meta {
+            meta.note_remove(parent, name);
+        }
         Ok(())
     }
 
@@ -424,6 +541,11 @@ impl DpcFs {
             b"",
             0,
         )?;
+        if let Some(meta) = &self.meta {
+            meta.note_create(new_parent, name, ino);
+            // nlink changed.
+            meta.invalidate_ino(ino);
+        }
         Ok(())
     }
 
@@ -431,7 +553,7 @@ impl DpcFs {
     pub fn symlink(&self, path: &str, target: &str) -> Result<(), DpcError> {
         let (dir, name) = Self::split_parent(path)?;
         let parent = self.resolve(dir)?;
-        self.call(
+        let (resp, _) = self.call(
             &FileRequest::Symlink {
                 parent,
                 name: name.to_string(),
@@ -440,6 +562,9 @@ impl DpcFs {
             b"",
             0,
         )?;
+        if let (Some(meta), FileResponse::Ino(ino)) = (&self.meta, resp) {
+            meta.note_create(parent, name, ino);
+        }
         Ok(())
     }
 
@@ -448,17 +573,7 @@ impl DpcFs {
     pub fn readlink(&self, path: &str) -> Result<String, DpcError> {
         let (dir, name) = Self::split_parent(path)?;
         let parent = self.resolve(dir)?;
-        let (resp, _) = self.call(
-            &FileRequest::Lookup {
-                parent,
-                name: name.to_string(),
-            },
-            b"",
-            0,
-        )?;
-        let FileResponse::Ino(ino) = resp else {
-            return Err(DpcError::IO);
-        };
+        let ino = self.lookup_component(parent, name)?;
         let (resp, payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
         let FileResponse::Bytes(n) = resp else {
             return Err(DpcError::IO);
@@ -539,6 +654,8 @@ impl DpcFs {
             .ok_or(DpcError::INVALID)?;
         let entry = self.fds.get(fd)?;
         let ino = entry.ino;
+        // Size/mtime change: the cached attr is stale either way.
+        self.meta_invalidate(ino);
 
         match self.mode {
             IoMode::Direct => {
@@ -998,6 +1115,7 @@ impl DpcFs {
         }
         let entry = self.fds.get(fd)?;
         let ino = entry.ino;
+        self.meta_invalidate(ino);
         // O_DIRECT coherence: dirty cached pages overlapping the write
         // must reach the backend before the direct write lands (flush,
         // never discard). The dirty-range index answers the overlap
@@ -1077,6 +1195,8 @@ impl DpcFs {
             return Ok(());
         }
         let (ino, size) = (entry.ino, entry.size.load(Ordering::Acquire));
+        // The reconcile below rewrites the backend size/mtime.
+        self.meta_invalidate(ino);
         self.call(&FileRequest::Fsync { ino }, b"", 0)?;
         // The flusher writes whole pages; trim any padding past the
         // logical size (kernel i_size reconciliation). No intent record:
@@ -1089,6 +1209,7 @@ impl DpcFs {
     pub fn truncate(&self, fd: Fd, size: u64) -> Result<(), DpcError> {
         let entry = self.fds.get(fd)?;
         let (ino, old) = (entry.ino, entry.size.load(Ordering::Acquire));
+        self.meta_invalidate(ino);
         // Write-ahead: the truncate record orders against live buffered
         // records (positional replay), so a post-crash redo of an older
         // write can never resurrect the clipped bytes. Durable at ack —
@@ -1228,6 +1349,17 @@ impl DpcFs {
             FileResponse::Bytes(_) => Ok(payload),
             _ => Err(DpcError::IO),
         }
+    }
+
+    /// List a DFS directory through the offloaded client (the MDS serves
+    /// it as cursor-paginated per-shard snapshots; entries arrive in name
+    /// order).
+    pub fn dfs_readdir(&self, dir: u64) -> Result<Vec<WireDirent>, DpcError> {
+        let (resp, payload) = self.dfs_call(&FileRequest::Readdir { ino: dir }, b"", 512 * 1024)?;
+        let FileResponse::Entries(n) = resp else {
+            return Err(DpcError::IO);
+        };
+        decode_dirents(&payload, n as usize).map_err(|_| DpcError::IO)
     }
 
     /// Flush the offloaded client's lazily batched metadata.

@@ -596,6 +596,21 @@ impl Dispatcher {
                     Err(e) => dfs_err(e),
                 }
             }
+            FileRequest::Readdir { ino } => match dfs.readdir(*ino) {
+                Ok((entries, _)) => {
+                    let wire: Vec<WireDirent> = entries
+                        .into_iter()
+                        .map(|(name, ino)| WireDirent { ino, kind: 0, name })
+                        .collect();
+                    encode_dirents(&wire, out);
+                    if out.len() > inc.read_len as usize {
+                        out.clear();
+                        return FileResponse::Err(34 /* ERANGE */);
+                    }
+                    FileResponse::Entries(wire.len() as u32)
+                }
+                Err(e) => dfs_err(e),
+            },
             FileRequest::Fsync { .. } => match dfs.sync_meta() {
                 Ok(_) => FileResponse::Ok,
                 Err(e) => dfs_err(e),

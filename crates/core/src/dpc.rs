@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use dpc_cache::{
-    CacheConfig, ControlPlane, HybridCache, IntentLog, PrefetchQueue, RaConfig, ReadaheadTable,
-    WAL_HEADER,
+    CacheConfig, ControlPlane, HybridCache, IntentLog, MetaCache, MetaConfig, PrefetchQueue,
+    RaConfig, ReadaheadTable, WAL_HEADER,
 };
 use dpc_dfs::{ClientCore, DfsBackend, DfsConfig};
 use dpc_kvfs::Kvfs;
@@ -106,6 +106,20 @@ pub struct DpcConfig {
     /// What `fsync` waits for (only meaningful with `wal` on — without a
     /// log it silently degrades to [`FsyncMode::Data`]).
     pub fsync_mode: FsyncMode,
+    /// Host-side metadata cache (DESIGN.md §14): sharded attr / dentry /
+    /// negative / readdir layers in front of the metadata RPCs,
+    /// generation-invalidated by local mutations. Off = the cache is
+    /// never constructed and every `meta_*` counter is provably zero.
+    pub meta_cache: bool,
+    /// Lock stripes of the metadata cache.
+    pub meta_cache_shards: usize,
+    /// Attr-cache TTL in logical ticks (one tick per cache mutation);
+    /// `0` = entries never expire by age. Bounds attr staleness against
+    /// writers this host cannot observe.
+    pub meta_cache_ttl: u64,
+    /// Cache observed-ENOENT names (the negative-entry layer). Only
+    /// meaningful with `meta_cache` on.
+    pub meta_neg_cache: bool,
     /// Seeded fault-injection plan threaded through every layer (nvme-fs
     /// transport, DFS/KV servers, cache flush). None = no faults; all
     /// recovery machinery stays dormant and its counters read zero.
@@ -136,6 +150,10 @@ impl Default for DpcConfig {
             flush_compress: false,
             wal: false,
             wal_bytes: 4 << 20,
+            meta_cache: false,
+            meta_cache_shards: 16,
+            meta_cache_ttl: 0,
+            meta_neg_cache: true,
             fsync_mode: FsyncMode::Data,
             dfs: None,
             retry: RetryPolicy::default(),
@@ -170,6 +188,9 @@ pub struct Dpc {
     /// The intent log (None with `wal` off). The cache holds the same
     /// handle; this one serves diagnostics and region hand-off.
     wal: Option<Arc<IntentLog>>,
+    /// Host-side metadata cache shared by every handed-out adapter
+    /// (None with `meta_cache` off — provable dormancy).
+    meta: Option<Arc<MetaCache>>,
 }
 
 impl Dpc {
@@ -377,6 +398,14 @@ impl Dpc {
         let mut pool = ChannelPool::new(channels);
         pool.set_retry(cfg.retry);
 
+        let meta = cfg.meta_cache.then(|| {
+            Arc::new(MetaCache::new(MetaConfig {
+                shards: cfg.meta_cache_shards,
+                attr_ttl: cfg.meta_cache_ttl,
+                negative: cfg.meta_neg_cache,
+            }))
+        });
+
         Dpc {
             cfg,
             dma,
@@ -388,6 +417,7 @@ impl Dpc {
             ra_queue: ra.map(|(_, q)| q),
             crash,
             wal,
+            meta,
         }
     }
 
@@ -424,7 +454,14 @@ impl Dpc {
             self.pool.clone(),
             self.cfg.io_mode,
             fsync_mode,
+            self.meta.clone(),
         )
+    }
+
+    /// The shared host metadata cache, when `cfg.meta_cache` is on
+    /// (diagnostics/tests).
+    pub fn meta_cache(&self) -> Option<&Arc<MetaCache>> {
+        self.meta.as_ref()
     }
 
     /// Convenience alias emphasising the standalone (KVFS) service.
@@ -518,6 +555,7 @@ impl Dpc {
             cache,
             kvfs_lookups: self.kvfs.lookup_stats(),
             kv,
+            meta: self.meta.as_ref().map(|m| m.stats()).unwrap_or_default(),
             requests_served: self.runtime.requests_served(),
             pages_flushed: self.runtime.pages_flushed(),
             recovery: crate::metrics::RecoverySnapshot {

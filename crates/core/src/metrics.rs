@@ -5,7 +5,7 @@
 //! runtime activity — so operators (and the examples) can see where
 //! requests went without poking each subsystem.
 
-use dpc_cache::CacheStats;
+use dpc_cache::{CacheStats, MetaStats};
 use dpc_kvfs::LookupStats;
 use dpc_kvstore::KvStats;
 use dpc_pcie::PcieSnapshot;
@@ -54,6 +54,9 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
     pub kvfs_lookups: LookupStats,
     pub kv: KvStats,
+    /// Host-side metadata cache layers (all-zero with `meta_cache` off —
+    /// the cache is never constructed, per the dormancy pattern).
+    pub meta: MetaStats,
     /// Requests served by the DPU runtime's service threads.
     pub requests_served: u64,
     /// Pages persisted by the background flusher (0 when disabled).
@@ -99,6 +102,16 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.pcie.dma_bytes as f64 / self.requests_served as f64
+        }
+    }
+
+    /// Host metadata-cache attr hit rate, in [0, 1].
+    pub fn meta_attr_hit_rate(&self) -> f64 {
+        let total = self.meta.attr_hits + self.meta.attr_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.meta.attr_hits as f64 / total as f64
         }
     }
 
@@ -194,12 +207,31 @@ impl core::fmt::Display for MetricsSnapshot {
             c.wal_torn_tail_drops,
             c.wal_stalls
         )?;
+        let mc = &self.meta;
         writeln!(
             f,
-            "kvfs: dentry {:.0}% hit, inode {} hits / {} misses",
+            "meta cache: attr {} hits / {} misses ({:.0}% hit), dentry {} \
+             hits / {} misses, {} negative hits, readdir {} hits / {} \
+             misses, {} invalidations",
+            mc.attr_hits,
+            mc.attr_misses,
+            self.meta_attr_hit_rate() * 100.0,
+            mc.dentry_hits,
+            mc.dentry_misses,
+            mc.neg_hits,
+            mc.readdir_hits,
+            mc.readdir_misses,
+            mc.invalidations
+        )?;
+        writeln!(
+            f,
+            "kvfs: dentry {:.0}% hit, inode {} hits / {} misses, \
+             resolved-path {} hits / {} misses",
             self.dentry_hit_rate() * 100.0,
             self.kvfs_lookups.inode_hits,
-            self.kvfs_lookups.inode_misses
+            self.kvfs_lookups.inode_misses,
+            self.kvfs_lookups.path_hits,
+            self.kvfs_lookups.path_misses
         )?;
         writeln!(
             f,
@@ -275,6 +307,7 @@ mod tests {
             "readahead:",
             "flush pipeline:",
             "wal:",
+            "meta cache:",
             "kvfs:",
             "kv store:",
             "dpu runtime:",

@@ -122,7 +122,7 @@ fn standalone_namespace_requests() {
         vec![],
     ));
     assert_eq!(resp, FileResponse::Ok);
-    assert!(kvfs.readdir(0).unwrap().is_empty());
+    assert_eq!(kvfs.dir_entry_count(0).unwrap(), 0);
 }
 
 #[test]

@@ -365,6 +365,35 @@ impl ClientCore {
         ))
     }
 
+    /// List a directory, paging through the MDS cursor protocol (one
+    /// client RPC per page; the entry MDS fans each page out to the other
+    /// namespace partitions server-side). Entries come back in name
+    /// order.
+    pub fn readdir(&mut self, parent: u64) -> Result<(Vec<(String, u64)>, OpTrace), DfsError> {
+        const PAGE: usize = 256;
+        let home = self.backend.home_mds_of_name(parent, "");
+        let mut entries = Vec::new();
+        let mut cursor: Option<String> = None;
+        let mut trace = OpTrace::default();
+        loop {
+            let (page, next) = retry_mds(&self.backend, || {
+                self.backend
+                    .mds_readdir(home, parent, cursor.as_deref(), PAGE)
+            })?;
+            trace.mds_rpcs += 1;
+            trace.bytes_in += page
+                .iter()
+                .map(|(name, _)| name.len() as u64 + 8)
+                .sum::<u64>();
+            entries.extend(page);
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        Ok((entries, trace))
+    }
+
     /// Lease check: if the MDS recalled our delegation of `ino`, drop the
     /// cached attributes, flush any pending lazy metadata for that inode,
     /// and acknowledge the recall. Returns true when a recall was served.

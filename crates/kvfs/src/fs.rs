@@ -34,9 +34,17 @@ pub struct LookupStats {
     pub dentry_misses: u64,
     pub inode_hits: u64,
     pub inode_misses: u64,
+    pub path_hits: u64,
+    pub path_misses: u64,
 }
 
 const INO_LOCKS: usize = 64;
+
+/// When the resolved-path cache reaches this many entries it is dropped
+/// wholesale rather than evicted piecemeal — a stat stampede over a
+/// bounded hot set refills it in one pass, and the map never grows
+/// beyond the cap between namespace mutations.
+const PATH_CACHE_CAP: usize = 65_536;
 
 /// The KV-backed file system.
 pub struct Kvfs {
@@ -46,6 +54,14 @@ pub struct Kvfs {
     dentry_cache: RwLock<HashMap<(u64, String), u64>>,
     /// `ino → attr`, the inode cache.
     inode_cache: RwLock<HashMap<u64, FileAttr>>,
+    /// `path → (ino, gen)`, the resolved-path cache. Entries are valid
+    /// only while their generation stamp matches [`Kvfs::ns_gen`]; any
+    /// namespace mutation bumps the generation, lazily invalidating the
+    /// whole map without walking it.
+    path_cache: RwLock<HashMap<String, (u64, u64)>>,
+    /// Namespace generation: bumped by create/mkdir/symlink/link/unlink/
+    /// rmdir/rename so stale resolved paths never validate.
+    ns_gen: AtomicU64,
     /// Per-inode write serialisation (sharded by ino).
     ino_locks: Box<[Mutex<()>]>,
     /// Logical clock for timestamps (deterministic under simulation).
@@ -54,6 +70,8 @@ pub struct Kvfs {
     dentry_misses: AtomicU64,
     inode_hits: AtomicU64,
     inode_misses: AtomicU64,
+    path_hits: AtomicU64,
+    path_misses: AtomicU64,
 }
 
 impl Kvfs {
@@ -97,12 +115,16 @@ impl Kvfs {
             next_ino: AtomicU64::new(next_ino),
             dentry_cache: RwLock::new(HashMap::new()),
             inode_cache: RwLock::new(HashMap::new()),
+            path_cache: RwLock::new(HashMap::new()),
+            ns_gen: AtomicU64::new(0),
             ino_locks: (0..INO_LOCKS).map(|_| Mutex::new(())).collect(),
             clock: AtomicU64::new(1),
             dentry_hits: AtomicU64::new(0),
             dentry_misses: AtomicU64::new(0),
             inode_hits: AtomicU64::new(0),
             inode_misses: AtomicU64::new(0),
+            path_hits: AtomicU64::new(0),
+            path_misses: AtomicU64::new(0),
         }
     }
 
@@ -116,7 +138,16 @@ impl Kvfs {
             dentry_misses: self.dentry_misses.load(Ordering::Relaxed),
             inode_hits: self.inode_hits.load(Ordering::Relaxed),
             inode_misses: self.inode_misses.load(Ordering::Relaxed),
+            path_hits: self.path_hits.load(Ordering::Relaxed),
+            path_misses: self.path_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Invalidate every cached resolved path: bump the namespace
+    /// generation so stale entries stop validating. O(1) — the map is
+    /// cleaned lazily as entries are re-resolved or the cap clears it.
+    fn bump_ns_gen(&self) {
+        self.ns_gen.fetch_add(1, Ordering::Release);
     }
 
     fn now(&self) -> u64 {
@@ -179,8 +210,30 @@ impl Kvfs {
     /// Resolve an absolute path to an inode by recursively fetching inode
     /// KVs from the root (the paper's path-resolution procedure).
     /// Symbolic links are followed, with a depth limit of 8.
+    ///
+    /// Repeat resolutions of the same path (stat stampedes, open-after-
+    /// stat) are answered from the resolved-path cache: one map probe
+    /// instead of a per-component lookup walk. Entries carry the
+    /// namespace generation they were resolved under and stop validating
+    /// the moment any mutation bumps it.
     pub fn resolve(&self, path: &str) -> Result<u64, FsError> {
-        self.resolve_depth(path, 0)
+        let gen = self.ns_gen.load(Ordering::Acquire);
+        if let Some(&(ino, stamp)) = self.path_cache.read().get(path) {
+            if stamp == gen {
+                self.path_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ino);
+            }
+        }
+        self.path_misses.fetch_add(1, Ordering::Relaxed);
+        // Generation read *before* the walk: if a rename lands mid-walk
+        // the entry is stamped stale and never validates.
+        let ino = self.resolve_depth(path, 0)?;
+        let mut pc = self.path_cache.write();
+        if pc.len() >= PATH_CACHE_CAP {
+            pc.clear();
+        }
+        pc.insert(path.to_string(), (ino, gen));
+        Ok(ino)
     }
 
     /// Resolve without following a final symlink (lstat-style).
@@ -249,6 +302,7 @@ impl Kvfs {
         self.dentry_cache
             .write()
             .insert((parent, name.to_string()), ino);
+        self.bump_ns_gen();
         Ok(ino)
     }
 
@@ -290,6 +344,7 @@ impl Kvfs {
         self.dentry_cache
             .write()
             .insert((parent, name.to_string()), ino);
+        self.bump_ns_gen();
         Ok(())
     }
 
@@ -336,6 +391,7 @@ impl Kvfs {
         self.dentry_cache
             .write()
             .insert((parent, name.to_string()), ino);
+        self.bump_ns_gen();
         Ok(ino)
     }
 
@@ -366,6 +422,7 @@ impl Kvfs {
         self.dentry_cache
             .write()
             .insert((parent, name.to_string()), ino);
+        self.bump_ns_gen();
         Ok(ino)
     }
 
@@ -391,6 +448,25 @@ impl Kvfs {
         Ok(out)
     }
 
+    /// Number of entries in a directory, without materialising them.
+    /// Existence / emptiness checks should use this (or
+    /// [`Kvfs::entry_exists`]) instead of `readdir` — a listing
+    /// allocates a name `String` and an attribute fetch per entry just
+    /// to be thrown away.
+    pub fn dir_entry_count(&self, dir: u64) -> Result<u64, FsError> {
+        let attr = self.get_attr(dir)?;
+        if !attr.is_dir() {
+            return Err(FsError::NotADirectory);
+        }
+        Ok(self.store.count_prefix(&inode_prefix(dir)) as u64)
+    }
+
+    /// Does `name` exist under `parent`? An exact dentry-KV probe — no
+    /// directory scan, no `Vec<Dirent>`.
+    pub fn entry_exists(&self, parent: u64, name: &str) -> bool {
+        self.store.contains(&inode_key(parent, name))
+    }
+
     /// Remove a regular file.
     pub fn unlink(&self, path: &str) -> Result<(), FsError> {
         let (parent, name) = self.resolve_parent(path)?;
@@ -410,6 +486,7 @@ impl Kvfs {
         self.dentry_cache
             .write()
             .remove(&(parent, name.to_string()));
+        self.bump_ns_gen();
         if attr.nlink > 1 {
             attr.nlink -= 1;
             attr.ctime = self.now();
@@ -447,6 +524,7 @@ impl Kvfs {
         self.dentry_cache
             .write()
             .remove(&(parent, name.to_string()));
+        self.bump_ns_gen();
         self.drop_attr(ino);
         if let Ok(mut pattr) = self.get_attr(parent) {
             pattr.nlink = pattr.nlink.saturating_sub(1);
@@ -493,10 +571,14 @@ impl Kvfs {
         let mut dc = self.dentry_cache.write();
         dc.remove(&(fp, fname.to_string()));
         dc.insert((tp, tname.to_string()), ino);
+        drop(dc);
+        self.bump_ns_gen();
         Ok(())
     }
 
-    /// `stat` by path.
+    /// `stat` by path. Routed through the shared resolver: a repeated
+    /// stat of the same path is one resolved-path probe plus one inode-
+    /// cache probe, not a per-component KV walk.
     pub fn stat(&self, path: &str) -> Result<FileAttr, FsError> {
         let ino = self.resolve(path)?;
         self.get_attr(ino)
@@ -1134,9 +1216,81 @@ mod tests {
         fs.resolve("/etc/conf").unwrap();
         let s1 = fs.lookup_stats();
         // After the entries are cached (they are: create/mkdir prime the
-        // dentry cache), resolves hit.
+        // dentry cache), resolves hit. The first walk hits the dentry
+        // cache per component; the repeats are whole-path hits that skip
+        // the walk entirely.
         assert_eq!(s1.dentry_misses - s0.dentry_misses, 0);
-        assert!(s1.dentry_hits - s0.dentry_hits >= 6);
+        assert!(s1.dentry_hits - s0.dentry_hits >= 2);
+        assert_eq!(s1.path_misses - s0.path_misses, 1);
+        assert_eq!(s1.path_hits - s0.path_hits, 2);
+    }
+
+    #[test]
+    fn repeated_stats_hit_the_resolved_path_cache() {
+        let fs = fs();
+        fs.mkdir("/deep", 0o755).unwrap();
+        fs.mkdir("/deep/nested", 0o755).unwrap();
+        fs.create("/deep/nested/leaf", 0o644).unwrap();
+        let first = fs.stat("/deep/nested/leaf").unwrap();
+        let s0 = fs.lookup_stats();
+        for _ in 0..5 {
+            assert_eq!(fs.stat("/deep/nested/leaf").unwrap().ino, first.ino);
+        }
+        let s1 = fs.lookup_stats();
+        assert_eq!(s1.path_hits - s0.path_hits, 5, "full-path probes");
+        assert_eq!(s1.path_misses - s0.path_misses, 0);
+        // The cached path skips the component walk entirely.
+        assert_eq!(s1.dentry_hits - s0.dentry_hits, 0);
+        assert_eq!(s1.dentry_misses - s0.dentry_misses, 0);
+    }
+
+    #[test]
+    fn path_cache_invalidated_by_every_namespace_mutation() {
+        let fs = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.create("/d/f", 0o644).unwrap();
+        fs.stat("/d/f").unwrap(); // populate
+
+        // Rename away: the stale resolved path must stop validating.
+        fs.rename("/d/f", "/d/g").unwrap();
+        assert_eq!(fs.stat("/d/f"), Err(FsError::NotFound));
+        let g = fs.stat("/d/g").unwrap();
+
+        // Rename something *else* into the old name: the pre-rename
+        // NotFound result must not have poisoned anything, and the old
+        // cached ino must not resurface.
+        fs.create("/d/h", 0o644).unwrap();
+        fs.rename("/d/h", "/d/f").unwrap();
+        let f2 = fs.stat("/d/f").unwrap();
+        assert_ne!(f2.ino, g.ino);
+
+        // Unlink + recreate under the same path yields the new ino.
+        fs.unlink("/d/f").unwrap();
+        assert_eq!(fs.stat("/d/f"), Err(FsError::NotFound));
+        let ino3 = fs.create("/d/f", 0o644).unwrap();
+        assert_eq!(fs.stat("/d/f").unwrap().ino, ino3);
+    }
+
+    #[test]
+    fn entry_probes_do_not_materialise_listings() {
+        let fs = fs();
+        fs.mkdir("/dir", 0o755).unwrap();
+        let dir = fs.resolve("/dir").unwrap();
+        assert_eq!(fs.dir_entry_count(dir).unwrap(), 0);
+        // "ab" is a byte prefix of "abc": the exact-key probe must tell
+        // them apart (a prefix count would conflate them).
+        fs.create("/dir/ab", 0o644).unwrap();
+        fs.create("/dir/abc", 0o644).unwrap();
+        assert_eq!(fs.dir_entry_count(dir).unwrap(), 2);
+        assert!(fs.entry_exists(dir, "ab"));
+        assert!(fs.entry_exists(dir, "abc"));
+        fs.unlink("/dir/ab").unwrap();
+        assert!(!fs.entry_exists(dir, "ab"));
+        assert!(fs.entry_exists(dir, "abc"));
+        assert_eq!(fs.dir_entry_count(dir).unwrap(), 1);
+        // Counting a file is an error, same as readdir.
+        let f = fs.resolve("/dir/abc").unwrap();
+        assert_eq!(fs.dir_entry_count(f), Err(FsError::NotADirectory));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Metadata-heavy workload family: the million-file-tree shapes the
+//! metadata fast path (DESIGN.md §14) is measured against.
+//!
+//! Three streams over one synthetic two-level tree (`root/dNNNNN/fNNNNN`):
+//!
+//! - **untar**: an untar-like create storm — mkdir each directory, then
+//!   create its files in order, with the directory set partitionable
+//!   across threads so a multi-directory storm exercises independent
+//!   namespace stripes;
+//! - **ls -R**: a full recursive walk, one `List` per directory;
+//! - **stat stampede**: Zipf-skewed repeated stats over the whole file
+//!   population, the readdir-free half of an `ls -l` hot loop.
+//!
+//! Everything is seeded and allocation-deterministic: the same spec and
+//! seed replay the same operation stream on every run.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::Zipf;
+
+/// One metadata operation over the synthetic tree (paths are absolute).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MetaOp {
+    /// Create a directory.
+    Mkdir { path: String },
+    /// Create an empty file.
+    Create { path: String },
+    /// Stat a path.
+    Stat { path: String },
+    /// List a directory.
+    List { path: String },
+}
+
+/// Shape of the synthetic tree: `dirs` directories under `root`, each
+/// holding `files_per_dir` files. `dirs = 2048, files_per_dir = 512` is
+/// the million-file tree; the quick benches scale both down.
+#[derive(Clone, Debug)]
+pub struct MetaTreeSpec {
+    pub root: String,
+    pub dirs: usize,
+    pub files_per_dir: usize,
+}
+
+impl MetaTreeSpec {
+    pub fn new(root: &str, dirs: usize, files_per_dir: usize) -> MetaTreeSpec {
+        assert!(dirs > 0 && files_per_dir > 0);
+        MetaTreeSpec {
+            root: root.trim_end_matches('/').to_string(),
+            dirs,
+            files_per_dir,
+        }
+    }
+
+    pub fn total_files(&self) -> usize {
+        self.dirs * self.files_per_dir
+    }
+
+    pub fn dir_path(&self, d: usize) -> String {
+        format!("{}/d{:05}", self.root, d)
+    }
+
+    pub fn file_path(&self, d: usize, f: usize) -> String {
+        format!("{}/d{:05}/f{:05}", self.root, d, f)
+    }
+
+    /// The untar-like create storm for one shard of the directory set:
+    /// directory `d` belongs to shard `d % shards`, and each directory is
+    /// mkdir'd then filled in name order (archive extraction locality).
+    /// The shards partition the tree: disjoint, jointly exhaustive, and
+    /// touching no common directory — safe to apply concurrently.
+    pub fn untar(&self, shard: usize, shards: usize) -> Vec<MetaOp> {
+        assert!(shards > 0 && shard < shards);
+        let mut ops = Vec::new();
+        for d in (shard..self.dirs).step_by(shards) {
+            ops.push(MetaOp::Mkdir {
+                path: self.dir_path(d),
+            });
+            for f in 0..self.files_per_dir {
+                ops.push(MetaOp::Create {
+                    path: self.file_path(d, f),
+                });
+            }
+        }
+        ops
+    }
+
+    /// The `ls -R` walk: list the root, then every directory in order.
+    pub fn ls_r(&self) -> Vec<MetaOp> {
+        let mut ops = vec![MetaOp::List {
+            path: self.root.clone(),
+        }];
+        for d in 0..self.dirs {
+            ops.push(MetaOp::List {
+                path: self.dir_path(d),
+            });
+        }
+        ops
+    }
+
+    /// A stat stampede: `n` stats with Zipf(θ)-skewed file choice over
+    /// the whole population. Hot ranks are interleaved across directories
+    /// (rank `r` → dir `r % dirs`) so the heat spreads over the namespace
+    /// instead of piling into one parent.
+    pub fn stat_stampede(&self, n: usize, theta: f64, seed: u64) -> Vec<MetaOp> {
+        let zipf = Zipf::new(self.total_files() as u64, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let rank = zipf.sample(&mut rng) as usize;
+                MetaOp::Stat {
+                    path: self.file_path(rank % self.dirs, rank / self.dirs),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec() -> MetaTreeSpec {
+        MetaTreeSpec::new("/tree", 7, 5)
+    }
+
+    #[test]
+    fn untar_shards_partition_the_tree() {
+        let s = spec();
+        let mut dirs_seen = HashSet::new();
+        let mut files_seen = HashSet::new();
+        for shard in 0..3 {
+            for op in s.untar(shard, 3) {
+                match op {
+                    MetaOp::Mkdir { path } => assert!(dirs_seen.insert(path)),
+                    MetaOp::Create { path } => assert!(files_seen.insert(path)),
+                    other => panic!("untar emitted {other:?}"),
+                }
+            }
+        }
+        assert_eq!(dirs_seen.len(), s.dirs);
+        assert_eq!(files_seen.len(), s.total_files());
+        // Every created file sits in a mkdir'd directory.
+        for f in &files_seen {
+            let dir = &f[..f.rfind('/').unwrap()];
+            assert!(dirs_seen.contains(dir), "orphan file {f}");
+        }
+    }
+
+    #[test]
+    fn untar_orders_mkdir_before_its_files() {
+        let ops = spec().untar(0, 1);
+        let mut made = HashSet::new();
+        for op in ops {
+            match op {
+                MetaOp::Mkdir { path } => {
+                    made.insert(path);
+                }
+                MetaOp::Create { path } => {
+                    let dir = path[..path.rfind('/').unwrap()].to_string();
+                    assert!(made.contains(&dir), "create before mkdir: {path}");
+                }
+                other => panic!("untar emitted {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ls_r_walks_root_then_every_dir() {
+        let s = spec();
+        let ops = s.ls_r();
+        assert_eq!(ops.len(), s.dirs + 1);
+        assert_eq!(
+            ops[0],
+            MetaOp::List {
+                path: "/tree".into()
+            }
+        );
+        for (d, op) in ops[1..].iter().enumerate() {
+            assert_eq!(
+                *op,
+                MetaOp::List {
+                    path: s.dir_path(d)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn stampede_is_seeded_and_in_bounds() {
+        let s = spec();
+        let a = s.stat_stampede(500, 0.9, 42);
+        assert_eq!(a, s.stat_stampede(500, 0.9, 42));
+        assert_ne!(a, s.stat_stampede(500, 0.9, 43));
+        let valid: HashSet<String> = (0..s.dirs)
+            .flat_map(|d| (0..s.files_per_dir).map(move |f| (d, f)))
+            .map(|(d, f)| s.file_path(d, f))
+            .collect();
+        for op in &a {
+            let MetaOp::Stat { path } = op else {
+                panic!("stampede emitted {op:?}");
+            };
+            assert!(valid.contains(path), "stat of a nonexistent file {path}");
+        }
+        // Skew: the modal path dominates a uniform draw's share.
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for op in &a {
+            let MetaOp::Stat { path } = op else {
+                unreachable!()
+            };
+            *counts.entry(path.as_str()).or_default() += 1;
+        }
+        let top = counts.values().max().copied().unwrap_or(0);
+        assert!(
+            top * s.total_files() > 3 * a.len(),
+            "theta=0.9 stream looks uniform (top share {top}/{})",
+            a.len()
+        );
+    }
+}

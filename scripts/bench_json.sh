@@ -14,6 +14,9 @@
 #   BENCH_PR8.json — write-ahead intent log: buffered-write append
 #                    overhead on vs off, crash-replay time vs dirty
 #                    set, tiny-ring recovery storm (stall reclaim)
+#   BENCH_PR9.json — metadata fast path: stat-stampede and ls -R
+#                    throughput cache on vs off, 8-thread create
+#                    storm sharded vs single-lock MDS namespace
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,3 +28,4 @@ cargo run --release -p dpc-bench --bin bench-pr5 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr6 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr7 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr8 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr9 -- "$@"

@@ -1,0 +1,498 @@
+//! PR 9 metadata-plane harness: host meta-cache coherence + sharded MDS
+//! namespace equivalence.
+//!
+//! Three obligations, mirroring the established per-PR pattern:
+//!
+//! 1. **Negative-entry coherence** — a cached ENOENT must die the moment
+//!    anything creates or renames into that name, both on a live instance
+//!    and across [`Dpc::recover`] (the recovered instance builds a fresh
+//!    cache — no stale negatives can survive a crash).
+//! 2. **Equivalence** — cache-on and cache-off runs of the same seeded
+//!    create/stat/readdir/unlink/rename schedule must produce identical
+//!    outcome traces (success/errno, ino, size, kind, nlink, listings),
+//!    with `mds.rpc` chaos armed so transparent MDS retries interleave
+//!    with the metadata stream. The cache may never change *what* an op
+//!    returns — only how many RPCs it costs.
+//! 3. **Shard equivalence** — the sharded MDS namespace (`ns_shards=16`)
+//!    and the single-stripe layout (`ns_shards=1`) must serve identical
+//!    namespaces under the same chaos schedule: same listings, same
+//!    lookup results, pagination cursors walking to the same end.
+//!
+//! Seeds: `[1, 7, 42]` by default; set `DPC_CHAOS_SEED=<u64>` to pin one
+//! (the CI chaos job fans out over the fixed seeds).
+
+use dpc::core::{Dpc, DpcConfig};
+use dpc::dfs::{DfsBackend, DfsConfig, DfsError};
+use dpc::nvmefs::RetryPolicy;
+use dpc::sim::{FaultPlan, FaultSpec};
+use proptest::prelude::*;
+
+const CHAOS_SEEDS: [u64; 3] = [1, 7, 42];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("DPC_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DPC_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => CHAOS_SEEDS.to_vec(),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, thread-light configuration with the metadata cache
+/// toggled; the data path stays out of the way.
+fn meta_cfg(cache: bool) -> DpcConfig {
+    DpcConfig {
+        meta_cache: cache,
+        background_flush: false,
+        prefetch: false,
+        ..DpcConfig::default()
+    }
+}
+
+// ---- negative-entry coherence, live ---------------------------------
+
+#[test]
+fn repeated_enoent_is_served_from_the_negative_cache() {
+    let dpc = Dpc::new(meta_cfg(true));
+    let fs = dpc.fs();
+    fs.mkdir("/d").unwrap();
+
+    assert_eq!(fs.stat("/d/ghost").unwrap_err().errno(), 2);
+    assert_eq!(fs.stat("/d/ghost").unwrap_err().errno(), 2);
+    assert_eq!(fs.stat("/d/ghost").unwrap_err().errno(), 2);
+
+    let m = dpc.metrics().meta;
+    assert!(
+        m.neg_hits >= 2,
+        "repeat stats of an absent name must answer locally: {m:?}"
+    );
+}
+
+#[test]
+fn cached_enoent_dies_on_create_into_the_name() {
+    let dpc = Dpc::new(meta_cfg(true));
+    let fs = dpc.fs();
+    fs.mkdir("/d").unwrap();
+
+    // Prime the negative entry (second stat proves it's cached).
+    assert_eq!(fs.stat("/d/born").unwrap_err().errno(), 2);
+    assert_eq!(fs.stat("/d/born").unwrap_err().errno(), 2);
+    assert!(dpc.metrics().meta.neg_hits >= 1);
+
+    // Create into the cached-absent name: the very next stat must see it
+    // — a surviving negative entry would wrongly answer ENOENT.
+    let fd = fs.create("/d/born").unwrap();
+    fs.write(fd, 0, b"alive").unwrap();
+    fs.close(fd).unwrap();
+    let attr = fs.stat("/d/born").expect("negative entry must be dead");
+    assert_eq!(attr.size, 5);
+}
+
+#[test]
+fn cached_enoent_dies_on_rename_into_the_name() {
+    let dpc = Dpc::new(meta_cfg(true));
+    let fs = dpc.fs();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.create("/d/src").unwrap();
+    fs.write(fd, 0, b"payload").unwrap();
+    fs.close(fd).unwrap();
+
+    // Prime a negative entry for the destination name.
+    assert_eq!(fs.stat("/d/dst").unwrap_err().errno(), 2);
+    assert_eq!(fs.stat("/d/dst").unwrap_err().errno(), 2);
+
+    fs.rename("/d/src", "/d/dst").unwrap();
+    let attr = fs
+        .stat("/d/dst")
+        .expect("rename-into must kill the negative");
+    assert_eq!(attr.size, 7);
+    // And the source name is gone — its (positive) dentry died too.
+    assert_eq!(fs.stat("/d/src").unwrap_err().errno(), 2);
+}
+
+// ---- negative-entry coherence across recovery -----------------------
+
+#[test]
+fn negative_entries_do_not_survive_recovery() {
+    // Crash-shaped config (PR 8): WAL on, deterministic data path, fast
+    // link deadlines — plus the metadata cache under test.
+    let cfg = DpcConfig {
+        wal: true,
+        wal_bytes: 256 * 1024,
+        cache_pages: 512,
+        retry: RetryPolicy {
+            attempts: 2,
+            deadline_yields: 10_000,
+            backoff_base_us: 20,
+            backoff_cap_us: 200,
+        },
+        ..meta_cfg(true)
+    };
+    let dpc = Dpc::new(cfg.clone());
+    let fs = dpc.fs();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.create("/d/keep").unwrap();
+    fs.write(fd, 0, b"durable").unwrap();
+    fs.fsync(fd).unwrap();
+
+    // Prime a negative entry, then kill the DPU with it still cached.
+    assert_eq!(fs.stat("/d/ghost").unwrap_err().errno(), 2);
+    assert_eq!(fs.stat("/d/ghost").unwrap_err().errno(), 2);
+    assert!(dpc.metrics().meta.neg_hits >= 1);
+    dpc.trip_crash();
+
+    let store = dpc.kv_store();
+    let region = dpc.wal_region().expect("wal is on");
+    drop(fs);
+    drop(dpc);
+
+    let rdpc = Dpc::recover(cfg, store, None, region);
+    // The recovered instance starts with a *fresh* cache: every counter
+    // zero, nothing carried over from the dead host's memory.
+    let fresh = rdpc
+        .meta_cache()
+        .expect("meta knob carries through")
+        .stats();
+    assert_eq!(
+        (fresh.neg_hits, fresh.dentry_hits, fresh.attr_hits),
+        (0, 0, 0),
+        "recovery must not resurrect pre-crash cache state"
+    );
+
+    let rfs = rdpc.fs();
+    assert_eq!(rfs.stat("/d/keep").unwrap().size, 7, "data survived");
+    // The pre-crash negative is gone; create into the name and see it.
+    assert_eq!(rfs.stat("/d/ghost").unwrap_err().errno(), 2);
+    let fd = rfs.create("/d/ghost").unwrap();
+    rfs.write(fd, 0, b"back").unwrap();
+    rfs.close(fd).unwrap();
+    assert_eq!(rfs.stat("/d/ghost").unwrap().size, 4);
+}
+
+// ---- dormancy -------------------------------------------------------
+
+#[test]
+fn meta_counters_stay_zero_knobs_off() {
+    let dpc = Dpc::new(meta_cfg(false));
+    assert!(dpc.meta_cache().is_none(), "off = never constructed");
+    let fs = dpc.fs();
+    fs.mkdir("/q").unwrap();
+    let fd = fs.create("/q/a").unwrap();
+    fs.write(fd, 0, b"x").unwrap();
+    fs.close(fd).unwrap();
+    for _ in 0..3 {
+        fs.stat("/q/a").unwrap();
+        assert_eq!(fs.readdir("/q").unwrap().len(), 1);
+        assert_eq!(fs.stat("/q/nope").unwrap_err().errno(), 2);
+    }
+    fs.rename("/q/a", "/q/b").unwrap();
+    fs.unlink("/q/b").unwrap();
+
+    let m = dpc.metrics().meta;
+    assert_eq!(m.attr_hits, 0);
+    assert_eq!(m.attr_misses, 0);
+    assert_eq!(m.dentry_hits, 0);
+    assert_eq!(m.dentry_misses, 0);
+    assert_eq!(m.neg_hits, 0);
+    assert_eq!(m.readdir_hits, 0);
+    assert_eq!(m.readdir_misses, 0);
+    assert_eq!(m.invalidations, 0);
+}
+
+// ---- cache-on == cache-off equivalence under chaos ------------------
+//
+// A seeded schedule of namespace ops runs twice — meta cache on and off
+// — against instances with the same `mds.rpc` fault schedule, and every
+// op's observable outcome is serialised into a trace line. The traces
+// must be identical: the cache changes RPC counts, never results.
+
+const EQ_DIRS: usize = 2;
+const EQ_NAMES: usize = 6;
+const EQ_OPS: usize = 48;
+
+#[derive(Clone, Debug)]
+enum NsOp {
+    Create {
+        dir: usize,
+        name: usize,
+    },
+    Stat {
+        dir: usize,
+        name: usize,
+    },
+    Readdir {
+        dir: usize,
+    },
+    Unlink {
+        dir: usize,
+        name: usize,
+    },
+    Rename {
+        dir: usize,
+        from: usize,
+        to: usize,
+    },
+    /// An offloaded-DFS metadata touch: create + lookup through the
+    /// dispatcher, so the armed `mds.rpc` site actually draws (the
+    /// standalone KVFS ops never cross the MDS fabric).
+    DfsTouch {
+        tag: usize,
+    },
+}
+
+fn gen_schedule(seed: u64) -> Vec<NsOp> {
+    let mut rng = seed ^ 0x5EED_0909;
+    (0..EQ_OPS)
+        .map(|i| {
+            let dir = (splitmix(&mut rng) % EQ_DIRS as u64) as usize;
+            let name = (splitmix(&mut rng) % EQ_NAMES as u64) as usize;
+            // A guaranteed sprinkle of MDS traffic: without it a seed
+            // could roll a DFS-free schedule and the chaos assertion
+            // below would have nothing to fire on.
+            if i % 12 == 5 {
+                return NsOp::DfsTouch { tag: i };
+            }
+            match splitmix(&mut rng) % 20 {
+                0..=5 => NsOp::Create { dir, name },
+                6..=10 => NsOp::Stat { dir, name },
+                11..=13 => NsOp::Readdir { dir },
+                14..=16 => NsOp::Unlink { dir, name },
+                17..=18 => NsOp::Rename {
+                    dir,
+                    from: name,
+                    to: (splitmix(&mut rng) % EQ_NAMES as u64) as usize,
+                },
+                _ => NsOp::DfsTouch { tag: i },
+            }
+        })
+        .collect()
+}
+
+fn eq_path(dir: usize, name: usize) -> String {
+    format!("/eq/d{dir}/n{name}")
+}
+
+/// Run one schedule against a fresh instance and serialise every outcome.
+fn run_trace(cache: bool, chaos_seed: u64, schedule: &[NsOp]) -> (Vec<String>, u64) {
+    let plan = FaultPlan::new(chaos_seed);
+    plan.arm("mds.rpc", FaultSpec::probability(0.2));
+    let dpc = Dpc::new(DpcConfig {
+        dfs: Some(DfsConfig::default()),
+        faults: Some(plan.clone()),
+        ..meta_cfg(cache)
+    });
+    let fs = dpc.fs();
+    fs.mkdir("/eq").unwrap();
+    for d in 0..EQ_DIRS {
+        fs.mkdir(&format!("/eq/d{d}")).unwrap();
+    }
+
+    let mut trace = Vec::with_capacity(schedule.len());
+    for op in schedule {
+        let line = match op {
+            NsOp::Create { dir, name } => {
+                let path = eq_path(*dir, *name);
+                // Create-over-existing is part of the schedule: both
+                // modes must agree on whatever the backend says.
+                match fs.create(&path) {
+                    Ok(fd) => {
+                        let fill = vec![(*name as u8) + 1; 16 + name * 8];
+                        fs.write(fd, 0, &fill).unwrap();
+                        fs.close(fd).unwrap();
+                        format!("create {path} ok len={}", fill.len())
+                    }
+                    Err(e) => format!("create {path} errno={}", e.errno()),
+                }
+            }
+            NsOp::Stat { dir, name } => {
+                let path = eq_path(*dir, *name);
+                match fs.stat(&path) {
+                    Ok(a) => format!(
+                        "stat {path} ino={} size={} kind={} nlink={}",
+                        a.ino, a.size, a.kind, a.nlink
+                    ),
+                    Err(e) => format!("stat {path} errno={}", e.errno()),
+                }
+            }
+            NsOp::Readdir { dir } => {
+                let path = format!("/eq/d{dir}");
+                let mut names: Vec<String> = fs
+                    .readdir(&path)
+                    .unwrap()
+                    .into_iter()
+                    .map(|e| format!("{}:{}", e.name, e.ino))
+                    .collect();
+                names.sort();
+                format!("readdir {path} [{}]", names.join(","))
+            }
+            NsOp::Unlink { dir, name } => {
+                let path = eq_path(*dir, *name);
+                match fs.unlink(&path) {
+                    Ok(()) => format!("unlink {path} ok"),
+                    Err(e) => format!("unlink {path} errno={}", e.errno()),
+                }
+            }
+            NsOp::Rename { dir, from, to } => {
+                let f = eq_path(*dir, *from);
+                let t = eq_path((*dir + 1) % EQ_DIRS, *to);
+                match fs.rename(&f, &t) {
+                    Ok(()) => format!("rename {f} -> {t} ok"),
+                    Err(e) => format!("rename {f} -> {t} errno={}", e.errno()),
+                }
+            }
+            NsOp::DfsTouch { tag } => {
+                // Crosses the MDS fabric through the dispatcher: retries
+                // under mds.rpc chaos are invisible, the results exact.
+                let name = format!("t{tag}");
+                let ino = fs.dfs_create(0, &name).unwrap();
+                assert_eq!(fs.dfs_lookup(0, &name).unwrap(), ino);
+                format!("dfs-touch {name} ino={ino}")
+            }
+        };
+        trace.push(line);
+    }
+
+    // Closing sweep: both modes must agree on the final namespace.
+    for d in 0..EQ_DIRS {
+        let mut names: Vec<String> = fs
+            .readdir(&format!("/eq/d{d}"))
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        names.sort();
+        trace.push(format!("final d{d} [{}]", names.join(",")));
+    }
+    (trace, plan.total_injected())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn cache_on_equals_cache_off_under_mds_chaos(schedule_seed in any::<u64>()) {
+        let schedule = gen_schedule(schedule_seed);
+        let mut injected = 0u64;
+        for chaos_seed in seeds() {
+            let (off, inj_off) = run_trace(false, chaos_seed, &schedule);
+            let (on, inj_on) = run_trace(true, chaos_seed, &schedule);
+            injected += inj_off + inj_on;
+            for (i, (a, b)) in off.iter().zip(on.iter()).enumerate() {
+                prop_assert_eq!(
+                    a, b,
+                    "chaos seed {} schedule {} diverged at op {}",
+                    chaos_seed, schedule_seed, i
+                );
+            }
+            prop_assert_eq!(off.len(), on.len());
+        }
+        // The chaos was real: some MDS RPC somewhere was refused.
+        prop_assert!(injected > 0, "no mds.rpc fault ever fired");
+    }
+}
+
+// ---- sharded vs single-stripe MDS namespace equivalence -------------
+
+/// Retry a backend call the way the offloaded client does: `Transient`
+/// means the fabric refused the RPC, not that the op failed.
+fn with_retry<T>(mut f: impl FnMut() -> Result<T, DfsError>) -> T {
+    for _ in 0..64 {
+        match f() {
+            Ok(v) => return v,
+            Err(DfsError::Transient) => continue,
+            Err(e) => panic!("non-transient MDS error: {e:?}"),
+        }
+    }
+    panic!("MDS op still transient after 64 retries");
+}
+
+/// One directory's fully-assembled listing, tagged with its parent ino.
+type DirListing = (u64, Vec<(String, u64)>);
+
+/// Full cursor-paginated listing of one directory (page size chosen to
+/// force several cursor hops).
+fn paged_listing(backend: &DfsBackend, p_ino: u64) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut cursor: Option<String> = None;
+    loop {
+        let (page, next) = with_retry(|| backend.mds_readdir(0, p_ino, cursor.as_deref(), 7));
+        out.extend(page);
+        match next {
+            Some(c) => cursor = Some(c),
+            None => return out,
+        }
+    }
+}
+
+#[test]
+fn sharded_namespace_equals_single_stripe_under_chaos() {
+    const DIRS: u64 = 3;
+    const FILES: u64 = 23;
+    for seed in seeds() {
+        let mut results: Vec<Vec<DirListing>> = Vec::new();
+        for ns_shards in [16usize, 1] {
+            let plan = FaultPlan::new(seed);
+            let backend = DfsBackend::new(DfsConfig {
+                ns_shards,
+                ..DfsConfig::default()
+            });
+            backend.set_fault_plan(&plan);
+            plan.arm("mds.rpc", FaultSpec::probability(0.2));
+
+            // Interleave creates across parents so both layouts see the
+            // same op order while the sharded one spreads stripes.
+            let mut created: Vec<(u64, String, u64)> = Vec::new();
+            for f in 0..FILES {
+                for d in 0..DIRS {
+                    let p_ino = 5000 + d;
+                    let name = format!("f{f:03}");
+                    let attr = with_retry(|| backend.mds_create(0, p_ino, &name));
+                    created.push((p_ino, name, attr.ino));
+                }
+            }
+            // Every created name must resolve to the ino create returned.
+            for (p_ino, name, ino) in &created {
+                assert_eq!(
+                    with_retry(|| backend.mds_lookup(0, *p_ino, name)),
+                    *ino,
+                    "seed {seed} shards {ns_shards}: {p_ino}/{name}"
+                );
+            }
+            let listings: Vec<DirListing> = (0..DIRS)
+                .map(|d| (5000 + d, paged_listing(&backend, 5000 + d)))
+                .collect();
+            for (p_ino, l) in &listings {
+                assert_eq!(
+                    l.len(),
+                    FILES as usize,
+                    "seed {seed} shards {ns_shards}: dir {p_ino} count"
+                );
+                // Cursor pagination never duplicates or drops: names are
+                // strictly increasing across page boundaries.
+                for w in l.windows(2) {
+                    assert!(w[0].0 < w[1].0, "ordering broke at {:?}", w);
+                }
+            }
+            assert!(
+                plan.total_injected() > 0,
+                "seed {seed} shards {ns_shards}: no fault ever fired"
+            );
+            results.push(listings);
+        }
+        // The two layouts serve the same namespace: same names in the
+        // same (sorted) order with the same inos.
+        assert_eq!(
+            results[0], results[1],
+            "seed {seed}: sharded and single-stripe listings diverged"
+        );
+    }
+}
