@@ -1,0 +1,470 @@
+//! `bench-pr10` — the true zero-copy data path (PRP scatter-gather
+//! direct placement, DESIGN.md §15) against the staged baseline,
+//! emitting `BENCH_PR10.json` at the repo root.
+//!
+//! Three sections, all functional measurements of the live stack:
+//!
+//! - **DMA budget** (the paper's 11 -> 4 table, proven by counter, not
+//!   argument): exact link-level DMA ops and bytes for one aligned
+//!   8 KiB write and one cold 8 KiB read, zero-copy on vs off, plus the
+//!   staged *wire* write (direct mode) the paper compares against.
+//!   Gates: the ZC aligned buffered write costs <= 4 DMA ops with
+//!   `staged_bytes == 0` (two 4 KiB data-page DMAs + SQE + CQE and
+//!   nothing else); every off row leaves the whole `dma` attribution
+//!   at zero (structural dormancy). Honest label: the off-mode
+//!   *buffered* write is a host memcpy into the shared cache in this
+//!   in-memory rig — zero wire ops but `PAGE_SIZE`-sized CPU staging
+//!   per page; real hardware pays the full staged crossing, which the
+//!   direct-mode row shows.
+//! - **Writev gather**: a 3 x 4 KiB gather. ZC rides a PRP descriptor
+//!   list (one extra header-class DMA), one data DMA per segment,
+//!   nothing staged; off stages the SGL through the queue region.
+//! - **4 KiB random sweep**: randwrite and randread throughput + p50/p99
+//!   latency, 1 -> 8 threads, on vs off. Reads run cold through a cache
+//!   a quarter the file size (eviction churn keeps the miss/fill path
+//!   hot); writes run pure absorb. One core in this container — thread
+//!   rows show contention behaviour, not hardware parallelism.
+//!
+//! Usage: `cargo run --release -p dpc-bench --bin bench-pr10 [--quick]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dpc_cache::PAGE_SIZE;
+use dpc_core::{Dpc, DpcConfig, IoMode};
+use dpc_pcie::{DmaAttribution, DmaClass};
+
+struct Knobs {
+    /// Random 4 KiB ops per thread per sweep row.
+    sweep_ops: usize,
+    /// Thread counts swept.
+    threads: Vec<usize>,
+    /// Pages per per-thread file in the sweep.
+    file_pages: usize,
+}
+
+fn knobs(quick: bool) -> Knobs {
+    if quick {
+        Knobs {
+            sweep_ops: 2_000,
+            threads: vec![1, 4],
+            file_pages: 256,
+        }
+    } else {
+        Knobs {
+            sweep_ops: 20_000,
+            threads: vec![1, 2, 4, 8],
+            file_pages: 1024,
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An 8-byte-aligned buffer (`register_io` refuses unaligned starts; a
+/// plain `Vec<u8>` guarantees nothing).
+fn aligned(len: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed;
+    (0..len.div_ceil(8)).map(|_| splitmix(&mut s)).collect()
+}
+
+fn as_bytes(v: &[u64]) -> &[u8] {
+    // SAFETY: u64 slices are valid byte slices of 8x the length.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8) }
+}
+
+fn cfg(zero_copy: bool, cache_pages: usize) -> DpcConfig {
+    DpcConfig {
+        zero_copy,
+        cache_pages,
+        background_flush: false,
+        prefetch: false,
+        ..DpcConfig::default()
+    }
+}
+
+fn assert_dormant(dma: &DmaAttribution, label: &str) {
+    assert!(
+        dma.is_zero(),
+        "zero-copy off must keep every dma class counter at zero ({label}): {dma:?}"
+    );
+}
+
+// ---- DMA budget -------------------------------------------------------
+
+struct BudgetRow {
+    op: &'static str,
+    zero_copy: bool,
+    dma_ops: u64,
+    dma_bytes: u64,
+    class_ops: u64,
+    class_bytes: u64,
+    staged_bytes: u64,
+    bounces: u64,
+    note: &'static str,
+}
+
+/// Measure one op's link-level deltas: `run` does its own setup, then
+/// calls the provided `measure` around exactly the op under test.
+fn budget_row(
+    op: &'static str,
+    zero_copy: bool,
+    note: &'static str,
+    run: impl FnOnce(&Dpc, &mut dyn FnMut(&Dpc)),
+    class: DmaClass,
+) -> BudgetRow {
+    let dpc = Dpc::new(cfg(zero_copy, 1024));
+    let mut pcie0 = dpc.pcie_snapshot();
+    let mut dma0 = dpc.metrics().dma;
+    let mut mark = |d: &Dpc| {
+        pcie0 = d.pcie_snapshot();
+        dma0 = d.metrics().dma;
+    };
+    run(&dpc, &mut mark);
+    let pcie = dpc.pcie_snapshot().since(&pcie0);
+    let dma = dpc.metrics().dma.since(&dma0);
+    if !zero_copy {
+        assert_dormant(&dpc.metrics().dma, op);
+    }
+    let c = dma.class(class);
+    BudgetRow {
+        op,
+        zero_copy,
+        dma_ops: pcie.dma_ops,
+        dma_bytes: pcie.dma_bytes,
+        class_ops: c.dma_ops,
+        class_bytes: c.dma_bytes,
+        staged_bytes: c.staged_bytes,
+        bounces: c.dma_bounces,
+        note,
+    }
+}
+
+fn budget_rows() -> Vec<BudgetRow> {
+    let mut rows = Vec::new();
+
+    // Aligned 8 KiB buffered write, ZC on: the paper's 4-op budget.
+    let buf = aligned(8192, 0xB10);
+    rows.push(budget_row(
+        "write8k_buffered",
+        true,
+        "SQE + two 4 KiB PRP data pages + CQE",
+        |dpc, mark| {
+            let fs = dpc.fs();
+            let fd = fs.create("/w").unwrap();
+            mark(dpc);
+            assert_eq!(fs.write(fd, 0, as_bytes(&buf)).unwrap(), 8192);
+        },
+        DmaClass::WriteAbsorb,
+    ));
+    {
+        let r = rows.last().unwrap();
+        assert!(
+            r.dma_ops <= 4,
+            "acceptance: aligned 8 KiB ZC buffered write took {} DMA ops (> 4)",
+            r.dma_ops
+        );
+        assert_eq!(
+            (r.class_ops, r.class_bytes, r.staged_bytes, r.bounces),
+            (2, 8192, 0, 0),
+            "acceptance: the aligned hot path must move 2 data DMAs and stage nothing"
+        );
+    }
+
+    // Same write, ZC off: buffered absorb is a host memcpy in this rig.
+    rows.push(budget_row(
+        "write8k_buffered",
+        false,
+        "host memcpy into the shared cache; PAGE_SIZE-per-page CPU staging, zero wire ops here",
+        |dpc, mark| {
+            let fs = dpc.fs();
+            let fd = fs.create("/w").unwrap();
+            mark(dpc);
+            assert_eq!(fs.write(fd, 0, as_bytes(&buf)).unwrap(), 8192);
+        },
+        DmaClass::WriteAbsorb,
+    ));
+
+    // The staged *wire* write the paper's table compares against:
+    // direct mode pushes header + payload through the queue region.
+    rows.push(budget_row(
+        "write8k_direct_staged",
+        false,
+        "FileRequest-framed staged crossing (header + payload through the queue region)",
+        |dpc, mark| {
+            let mut fs = dpc.fs();
+            fs.mode = IoMode::Direct;
+            let fd = fs.create("/w").unwrap();
+            mark(dpc);
+            assert_eq!(fs.write(fd, 0, as_bytes(&buf)).unwrap(), 8192);
+        },
+        DmaClass::WriteAbsorb,
+    ));
+
+    // Cold 8 KiB read: build the file in a writer instance, read through
+    // a fresh instance sharing the KV store so every page misses.
+    for zc in [true, false] {
+        let writer = Dpc::new(cfg(false, 1024));
+        let wfs = writer.fs();
+        let fd = wfs.create("/r").unwrap();
+        assert_eq!(wfs.write(fd, 0, as_bytes(&buf)).unwrap(), 8192);
+        wfs.fsync(fd).unwrap();
+        let reader = Dpc::with_shared_storage(cfg(zc, 1024), Some(writer.kv_store()), None);
+        let rfs = reader.fs();
+        let fd = rfs.open("/r").unwrap();
+        let pcie0 = reader.pcie_snapshot();
+        let mut back = vec![0u8; 8192];
+        assert_eq!(rfs.read(fd, 0, &mut back).unwrap(), 8192);
+        assert_eq!(&back, as_bytes(&buf), "cold read must return the bytes");
+        let pcie = reader.pcie_snapshot().since(&pcie0);
+        let dma = reader.metrics().dma;
+        if !zc {
+            assert_dormant(&dma, "read8k_cold");
+        }
+        let c = dma.class(DmaClass::ReadFill);
+        rows.push(BudgetRow {
+            op: "read8k_cold",
+            zero_copy: zc,
+            dma_ops: pcie.dma_ops,
+            dma_bytes: pcie.dma_bytes,
+            class_ops: c.dma_ops,
+            class_bytes: c.dma_bytes,
+            staged_bytes: c.staged_bytes,
+            bounces: c.dma_bounces,
+            note: if zc {
+                "header-only SQE; extent lands in pool pages, served via the ReadRef hit path"
+            } else {
+                "staged reply payload through the queue region"
+            },
+        });
+    }
+    rows
+}
+
+// ---- writev gather ----------------------------------------------------
+
+fn writev_rows() -> Vec<BudgetRow> {
+    let parts: Vec<Vec<u64>> = (0..3).map(|i| aligned(4096, 0x3E9 + i)).collect();
+    let mut rows = Vec::new();
+    for zc in [true, false] {
+        rows.push(budget_row(
+            "writev3x4k",
+            zc,
+            if zc {
+                "PRP descriptor list (one extra header DMA), one data DMA per segment"
+            } else {
+                "SGL staged through the queue region (durable-direct)"
+            },
+            |dpc, mark| {
+                let fs = dpc.fs();
+                let fd = fs.create("/v").unwrap();
+                let refs: Vec<&[u8]> = parts.iter().map(|p| as_bytes(p)).collect();
+                mark(dpc);
+                assert_eq!(fs.writev(fd, 0, &refs).unwrap(), 3 * 4096);
+            },
+            DmaClass::Writev,
+        ));
+    }
+    let on = &rows[0];
+    assert_eq!(
+        (on.class_ops, on.class_bytes, on.staged_bytes),
+        (3, 3 * 4096, 0),
+        "ZC gather must move one DMA per segment with nothing staged"
+    );
+    rows
+}
+
+// ---- 4 KiB random sweep -----------------------------------------------
+
+struct SweepRow {
+    op: &'static str,
+    zero_copy: bool,
+    threads: usize,
+    kops_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p) as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn run_sweep(write: bool, zero_copy: bool, threads: usize, k: &Knobs) -> SweepRow {
+    let file_bytes = k.file_pages * PAGE_SIZE;
+    // Writes: pure absorb (pool holds every file). Reads: pool a quarter
+    // of the working set, so misses and eviction churn persist.
+    let cache_pages = if write {
+        threads * k.file_pages + 512
+    } else {
+        threads * k.file_pages / 4 + 64
+    };
+
+    let dpc;
+    if write {
+        dpc = Arc::new(Dpc::new(cfg(zero_copy, cache_pages)));
+        let fs = dpc.fs();
+        for t in 0..threads {
+            fs.create(&format!("/t{t}")).unwrap();
+        }
+    } else {
+        let writer = Dpc::new(cfg(false, threads * k.file_pages + 512));
+        let wfs = writer.fs();
+        let big = aligned(file_bytes, 0x5EED);
+        for t in 0..threads {
+            let fd = wfs.create(&format!("/t{t}")).unwrap();
+            assert_eq!(
+                wfs.write(fd, 0, as_bytes(&big)).unwrap(),
+                file_bytes,
+                "sweep prefill"
+            );
+            wfs.fsync(fd).unwrap();
+            wfs.close(fd).unwrap();
+        }
+        dpc = Arc::new(Dpc::with_shared_storage(
+            cfg(zero_copy, cache_pages),
+            Some(writer.kv_store()),
+            None,
+        ));
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let dpc = dpc.clone();
+            let ops = k.sweep_ops;
+            let file_pages = k.file_pages;
+            std::thread::spawn(move || {
+                let fs = dpc.fs();
+                let fd = fs.open(&format!("/t{t}")).unwrap();
+                let buf = aligned(PAGE_SIZE, 0xC0FE + t as u64);
+                let mut scratch = vec![0u8; PAGE_SIZE];
+                let mut rng = 0x9E37 + t as u64;
+                let mut lat = Vec::with_capacity(ops);
+                for _ in 0..ops {
+                    let lpn = splitmix(&mut rng) % file_pages as u64;
+                    let off = lpn * PAGE_SIZE as u64;
+                    let t1 = Instant::now();
+                    let n = if write {
+                        fs.write(fd, off, as_bytes(&buf)).unwrap()
+                    } else {
+                        fs.read(fd, off, &mut scratch).unwrap()
+                    };
+                    lat.push(t1.elapsed().as_nanos() as u64);
+                    assert_eq!(n, PAGE_SIZE);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = Vec::with_capacity(threads * k.sweep_ops);
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    all.sort_unstable();
+
+    let dma = dpc.metrics().dma;
+    if zero_copy {
+        let class = if write {
+            DmaClass::WriteAbsorb
+        } else {
+            DmaClass::ReadFill
+        };
+        let c = dma.class(class);
+        assert!(
+            c.dma_ops as usize >= threads * k.sweep_ops / 2,
+            "the ZC sweep must actually ride the zero-copy path ({} {} ops)",
+            c.dma_ops,
+            class.name()
+        );
+        if write {
+            assert_eq!(
+                (c.staged_bytes, c.dma_bounces),
+                (0, 0),
+                "aligned 4 KiB randwrite must not stage or bounce"
+            );
+        }
+    } else {
+        assert_dormant(&dma, "sweep off row");
+    }
+
+    SweepRow {
+        op: if write { "randwrite4k" } else { "randread4k" },
+        zero_copy,
+        threads,
+        kops_per_s: (threads * k.sweep_ops) as f64 / wall_s / 1e3,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+    }
+}
+
+// ----------------------------------------------------------------------
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k = knobs(quick);
+
+    let mut budget = budget_rows();
+    budget.extend(writev_rows());
+    for r in &budget {
+        println!(
+            "budget {:>22} zc={:<5} : {:>2} DMA ops / {:>6} B on the link; class {} ops / {} B ({} staged, {} bounces) — {}",
+            r.op, r.zero_copy, r.dma_ops, r.dma_bytes, r.class_ops, r.class_bytes,
+            r.staged_bytes, r.bounces, r.note,
+        );
+    }
+
+    let mut sweep = Vec::new();
+    for write in [true, false] {
+        for &threads in &k.threads {
+            for zc in [true, false] {
+                let row = run_sweep(write, zc, threads, &k);
+                println!(
+                    "sweep {:>11} x{:<2} zc={:<5} : {:>8.1} Kops/s, p50 {:>6.1} us, p99 {:>7.1} us",
+                    row.op, row.threads, row.zero_copy, row.kops_per_s, row.p50_us, row.p99_us,
+                );
+                sweep.push(row);
+            }
+        }
+    }
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    std::fs::write(json_path, render_json(&k, &budget, &sweep)).expect("write BENCH_PR10.json");
+    eprintln!("wrote {json_path}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(k: &Knobs, budget: &[BudgetRow], sweep: &[SweepRow]) -> String {
+    let mut brows = String::new();
+    for (i, r) in budget.iter().enumerate() {
+        if i > 0 {
+            brows.push_str(",\n");
+        }
+        brows.push_str(&format!(
+            "    {{\"op\": \"{}\", \"zero_copy\": {}, \"link_dma_ops\": {}, \"link_dma_bytes\": {}, \"class_dma_ops\": {}, \"class_dma_bytes\": {}, \"staged_bytes\": {}, \"dma_bounces\": {}, \"note\": \"{}\"}}",
+            r.op, r.zero_copy, r.dma_ops, r.dma_bytes, r.class_ops, r.class_bytes,
+            r.staged_bytes, r.bounces, r.note,
+        ));
+    }
+    let mut srows = String::new();
+    for (i, r) in sweep.iter().enumerate() {
+        if i > 0 {
+            srows.push_str(",\n");
+        }
+        srows.push_str(&format!(
+            "    {{\"op\": \"{}\", \"zero_copy\": {}, \"threads\": {}, \"kops_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            r.op, r.zero_copy, r.threads, r.kops_per_s, r.p50_us, r.p99_us,
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"pr10-zero-copy-data-path\",\n  \"workload\": {{\"sweep_ops_per_thread\": {}, \"threads\": {:?}, \"file_pages\": {}}},\n  \"dma_budget\": [\n{brows}\n  ],\n  \"sweep\": [\n{srows}\n  ]\n}}\n",
+        k.sweep_ops, k.threads, k.file_pages,
+    )
+}

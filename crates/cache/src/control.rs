@@ -24,13 +24,14 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use dpc_pcie::DmaEngine;
+use dpc_pcie::{DmaClass, DmaEngine, SgSeg};
 use dpc_sim::CrashSwitch;
 
-use crate::host::HybridCache;
+use crate::host::{HybridCache, WriteError, WriteGuard};
 use crate::layout::{EntryStatus, FLAG_MARKER, FLAG_PREFETCHED, PAGE_SIZE};
 use crate::readahead::PrefetchJob;
 use crate::stages::ExtentPipeline;
+use crate::wal::{WalError, WalKind};
 
 /// Back-end sink for flushed dirty pages (the disaggregated store).
 pub trait FlushBackend {
@@ -947,6 +948,314 @@ impl ControlPlane {
         stats.ra_async_fills.fetch_add(1, Ordering::Relaxed);
         inserted
     }
+
+    /// Direct-placement absorb of one zero-copy write: DMA the caller's
+    /// registered buffer segments straight into the target page-pool
+    /// pages under the per-entry write locks — the DPU half of the
+    /// tentpole's true zero-copy data path. Returns the byte count for
+    /// the CQE, or an errno; the host falls back to the classic staged
+    /// absorb on any error, so a refusal here is never data loss.
+    ///
+    /// The host absorb path's invariants carry over exactly:
+    ///
+    /// - pages lock in ascending LPN order (consistent with every other
+    ///   multi-lock holder, so placements never deadlock each other or
+    ///   the extent flusher);
+    /// - a fresh *partial* page is read-modify-filled from `reader`
+    ///   first (old backend bytes, attributed to the `ReadFill` class);
+    /// - with a WAL attached the intent record is appended **before any
+    ///   page commits**: the payload is pulled once into DPU DRAM (the
+    ///   log stores bytes by definition — there is no zero-copy journal)
+    ///   and the pages absorb from that pull, so the wire DMA count is
+    ///   unchanged and an acked write is always recoverable;
+    /// - without a WAL the segments land in the pool pages directly —
+    ///   no copy of the data exists anywhere between the user buffer
+    ///   and the cache page ([`WriteGuard::place_sg`]);
+    /// - a full bucket evicts, then takes one foreground flush pass and
+    ///   retries, then gives up with `EBUSY` (all fresh claims roll
+    ///   back untouched).
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_write(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        len: u32,
+        segs: &[SgSeg],
+        class: DmaClass,
+        reader: &mut dyn ReadBackend,
+        flusher: &mut dyn FlushBackend,
+    ) -> Result<usize, i32> {
+        const EIO: i32 = 5;
+        const EFAULT: i32 = 14;
+        const EBUSY: i32 = 16;
+        const EINVAL: i32 = 22;
+        const STALL_ROUNDS: u32 = 32;
+
+        if self.crash_tripped() {
+            return Err(EIO);
+        }
+        let total: usize = segs.iter().map(|s| s.len as usize).sum();
+        if total == 0 {
+            return Ok(0);
+        }
+        if total != len as usize || offset.checked_add(len as u64).is_none() {
+            return Err(EINVAL);
+        }
+        // Reject a bogus descriptor before any page is touched: past this
+        // point every segment resolves, so a placement cannot tear a live
+        // page halfway through (the submitting registration pins the
+        // buffer until the completion is consumed).
+        if self.dma.validate_sg(segs).is_err() {
+            return Err(EFAULT);
+        }
+
+        // Split the flat payload into page spans, each owning a sub-run
+        // of (possibly split) source segments.
+        let mut flat: Vec<SgSeg> = Vec::with_capacity(segs.len() + 2);
+        // (lpn, in_page, span_len, flat_start, flat_end)
+        let mut spans: Vec<(u64, usize, usize, usize, usize)> = Vec::new();
+        {
+            let (mut si, mut used) = (0usize, 0u32);
+            let (mut off, mut remaining) = (offset, total);
+            while remaining > 0 {
+                let lpn = off / PAGE_SIZE as u64;
+                let in_page = (off % PAGE_SIZE as u64) as usize;
+                let n = (PAGE_SIZE - in_page).min(remaining);
+                let start = flat.len();
+                let mut need = n as u32;
+                while need > 0 {
+                    let seg = segs[si];
+                    let take = (seg.len - used).min(need);
+                    if take > 0 {
+                        flat.push(SgSeg {
+                            addr: seg.addr + used as u64,
+                            len: take,
+                        });
+                    }
+                    used += take;
+                    if used == seg.len {
+                        si += 1;
+                        used = 0;
+                    }
+                    need -= take;
+                }
+                spans.push((lpn, in_page, n, start, flat.len()));
+                off += n as u64;
+                remaining -= n;
+            }
+        }
+
+        // Write-ahead: the intent record must be on the ring before the
+        // cache absorbs the first page. The log needs the payload bytes,
+        // so the WAL path pulls them to DPU DRAM once (that single
+        // transfer carries the class attribution) and the pages absorb
+        // from the pull; the no-WAL path stays truly zero-copy.
+        let wal = self.cache.wal();
+        let mut staged = Vec::new();
+        let logged = match &wal {
+            None => None,
+            Some(log) => {
+                staged.resize(total, 0);
+                let n = self
+                    .dma
+                    .transfer_sg(segs, &mut staged, class)
+                    .map_err(|_| EFAULT)?;
+                debug_assert_eq!(n, total);
+                let mut rounds = 0u32;
+                let seq = loop {
+                    match log.try_append(WalKind::Write, ino, offset, &staged, spans.len() as u32) {
+                        Ok(seq) => break seq,
+                        Err(WalError::Crashed) => return Err(EIO),
+                        Err(WalError::TooLarge) => return Err(EBUSY),
+                        Err(WalError::WouldBlock) => {
+                            rounds += 1;
+                            if rounds > STALL_ROUNDS {
+                                return Err(EBUSY);
+                            }
+                            // Retire obligations so ring space reclaims.
+                            self.flush_extents(flusher, None, false);
+                        }
+                    }
+                };
+                Some(seq)
+            }
+        };
+        // Any failure after the append voids the record (unless the DPU
+        // crashed, in which case replay must resolve the ambiguous op).
+        let void_record = |err: i32| -> i32 {
+            if let (Some(log), Some(seq)) = (&wal, logged) {
+                if !log.crashed() {
+                    log.retire_all(seq);
+                }
+            }
+            err
+        };
+
+        // Phase 1: write-lock every spanned page (ascending LPN) and
+        // read-modify-fill fresh partial pages from the backend.
+        let cache = self.cache.clone();
+        let mut guards: Vec<WriteGuard<'_>> = Vec::with_capacity(spans.len());
+        let mut flushed_once = false;
+        let mut rmw = [0u8; PAGE_SIZE];
+        for &(lpn, in_page, n, _, _) in &spans {
+            let mut guard = loop {
+                match cache.begin_write(ino, lpn) {
+                    Ok(g) => break g,
+                    Err(WriteError::NeedEviction { bucket }) => {
+                        if self.evict_one(bucket) {
+                            continue;
+                        }
+                        if !flushed_once {
+                            flushed_once = true;
+                            self.flush_extents(flusher, None, false);
+                            if self.evict_one(bucket) {
+                                continue;
+                            }
+                        }
+                        cache.note_evict_stall();
+                        return Err(void_record(EBUSY));
+                    }
+                }
+            };
+            if guard.claimed_free() && (in_page != 0 || n < PAGE_SIZE) {
+                // Partial write into a fresh page: lay down the old
+                // backend content first (and scrub recycled pool bytes —
+                // only the fetched prefix is *valid*).
+                rmw.fill(0);
+                let old = reader.read_page(ino, lpn, &mut rmw);
+                guard.write(0, &rmw);
+                match old {
+                    Some(v) => {
+                        let v = v.min(PAGE_SIZE);
+                        guard.set_valid(v);
+                        self.dma.record_class_dma(DmaClass::ReadFill, 1, v as u64);
+                    }
+                    None => guard.set_valid(0),
+                }
+            }
+            guards.push(guard);
+        }
+
+        // Phase 2: land the bytes — scatter-gather straight into each
+        // pool page, or locally from the WAL pull.
+        let mut fault = None;
+        let mut pos = 0usize;
+        for (gi, &(lpn, in_page, n, s, e)) in spans.iter().enumerate() {
+            if staged.is_empty() {
+                if guards[gi]
+                    .place_sg(in_page, &flat[s..e], &self.dma, class)
+                    .is_err()
+                {
+                    fault = Some(lpn);
+                    break;
+                }
+            } else {
+                guards[gi].write(in_page, &staged[pos..pos + n]);
+            }
+            pos += n;
+        }
+        if let Some(lpn) = fault {
+            // Validated above, so this is a revocation race — the page
+            // may be torn; drop it rather than serve it.
+            drop(guards);
+            cache.invalidate(ino, lpn);
+            return Err(void_record(EIO));
+        }
+
+        // Phase 3: register each page's obligation while still holding
+        // its write lock, then publish (the paper's step 4).
+        for (guard, &(lpn, ..)) in guards.into_iter().zip(&spans) {
+            if let (Some(log), Some(seq)) = (&wal, logged) {
+                log.note_committed(ino, lpn, seq);
+            }
+            guard.commit_dirty();
+        }
+        Ok(total)
+    }
+
+    /// Direct read-miss fill: land the backend extent covering
+    /// `[offset, offset + len)` straight in the pool pages (one vectored
+    /// backend read, one `ReadFill`-class DMA), so the host's final hop
+    /// is served by the existing zero-copy hit path — the SQE round trip
+    /// carried only headers. Returns how many bytes starting at `offset`
+    /// are now servable from the cache (`0` = fall back to the classic
+    /// read path). Already-present pages serve from their own bytes
+    /// (no-clobber); a full bucket evicts a clean page once, then stops
+    /// the run.
+    pub fn fill_direct(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        len: u32,
+        backend: &mut dyn ReadBackend,
+    ) -> usize {
+        if self.crash_tripped() || len == 0 {
+            return 0;
+        }
+        let Some(end) = offset.checked_add(len as u64) else {
+            return 0;
+        };
+        let first = offset / PAGE_SIZE as u64;
+        let last = (end - 1) / PAGE_SIZE as u64;
+        let pages = (last - first + 1) as usize;
+        let in_first = (offset - first * PAGE_SIZE as u64) as usize;
+
+        let epoch = self.cache.ino_epoch(ino);
+        let mut buf = std::mem::take(&mut self.extent_buf);
+        buf.clear();
+        buf.resize(pages * PAGE_SIZE, 0);
+        let valid_total = backend.read_pages(ino, first, &mut buf);
+        if valid_total > 0 {
+            // One DMA lands the whole extent in the host page pool.
+            self.dma
+                .record_class_dma(DmaClass::ReadFill, 1, valid_total as u64);
+        }
+
+        // Contiguous valid bytes from the start of the first page.
+        let mut run_valid = 0usize;
+        for k in 0..pages {
+            let off = k * PAGE_SIZE;
+            let lpn = first + k as u64;
+            let pv = valid_total.saturating_sub(off).min(PAGE_SIZE);
+            if self.cache.ino_epoch(ino) != epoch {
+                // A concurrent write/truncate moved the inode: the bytes
+                // read before the change must not be inserted.
+                self.cache.note_ra_dropped();
+                break;
+            }
+            let mut evicted_once = false;
+            let have = loop {
+                match self.cache.begin_write(ino, lpn) {
+                    Ok(mut g) => {
+                        if !g.claimed_free() {
+                            // Present (possibly dirty): its copy is at
+                            // least as new as the backend's.
+                            break self.cache.entries[g.page_index()].valid() as usize;
+                        }
+                        if pv == 0 {
+                            break 0; // past EOF; the claim rolls back
+                        }
+                        g.write(0, &buf[off..off + PAGE_SIZE]);
+                        g.set_valid(pv);
+                        g.commit_clean();
+                        break pv;
+                    }
+                    Err(WriteError::NeedEviction { bucket }) => {
+                        if evicted_once || !self.evict_one(bucket) {
+                            break 0;
+                        }
+                        evicted_once = true;
+                    }
+                }
+            };
+            run_valid += have;
+            if have < PAGE_SIZE {
+                break;
+            }
+        }
+        self.extent_buf = buf;
+        run_valid.saturating_sub(in_first).min(len as usize)
+    }
 }
 
 #[cfg(test)]
@@ -1746,6 +2055,208 @@ mod tests {
             !sink.extents.is_empty(),
             "a flush ran to make pages evictable"
         );
+    }
+
+    /// 8-aligned byte buffer for `register_io` (a `Vec<u8>` guarantees
+    /// nothing about alignment).
+    fn aligned_bytes(len: usize, fill: u8) -> Vec<u64> {
+        vec![u64::from_ne_bytes([fill; 8]); len.div_ceil(8)]
+    }
+
+    fn as_bytes(v: &[u64]) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8) }
+    }
+
+    #[test]
+    fn place_write_aligned_8k_is_two_data_dmas_no_staging() {
+        let (cache, mut cp, dma) = setup(64, 8);
+        let buf = aligned_bytes(2 * PAGE_SIZE, 0xC3);
+        let reg = dma.register_io(as_bytes(&buf)).unwrap();
+        let segs = [
+            SgSeg {
+                addr: reg.addr(),
+                len: PAGE_SIZE as u32,
+            },
+            SgSeg {
+                addr: reg.addr() + PAGE_SIZE as u64,
+                len: PAGE_SIZE as u32,
+            },
+        ];
+        let mut reader = PageSource(|_: u64, _: u64, _: &mut [u8]| None);
+        let mut sink = ExtentSink::new();
+        let n = cp
+            .place_write(
+                7,
+                0,
+                2 * PAGE_SIZE as u32,
+                &segs,
+                DmaClass::WriteAbsorb,
+                &mut reader,
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(n, 2 * PAGE_SIZE);
+        // Exactly the paper's data movement: one DMA per 4 KiB page,
+        // nothing staged, nothing bounced — and the bytes are in cache.
+        let a = dma.attribution();
+        let c = a.class(DmaClass::WriteAbsorb);
+        assert_eq!((c.dma_ops, c.dma_bytes), (2, 2 * PAGE_SIZE as u64));
+        assert_eq!((c.staged_bytes, c.dma_bounces), (0, 0));
+        assert!(a.class(DmaClass::ReadFill).is_zero(), "no RMW on aligned");
+        let mut out = vec![0u8; PAGE_SIZE];
+        for lpn in 0..2u64 {
+            assert!(cache.lookup_read(7, lpn, &mut out));
+            assert!(out.iter().all(|&b| b == 0xC3));
+        }
+        assert_eq!(cache.dirty_pages(), 2);
+        // And the dirty pages flush like any host-absorbed write.
+        assert_eq!(cp.flush_extents(&mut sink, None, false), 2);
+    }
+
+    #[test]
+    fn place_write_partial_fresh_page_rmw_fills_from_backend() {
+        let (cache, mut cp, dma) = setup(64, 8);
+        let buf = aligned_bytes(100, 0xEE);
+        let reg = dma.register_io(as_bytes(&buf)).unwrap();
+        let segs = [SgSeg {
+            addr: reg.addr(),
+            len: 100,
+        }];
+        // Backend holds an old full page of 0x11.
+        let mut reader = PageSource(|_: u64, _: u64, out: &mut [u8]| {
+            out.fill(0x11);
+            Some(out.len())
+        });
+        let mut sink = ExtentSink::new();
+        let n = cp
+            .place_write(
+                3,
+                50,
+                100,
+                &segs,
+                DmaClass::WriteAbsorb,
+                &mut reader,
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(n, 100);
+        let mut out = vec![0u8; PAGE_SIZE];
+        assert!(cache.lookup_read(3, 0, &mut out));
+        assert!(out[..50].iter().all(|&b| b == 0x11), "old prefix kept");
+        assert!(out[50..150].iter().all(|&b| b == 0xEE), "new bytes placed");
+        assert!(out[150..].iter().all(|&b| b == 0x11), "old suffix kept");
+        // The RMW fill is attributed to the ReadFill class.
+        let a = dma.attribution();
+        assert_eq!(a.class(DmaClass::ReadFill).dma_ops, 1);
+        assert_eq!(a.class(DmaClass::WriteAbsorb).dma_ops, 1);
+    }
+
+    #[test]
+    fn place_write_appends_intent_before_commit_and_flush_retires_it() {
+        let (cache, mut cp, dma) = setup(64, 8);
+        let wal = crate::wal::IntentLog::create(
+            dpc_pcie::HostRegion::new(64 * 1024),
+            DmaEngine::new(),
+            None,
+            1,
+        );
+        cache.attach_wal(wal.clone());
+        let buf = aligned_bytes(PAGE_SIZE, 0x5A);
+        let reg = dma.register_io(as_bytes(&buf)).unwrap();
+        let segs = [SgSeg {
+            addr: reg.addr(),
+            len: PAGE_SIZE as u32,
+        }];
+        let mut reader = PageSource(|_: u64, _: u64, _: &mut [u8]| None);
+        let mut sink = ExtentSink::new();
+        cp.place_write(
+            9,
+            0,
+            PAGE_SIZE as u32,
+            &segs,
+            DmaClass::WriteAbsorb,
+            &mut reader,
+            &mut sink,
+        )
+        .unwrap();
+        assert!(!wal.is_drained(), "intent live until the page is durable");
+        assert_eq!(cp.flush_extents(&mut sink, None, false), 1);
+        assert!(wal.is_drained(), "flush retired the placement's intent");
+    }
+
+    #[test]
+    fn place_write_rejects_unresolvable_segments_untouched() {
+        let (cache, mut cp, _) = setup(64, 8);
+        let segs = [SgSeg {
+            addr: 0xDEAD_0000,
+            len: PAGE_SIZE as u32,
+        }];
+        let mut reader = PageSource(|_: u64, _: u64, _: &mut [u8]| None);
+        let mut sink = ExtentSink::new();
+        let err = cp
+            .place_write(
+                1,
+                0,
+                PAGE_SIZE as u32,
+                &segs,
+                DmaClass::WriteAbsorb,
+                &mut reader,
+                &mut sink,
+            )
+            .unwrap_err();
+        assert_eq!(err, 14 /* EFAULT */);
+        let mut out = vec![0u8; PAGE_SIZE];
+        assert!(!cache.lookup_read(1, 0, &mut out), "no page materialized");
+        assert_eq!(cache.header().free(), 64);
+    }
+
+    #[test]
+    fn fill_direct_lands_extent_then_serves_zero_copy_hits() {
+        let (cache, mut cp, dma) = setup(64, 8);
+        let mut backend = PageSource(|ino: u64, lpn: u64, out: &mut [u8]| {
+            out.fill((ino * 10 + lpn) as u8);
+            Some(out.len())
+        });
+        let n = cp.fill_direct(2, 0, 2 * PAGE_SIZE as u32, &mut backend);
+        assert_eq!(n, 2 * PAGE_SIZE);
+        // One vectored ReadFill DMA for the whole extent.
+        let a = dma.attribution();
+        let c = a.class(DmaClass::ReadFill);
+        assert_eq!((c.dma_ops, c.dma_bytes), (1, 2 * PAGE_SIZE as u64));
+        // The final hop is the existing zero-copy hit path.
+        for lpn in 0..2u64 {
+            let r = cache.lookup_read_ref(2, lpn).expect("hit");
+            let mut b = [0u8; 1];
+            r.read(0, &mut b);
+            assert!(r.finish().is_some());
+            assert_eq!(b[0], (20 + lpn) as u8);
+        }
+    }
+
+    #[test]
+    fn fill_direct_short_tail_and_no_clobber() {
+        let (cache, mut cp, _) = setup(64, 8);
+        // A dirty page 1 must survive the fill untouched.
+        let mut g = cache.begin_write(4, 1).unwrap();
+        g.write(0, &[0xDD; PAGE_SIZE]);
+        g.commit_dirty();
+        let mut backend = PageSource(|_: u64, lpn: u64, out: &mut [u8]| match lpn {
+            0 | 1 => {
+                out.fill(0x22);
+                Some(out.len())
+            }
+            2 => {
+                out[..100].fill(0x22);
+                Some(100)
+            }
+            _ => None,
+        });
+        let n = cp.fill_direct(4, 0, 4 * PAGE_SIZE as u32, &mut backend);
+        assert_eq!(n, 2 * PAGE_SIZE + 100, "run stops at the file tail");
+        let mut out = vec![0u8; PAGE_SIZE];
+        assert!(cache.lookup_read(4, 1, &mut out));
+        assert_eq!(out[0], 0xDD, "dirty page not clobbered");
+        assert_eq!(cache.dirty_pages(), 1);
     }
 
     #[test]

@@ -117,6 +117,17 @@ impl PagePool {
         };
     }
 
+    /// Borrow page `i` as a mutable slice — the direct-placement target
+    /// for scatter-gather DMA out of a registered host buffer.
+    ///
+    /// # Safety
+    /// Caller must hold entry `i`'s write lock for the whole lifetime of
+    /// the returned slice.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn page_mut(&self, i: usize) -> &mut [u8] {
+        unsafe { &mut (*self.pages[i].get()).0 }
+    }
+
     /// Optimistic (seqlock) copy out of page `i` with **no** lock held.
     ///
     /// A concurrent writer may be mutating the page during the copy. The
@@ -1242,6 +1253,27 @@ impl WriteGuard<'_> {
         self.cache.entries[self.idx]
             .flags
             .store(flags, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Zero-copy absorb: scatter-gather DMA the registered `segs`
+    /// straight into this page at `offset` — the user's buffer bytes land
+    /// in the pool page with no intermediate staging (the paper's PRP
+    /// direct placement). One DMA op is counted per segment, attributed
+    /// to `class`. The valid length grows to cover the placed range.
+    pub fn place_sg(
+        &mut self,
+        offset: usize,
+        segs: &[dpc_pcie::SgSeg],
+        dma: &dpc_pcie::DmaEngine,
+        class: dpc_pcie::DmaClass,
+    ) -> Result<usize, dpc_pcie::SgError> {
+        let total: usize = segs.iter().map(|s| s.len as usize).sum();
+        assert!(offset + total <= PAGE_SIZE, "placement exceeds the page");
+        // SAFETY: the guard holds the entry's write lock.
+        let page = unsafe { self.cache.pages.page_mut(self.idx) };
+        let n = dma.transfer_sg(segs, &mut page[offset..offset + total], class)?;
+        self.extend_valid(offset + n);
+        Ok(n)
     }
 
     /// Read back from the page (read-modify-write support).

@@ -29,8 +29,10 @@ use dpc_cache::{
     WriteError, PAGE_SIZE,
 };
 use dpc_nvmefs::{
-    decode_dirents, ChannelPool, DispatchType, FileRequest, FileResponse, WireAttr, WireDirent,
+    decode_dirents, decode_dirents_into, ChannelPool, DispatchType, FileRequest, FileResponse,
+    WireAttr, WireDirent, ZcOp, SGL_MAX_SEGMENTS,
 };
+use dpc_pcie::{DmaClass, DmaEngine, SgSeg};
 use parking_lot::Mutex;
 
 use crate::dispatch::FSYNC_ALL;
@@ -173,6 +175,36 @@ pub struct DpcFs {
     /// adapter of one `Dpc`. `None` (the default) keeps the metadata
     /// path untouched — no probes, no counters.
     meta: Option<Arc<MetaCache>>,
+    /// Zero-copy data path (DESIGN.md §15): the instance DMA engine, for
+    /// registering caller buffers so SQEs can carry their PRP addresses.
+    /// `None` (`zero_copy` off) keeps the staged path verbatim and every
+    /// `dma_*` class counter provably zero.
+    zc: Option<DmaEngine>,
+}
+
+/// Refill `out` from cached meta entries, reusing its slots and their
+/// name buffers (the hit-path twin of `decode_dirents_into`).
+fn copy_dirents_reusing<'a>(
+    out: &mut Vec<WireDirent>,
+    entries: impl Iterator<Item = &'a MetaDirent>,
+) {
+    let mut n = 0usize;
+    for e in entries {
+        if n == out.len() {
+            out.push(WireDirent {
+                ino: 0,
+                kind: 0,
+                name: String::new(),
+            });
+        }
+        let slot = &mut out[n];
+        slot.ino = e.ino;
+        slot.kind = e.kind;
+        slot.name.clear();
+        slot.name.push_str(&e.name);
+        n += 1;
+    }
+    out.truncate(n);
 }
 
 impl DpcFs {
@@ -182,6 +214,7 @@ impl DpcFs {
         mode: IoMode,
         fsync_mode: FsyncMode,
         meta: Option<Arc<MetaCache>>,
+        zc: Option<DmaEngine>,
     ) -> DpcFs {
         DpcFs {
             cache,
@@ -190,6 +223,7 @@ impl DpcFs {
             mode,
             fsync_mode,
             meta,
+            zc,
         }
     }
 
@@ -331,12 +365,13 @@ impl DpcFs {
                 if attr.kind != 2 {
                     break;
                 }
-                let (resp, payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
+                let (resp, mut payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
                 let FileResponse::Bytes(n) = resp else {
                     return Err(DpcError::IO);
                 };
-                let target =
-                    String::from_utf8(payload[..n as usize].to_vec()).map_err(|_| DpcError::IO)?;
+                // Consume the reply buffer in place — no `to_vec` copy.
+                payload.truncate(n as usize);
+                let target = String::from_utf8(payload).map_err(|_| DpcError::IO)?;
                 ino = self.resolve_depth(&target, depth + 1)?;
             }
         }
@@ -414,17 +449,21 @@ impl DpcFs {
     }
 
     pub fn readdir(&self, path: &str) -> Result<Vec<WireDirent>, DpcError> {
+        let mut entries = Vec::new();
+        self.readdir_into(path, &mut entries)?;
+        Ok(entries)
+    }
+
+    /// `readdir` into a caller-owned buffer: `out`'s entries and their
+    /// name storage are recycled across calls, so a polling consumer
+    /// (watcher loops, `ls`-style sweeps) decodes the listing without
+    /// per-entry allocations once the buffer is warm.
+    pub fn readdir_into(&self, path: &str, out: &mut Vec<WireDirent>) -> Result<(), DpcError> {
         let ino = self.resolve(path)?;
         if let Some(meta) = &self.meta {
             if let Some(entries) = meta.get_dir(ino) {
-                return Ok(entries
-                    .iter()
-                    .map(|e| WireDirent {
-                        ino: e.ino,
-                        kind: e.kind,
-                        name: e.name.clone(),
-                    })
-                    .collect());
+                copy_dirents_reusing(out, entries.iter());
+                return Ok(());
             }
         }
         let (resp, payload) = self.call(
@@ -437,12 +476,13 @@ impl DpcFs {
         let FileResponse::Entries(n) = resp else {
             return Err(DpcError::IO);
         };
-        let entries = decode_dirents(&payload, n as usize).map_err(|_| DpcError::IO)?;
+        decode_dirents_into(&payload, n as usize, out).map_err(|_| DpcError::IO)?;
         if let Some(meta) = &self.meta {
+            // Cache fill, not steady state: once inserted, the hit path
+            // above serves every repeat listing allocation-free.
             meta.insert_dir(
                 ino,
-                entries
-                    .iter()
+                out.iter()
                     .map(|e| MetaDirent {
                         ino: e.ino,
                         kind: e.kind,
@@ -451,7 +491,7 @@ impl DpcFs {
                     .collect(),
             );
         }
-        Ok(entries)
+        Ok(())
     }
 
     pub fn stat(&self, path: &str) -> Result<WireAttr, DpcError> {
@@ -574,11 +614,150 @@ impl DpcFs {
         let (dir, name) = Self::split_parent(path)?;
         let parent = self.resolve(dir)?;
         let ino = self.lookup_component(parent, name)?;
-        let (resp, payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
+        let (resp, mut payload) = self.call(&FileRequest::Readlink { ino }, b"", 4096)?;
         let FileResponse::Bytes(n) = resp else {
             return Err(DpcError::IO);
         };
-        String::from_utf8(payload[..n as usize].to_vec()).map_err(|_| DpcError::IO)
+        payload.truncate(n as usize);
+        String::from_utf8(payload).map_err(|_| DpcError::IO)
+    }
+
+    // ---- zero-copy data path (DESIGN.md §15) -----------------------------
+
+    /// Split a registered buffer into PRP-style segments: one per 4 KiB
+    /// DMA-address page (registrations are 4 KiB-based, so an aligned
+    /// 8 KiB buffer becomes exactly the two inline PRP entries).
+    fn prp_segs(base: u64, len: usize) -> Vec<SgSeg> {
+        let mut segs = Vec::with_capacity(len.div_ceil(4096) + 1);
+        let mut pos = 0usize;
+        while pos < len {
+            let in_page = ((base + pos as u64) % 4096) as usize;
+            let n = (4096 - in_page).min(len - pos);
+            segs.push(SgSeg {
+                addr: base + pos as u64,
+                len: n as u32,
+            });
+            pos += n;
+        }
+        segs
+    }
+
+    /// Zero-copy buffered absorb: register the caller's buffer, put its
+    /// PRP addresses in the SQE, and let the DPU DMA the payload straight
+    /// into the cache page pool (`ControlPlane::place_write`, which also
+    /// appends the intent record write-ahead of the ack — the host-side
+    /// `wal_admit` is skipped so each write logs exactly once).
+    ///
+    /// `None` means the path did not apply (knob off, op too large for
+    /// the SGL, or the DPU refused — EBUSY under eviction pressure,
+    /// EFAULT on a revoked registration, EIO after a crash): the caller
+    /// falls back to the classic staged path, so a refusal is never data
+    /// loss. An unregisterable buffer takes the *bounce* path instead:
+    /// one host staging copy (counted as `staged_bytes`/`dma_bounces`),
+    /// identical wire shape.
+    fn zc_write(&self, ino: u64, offset: u64, data: &[u8], class: DmaClass) -> Option<usize> {
+        let dma = self.zc.as_ref()?;
+        if data.len().div_ceil(4096) + 1 > SGL_MAX_SEGMENTS {
+            return None;
+        }
+        let done = match dma.register_io(data) {
+            Some(reg) => {
+                let segs = Self::prp_segs(reg.addr(), data.len());
+                self.pool.call_zc(
+                    ZcOp::WriteCached,
+                    class,
+                    ino,
+                    offset,
+                    data.len() as u32,
+                    &segs,
+                )
+            }
+            None => self
+                .pool
+                .call_zc_bounced(ZcOp::WriteCached, class, ino, offset, data),
+        };
+        match done {
+            Ok(c) => match c.response {
+                FileResponse::Bytes(n) => Some(n as usize),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Zero-copy gathered write: every segment registered individually,
+    /// all PRP entries in one SQE/SGL — one DMA per entry, no host-side
+    /// coalescing copy, absorbed by the cache exactly like [`Self::zc_write`].
+    /// Any unregisterable segment demotes the whole gather to one bounced
+    /// (flattened) staging copy; oversized gathers return `None` for the
+    /// classic path.
+    fn zc_writev(&self, ino: u64, offset: u64, segments: &[&[u8]], total: usize) -> Option<usize> {
+        let dma = self.zc.as_ref()?;
+        if total.div_ceil(4096) + 1 > SGL_MAX_SEGMENTS {
+            return None;
+        }
+        let mut regs = Vec::with_capacity(segments.len());
+        let mut segs: Vec<SgSeg> = Vec::new();
+        let mut direct = true;
+        for s in segments.iter().filter(|s| !s.is_empty()) {
+            match dma.register_io(s) {
+                Some(reg) => {
+                    segs.extend(Self::prp_segs(reg.addr(), s.len()));
+                    regs.push(reg);
+                }
+                None => {
+                    direct = false;
+                    break;
+                }
+            }
+        }
+        let done = if direct && segs.len() <= SGL_MAX_SEGMENTS {
+            self.pool.call_zc(
+                ZcOp::WriteCached,
+                DmaClass::Writev,
+                ino,
+                offset,
+                total as u32,
+                &segs,
+            )
+        } else {
+            drop(regs);
+            let mut flat = Vec::with_capacity(total);
+            for s in segments {
+                flat.extend_from_slice(s);
+            }
+            self.pool
+                .call_zc_bounced(ZcOp::WriteCached, DmaClass::Writev, ino, offset, &flat)
+        };
+        match done {
+            Ok(c) => match c.response {
+                FileResponse::Bytes(n) => Some(n as usize),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Zero-copy read-miss fill: ask the DPU to land the backend extent
+    /// directly in pool pages (`ControlPlane::fill_direct`). The SQE
+    /// round trip carries only headers — the final hop to the caller's
+    /// buffer is then served by the existing `ReadRef` zero-copy hit
+    /// path. Returns the contiguous servable byte count from `offset`
+    /// (0 = nothing landed; the caller falls back to the classic fetch).
+    fn zc_fill(&self, ino: u64, offset: u64, len: u32) -> usize {
+        if self.zc.is_none() {
+            return 0;
+        }
+        match self
+            .pool
+            .call_zc(ZcOp::ReadFill, DmaClass::ReadFill, ino, offset, len, &[])
+        {
+            Ok(c) => match c.response {
+                FileResponse::Bytes(n) => n as usize,
+                _ => 0,
+            },
+            Err(_) => 0,
+        }
     }
 
     // ---- data API --------------------------------------------------------
@@ -690,6 +869,15 @@ impl DpcFs {
                 Ok(n as usize)
             }
             IoMode::Buffered => {
+                // Zero-copy absorb first (DESIGN.md §15): the DPU pulls
+                // the payload straight from the registered user buffer
+                // into the page pool, appending the intent record itself
+                // before acking — still write-ahead, logged exactly once.
+                // Any refusal falls through to the classic staged path.
+                if let Some(n) = self.zc_write(ino, offset, data, DmaClass::WriteAbsorb) {
+                    entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
+                    return Ok(n);
+                }
                 // Write-ahead: the intent record must be on the ring
                 // before the cache absorbs the first page — an acked
                 // buffered write is then always recoverable.
@@ -1015,6 +1203,58 @@ impl DpcFs {
                     pos += take;
                     off += take as u64;
                 }
+                // Zero-copy fills (DESIGN.md §15): one header-only SQE
+                // per contiguous miss run asks the DPU to land the
+                // backend extent *directly* in pool pages
+                // (`ControlPlane::fill_direct`); the final hop into
+                // `dst` is then the ordinary `ReadRef` zero-copy hit.
+                // Pages the fill could not land (pool pressure, epoch
+                // races, short extents) stay on the miss list for the
+                // classic staged fetch below.
+                if !misses.is_empty() && self.zc.is_some() {
+                    let mut runs: Vec<(u64, usize)> = Vec::new();
+                    for m in &misses {
+                        match runs.last_mut() {
+                            Some((first, pages))
+                                if *pages < MAX_MISS_RUN_PAGES
+                                    && *first + *pages as u64 == m.lpn =>
+                            {
+                                *pages += 1;
+                            }
+                            _ => runs.push((m.lpn, 1)),
+                        }
+                    }
+                    for (first, pages) in runs {
+                        self.zc_fill(ino, first * PAGE_SIZE as u64, (pages * PAGE_SIZE) as u32);
+                    }
+                    let mut residual: Vec<Miss> = Vec::new();
+                    for m in misses {
+                        let served = match self.cache.lookup_read_ref(ino, m.lpn) {
+                            Some(r) => {
+                                r.read(m.in_page, &mut dst[m.pos..m.pos + m.take]);
+                                match r.finish() {
+                                    Some(_) => true,
+                                    // Torn validation: the locked copy
+                                    // path settles it, like a hit would.
+                                    None => self
+                                        .cache
+                                        .lookup_read_hint(ino, m.lpn, &mut page)
+                                        .inspect(|_| {
+                                            dst[m.pos..m.pos + m.take].copy_from_slice(
+                                                &page[m.in_page..m.in_page + m.take],
+                                            );
+                                        })
+                                        .is_some(),
+                                }
+                            }
+                            None => false,
+                        };
+                        if !served {
+                            residual.push(m);
+                        }
+                    }
+                    misses = residual;
+                }
                 // Pass 2: group the missing pages into contiguous runs
                 // and fetch each run with ONE spanning read (the DPU
                 // serves it as one vectored KVFS extent read); the runs
@@ -1069,8 +1309,11 @@ impl DpcFs {
                             let m = &misses[r.first + k];
                             let valid = got.saturating_sub(k * PAGE_SIZE).min(PAGE_SIZE);
                             page.fill(0);
-                            page[..valid]
-                                .copy_from_slice(&c.payload[k * PAGE_SIZE..k * PAGE_SIZE + valid]);
+                            if valid > 0 {
+                                page[..valid].copy_from_slice(
+                                    &c.payload[k * PAGE_SIZE..k * PAGE_SIZE + valid],
+                                );
+                            }
                             // Fill the cache clean (front-end read
                             // protocol). Only a freshly claimed entry may
                             // be written: a page that appeared since pass
@@ -1124,6 +1367,15 @@ impl DpcFs {
         // pages sit outside the index, so any of them (rare: only under
         // injected flush faults) still take the conservative path.
         let end = offset.checked_add(total as u64).ok_or(DpcError::INVALID)?;
+        // Zero-copy gather (DESIGN.md §15): the segments' PRP addresses
+        // ride the SQE and the DPU absorbs them straight into the cache
+        // (merging over any overlapping dirty pages under the entry
+        // locks), so neither the O_DIRECT pre-flush nor the post-write
+        // invalidation below applies — the cache *is* the destination.
+        if let Some(n) = self.zc_writev(ino, offset, segments, total) {
+            entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
+            return Ok(n);
+        }
         let first_lpn = offset / PAGE_SIZE as u64;
         let last_lpn = (end - 1) / PAGE_SIZE as u64;
         if self.cache.has_dirty_in_range(ino, first_lpn, last_lpn)
@@ -1169,10 +1421,15 @@ impl DpcFs {
             FileResponse::Bytes(n) => {
                 entry.size.fetch_max(offset + n as u64, Ordering::AcqRel);
                 // Keep any cached pages coherent with the direct write.
-                let first = offset / PAGE_SIZE as u64;
-                let last = (offset + n as u64).div_ceil(PAGE_SIZE as u64);
-                for lpn in first..=last {
-                    self.cache.invalidate(ino, lpn);
+                // Inclusive last touched page, NOT div_ceil: one page too
+                // far would drop a dirty page past the gather that the
+                // pre-flush above never covered — silent data loss.
+                if n > 0 {
+                    let first = offset / PAGE_SIZE as u64;
+                    let last = (offset + n as u64 - 1) / PAGE_SIZE as u64;
+                    for lpn in first..=last {
+                        self.cache.invalidate(ino, lpn);
+                    }
                 }
                 Ok(n as usize)
             }

@@ -17,7 +17,7 @@ use dpc_dfs::{ClientCore, DfsError, DFS_BLOCK};
 use dpc_kvfs::{FileKind, FsError, Kvfs};
 use dpc_nvmefs::{
     encode_dirents, DispatchType, FileIncoming, FileIncomingBatch, FileRequest, FileResponse,
-    FileTarget, WireAttr, WireDirent,
+    FileTarget, WireAttr, WireDirent, ZcCmd, ZcOp,
 };
 use dpc_sim::FaultSite;
 
@@ -299,12 +299,67 @@ impl Dispatcher {
         let mut payload = std::mem::take(&mut self.payload_scratch);
         let mut served = 0usize;
         for inc in batch {
+            if let Some(zc) = &inc.zc {
+                // Zero-copy command: the data plane already crossed (or
+                // will cross) the link by direct placement; the reply is
+                // a header-only CQE.
+                self.handle_zc(inc, zc, target);
+                served += 1;
+                continue;
+            }
             let resp = self.handle_into(inc, &mut payload);
             target.reply(inc.slot, &resp, &payload);
             served += 1;
         }
         self.payload_scratch = payload;
         served
+    }
+
+    /// Serve one zero-copy command (the tentpole's DPU half) and post
+    /// its header-only completion. A refusal (errno CQE) is always safe:
+    /// the host falls back to the classic staged path, which re-runs the
+    /// op from the original user buffer.
+    fn handle_zc(&mut self, inc: &FileIncoming, zc: &ZcCmd, target: &mut FileTarget) {
+        if inc.dispatch != DispatchType::Standalone {
+            // The offloaded DFS client has no direct-placement absorb —
+            // distributed files take the classic block path.
+            target.reply_zc_err(inc.slot, 95 /* EOPNOTSUPP */);
+            return;
+        }
+        match zc.op {
+            ZcOp::WriteCached => {
+                let res = self.control.place_write(
+                    zc.ino,
+                    zc.offset,
+                    zc.len,
+                    &zc.segs,
+                    zc.class,
+                    &mut KvfsRead { kvfs: &self.kvfs },
+                    &mut KvfsFlush {
+                        kvfs: &self.kvfs,
+                        fault: self.flush_fault.as_ref(),
+                    },
+                );
+                match res {
+                    Ok(n) => target.reply_zc(inc.slot, n as u32),
+                    Err(errno) => target.reply_zc_err(inc.slot, errno),
+                }
+            }
+            ZcOp::ReadFill => {
+                let n = self.control.fill_direct(
+                    zc.ino,
+                    zc.offset,
+                    zc.len,
+                    &mut KvfsRead { kvfs: &self.kvfs },
+                );
+                if n > 0 {
+                    // Miss-stream feeding works exactly as on the classic
+                    // read path — fills train the readahead table too.
+                    self.note_read(zc.ino, zc.offset, zc.len);
+                }
+                target.reply_zc(inc.slot, n as u32);
+            }
+        }
     }
 
     fn handle_kvfs(&mut self, inc: &FileIncoming, out: &mut Vec<u8>) -> FileResponse {

@@ -124,6 +124,14 @@ pub struct DpcConfig {
     /// transport, DFS/KV servers, cache flush). None = no faults; all
     /// recovery machinery stays dormant and its counters read zero.
     pub faults: Option<Arc<FaultPlan>>,
+    /// True zero-copy data path (DESIGN.md §15): buffered writes and
+    /// read-miss fills carry PRP/SG descriptors of the caller's buffer in
+    /// the SQE instead of staging payload through the queue region; the
+    /// DPU DMA-places data directly between the registered host buffer
+    /// and the cache page pool. Off = the staged path, kept verbatim as
+    /// the equivalence baseline; every `dma_*` class counter stays
+    /// provably zero.
+    pub zero_copy: bool,
 }
 
 impl Default for DpcConfig {
@@ -158,6 +166,7 @@ impl Default for DpcConfig {
             dfs: None,
             retry: RetryPolicy::default(),
             faults: None,
+            zero_copy: false,
         }
     }
 }
@@ -455,6 +464,7 @@ impl Dpc {
             self.cfg.io_mode,
             fsync_mode,
             self.meta.clone(),
+            self.cfg.zero_copy.then(|| self.dma.clone()),
         )
     }
 
@@ -552,6 +562,7 @@ impl Dpc {
             .unwrap_or_default();
         crate::metrics::MetricsSnapshot {
             pcie: self.dma.snapshot(),
+            dma: self.dma.attribution(),
             cache,
             kvfs_lookups: self.kvfs.lookup_stats(),
             kv,

@@ -8,7 +8,7 @@
 use dpc_cache::{CacheStats, MetaStats};
 use dpc_kvfs::LookupStats;
 use dpc_kvstore::KvStats;
-use dpc_pcie::PcieSnapshot;
+use dpc_pcie::{DmaAttribution, DmaClass, PcieSnapshot};
 
 /// Recovery-action counters gathered from every layer. All-zero on a
 /// healthy run with faults disabled — the chaos tests assert exactly
@@ -51,6 +51,10 @@ pub struct RecoverySnapshot {
 #[derive(Copy, Clone, Debug, Default)]
 pub struct MetricsSnapshot {
     pub pcie: PcieSnapshot,
+    /// Per-class DMA attribution of the zero-copy data path (write
+    /// absorbs, read fills, writev gathers, WAL pulls). All-zero with
+    /// `zero_copy` off — the counters only move on the ZC path.
+    pub dma: DmaAttribution,
     pub cache: CacheStats,
     pub kvfs_lookups: LookupStats,
     pub kv: KvStats,
@@ -134,6 +138,22 @@ impl core::fmt::Display for MetricsSnapshot {
             "pcie: {} DMA ops / {} bytes, {} doorbells, {} atomics",
             self.pcie.dma_ops, self.pcie.dma_bytes, self.pcie.doorbells, self.pcie.atomics
         )?;
+        {
+            let mut line = String::from("dma:");
+            for class in DmaClass::ALL {
+                let c = self.dma.class(class);
+                line.push_str(&format!(
+                    " {} {} ops / {} B ({} staged, {} bounces),",
+                    class.name(),
+                    c.dma_ops,
+                    c.dma_bytes,
+                    c.staged_bytes,
+                    c.dma_bounces
+                ));
+            }
+            line.pop();
+            writeln!(f, "{line}")?;
+        }
         writeln!(
             f,
             "hybrid cache: {} writes, {} hits / {} misses ({:.0}% hit), {} flushes, {} evictions, {} prefetched",
@@ -302,6 +322,7 @@ mod tests {
         let s = MetricsSnapshot::default().to_string();
         for key in [
             "pcie:",
+            "dma:",
             "hybrid cache:",
             "write-back:",
             "readahead:",

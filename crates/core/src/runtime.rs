@@ -48,6 +48,64 @@ pub struct PrefetcherConfig {
     pub throttle_free: u64,
 }
 
+/// Adaptive idle backoff for the DPU polling loops (service threads and
+/// the prefetcher): spin briefly (lowest wakeup latency), then yield the
+/// core, then nap with exponentially growing, bounded sleeps.
+///
+/// The previous policy was a cliff — 4096 busy spins, then a fixed 20 µs
+/// sleep — which burned a full timeslice of CPU before ever yielding and
+/// then charged every request after a brief lull the whole 20 µs. Here a
+/// queue that has been idle only a moment pays at most a 1 µs nap on its
+/// next request; only a long-dead queue ramps to the 50 µs ceiling, and
+/// one productive poll resets it to the spin tier.
+#[derive(Debug, Default)]
+pub(crate) struct IdleBackoff {
+    rounds: u32,
+}
+
+impl IdleBackoff {
+    /// Busy-spin rounds before yielding (latency tier).
+    const SPIN_ROUNDS: u32 = 64;
+    /// Spin + yield rounds before the first nap (sharing tier).
+    const YIELD_ROUNDS: u32 = 256;
+    /// First nap length; doubles every [`Self::NAPS_PER_STEP`] naps.
+    const NAP_FLOOR_US: u64 = 1;
+    /// Nap ceiling — the worst-case extra wakeup latency after a long
+    /// idle spell (the old cliff charged 20 µs after *any* spell).
+    const NAP_CEIL_US: u64 = 50;
+    /// Naps taken at each length before the length doubles.
+    const NAPS_PER_STEP: u32 = 8;
+
+    pub(crate) fn new() -> IdleBackoff {
+        IdleBackoff::default()
+    }
+
+    /// A productive poll: the next idle spell starts back in the spin tier.
+    pub(crate) fn reset(&mut self) {
+        self.rounds = 0;
+    }
+
+    /// The nap an idle round at the current depth takes, in µs
+    /// (0 = still spinning or yielding). Pure, for the unit tests.
+    fn nap_us(&self) -> u64 {
+        if self.rounds < Self::YIELD_ROUNDS {
+            return 0;
+        }
+        let step = (self.rounds - Self::YIELD_ROUNDS) / Self::NAPS_PER_STEP;
+        (Self::NAP_FLOOR_US << step.min(16)).min(Self::NAP_CEIL_US)
+    }
+
+    /// One empty poll: block according to the current tier and deepen.
+    pub(crate) fn idle(&mut self) {
+        match self.nap_us() {
+            0 if self.rounds < Self::SPIN_ROUNDS => std::hint::spin_loop(),
+            0 => std::thread::yield_now(),
+            us => std::thread::sleep(std::time::Duration::from_micros(us)),
+        }
+        self.rounds = self.rounds.saturating_add(1);
+    }
+}
+
 /// Shared runtime state.
 pub struct RuntimeShared {
     pub shutdown: AtomicBool,
@@ -94,34 +152,26 @@ impl DpuRuntime {
                         // replies in order, and allocates nothing once the
                         // batch's buffers are warm.
                         let mut batch = FileIncomingBatch::new();
-                        let mut idle_spins = 0u32;
+                        let mut backoff = IdleBackoff::new();
                         // A tripped crash switch means the DPU is dead:
                         // the service loop exits, posted commands rot in
                         // the queue and the host's calls time out — the
                         // behaviour recovery tests simulate against.
                         while !shared.shutdown.load(Ordering::Acquire) && !crash.is_tripped() {
                             if target.poll_many(&mut batch) > 0 {
-                                idle_spins = 0;
+                                backoff.reset();
                                 let served = dispatcher.handle_batch(&batch, &mut target);
                                 shared
                                     .requests_served
                                     .fetch_add(served as u64, Ordering::Relaxed);
                             } else {
-                                // Tiered backoff: spin briefly (latency),
-                                // then yield (share the core with host
-                                // threads and sibling queues), then nap
-                                // (a long-idle queue must not burn the
-                                // timeslices of the queues doing work —
-                                // it costs the first request after an
-                                // idle spell ~20 µs of extra latency).
-                                idle_spins = idle_spins.saturating_add(1);
-                                if idle_spins > 4096 {
-                                    std::thread::sleep(std::time::Duration::from_micros(20));
-                                } else if idle_spins > 256 {
-                                    std::thread::yield_now();
-                                } else {
-                                    std::hint::spin_loop();
-                                }
+                                // Adaptive backoff: spin (latency), yield
+                                // (share the core with sibling queues),
+                                // then growing bounded naps — a long-idle
+                                // queue must not burn the timeslices of
+                                // the queues doing work, but a briefly
+                                // idle one keeps its wakeup latency.
+                                backoff.idle();
                             }
                         }
                     })
@@ -213,11 +263,11 @@ impl DpuRuntime {
                         // cache-pressure throttle, the no-clobber rule and
                         // the ino-epoch abort internally, so this loop is
                         // pure plumbing plus the flusher-style backoff.
-                        let mut idle_spins = 0u32;
+                        let mut backoff = IdleBackoff::new();
                         while !shared.shutdown.load(Ordering::Acquire) && !crash.is_tripped() {
                             match p.queue.pop() {
                                 Some(job) => {
-                                    idle_spins = 0;
+                                    backoff.reset();
                                     let mut backend = KvfsRead { kvfs: &p.kvfs };
                                     let inserted =
                                         p.control.fill_window(&job, &mut backend, p.throttle_free);
@@ -226,16 +276,7 @@ impl DpuRuntime {
                                         .fetch_add(inserted as u64, Ordering::Relaxed);
                                     p.queue.done();
                                 }
-                                None => {
-                                    idle_spins = idle_spins.saturating_add(1);
-                                    if idle_spins > 4096 {
-                                        std::thread::sleep(std::time::Duration::from_micros(20));
-                                    } else if idle_spins > 256 {
-                                        std::thread::yield_now();
-                                    } else {
-                                        std::hint::spin_loop();
-                                    }
-                                }
+                                None => backoff.idle(),
                             }
                         }
                         // Unqueued jobs die with the instance: prefetch is
@@ -429,5 +470,110 @@ impl Drop for DpuRuntime {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::IdleBackoff;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_tiers_progress_and_stay_bounded() {
+        let mut b = IdleBackoff::new();
+        // The spin and yield tiers never sleep.
+        for _ in 0..IdleBackoff::YIELD_ROUNDS {
+            assert_eq!(b.nap_us(), 0);
+            b.rounds += 1;
+        }
+        // Naps grow monotonically from the floor to the ceiling and cap
+        // there — no overflow, no cliff past the cap.
+        let mut last = 0u64;
+        for _ in 0..100_000 {
+            let us = b.nap_us();
+            assert!(us >= last, "naps must not shrink while idle");
+            assert!(us <= IdleBackoff::NAP_CEIL_US, "nap exceeds ceiling");
+            last = us;
+            b.rounds = b.rounds.saturating_add(1);
+        }
+        assert_eq!(last, IdleBackoff::NAP_CEIL_US);
+        // First nap after the yield tier is the 1 µs floor — the old
+        // policy charged 20 µs after any idle spell.
+        let fresh = IdleBackoff {
+            rounds: IdleBackoff::YIELD_ROUNDS,
+        };
+        assert_eq!(fresh.nap_us(), IdleBackoff::NAP_FLOOR_US);
+    }
+
+    #[test]
+    fn backoff_resets_to_spin_tier_after_work() {
+        let mut b = IdleBackoff::new();
+        b.rounds = 1_000_000;
+        assert_eq!(b.nap_us(), IdleBackoff::NAP_CEIL_US);
+        b.reset();
+        assert_eq!(b.nap_us(), 0, "a productive poll must re-arm spinning");
+    }
+
+    #[test]
+    fn wakeup_latency_after_short_idle_spell_is_low() {
+        // A poller that has idled briefly (past the spin tier, into
+        // yields) must notice new work quickly: the adaptive policy is
+        // still nap-free there, so the wakeup is scheduler-bounded. The
+        // assert is deliberately generous (CI schedulers jitter) — the
+        // regression it guards against is a fixed multi-ms sleep cliff.
+        let flag = Arc::new(AtomicBool::new(false));
+        let poller = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                let mut b = IdleBackoff::new();
+                // Pre-idle past the spin tier but short of the nap tier.
+                for _ in 0..IdleBackoff::SPIN_ROUNDS + 32 {
+                    b.idle();
+                }
+                while !flag.load(Ordering::Acquire) {
+                    b.idle();
+                }
+                std::time::Instant::now()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let set_at = std::time::Instant::now();
+        flag.store(true, Ordering::Release);
+        let woke_at = poller.join().expect("poller thread");
+        let latency = woke_at.duration_since(set_at);
+        assert!(
+            latency < std::time::Duration::from_millis(50),
+            "wakeup took {latency:?}"
+        );
+    }
+
+    #[test]
+    fn wakeup_latency_after_long_idle_spell_is_nap_bounded() {
+        // Even a deeply idle poller wakes within a few nap ceilings.
+        let flag = Arc::new(AtomicBool::new(false));
+        let poller = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                let mut b = IdleBackoff {
+                    rounds: 1_000_000, // parked at the nap ceiling
+                };
+                while !flag.load(Ordering::Acquire) {
+                    b.idle();
+                }
+                std::time::Instant::now()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let set_at = std::time::Instant::now();
+        flag.store(true, Ordering::Release);
+        let woke_at = poller.join().expect("poller thread");
+        let latency = woke_at.duration_since(set_at);
+        // Ceiling is 50 µs; 50 ms allows for three orders of scheduler
+        // noise while still catching any return to unbounded sleeps.
+        assert!(
+            latency < std::time::Duration::from_millis(50),
+            "wakeup took {latency:?}"
+        );
     }
 }

@@ -18,6 +18,7 @@ fn incoming(dispatch: DispatchType, request: FileRequest, payload: Vec<u8>) -> F
         request,
         payload,
         read_len: 1 << 20,
+        zc: None,
     }
 }
 

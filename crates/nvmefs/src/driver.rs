@@ -10,15 +10,15 @@
 
 use std::sync::Arc;
 
-use dpc_pcie::DmaEngine;
+use dpc_pcie::{DmaClass, DmaEngine, SgSeg};
 use dpc_sim::fault::{FaultPlan, FaultSite};
 
 use crate::filemsg::{DecodeError, FileRequest, FileResponse};
 use crate::queue::{
     Completion, CompletionBatch, Incoming, IncomingBatch, Initiator, QueueFull, QueuePair,
-    QueuePairConfig, Target,
+    QueuePairConfig, Target, ZcCmd,
 };
-use crate::sqe::{CqeStatus, DispatchType};
+use crate::sqe::{CqeStatus, DispatchType, ZcOp};
 
 /// Whether reissuing `req` after a lost/failed completion is safe: the
 /// request must produce the same outcome when executed twice. Namespace
@@ -189,13 +189,18 @@ impl FileChannel {
         let Completion {
             cid,
             status,
+            result,
             header,
             payload,
-            ..
+            zc,
         } = self.ini.poll()?;
         let response = match status {
             CqeStatus::InvalidCommand => Ok(FileResponse::Err(22 /* EINVAL */)),
             CqeStatus::TransportError => Err(RecvError::Transport),
+            // Zero-copy replies are CQE-only: the count (or errno) rides
+            // in `result` — no header bytes to decode.
+            CqeStatus::FsError if zc => Ok(FileResponse::Err(result as i32)),
+            _ if zc => Ok(FileResponse::Bytes(result)),
             _ => FileResponse::decode(&header).map_err(RecvError::Decode),
         };
         Some((
@@ -254,6 +259,39 @@ impl FileChannel {
         }
         batch.commit();
         staged
+    }
+
+    /// Registered base DMA address of this channel's data pool (where
+    /// bounce-path PRPs point).
+    pub fn pool_base(&self) -> u64 {
+        self.ini.pool_base()
+    }
+
+    /// Submit a zero-copy command: request entirely in the SQE, data
+    /// described by registered-buffer segments, reply a bare CQE.
+    pub fn submit_zc(
+        &mut self,
+        op: ZcOp,
+        class: DmaClass,
+        ino: u64,
+        offset: u64,
+        len: u32,
+        segs: &[SgSeg],
+    ) -> Result<u16, QueueFull> {
+        self.ini.submit_zc(op, class, ino, offset, len, segs)
+    }
+
+    /// Submit a zero-copy command via the bounce path (unregistered or
+    /// misaligned buffer): one host staging copy, identical wire cost.
+    pub fn submit_zc_bounced(
+        &mut self,
+        op: ZcOp,
+        class: DmaClass,
+        ino: u64,
+        offset: u64,
+        payload: &[u8],
+    ) -> Result<u16, QueueFull> {
+        self.ini.submit_zc_bounced(op, class, ino, offset, payload)
     }
 
     /// Synchronous convenience: submit and spin for the matching reply.
@@ -340,6 +378,8 @@ impl FileChannel {
                 let response = match done.status {
                     CqeStatus::InvalidCommand => Ok(FileResponse::Err(22 /* EINVAL */)),
                     CqeStatus::TransportError => Err(RecvError::Transport),
+                    CqeStatus::FsError if done.zc => Ok(FileResponse::Err(done.result as i32)),
+                    _ if done.zc => Ok(FileResponse::Bytes(done.result)),
                     _ => FileResponse::decode(&done.header).map_err(RecvError::Decode),
                 };
                 match response {
@@ -379,6 +419,11 @@ pub struct FileIncoming {
     pub payload: Vec<u8>,
     /// Read-payload capacity the host reserved.
     pub read_len: u32,
+    /// Decoded zero-copy command, when the SQE carried one. `request`
+    /// then holds the equivalent classic request (so idempotency checks
+    /// and fault injection treat both paths alike) but `payload` is
+    /// empty — the data is still sitting in the registered buffer.
+    pub zc: Option<ZcCmd>,
 }
 
 impl Default for FileIncoming {
@@ -389,7 +434,25 @@ impl Default for FileIncoming {
             request: FileRequest::GetAttr { ino: 0 },
             payload: Vec::new(),
             read_len: 0,
+            zc: None,
         }
+    }
+}
+
+/// The classic [`FileRequest`] a zero-copy command mirrors — drives
+/// idempotency checks and fault injection uniformly across both paths.
+fn zc_equivalent_request(zc: &ZcCmd) -> FileRequest {
+    match zc.op {
+        ZcOp::WriteCached => FileRequest::Write {
+            ino: zc.ino,
+            offset: zc.offset,
+            len: zc.len,
+        },
+        ZcOp::ReadFill => FileRequest::Read {
+            ino: zc.ino,
+            offset: zc.offset,
+            len: zc.len,
+        },
     }
 }
 
@@ -537,7 +600,19 @@ impl FileTarget {
             slot,
             header,
             payload,
+            zc,
         } = self.tgt.poll()?;
+        if let Some(zc) = zc {
+            let inc = FileIncoming {
+                slot,
+                dispatch: sqe.dispatch(),
+                request: zc_equivalent_request(&zc),
+                payload,
+                read_len: 0,
+                zc: Some(zc),
+            };
+            return if self.inject(&inc) { None } else { Some(inc) };
+        }
         match FileRequest::decode(&header) {
             Ok(request) => {
                 let inc = FileIncoming {
@@ -546,6 +621,7 @@ impl FileTarget {
                     request,
                     payload,
                     read_len: sqe.read_len(),
+                    zc: None,
                 };
                 if self.inject(&inc) {
                     None
@@ -585,20 +661,30 @@ impl FileTarget {
         self.tgt.poll_many(&mut raw);
         for inc in raw.iter() {
             let slot = out.next_slot();
-            match FileRequest::decode(&inc.header) {
-                Ok(request) => {
-                    slot.request = request;
-                    slot.slot = inc.slot;
-                    slot.dispatch = inc.sqe.dispatch();
-                    slot.read_len = inc.sqe.read_len();
-                    slot.payload.clear();
-                    slot.payload.extend_from_slice(&inc.payload);
-                }
-                Err(_) => {
-                    out.pop_slot();
-                    self.tgt
-                        .complete(inc.slot, CqeStatus::InvalidCommand, b"", b"");
-                    continue;
+            if let Some(zc) = &inc.zc {
+                slot.request = zc_equivalent_request(zc);
+                slot.slot = inc.slot;
+                slot.dispatch = inc.sqe.dispatch();
+                slot.read_len = 0;
+                slot.payload.clear();
+                slot.zc = Some(zc.clone());
+            } else {
+                match FileRequest::decode(&inc.header) {
+                    Ok(request) => {
+                        slot.request = request;
+                        slot.slot = inc.slot;
+                        slot.dispatch = inc.sqe.dispatch();
+                        slot.read_len = inc.sqe.read_len();
+                        slot.payload.clear();
+                        slot.payload.extend_from_slice(&inc.payload);
+                        slot.zc = None;
+                    }
+                    Err(_) => {
+                        out.pop_slot();
+                        self.tgt
+                            .complete(inc.slot, CqeStatus::InvalidCommand, b"", b"");
+                        continue;
+                    }
                 }
             }
             if self.faults.is_some() {
@@ -610,6 +696,17 @@ impl FileTarget {
         }
         self.inc_batch = raw;
         out.len()
+    }
+
+    /// Acknowledge a zero-copy command: a bare CQE carrying the byte
+    /// count — one DMA, no response header.
+    pub fn reply_zc(&mut self, slot: u16, result: u32) {
+        self.tgt.complete_zc(slot, CqeStatus::Success, result);
+    }
+
+    /// Fail a zero-copy command with an errno (CQE-only).
+    pub fn reply_zc_err(&mut self, slot: u16, errno: i32) {
+        self.tgt.complete_zc(slot, CqeStatus::FsError, errno as u32);
     }
 
     /// Reply to a previously polled request.

@@ -207,13 +207,18 @@ impl<'a> Reader<'a> {
     fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn name(&mut self) -> Result<String, DecodeError> {
+    /// Borrow a length-prefixed name straight out of the buffer —
+    /// UTF-8 validation in place, no copy.
+    fn name_ref(&mut self) -> Result<&'a str, DecodeError> {
         let len = self.u32()? as usize;
         if len > MAX_NAME_LEN {
             return Err(DecodeError("name exceeds 1024 bytes"));
         }
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("name is not UTF-8"))
+        core::str::from_utf8(bytes).map_err(|_| DecodeError("name is not UTF-8"))
+    }
+    fn name(&mut self) -> Result<String, DecodeError> {
+        self.name_ref().map(str::to_owned)
     }
     fn done(&self) -> Result<(), DecodeError> {
         if self.pos == self.buf.len() {
@@ -546,18 +551,102 @@ pub fn encode_dirents(entries: &[WireDirent], out: &mut Vec<u8>) {
     }
 }
 
+/// Borrowed view of one directory entry: the name points straight into
+/// the payload buffer — no per-entry allocation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct WireDirentRef<'a> {
+    pub ino: u64,
+    pub kind: u8,
+    pub name: &'a str,
+}
+
+impl WireDirentRef<'_> {
+    pub fn to_owned(&self) -> WireDirent {
+        WireDirent {
+            ino: self.ino,
+            kind: self.kind,
+            name: self.name.to_owned(),
+        }
+    }
+}
+
+/// Zero-allocation streaming decoder over an encoded dirent payload.
+/// Probe-sized consumers (existence checks, first-page peeks) walk only
+/// as far as they need instead of materializing the full
+/// `Vec<WireDirent>`.
+pub struct DirentIter<'a> {
+    r: Reader<'a>,
+    remaining: usize,
+}
+
+/// Iterate `count` directory entries in place.
+pub fn dirent_iter(buf: &[u8], count: usize) -> DirentIter<'_> {
+    DirentIter {
+        r: Reader { buf, pos: 0 },
+        remaining: count,
+    }
+}
+
+impl<'a> Iterator for DirentIter<'a> {
+    type Item = Result<WireDirentRef<'a>, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let one = (|| {
+            Ok(WireDirentRef {
+                ino: self.r.u64()?,
+                kind: self.r.u8()?,
+                name: self.r.name_ref()?,
+            })
+        })();
+        if one.is_err() {
+            self.remaining = 0; // poisoned: stop at the first bad entry
+        }
+        Some(one)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
+}
+
+/// Decode `count` directory entries into `out`, reusing its entries and
+/// their name buffers — steady-state zero allocations once warmed. On a
+/// decode error `out`'s contents are unspecified.
+pub fn decode_dirents_into(
+    buf: &[u8],
+    count: usize,
+    out: &mut Vec<WireDirent>,
+) -> Result<(), DecodeError> {
+    let mut n = 0usize;
+    for ent in dirent_iter(buf, count) {
+        let ent = ent?;
+        if n == out.len() {
+            out.push(WireDirent {
+                ino: 0,
+                kind: 0,
+                name: String::new(),
+            });
+        }
+        let slot = &mut out[n];
+        slot.ino = ent.ino;
+        slot.kind = ent.kind;
+        slot.name.clear();
+        slot.name.push_str(ent.name);
+        n += 1;
+    }
+    out.truncate(n);
+    Ok(())
+}
+
 /// Decode `count` directory entries from a payload buffer.
 pub fn decode_dirents(buf: &[u8], count: usize) -> Result<Vec<WireDirent>, DecodeError> {
-    let mut r = Reader { buf, pos: 0 };
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        out.push(WireDirent {
-            ino: r.u64()?,
-            kind: r.u8()?,
-            name: r.name()?,
-        });
-    }
-    Ok(out)
+    dirent_iter(buf, count)
+        .map(|e| e.map(|r| r.to_owned()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -755,6 +844,56 @@ mod tests {
         encode_dirents(&entries, &mut buf);
         assert_eq!(decode_dirents(&buf, 2).unwrap(), entries);
         assert!(decode_dirents(&buf, 3).is_err());
+    }
+
+    #[test]
+    fn dirent_iter_streams_in_place() {
+        let entries: Vec<WireDirent> = (0..20)
+            .map(|i| WireDirent {
+                ino: i,
+                kind: (i % 2) as u8,
+                name: format!("entry-{i}"),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_dirents(&entries, &mut buf);
+        // A probe-sized consumer stops after the first hit without
+        // touching the rest of the page.
+        let hit = dirent_iter(&buf, 20)
+            .map(|e| e.unwrap())
+            .find(|e| e.name == "entry-3")
+            .unwrap();
+        assert_eq!(hit.ino, 3);
+        // Full walk matches the owned decode.
+        let all: Vec<WireDirent> = dirent_iter(&buf, 20)
+            .map(|e| e.unwrap().to_owned())
+            .collect();
+        assert_eq!(all, entries);
+        // Truncated payload: errors once, then stops (no infinite loop).
+        let errs: Vec<_> = dirent_iter(&buf[..buf.len() - 1], 20).collect();
+        assert!(errs.last().unwrap().is_err());
+        assert!(errs.len() <= 20);
+    }
+
+    #[test]
+    fn decode_dirents_into_reuses_buffers() {
+        let entries: Vec<WireDirent> = (0..8)
+            .map(|i| WireDirent {
+                ino: i,
+                kind: 0,
+                name: format!("n{i}"),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_dirents(&entries, &mut buf);
+        let mut out = Vec::new();
+        decode_dirents_into(&buf, 8, &mut out).unwrap();
+        assert_eq!(out, entries);
+        // Decode a shorter page into the same vec: shrinks, keeps buffers.
+        let mut small = Vec::new();
+        encode_dirents(&entries[..3], &mut small);
+        decode_dirents_into(&small, 3, &mut out).unwrap();
+        assert_eq!(out, entries[..3]);
     }
 
     #[test]

@@ -33,12 +33,13 @@ pub use driver::{
     FileTarget, RecvError,
 };
 pub use filemsg::{
-    decode_dirents, encode_dirents, DecodeError, FileRequest, FileResponse, WireAttr, WireDirent,
-    MAX_NAME_LEN,
+    decode_dirents, decode_dirents_into, dirent_iter, encode_dirents, DecodeError, DirentIter,
+    FileRequest, FileResponse, WireAttr, WireDirent, WireDirentRef, MAX_NAME_LEN,
 };
 pub use pool::{ChannelPool, PoolStats, RetryPolicy};
 pub use queue::{
     Completion, CompletionBatch, DoorbellGuard, Incoming, IncomingBatch, Initiator, QueueFull,
-    QueuePair, QueuePairConfig, SubmitOp, Target, READ_HEADER_CAP, SGL_LIST_CAP, SGL_MAX_SEGMENTS,
+    QueuePair, QueuePairConfig, SubmitOp, Target, ZcCmd, READ_HEADER_CAP, SGL_LIST_CAP,
+    SGL_MAX_SEGMENTS,
 };
-pub use sqe::{Cqe, CqeStatus, DispatchType, Psdt, Sqe, CQE_SIZE, OPCODE_NVMEFS, SQE_SIZE};
+pub use sqe::{Cqe, CqeStatus, DispatchType, Psdt, Sqe, ZcOp, CQE_SIZE, OPCODE_NVMEFS, SQE_SIZE};

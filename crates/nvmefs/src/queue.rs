@@ -22,9 +22,9 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use dpc_pcie::{DmaEngine, HostRegion};
+use dpc_pcie::{DmaClass, DmaEngine, HostRegion, SgSeg};
 
-use crate::sqe::{Cqe, CqeStatus, DispatchType, Sqe, CQE_SIZE, SQE_SIZE};
+use crate::sqe::{Cqe, CqeStatus, DispatchType, Sqe, ZcOp, CQE_SIZE, SQE_SIZE};
 
 /// Reserved space at the start of every read buffer for the response
 /// header: `[u16 actual-header-len][header bytes ...]`, payload follows at
@@ -94,17 +94,24 @@ impl QueuePair {
     }
 
     /// Split into the host-side initiator and the DPU-side target.
+    ///
+    /// The data pool is registered with the engine's DMA address registry
+    /// here, so bounce-path PRPs (which point into the pool) resolve
+    /// through the same scatter-gather machinery as direct user buffers.
     pub fn split(self, dma: DmaEngine) -> (Initiator, Target) {
         let depth = self.shared.cfg.depth;
+        let pool_base = dma.register_region(&self.shared.data_pool);
         (
             Initiator {
                 shared: self.shared.clone(),
                 dma: dma.clone(),
+                pool_base,
                 sq_tail: 0,
                 sq_head_seen: 0,
                 cq_head: 0,
                 cq_phase: true,
                 slot_busy: vec![false; depth as usize],
+                slot_zc: vec![false; depth as usize],
             },
             Target {
                 shared: self.shared,
@@ -148,6 +155,9 @@ pub struct Completion {
     pub header: Vec<u8>,
     /// Read payload produced by the target.
     pub payload: Vec<u8>,
+    /// The command was zero-copy: `result` is a byte count, not a
+    /// payload length, and `header`/`payload` are empty by design.
+    pub zc: bool,
 }
 
 impl Default for Completion {
@@ -158,6 +168,7 @@ impl Default for Completion {
             result: 0,
             header: Vec::new(),
             payload: Vec::new(),
+            zc: false,
         }
     }
 }
@@ -231,12 +242,18 @@ pub struct SubmitOp<'a> {
 pub struct Initiator {
     shared: Arc<QpShared>,
     dma: DmaEngine,
+    /// Registered base DMA address of this queue's data pool (bounce
+    /// PRPs are expressed relative to it).
+    pool_base: u64,
     sq_tail: u16,
     /// Latest SQ head reported back via CQEs (flow control).
     sq_head_seen: u16,
     cq_head: u16,
     cq_phase: bool,
     slot_busy: Vec<bool>,
+    /// Slots whose in-flight command is zero-copy: their completions are
+    /// CQE-only (`result` is a count, not a payload length).
+    slot_zc: Vec<bool>,
 }
 
 impl Initiator {
@@ -331,6 +348,7 @@ impl Initiator {
             .write_local(slot as usize * SQE_SIZE, &sqe.to_bytes());
 
         self.slot_busy[slot as usize] = true;
+        self.slot_zc[slot as usize] = false;
         self.sq_tail = (self.sq_tail + 1) % cfg.depth;
         Ok(slot)
     }
@@ -418,6 +436,7 @@ impl Initiator {
             .write_local(slot as usize * SQE_SIZE, &sqe.to_bytes());
 
         self.slot_busy[slot as usize] = true;
+        self.slot_zc[slot as usize] = false;
         self.sq_tail = (self.sq_tail + 1) % cfg.depth;
         Ok(slot)
     }
@@ -440,6 +459,164 @@ impl Initiator {
         let slot = self.stage_sgl(dispatch, header, segments, read_len)?;
         self.publish_tail();
         Ok(slot)
+    }
+
+    /// Registered base DMA address of this queue's data pool.
+    pub fn pool_base(&self) -> u64 {
+        self.pool_base
+    }
+
+    /// Stage one zero-copy command. `segs` are registered-buffer DMA
+    /// addresses covering exactly `len` bytes (empty for a read fill —
+    /// a fill moves no bytes over the SQE path at all). The slot's write
+    /// buffer is *not* touched unless the transfer needs a descriptor
+    /// list (more segments than the two inline PRPs can carry).
+    fn stage_zc(
+        &mut self,
+        op: ZcOp,
+        class: DmaClass,
+        ino: u64,
+        offset: u64,
+        len: u32,
+        segs: &[SgSeg],
+    ) -> Result<u16, QueueFull> {
+        let cfg = &self.shared.cfg;
+        if op != ZcOp::ReadFill {
+            let total: u64 = segs.iter().map(|s| s.len as u64).sum();
+            assert_eq!(
+                total, len as u64,
+                "segments must cover the zero-copy length"
+            );
+        }
+        assert!(
+            segs.len() <= SGL_MAX_SEGMENTS,
+            "too many zero-copy segments"
+        );
+        if !self.ring_free() {
+            return Err(QueueFull);
+        }
+        let slot = self.sq_tail;
+        if self.slot_busy[slot as usize] {
+            return Err(QueueFull);
+        }
+        let (woff, _) = slot_offsets(cfg, slot);
+
+        // Inline PRPs carry one segment, or two when the first ends on
+        // the 4 KiB page boundary (the NVMe PRP2 rule). Anything else
+        // rides a descriptor list staged host-locally in the slot's SGL
+        // region — the target fetches it with one extra DMA.
+        let prp_form = match segs {
+            [] | [_] => true,
+            [a, _] => a.len == 4096,
+            _ => false,
+        };
+
+        let mut sqe = Sqe::new();
+        sqe.set_cid(slot)
+            .set_dispatch(DispatchType::Standalone)
+            .set_zc(op)
+            .set_zc_class(class as u8)
+            .set_zc_ino(ino)
+            .set_zc_offset(offset)
+            .set_write_len(len)
+            .set_wh_len(0)
+            .set_rh_len(0);
+        if prp_form {
+            let p1 = segs.first().map_or(0, |s| s.addr);
+            let p2 = segs.get(1).map_or(0, |s| s.addr);
+            sqe.set_prp_write(p1, p2);
+        } else {
+            let mut desc = Vec::with_capacity(segs.len() * 16);
+            for seg in segs {
+                desc.extend_from_slice(&seg.addr.to_le_bytes());
+                desc.extend_from_slice(&seg.len.to_le_bytes());
+                desc.extend_from_slice(&0u32.to_le_bytes());
+            }
+            assert!(
+                desc.len() <= SGL_LIST_CAP,
+                "descriptor list exceeds slot cap"
+            );
+            self.shared.data_pool.write_local(woff, &desc);
+            sqe.set_zc_list(true)
+                .set_sgl_count(segs.len() as u32)
+                .set_prp_write(woff as u64, 0); // pool offset of the list
+        }
+        self.shared
+            .sq_mem
+            .write_local(slot as usize * SQE_SIZE, &sqe.to_bytes());
+
+        self.slot_busy[slot as usize] = true;
+        self.slot_zc[slot as usize] = true;
+        self.sq_tail = (self.sq_tail + 1) % cfg.depth;
+        Ok(slot)
+    }
+
+    /// Submit a zero-copy command: the request rides entirely in the SQE
+    /// (no header bytes, no staging copy), data segments are DMA'd by the
+    /// DPU straight between the registered buffer and the page pool, and
+    /// the reply is a bare CQE. An aligned 8 KiB buffered write therefore
+    /// costs SQE + two data pages + CQE = the paper's 4 DMA operations.
+    pub fn submit_zc(
+        &mut self,
+        op: ZcOp,
+        class: DmaClass,
+        ino: u64,
+        offset: u64,
+        len: u32,
+        segs: &[SgSeg],
+    ) -> Result<u16, QueueFull> {
+        let slot = self.stage_zc(op, class, ino, offset, len, segs)?;
+        self.publish_tail();
+        Ok(slot)
+    }
+
+    /// Bounce path for buffers the direct path can't take (unregistered,
+    /// misaligned, or registry-full): stage `payload` into the slot's
+    /// write region with one host CPU copy — counted as `staged_bytes`
+    /// plus one `dma_bounces` — then submit the *same* zero-copy command
+    /// with PRPs pointing into the registered data pool. The DPU side is
+    /// oblivious; the wire DMA count is identical to the direct path.
+    pub fn submit_zc_bounced(
+        &mut self,
+        op: ZcOp,
+        class: DmaClass,
+        ino: u64,
+        offset: u64,
+        payload: &[u8],
+    ) -> Result<u16, QueueFull> {
+        let cfg = &self.shared.cfg;
+        assert!(
+            SGL_LIST_CAP + payload.len() <= cfg.max_io_bytes,
+            "write side exceeds slot capacity"
+        );
+        if !self.ring_free() {
+            return Err(QueueFull);
+        }
+        let slot = self.sq_tail;
+        if self.slot_busy[slot as usize] {
+            return Err(QueueFull);
+        }
+        let (woff, _) = slot_offsets(cfg, slot);
+        let data_off = woff + SGL_LIST_CAP;
+        if !payload.is_empty() {
+            self.shared.data_pool.write_local(data_off, payload);
+            self.dma.record_bounce(class, payload.len() as u64);
+        }
+        let base = self.pool_base + data_off as u64;
+        let mut segs = Vec::with_capacity(payload.len().div_ceil(4096));
+        let mut pos = 0usize;
+        while pos < payload.len() {
+            let n = (payload.len() - pos).min(4096);
+            segs.push(SgSeg {
+                addr: base + pos as u64,
+                len: n as u32,
+            });
+            pos += n;
+        }
+        let staged = self.stage_zc(op, class, ino, offset, payload.len() as u32, &segs)?;
+        debug_assert_eq!(staged, slot);
+        self.publish_tail();
+        Ok(staged)
     }
 
     /// Open a deferred-doorbell batch: every command staged through the
@@ -512,6 +689,12 @@ impl Initiator {
         out.result = cqe.result;
         out.header.clear();
         out.payload.clear();
+        // A zero-copy completion is CQE-only: `result` is a byte count
+        // (absorbed / filled), not the length of a payload in the slot.
+        out.zc = std::mem::replace(&mut self.slot_zc[cqe.cid as usize], false);
+        if out.zc {
+            return;
+        }
         if cqe.hdr_len > 0 {
             out.header.resize(cqe.hdr_len as usize, 0);
             self.shared.data_pool.read_local(roff, &mut out.header);
@@ -620,6 +803,24 @@ impl Drop for DoorbellGuard<'_> {
     }
 }
 
+/// A decoded zero-copy command (DESIGN.md §15): the SQE round trip
+/// carried only headers; `segs` are registered-buffer DMA addresses the
+/// dispatcher moves with [`DmaEngine::transfer_sg`] straight into the
+/// cache page pool (or, for a read fill, addresses play no part — the
+/// fill lands backend bytes directly in pool pages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ZcCmd {
+    pub op: ZcOp,
+    /// Which `dma:` attribution class the transfer's ops are charged to.
+    pub class: DmaClass,
+    pub ino: u64,
+    pub offset: u64,
+    /// Total data bytes (write length, or requested fill length).
+    pub len: u32,
+    /// Source segments of a write absorb; empty for a read fill.
+    pub segs: Vec<SgSeg>,
+}
+
 /// A command as seen by the DPU target.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Incoming {
@@ -630,6 +831,9 @@ pub struct Incoming {
     pub header: Vec<u8>,
     /// The write payload.
     pub payload: Vec<u8>,
+    /// Decoded zero-copy command, when the SQE carries one; `header`
+    /// and `payload` stay empty (nothing was gathered).
+    pub zc: Option<ZcCmd>,
 }
 
 /// Reusable batch of [`Incoming`]s filled by [`Target::poll_many`];
@@ -721,6 +925,64 @@ impl Target {
         self.dma
             .dma_read(&self.shared.sq_mem, slot as usize * SQE_SIZE, &mut raw);
         let sqe = Sqe::from_bytes(&raw);
+
+        // Zero-copy command: the write side is NOT gathered here — the
+        // SQE fetch above is the only request-path DMA. Data moves when
+        // the dispatcher absorbs the segments straight into pool pages
+        // (class-attributed), or not at all for a read fill.
+        if let Some(op) = sqe.zc_op() {
+            let class = DmaClass::ALL[(sqe.zc_class() as usize) & 0b11];
+            let len = sqe.write_len();
+            let mut segs = Vec::new();
+            if sqe.zc_list() {
+                // Descriptor list staged in the slot's SGL region: one
+                // list-fetch DMA (global counters only — the class cells
+                // track data movement, SQE/list/CQE overhead is global).
+                let count = sqe.sgl_count() as usize;
+                let woff = sqe.prp_write().0 as usize;
+                let mut list = std::mem::take(&mut self.sgl_scratch);
+                list.clear();
+                list.resize(count * 16, 0);
+                self.dma.dma_read(&self.shared.data_pool, woff, &mut list);
+                for d in 0..count {
+                    let addr = u64::from_le_bytes(list[d * 16..d * 16 + 8].try_into().unwrap());
+                    let slen =
+                        u32::from_le_bytes(list[d * 16 + 8..d * 16 + 12].try_into().unwrap());
+                    if slen > 0 {
+                        segs.push(SgSeg { addr, len: slen });
+                    }
+                }
+                self.sgl_scratch = list;
+            } else if len > 0 && op != ZcOp::ReadFill {
+                let (p1, p2) = sqe.prp_write();
+                let first = len.min(4096);
+                segs.push(SgSeg {
+                    addr: p1,
+                    len: first,
+                });
+                if len > first {
+                    segs.push(SgSeg {
+                        addr: p2,
+                        len: len - first,
+                    });
+                }
+            }
+            out.header.clear();
+            out.payload.clear();
+            out.zc = Some(ZcCmd {
+                op,
+                class,
+                ino: sqe.zc_ino(),
+                offset: sqe.zc_offset(),
+                len,
+                segs,
+            });
+            out.sqe = sqe;
+            out.slot = slot;
+            self.sq_head = (self.sq_head + 1) % self.shared.cfg.depth;
+            return;
+        }
+        out.zc = None;
 
         // ② locate the write buffer and ③ read the request header +
         // payload. PRP mode: page-granular DMAs over the contiguous
@@ -850,6 +1112,29 @@ impl Target {
             &cqe.to_bytes(),
         );
         self.cq_tail = (self.cq_tail + 1) % cfg.depth;
+        if self.cq_tail == 0 {
+            self.cq_phase = !self.cq_phase;
+        }
+    }
+
+    /// Complete a zero-copy command: the reply is a bare CQE whose
+    /// `result` carries the op-specific byte count (absorbed / filled).
+    /// Exactly one DMA — the other half of the ≤4-op budget.
+    pub fn complete_zc(&mut self, slot: u16, status: CqeStatus, result: u32) {
+        let cqe = Cqe {
+            result,
+            hdr_len: 0,
+            sq_head: self.sq_head,
+            status,
+            cid: slot,
+            phase: self.cq_phase,
+        };
+        self.dma.dma_write(
+            &self.shared.cq_mem,
+            self.cq_tail as usize * CQE_SIZE,
+            &cqe.to_bytes(),
+        );
+        self.cq_tail = (self.cq_tail + 1) % self.shared.cfg.depth;
         if self.cq_tail == 0 {
             self.cq_phase = !self.cq_phase;
         }
@@ -1086,6 +1371,161 @@ mod tests {
         ini.wait();
         let delta = dma.snapshot().since(&before);
         assert_eq!(delta.dma_ops, 1 + 1 + 4 + 1);
+    }
+
+    /// A dword-aligned byte buffer for direct-registration tests (a
+    /// `Vec<u8>` gives no alignment guarantee).
+    fn aligned_bytes(len: usize, fill: u8) -> (Vec<u64>, *const u8) {
+        let words = vec![u64::from_ne_bytes([fill; 8]); len.div_ceil(8)];
+        let ptr = words.as_ptr() as *const u8;
+        (words, ptr)
+    }
+
+    #[test]
+    fn zc_write_absorb_is_exactly_4_dmas() {
+        // The tentpole budget: SQE fetch (1) + two 4 KiB registered-buffer
+        // segments (2) + CQE (1) = 4 DMA ops, zero staged bytes.
+        let (mut ini, mut tgt, dma) = pair(8, 16 * 1024);
+        let (_keep, ptr) = aligned_bytes(8192, 0xAB);
+        let buf = unsafe { std::slice::from_raw_parts(ptr, 8192) };
+        let reg = dma.register_io(buf).expect("aligned buffer registers");
+        let segs = [
+            SgSeg {
+                addr: reg.addr(),
+                len: 4096,
+            },
+            SgSeg {
+                addr: reg.addr() + 4096,
+                len: 4096,
+            },
+        ];
+        let before = dma.snapshot();
+        let attr_before = dma.attribution();
+        ini.submit_zc(ZcOp::WriteCached, DmaClass::WriteAbsorb, 7, 0, 8192, &segs)
+            .unwrap();
+        let inc = tgt.poll().unwrap();
+        let zc = inc.zc.as_ref().expect("decoded as zero-copy");
+        assert_eq!(zc.op, ZcOp::WriteCached);
+        assert_eq!((zc.ino, zc.offset, zc.len), (7, 0, 8192));
+        assert!(inc.header.is_empty() && inc.payload.is_empty());
+        let mut page = vec![0u8; 8192];
+        let n = dma.transfer_sg(&zc.segs, &mut page, zc.class).unwrap();
+        assert_eq!(n, 8192);
+        assert!(page.iter().all(|&b| b == 0xAB));
+        tgt.complete_zc(inc.slot, CqeStatus::Success, n as u32);
+        let c = ini.wait();
+        assert_eq!(c.result, 8192);
+        assert!(c.payload.is_empty());
+        let delta = dma.snapshot().since(&before);
+        assert_eq!(delta.dma_ops, 4);
+        assert_eq!(delta.dma_bytes, 64 + 8192 + 16);
+        let attr = dma.attribution().since(&attr_before);
+        let wa = attr.class(DmaClass::WriteAbsorb);
+        assert_eq!((wa.dma_ops, wa.dma_bytes), (2, 8192));
+        assert_eq!((wa.staged_bytes, wa.dma_bounces), (0, 0));
+    }
+
+    #[test]
+    fn zc_bounce_same_wire_cost_but_staged_bytes_counted() {
+        let (mut ini, mut tgt, dma) = pair(8, 16 * 1024);
+        let payload = vec![0x5Cu8; 8192];
+        let before = dma.snapshot();
+        ini.submit_zc_bounced(ZcOp::WriteCached, DmaClass::WriteAbsorb, 9, 4096, &payload)
+            .unwrap();
+        let inc = tgt.poll().unwrap();
+        let zc = inc.zc.clone().unwrap();
+        assert_eq!(zc.segs.len(), 2, "bounce PRPs split at the page");
+        let mut page = vec![0u8; 8192];
+        dma.transfer_sg(&zc.segs, &mut page, zc.class).unwrap();
+        assert_eq!(page, payload, "bounced bytes resolve through the pool");
+        tgt.complete_zc(inc.slot, CqeStatus::Success, 8192);
+        ini.wait();
+        // Wire cost identical to the direct path...
+        assert_eq!(dma.snapshot().since(&before).dma_ops, 4);
+        // ...but the host CPU staging copy is visible in the class cells.
+        let wa = *dma.attribution().class(DmaClass::WriteAbsorb);
+        assert_eq!((wa.staged_bytes, wa.dma_bounces), (8192, 1));
+    }
+
+    #[test]
+    fn zc_list_form_fetches_list_then_per_segment() {
+        // 5 gather segments exceed the two inline PRPs: SQE (1) + list
+        // fetch (1) + 5 data segments (5) + CQE (1) = 8 ops; the class
+        // cells see only the 5 data-movement ops.
+        let (mut ini, mut tgt, dma) = pair(8, 16 * 1024);
+        let (_keep, ptr) = aligned_bytes(5 * 1000, 0x11);
+        let buf = unsafe { std::slice::from_raw_parts(ptr, 5 * 1000) };
+        let reg = dma.register_io(buf).unwrap();
+        let segs: Vec<SgSeg> = (0..5)
+            .map(|i| SgSeg {
+                addr: reg.addr() + i * 1000,
+                len: 1000,
+            })
+            .collect();
+        let before = dma.snapshot();
+        ini.submit_zc(ZcOp::WriteCached, DmaClass::Writev, 3, 0, 5000, &segs)
+            .unwrap();
+        let inc = tgt.poll().unwrap();
+        let zc = inc.zc.clone().unwrap();
+        assert_eq!(zc.segs, segs, "descriptor list round-trips");
+        let mut out = vec![0u8; 5000];
+        dma.transfer_sg(&zc.segs, &mut out, zc.class).unwrap();
+        tgt.complete_zc(inc.slot, CqeStatus::Success, 5000);
+        ini.wait();
+        assert_eq!(dma.snapshot().since(&before).dma_ops, 8);
+        let wv = *dma.attribution().class(DmaClass::Writev);
+        assert_eq!((wv.dma_ops, wv.dma_bytes), (5, 5000));
+    }
+
+    #[test]
+    fn zc_read_fill_round_trip_is_2_dmas() {
+        // A fill request moves no bytes over the SQE path: SQE + CQE.
+        let (mut ini, mut tgt, dma) = pair(8, 16 * 1024);
+        let before = dma.snapshot();
+        ini.submit_zc(ZcOp::ReadFill, DmaClass::ReadFill, 42, 8192, 4096, &[])
+            .unwrap();
+        let inc = tgt.poll().unwrap();
+        let zc = inc.zc.clone().unwrap();
+        assert_eq!(zc.op, ZcOp::ReadFill);
+        assert_eq!((zc.ino, zc.offset, zc.len), (42, 8192, 4096));
+        assert!(zc.segs.is_empty());
+        tgt.complete_zc(inc.slot, CqeStatus::Success, 4096);
+        let c = ini.wait();
+        assert_eq!(c.result, 4096);
+        assert_eq!(dma.snapshot().since(&before).dma_ops, 2);
+    }
+
+    #[test]
+    fn zc_and_classic_commands_interleave_with_buffer_recycling() {
+        // A recycled Incoming must not leak a stale `zc` into a classic
+        // command, and vice versa; attribution stays dormant for classic
+        // traffic.
+        let (mut ini, mut tgt, dma) = pair(8, 16 * 1024);
+        let mut batch = IncomingBatch::new();
+        ini.submit_zc(ZcOp::ReadFill, DmaClass::ReadFill, 1, 0, 4096, &[])
+            .unwrap();
+        ini.submit(DispatchType::Standalone, b"HDR", b"classic", 0)
+            .unwrap();
+        assert_eq!(tgt.poll_many(&mut batch), 2);
+        assert!(batch.as_slice()[0].zc.is_some());
+        assert!(batch.as_slice()[1].zc.is_none());
+        assert_eq!(batch.as_slice()[1].header, b"HDR");
+        assert_eq!(batch.as_slice()[1].payload, b"classic");
+        let (s0, s1) = (batch.as_slice()[0].slot, batch.as_slice()[1].slot);
+        tgt.complete_zc(s0, CqeStatus::Success, 0);
+        tgt.complete(s1, CqeStatus::Success, b"", b"");
+        ini.wait();
+        ini.wait();
+        // Round 2: recycle the batch the other way around.
+        ini.submit(DispatchType::Standalone, b"", b"plain", 0)
+            .unwrap();
+        assert_eq!(tgt.poll_many(&mut batch), 1);
+        assert!(batch.as_slice()[0].zc.is_none(), "recycled zc cleared");
+        tgt.complete(batch.as_slice()[0].slot, CqeStatus::Success, b"", b"");
+        ini.wait();
+        let attr = dma.attribution();
+        assert!(attr.class(DmaClass::WriteAbsorb).is_zero());
+        assert!(attr.class(DmaClass::Writev).is_zero());
     }
 
     #[test]

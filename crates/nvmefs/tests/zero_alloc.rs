@@ -11,8 +11,9 @@
 //! its own integration-test file.
 
 use dpc_nvmefs::{
-    CompletionBatch, DispatchType, FileIncomingBatch, FileRequest, FileResponse, FileTarget,
-    Initiator, QueuePair, QueuePairConfig,
+    decode_dirents_into, dirent_iter, encode_dirents, CompletionBatch, DispatchType,
+    FileIncomingBatch, FileRequest, FileResponse, FileTarget, Initiator, QueuePair,
+    QueuePairConfig, WireDirent,
 };
 use dpc_pcie::alloc::{alloc_count, counting_enabled, CountingAllocator};
 use dpc_pcie::DmaEngine;
@@ -141,4 +142,47 @@ fn warm_batched_serve_loop_allocates_nothing_per_op() {
         "warm batched serve loop allocated {last} times over {} ops in every window",
         ROUNDS * 16
     );
+}
+
+#[test]
+fn warm_dirent_decode_allocates_nothing_per_listing() {
+    assert!(counting_enabled());
+
+    // A realistic listing: 64 entries, names up to 24 bytes.
+    let entries: Vec<WireDirent> = (0..64)
+        .map(|i| WireDirent {
+            ino: 100 + i,
+            kind: (i % 2) as u8,
+            name: format!("entry-{i:04}-{}", "x".repeat((i % 12) as usize)),
+        })
+        .collect();
+    let mut buf = Vec::new();
+    encode_dirents(&entries, &mut buf);
+
+    // Warm the reused output: slots and their name buffers grow once.
+    let mut out: Vec<WireDirent> = Vec::new();
+    decode_dirents_into(&buf, entries.len(), &mut out).unwrap();
+    assert_eq!(out, entries);
+
+    // Same windowed discipline as above: the counter is process-global,
+    // so accept any single clean window out of five.
+    let mut last = u64::MAX;
+    for _ in 0..5 {
+        let before = alloc_count();
+        for _ in 0..256 {
+            // The borrowed streaming walk (probe-sized consumers)...
+            let live = dirent_iter(&buf, entries.len())
+                .filter(|e| e.as_ref().is_ok_and(|d| d.kind == 0))
+                .count();
+            assert_eq!(live, 32);
+            // ...and the full in-place rebuild into warmed slots.
+            decode_dirents_into(&buf, entries.len(), &mut out).unwrap();
+            assert_eq!(out.len(), entries.len());
+        }
+        last = alloc_count() - before;
+        if last == 0 {
+            return;
+        }
+    }
+    panic!("warm dirent decode allocated {last} times per window");
 }

@@ -17,6 +17,9 @@
 #   BENCH_PR9.json — metadata fast path: stat-stampede and ls -R
 #                    throughput cache on vs off, 8-thread create
 #                    storm sharded vs single-lock MDS namespace
+#   BENCH_PR10.json — zero-copy data path: per-op DMA budget on vs
+#                    off (4-op gate for aligned 8 KiB writes), 4 KiB
+#                    randwrite/randread throughput + p99 sweep
 # Pass --quick for a fast smoke run (shrinks grids and durations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,3 +32,4 @@ cargo run --release -p dpc-bench --bin bench-pr6 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr7 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr8 -- "$@"
 cargo run --release -p dpc-bench --bin bench-pr9 -- "$@"
+cargo run --release -p dpc-bench --bin bench-pr10 -- "$@"

@@ -316,6 +316,31 @@ fn writev_gathers_scattered_buffers_via_sgl() {
 }
 
 #[test]
+fn writev_invalidation_spares_dirty_pages_past_the_gather() {
+    // Regression: the post-writev cache invalidation used div_ceil for
+    // its last page, reaching one page past the gather. A *dirty* page
+    // there was outside the O_DIRECT pre-flush range, so dropping it
+    // silently lost an acknowledged buffered write.
+    let dpc = Dpc::new(DpcConfig::default());
+    let fs = dpc.fs();
+    let fd = fs.create("/spare.bin").unwrap();
+
+    // Dirty page 3 (12288..16384) via a buffered write, never flushed.
+    let keep = vec![0xAAu8; 2000];
+    assert_eq!(fs.write(fd, 13000, &keep).unwrap(), keep.len());
+
+    // Gather ending unaligned inside page 2: pages 0..=2 only.
+    let a = vec![0xB1u8; 4096];
+    let b = vec![0xB2u8; 4096];
+    assert_eq!(fs.writev(fd, 927, &[&a, &b]).unwrap(), 8192);
+
+    fs.fsync(fd).unwrap();
+    let mut back = vec![0u8; 2000];
+    assert_eq!(fs.read(fd, 13000, &mut back).unwrap(), 2000);
+    assert_eq!(back, keep, "dirty page past the gather was dropped");
+}
+
+#[test]
 fn rename_through_the_stack_replaces_destination() {
     let dpc = Dpc::new(DpcConfig::default());
     let fs = dpc.fs();
